@@ -1,0 +1,89 @@
+//! Fig. 5 — Performance vs. MeshBlockSize.
+//!
+//! Paper: mesh 128, L = 3, B ∈ {8, 16, 32}; scaled mesh 64.
+//! Also reports the §IV-B quantities: communicated-cell growth, cell-update
+//! shrinkage, and GPU-1R total time growth as blocks shrink.
+
+use vibe_bench::{format_table, run_workload, sci, WorkloadSpec};
+use vibe_hwmodel::platform::evaluate;
+use vibe_hwmodel::PlatformConfig;
+
+fn main() {
+    println!("== Fig. 5: FOM vs MeshBlockSize (Mesh=64 scaled, L=3) ==\n");
+    let mut rows = Vec::new();
+    let mut stats = Vec::new();
+    for block in [32usize, 16, 8] {
+        let base = WorkloadSpec {
+            mesh_cells: 64,
+            block_cells: block,
+            cycles: 2,
+            ..WorkloadSpec::default()
+        };
+        let run1 = run_workload(&WorkloadSpec { nranks: 1, ..base });
+        let run12 = run_workload(&WorkloadSpec {
+            nranks: 12,
+            ..base
+        });
+        let run96 = run_workload(&WorkloadSpec {
+            nranks: 96,
+            ..base
+        });
+        let run4 = run_workload(&WorkloadSpec { nranks: 4, ..base });
+
+        let cpu = evaluate(&run96.recorder, &PlatformConfig::cpu_only(96, block));
+        let g1r1 = evaluate(&run1.recorder, &PlatformConfig::gpu(1, 1, block));
+        let g1_best = evaluate(&run12.recorder, &PlatformConfig::gpu(1, 12, block));
+        let g4 = evaluate(&run4.recorder, &PlatformConfig::gpu(4, 1, block));
+
+        stats.push((
+            block,
+            run1.cells_communicated(),
+            run1.zone_cycles(),
+            g1r1.total_s,
+        ));
+        rows.push(vec![
+            block.to_string(),
+            run1.final_blocks.to_string(),
+            sci(cpu.fom),
+            sci(g1r1.fom),
+            sci(g1_best.fom),
+            sci(g4.fom),
+            format!("{:.2}", g1r1.total_s),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &[
+                "BlockSize",
+                "Blocks",
+                "CPU-96R",
+                "GPU1-1R",
+                "GPU1-BestR",
+                "GPU4-1R",
+                "GPU1-1R total(s)"
+            ],
+            &rows
+        )
+    );
+
+    // §IV-B quantitative claims.
+    let (b32, b16, b8) = (&stats[0], &stats[1], &stats[2]);
+    println!("\n§IV-B quantities (paper values in brackets):");
+    println!(
+        "  B32→B16: communicated cells x{:.2} [2.1], cell updates /{:.2} [5.0]",
+        b16.1 as f64 / b32.1 as f64,
+        b32.2 as f64 / b16.2 as f64
+    );
+    println!(
+        "  comm/compute ratio growth x{:.2} [10.9]",
+        (b16.1 as f64 / b16.2 as f64) / (b32.1 as f64 / b32.2 as f64)
+    );
+    println!(
+        "  GPU-1R total time: B32 {:.2}s → B16 {:.2}s → B8 {:.2}s  [97.6 → 257 → 3023]",
+        b32.3, b16.3, b8.3
+    );
+    println!("\nPaper shape: both platforms decline as blocks shrink, the GPU far");
+    println!("more steeply; at B=16 one GPU falls below the 96-core CPU and at");
+    println!("B=8 even 4 GPUs lose to the CPU.");
+}

@@ -1,0 +1,46 @@
+//! Fig. 7 — CPU strong scaling: total time split into kernel time and the
+//! serial portion.
+//!
+//! Paper: mesh 128, B = 8, L = 3, cores ∈ {4 … 96}; scaled mesh 32.
+
+use vibe_bench::{format_table, run_workload, WorkloadSpec};
+use vibe_hwmodel::platform::evaluate;
+use vibe_hwmodel::PlatformConfig;
+
+fn main() {
+    println!("== Fig. 7: CPU strong scaling (Mesh=32 scaled, B=8, L=3) ==\n");
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for ranks in [4usize, 8, 16, 32, 48, 64, 72, 96] {
+        let run = run_workload(&WorkloadSpec {
+            mesh_cells: 32,
+            block_cells: 8,
+            nranks: ranks,
+            cycles: 2,
+            ..WorkloadSpec::default()
+        });
+        let rep = evaluate(&run.recorder, &PlatformConfig::cpu_only(ranks, 8));
+        series.push((ranks, rep.total_s, rep.kernel_s, rep.serial_s + rep.comm_s));
+        rows.push(vec![
+            ranks.to_string(),
+            format!("{:.3}", rep.total_s),
+            format!("{:.3}", rep.kernel_s),
+            format!("{:.3}", rep.serial_s + rep.comm_s),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(&["Ranks", "Total (s)", "Kernel (s)", "Serial (s)"], &rows)
+    );
+    let first = &series[0];
+    let last = series.last().unwrap();
+    println!(
+        "\nSpeedup 4→96 ranks: total {:.1}x, kernel {:.1}x, serial {:.1}x",
+        first.1 / last.1,
+        first.2 / last.2,
+        first.3 / last.3
+    );
+    println!("Paper shape: near-ideal total scaling to ~48 cores; kernels scale");
+    println!("to 96; the serial portion plateaus around 64 cores (irreducible");
+    println!("overhead plus collective costs at high rank counts).");
+}

@@ -1,0 +1,55 @@
+//! Fig. 9 — Execution-time breakdown into Kokkos kernels vs. the serial
+//! portion across hardware configurations.
+//!
+//! Paper: mesh 128, B = 8, L = 3; GPU with 1/6/8/12 ranks and CPU with
+//! 16/48/96 ranks. Scaled mesh 32.
+
+use vibe_bench::{format_table, run_workload, WorkloadSpec};
+use vibe_hwmodel::platform::evaluate;
+use vibe_hwmodel::PlatformConfig;
+
+fn main() {
+    println!("== Fig. 9: kernel vs serial breakdown (Mesh=32 scaled, B=8, L=3) ==\n");
+    let spec = |r: usize| WorkloadSpec {
+        mesh_cells: 32,
+        block_cells: 8,
+        nranks: r,
+        cycles: 2,
+        ..WorkloadSpec::default()
+    };
+    let mut rows = Vec::new();
+    for (label, ranks, gpu) in [
+        ("GPU-1R", 1usize, true),
+        ("GPU-6R", 6, true),
+        ("GPU-8R", 8, true),
+        ("GPU-12R", 12, true),
+        ("CPU-16R", 16, false),
+        ("CPU-48R", 48, false),
+        ("CPU-96R", 96, false),
+    ] {
+        let run = run_workload(&spec(ranks));
+        let cfg = if gpu {
+            PlatformConfig::gpu(1, ranks, 8)
+        } else {
+            PlatformConfig::cpu_only(ranks, 8)
+        };
+        let rep = evaluate(&run.recorder, &cfg);
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.3}", rep.total_s),
+            format!("{:.3}", rep.kernel_s),
+            format!("{:.3}", rep.serial_s + rep.comm_s),
+            format!("{:.1}%", rep.kernel_fraction() * 100.0),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &["Config", "Total (s)", "Kernel (s)", "Serial (s)", "Kernel %"],
+            &rows
+        )
+    );
+    println!("Paper shape: GPU with 1 rank spends almost everything outside the");
+    println!("kernels (2659 of 2782 s in the paper's run); adding ranks per GPU");
+    println!("shrinks the serial share dramatically. CPU runs are balanced.");
+}

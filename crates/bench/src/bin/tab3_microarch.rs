@@ -1,0 +1,133 @@
+//! Table III — GPU microarchitecture analysis of the 10 most
+//! time-consuming kernels: per-cycle duration, SM utilization, SM
+//! occupancy, warp utilization, bandwidth utilization, and arithmetic
+//! intensity, at block sizes 32 and 16.
+//!
+//! Paper: mesh 128, L = 3, Nsight Compute; here derived from the occupancy
+//! + sparse-roofline models over the recorded per-kernel work. Scaled
+//! mesh 64.
+
+use std::collections::BTreeMap;
+
+use vibe_bench::{format_table, run_workload, WorkloadSpec};
+use vibe_hwmodel::gpu::descriptor_for;
+use vibe_hwmodel::{kernel_metrics, GpuSpec};
+use vibe_prof::KernelTotals;
+
+/// Paper Table III reference values: (name, [dur32, dur16], occ32, warp32,
+/// warp16, bw32, ai32).
+const PAPER: &[(&str, f64, f64, f64, f64, f64)] = &[
+    ("CalculateFluxes", 24.1, 94.1, 67.6, 18.5, 4.3),
+    ("FirstDerivative", 52.3, 95.9, 94.4, 0.1, 14.5),
+    ("MassHistory", 24.2, 100.0, 50.0, 1.8, 3.1),
+    ("WeightedSumData", 92.7, 94.8, 100.0, 50.2, 0.3),
+    ("SendBoundBufs", 95.7, 94.4, 84.3, 28.5, 0.0),
+    ("SetBounds", 51.5, 94.2, 88.4, 22.2, 0.1),
+    ("FluxDivergence", 94.5, 95.0, 100.0, 51.2, 0.6),
+    ("Est.Time.Mesh", 24.2, 94.7, 50.1, 3.3, 1.7),
+    ("Prolong.Restr.Loop", 54.9, 94.9, 93.4, 56.9, 0.3),
+    ("CalculateDerived", 36.9, 94.3, 74.4, 54.1, 0.1),
+];
+
+fn per_cycle_kernels(run: &vibe_bench::WorkloadResult) -> BTreeMap<&'static str, KernelTotals> {
+    let cycles = run.recorder.cycles().len().max(1) as u64;
+    let mut by_name: BTreeMap<&'static str, KernelTotals> = BTreeMap::new();
+    for ((_, name), k) in &run.recorder.totals().kernels {
+        let e = by_name.entry(name).or_default();
+        e.launches += (k.launches / cycles).max(1);
+        e.cells += k.cells / cycles;
+        e.flops += k.flops / cycles;
+        e.bytes += k.bytes / cycles;
+    }
+    by_name
+}
+
+fn main() {
+    println!("== Table III: GPU microarchitecture analysis (Mesh=64 scaled, L=3) ==\n");
+    let gpu = GpuSpec::h100();
+    for block in [32usize, 16] {
+        let run = run_workload(&WorkloadSpec {
+            mesh_cells: 64,
+            block_cells: block,
+            nranks: 1,
+            cycles: 2,
+            ..WorkloadSpec::default()
+        });
+        let kernels = per_cycle_kernels(&run);
+        let mut rows = Vec::new();
+        let mut weighted = (0.0f64, 0.0, 0.0, 0.0, 0.0, 0.0); // dur-weighted sums
+        for (name, ..) in PAPER {
+            let Some(k) = kernels.get(name) else {
+                continue;
+            };
+            let m = kernel_metrics(descriptor_for(name), k, &gpu, block);
+            weighted.0 += m.duration_ms;
+            weighted.1 += m.sm_util_pct * m.duration_ms;
+            weighted.2 += m.sm_occ_pct * m.duration_ms;
+            weighted.3 += m.warp_util_pct * m.duration_ms;
+            weighted.4 += m.bw_util_pct * m.duration_ms;
+            weighted.5 += m.arith_intensity * m.duration_ms;
+            rows.push(vec![
+                name.to_string(),
+                format!("{:.2}", m.duration_ms),
+                format!("{:.1}", m.sm_util_pct),
+                format!("{:.1}", m.sm_occ_pct),
+                format!("{:.1}", m.warp_util_pct),
+                format!("{:.1}", m.bw_util_pct),
+                format!("{:.2}", m.arith_intensity),
+            ]);
+        }
+        let d = weighted.0.max(1e-12);
+        rows.push(vec![
+            "Total (weighted)".to_string(),
+            format!("{:.2}", weighted.0),
+            format!("{:.1}", weighted.1 / d),
+            format!("{:.1}", weighted.2 / d),
+            format!("{:.1}", weighted.3 / d),
+            format!("{:.1}", weighted.4 / d),
+            format!("{:.2}", weighted.5 / d),
+        ]);
+        println!("-- MeshBlockSize = {block} (per simulation cycle) --");
+        println!(
+            "{}",
+            format_table(
+                &[
+                    "Kernel",
+                    "Dur (ms)",
+                    "SM Util%",
+                    "SM Occ%",
+                    "Warp Util%",
+                    "BW Util%",
+                    "AI (F/B)"
+                ],
+                &rows
+            )
+        );
+    }
+
+    println!("Paper reference (B32): occupancy / warp util / BW util / AI:");
+    let rows: Vec<Vec<String>> = PAPER
+        .iter()
+        .map(|(n, occ, w32, w16, bw, ai)| {
+            vec![
+                n.to_string(),
+                format!("{occ:.1}"),
+                format!("{w32:.1}"),
+                format!("{w16:.1}"),
+                format!("{bw:.1}"),
+                format!("{ai:.1}"),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &["Kernel", "Occ%", "Warp32%", "Warp16%", "BW32%", "AI32"],
+            &rows
+        )
+    );
+    println!("Shape targets: occupancy limited by registers (CalculateFluxes");
+    println!("~24%, WeightedSumData ~93%); BlockRow kernels lose warp");
+    println!("utilization at B16; bandwidth utilization stays far below peak");
+    println!("despite memory-bound intensity (sparse accesses).");
+}

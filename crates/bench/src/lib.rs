@@ -1,0 +1,212 @@
+//! # vibe-bench
+//!
+//! The benchmark harness reproducing every figure and table of the paper's
+//! evaluation. Each `src/bin/*` binary regenerates one artifact (see
+//! DESIGN.md's experiment index); this library provides the shared workload
+//! runner and table formatting.
+//!
+//! The harness runs the *functional* AMR simulation at a laptop-feasible
+//! scale (the paper's 96-core/8×H100 node is modeled, not executed — see
+//! DESIGN.md), then evaluates the recorded workload against the H100/SPR
+//! platform models.
+
+use vibe_burgers::{ic, BurgersPackage, BurgersParams};
+use vibe_core::{CycleSummary, Driver, DriverParams};
+use vibe_field::PackStrategy;
+use vibe_mesh::{Mesh, MeshParams};
+use vibe_prof::Recorder;
+
+/// One functional-simulation configuration (the paper's workload axes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// Cells per dimension of the base mesh (the paper's "Mesh Size").
+    pub mesh_cells: usize,
+    /// Cells per dimension of one block ("MeshBlockSize").
+    pub block_cells: usize,
+    /// AMR levels including the base grid ("#AMR Levels").
+    pub levels: u32,
+    /// Virtual MPI ranks for the decomposition.
+    pub nranks: usize,
+    /// Measured cycles (after AMR-adapted initialization).
+    pub cycles: u64,
+    /// Passive scalars (paper: 8).
+    pub num_scalars: usize,
+    /// Spatial dimensions (paper: 3).
+    pub dim: usize,
+    /// Refinement threshold on the first-derivative criterion.
+    pub refine_tol: f64,
+    /// Variable-lookup strategy.
+    pub pack_strategy: PackStrategy,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        Self {
+            mesh_cells: 32,
+            block_cells: 8,
+            levels: 3,
+            nranks: 1,
+            cycles: 3,
+            // 4 scalars keep the functional runs laptop-fast; workload
+            // *ratios* (comm vs compute) are independent of the component
+            // count, and the memory model uses the paper's num_scalar = 8
+            // analytically.
+            num_scalars: 4,
+            dim: 3,
+            refine_tol: 0.1,
+            pack_strategy: PackStrategy::StringKeyed,
+        }
+    }
+}
+
+/// Output of one workload run.
+#[derive(Debug)]
+pub struct WorkloadResult {
+    /// The recorded workload counters.
+    pub recorder: Recorder,
+    /// Blocks at the end of the run.
+    pub final_blocks: usize,
+    /// Live field bytes at the end of the run (Kokkos data allocation).
+    pub field_bytes: u64,
+    /// Per-cycle summaries.
+    pub summaries: Vec<CycleSummary>,
+}
+
+impl WorkloadResult {
+    /// Total interior-cell updates (zone-cycles) over the measured cycles.
+    pub fn zone_cycles(&self) -> u64 {
+        self.recorder.totals().cell_updates
+    }
+
+    /// Total communicated cells over the measured cycles.
+    pub fn cells_communicated(&self) -> u64 {
+        self.recorder
+            .cycles()
+            .iter()
+            .map(|c| c.cells_communicated())
+            .sum()
+    }
+}
+
+/// Runs the Burgers benchmark functionally for `spec`, returning the
+/// recorded workload.
+///
+/// The initial condition is a deterministic set of Gaussian blobs whose
+/// steepening fronts drive sustained refinement — the "ripples on water"
+/// workload the paper describes.
+///
+/// # Panics
+///
+/// Panics if the spec's mesh is invalid (indivisible by the block size).
+pub fn run_workload(spec: &WorkloadSpec) -> WorkloadResult {
+    let mesh = Mesh::new(
+        MeshParams::builder()
+            .dim(spec.dim)
+            .mesh_cells(spec.mesh_cells)
+            .block_cells(spec.block_cells)
+            .max_levels(spec.levels)
+            .nghost(4)
+            .build()
+            .expect("valid workload mesh"),
+    )
+    .expect("constructible mesh");
+    let pkg = BurgersPackage::new(BurgersParams {
+        num_scalars: spec.num_scalars,
+        refine_tol: spec.refine_tol,
+        deref_tol: spec.refine_tol * 0.25,
+        ..BurgersParams::default()
+    });
+    let mut driver = Driver::new(
+        mesh,
+        pkg,
+        DriverParams {
+            nranks: spec.nranks,
+            cfl: 0.3,
+            pack_strategy: spec.pack_strategy,
+            ..DriverParams::default()
+        },
+    );
+    driver.initialize(ic::multi_blob(0.9, 0.002, 3));
+    let summaries = driver.run_cycles(spec.cycles);
+    WorkloadResult {
+        final_blocks: driver.mesh().num_blocks(),
+        field_bytes: driver.total_field_bytes() as u64,
+        summaries,
+        recorder: driver.into_recorder(),
+    }
+}
+
+/// Formats a plain-text table with aligned columns.
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (c, cell) in row.iter().enumerate().take(ncols) {
+            widths[c] = widths[c].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String]| {
+        for (c, cell) in cells.iter().enumerate().take(ncols) {
+            if c > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{:>width$}", cell, width = widths[c]));
+        }
+        out.push('\n');
+    };
+    line(
+        &mut out,
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    );
+    let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        line(&mut out, row);
+    }
+    out
+}
+
+/// Human-readable engineering notation (e.g. `1.23e6`).
+pub fn sci(v: f64) -> String {
+    format!("{v:.3e}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_workload_runs_and_records() {
+        let spec = WorkloadSpec {
+            mesh_cells: 16,
+            block_cells: 8,
+            levels: 2,
+            cycles: 2,
+            num_scalars: 1,
+            ..WorkloadSpec::default()
+        };
+        let result = run_workload(&spec);
+        assert_eq!(result.summaries.len(), 2);
+        assert!(result.zone_cycles() > 0);
+        assert!(result.cells_communicated() > 0);
+        assert!(result.field_bytes > 0);
+        assert!(result.final_blocks >= 8);
+    }
+
+    #[test]
+    fn table_formatting_aligns() {
+        let t = format_table(
+            &["A", "Banana"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["100".into(), "20000000".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("Banana"));
+        assert!(lines[3].ends_with("20000000"));
+    }
+}

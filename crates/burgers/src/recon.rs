@@ -1,0 +1,126 @@
+//! Interface reconstruction: fifth-order WENO (Jiang–Shu) and slope-limited
+//! linear schemes.
+
+use vibe_field::minmod;
+
+const WENO_EPS: f64 = 1e-6;
+
+/// Fifth-order WENO reconstruction of the *left-biased* interface value at
+/// the face between `q[2]` and `q[3]`, from the five cell averages
+/// `q = [q_{i-2}, q_{i-1}, q_i, q_{i+1}, q_{i+2}]` (interface at `i+1/2`).
+pub fn weno5_left(q: &[f64; 5]) -> f64 {
+    // Candidate stencil reconstructions.
+    let p0 = (2.0 * q[0] - 7.0 * q[1] + 11.0 * q[2]) / 6.0;
+    let p1 = (-q[1] + 5.0 * q[2] + 2.0 * q[3]) / 6.0;
+    let p2 = (2.0 * q[2] + 5.0 * q[3] - q[4]) / 6.0;
+    // Smoothness indicators.
+    let b0 = 13.0 / 12.0 * (q[0] - 2.0 * q[1] + q[2]).powi(2)
+        + 0.25 * (q[0] - 4.0 * q[1] + 3.0 * q[2]).powi(2);
+    let b1 = 13.0 / 12.0 * (q[1] - 2.0 * q[2] + q[3]).powi(2) + 0.25 * (q[1] - q[3]).powi(2);
+    let b2 = 13.0 / 12.0 * (q[2] - 2.0 * q[3] + q[4]).powi(2)
+        + 0.25 * (3.0 * q[2] - 4.0 * q[3] + q[4]).powi(2);
+    // Nonlinear weights. Algebraically identical to
+    // aᵢ = dᵢ/(ε+bᵢ)² normalized by Σa, but with a single division:
+    // multiply each dᵢ by the other two (ε+b)² factors.
+    let t0 = (WENO_EPS + b0) * (WENO_EPS + b0);
+    let t1 = (WENO_EPS + b1) * (WENO_EPS + b1);
+    let t2 = (WENO_EPS + b2) * (WENO_EPS + b2);
+    let a0 = 0.1 * t1 * t2;
+    let a1 = 0.6 * t0 * t2;
+    let a2 = 0.3 * t0 * t1;
+    (a0 * p0 + a1 * p1 + a2 * p2) / (a0 + a1 + a2)
+}
+
+/// WENO5 left/right interface states at the face between cells `i-1` and
+/// `i`, given the six cell averages `q = [q_{i-3}, …, q_{i+2}]`.
+///
+/// Returns `(q_L, q_R)`: the left state reconstructed from the upwind
+/// stencil of cell `i-1` and the right state from the mirrored stencil of
+/// cell `i`.
+pub fn reconstruct_weno5(q: &[f64; 6]) -> (f64, f64) {
+    let left = weno5_left(&[q[0], q[1], q[2], q[3], q[4]]);
+    // Right-biased: mirror the stencil around the face.
+    let mirrored = [q[5], q[4], q[3], q[2], q[1]];
+    let right = weno5_left(&mirrored);
+    (left, right)
+}
+
+/// Slope-limited (minmod) linear reconstruction at the face between cells
+/// `i-1` and `i`, given `q = [q_{i-2}, q_{i-1}, q_i, q_{i+1}]`.
+///
+/// Returns `(q_L, q_R)`.
+pub fn reconstruct_linear(q: &[f64; 4]) -> (f64, f64) {
+    let slope_l = minmod(q[2] - q[1], q[1] - q[0]);
+    let slope_r = minmod(q[3] - q[2], q[2] - q[1]);
+    (q[1] + 0.5 * slope_l, q[2] - 0.5 * slope_r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weno5_exact_for_constants() {
+        let (l, r) = reconstruct_weno5(&[3.0; 6]);
+        assert!((l - 3.0).abs() < 1e-14);
+        assert!((r - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn weno5_exact_for_linear_data() {
+        // Cell averages of a linear function are the cell-center values;
+        // the interface value is their midpoint.
+        let q = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        let (l, r) = reconstruct_weno5(&q);
+        assert!((l - 2.5).abs() < 1e-10, "left {l}");
+        assert!((r - 2.5).abs() < 1e-10, "right {r}");
+    }
+
+    #[test]
+    fn weno5_high_order_for_smooth_quadratic() {
+        // q(x) = x² cell averages over unit cells centered at -2.5..2.5;
+        // exact point value at the face x=0.5... use cell-average formula:
+        // avg over [c-1/2, c+1/2] of x² = c² + 1/12.
+        let cells = [-2.5f64, -1.5, -0.5, 0.5, 1.5, 2.5];
+        let q: [f64; 6] = std::array::from_fn(|i| cells[i].powi(2) + 1.0 / 12.0);
+        let (l, r) = reconstruct_weno5(&q);
+        // Face between cells at -0.5 and 0.5 is x = 0: q(0) = 0.
+        assert!(l.abs() < 1e-2, "left {l}");
+        assert!(r.abs() < 1e-2, "right {r}");
+    }
+
+    #[test]
+    fn weno5_non_oscillatory_at_discontinuity() {
+        // Step from 0 to 1: the reconstruction must not overshoot.
+        let q = [0.0, 0.0, 0.0, 1.0, 1.0, 1.0];
+        let (l, r) = reconstruct_weno5(&q);
+        assert!((-1e-6..=1.0 + 1e-6).contains(&l), "left {l}");
+        assert!((-1e-6..=1.0 + 1e-6).contains(&r), "right {r}");
+        // The left state hugs the left plateau, the right the right one.
+        assert!(l < 0.2, "left {l}");
+        assert!(r > 0.8, "right {r}");
+    }
+
+    #[test]
+    fn linear_exact_for_linear_data() {
+        let (l, r) = reconstruct_linear(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((l - 2.5).abs() < 1e-14);
+        assert!((r - 2.5).abs() < 1e-14);
+    }
+
+    #[test]
+    fn linear_limited_at_extremum() {
+        let (l, r) = reconstruct_linear(&[0.0, 2.0, 2.0, 0.0]);
+        // Zero slopes at the plateau edges: face states equal cell values.
+        assert_eq!(l, 2.0);
+        assert_eq!(r, 2.0);
+    }
+
+    #[test]
+    fn linear_monotone_across_jump() {
+        let (l, r) = reconstruct_linear(&[0.0, 0.0, 1.0, 1.0]);
+        assert!(l >= 0.0 && l <= 1.0);
+        assert!(r >= 0.0 && r <= 1.0);
+        assert!(l <= r);
+    }
+}

@@ -1,0 +1,26 @@
+//! # vibe-comm
+//!
+//! A simulated MPI layer for single-process AMR runs: mesh blocks are
+//! assigned to *virtual ranks*, and every point-to-point ghost-zone message,
+//! flux-correction transfer, and collective operation is executed through an
+//! in-memory mailbox while being recorded as a communication event
+//! (local-copy vs. remote-message, byte and cell counts) for the platform
+//! cost model.
+//!
+//! The layer reproduces the structure of Parthenon's communication stack:
+//!
+//! * [`Communicator::start_receive`] — `StartReceiveBoundBufs` posts
+//!   asynchronous receives;
+//! * [`Communicator::send`] — `SendBoundBufs` packs and ships buffers
+//!   (non-blocking send for remote ranks, direct copy within a rank);
+//! * [`Communicator::try_receive`] — `ReceiveBoundBufs` probes
+//!   (`MPI_Iprobe`) and completes (`MPI_Test`) incoming messages;
+//! * [`BufferCache`] — the boundary-key sort/shuffle of
+//!   `InitializeBufferCache` and the allocation-heavy `RebuildBufferCache`,
+//!   both identified as serial hotspots in §VIII-A of the paper.
+
+pub mod cache;
+pub mod mailbox;
+
+pub use cache::{BoundaryKey, BufferCache, CacheConfig};
+pub use mailbox::{Communicator, MessageStatus};

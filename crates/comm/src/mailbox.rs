@@ -1,0 +1,324 @@
+//! The in-memory message mailbox simulating non-blocking MPI.
+
+use std::collections::HashMap;
+
+use vibe_prof::{CollectiveOp, Recorder, SerialWork, StepFunction};
+
+use crate::cache::BoundaryKey;
+
+/// Delivery state of one boundary message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessageStatus {
+    /// Receive posted, nothing sent yet.
+    Posted,
+    /// Data sent, not yet consumed by the receiver.
+    InFlight,
+    /// Consumed by the receiver this cycle.
+    Received,
+}
+
+#[derive(Debug)]
+struct Slot {
+    status: MessageStatus,
+    payload: Vec<f64>,
+    /// Remaining probe attempts before the message becomes visible —
+    /// models the MPI progress engine needing to be "nudged" by
+    /// `MPI_Iprobe` before remote data lands (§II-D).
+    arrival_delay: u32,
+}
+
+/// Simulated communicator over `nranks` virtual ranks.
+///
+/// All data lives in one address space; the rank structure only determines
+/// whether a transfer is recorded as a *local copy* or a *remote message* —
+/// the distinction that drives the MPI cost and memory models.
+///
+/// ```
+/// use vibe_comm::{BoundaryKey, Communicator};
+/// use vibe_prof::{Recorder, StepFunction};
+///
+/// let mut rec = Recorder::new();
+/// rec.begin_cycle(0);
+/// let mut comm = Communicator::new(4);
+/// let key = BoundaryKey::new(0, 1, 0);
+/// comm.start_receive(key);
+/// comm.send(key, vec![1.0, 2.0], 0, 2, 2, StepFunction::SendBoundBufs, &mut rec);
+/// let buf = comm.try_receive(key, &mut rec).expect("message arrived");
+/// assert_eq!(buf, vec![1.0, 2.0]);
+/// rec.end_cycle(1, 0, 0, 0);
+/// ```
+#[derive(Debug)]
+pub struct Communicator {
+    nranks: usize,
+    slots: HashMap<BoundaryKey, Slot>,
+    probe_calls: u64,
+    remote_delivery_delay: u32,
+}
+
+impl Communicator {
+    /// Creates a communicator over `nranks` virtual ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nranks == 0`.
+    pub fn new(nranks: usize) -> Self {
+        assert!(nranks > 0, "communicator needs at least one rank");
+        Self {
+            nranks,
+            slots: HashMap::new(),
+            probe_calls: 0,
+            remote_delivery_delay: 0,
+        }
+    }
+
+    /// Makes remote messages require `polls` probe attempts before they
+    /// are visible to `try_receive` — modeling the MPI progress engine
+    /// that `MPI_Iprobe` must nudge along (local copies always complete
+    /// immediately).
+    pub fn set_remote_delivery_delay(&mut self, polls: u32) {
+        self.remote_delivery_delay = polls;
+    }
+
+    /// Number of virtual ranks.
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// Posts an asynchronous receive for `key` (idempotent until satisfied).
+    pub fn start_receive(&mut self, key: BoundaryKey) {
+        self.slots.entry(key).or_insert(Slot {
+            status: MessageStatus::Posted,
+            payload: Vec::new(),
+            arrival_delay: 0,
+        });
+    }
+
+    /// Sends `payload` for `key`. Records a local copy when
+    /// `sender_rank == recv_rank`, a remote message otherwise. `cells` is
+    /// the ghost/flux cell count for workload accounting.
+    pub fn send(
+        &mut self,
+        key: BoundaryKey,
+        payload: Vec<f64>,
+        sender_rank: usize,
+        recv_rank: usize,
+        cells: u64,
+        func: StepFunction,
+        rec: &mut Recorder,
+    ) {
+        assert!(
+            sender_rank < self.nranks && recv_rank < self.nranks,
+            "rank out of range"
+        );
+        let bytes = (payload.len() * std::mem::size_of::<f64>()) as u64;
+        let local = sender_rank == recv_rank;
+        rec.record_p2p(func, bytes, cells, local);
+        let slot = self.slots.entry(key).or_insert(Slot {
+            status: MessageStatus::Posted,
+            payload: Vec::new(),
+            arrival_delay: 0,
+        });
+        slot.payload = payload;
+        slot.status = MessageStatus::InFlight;
+        slot.arrival_delay = if local { 0 } else { self.remote_delivery_delay };
+    }
+
+    /// Probes for and completes the message for `key`, consuming it.
+    /// Returns `None` when nothing has been sent yet (the receiver must poll
+    /// again — this is `MPI_Iprobe` nudging the progress engine).
+    pub fn try_receive(&mut self, key: BoundaryKey, rec: &mut Recorder) -> Option<Vec<f64>> {
+        self.probe_calls += 1;
+        rec.record_serial(StepFunction::ReceiveBoundBufs, SerialWork::BoundaryLoop(1));
+        let slot = self.slots.get_mut(&key)?;
+        if slot.status != MessageStatus::InFlight {
+            return None;
+        }
+        if slot.arrival_delay > 0 {
+            // The probe nudged the progress engine but the data has not
+            // landed yet.
+            slot.arrival_delay -= 1;
+            return None;
+        }
+        slot.status = MessageStatus::Received;
+        Some(std::mem::take(&mut slot.payload))
+    }
+
+    /// Delivery status of `key`, if known.
+    pub fn status(&self, key: BoundaryKey) -> Option<MessageStatus> {
+        self.slots.get(&key).map(|s| s.status)
+    }
+
+    /// Marks all buffers stale and clears payloads — the end-of-exchange
+    /// reset performed by `SetBounds`.
+    pub fn mark_all_stale(&mut self) {
+        self.slots.clear();
+    }
+
+    /// Total `MPI_Iprobe`-equivalent calls made (a serial-overhead input).
+    pub fn probe_calls(&self) -> u64 {
+        self.probe_calls
+    }
+
+    /// Executes an AllGather of `bytes_per_rank` payload from every rank
+    /// (used to aggregate refinement flags in `UpdateMeshBlockTree`).
+    pub fn all_gather(&mut self, func: StepFunction, bytes_per_rank: u64, rec: &mut Recorder) {
+        rec.record_collective(func, CollectiveOp::AllGather, bytes_per_rank * self.nranks as u64);
+    }
+
+    /// Executes an AllReduce of `bytes` (the timestep minimum in
+    /// `EstimateTimeStep`).
+    pub fn all_reduce(&mut self, func: StepFunction, bytes: u64, rec: &mut Recorder) {
+        rec.record_collective(func, CollectiveOp::AllReduce, bytes);
+    }
+
+    /// Number of currently in-flight (sent, unconsumed) messages.
+    pub fn in_flight(&self) -> usize {
+        self.slots
+            .values()
+            .filter(|s| s.status == MessageStatus::InFlight)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vibe_prof::CollectiveOp;
+
+    fn recorder() -> Recorder {
+        let mut r = Recorder::new();
+        r.begin_cycle(0);
+        r
+    }
+
+    #[test]
+    fn local_vs_remote_accounting() {
+        let mut rec = recorder();
+        let mut comm = Communicator::new(4);
+        comm.send(
+            BoundaryKey::new(0, 1, 0),
+            vec![0.0; 10],
+            2,
+            2,
+            10,
+            StepFunction::SendBoundBufs,
+            &mut rec,
+        );
+        comm.send(
+            BoundaryKey::new(1, 2, 0),
+            vec![0.0; 20],
+            1,
+            3,
+            20,
+            StepFunction::SendBoundBufs,
+            &mut rec,
+        );
+        rec.end_cycle(1, 0, 0, 0);
+        let c = &rec.totals().comm[&StepFunction::SendBoundBufs];
+        assert_eq!(c.p2p_local_messages, 1);
+        assert_eq!(c.p2p_remote_messages, 1);
+        assert_eq!(c.p2p_local_bytes, 80);
+        assert_eq!(c.p2p_remote_bytes, 160);
+        assert_eq!(c.cells_communicated, 30);
+    }
+
+    #[test]
+    fn receive_before_send_returns_none() {
+        let mut rec = recorder();
+        let mut comm = Communicator::new(2);
+        let key = BoundaryKey::new(0, 1, 3);
+        comm.start_receive(key);
+        assert_eq!(comm.status(key), Some(MessageStatus::Posted));
+        assert!(comm.try_receive(key, &mut rec).is_none());
+        comm.send(key, vec![5.0], 0, 1, 1, StepFunction::SendBoundBufs, &mut rec);
+        assert_eq!(comm.try_receive(key, &mut rec), Some(vec![5.0]));
+        assert_eq!(comm.status(key), Some(MessageStatus::Received));
+        // Second receive finds nothing new.
+        assert!(comm.try_receive(key, &mut rec).is_none());
+        rec.end_cycle(1, 0, 0, 0);
+    }
+
+    #[test]
+    fn probe_calls_counted() {
+        let mut rec = recorder();
+        let mut comm = Communicator::new(2);
+        let key = BoundaryKey::new(0, 1, 0);
+        comm.start_receive(key);
+        for _ in 0..5 {
+            let _ = comm.try_receive(key, &mut rec);
+        }
+        assert_eq!(comm.probe_calls(), 5);
+        rec.end_cycle(1, 0, 0, 0);
+        let s = &rec.totals().serial[&StepFunction::ReceiveBoundBufs];
+        assert_eq!(s.boundary_loop, 5);
+    }
+
+    #[test]
+    fn collectives_record_sizes() {
+        let mut rec = recorder();
+        let mut comm = Communicator::new(8);
+        comm.all_gather(StepFunction::UpdateMeshBlockTree, 64, &mut rec);
+        comm.all_reduce(StepFunction::EstimateTimeStep, 8, &mut rec);
+        rec.end_cycle(1, 0, 0, 0);
+        let tree = &rec.totals().comm[&StepFunction::UpdateMeshBlockTree];
+        assert_eq!(tree.collectives[&CollectiveOp::AllGather], (1, 512));
+        let est = &rec.totals().comm[&StepFunction::EstimateTimeStep];
+        assert_eq!(est.collectives[&CollectiveOp::AllReduce], (1, 8));
+    }
+
+    #[test]
+    fn stale_reset_clears_everything() {
+        let mut rec = recorder();
+        let mut comm = Communicator::new(2);
+        let key = BoundaryKey::new(0, 1, 0);
+        comm.send(key, vec![1.0], 0, 1, 1, StepFunction::SendBoundBufs, &mut rec);
+        assert_eq!(comm.in_flight(), 1);
+        comm.mark_all_stale();
+        assert_eq!(comm.in_flight(), 0);
+        assert_eq!(comm.status(key), None);
+        rec.end_cycle(1, 0, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank out of range")]
+    fn bad_rank_panics() {
+        let mut rec = recorder();
+        let mut comm = Communicator::new(2);
+        comm.send(
+            BoundaryKey::new(0, 1, 0),
+            vec![],
+            0,
+            5,
+            0,
+            StepFunction::SendBoundBufs,
+            &mut rec,
+        );
+    }
+
+    #[test]
+    fn remote_delivery_delay_requires_polls() {
+        let mut rec = recorder();
+        let mut comm = Communicator::new(2);
+        comm.set_remote_delivery_delay(2);
+        let key = BoundaryKey::new(0, 1, 0);
+        comm.send(key, vec![4.0], 0, 1, 1, StepFunction::SendBoundBufs, &mut rec);
+        assert!(comm.try_receive(key, &mut rec).is_none(), "first probe nudges");
+        assert!(comm.try_receive(key, &mut rec).is_none(), "second probe nudges");
+        assert_eq!(comm.try_receive(key, &mut rec), Some(vec![4.0]));
+        rec.end_cycle(1, 0, 0, 0);
+        // Three probes recorded as ReceiveBoundBufs serial work.
+        let s = &rec.totals().serial[&StepFunction::ReceiveBoundBufs];
+        assert_eq!(s.boundary_loop, 3);
+    }
+
+    #[test]
+    fn local_messages_ignore_delivery_delay() {
+        let mut rec = recorder();
+        let mut comm = Communicator::new(2);
+        comm.set_remote_delivery_delay(5);
+        let key = BoundaryKey::new(0, 1, 0);
+        comm.send(key, vec![1.0], 1, 1, 1, StepFunction::SendBoundBufs, &mut rec);
+        assert_eq!(comm.try_receive(key, &mut rec), Some(vec![1.0]));
+        rec.end_cycle(1, 0, 0, 0);
+    }
+}

@@ -1,0 +1,522 @@
+//! Ghost-cell communication: the StartReceiveBoundBufs → SendBoundBufs →
+//! ReceiveBoundBufs → SetBounds cycle, plus fine-coarse flux correction.
+
+use std::collections::HashMap;
+
+use vibe_comm::{BoundaryKey, BufferCache, CacheConfig, Communicator};
+use vibe_exec::{catalog, Launcher};
+use vibe_field::{
+    apply_flux, flux_correction_spec, pack, pack_flux, unpack, Metadata,
+};
+use vibe_field::buffer::compute_buffer_spec_with;
+use vibe_mesh::Mesh;
+use vibe_prof::{MemSpace, Recorder, SerialWork, StepFunction};
+
+use crate::block::BlockSlot;
+
+/// Configuration of the ghost exchange.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExchangeConfig {
+    /// Buffer-cache bookkeeping configuration (sort+shuffle toggle).
+    pub cache_config: CacheConfig,
+    /// Restrict fine data before sending (Parthenon's optimization); when
+    /// disabled, fine→coarse buffers grow by `2^dim` and the receiver
+    /// averages (ablation of the §II-C behavior).
+    pub restrict_on_send: bool,
+}
+
+impl Default for ExchangeConfig {
+    fn default() -> Self {
+        Self {
+            cache_config: CacheConfig::default(),
+            restrict_on_send: true,
+        }
+    }
+}
+
+/// Performs one full ghost-zone exchange of all [`Metadata::FILL_GHOST`]
+/// variables across all block boundaries.
+///
+/// Fine→coarse data is restricted on the sender; coarse→fine data ships at
+/// coarse resolution and is prolongated during `SetBounds` — matching
+/// Parthenon's communication volumes.
+///
+/// # Panics
+///
+/// Panics if `slots` is not indexed by gid consistently with `mesh`.
+pub fn exchange_ghosts(
+    mesh: &Mesh,
+    slots: &mut [BlockSlot],
+    comm: &mut Communicator,
+    cache: &mut BufferCache,
+    cfg: &ExchangeConfig,
+    rec: &mut Recorder,
+) {
+    assert_eq!(slots.len(), mesh.num_blocks(), "slots out of sync with mesh");
+    let shape = mesh.index_shape();
+    let nblocks = slots.len();
+
+    // Enumerate all boundaries: (key, receiver gid, sender gid, neighbor
+    // idx), with each buffer's spec computed once and reused by the send
+    // and set phases.
+    let mut keys = Vec::new();
+    let mut specs = Vec::new();
+    for r in 0..nblocks {
+        for (t, nb) in mesh.neighbors(r).iter().enumerate() {
+            let s = mesh.gid_at(&nb.loc).expect("neighbor is a leaf");
+            keys.push((BoundaryKey::new(s, r, t as u32), r, s, t));
+            specs.push(compute_buffer_spec_with(
+                &shape,
+                &mesh.block(r).loc(),
+                &nb.loc,
+                &nb.offset,
+                cfg.restrict_on_send,
+            ));
+        }
+    }
+
+    // --- StartReceiveBoundBufs ---
+    for (key, ..) in &keys {
+        comm.start_receive(*key);
+    }
+    rec.record_serial(
+        StepFunction::StartReceiveBoundBufs,
+        SerialWork::BoundaryLoop(keys.len() as u64),
+    );
+
+    // --- SendBoundBufs ---
+    cache.initialize(
+        keys.iter().map(|(k, ..)| *k).collect(),
+        &cfg.cache_config,
+        rec,
+    );
+    // Variable selection per block (string-keyed or cached, per container
+    // strategy); drain lookup counters into the profile.
+    let mut ids = Vec::new();
+    for slot in slots.iter_mut() {
+        ids = slot.data.pack_by_flag(Metadata::FILL_GHOST).ids().to_vec();
+        let lookups = slot.data.take_string_lookups();
+        if lookups > 0 {
+            rec.record_serial(StepFunction::SendBoundBufs, SerialWork::StringLookups(lookups));
+        }
+    }
+    rec.record_serial(
+        StepFunction::SendBoundBufs,
+        SerialWork::BoundaryLoop(keys.len() as u64),
+    );
+
+    let mut packed_cells_per_rank: HashMap<usize, u64> = HashMap::new();
+    let mut remote_bytes_live: i64 = 0;
+    for ((key, r, s, _t), spec) in keys.iter().zip(&specs) {
+        let mut buf = Vec::new();
+        let mut cells = 0u64;
+        for &id in &ids {
+            let var = slots[*s].data.var(id);
+            pack(spec, var.data(), &mut buf);
+            cells += spec.buffer_len(var.ncomp()) as u64;
+        }
+        let sender_rank = slots[*s].info.rank;
+        let recv_rank = slots[*r].info.rank;
+        if sender_rank != recv_rank {
+            remote_bytes_live += (buf.len() * 8) as i64;
+        }
+        *packed_cells_per_rank.entry(sender_rank).or_insert(0) += cells;
+        comm.send(
+            *key,
+            buf,
+            sender_rank,
+            recv_rank,
+            cells,
+            StepFunction::SendBoundBufs,
+            rec,
+        );
+    }
+    rec.record_alloc(MemSpace::MpiBuffers, remote_bytes_live);
+    {
+        let mut launcher = Launcher::new(rec);
+        for (_, cells) in packed_cells_per_rank.iter() {
+            launcher.record_only(&catalog::SEND_BOUND_BUFS, *cells, 1.0);
+        }
+    }
+
+    // --- ReceiveBoundBufs ---
+    // Poll until every message lands; remote messages may need several
+    // MPI_Iprobe nudges before the progress engine delivers them.
+    let mut received: HashMap<BoundaryKey, Vec<f64>> = HashMap::new();
+    let mut pending: Vec<BoundaryKey> = keys.iter().map(|(k, ..)| *k).collect();
+    let mut sweeps = 0u32;
+    while !pending.is_empty() {
+        pending.retain(|key| match comm.try_receive(*key, rec) {
+            Some(buf) => {
+                received.insert(*key, buf);
+                false
+            }
+            None => true,
+        });
+        sweeps += 1;
+        assert!(sweeps < 10_000, "ghost messages never arrived");
+    }
+    assert_eq!(received.len(), keys.len(), "all messages arrive in-process");
+
+    // --- SetBounds ---
+    let mut unpacked_cells_per_rank: HashMap<usize, u64> = HashMap::new();
+    for ((key, r, _s, _t), spec) in keys.iter().zip(&specs) {
+        let buf = &received[key];
+        let mut offset = 0usize;
+        let recv_rank = slots[*r].info.rank;
+        for &id in &ids {
+            let var = slots[*r].data.var_mut(id);
+            let len = spec.buffer_len(var.data().ncomp());
+            unpack(spec, &buf[offset..offset + len], var.data_mut());
+            offset += len;
+            *unpacked_cells_per_rank.entry(recv_rank).or_insert(0) += len as u64;
+        }
+    }
+    {
+        let mut launcher = Launcher::new(rec);
+        for (_, cells) in unpacked_cells_per_rank.iter() {
+            launcher.record_only(&catalog::SET_BOUNDS, *cells, 1.0);
+        }
+    }
+    rec.record_serial(
+        StepFunction::SetBounds,
+        SerialWork::BoundaryLoop(keys.len() as u64),
+    );
+    comm.mark_all_stale();
+    rec.record_alloc(MemSpace::MpiBuffers, -remote_bytes_live);
+}
+
+/// Fine→coarse flux correction across all level-boundary faces: restricted
+/// fine face fluxes replace the coarse neighbor's fluxes before the flux
+/// divergence (prevents conservation errors).
+pub fn flux_correction(
+    mesh: &Mesh,
+    slots: &mut [BlockSlot],
+    comm: &mut Communicator,
+    rec: &mut Recorder,
+) {
+    let shape = mesh.index_shape();
+    // Flux-bearing variable ids (identical registration on every block).
+    let ids = match slots.first_mut() {
+        Some(s) => s.data.pack_by_flag(Metadata::WITH_FLUXES).ids().to_vec(),
+        None => return,
+    };
+
+    // Phase 1: pack restricted fine fluxes.
+    let mut transfers = Vec::new();
+    for r in 0..slots.len() {
+        for (t, nb) in mesh.neighbors(r).iter().enumerate() {
+            if !(nb.is_finer() && nb.offset.order() == 1) {
+                continue;
+            }
+            let s = mesh.gid_at(&nb.loc).expect("neighbor is a leaf");
+            let spec = flux_correction_spec(&shape, &slots[r].info.loc, &nb.loc, &nb.offset);
+            let mut buf = Vec::new();
+            let mut cells = 0u64;
+            for &id in &ids {
+                let var = slots[s].data.var(id);
+                pack_flux(&spec, var, &mut buf);
+                cells += spec.buffer_len(var.ncomp()) as u64;
+            }
+            let key = BoundaryKey::new(s, r, 1000 + t as u32);
+            comm.send(
+                key,
+                buf,
+                slots[s].info.rank,
+                slots[r].info.rank,
+                cells,
+                StepFunction::FluxCorrection,
+                rec,
+            );
+            transfers.push((key, r, spec));
+        }
+    }
+    rec.record_serial(
+        StepFunction::FluxCorrection,
+        SerialWork::BoundaryLoop(transfers.len() as u64),
+    );
+
+    // Phase 2: receive and overwrite coarse fluxes (polling until the
+    // progress engine delivers).
+    for (key, r, spec) in transfers {
+        let buf = loop {
+            if let Some(buf) = comm.try_receive(key, rec) {
+                break buf;
+            }
+        };
+        let mut offset = 0usize;
+        for &id in &ids {
+            let var = slots[r].data.var_mut(id);
+            let len = spec.buffer_len(var.ncomp());
+            apply_flux(&spec, &buf[offset..offset + len], var);
+            offset += len;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{BlockInfo, BlockSlot};
+    use vibe_field::BlockData;
+    use vibe_mesh::{enforce_proper_nesting, AmrFlag, MeshParams};
+
+    fn build(mesh: &Mesh, ncomp: usize) -> Vec<BlockSlot> {
+        (0..mesh.num_blocks())
+            .map(|gid| {
+                let mut data = BlockData::new(mesh.index_shape());
+                data.add_variable(
+                    "q",
+                    ncomp,
+                    Metadata::INDEPENDENT | Metadata::FILL_GHOST | Metadata::WITH_FLUXES,
+                );
+                BlockSlot::new(BlockInfo::from_mesh(mesh, gid), data)
+            })
+            .collect()
+    }
+
+    fn uniform_mesh() -> Mesh {
+        Mesh::new(
+            MeshParams::builder()
+                .dim(2)
+                .mesh_cells(32)
+                .block_cells(8)
+                .max_levels(2)
+                .nghost(2)
+                .build()
+                .unwrap(),
+        )
+        .unwrap()
+    }
+
+    /// Fill every block's interior with a global linear function; after the
+    /// exchange, ghost cells must continue the same function.
+    #[test]
+    fn ghost_exchange_reproduces_linear_field_same_level() {
+        let mesh = uniform_mesh();
+        let mut slots = build(&mesh, 1);
+        for slot in &mut slots {
+            let geom = slot.info.geom;
+            let shape = *slot.data.shape();
+            let qid = slot.data.id_of("q").unwrap();
+            let var = slot.data.var_mut(qid);
+            for k in 0..shape.entire_d(2) {
+                for j in 0..shape.entire_d(1) {
+                    for i in 0..shape.entire_d(0) {
+                        let c = geom.cell_center(
+                            i as i64 - shape.nghost_d(0) as i64,
+                            j as i64 - shape.nghost_d(1) as i64,
+                            k as i64 - shape.nghost_d(2) as i64,
+                        );
+                        // Interior only; ghosts start poisoned.
+                        let interior = (shape.nghost_d(0)..shape.nghost_d(0) + shape.ncells()[0])
+                            .contains(&i)
+                            && (shape.nghost_d(1)..shape.nghost_d(1) + shape.ncells()[1])
+                                .contains(&j);
+                        let v = 2.0 * c[0] + 3.0 * c[1];
+                        var.data_mut().set(
+                            0,
+                            k,
+                            j,
+                            i,
+                            if interior { v } else { -999.0 },
+                        );
+                    }
+                }
+            }
+        }
+        let mut comm = Communicator::new(1);
+        let mut cache = BufferCache::new();
+        let mut rec = Recorder::new();
+        rec.begin_cycle(0);
+        exchange_ghosts(
+            &mesh,
+            &mut slots,
+            &mut comm,
+            &mut cache,
+            &ExchangeConfig::default(),
+            &mut rec,
+        );
+        rec.end_cycle(mesh.num_blocks() as u64, 0, 0, 0);
+
+        // Check interior-adjacent ghost cells on an interior block (gid of
+        // block at (1,1)): they must match the linear field (periodic wrap
+        // introduces discontinuity only at domain edges).
+        let gid = mesh
+            .gid_at(&vibe_mesh::LogicalLocation::new(0, 1, 1, 0))
+            .unwrap();
+        let slot = &slots[gid];
+        let shape = *slot.data.shape();
+        let geom = slot.info.geom;
+        let var = slot.data.vars().first().unwrap();
+        for (i, j) in [(0usize, 4usize), (11, 4), (4, 0), (4, 11), (1, 1)] {
+            let c = geom.cell_center(
+                i as i64 - shape.nghost_d(0) as i64,
+                j as i64 - shape.nghost_d(1) as i64,
+                0,
+            );
+            let want = 2.0 * c[0] + 3.0 * c[1];
+            let got = var.data().get(0, 0, j, i);
+            assert!(
+                (got - want).abs() < 1e-12,
+                "ghost ({i},{j}): got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn exchange_records_workload() {
+        let mesh = uniform_mesh();
+        let mut slots = build(&mesh, 2);
+        let mut comm = Communicator::new(4);
+        // Re-rank the slots to the mesh's 4-rank balance.
+        let mut mesh = mesh;
+        mesh.load_balance(4);
+        for (gid, slot) in slots.iter_mut().enumerate() {
+            slot.info.rank = mesh.block(gid).rank();
+        }
+        let mut cache = BufferCache::new();
+        let mut rec = Recorder::new();
+        rec.begin_cycle(0);
+        exchange_ghosts(
+            &mesh,
+            &mut slots,
+            &mut comm,
+            &mut cache,
+            &ExchangeConfig::default(),
+            &mut rec,
+        );
+        rec.end_cycle(16, 0, 0, 0);
+        let totals = rec.totals();
+        // 16 blocks x 8 neighbors = 128 boundaries.
+        let comm_t = &totals.comm[&StepFunction::SendBoundBufs];
+        assert_eq!(
+            comm_t.p2p_local_messages + comm_t.p2p_remote_messages,
+            128
+        );
+        assert!(comm_t.p2p_remote_messages > 0, "4 ranks => remote traffic");
+        assert!(comm_t.cells_communicated > 0);
+        // Pack/unpack kernels recorded per rank.
+        let send_k = &totals.kernels[&(StepFunction::SendBoundBufs, "SendBoundBufs")];
+        assert_eq!(send_k.launches, 4);
+        let set_k = &totals.kernels[&(StepFunction::SetBounds, "SetBounds")];
+        assert_eq!(set_k.launches, 4);
+        // MPI buffer memory returns to zero after SetBounds.
+        assert_eq!(rec.mem_current(MemSpace::MpiBuffers), 0);
+        assert!(rec.mem_peak(MemSpace::MpiBuffers) > 0);
+    }
+
+    #[test]
+    fn refined_mesh_exchange_constant_field_exact() {
+        let mut mesh = uniform_mesh();
+        let loc = mesh.block(5).loc();
+        let flags = [(loc, AmrFlag::Refine)].into_iter().collect();
+        let d = enforce_proper_nesting(mesh.tree(), &flags);
+        mesh.regrid(&d).unwrap();
+        let mut slots = build(&mesh, 1);
+        for slot in &mut slots {
+            let qid = slot.data.id_of("q").unwrap();
+            slot.data.var_mut(qid).data_mut().fill(7.25);
+        }
+        let mut comm = Communicator::new(1);
+        let mut cache = BufferCache::new();
+        let mut rec = Recorder::new();
+        rec.begin_cycle(0);
+        exchange_ghosts(
+            &mesh,
+            &mut slots,
+            &mut comm,
+            &mut cache,
+            &ExchangeConfig::default(),
+            &mut rec,
+        );
+        rec.end_cycle(mesh.num_blocks() as u64, 0, 0, 0);
+        for slot in &slots {
+            let var = &slot.data.vars()[0];
+            for v in var.data().as_slice() {
+                assert!((v - 7.25).abs() < 1e-13, "constant preserved everywhere");
+            }
+        }
+    }
+
+    #[test]
+    fn flux_correction_overwrites_coarse_faces() {
+        let mut mesh = uniform_mesh();
+        let loc = mesh.block(0).loc();
+        let flags = [(loc, AmrFlag::Refine)].into_iter().collect();
+        let d = enforce_proper_nesting(mesh.tree(), &flags);
+        mesh.regrid(&d).unwrap();
+        let mut slots = build(&mesh, 1);
+        // Fine blocks carry x-flux 2.0; coarse blocks 1.0.
+        for slot in &mut slots {
+            let level = slot.info.level;
+            let qid = slot.data.id_of("q").unwrap();
+            let fx = slot.data.var_mut(qid).flux_mut(0).unwrap();
+            fx.fill(if level > 0 { 2.0 } else { 1.0 });
+        }
+        let mut comm = Communicator::new(1);
+        let mut rec = Recorder::new();
+        rec.begin_cycle(0);
+        flux_correction(&mesh, &mut slots, &mut comm, &mut rec);
+        rec.end_cycle(mesh.num_blocks() as u64, 0, 0, 0);
+
+        // The coarse block at +x of the refined region must now carry the
+        // restricted fine flux (2.0) on its low-x face.
+        let coarse_gid = mesh
+            .gid_at(&vibe_mesh::LogicalLocation::new(0, 1, 0, 0))
+            .unwrap();
+        let slot = &slots[coarse_gid];
+        let shape = *slot.data.shape();
+        let fx = slot.data.vars()[0].flux(0).unwrap();
+        let g = shape.nghost();
+        // Tangential cells j = g..g+8 on face i = g.
+        let got = fx.get(0, 0, g + 1, g);
+        assert!((got - 2.0).abs() < 1e-13, "corrected flux, got {got}");
+        // An interior face is untouched.
+        let interior = fx.get(0, 0, g + 1, g + 3);
+        assert!((interior - 1.0).abs() < 1e-13);
+        // Workload recorded under FluxCorrection.
+        let c = &rec.totals().comm[&StepFunction::FluxCorrection];
+        assert!(c.cells_communicated > 0);
+    }
+
+    #[test]
+    fn disabling_restrict_on_send_inflates_fine_to_coarse_traffic() {
+        let mut mesh = uniform_mesh();
+        let loc = mesh.block(5).loc();
+        let flags = [(loc, AmrFlag::Refine)].into_iter().collect();
+        let d = enforce_proper_nesting(mesh.tree(), &flags);
+        mesh.regrid(&d).unwrap();
+
+        let cells = |restrict: bool| {
+            let mut slots = build(&mesh, 1);
+            for slot in &mut slots {
+                let qid = slot.data.id_of("q").unwrap();
+                slot.data.var_mut(qid).data_mut().fill(1.5);
+            }
+            let mut comm = Communicator::new(1);
+            let mut cache = BufferCache::new();
+            let mut rec = Recorder::new();
+            rec.begin_cycle(0);
+            let cfg = ExchangeConfig {
+                restrict_on_send: restrict,
+                ..ExchangeConfig::default()
+            };
+            exchange_ghosts(&mesh, &mut slots, &mut comm, &mut cache, &cfg, &mut rec);
+            rec.end_cycle(mesh.num_blocks() as u64, 0, 0, 0);
+            // Constant field stays exact under receiver-side averaging too.
+            for slot in &slots {
+                for v in slot.data.vars()[0].data().as_slice() {
+                    assert!((v - 1.5).abs() < 1e-13);
+                }
+            }
+            rec.totals().comm[&StepFunction::SendBoundBufs].cells_communicated
+        };
+        let with = cells(true);
+        let without = cells(false);
+        assert!(
+            without > with,
+            "unrestricted sends move more cells: {without} vs {with}"
+        );
+    }
+}

@@ -1,0 +1,837 @@
+//! The evolution driver: Parthenon's timestep loop.
+
+use std::collections::HashMap;
+
+use vibe_comm::{BufferCache, CacheConfig, Communicator};
+use vibe_exec::{catalog, Launcher};
+use vibe_field::{apply_face_bc, BcKind, BlockData, Metadata, PackStrategy, Side};
+use vibe_mesh::{enforce_proper_nesting, AmrFlag, CostModel, DerefGate, Mesh, RegridSource};
+use vibe_prof::{MemSpace, Recorder, SerialWork, StepFunction};
+
+use crate::amr::{prolongate_to_child, restrict_to_parent};
+use crate::block::{BlockInfo, BlockSlot};
+use crate::boundary::{exchange_ghosts, flux_correction, ExchangeConfig};
+use crate::package::Package;
+use crate::update::flux_divergence_update;
+
+/// Driver configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriverParams {
+    /// Virtual MPI ranks the mesh is decomposed over.
+    pub nranks: usize,
+    /// CFL safety factor for the timestep.
+    pub cfl: f64,
+    /// Variable-pack lookup strategy (string-keyed vs integer-cached —
+    /// the §VIII-A ablation).
+    pub pack_strategy: PackStrategy,
+    /// Buffer-cache bookkeeping configuration.
+    pub cache_config: CacheConfig,
+    /// Cycles between history (e.g. total mass) reductions.
+    pub history_every: u64,
+    /// Restrict fine data before sending in ghost exchanges.
+    pub restrict_on_send: bool,
+    /// Per-block workload cost estimator for load balancing.
+    pub cost_model: CostModel,
+    /// Probe attempts a remote message needs before it is delivered
+    /// (MPI progress-engine realism; 0 = instant).
+    pub remote_delivery_polls: u32,
+    /// Boundary condition at non-periodic physical domain faces.
+    pub boundary_condition: BcKind,
+}
+
+impl Default for DriverParams {
+    fn default() -> Self {
+        Self {
+            nranks: 1,
+            cfl: 0.4,
+            pack_strategy: PackStrategy::StringKeyed,
+            cache_config: CacheConfig::default(),
+            history_every: 1,
+            restrict_on_send: true,
+            cost_model: CostModel::Uniform,
+            remote_delivery_polls: 1,
+            boundary_condition: BcKind::Outflow,
+        }
+    }
+}
+
+/// Summary of one completed cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CycleSummary {
+    /// Cycle index (0-based).
+    pub cycle: u64,
+    /// Simulation time after the cycle.
+    pub time: f64,
+    /// Timestep used.
+    pub dt: f64,
+    /// Blocks after regridding.
+    pub nblocks: usize,
+    /// Blocks refined this cycle.
+    pub refined: usize,
+    /// Parent regions derefined this cycle.
+    pub derefined: usize,
+}
+
+/// The evolution driver: owns the mesh, block data, communication state,
+/// and profiler, and advances the simulation with the paper's timestep
+/// loop (`Step` → `LoadBalancingAndAMR` → `EstimateTimeStep`).
+#[derive(Debug)]
+pub struct Driver<P: Package> {
+    mesh: Mesh,
+    slots: Vec<BlockSlot>,
+    package: P,
+    params: DriverParams,
+    comm: Communicator,
+    cache: BufferCache,
+    rec: Recorder,
+    gate: DerefGate,
+    time: f64,
+    dt: f64,
+    cycle: u64,
+    history: Vec<(u64, Vec<f64>)>,
+}
+
+impl<P: Package> Driver<P> {
+    /// Creates a driver over `mesh` with `package` physics.
+    pub fn new(mesh: Mesh, package: P, params: DriverParams) -> Self {
+        let mut mesh = mesh;
+        mesh.load_balance(params.nranks);
+        let mut comm = Communicator::new(params.nranks);
+        comm.set_remote_delivery_delay(params.remote_delivery_polls);
+        let mut driver = Self {
+            comm,
+            cache: BufferCache::new(),
+            rec: Recorder::new(),
+            gate: DerefGate::new(mesh.params().deref_gap()),
+            time: 0.0,
+            dt: 0.0,
+            cycle: 0,
+            history: Vec::new(),
+            slots: Vec::new(),
+            mesh,
+            package,
+            params,
+        };
+        driver.slots = (0..driver.mesh.num_blocks())
+            .map(|gid| driver.new_slot(gid))
+            .collect();
+        let bytes: usize = driver.slots.iter().map(BlockSlot::nbytes).sum();
+        driver.rec.record_alloc(MemSpace::Kokkos, bytes as i64);
+        driver
+    }
+
+    fn new_slot(&self, gid: usize) -> BlockSlot {
+        let mut data = BlockData::new(self.mesh.index_shape());
+        data.set_pack_strategy(self.params.pack_strategy);
+        self.package.register(&mut data);
+        BlockSlot::new(BlockInfo::from_mesh(&self.mesh, gid), data)
+    }
+
+    /// The mesh.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// All block slots in gid order.
+    pub fn slots(&self) -> &[BlockSlot] {
+        &self.slots
+    }
+
+    /// Mutable block slots (initial conditions).
+    pub fn slots_mut(&mut self) -> &mut [BlockSlot] {
+        &mut self.slots
+    }
+
+    /// The workload recorder.
+    pub fn recorder(&self) -> &Recorder {
+        &self.rec
+    }
+
+    /// Consumes the driver, returning the recorder.
+    pub fn into_recorder(self) -> Recorder {
+        self.rec
+    }
+
+    /// Current simulation time.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Current timestep.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Completed cycles.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// History reductions recorded so far, as (cycle, values).
+    pub fn history(&self) -> &[(u64, Vec<f64>)] {
+        &self.history
+    }
+
+    /// Total live field bytes across all blocks.
+    pub fn total_field_bytes(&self) -> usize {
+        self.slots.iter().map(BlockSlot::nbytes).sum()
+    }
+
+    /// Applies `ic` to every block and adapts the initial mesh to it:
+    /// repeatedly tags, regrids, and re-applies `ic` until the hierarchy
+    /// stabilizes (at most `max_levels` rounds), then performs the initial
+    /// ghost exchange, derived fill, and timestep estimate.
+    ///
+    /// Work during initialization is not attributed to any cycle.
+    pub fn initialize(&mut self, ic: impl Fn(&BlockInfo, &mut BlockData)) {
+        let rounds = self.mesh.params().max_levels();
+        for slot in &mut self.slots {
+            ic(&slot.info, &mut slot.data);
+        }
+        for _ in 0..rounds {
+            self.exchange();
+            let flags = self.collect_tags();
+            let decision = enforce_proper_nesting(self.mesh.tree(), &flags);
+            if decision.is_empty() {
+                break;
+            }
+            self.apply_regrid(&decision);
+            for slot in &mut self.slots {
+                ic(&slot.info, &mut slot.data);
+            }
+        }
+        self.mesh.load_balance(self.params.nranks);
+        self.sync_ranks();
+        self.exchange();
+        self.with_rank_packs(StepFunction::FillDerived, |pkg, pack, rec| {
+            pkg.fill_derived(pack, rec);
+        });
+        self.estimate_dt();
+    }
+
+    /// Advances `n` cycles, returning their summaries.
+    pub fn run_cycles(&mut self, n: u64) -> Vec<CycleSummary> {
+        (0..n).map(|_| self.step()).collect()
+    }
+
+    /// Advances cycles until simulation time reaches `t_end` (bounded by
+    /// `max_cycles` as a safety stop), returning the summaries.
+    pub fn run_until(&mut self, t_end: f64, max_cycles: u64) -> Vec<CycleSummary> {
+        let mut out = Vec::new();
+        while self.time < t_end && (out.len() as u64) < max_cycles {
+            out.push(self.step());
+        }
+        out
+    }
+
+    /// Advances one full cycle: Step, LoadBalancingAndAMR, EstimateTimeStep.
+    pub fn step(&mut self) -> CycleSummary {
+        assert!(self.dt > 0.0, "initialize() must run before step()");
+        self.rec.begin_cycle(self.cycle);
+        let dt = self.dt;
+
+        // === Step: RK2 predictor + corrector ===
+        let two_stage: Vec<_> = {
+            let first = &mut self.slots[0];
+            first.data.pack_by_flag(Metadata::TWO_STAGE).ids().to_vec()
+        };
+        for slot in &mut self.slots {
+            slot.save_stage0(&two_stage);
+        }
+        for stage in 0..2 {
+            self.exchange();
+            self.with_rank_packs(StepFunction::CalculateFluxes, |pkg, pack, rec| {
+                pkg.calculate_fluxes(pack, rec);
+            });
+            flux_correction(&self.mesh, &mut self.slots, &mut self.comm, &mut self.rec);
+            let (a0, b, c) = if stage == 0 {
+                (0.0, 1.0, 1.0)
+            } else {
+                (0.5, 0.5, 0.5)
+            };
+            Self::for_rank_packs_static(
+                &self.mesh,
+                &mut self.slots,
+                |pack| {
+                    flux_divergence_update(pack, a0, b, c, dt, &mut self.rec);
+                },
+            );
+            self.with_rank_packs(StepFunction::FillDerived, |pkg, pack, rec| {
+                pkg.fill_derived(pack, rec);
+            });
+        }
+        if self.params.history_every > 0 && self.cycle % self.params.history_every == 0 {
+            let mut values: Vec<f64> = Vec::new();
+            self.with_rank_packs(StepFunction::MassHistory, |pkg, pack, rec| {
+                let v = pkg.history(pack, rec);
+                if values.is_empty() {
+                    values = v;
+                } else {
+                    for (acc, x) in values.iter_mut().zip(v) {
+                        *acc += x;
+                    }
+                }
+            });
+            self.history.push((self.cycle, values));
+        }
+
+        // === LoadBalancingAndAMR ===
+        let flags = self.collect_tags();
+        // UpdateMeshBlockTree: gather flags across ranks, reconcile.
+        self.comm.all_gather(
+            StepFunction::UpdateMeshBlockTree,
+            self.mesh.num_blocks() as u64,
+            &mut self.rec,
+        );
+        let mut decision = enforce_proper_nesting(self.mesh.tree(), &flags);
+        decision.derefine_parents = self
+            .gate
+            .filter(decision.derefine_parents, self.cycle);
+        self.rec.record_serial(
+            StepFunction::UpdateMeshBlockTree,
+            SerialWork::TreeOps(
+                (decision.refine.len() + decision.derefine_parents.len() + 1) as u64,
+            ),
+        );
+        self.rec.record_serial(
+            StepFunction::UpdateMeshBlockTree,
+            SerialWork::BlockLoop(self.mesh.num_blocks() as u64),
+        );
+        let (refined, derefined) = (decision.refine.len(), decision.derefine_parents.len());
+        if !decision.is_empty() {
+            for parent in &decision.derefine_parents {
+                self.gate.record_derefine(parent, self.cycle);
+            }
+            for loc in &decision.refine {
+                self.gate.record_refine(loc, self.cycle);
+            }
+            self.apply_regrid(&decision);
+        }
+        // Load balancing every cycle (paper configuration), with per-block
+        // workload costs.
+        let old_ranks: Vec<usize> = self.slots.iter().map(|s| s.info.rank).collect();
+        self.params.cost_model.apply(&mut self.mesh);
+        self.mesh.load_balance(self.params.nranks);
+        self.sync_ranks();
+        // Blocks that moved ranks ship their full state.
+        for (slot, &old_rank) in self.slots.iter().zip(&old_ranks) {
+            if slot.info.rank != old_rank {
+                let bytes = slot.nbytes() as u64;
+                let cells = slot.data.shape().interior_count() as u64;
+                self.rec.record_p2p(
+                    StepFunction::RedistributeAndRefineMeshBlocks,
+                    bytes,
+                    cells,
+                    false,
+                );
+            }
+        }
+        // Per-cycle list rebuild, cost computation, ownership update, and
+        // SetMeshBlockNeighbors — load balancing runs every cycle in the
+        // paper's configuration, and this scalar block management is the
+        // dominant serial cost of low-rank GPU runs (Fig. 11).
+        self.rec.record_serial(
+            StepFunction::RedistributeAndRefineMeshBlocks,
+            SerialWork::BlockLoop(8 * self.mesh.num_blocks() as u64),
+        );
+        let boundary_count: usize = (0..self.mesh.num_blocks())
+            .map(|g| self.mesh.neighbors(g).len())
+            .sum();
+        self.rec.record_serial(
+            StepFunction::RedistributeAndRefineMeshBlocks,
+            SerialWork::BoundaryLoop(boundary_count as u64),
+        );
+        // BuildTagMapAndBoundaryBuffers + SetMeshBlockNeighbors.
+        if !self.cache.is_valid() {
+            let nbuffers: usize = (0..self.mesh.num_blocks())
+                .map(|g| self.mesh.neighbors(g).len())
+                .sum();
+            self.cache
+                .rebuild(nbuffers as u64, nbuffers as u64 * 96, &mut self.rec);
+        }
+
+        // === EstimateTimeStep ===
+        self.estimate_dt();
+
+        let nblocks = self.mesh.num_blocks();
+        let cell_updates = self.mesh.total_interior_cells();
+        self.rec
+            .end_cycle(nblocks as u64, refined as u64, derefined as u64, cell_updates);
+        self.time += dt;
+        self.cycle += 1;
+        CycleSummary {
+            cycle: self.cycle - 1,
+            time: self.time,
+            dt,
+            nblocks,
+            refined,
+            derefined,
+        }
+    }
+
+    /// One ghost exchange over all FILL_GHOST variables, followed by
+    /// physical boundary conditions at non-periodic domain faces.
+    fn exchange(&mut self) {
+        let cfg = ExchangeConfig {
+            cache_config: self.params.cache_config,
+            restrict_on_send: self.params.restrict_on_send,
+        };
+        exchange_ghosts(
+            &self.mesh,
+            &mut self.slots,
+            &mut self.comm,
+            &mut self.cache,
+            &cfg,
+            &mut self.rec,
+        );
+        self.apply_physical_bcs();
+    }
+
+    /// Fills ghost zones at physical (non-periodic) domain faces.
+    fn apply_physical_bcs(&mut self) {
+        let periodic = self.mesh.params().region().periodic();
+        let dim = self.mesh.params().dim();
+        if periodic.iter().take(dim).all(|&p| p) {
+            return;
+        }
+        let shape = self.mesh.index_shape();
+        let kind = self.params.boundary_condition;
+        let ids: Vec<_> = {
+            let first = &mut self.slots[0];
+            first.data.pack_by_flag(Metadata::FILL_GHOST).ids().to_vec()
+        };
+        for slot in &mut self.slots {
+            let loc = slot.info.loc;
+            let level = loc.level();
+            for d in 0..dim {
+                if periodic[d] {
+                    continue;
+                }
+                let extent = (self.mesh.params().base_blocks()[d]) << level;
+                let sides = [
+                    (loc.lx_d(d) == 0, Side::Lower),
+                    (loc.lx_d(d) == extent - 1, Side::Upper),
+                ];
+                for (at_edge, side) in sides {
+                    if !at_edge {
+                        continue;
+                    }
+                    for &id in &ids {
+                        let var = slot.data.var_mut(id);
+                        let is_vector = var.ncomp() == 3;
+                        apply_face_bc(var.data_mut(), &shape, d, side, kind, is_vector);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Collects refinement tags from every rank's pack.
+    fn collect_tags(&mut self) -> HashMap<vibe_mesh::LogicalLocation, AmrFlag> {
+        let mut flags = HashMap::new();
+        let mesh = &self.mesh;
+        let rec = &mut self.rec;
+        let package = &self.package;
+        let mut start = 0usize;
+        let mut rest: &mut [BlockSlot] = &mut self.slots;
+        while !rest.is_empty() {
+            let rank = rest[0].info.rank;
+            let len = rest.iter().take_while(|s| s.info.rank == rank).count();
+            let (head, tail) = rest.split_at_mut(len);
+            let mut pack: Vec<&mut BlockSlot> = head.iter_mut().collect();
+            rec.record_serial(StepFunction::RefinementTag, SerialWork::BlockLoop(len as u64));
+            let pack_flags = package.tag_refinement(&mut pack, rec);
+            for (slot, f) in pack.iter().zip(pack_flags) {
+                flags.insert(slot.info.loc, f);
+            }
+            for slot in pack.iter_mut() {
+                let lookups = slot.data.take_string_lookups();
+                if lookups > 0 {
+                    rec.record_serial(
+                        StepFunction::RefinementTag,
+                        SerialWork::StringLookups(lookups),
+                    );
+                }
+            }
+            rest = tail;
+            start += len;
+        }
+        let _ = start;
+        let _ = mesh;
+        flags
+    }
+
+    /// Applies a regrid decision: tree surgery, new block list, data
+    /// movement via prolongation/restriction.
+    fn apply_regrid(&mut self, decision: &vibe_mesh::refinement::RegridDecision) {
+        let old_bytes: usize = self.slots.iter().map(BlockSlot::nbytes).sum();
+        let outcome = self.mesh.regrid(decision).expect("valid regrid decision");
+        let mut old: Vec<Option<BlockSlot>> = std::mem::take(&mut self.slots)
+            .into_iter()
+            .map(Some)
+            .collect();
+        let mut created = 0u64;
+        let mut moved_cells = 0u64;
+        let mut new_slots = Vec::with_capacity(outcome.sources.len());
+        for (gid, source) in outcome.sources.iter().enumerate() {
+            let slot = match source {
+                RegridSource::Unchanged { old_gid } => {
+                    let mut s = old[*old_gid].take().expect("unchanged block available");
+                    s.info = BlockInfo::from_mesh(&self.mesh, gid);
+                    s
+                }
+                RegridSource::Refined {
+                    parent_old_gid,
+                    child_index,
+                } => {
+                    created += 1;
+                    let mut s = self.new_slot(gid);
+                    let parent = old[*parent_old_gid].as_ref().expect("parent available");
+                    prolongate_to_child(&parent.data, *child_index, &mut s.data);
+                    moved_cells += s.data.shape().interior_count() as u64;
+                    s
+                }
+                RegridSource::Derefined { child_old_gids } => {
+                    created += 1;
+                    let mut s = self.new_slot(gid);
+                    let children: Vec<&BlockData> = child_old_gids
+                        .iter()
+                        .map(|&g| &old[g].as_ref().expect("child available").data)
+                        .collect();
+                    restrict_to_parent(&children, &mut s.data);
+                    moved_cells += s.data.shape().interior_count() as u64;
+                    s
+                }
+            };
+            new_slots.push(slot);
+        }
+        self.slots = new_slots;
+        let new_bytes: usize = self.slots.iter().map(BlockSlot::nbytes).sum();
+        self.rec
+            .record_alloc(MemSpace::Kokkos, new_bytes as i64 - old_bytes as i64);
+        self.rec.record_serial(
+            StepFunction::RedistributeAndRefineMeshBlocks,
+            SerialWork::Allocations(created),
+        );
+        // Data movement for new blocks plus neighbor/boundary rebuild
+        // (BuildTagMapAndBoundaryBuffers + SetMeshBlockNeighbors) are part
+        // of RedistributeAndRefineMeshBlocks.
+        if created > 0 {
+            let per_block = self
+                .slots
+                .first()
+                .map(|s| s.nbytes() as u64)
+                .unwrap_or(0);
+            self.rec.record_serial(
+                StepFunction::RedistributeAndRefineMeshBlocks,
+                SerialWork::HostCopyBytes(created * per_block),
+            );
+        }
+        let boundaries: usize = (0..self.mesh.num_blocks())
+            .map(|g| self.mesh.neighbors(g).len())
+            .sum();
+        self.rec.record_serial(
+            StepFunction::RedistributeAndRefineMeshBlocks,
+            SerialWork::BoundaryLoop(boundaries as u64),
+        );
+        if moved_cells > 0 {
+            Launcher::new(&mut self.rec).record_only(
+                &catalog::PROLONG_RESTRICT_LOOP,
+                moved_cells,
+                1.0,
+            );
+        }
+        self.cache.invalidate();
+    }
+
+    /// Restores the simulation clock from a checkpoint (used by
+    /// `snapshot::restore_driver`).
+    pub(crate) fn restore_clock(&mut self, time: f64, dt: f64, cycle: u64) {
+        self.time = time;
+        self.dt = dt;
+        self.cycle = cycle;
+    }
+
+    /// Refreshes slot rank fields from the mesh after load balancing.
+    fn sync_ranks(&mut self) {
+        for (gid, slot) in self.slots.iter_mut().enumerate() {
+            slot.info.rank = self.mesh.block(gid).rank();
+        }
+    }
+
+    /// Estimates the next timestep: per-rank kernel + AllReduce.
+    fn estimate_dt(&mut self) {
+        let cfl = self.params.cfl;
+        let mut min_dt = f64::INFINITY;
+        self.with_rank_packs(StepFunction::EstimateTimeStep, |pkg, pack, rec| {
+            min_dt = min_dt.min(pkg.estimate_dt(pack, rec));
+        });
+        self.comm
+            .all_reduce(StepFunction::EstimateTimeStep, 8, &mut self.rec);
+        self.dt = cfl * min_dt;
+    }
+
+    /// Runs `f` once per rank over that rank's contiguous pack of blocks,
+    /// then drains string-lookup counters into `func`'s serial profile.
+    fn with_rank_packs(
+        &mut self,
+        func: StepFunction,
+        mut f: impl FnMut(&P, &mut Vec<&mut BlockSlot>, &mut Recorder),
+    ) {
+        let package = &self.package;
+        let rec = &mut self.rec;
+        let mut rest: &mut [BlockSlot] = &mut self.slots;
+        while !rest.is_empty() {
+            let rank = rest[0].info.rank;
+            let len = rest.iter().take_while(|s| s.info.rank == rank).count();
+            let (head, tail) = rest.split_at_mut(len);
+            let mut pack: Vec<&mut BlockSlot> = head.iter_mut().collect();
+            f(package, &mut pack, rec);
+            for slot in pack.iter_mut() {
+                let lookups = slot.data.take_string_lookups();
+                if lookups > 0 {
+                    rec.record_serial(func, SerialWork::StringLookups(lookups));
+                }
+            }
+            rest = tail;
+        }
+    }
+
+    /// Like [`Self::with_rank_packs`] but for framework closures that need
+    /// `self.rec` captured separately.
+    fn for_rank_packs_static(
+        _mesh: &Mesh,
+        slots: &mut [BlockSlot],
+        mut f: impl FnMut(&mut Vec<&mut BlockSlot>),
+    ) {
+        let mut rest: &mut [BlockSlot] = slots;
+        while !rest.is_empty() {
+            let rank = rest[0].info.rank;
+            let len = rest.iter().take_while(|s| s.info.rank == rank).count();
+            let (head, tail) = rest.split_at_mut(len);
+            let mut pack: Vec<&mut BlockSlot> = head.iter_mut().collect();
+            f(&mut pack);
+            rest = tail;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::package::advect::Advect;
+    use vibe_mesh::MeshParams;
+
+    fn mesh() -> Mesh {
+        Mesh::new(
+            MeshParams::builder()
+                .dim(2)
+                .mesh_cells(32)
+                .block_cells(8)
+                .max_levels(2)
+                .nghost(2)
+                .deref_gap(4)
+                .build()
+                .unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn gaussian_ic(info: &BlockInfo, data: &mut BlockData) {
+        let shape = *data.shape();
+        let qid = data.id_of("q").unwrap();
+        let geom = info.geom;
+        let var = data.var_mut(qid);
+        for k in 0..shape.entire_d(2) {
+            for j in 0..shape.entire_d(1) {
+                for i in 0..shape.entire_d(0) {
+                    let c = geom.cell_center(
+                        i as i64 - shape.nghost_d(0) as i64,
+                        j as i64 - shape.nghost_d(1) as i64,
+                        0,
+                    );
+                    let r2 = (c[0] - 0.5).powi(2) + (c[1] - 0.5).powi(2);
+                    var.data_mut().set(0, k, j, i, (-r2 / 0.002).exp());
+                }
+            }
+        }
+    }
+
+    fn driver(nranks: usize) -> Driver<Advect> {
+        let params = DriverParams {
+            nranks,
+            cfl: 0.3,
+            ..DriverParams::default()
+        };
+        let pkg = Advect {
+            refine_above: 0.2,
+            deref_below: 0.02,
+        };
+        let mut d = Driver::new(mesh(), pkg, params);
+        d.initialize(gaussian_ic);
+        d
+    }
+
+    #[test]
+    fn initialization_adapts_mesh_to_feature() {
+        let d = driver(1);
+        // The sharp Gaussian must trigger refinement near the center.
+        assert!(
+            d.mesh().num_blocks() > 16,
+            "refined blocks expected, got {}",
+            d.mesh().num_blocks()
+        );
+        assert!(d.dt() > 0.0);
+    }
+
+    #[test]
+    fn steps_advance_time_and_record_cycles() {
+        let mut d = driver(2);
+        let summaries = d.run_cycles(3);
+        assert_eq!(summaries.len(), 3);
+        assert!(d.time() > 0.0);
+        assert_eq!(d.recorder().cycles().len(), 3);
+        let t = d.recorder().totals();
+        assert!(t.cell_updates > 0);
+        assert!(t.cells_communicated() > 0);
+        // Core kernels all present.
+        let names: Vec<&str> = t.kernels.keys().map(|(_, n)| *n).collect();
+        for want in [
+            "CalculateFluxes",
+            "WeightedSumData",
+            "FluxDivergence",
+            "SendBoundBufs",
+            "SetBounds",
+            "FirstDerivative",
+            "Est.Time.Mesh",
+        ] {
+            assert!(names.contains(&want), "missing kernel {want}");
+        }
+    }
+
+    #[test]
+    fn mass_is_conserved_across_steps() {
+        let mut d = driver(1);
+        d.run_cycles(4);
+        let hist = d.history();
+        assert!(hist.len() >= 4);
+        let first = hist.first().unwrap().1[0];
+        let last = hist.last().unwrap().1[0];
+        assert!(
+            ((first - last) / first).abs() < 1e-8,
+            "mass drifted: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn advection_moves_the_peak() {
+        let mut d = driver(1);
+        let find_peak = |d: &Driver<Advect>| {
+            let mut best = (0.0f64, [0.0f64; 3]);
+            for slot in d.slots() {
+                let shape = *slot.data.shape();
+                let var = &slot.data.vars()[0];
+                for j in 0..shape.entire_d(1) {
+                    for i in 0..shape.entire_d(0) {
+                        let v = var.data().get(0, 0, j, i);
+                        if v > best.0 {
+                            let c = slot.info.geom.cell_center(
+                                i as i64 - shape.nghost_d(0) as i64,
+                                j as i64 - shape.nghost_d(1) as i64,
+                                0,
+                            );
+                            best = (v, c);
+                        }
+                    }
+                }
+            }
+            best
+        };
+        let before = find_peak(&d);
+        for _ in 0..6 {
+            d.step();
+        }
+        let after = find_peak(&d);
+        assert!(
+            after.1[0] > before.1[0] + 1e-3,
+            "peak moved +x: {:?} -> {:?} (t={})",
+            before.1,
+            after.1,
+            d.time()
+        );
+    }
+
+    #[test]
+    fn rank_decomposition_generates_remote_traffic() {
+        let mut d = driver(4);
+        d.run_cycles(2);
+        let t = d.recorder().totals();
+        let send = &t.comm[&StepFunction::SendBoundBufs];
+        assert!(send.p2p_remote_messages > 0);
+        assert!(send.p2p_local_messages > 0);
+    }
+
+    #[test]
+    fn more_ranks_more_remote_fewer_local() {
+        let mut d1 = driver(1);
+        d1.run_cycles(2);
+        let mut d8 = driver(8);
+        d8.run_cycles(2);
+        let c1 = &d1.recorder().totals().comm[&StepFunction::SendBoundBufs];
+        let c8 = &d8.recorder().totals().comm[&StepFunction::SendBoundBufs];
+        assert_eq!(c1.p2p_remote_messages, 0, "single rank is all-local");
+        assert!(c8.p2p_remote_messages > 0);
+    }
+
+    #[test]
+    fn run_until_reaches_time_or_cap() {
+        let mut d = driver(1);
+        let s = d.run_until(1e9, 3);
+        assert_eq!(s.len(), 3, "cycle cap respected");
+        let t = d.time();
+        let s2 = d.run_until(t + 1e-9, 100);
+        assert_eq!(s2.len(), 1, "one step crosses the tiny horizon");
+    }
+
+    #[test]
+    fn kokkos_memory_tracked() {
+        let d = driver(1);
+        let bytes = d.recorder().mem_current(MemSpace::Kokkos);
+        assert!(bytes > 0);
+        assert_eq!(bytes as usize, d.total_field_bytes());
+    }
+
+    #[test]
+    fn string_vs_cached_lookup_strategies() {
+        let params_str = DriverParams {
+            nranks: 1,
+            pack_strategy: PackStrategy::StringKeyed,
+            ..DriverParams::default()
+        };
+        let params_int = DriverParams {
+            nranks: 1,
+            pack_strategy: PackStrategy::IntegerCached,
+            ..DriverParams::default()
+        };
+        let mut ds = Driver::new(mesh(), Advect::default(), params_str);
+        ds.initialize(gaussian_ic);
+        ds.run_cycles(2);
+        let mut di = Driver::new(mesh(), Advect::default(), params_int);
+        di.initialize(gaussian_ic);
+        di.run_cycles(2);
+        let lookups = |d: &Driver<Advect>| -> u64 {
+            d.recorder()
+                .totals()
+                .serial
+                .values()
+                .map(|s| s.string_lookups)
+                .sum()
+        };
+        assert!(
+            lookups(&ds) > lookups(&di),
+            "string-keyed strategy performs more lookups: {} vs {}",
+            lookups(&ds),
+            lookups(&di)
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! # vibe-core
+//!
+//! The Parthenon-style evolution driver: a block-structured AMR framework
+//! that owns the mesh, per-block field containers, ghost-cell
+//! communication, fine-coarse flux correction, refinement/derefinement with
+//! load balancing, and second-order Runge-Kutta time integration — while
+//! recording every kernel launch, serial management loop, message, and
+//! allocation for the platform performance model.
+//!
+//! Physics lives in a [`Package`] (e.g. the Burgers benchmark in
+//! `vibe-burgers`): packages register variables and provide the
+//! reconstruction/flux, timestep-estimate, derived-fill, and
+//! refinement-tagging kernels. The driver provides everything else,
+//! mirroring the paper's timestep loop (Fig. 3):
+//!
+//! ```text
+//! loop {
+//!     Step            — ghost exchange, CalculateFluxes, FluxCorrection,
+//!                       FluxDivergence, RK2 stage updates, FillDerived
+//!     LoadBalancingAndAMR — Refinement::Tag, UpdateMeshBlockTree,
+//!                       RedistributeAndRefineMeshBlocks
+//!     EstimateTimeStep
+//! }
+//! ```
+
+pub mod amr;
+pub mod block;
+pub mod boundary;
+pub mod driver;
+pub mod package;
+pub mod snapshot;
+pub mod tasks;
+pub mod update;
+
+pub use block::{BlockInfo, BlockSlot};
+pub use driver::{CycleSummary, Driver, DriverParams};
+pub use package::Package;
+pub use snapshot::{read_snapshot, restore_driver, Snapshot};
+pub use tasks::{TaskError, TaskId, TaskList, TaskStatus};
+
+pub use vibe_comm as comm;
+pub use vibe_exec as exec;
+pub use vibe_field as field;
+pub use vibe_mesh as mesh;
+pub use vibe_prof as prof;

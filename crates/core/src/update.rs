@@ -1,0 +1,192 @@
+//! Conserved-state updates: flux divergence and Runge-Kutta stage
+//! averaging (`WeightedSumData` + `FluxDivergence`).
+
+use vibe_exec::{catalog, Launcher};
+use vibe_field::Metadata;
+use vibe_mesh::index::IndexDomain;
+use vibe_prof::Recorder;
+
+use crate::block::BlockSlot;
+
+/// Applies one Runge-Kutta stage update to every flux-bearing independent
+/// variable in `pack`:
+///
+/// ```text
+/// u ← a0·u⁰ + b·u − c·dt·∇·F
+/// ```
+///
+/// where `u⁰` is the cycle-start copy saved by the driver. RK2 uses
+/// `(a0, b, c) = (0, 1, 1)` for the predictor and `(0.5, 0.5, 0.5)` for the
+/// corrector. Records the `WeightedSumData` and `FluxDivergence` kernels
+/// (one launch each per pack).
+pub fn flux_divergence_update(
+    pack: &mut [&mut BlockSlot],
+    a0: f64,
+    b: f64,
+    c: f64,
+    dt: f64,
+    rec: &mut Recorder,
+) {
+    let Some(first) = pack.first_mut() else {
+        return;
+    };
+    let shape = *first.data.shape();
+    let ids = first.data.pack_by_flag(Metadata::WITH_FLUXES).ids().to_vec();
+    let ncomp_total: usize = ids
+        .iter()
+        .map(|&id| first.data.var(id).ncomp())
+        .sum();
+    let comp_cells = (pack.len() * shape.interior_count() * ncomp_total) as u64;
+    {
+        let mut launcher = Launcher::new(rec);
+        launcher.record_only(&catalog::WEIGHTED_SUM_DATA, comp_cells, 1.0);
+        launcher.record_only(&catalog::FLUX_DIVERGENCE, comp_cells, 1.0);
+    }
+
+    let dim = shape.dim();
+    let ix = shape.range(0, IndexDomain::Interior);
+    let iy = shape.range(1, IndexDomain::Interior);
+    let iz = shape.range(2, IndexDomain::Interior);
+    for slot in pack.iter_mut() {
+        let dx = slot.info.geom.dx();
+        for &id in &ids {
+            let u0 = slot.stage0(id).clone();
+            let var = slot.data.var_mut(id);
+            let ncomp = var.ncomp();
+            for comp in 0..ncomp {
+                for k in iz.iter() {
+                    for j in iy.iter() {
+                        for i in ix.iter() {
+                            let (iu, ju, ku) = (i as usize, j as usize, k as usize);
+                            let mut div = 0.0;
+                            {
+                                let fx = var.flux(0).expect("x flux");
+                                div += (fx.get(comp, ku, ju, iu + 1) - fx.get(comp, ku, ju, iu))
+                                    / dx[0];
+                            }
+                            if dim >= 2 {
+                                let fy = var.flux(1).expect("y flux");
+                                div += (fy.get(comp, ku, ju + 1, iu) - fy.get(comp, ku, ju, iu))
+                                    / dx[1];
+                            }
+                            if dim >= 3 {
+                                let fz = var.flux(2).expect("z flux");
+                                div += (fz.get(comp, ku + 1, ju, iu) - fz.get(comp, ku, ju, iu))
+                                    / dx[2];
+                            }
+                            let old = var.data().get(comp, ku, ju, iu);
+                            let base = u0.get(comp, ku, ju, iu);
+                            let new = a0 * base + b * old - c * dt * div;
+                            var.data_mut().set(comp, ku, ju, iu, new);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{BlockInfo, BlockSlot};
+    use vibe_field::BlockData;
+    use vibe_mesh::{Mesh, MeshParams};
+
+    fn setup() -> (Mesh, BlockSlot) {
+        let mesh = Mesh::new(
+            MeshParams::builder()
+                .dim(1)
+                .mesh_cells(8)
+                .block_cells(8)
+                .max_levels(1)
+                .nghost(2)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let mut data = BlockData::new(mesh.index_shape());
+        data.add_variable(
+            "q",
+            1,
+            Metadata::INDEPENDENT | Metadata::WITH_FLUXES | Metadata::TWO_STAGE,
+        );
+        let slot = BlockSlot::new(BlockInfo::from_mesh(&mesh, 0), data);
+        (mesh, slot)
+    }
+
+    #[test]
+    fn zero_flux_means_no_change() {
+        let (_, mut slot) = setup();
+        let qid = slot.data.id_of("q").unwrap();
+        slot.data.var_mut(qid).data_mut().fill(2.0);
+        slot.save_stage0(&[qid]);
+        let mut rec = Recorder::new();
+        rec.begin_cycle(0);
+        let mut pack = vec![&mut slot];
+        flux_divergence_update(&mut pack, 0.0, 1.0, 1.0, 0.1, &mut rec);
+        rec.end_cycle(1, 0, 0, 0);
+        assert_eq!(slot.data.var(qid).data().get(0, 0, 0, 4), 2.0);
+    }
+
+    #[test]
+    fn constant_flux_gradient_advances_state() {
+        let (_, mut slot) = setup();
+        let qid = slot.data.id_of("q").unwrap();
+        slot.data.var_mut(qid).data_mut().fill(1.0);
+        slot.save_stage0(&[qid]);
+        // Fx = i  =>  dF/dx = 1/dx * 1 per cell; dx = 1/8.
+        {
+            let fx = slot.data.var_mut(qid).flux_mut(0).unwrap();
+            for i in 0..fx.shape()[3] {
+                fx.set(0, 0, 0, i, i as f64);
+            }
+        }
+        let mut rec = Recorder::new();
+        rec.begin_cycle(0);
+        let mut pack = vec![&mut slot];
+        flux_divergence_update(&mut pack, 0.0, 1.0, 1.0, 0.01, &mut rec);
+        rec.end_cycle(1, 0, 0, 0);
+        let dx = 1.0 / 8.0;
+        let want = 1.0 - 0.01 * (1.0 / dx);
+        let got = slot.data.var(qid).data().get(0, 0, 0, 4);
+        assert!((got - want).abs() < 1e-14, "{got} vs {want}");
+    }
+
+    #[test]
+    fn rk2_corrector_averages_states() {
+        let (_, mut slot) = setup();
+        let qid = slot.data.id_of("q").unwrap();
+        slot.data.var_mut(qid).data_mut().fill(4.0);
+        slot.save_stage0(&[qid]); // u0 = 4
+        slot.data.var_mut(qid).data_mut().fill(8.0); // u = 8 (predictor out)
+        let mut rec = Recorder::new();
+        rec.begin_cycle(0);
+        let mut pack = vec![&mut slot];
+        // Zero fluxes: u <- 0.5*4 + 0.5*8 = 6.
+        flux_divergence_update(&mut pack, 0.5, 0.5, 0.5, 0.1, &mut rec);
+        rec.end_cycle(1, 0, 0, 0);
+        assert_eq!(slot.data.var(qid).data().get(0, 0, 0, 5), 6.0);
+    }
+
+    #[test]
+    fn kernels_recorded_once_per_pack() {
+        let (_, mut slot) = setup();
+        let qid = slot.data.id_of("q").unwrap();
+        slot.save_stage0(&[qid]);
+        let mut rec = Recorder::new();
+        rec.begin_cycle(0);
+        let mut pack = vec![&mut slot];
+        flux_divergence_update(&mut pack, 0.0, 1.0, 1.0, 0.1, &mut rec);
+        rec.end_cycle(1, 0, 0, 0);
+        let t = rec.totals();
+        assert_eq!(
+            t.kernels[&(vibe_prof::StepFunction::WeightedSumData, "WeightedSumData")].launches,
+            1
+        );
+        assert_eq!(
+            t.kernels[&(vibe_prof::StepFunction::FluxDivergence, "FluxDivergence")].launches,
+            1
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Host-side data parallelism over mesh blocks.
+
+/// Applies `f` to every element of `items` using up to `nthreads` OS
+/// threads (crossbeam scoped), preserving no particular order. Each item is
+/// visited exactly once; with `nthreads <= 1` the loop runs inline.
+///
+/// This is the CPU analogue of launching one packed kernel over all mesh
+/// blocks owned by a rank: blocks are independent, so the per-block bodies
+/// run concurrently.
+///
+/// The index of each item is passed alongside the mutable reference.
+pub fn for_each_block_parallel<T, F>(items: &mut [T], nthreads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Send + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return;
+    }
+    let threads = nthreads.clamp(1, n);
+    if threads == 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    crossbeam::scope(|scope| {
+        for (c, chunk_items) in items.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move |_| {
+                for (off, item) in chunk_items.iter_mut().enumerate() {
+                    f(c * chunk + off, item);
+                }
+            });
+        }
+    })
+    .expect("block-parallel worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn visits_every_item_once_inline() {
+        let mut v = vec![0u64; 10];
+        for_each_block_parallel(&mut v, 1, |i, x| *x += i as u64 + 1);
+        let expected: Vec<u64> = (1..=10).collect();
+        assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn visits_every_item_once_parallel() {
+        let mut v = vec![0u64; 1000];
+        for_each_block_parallel(&mut v, 8, |i, x| *x = i as u64 * 3);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i as u64 * 3);
+        }
+    }
+
+    #[test]
+    fn thread_count_clamped_to_items() {
+        let counter = AtomicUsize::new(0);
+        let mut v = vec![(); 3];
+        for_each_block_parallel(&mut v, 64, |_, _| {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn empty_slice_is_noop() {
+        let mut v: Vec<u8> = Vec::new();
+        for_each_block_parallel(&mut v, 4, |_, _| panic!("must not run"));
+    }
+
+    #[test]
+    fn parallel_matches_serial_result() {
+        let mut a = vec![1.5f64; 257];
+        let mut b = a.clone();
+        for_each_block_parallel(&mut a, 1, |i, x| *x = (i as f64).sin() + *x);
+        for_each_block_parallel(&mut b, 7, |i, x| *x = (i as f64).sin() + *x);
+        assert_eq!(a, b);
+    }
+}

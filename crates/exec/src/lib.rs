@@ -1,0 +1,24 @@
+//! # vibe-exec
+//!
+//! A Kokkos-like execution abstraction: kernels are launched through a
+//! [`Launcher`] that executes the functional work on the host while
+//! recording a precise work descriptor (cells, FLOPs, bytes, launch count)
+//! into the profiler. Each kernel carries a static [`KernelDescriptor`]
+//! with the microarchitecturally relevant properties — registers per
+//! thread, CUDA block configuration, useful-warp fraction, inner-loop
+//! shape — that the hardware model uses to derive SM occupancy, warp
+//! utilization, and roofline timing exactly as NVIDIA Nsight Compute
+//! reports them for the real Parthenon kernels (paper Table III).
+//!
+//! Host-side data parallelism over mesh blocks is provided by
+//! [`for_each_block_parallel`], backed by crossbeam scoped threads.
+
+pub mod descriptor;
+pub mod host;
+pub mod launcher;
+pub mod registry;
+
+pub use descriptor::{catalog, InnerLoop, KernelDescriptor};
+pub use host::for_each_block_parallel;
+pub use launcher::{ghost_byte_multiplier, Launcher};
+pub use registry::WallRegistry;

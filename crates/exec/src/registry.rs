@@ -1,0 +1,132 @@
+//! Host wall-clock kernel registry: measures the *functional* execution
+//! time of each kernel body on this machine.
+//!
+//! The platform model produces modeled H100/SPR times; this registry
+//! records what the same kernels actually cost on the host running the
+//! simulation — useful for sanity checks ("is the functional sim spending
+//! time where the model says the work is?") and for profiling the harness
+//! itself.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Accumulated host wall time per kernel name.
+#[derive(Debug, Clone, Default)]
+pub struct WallRegistry {
+    entries: BTreeMap<&'static str, (u64, Duration)>,
+}
+
+impl WallRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Times `body` and accumulates it under `name`, returning its output.
+    pub fn time<R>(&mut self, name: &'static str, body: impl FnOnce() -> R) -> R {
+        let t0 = Instant::now();
+        let out = body();
+        let dt = t0.elapsed();
+        let e = self.entries.entry(name).or_insert((0, Duration::ZERO));
+        e.0 += 1;
+        e.1 += dt;
+        out
+    }
+
+    /// Invocation count and accumulated time for `name`.
+    pub fn get(&self, name: &str) -> Option<(u64, Duration)> {
+        self.entries.get(name).copied()
+    }
+
+    /// Total accumulated wall time across all kernels.
+    pub fn total(&self) -> Duration {
+        self.entries.values().map(|(_, d)| *d).sum()
+    }
+
+    /// Entries sorted by descending accumulated time.
+    pub fn by_cost(&self) -> Vec<(&'static str, u64, Duration)> {
+        let mut v: Vec<_> = self
+            .entries
+            .iter()
+            .map(|(n, (c, d))| (*n, *c, *d))
+            .collect();
+        v.sort_by(|a, b| b.2.cmp(&a.2));
+        v
+    }
+
+    /// Renders a host-profile table.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<28} {:>8} {:>12} {:>8}\n",
+            "kernel (host wall)", "calls", "total", "share"
+        ));
+        let total = self.total().as_secs_f64().max(1e-12);
+        for (name, calls, dur) in self.by_cost() {
+            out.push_str(&format!(
+                "{:<28} {:>8} {:>10.3}ms {:>7.1}%\n",
+                name,
+                calls,
+                dur.as_secs_f64() * 1e3,
+                dur.as_secs_f64() / total * 100.0
+            ));
+        }
+        out
+    }
+
+    /// Clears all entries.
+    pub fn reset(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_calls_and_time() {
+        let mut reg = WallRegistry::new();
+        let x = reg.time("spin", || {
+            let mut acc = 0u64;
+            for i in 0..10_000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(x > 0);
+        reg.time("spin", || ());
+        let (calls, dur) = reg.get("spin").unwrap();
+        assert_eq!(calls, 2);
+        assert!(dur > Duration::ZERO);
+        assert!(reg.get("missing").is_none());
+    }
+
+    #[test]
+    fn by_cost_sorted_descending() {
+        let mut reg = WallRegistry::new();
+        reg.time("cheap", || ());
+        reg.time("pricey", || std::thread::sleep(Duration::from_millis(2)));
+        let order = reg.by_cost();
+        assert_eq!(order[0].0, "pricey");
+        assert_eq!(order.len(), 2);
+    }
+
+    #[test]
+    fn table_includes_shares() {
+        let mut reg = WallRegistry::new();
+        reg.time("only", || std::thread::sleep(Duration::from_millis(1)));
+        let t = reg.table();
+        assert!(t.contains("only"));
+        assert!(t.contains("100.0%"));
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut reg = WallRegistry::new();
+        reg.time("a", || ());
+        reg.reset();
+        assert_eq!(reg.total(), Duration::ZERO);
+        assert!(reg.by_cost().is_empty());
+    }
+}

@@ -1,0 +1,247 @@
+//! Contiguous 4D arrays in `(component, k, j, i)` layout with `i` fastest.
+
+use std::fmt;
+
+/// A dense 4D `f64` array, the storage unit for one variable on one block.
+///
+/// The shape is `[ncomp, n3, n2, n1]` and the linear layout places `i`
+/// (dimension 1) fastest, matching Parthenon's `ParArray4D` and giving
+/// stencil sweeps unit-stride inner loops.
+///
+/// ```
+/// use vibe_field::Array4;
+///
+/// let mut a = Array4::zeros([2, 4, 4, 4]);
+/// a.set(1, 3, 2, 1, 7.5);
+/// assert_eq!(a.get(1, 3, 2, 1), 7.5);
+/// assert_eq!(a.len(), 2 * 4 * 4 * 4);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Array4 {
+    shape: [usize; 4],
+    data: Vec<f64>,
+}
+
+impl Array4 {
+    /// Allocates a zero-filled array of `shape = [ncomp, n3, n2, n1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any extent is zero.
+    pub fn zeros(shape: [usize; 4]) -> Self {
+        assert!(
+            shape.iter().all(|&n| n > 0),
+            "all extents must be positive, got {shape:?}"
+        );
+        Self {
+            shape,
+            data: vec![0.0; shape.iter().product()],
+        }
+    }
+
+    /// Allocates with every element set to `value`.
+    pub fn filled(shape: [usize; 4], value: f64) -> Self {
+        let mut a = Self::zeros(shape);
+        a.data.fill(value);
+        a
+    }
+
+    /// The shape `[ncomp, n3, n2, n1]`.
+    pub fn shape(&self) -> [usize; 4] {
+        self.shape
+    }
+
+    /// Number of components (extent of the slowest dimension).
+    pub fn ncomp(&self) -> usize {
+        self.shape[0]
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the array holds no elements (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Memory footprint of the payload in bytes.
+    pub fn nbytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f64>()
+    }
+
+    #[inline]
+    fn idx(&self, v: usize, k: usize, j: usize, i: usize) -> usize {
+        debug_assert!(
+            v < self.shape[0] && k < self.shape[1] && j < self.shape[2] && i < self.shape[3],
+            "index ({v}, {k}, {j}, {i}) out of bounds for shape {:?}",
+            self.shape
+        );
+        ((v * self.shape[1] + k) * self.shape[2] + j) * self.shape[3] + i
+    }
+
+    /// Element at `(v, k, j, i)`.
+    #[inline]
+    pub fn get(&self, v: usize, k: usize, j: usize, i: usize) -> f64 {
+        self.data[self.idx(v, k, j, i)]
+    }
+
+    /// Sets the element at `(v, k, j, i)`.
+    #[inline]
+    pub fn set(&mut self, v: usize, k: usize, j: usize, i: usize, value: f64) {
+        let idx = self.idx(v, k, j, i);
+        self.data[idx] = value;
+    }
+
+    /// Adds `value` to the element at `(v, k, j, i)`.
+    #[inline]
+    pub fn add(&mut self, v: usize, k: usize, j: usize, i: usize, value: f64) {
+        let idx = self.idx(v, k, j, i);
+        self.data[idx] += value;
+    }
+
+    /// Immutable view of the full payload.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the full payload.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Immutable view of one component's `(k, j, i)` cube.
+    pub fn comp_slice(&self, v: usize) -> &[f64] {
+        let n = self.shape[1] * self.shape[2] * self.shape[3];
+        &self.data[v * n..(v + 1) * n]
+    }
+
+    /// Mutable view of one component's `(k, j, i)` cube.
+    pub fn comp_slice_mut(&mut self, v: usize) -> &mut [f64] {
+        let n = self.shape[1] * self.shape[2] * self.shape[3];
+        &mut self.data[v * n..(v + 1) * n]
+    }
+
+    /// Sets every element to `value`.
+    pub fn fill(&mut self, value: f64) {
+        self.data.fill(value);
+    }
+
+    /// Copies all data from `other`, which must have the same shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn copy_from(&mut self, other: &Array4) {
+        assert_eq!(self.shape, other.shape, "shape mismatch in copy_from");
+        self.data.copy_from_slice(&other.data);
+    }
+
+    /// Element-wise `self = a*x + b*y` over arrays of identical shape — the
+    /// weighted-sum kernel used by Runge-Kutta stage averaging.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn weighted_sum(&mut self, a: f64, x: &Array4, b: f64, y: &Array4) {
+        assert_eq!(self.shape, x.shape, "shape mismatch (x) in weighted_sum");
+        assert_eq!(self.shape, y.shape, "shape mismatch (y) in weighted_sum");
+        for ((out, &xv), &yv) in self.data.iter_mut().zip(&x.data).zip(&y.data) {
+            *out = a * xv + b * yv;
+        }
+    }
+
+    /// Maximum absolute value over all elements (0.0 when empty).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, &v| m.max(v.abs()))
+    }
+}
+
+impl fmt::Debug for Array4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Array4")
+            .field("shape", &self.shape)
+            .field("len", &self.data.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_shape() {
+        let a = Array4::zeros([3, 2, 4, 5]);
+        assert_eq!(a.shape(), [3, 2, 4, 5]);
+        assert_eq!(a.len(), 120);
+        assert_eq!(a.ncomp(), 3);
+        assert!(a.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn layout_i_fastest() {
+        let mut a = Array4::zeros([1, 2, 2, 4]);
+        a.set(0, 0, 0, 1, 1.0);
+        a.set(0, 0, 1, 0, 2.0);
+        a.set(0, 1, 0, 0, 3.0);
+        assert_eq!(a.as_slice()[1], 1.0);
+        assert_eq!(a.as_slice()[4], 2.0);
+        assert_eq!(a.as_slice()[8], 3.0);
+    }
+
+    #[test]
+    fn comp_slices_partition_payload() {
+        let mut a = Array4::zeros([2, 2, 2, 2]);
+        a.comp_slice_mut(1).fill(5.0);
+        assert!(a.comp_slice(0).iter().all(|&v| v == 0.0));
+        assert!(a.comp_slice(1).iter().all(|&v| v == 5.0));
+        assert_eq!(a.get(1, 0, 0, 0), 5.0);
+    }
+
+    #[test]
+    fn weighted_sum_rk_average() {
+        let x = Array4::filled([1, 1, 1, 4], 2.0);
+        let y = Array4::filled([1, 1, 1, 4], 6.0);
+        let mut out = Array4::zeros([1, 1, 1, 4]);
+        out.weighted_sum(0.5, &x, 0.5, &y);
+        assert!(out.as_slice().iter().all(|&v| (v - 4.0).abs() < 1e-15));
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let mut a = Array4::zeros([1, 1, 1, 2]);
+        a.add(0, 0, 0, 0, 1.5);
+        a.add(0, 0, 0, 0, 2.5);
+        assert_eq!(a.get(0, 0, 0, 0), 4.0);
+    }
+
+    #[test]
+    fn max_abs_finds_extreme() {
+        let mut a = Array4::zeros([1, 1, 1, 3]);
+        a.set(0, 0, 0, 1, -7.0);
+        a.set(0, 0, 0, 2, 3.0);
+        assert_eq!(a.max_abs(), 7.0);
+    }
+
+    #[test]
+    fn nbytes_counts_f64() {
+        let a = Array4::zeros([1, 1, 1, 10]);
+        assert_eq!(a.nbytes(), 80);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn copy_from_shape_checked() {
+        let mut a = Array4::zeros([1, 1, 1, 2]);
+        let b = Array4::zeros([1, 1, 1, 3]);
+        a.copy_from(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_extent_rejected() {
+        Array4::zeros([1, 0, 1, 1]);
+    }
+}

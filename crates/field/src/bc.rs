@@ -1,0 +1,164 @@
+//! Physical boundary conditions for non-periodic domain edges.
+//!
+//! Ghost zones at block boundaries interior to the domain are filled by
+//! communication; at *physical* (non-periodic) domain edges there is no
+//! neighbor, so the framework fills them from boundary conditions after
+//! `SetBounds`. Faces are swept dimension by dimension over the full
+//! already-filled tangential extent, so edge and corner ghosts pick up the
+//! correct composition of conditions.
+
+use vibe_mesh::IndexShape;
+
+use crate::array::Array4;
+
+/// Boundary condition applied at a physical domain face.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BcKind {
+    /// Zero-gradient: copy the nearest interior cell outward.
+    #[default]
+    Outflow,
+    /// Mirror the interior across the face; vector variables (3 components)
+    /// have their face-normal component negated.
+    Reflect,
+}
+
+/// Which side of a dimension a face is on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// The low-coordinate face.
+    Lower,
+    /// The high-coordinate face.
+    Upper,
+}
+
+/// Fills the ghost band of `data` at the (`d`, `side`) face per `kind`.
+///
+/// `is_vector` marks variables whose component `d` is a face-normal vector
+/// component (negated under [`BcKind::Reflect`]).
+///
+/// The fill covers the *entire* extent in the other dimensions, so calling
+/// this for every physical face in dimension order also fills edge/corner
+/// ghosts consistently.
+pub fn apply_face_bc(
+    data: &mut Array4,
+    shape: &IndexShape,
+    d: usize,
+    side: Side,
+    kind: BcKind,
+    is_vector: bool,
+) {
+    let g = shape.nghost_d(d);
+    if g == 0 {
+        return;
+    }
+    let n = shape.ncells()[d];
+    let ncomp = data.ncomp();
+    let e = [shape.entire_d(0), shape.entire_d(1), shape.entire_d(2)];
+
+    for comp in 0..ncomp {
+        let negate = kind == BcKind::Reflect && is_vector && comp == d;
+        for layer in 0..g {
+            // Ghost index and its source interior index along d.
+            let (ghost, src) = match (side, kind) {
+                (Side::Lower, BcKind::Outflow) => (g - 1 - layer, g),
+                (Side::Upper, BcKind::Outflow) => (g + n + layer, g + n - 1),
+                (Side::Lower, BcKind::Reflect) => (g - 1 - layer, g + layer),
+                (Side::Upper, BcKind::Reflect) => (g + n + layer, g + n - 1 - layer),
+            };
+            // Sweep the full extent of the other two dimensions.
+            let (oa, ob) = match d {
+                0 => (1usize, 2usize),
+                1 => (0, 2),
+                _ => (0, 1),
+            };
+            for b in 0..e[ob] {
+                for a in 0..e[oa] {
+                    let mut gidx = [0usize; 3];
+                    let mut sidx = [0usize; 3];
+                    gidx[d] = ghost;
+                    sidx[d] = src;
+                    gidx[oa] = a;
+                    sidx[oa] = a;
+                    gidx[ob] = b;
+                    sidx[ob] = b;
+                    let mut v = data.get(comp, sidx[2], sidx[1], sidx[0]);
+                    if negate {
+                        v = -v;
+                    }
+                    data.set(comp, gidx[2], gidx[1], gidx[0], v);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> IndexShape {
+        IndexShape::new([4, 4, 1], 2, 2)
+    }
+
+    fn filled() -> Array4 {
+        let mut a = Array4::zeros([1, 1, 8, 8]);
+        // Interior: value = 10*ii + jj (interior coords).
+        for j in 0..4 {
+            for i in 0..4 {
+                a.set(0, 0, 2 + j, 2 + i, (10 * i + j) as f64);
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn outflow_copies_edge_cells() {
+        let mut a = filled();
+        apply_face_bc(&mut a, &shape(), 0, Side::Lower, BcKind::Outflow, false);
+        // Ghosts i=0,1 copy interior i=2 (first interior).
+        for j in 2..6 {
+            let edge = a.get(0, 0, j, 2);
+            assert_eq!(a.get(0, 0, j, 0), edge);
+            assert_eq!(a.get(0, 0, j, 1), edge);
+        }
+    }
+
+    #[test]
+    fn reflect_mirrors_layers() {
+        let mut a = filled();
+        apply_face_bc(&mut a, &shape(), 0, Side::Upper, BcKind::Reflect, false);
+        for j in 2..6 {
+            // layer 0: ghost i=6 mirrors interior i=5; layer 1: i=7 <- i=4.
+            assert_eq!(a.get(0, 0, j, 6), a.get(0, 0, j, 5));
+            assert_eq!(a.get(0, 0, j, 7), a.get(0, 0, j, 4));
+        }
+    }
+
+    #[test]
+    fn reflect_negates_normal_vector_component() {
+        let mut a = Array4::filled([3, 1, 8, 8], 2.0);
+        apply_face_bc(&mut a, &shape(), 0, Side::Lower, BcKind::Reflect, true);
+        // Component 0 (x of a vector) negated at the x face; others copied.
+        assert_eq!(a.get(0, 0, 3, 1), -2.0);
+        assert_eq!(a.get(1, 0, 3, 1), 2.0);
+        assert_eq!(a.get(2, 0, 3, 1), 2.0);
+    }
+
+    #[test]
+    fn corner_ghosts_filled_after_both_dims() {
+        let mut a = filled();
+        apply_face_bc(&mut a, &shape(), 0, Side::Lower, BcKind::Outflow, false);
+        apply_face_bc(&mut a, &shape(), 1, Side::Lower, BcKind::Outflow, false);
+        // Corner ghost (0,0) = interior corner value (0,0) -> 0.0 via
+        // two-step outflow.
+        assert_eq!(a.get(0, 0, 0, 0), a.get(0, 0, 2, 2));
+    }
+
+    #[test]
+    fn inactive_dimension_is_noop() {
+        let mut a = filled();
+        let before = a.clone();
+        apply_face_bc(&mut a, &shape(), 2, Side::Lower, BcKind::Outflow, false);
+        assert_eq!(a, before, "no z ghosts in 2D");
+    }
+}

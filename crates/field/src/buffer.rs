@@ -1,0 +1,699 @@
+//! Ghost-zone boundary buffers: region computation, packing, and unpacking.
+//!
+//! For every (receiver block, neighbor) pair a [`BufferSpec`] describes
+//! exactly which cells travel:
+//!
+//! * **Same level** — the sender's boundary-adjacent interior cells are
+//!   copied verbatim into the receiver's ghost band ([`BufferMode::Copy`]).
+//! * **Sender finer** — the sender *restricts* (averages) its fine cells to
+//!   the receiver's resolution before packing, halving the per-dimension data
+//!   volume ([`BufferMode::RestrictFromFine`]); this is Parthenon's
+//!   restrict-before-send optimization.
+//! * **Sender coarser** — the sender packs a coarse-resolution region
+//!   (dilated by one cell for the interpolation stencil); the receiver
+//!   performs slope-limited linear *prolongation* into its fine ghost cells
+//!   ([`BufferMode::CoarseToFine`]).
+//!
+//! All index arithmetic is done in "unwrapped" global cell coordinates so
+//! periodic wraparound needs no special cases.
+
+use vibe_mesh::{IndexRange, IndexShape, LogicalLocation, NeighborOffset};
+
+use crate::array::Array4;
+use crate::ops::{minmod, restrict_average};
+use crate::region::Region;
+
+/// Resampling relationship between sender and receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BufferMode {
+    /// Sender at the same level: verbatim copy.
+    Copy,
+    /// Sender one level finer: averaged to receiver resolution on the sender.
+    RestrictFromFine,
+    /// Sender one level finer but *without* restrict-on-send: all fine cells
+    /// ship and the receiver averages — the ablation of Parthenon's
+    /// restriction-before-communication optimization (2^dim more data).
+    FineUnrestricted,
+    /// Sender one level coarser: coarse data shipped, prolongated on receive.
+    CoarseToFine,
+}
+
+/// Complete description of one boundary buffer between a receiver block and
+/// one of its neighbors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BufferSpec {
+    mode: BufferMode,
+    shape: IndexShape,
+    /// Receiver storage indices to fill.
+    recv_region: Region,
+    /// Receiver block origin in receiver-level global cells.
+    recv_origin: [i64; 3],
+    /// Sender block origin in sender-level global cells (unwrapped).
+    sender_origin: [i64; 3],
+    /// For [`BufferMode::CoarseToFine`]: packed coarse global-index region.
+    packed_region: Option<Region>,
+}
+
+impl BufferSpec {
+    /// Resampling mode.
+    pub fn mode(&self) -> BufferMode {
+        self.mode
+    }
+
+    /// Receiver storage region filled by this buffer.
+    pub fn recv_region(&self) -> &Region {
+        &self.recv_region
+    }
+
+    /// Number of cells per component actually transmitted — the paper's
+    /// "communicated cells" count. For restriction this is the *coarse*
+    /// count; for coarse-to-fine it is the packed coarse region.
+    pub fn cells_per_component(&self) -> usize {
+        match self.mode {
+            BufferMode::Copy | BufferMode::RestrictFromFine => self.recv_region.count(),
+            BufferMode::FineUnrestricted => {
+                self.recv_region.count() << self.shape.dim()
+            }
+            BufferMode::CoarseToFine => self
+                .packed_region
+                .as_ref()
+                .map_or(0, Region::count),
+        }
+    }
+
+    /// Total buffer length in `f64` elements for `ncomp` components.
+    pub fn buffer_len(&self, ncomp: usize) -> usize {
+        ncomp * self.cells_per_component()
+    }
+}
+
+/// Computes the [`BufferSpec`] for data flowing from the neighbor leaf
+/// `s_loc` into receiver `r_loc` across `offset` (direction receiver →
+/// sender). `level_diff = s_loc.level() - r_loc.level()` must be −1, 0, or
+/// +1 (the 2:1 rule).
+///
+/// # Panics
+///
+/// Panics if the level difference is outside ±1, or if restriction would
+/// need fine cells beyond the sender's interior (`2·nghost > ncells`).
+pub fn compute_buffer_spec(
+    shape: &IndexShape,
+    r_loc: &LogicalLocation,
+    s_loc: &LogicalLocation,
+    offset: &NeighborOffset,
+) -> BufferSpec {
+    compute_buffer_spec_with(shape, r_loc, s_loc, offset, true)
+}
+
+/// Like [`compute_buffer_spec`] but with restrict-on-send togglable:
+/// `restrict_on_send = false` ships fine data at full resolution and
+/// averages on the receiver (the paper's §II-C ablation; the buffer grows
+/// by `2^dim`).
+pub fn compute_buffer_spec_with(
+    shape: &IndexShape,
+    r_loc: &LogicalLocation,
+    s_loc: &LogicalLocation,
+    offset: &NeighborOffset,
+    restrict_on_send: bool,
+) -> BufferSpec {
+    let level_diff = s_loc.level() - r_loc.level();
+    assert!(
+        (-1..=1).contains(&level_diff),
+        "2:1 violation: level diff {level_diff}"
+    );
+    let dim = shape.dim();
+    let off = offset.components();
+
+    let mut recv_lo = [0i64; 3];
+    let mut recv_hi = [0i64; 3];
+    let mut recv_origin = [0i64; 3];
+    let mut sender_origin = [0i64; 3];
+
+    for d in 0..3 {
+        let g = shape.nghost_d(d) as i64;
+        let n = shape.ncells()[d] as i64;
+        let o = off[d];
+        recv_origin[d] = r_loc.lx_d(d) * n;
+
+        // Receiver storage band.
+        let (lo, hi) = if d >= dim || o == 0 {
+            if level_diff == 1 && d < dim {
+                // Sender (finer) covers only half the tangential span.
+                let b = s_loc.lx_d(d) & 1;
+                (g + b * n / 2, g + (b + 1) * n / 2 - 1)
+            } else {
+                (g, g + n - 1)
+            }
+        } else if o > 0 {
+            (g + n, g + n + g - 1)
+        } else {
+            (0, g - 1)
+        };
+        recv_lo[d] = lo;
+        recv_hi[d] = hi;
+
+        // Unwrapped sender block coordinate at the sender's level.
+        let candidate = r_loc.lx_d(d) + o;
+        let u = match level_diff {
+            0 => candidate,
+            1 => {
+                if d < dim {
+                    2 * candidate + (s_loc.lx_d(d) & 1)
+                } else {
+                    candidate
+                }
+            }
+            _ => {
+                if d < dim {
+                    candidate.div_euclid(2)
+                } else {
+                    candidate
+                }
+            }
+        };
+        sender_origin[d] = u * n;
+        if level_diff == 1 && d < dim && o != 0 {
+            assert!(
+                2 * g <= n,
+                "restriction needs 2*nghost <= block cells ({g} vs {n})"
+            );
+        }
+    }
+
+    let recv_region = Region::new([
+        IndexRange::new(recv_lo[0], recv_hi[0]),
+        IndexRange::new(recv_lo[1], recv_hi[1]),
+        IndexRange::new(recv_lo[2], recv_hi[2]),
+    ]);
+
+    let (mode, packed_region) = match level_diff {
+        0 => (BufferMode::Copy, None),
+        1 if restrict_on_send => (BufferMode::RestrictFromFine, None),
+        1 => (BufferMode::FineUnrestricted, None),
+        _ => {
+            // Coarse global region covering the receiver's ghost band,
+            // dilated by one for the interpolation stencil, clamped to the
+            // sender's interior.
+            let mut ranges = [IndexRange::new(0, 0); 3];
+            for d in 0..3 {
+                if d >= dim {
+                    ranges[d] = IndexRange::new(0, 0);
+                    continue;
+                }
+                let g = shape.nghost_d(d) as i64;
+                let n = shape.ncells()[d] as i64;
+                let gmin = recv_origin[d] + recv_lo[d] - g;
+                let gmax = recv_origin[d] + recv_hi[d] - g;
+                let cmin = (gmin.div_euclid(2) - 1).max(sender_origin[d]);
+                let cmax = (gmax.div_euclid(2) + 1).min(sender_origin[d] + n - 1);
+                ranges[d] = IndexRange::new(cmin, cmax);
+            }
+            (BufferMode::CoarseToFine, Some(Region::new(ranges)))
+        }
+    };
+
+    BufferSpec {
+        mode,
+        shape: *shape,
+        recv_region,
+        recv_origin,
+        sender_origin,
+        packed_region,
+    }
+}
+
+/// Packs the sender-side data for `spec` into `out` (appending), covering
+/// all components of `sender`.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if computed sender indices fall outside the
+/// sender's storage — which indicates an inconsistent spec.
+pub fn pack(spec: &BufferSpec, sender: &Array4, out: &mut Vec<f64>) {
+    let shape = &spec.shape;
+    let dim = shape.dim();
+    let ncomp = sender.ncomp();
+    out.reserve(spec.buffer_len(ncomp));
+    match spec.mode {
+        BufferMode::Copy => {
+            // Receiver and sender indices differ by a constant shift per
+            // dimension, so whole x-rows copy contiguously.
+            let shift: [i64; 3] =
+                std::array::from_fn(|d| spec.recv_origin[d] - spec.sender_origin[d]);
+            let (ex, ey) = (shape.entire_d(0), shape.entire_d(1));
+            let per_comp = shape.entire_count();
+            let r = spec.recv_region.ranges();
+            let row_len = r[0].len();
+            let data = sender.as_slice();
+            for v in 0..ncomp {
+                for k in r[2].iter() {
+                    for j in r[1].iter() {
+                        let si = (r[0].s + shift[0]) as usize;
+                        let sj = (j + shift[1]) as usize;
+                        let sk = (k + shift[2]) as usize;
+                        let start = v * per_comp + (sk * ey + sj) * ex + si;
+                        out.extend_from_slice(&data[start..start + row_len]);
+                    }
+                }
+            }
+        }
+        BufferMode::RestrictFromFine => {
+            let twos = |d: usize| if d < dim { 2i64 } else { 1 };
+            let mut fine_vals = Vec::with_capacity(8);
+            for v in 0..ncomp {
+                for (i, j, k) in spec.recv_region.iter() {
+                    let gr = [
+                        spec.recv_origin[0] + i - shape.nghost_d(0) as i64,
+                        spec.recv_origin[1] + j - shape.nghost_d(1) as i64,
+                        spec.recv_origin[2] + k - shape.nghost_d(2) as i64,
+                    ];
+                    fine_vals.clear();
+                    for tz in 0..twos(2) {
+                        for ty in 0..twos(1) {
+                            for tx in 0..twos(0) {
+                                let fg = [
+                                    gr[0] * twos(0) + tx,
+                                    gr[1] * twos(1) + ty,
+                                    gr[2] * twos(2) + tz,
+                                ];
+                                let s = storage_from_global(shape, &spec.sender_origin, fg);
+                                fine_vals.push(sender.get(v, s[2], s[1], s[0]));
+                            }
+                        }
+                    }
+                    out.push(restrict_average(&fine_vals));
+                }
+            }
+        }
+        BufferMode::FineUnrestricted => {
+            // Ship every fine cell covering the receiver's ghost band, in
+            // (receiver cell, fine sub-cell) order.
+            let twos = |d: usize| if d < dim { 2i64 } else { 1 };
+            for v in 0..ncomp {
+                for (i, j, k) in spec.recv_region.iter() {
+                    let gr = [
+                        spec.recv_origin[0] + i - shape.nghost_d(0) as i64,
+                        spec.recv_origin[1] + j - shape.nghost_d(1) as i64,
+                        spec.recv_origin[2] + k - shape.nghost_d(2) as i64,
+                    ];
+                    for tz in 0..twos(2) {
+                        for ty in 0..twos(1) {
+                            for tx in 0..twos(0) {
+                                let fg = [
+                                    gr[0] * twos(0) + tx,
+                                    gr[1] * twos(1) + ty,
+                                    gr[2] * twos(2) + tz,
+                                ];
+                                let s = storage_from_global(shape, &spec.sender_origin, fg);
+                                out.push(sender.get(v, s[2], s[1], s[0]));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        BufferMode::CoarseToFine => {
+            // Packed coarse rows are contiguous in the sender's storage.
+            let packed = spec.packed_region.as_ref().expect("packed region present");
+            let (ex, ey) = (shape.entire_d(0), shape.entire_d(1));
+            let per_comp = shape.entire_count();
+            let r = packed.ranges();
+            let row_len = r[0].len();
+            let data = sender.as_slice();
+            for v in 0..ncomp {
+                for ck in r[2].iter() {
+                    for cj in r[1].iter() {
+                        let s = storage_from_global(
+                            shape,
+                            &spec.sender_origin,
+                            [r[0].s, cj, ck],
+                        );
+                        let start = v * per_comp + (s[2] * ey + s[1]) * ex + s[0];
+                        out.extend_from_slice(&data[start..start + row_len]);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Unpacks `buf` into the receiver's ghost cells per `spec`.
+///
+/// For [`BufferMode::CoarseToFine`] this performs per-dimension
+/// slope-limited linear prolongation from the packed coarse region; slopes
+/// are zeroed where the stencil leaves the packed region.
+///
+/// # Panics
+///
+/// Panics if `buf` is shorter than the spec requires for `recv.ncomp()`
+/// components.
+pub fn unpack(spec: &BufferSpec, buf: &[f64], recv: &mut Array4) {
+    let shape = &spec.shape;
+    let dim = shape.dim();
+    let ncomp = recv.ncomp();
+    assert!(
+        buf.len() >= spec.buffer_len(ncomp),
+        "buffer too short: {} < {}",
+        buf.len(),
+        spec.buffer_len(ncomp)
+    );
+    match spec.mode {
+        BufferMode::FineUnrestricted => {
+            // Average each group of 2^dim shipped fine cells on the receiver.
+            let group = 1usize << dim;
+            let mut idx = 0usize;
+            for v in 0..ncomp {
+                for (i, j, k) in spec.recv_region.iter() {
+                    let avg = restrict_average(&buf[idx..idx + group]);
+                    recv.set(v, k as usize, j as usize, i as usize, avg);
+                    idx += group;
+                }
+            }
+        }
+        BufferMode::Copy | BufferMode::RestrictFromFine => {
+            // Receiver x-rows are contiguous: copy row-wise.
+            let (ex, ey) = (shape.entire_d(0), shape.entire_d(1));
+            let per_comp = shape.entire_count();
+            let r = spec.recv_region.ranges();
+            let row_len = r[0].len();
+            let data = recv.as_mut_slice();
+            let mut idx = 0usize;
+            for v in 0..ncomp {
+                for k in r[2].iter() {
+                    for j in r[1].iter() {
+                        let start =
+                            v * per_comp + (k as usize * ey + j as usize) * ex + r[0].s as usize;
+                        data[start..start + row_len].copy_from_slice(&buf[idx..idx + row_len]);
+                        idx += row_len;
+                    }
+                }
+            }
+        }
+        BufferMode::CoarseToFine => {
+            let packed = spec.packed_region.as_ref().expect("packed region present");
+            let per_comp = packed.count();
+            let ex = packed.extent(0);
+            let ey = packed.extent(1);
+            let at = |v: usize, ci: i64, cj: i64, ck: i64| -> f64 {
+                let pi = (ci - packed.range(0).s) as usize;
+                let pj = (cj - packed.range(1).s) as usize;
+                let pk = (ck - packed.range(2).s) as usize;
+                buf[v * per_comp + (pk * ey + pj) * ex + pi]
+            };
+            for v in 0..ncomp {
+                for (i, j, k) in spec.recv_region.iter() {
+                    // Fine global index of this ghost cell.
+                    let gr = [
+                        spec.recv_origin[0] + i - shape.nghost_d(0) as i64,
+                        spec.recv_origin[1] + j - shape.nghost_d(1) as i64,
+                        spec.recv_origin[2] + k - shape.nghost_d(2) as i64,
+                    ];
+                    let c0 = [
+                        gr[0].div_euclid(2),
+                        gr[1].div_euclid(2),
+                        gr[2].div_euclid(2),
+                    ];
+                    let center = at(v, c0[0], c0[1], c0[2]);
+                    let mut value = center;
+                    for d in 0..dim {
+                        let sign = if gr[d].rem_euclid(2) == 0 { -1.0 } else { 1.0 };
+                        let mut lo = c0;
+                        let mut hi = c0;
+                        lo[d] -= 1;
+                        hi[d] += 1;
+                        let left = packed
+                            .contains(lo[0], lo[1], lo[2])
+                            .then(|| at(v, lo[0], lo[1], lo[2]));
+                        let right = packed
+                            .contains(hi[0], hi[1], hi[2])
+                            .then(|| at(v, hi[0], hi[1], hi[2]));
+                        // Limited where both neighbors exist; one-sided at the
+                        // packed-region edge (exact for linear fields, which
+                        // always occurs on the face shared with the receiver).
+                        let slope = match (left, right) {
+                            (Some(l), Some(r)) => minmod(r - center, center - l),
+                            (Some(l), None) => center - l,
+                            (None, Some(r)) => r - center,
+                            (None, None) => 0.0,
+                        };
+                        value += 0.25 * sign * slope;
+                    }
+                    recv.set(v, k as usize, j as usize, i as usize, value);
+                }
+            }
+        }
+    }
+}
+
+/// Converts a sender-level global cell index to sender storage indices.
+#[inline]
+fn storage_from_global(shape: &IndexShape, sender_origin: &[i64; 3], global: [i64; 3]) -> [usize; 3] {
+    let mut s = [0usize; 3];
+    for d in 0..3 {
+        let idx = global[d] - sender_origin[d] + shape.nghost_d(d) as i64;
+        debug_assert!(
+            idx >= 0 && (idx as usize) < shape.entire_d(d),
+            "sender storage index {idx} out of bounds in dim {d} (global {global:?}, origin {sender_origin:?})"
+        );
+        s[d] = idx as usize;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vibe_mesh::{BlockTree, NeighborOffset};
+
+    /// Fills a block's storage with a function of *global* (unwrapped) cell
+    /// index at the block's own level, given the block origin.
+    fn fill_global(shape: &IndexShape, origin: [i64; 3], f: impl Fn(i64, i64, i64) -> f64) -> Array4 {
+        let mut a = Array4::zeros([
+            1,
+            shape.entire_d(2),
+            shape.entire_d(1),
+            shape.entire_d(0),
+        ]);
+        for k in 0..shape.entire_d(2) {
+            for j in 0..shape.entire_d(1) {
+                for i in 0..shape.entire_d(0) {
+                    let g = [
+                        origin[0] + i as i64 - shape.nghost_d(0) as i64,
+                        origin[1] + j as i64 - shape.nghost_d(1) as i64,
+                        origin[2] + k as i64 - shape.nghost_d(2) as i64,
+                    ];
+                    a.set(0, k, j, i, f(g[0], g[1], g[2]));
+                }
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn same_level_face_copy_2d() {
+        let shape = IndexShape::new([8, 8, 1], 2, 2);
+        let r = LogicalLocation::new(0, 0, 0, 0);
+        let s = LogicalLocation::new(0, 1, 0, 0);
+        let off = NeighborOffset::new(1, 0, 0);
+        let spec = compute_buffer_spec(&shape, &r, &s, &off);
+        assert_eq!(spec.mode(), BufferMode::Copy);
+        // Ghost band: 2 wide in x, 8 in y.
+        assert_eq!(spec.cells_per_component(), 16);
+
+        let sender = fill_global(&shape, [8, 0, 0], |x, y, _| (x * 100 + y) as f64);
+        let mut buf = Vec::new();
+        pack(&spec, &sender, &mut buf);
+        assert_eq!(buf.len(), 16);
+
+        let mut recv = Array4::zeros([1, 1, 12, 12]);
+        unpack(&spec, &buf, &mut recv);
+        // Receiver ghost (i=10, j=2+jj) is global x=8, y=jj.
+        for jj in 0..8i64 {
+            let got = recv.get(0, 0, (jj + 2) as usize, 10);
+            assert_eq!(got, (8 * 100 + jj) as f64);
+        }
+    }
+
+    #[test]
+    fn same_level_periodic_wrap_copy() {
+        // Receiver at x=0, sender across the periodic -x boundary.
+        let shape = IndexShape::new([4, 4, 1], 2, 2);
+        let tree = BlockTree::new(2, [4, 4, 1], 1, [true, true, true]);
+        let r = LogicalLocation::new(0, 0, 1, 0);
+        let nbs = vibe_mesh::neighbor::find_neighbors(&tree, &r);
+        let nb = nbs
+            .iter()
+            .find(|n| n.offset.components() == [-1, 0, 0])
+            .unwrap();
+        assert_eq!(nb.loc.lx_d(0), 3, "wrapped neighbor");
+        let spec = compute_buffer_spec(&shape, &r, &nb.loc, &nb.offset);
+        // Data: unwrapped x for sender origin computed as l_r - 1 = -1.
+        let sender = fill_global(&shape, [-4, 4, 0], |x, _, _| x as f64);
+        let mut buf = Vec::new();
+        pack(&spec, &sender, &mut buf);
+        let mut recv = Array4::zeros([1, 1, 8, 8]);
+        unpack(&spec, &buf, &mut recv);
+        // Receiver ghost i=0 is global x=-2; i=1 is x=-1.
+        assert_eq!(recv.get(0, 0, 2, 0), -2.0);
+        assert_eq!(recv.get(0, 0, 2, 1), -1.0);
+    }
+
+    #[test]
+    fn restrict_from_fine_averages() {
+        // 2D, sender one level finer across the +x face.
+        let shape = IndexShape::new([8, 8, 1], 2, 2);
+        let r = LogicalLocation::new(0, 0, 0, 0);
+        // Fine neighbor: child (bit x = 0 facing us, bit y = 0) of (0,1,0,0).
+        let s = LogicalLocation::new(1, 2, 0, 0);
+        let off = NeighborOffset::new(1, 0, 0);
+        let spec = compute_buffer_spec(&shape, &r, &s, &off);
+        assert_eq!(spec.mode(), BufferMode::RestrictFromFine);
+        // Tangential half-span: 4 coarse cells; depth 2 => 8 cells.
+        assert_eq!(spec.cells_per_component(), 8);
+
+        // Fine sender data = fine global x index; restriction of cells
+        // 2X, 2X+1 gives 2X + 0.5.
+        let sender = fill_global(&shape, [16, 0, 0], |x, _, _| x as f64);
+        let mut buf = Vec::new();
+        pack(&spec, &sender, &mut buf);
+        let mut recv = Array4::zeros([1, 1, 12, 12]);
+        unpack(&spec, &buf, &mut recv);
+        // Receiver ghost i=10 => coarse global x=8 => fine 16,17 => 16.5.
+        assert_eq!(recv.get(0, 0, 2, 10), 16.5);
+        assert_eq!(recv.get(0, 0, 2, 11), 18.5);
+    }
+
+    #[test]
+    fn restriction_halves_communicated_volume() {
+        let shape = IndexShape::new([16, 16, 16], 4, 3);
+        let r = LogicalLocation::new(0, 0, 0, 0);
+        let fine = LogicalLocation::new(1, 2, 0, 0);
+        let same = LogicalLocation::new(0, 1, 0, 0);
+        let off = NeighborOffset::new(1, 0, 0);
+        let spec_fine = compute_buffer_spec(&shape, &r, &fine, &off);
+        let spec_same = compute_buffer_spec(&shape, &r, &same, &off);
+        // Fine neighbor covers a quarter of the face; same-level covers all.
+        assert_eq!(spec_same.cells_per_component(), 4 * 16 * 16);
+        assert_eq!(spec_fine.cells_per_component(), 4 * 8 * 8);
+    }
+
+    #[test]
+    fn coarse_to_fine_prolongates_linear_field_exactly() {
+        // 2D: receiver fine at level 1, sender coarse at level 0 across -x.
+        let shape = IndexShape::new([8, 8, 1], 2, 2);
+        let r = LogicalLocation::new(1, 2, 0, 0); // fine block, parent (0,1,0,0)
+        let s = LogicalLocation::new(0, 0, 0, 0);
+        let off = NeighborOffset::new(-1, 0, 0);
+        let spec = compute_buffer_spec(&shape, &r, &s, &off);
+        assert_eq!(spec.mode(), BufferMode::CoarseToFine);
+
+        // Coarse sender holds a linear field of *coarse* global x:
+        // value = x_c. A fine ghost at fine global xf has coarse parent
+        // xc = floor(xf/2) and exact linear value (xf - xc*2 == 0 ? -0.25 : +0.25) + xc.
+        let sender = fill_global(&shape, [0, 0, 0], |x, _, _| x as f64);
+        let mut buf = Vec::new();
+        pack(&spec, &sender, &mut buf);
+        assert_eq!(buf.len(), spec.buffer_len(1));
+        let mut recv = Array4::zeros([1, 1, 12, 12]);
+        unpack(&spec, &buf, &mut recv);
+        // Receiver fine ghosts i=0,1 are fine global x=14,15 (block origin 16).
+        // x=14: coarse 7, even => 7 - 0.25; x=15: odd => 7 + 0.25.
+        assert!((recv.get(0, 0, 2, 0) - 6.75).abs() < 1e-14);
+        assert!((recv.get(0, 0, 2, 1) - 7.25).abs() < 1e-14);
+    }
+
+    #[test]
+    fn coarse_to_fine_ships_fewer_cells_than_fine_ghosts() {
+        let shape = IndexShape::new([16, 16, 16], 4, 3);
+        let r = LogicalLocation::new(1, 2, 0, 0);
+        let s = LogicalLocation::new(0, 0, 0, 0);
+        let off = NeighborOffset::new(-1, 0, 0);
+        let spec = compute_buffer_spec(&shape, &r, &s, &off);
+        let fine_ghost_cells = spec.recv_region().count();
+        assert_eq!(fine_ghost_cells, 4 * 16 * 16);
+        assert!(spec.cells_per_component() < fine_ghost_cells);
+    }
+
+    #[test]
+    fn corner_buffer_3d() {
+        let shape = IndexShape::new([8, 8, 8], 4, 3);
+        let r = LogicalLocation::new(0, 1, 1, 1);
+        let s = LogicalLocation::new(0, 2, 2, 2);
+        let off = NeighborOffset::new(1, 1, 1);
+        let spec = compute_buffer_spec(&shape, &r, &s, &off);
+        assert_eq!(spec.cells_per_component(), 4 * 4 * 4);
+        let sender = fill_global(&shape, [16, 16, 16], |x, y, z| (x + y + z) as f64);
+        let mut buf = Vec::new();
+        pack(&spec, &sender, &mut buf);
+        let mut recv = Array4::zeros([1, 16, 16, 16]);
+        unpack(&spec, &buf, &mut recv);
+        // Ghost (12,12,12) is global (16,16,16): value 48.
+        assert_eq!(recv.get(0, 12, 12, 12), 48.0);
+    }
+
+    #[test]
+    fn multi_component_pack_order() {
+        let shape = IndexShape::new([4, 4, 1], 2, 2);
+        let r = LogicalLocation::new(0, 0, 0, 0);
+        let s = LogicalLocation::new(0, 1, 0, 0);
+        let off = NeighborOffset::new(1, 0, 0);
+        let spec = compute_buffer_spec(&shape, &r, &s, &off);
+        let mut sender = Array4::zeros([2, 1, 8, 8]);
+        sender.comp_slice_mut(0).fill(1.0);
+        sender.comp_slice_mut(1).fill(2.0);
+        let mut buf = Vec::new();
+        pack(&spec, &sender, &mut buf);
+        assert_eq!(buf.len(), spec.buffer_len(2));
+        let per = spec.cells_per_component();
+        assert!(buf[..per].iter().all(|&v| v == 1.0));
+        assert!(buf[per..].iter().all(|&v| v == 2.0));
+        let mut recv = Array4::zeros([2, 1, 8, 8]);
+        unpack(&spec, &buf, &mut recv);
+        assert_eq!(recv.get(0, 0, 2, 6), 1.0);
+        assert_eq!(recv.get(1, 0, 2, 6), 2.0);
+    }
+
+    #[test]
+    fn one_dimensional_buffers() {
+        let shape = IndexShape::new([8, 1, 1], 2, 1);
+        let r = LogicalLocation::new(0, 1, 0, 0);
+        let s = LogicalLocation::new(0, 0, 0, 0);
+        let off = NeighborOffset::new(-1, 0, 0);
+        let spec = compute_buffer_spec(&shape, &r, &s, &off);
+        assert_eq!(spec.cells_per_component(), 2);
+        let sender = fill_global(&shape, [0, 0, 0], |x, _, _| x as f64);
+        let mut buf = Vec::new();
+        pack(&spec, &sender, &mut buf);
+        let mut recv = Array4::zeros([1, 1, 1, 12]);
+        unpack(&spec, &buf, &mut recv);
+        assert_eq!(recv.get(0, 0, 0, 0), 6.0);
+        assert_eq!(recv.get(0, 0, 0, 1), 7.0);
+    }
+
+    #[test]
+    fn constant_field_roundtrip_all_modes() {
+        let shape = IndexShape::new([8, 8, 1], 2, 2);
+        let off = NeighborOffset::new(1, 0, 0);
+        let cases = [
+            (LogicalLocation::new(0, 0, 0, 0), LogicalLocation::new(0, 1, 0, 0), [8, 0, 0]),
+            (LogicalLocation::new(0, 0, 0, 0), LogicalLocation::new(1, 2, 0, 0), [16, 0, 0]),
+            (LogicalLocation::new(1, 1, 0, 0), LogicalLocation::new(0, 1, 0, 0), [8, 0, 0]),
+        ];
+        for (r, s, origin) in cases {
+            let spec = compute_buffer_spec(&shape, &r, &s, &off);
+            let sender = fill_global(&shape, origin, |_, _, _| 3.25);
+            let mut buf = Vec::new();
+            pack(&spec, &sender, &mut buf);
+            let mut recv = Array4::zeros([1, 1, 12, 12]);
+            unpack(&spec, &buf, &mut recv);
+            for (i, j, k) in spec.recv_region().iter() {
+                assert_eq!(
+                    recv.get(0, k as usize, j as usize, i as usize),
+                    3.25,
+                    "mode {:?} cell ({i},{j},{k})",
+                    spec.mode()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Rectangular index regions used by buffer packing and kernel launches.
+
+use vibe_mesh::IndexRange;
+
+/// A rectangular region of (storage or global) cell indices, one inclusive
+/// range per dimension.
+///
+/// ```
+/// use vibe_field::Region;
+/// use vibe_mesh::IndexRange;
+///
+/// let r = Region::new([
+///     IndexRange::new(0, 3),
+///     IndexRange::new(2, 2),
+///     IndexRange::new(0, 1),
+/// ]);
+/// assert_eq!(r.count(), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Region {
+    ranges: [IndexRange; 3],
+}
+
+impl Region {
+    /// Creates a region from per-dimension ranges `[x, y, z]`.
+    pub fn new(ranges: [IndexRange; 3]) -> Self {
+        Self { ranges }
+    }
+
+    /// The per-dimension ranges `[x, y, z]`.
+    pub fn ranges(&self) -> [IndexRange; 3] {
+        self.ranges
+    }
+
+    /// Range along dimension `d` (0 = x).
+    pub fn range(&self, d: usize) -> IndexRange {
+        self.ranges[d]
+    }
+
+    /// Extent (index count) along dimension `d`.
+    pub fn extent(&self, d: usize) -> usize {
+        self.ranges[d].len()
+    }
+
+    /// Total cell count (0 if any dimension is empty).
+    pub fn count(&self) -> usize {
+        self.ranges.iter().map(|r| r.len()).product()
+    }
+
+    /// `true` if the region covers no cells.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Iterates cells as `(i, j, k)` with `i` fastest — the canonical
+    /// pack/unpack order.
+    pub fn iter(&self) -> impl Iterator<Item = (i64, i64, i64)> + '_ {
+        let [rx, ry, rz] = self.ranges;
+        rz.iter()
+            .flat_map(move |k| ry.iter().flat_map(move |j| rx.iter().map(move |i| (i, j, k))))
+    }
+
+    /// `true` if `(i, j, k)` lies inside the region.
+    pub fn contains(&self, i: i64, j: i64, k: i64) -> bool {
+        self.ranges[0].contains(i) && self.ranges[1].contains(j) && self.ranges[2].contains(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region(x: (i64, i64), y: (i64, i64), z: (i64, i64)) -> Region {
+        Region::new([
+            IndexRange::new(x.0, x.1),
+            IndexRange::new(y.0, y.1),
+            IndexRange::new(z.0, z.1),
+        ])
+    }
+
+    #[test]
+    fn count_is_product_of_extents() {
+        let r = region((0, 3), (1, 2), (5, 5));
+        assert_eq!(r.count(), 4 * 2 * 1);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn empty_region() {
+        let r = region((3, 2), (0, 1), (0, 1));
+        assert!(r.is_empty());
+        assert_eq!(r.iter().count(), 0);
+    }
+
+    #[test]
+    fn iteration_order_i_fastest() {
+        let r = region((0, 1), (0, 1), (0, 0));
+        let cells: Vec<_> = r.iter().collect();
+        assert_eq!(
+            cells,
+            vec![(0, 0, 0), (1, 0, 0), (0, 1, 0), (1, 1, 0)]
+        );
+    }
+
+    #[test]
+    fn iteration_count_matches_count() {
+        let r = region((-2, 4), (1, 3), (0, 2));
+        assert_eq!(r.iter().count(), r.count());
+    }
+
+    #[test]
+    fn containment() {
+        let r = region((0, 3), (0, 3), (0, 0));
+        assert!(r.contains(2, 3, 0));
+        assert!(!r.contains(2, 3, 1));
+        assert!(!r.contains(4, 0, 0));
+    }
+}

@@ -1,0 +1,125 @@
+//! Text rendering of platform reports: breakdown tables and ASCII stacked
+//! bars (the textual analogue of the paper's Figs. 9 and 11).
+
+use crate::platform::PlatformReport;
+
+/// Renders a `width`-character stacked bar of kernel/serial/comm shares:
+/// `K` kernel, `S` serial, `C` communication.
+pub fn stacked_bar(report: &PlatformReport, width: usize) -> String {
+    if report.total_s <= 0.0 || width == 0 {
+        return String::new();
+    }
+    let k = (report.kernel_s / report.total_s * width as f64).round() as usize;
+    let c = (report.comm_s / report.total_s * width as f64).round() as usize;
+    let k = k.min(width);
+    let c = c.min(width - k);
+    let s = width - k - c;
+    format!("{}{}{}", "K".repeat(k), "S".repeat(s), "C".repeat(c))
+}
+
+/// Renders the per-function breakdown as a table sorted by total time,
+/// skipping functions below `threshold` seconds.
+pub fn function_table(report: &PlatformReport, threshold: f64) -> String {
+    let mut rows: Vec<_> = report
+        .per_function
+        .iter()
+        .filter(|f| f.total() > threshold)
+        .collect();
+    rows.sort_by(|a, b| b.total().total_cmp(&a.total()));
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<34} {:>10} {:>10} {:>10} {:>7}\n",
+        "function", "kernel(s)", "serial(s)", "comm(s)", "share"
+    ));
+    for f in rows {
+        out.push_str(&format!(
+            "{:<34} {:>10.4} {:>10.4} {:>10.4} {:>6.1}%\n",
+            f.func.name(),
+            f.kernel_s,
+            f.serial_s,
+            f.comm_s,
+            f.total() / report.total_s * 100.0
+        ));
+    }
+    out
+}
+
+/// One-line summary: total seconds, FOM, kernel share, GPU utilization.
+pub fn summary_line(report: &PlatformReport) -> String {
+    format!(
+        "total {:.3}s  FOM {:.3e} zc/s  kernel {:.1}%  gpu-util {:.1}%",
+        report.total_s,
+        report.fom,
+        report.kernel_fraction() * 100.0,
+        report.gpu_utilization * 100.0
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::{evaluate, PlatformConfig};
+    use vibe_prof::{Recorder, SerialWork, StepFunction};
+
+    fn sample_report() -> PlatformReport {
+        let mut rec = Recorder::new();
+        rec.begin_cycle(0);
+        rec.record_kernel(
+            StepFunction::CalculateFluxes,
+            "CalculateFluxes",
+            1,
+            1 << 20,
+            1548 << 20,
+            360 << 20,
+        );
+        rec.record_serial(
+            StepFunction::RedistributeAndRefineMeshBlocks,
+            SerialWork::BlockLoop(50_000),
+        );
+        rec.record_p2p(StepFunction::SendBoundBufs, 1 << 24, 1 << 20, false);
+        rec.end_cycle(512, 0, 0, 1 << 20);
+        evaluate(&rec, &PlatformConfig::gpu(1, 1, 16))
+    }
+
+    #[test]
+    fn bar_has_requested_width_and_partitions() {
+        let r = sample_report();
+        let bar = stacked_bar(&r, 40);
+        assert_eq!(bar.len(), 40);
+        assert!(bar.contains('S'), "serial present: {bar}");
+    }
+
+    #[test]
+    fn bar_zero_width_or_empty_report() {
+        let r = sample_report();
+        assert_eq!(stacked_bar(&r, 0), "");
+    }
+
+    #[test]
+    fn function_table_sorted_and_filtered() {
+        let r = sample_report();
+        let t = function_table(&r, 1e-9);
+        let lines: Vec<&str> = t.lines().collect();
+        assert!(lines.len() >= 3, "header + at least two functions: {t}");
+        assert!(t.contains("RedistributeAndRefineMeshBlocks"));
+        assert!(t.contains("CalculateFluxes"));
+        // First data row holds the largest share.
+        let first = lines[1];
+        let share: f64 = first
+            .trim_end_matches('%')
+            .rsplit(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(share > 10.0);
+    }
+
+    #[test]
+    fn summary_line_mentions_fom() {
+        let r = sample_report();
+        let s = summary_line(&r);
+        assert!(s.contains("FOM"));
+        assert!(s.contains("kernel"));
+    }
+}

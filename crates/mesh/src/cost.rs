@@ -1,0 +1,128 @@
+//! Per-block workload cost models for load balancing.
+//!
+//! `RedistributeAndRefineMeshBlocks` "computes workload costs — based on
+//! estimated computational expense per block — to guide load balancing"
+//! (§II-E). All blocks have the same cell count, but real per-block expense
+//! varies: finer blocks take more (smaller) timesteps in subcycling schemes,
+//! and boundary-heavy blocks pay more communication. This module provides
+//! the standard cost estimators.
+
+use crate::mesh::Mesh;
+
+/// How per-block load-balancing costs are estimated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CostModel {
+    /// Every block costs the same (Parthenon's default for
+    /// non-subcycling drivers — all blocks have equal cell counts).
+    Uniform,
+    /// Cost grows by `factor` per refinement level (models subcycling,
+    /// where level-`l` blocks advance `2^l` times per coarse step:
+    /// `factor = 2.0`).
+    ByLevel {
+        /// Multiplier per level of refinement.
+        factor: f64,
+    },
+    /// Uniform compute cost plus `weight` per neighbor (models
+    /// communication-bound blocks at level boundaries).
+    WithBoundaryWeight {
+        /// Additional cost per neighbor connection.
+        weight: f64,
+    },
+}
+
+impl CostModel {
+    /// Computes the cost of block `gid` in `mesh`.
+    pub fn cost(&self, mesh: &Mesh, gid: usize) -> f64 {
+        match *self {
+            CostModel::Uniform => 1.0,
+            CostModel::ByLevel { factor } => factor.powi(mesh.block(gid).level()),
+            CostModel::WithBoundaryWeight { weight } => {
+                1.0 + weight * mesh.neighbors(gid).len() as f64
+            }
+        }
+    }
+
+    /// Applies this model to every block of `mesh` (to be followed by
+    /// [`Mesh::load_balance`]).
+    pub fn apply(&self, mesh: &mut Mesh) {
+        for gid in 0..mesh.num_blocks() {
+            let c = self.cost(mesh, gid);
+            mesh.set_block_cost(gid, c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mesh::MeshParams;
+    use crate::refinement::{enforce_proper_nesting, AmrFlag};
+    use std::collections::HashMap;
+
+    fn refined_mesh() -> Mesh {
+        let mut m = Mesh::new(
+            MeshParams::builder()
+                .dim(2)
+                .mesh_cells(64)
+                .block_cells(16)
+                .max_levels(3)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let loc = m.block(0).loc();
+        let flags: HashMap<_, _> = [(loc, AmrFlag::Refine)].into_iter().collect();
+        let d = enforce_proper_nesting(m.tree(), &flags);
+        m.regrid(&d).unwrap();
+        m
+    }
+
+    #[test]
+    fn uniform_costs_all_one() {
+        let mut m = refined_mesh();
+        CostModel::Uniform.apply(&mut m);
+        assert!(m.blocks().iter().all(|b| (b.cost() - 1.0).abs() < 1e-15));
+    }
+
+    #[test]
+    fn by_level_doubles_per_level() {
+        let mut m = refined_mesh();
+        CostModel::ByLevel { factor: 2.0 }.apply(&mut m);
+        for b in m.blocks() {
+            let want = 2.0f64.powi(b.level());
+            assert!((b.cost() - want).abs() < 1e-15);
+        }
+        assert!(m.blocks().iter().any(|b| b.cost() > 1.5), "refined blocks cost more");
+    }
+
+    #[test]
+    fn boundary_weight_penalizes_connected_blocks() {
+        let mut m = refined_mesh();
+        CostModel::WithBoundaryWeight { weight: 0.1 }.apply(&mut m);
+        for b in m.blocks() {
+            let want = 1.0 + 0.1 * m.neighbors(b.gid()).len() as f64;
+            assert!((b.cost() - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn level_costs_change_partition() {
+        let mut m = refined_mesh();
+        CostModel::Uniform.apply(&mut m);
+        let uniform = m.load_balance(4).blocks_per_rank();
+        CostModel::ByLevel { factor: 4.0 }.apply(&mut m);
+        let weighted = m.load_balance(4).blocks_per_rank();
+        assert_ne!(uniform, weighted, "cost model must influence the split");
+        // The rank holding the (expensive) refined blocks gets fewer blocks.
+        assert!(weighted.iter().min() < uniform.iter().min());
+    }
+
+    #[test]
+    fn weighted_balance_has_bounded_imbalance() {
+        let mut m = refined_mesh();
+        CostModel::ByLevel { factor: 2.0 }.apply(&mut m);
+        let costs: Vec<f64> = m.blocks().iter().map(|b| b.cost()).collect();
+        let a = m.load_balance(4);
+        assert!(a.imbalance(&costs) < 1.6, "imbalance {}", a.imbalance(&costs));
+    }
+}

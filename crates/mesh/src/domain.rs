@@ -1,0 +1,258 @@
+//! Physical domain description and block geometry.
+
+use crate::logical::LogicalLocation;
+
+/// Physical extent and base resolution of the simulated domain.
+///
+/// `nx` is the number of *cells* per dimension at the base (level-0)
+/// resolution; unused dimensions should be set to 1.
+///
+/// ```
+/// use vibe_mesh::RegionSize;
+///
+/// let region = RegionSize::cube(0.0, 1.0, 128);
+/// assert_eq!(region.nx(), [128, 128, 128]);
+/// assert!((region.dx(0, 0) - 1.0 / 128.0).abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegionSize {
+    xmin: [f64; 3],
+    xmax: [f64; 3],
+    nx: [usize; 3],
+    periodic: [bool; 3],
+}
+
+impl RegionSize {
+    /// Creates a region with explicit bounds and base cell counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `xmax <= xmin` or any `nx == 0`.
+    pub fn new(xmin: [f64; 3], xmax: [f64; 3], nx: [usize; 3], periodic: [bool; 3]) -> Self {
+        for d in 0..3 {
+            assert!(
+                xmax[d] > xmin[d],
+                "xmax must exceed xmin in dimension {d}: {} <= {}",
+                xmax[d],
+                xmin[d]
+            );
+            assert!(nx[d] > 0, "nx must be positive in dimension {d}");
+        }
+        Self {
+            xmin,
+            xmax,
+            nx,
+            periodic,
+        }
+    }
+
+    /// A periodic cube `[lo, hi]^3` with `n` cells per side — the shape used
+    /// by the Burgers benchmark.
+    pub fn cube(lo: f64, hi: f64, n: usize) -> Self {
+        Self::new([lo; 3], [hi; 3], [n; 3], [true; 3])
+    }
+
+    /// Lower physical bounds per dimension.
+    pub fn xmin(&self) -> [f64; 3] {
+        self.xmin
+    }
+
+    /// Upper physical bounds per dimension.
+    pub fn xmax(&self) -> [f64; 3] {
+        self.xmax
+    }
+
+    /// Base-resolution cell counts per dimension.
+    pub fn nx(&self) -> [usize; 3] {
+        self.nx
+    }
+
+    /// Per-dimension periodicity flags.
+    pub fn periodic(&self) -> [bool; 3] {
+        self.periodic
+    }
+
+    /// Physical domain length along dimension `d`.
+    pub fn length(&self, d: usize) -> f64 {
+        self.xmax[d] - self.xmin[d]
+    }
+
+    /// Cell width along dimension `d` at refinement `level`.
+    pub fn dx(&self, d: usize, level: i32) -> f64 {
+        self.length(d) / (self.nx[d] as f64) / f64::from(1u32 << level.max(0) as u32)
+    }
+}
+
+/// Physical geometry of one mesh block: bounds, cell widths, cell centers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockGeometry {
+    xmin: [f64; 3],
+    xmax: [f64; 3],
+    dx: [f64; 3],
+    ncells: [usize; 3],
+}
+
+impl BlockGeometry {
+    /// Geometry of the block at `loc` for a mesh whose base grid has
+    /// `base_blocks` blocks per dimension, each `block_cells` cells wide,
+    /// within `region`.
+    pub fn from_location(
+        region: &RegionSize,
+        loc: &LogicalLocation,
+        base_blocks: [i64; 3],
+        block_cells: [usize; 3],
+    ) -> Self {
+        let mut xmin = [0.0; 3];
+        let mut xmax = [0.0; 3];
+        let mut dx = [0.0; 3];
+        for d in 0..3 {
+            let nblocks = (base_blocks[d] << loc.level()) as f64;
+            let width = region.length(d) / nblocks;
+            xmin[d] = region.xmin()[d] + width * loc.lx_d(d) as f64;
+            xmax[d] = xmin[d] + width;
+            dx[d] = width / block_cells[d] as f64;
+        }
+        Self {
+            xmin,
+            xmax,
+            dx,
+            ncells: block_cells,
+        }
+    }
+
+    /// Lower physical bounds of the block.
+    pub fn xmin(&self) -> [f64; 3] {
+        self.xmin
+    }
+
+    /// Upper physical bounds of the block.
+    pub fn xmax(&self) -> [f64; 3] {
+        self.xmax
+    }
+
+    /// Cell widths per dimension.
+    pub fn dx(&self) -> [f64; 3] {
+        self.dx
+    }
+
+    /// Interior cell counts per dimension.
+    pub fn ncells(&self) -> [usize; 3] {
+        self.ncells
+    }
+
+    /// Physical center of interior cell `(i, j, k)` (0-based, ghost-exclusive).
+    /// Indices may lie outside `0..ncells` to address ghost cells.
+    pub fn cell_center(&self, i: i64, j: i64, k: i64) -> [f64; 3] {
+        [
+            self.xmin[0] + (i as f64 + 0.5) * self.dx[0],
+            self.xmin[1] + (j as f64 + 0.5) * self.dx[1],
+            self.xmin[2] + (k as f64 + 0.5) * self.dx[2],
+        ]
+    }
+
+    /// Cell volume (product of widths over all three dimensions).
+    pub fn cell_volume(&self) -> f64 {
+        self.dx[0] * self.dx[1] * self.dx[2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cube_constructor() {
+        let r = RegionSize::cube(-1.0, 1.0, 64);
+        assert_eq!(r.xmin(), [-1.0; 3]);
+        assert_eq!(r.xmax(), [1.0; 3]);
+        assert_eq!(r.periodic(), [true; 3]);
+        assert!((r.length(1) - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn dx_halves_per_level() {
+        let r = RegionSize::cube(0.0, 1.0, 128);
+        let d0 = r.dx(0, 0);
+        let d1 = r.dx(0, 1);
+        let d3 = r.dx(0, 3);
+        assert!((d0 / d1 - 2.0).abs() < 1e-14);
+        assert!((d0 / d3 - 8.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn base_block_geometry_tiles_domain() {
+        let r = RegionSize::cube(0.0, 1.0, 64);
+        // 4 blocks of 16 cells each
+        let left = BlockGeometry::from_location(
+            &r,
+            &LogicalLocation::new(0, 0, 0, 0),
+            [4, 4, 4],
+            [16, 16, 16],
+        );
+        let right = BlockGeometry::from_location(
+            &r,
+            &LogicalLocation::new(0, 3, 0, 0),
+            [4, 4, 4],
+            [16, 16, 16],
+        );
+        assert!((left.xmin()[0] - 0.0).abs() < 1e-15);
+        assert!((left.xmax()[0] - 0.25).abs() < 1e-15);
+        assert!((right.xmax()[0] - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn refined_block_is_half_width_same_cells() {
+        let r = RegionSize::cube(0.0, 1.0, 64);
+        let coarse = BlockGeometry::from_location(
+            &r,
+            &LogicalLocation::new(0, 0, 0, 0),
+            [4, 4, 4],
+            [16, 16, 16],
+        );
+        let fine = BlockGeometry::from_location(
+            &r,
+            &LogicalLocation::new(1, 0, 0, 0),
+            [4, 4, 4],
+            [16, 16, 16],
+        );
+        assert!(((coarse.xmax()[0] - coarse.xmin()[0]) / (fine.xmax()[0] - fine.xmin()[0]) - 2.0)
+            .abs()
+            < 1e-14);
+        assert_eq!(fine.ncells(), [16, 16, 16]);
+        assert!((coarse.dx()[0] / fine.dx()[0] - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn cell_centers_are_offset_half_dx() {
+        let r = RegionSize::cube(0.0, 1.0, 16);
+        let g = BlockGeometry::from_location(
+            &r,
+            &LogicalLocation::new(0, 0, 0, 0),
+            [1, 1, 1],
+            [16, 16, 16],
+        );
+        let c = g.cell_center(0, 0, 0);
+        assert!((c[0] - 0.5 / 16.0).abs() < 1e-15);
+        let ghost = g.cell_center(-1, 0, 0);
+        assert!(ghost[0] < 0.0, "ghost center lies outside the block");
+    }
+
+    #[test]
+    fn cell_volume_matches_dx_product() {
+        let r = RegionSize::new([0.0; 3], [2.0, 1.0, 1.0], [32, 16, 16], [false; 3]);
+        let g = BlockGeometry::from_location(
+            &r,
+            &LogicalLocation::new(0, 0, 0, 0),
+            [2, 1, 1],
+            [16, 16, 16],
+        );
+        let dx = g.dx();
+        assert!((g.cell_volume() - dx[0] * dx[1] * dx[2]).abs() < 1e-18);
+    }
+
+    #[test]
+    #[should_panic(expected = "xmax must exceed xmin")]
+    fn rejects_inverted_bounds() {
+        RegionSize::new([1.0; 3], [0.0; 3], [8; 3], [false; 3]);
+    }
+}

@@ -1,0 +1,96 @@
+//! Error types for mesh construction and manipulation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors arising from mesh construction or tree manipulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MeshError {
+    /// Mesh dimensions are not an exact multiple of the block dimensions.
+    ///
+    /// Parthenon requires that the total mesh size in each spatial dimension
+    /// be an exact multiple of the corresponding MeshBlock size so the mesh
+    /// divides evenly into blocks.
+    IndivisibleMesh {
+        /// Cells per dimension of the full mesh.
+        mesh_size: [usize; 3],
+        /// Cells per dimension of one block.
+        block_size: [usize; 3],
+    },
+    /// A parameter was outside its allowed range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable constraint description.
+        reason: String,
+    },
+    /// A logical location does not correspond to a leaf of the tree.
+    NoSuchLeaf(crate::logical::LogicalLocation),
+    /// Refinement would exceed the configured maximum level.
+    MaxLevelExceeded {
+        /// Level the operation attempted to create.
+        requested: i32,
+        /// Configured maximum refinement level.
+        max: i32,
+    },
+    /// Derefinement was requested for a node whose children are not all leaves.
+    NonLeafChildren(crate::logical::LogicalLocation),
+}
+
+impl fmt::Display for MeshError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MeshError::IndivisibleMesh {
+                mesh_size,
+                block_size,
+            } => write!(
+                f,
+                "mesh size {mesh_size:?} is not an exact multiple of block size {block_size:?}"
+            ),
+            MeshError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            MeshError::NoSuchLeaf(loc) => write!(f, "no leaf at {loc}"),
+            MeshError::MaxLevelExceeded { requested, max } => write!(
+                f,
+                "refinement to level {requested} exceeds maximum level {max}"
+            ),
+            MeshError::NonLeafChildren(loc) => {
+                write!(f, "cannot derefine {loc}: children are not all leaves")
+            }
+        }
+    }
+}
+
+impl Error for MeshError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical::LogicalLocation;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MeshError::IndivisibleMesh {
+            mesh_size: [100, 100, 100],
+            block_size: [16, 16, 16],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("100"));
+        assert!(msg.contains("16"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MeshError>();
+    }
+
+    #[test]
+    fn no_such_leaf_mentions_location() {
+        let loc = LogicalLocation::new(2, 1, 2, 3);
+        let e = MeshError::NoSuchLeaf(loc);
+        assert!(e.to_string().contains("L2"));
+    }
+}

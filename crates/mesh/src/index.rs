@@ -1,0 +1,222 @@
+//! Index ranges and shapes for cell-centered block data with ghost zones.
+
+/// An inclusive 1D index range `[s, e]`, mirroring Parthenon's `IndexRange`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IndexRange {
+    /// First index (inclusive).
+    pub s: i64,
+    /// Last index (inclusive).
+    pub e: i64,
+}
+
+impl IndexRange {
+    /// Creates the range `[s, e]`. Empty ranges (`e < s`) are permitted.
+    pub fn new(s: i64, e: i64) -> Self {
+        Self { s, e }
+    }
+
+    /// Number of indices covered (0 if empty).
+    pub fn len(&self) -> usize {
+        if self.e < self.s {
+            0
+        } else {
+            (self.e - self.s + 1) as usize
+        }
+    }
+
+    /// `true` if the range covers no indices.
+    pub fn is_empty(&self) -> bool {
+        self.e < self.s
+    }
+
+    /// Iterates the covered indices.
+    pub fn iter(&self) -> impl Iterator<Item = i64> {
+        self.s..=self.e
+    }
+
+    /// `true` if `i` lies within the range.
+    pub fn contains(&self, i: i64) -> bool {
+        i >= self.s && i <= self.e
+    }
+}
+
+/// Which cells of a block an index range addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IndexDomain {
+    /// Interior (physical) cells only.
+    Interior,
+    /// Interior plus ghost cells.
+    Entire,
+}
+
+/// Shape of one block's cell-centered storage: interior extent plus ghost
+/// layers on each side in the active dimensions.
+///
+/// Storage indices are 0-based over the *entire* (ghost-inclusive) extent;
+/// interior cells start at `nghost` in active dimensions.
+///
+/// ```
+/// use vibe_mesh::{IndexShape, IndexRange};
+/// use vibe_mesh::index::IndexDomain;
+///
+/// let shape = IndexShape::new([16, 16, 16], 4, 3);
+/// assert_eq!(shape.entire_count(), 24 * 24 * 24);
+/// assert_eq!(shape.range(0, IndexDomain::Interior), IndexRange::new(4, 19));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IndexShape {
+    ncells: [usize; 3],
+    nghost: usize,
+    dim: usize,
+}
+
+impl IndexShape {
+    /// Creates a shape with `ncells` interior cells per dimension, `nghost`
+    /// ghost layers per side in each of the first `dim` dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is not 1–3 or an active dimension has zero cells.
+    pub fn new(ncells: [usize; 3], nghost: usize, dim: usize) -> Self {
+        assert!((1..=3).contains(&dim), "dim must be 1, 2, or 3");
+        for (d, &n) in ncells.iter().enumerate().take(dim) {
+            assert!(n > 0, "active dimension {d} has zero cells");
+        }
+        Self {
+            ncells,
+            nghost,
+            dim,
+        }
+    }
+
+    /// Interior cell counts per dimension.
+    pub fn ncells(&self) -> [usize; 3] {
+        self.ncells
+    }
+
+    /// Ghost layers per side (active dimensions only).
+    pub fn nghost(&self) -> usize {
+        self.nghost
+    }
+
+    /// Number of active spatial dimensions.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Ghost layers applied along dimension `d` (0 for inactive dimensions).
+    pub fn nghost_d(&self, d: usize) -> usize {
+        if d < self.dim {
+            self.nghost
+        } else {
+            0
+        }
+    }
+
+    /// Total (ghost-inclusive) extent along dimension `d`.
+    pub fn entire_d(&self, d: usize) -> usize {
+        self.ncells[d] + 2 * self.nghost_d(d)
+    }
+
+    /// Total ghost-inclusive cell count of the block.
+    pub fn entire_count(&self) -> usize {
+        (0..3).map(|d| self.entire_d(d)).product()
+    }
+
+    /// Interior cell count of the block.
+    pub fn interior_count(&self) -> usize {
+        self.ncells.iter().product()
+    }
+
+    /// The storage-index range along dimension `d` for `domain`.
+    pub fn range(&self, d: usize, domain: IndexDomain) -> IndexRange {
+        let g = self.nghost_d(d) as i64;
+        match domain {
+            IndexDomain::Interior => IndexRange::new(g, g + self.ncells[d] as i64 - 1),
+            IndexDomain::Entire => IndexRange::new(0, self.entire_d(d) as i64 - 1),
+        }
+    }
+
+    /// Flattens storage indices `(i, j, k)` (ghost-inclusive, 0-based) into a
+    /// linear offset with `i` fastest.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if an index is out of bounds.
+    #[inline]
+    pub fn flat(&self, i: usize, j: usize, k: usize) -> usize {
+        debug_assert!(i < self.entire_d(0) && j < self.entire_d(1) && k < self.entire_d(2));
+        (k * self.entire_d(1) + j) * self.entire_d(0) + i
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_len_and_iter() {
+        let r = IndexRange::new(4, 19);
+        assert_eq!(r.len(), 16);
+        assert!(!r.is_empty());
+        assert_eq!(r.iter().count(), 16);
+        assert!(r.contains(4) && r.contains(19) && !r.contains(20));
+    }
+
+    #[test]
+    fn empty_range() {
+        let r = IndexRange::new(3, 2);
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+        assert_eq!(r.iter().count(), 0);
+    }
+
+    #[test]
+    fn shape_3d_with_ghosts() {
+        let s = IndexShape::new([16, 16, 16], 4, 3);
+        assert_eq!(s.entire_d(0), 24);
+        assert_eq!(s.interior_count(), 4096);
+        assert_eq!(s.entire_count(), 13824);
+        assert_eq!(s.range(1, IndexDomain::Interior), IndexRange::new(4, 19));
+        assert_eq!(s.range(1, IndexDomain::Entire), IndexRange::new(0, 23));
+    }
+
+    #[test]
+    fn shape_2d_has_no_z_ghosts() {
+        let s = IndexShape::new([8, 8, 1], 2, 2);
+        assert_eq!(s.nghost_d(2), 0);
+        assert_eq!(s.entire_d(2), 1);
+        assert_eq!(s.range(2, IndexDomain::Interior), IndexRange::new(0, 0));
+        assert_eq!(s.entire_count(), 12 * 12);
+    }
+
+    #[test]
+    fn flat_is_i_fastest() {
+        let s = IndexShape::new([4, 4, 4], 0, 3);
+        assert_eq!(s.flat(0, 0, 0), 0);
+        assert_eq!(s.flat(1, 0, 0), 1);
+        assert_eq!(s.flat(0, 1, 0), 4);
+        assert_eq!(s.flat(0, 0, 1), 16);
+        assert_eq!(s.flat(3, 3, 3), 63);
+    }
+
+    #[test]
+    fn flat_covers_entire_extent_without_collision() {
+        let s = IndexShape::new([3, 2, 2], 1, 3);
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..s.entire_d(2) {
+            for j in 0..s.entire_d(1) {
+                for i in 0..s.entire_d(0) {
+                    assert!(seen.insert(s.flat(i, j, k)));
+                }
+            }
+        }
+        assert_eq!(seen.len(), s.entire_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero cells")]
+    fn rejects_zero_active_extent() {
+        IndexShape::new([0, 4, 4], 2, 3);
+    }
+}

@@ -1,0 +1,216 @@
+//! Load balancing: slicing the Morton-ordered block list into per-rank
+//! chunks of near-equal cost.
+//!
+//! Parthenon's `RedistributeAndRefineMeshBlocks` computes a workload cost per
+//! block and assigns contiguous runs of the space-filling-curve order to MPI
+//! ranks, preserving spatial locality while balancing cost.
+
+/// Assignment of SFC-ordered blocks to ranks.
+///
+/// Blocks assigned to a rank are always a contiguous run of the Morton
+/// order, so the assignment is fully described by the per-block rank vector
+/// (which is non-decreasing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankAssignment {
+    block_ranks: Vec<usize>,
+    nranks: usize,
+}
+
+impl RankAssignment {
+    /// Rank owning SFC-ordered block `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn rank_of(&self, i: usize) -> usize {
+        self.block_ranks[i]
+    }
+
+    /// Number of ranks in the decomposition.
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// Number of blocks assigned in total.
+    pub fn num_blocks(&self) -> usize {
+        self.block_ranks.len()
+    }
+
+    /// Per-block ranks in SFC order (non-decreasing).
+    pub fn block_ranks(&self) -> &[usize] {
+        &self.block_ranks
+    }
+
+    /// Number of blocks per rank.
+    pub fn blocks_per_rank(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.nranks];
+        for &r in &self.block_ranks {
+            counts[r] += 1;
+        }
+        counts
+    }
+
+    /// Ranks that received no blocks (under-utilization indicator; the paper
+    /// notes small meshes lack enough MeshBlocks to utilize 96 ranks).
+    pub fn idle_ranks(&self) -> usize {
+        self.blocks_per_rank().iter().filter(|&&n| n == 0).count()
+    }
+
+    /// Cost imbalance: max per-rank cost divided by mean per-rank cost
+    /// (1.0 = perfect balance). Returns 1.0 for empty assignments.
+    pub fn imbalance(&self, costs: &[f64]) -> f64 {
+        assert_eq!(costs.len(), self.block_ranks.len());
+        if costs.is_empty() {
+            return 1.0;
+        }
+        let mut per_rank = vec![0.0f64; self.nranks];
+        for (i, &r) in self.block_ranks.iter().enumerate() {
+            per_rank[r] += costs[i];
+        }
+        let total: f64 = per_rank.iter().sum();
+        let mean = total / self.nranks as f64;
+        if mean == 0.0 {
+            return 1.0;
+        }
+        per_rank.iter().cloned().fold(0.0, f64::max) / mean
+    }
+}
+
+/// Partitions SFC-ordered blocks with the given `costs` across `nranks`
+/// ranks, keeping each rank's blocks contiguous and the maximum rank cost
+/// close to the mean.
+///
+/// The greedy sweep assigns blocks to the current rank until its accumulated
+/// cost reaches the remaining-average target, then advances to the next rank.
+/// It guarantees every block is assigned and no rank index exceeds
+/// `nranks - 1`; with more ranks than blocks, trailing ranks stay idle.
+///
+/// # Panics
+///
+/// Panics if `nranks == 0`.
+pub fn partition_by_cost(costs: &[f64], nranks: usize) -> RankAssignment {
+    assert!(nranks > 0, "nranks must be positive");
+    let n = costs.len();
+    let mut block_ranks = vec![0usize; n];
+    if n == 0 {
+        return RankAssignment {
+            block_ranks,
+            nranks,
+        };
+    }
+    let mut remaining_cost: f64 = costs.iter().sum();
+    let mut rank = 0usize;
+    let mut acc = 0.0f64;
+    for (i, &c) in costs.iter().enumerate() {
+        // Close the current rank when it holds its fair share of the
+        // remaining cost — but only while enough blocks remain to give every
+        // later rank at least one.
+        let ranks_after = nranks - rank - 1;
+        let blocks_from_here = n - i;
+        // With at least as many remaining ranks as blocks, give every block
+        // its own rank.
+        if ranks_after > 0 && acc > 0.0 && blocks_from_here <= ranks_after {
+            rank += 1;
+            acc = 0.0;
+        } else if ranks_after > 0 && blocks_from_here > ranks_after && acc > 0.0 {
+            let fair = (acc + remaining_cost) / (nranks - rank) as f64;
+            if acc + c / 2.0 > fair {
+                rank += 1;
+                acc = 0.0;
+            }
+        }
+        block_ranks[i] = rank;
+        acc += c;
+        remaining_cost -= c;
+        // Force advancement when exactly one block per remaining rank is left.
+        let blocks_left = n - i - 1;
+        let ranks_left = nranks - rank - 1;
+        if ranks_left > 0 && blocks_left == ranks_left {
+            rank += 1;
+            acc = 0.0;
+        }
+    }
+    RankAssignment {
+        block_ranks,
+        nranks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_costs_balance_evenly() {
+        let costs = vec![1.0; 12];
+        let a = partition_by_cost(&costs, 4);
+        assert_eq!(a.blocks_per_rank(), vec![3, 3, 3, 3]);
+        assert!((a.imbalance(&costs) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranks_are_contiguous_and_nondecreasing() {
+        let costs: Vec<f64> = (0..37).map(|i| 1.0 + (i % 5) as f64).collect();
+        let a = partition_by_cost(&costs, 8);
+        for w in a.block_ranks().windows(2) {
+            assert!(w[1] >= w[0] && w[1] - w[0] <= 1);
+        }
+        assert!(*a.block_ranks().last().unwrap() < 8);
+    }
+
+    #[test]
+    fn every_rank_gets_a_block_when_possible() {
+        let costs = vec![1.0; 8];
+        let a = partition_by_cost(&costs, 8);
+        assert_eq!(a.blocks_per_rank(), vec![1; 8]);
+        assert_eq!(a.idle_ranks(), 0);
+    }
+
+    #[test]
+    fn more_ranks_than_blocks_leaves_idle_ranks() {
+        // The paper: small meshes lack enough MeshBlocks for 96 ranks.
+        let costs = vec![1.0; 5];
+        let a = partition_by_cost(&costs, 96);
+        assert_eq!(a.idle_ranks(), 91);
+        assert_eq!(a.num_blocks(), 5);
+    }
+
+    #[test]
+    fn skewed_costs_offload_heavy_block() {
+        let costs = vec![10.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let a = partition_by_cost(&costs, 2);
+        // The heavy block should be alone (or nearly) on rank 0.
+        let per_rank = a.blocks_per_rank();
+        assert!(per_rank[0] < per_rank[1]);
+        assert!(a.imbalance(&costs) < 1.3);
+    }
+
+    #[test]
+    fn single_rank_takes_everything() {
+        let costs = vec![3.0, 1.0, 4.0];
+        let a = partition_by_cost(&costs, 1);
+        assert_eq!(a.block_ranks(), &[0, 0, 0]);
+        assert!((a.imbalance(&costs) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_block_list() {
+        let a = partition_by_cost(&[], 4);
+        assert_eq!(a.num_blocks(), 0);
+        assert_eq!(a.idle_ranks(), 4);
+    }
+
+    #[test]
+    fn imbalance_bounded_for_random_like_costs() {
+        let costs: Vec<f64> = (0..200).map(|i| 1.0 + ((i * 7) % 13) as f64 / 13.0).collect();
+        let a = partition_by_cost(&costs, 16);
+        assert!(a.imbalance(&costs) < 1.5, "imbalance {}", a.imbalance(&costs));
+        assert_eq!(a.idle_ranks(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nranks must be positive")]
+    fn zero_ranks_panics() {
+        partition_by_cost(&[1.0], 0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Morton (Z-order) space-filling-curve keys for global block ordering.
+//!
+//! Parthenon orders mesh blocks along a Morton curve so that load balancing
+//! can slice the leaf list into contiguous, spatially compact per-rank chunks.
+//! Leaves live at different refinement levels, so the key normalizes every
+//! location to a common reference level: the key of a coarse block equals the
+//! key of its first (lowest-corner) descendant at the reference level, with
+//! the level as a tie-breaker so ancestors sort before descendants (octree
+//! depth-first order).
+
+use crate::logical::LogicalLocation;
+
+/// Maximum refinement level supported by the 128-bit Morton key (3 × 40 bits
+/// of interleaved coordinate plus 8 bits of level).
+pub const MAX_KEY_LEVEL: i32 = 40;
+
+/// A totally ordered Morton key for a [`LogicalLocation`].
+///
+/// Keys from the *same tree* (same reference level) are comparable; the
+/// ordering is the octree depth-first order used for load balancing.
+///
+/// ```
+/// use vibe_mesh::{LogicalLocation, MortonKey};
+///
+/// let a = MortonKey::new(&LogicalLocation::new(1, 0, 0, 0), 4);
+/// let b = MortonKey::new(&LogicalLocation::new(1, 1, 0, 0), 4);
+/// assert!(a < b);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MortonKey(u128);
+
+impl MortonKey {
+    /// Builds the key for `loc`, normalizing to `reference_level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loc.level() > reference_level` or
+    /// `reference_level > MAX_KEY_LEVEL`.
+    pub fn new(loc: &LogicalLocation, reference_level: i32) -> Self {
+        assert!(
+            loc.level() <= reference_level,
+            "location level {} above reference level {}",
+            loc.level(),
+            reference_level
+        );
+        assert!(
+            reference_level <= MAX_KEY_LEVEL,
+            "reference level {reference_level} exceeds MAX_KEY_LEVEL"
+        );
+        let shift = reference_level - loc.level();
+        let lx = loc.lx();
+        let interleaved = interleave3(
+            (lx[0] << shift) as u64,
+            (lx[1] << shift) as u64,
+            (lx[2] << shift) as u64,
+        );
+        // Level in the low bits: among locations sharing the same normalized
+        // corner, ancestors (smaller level) sort first.
+        MortonKey((interleaved << 8) | (loc.level() as u128 & 0xff))
+    }
+
+    /// Raw key value (ordering-compatible integer).
+    pub fn value(&self) -> u128 {
+        self.0
+    }
+}
+
+/// Interleaves the low 40 bits of `x`, `y`, `z` as `...z1y1x1 z0y0x0`.
+fn interleave3(x: u64, y: u64, z: u64) -> u128 {
+    spread(x) | (spread(y) << 1) | (spread(z) << 2)
+}
+
+/// Spreads the low 40 bits of `v` so each lands 3 positions apart.
+fn spread(v: u64) -> u128 {
+    let mut out = 0u128;
+    for bit in 0..MAX_KEY_LEVEL as u32 {
+        if (v >> bit) & 1 == 1 {
+            out |= 1u128 << (3 * bit);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spread_places_bits_three_apart() {
+        assert_eq!(spread(0b1), 0b1);
+        assert_eq!(spread(0b10), 0b1000);
+        assert_eq!(spread(0b11), 0b1001);
+    }
+
+    #[test]
+    fn interleave_orders_zyx() {
+        // x=1,y=0,z=0 -> bit 0; y=1 -> bit 1; z=1 -> bit 2
+        assert_eq!(interleave3(1, 0, 0), 0b001);
+        assert_eq!(interleave3(0, 1, 0), 0b010);
+        assert_eq!(interleave3(0, 0, 1), 0b100);
+    }
+
+    #[test]
+    fn parent_sorts_before_children() {
+        let parent = LogicalLocation::new(1, 1, 0, 0);
+        let pk = MortonKey::new(&parent, 5);
+        for child in parent.children(3) {
+            let ck = MortonKey::new(&child, 5);
+            assert!(pk < ck, "parent must precede child {child}");
+        }
+    }
+
+    #[test]
+    fn children_sort_in_z_order() {
+        let parent = LogicalLocation::new(0, 0, 0, 0);
+        let children = parent.children(3);
+        let mut keys: Vec<_> = children.iter().map(|c| MortonKey::new(c, 4)).collect();
+        let sorted = {
+            let mut s = keys.clone();
+            s.sort();
+            s
+        };
+        keys.sort();
+        assert_eq!(keys, sorted);
+        // First child (0,0,0) has the smallest key.
+        let first = MortonKey::new(&LogicalLocation::new(1, 0, 0, 0), 4);
+        assert_eq!(keys[0], first);
+    }
+
+    #[test]
+    fn distinct_locations_distinct_keys() {
+        let mut keys = std::collections::HashSet::new();
+        for lx in 0..4 {
+            for ly in 0..4 {
+                let loc = LogicalLocation::new(2, lx, ly, 0);
+                assert!(keys.insert(MortonKey::new(&loc, 6)));
+            }
+        }
+        assert_eq!(keys.len(), 16);
+    }
+
+    #[test]
+    fn spatial_locality_of_ordering() {
+        // Blocks in the same parent octant are contiguous in key order.
+        let parent_a = LogicalLocation::new(1, 0, 0, 0);
+        let parent_b = LogicalLocation::new(1, 1, 0, 0);
+        let max_a = parent_a
+            .children(3)
+            .iter()
+            .map(|c| MortonKey::new(c, 5))
+            .max()
+            .unwrap();
+        let min_b = parent_b
+            .children(3)
+            .iter()
+            .map(|c| MortonKey::new(c, 5))
+            .min()
+            .unwrap();
+        assert!(max_a < min_b, "octants do not interleave");
+    }
+
+    #[test]
+    #[should_panic(expected = "above reference level")]
+    fn rejects_location_finer_than_reference() {
+        MortonKey::new(&LogicalLocation::new(5, 0, 0, 0), 3);
+    }
+}

@@ -1,0 +1,387 @@
+//! Refinement flag aggregation, 2:1 proper-nesting enforcement, and
+//! derefinement gating.
+//!
+//! Each cycle, packages tag every mesh block with an [`AmrFlag`]. The raw
+//! tags are then reconciled against the structural rules:
+//!
+//! * **2:1 rule** — neighboring blocks may differ by at most one refinement
+//!   level, so refinement cascades outward and derefinement is vetoed where
+//!   it would create a 2-level jump.
+//! * **Sibling completeness** — a block can only derefine together with all
+//!   of its siblings.
+//! * **Derefinement gap** — Parthenon-VIBE constrains successive
+//!   derefinements of the same region by a minimum cycle gap (10 cycles in
+//!   the paper's configuration); [`DerefGate`] implements this.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::logical::LogicalLocation;
+use crate::neighbor::find_neighbors;
+use crate::tree::BlockTree;
+
+/// Per-block refinement request produced by tagging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AmrFlag {
+    /// Split this block into children.
+    Refine,
+    /// Leave the block as is.
+    #[default]
+    Same,
+    /// Merge this block (with its siblings) into the parent.
+    Derefine,
+}
+
+/// Outcome of proper-nesting enforcement: the exact structural changes to
+/// apply to the tree.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RegridDecision {
+    /// Leaves to split.
+    pub refine: Vec<LogicalLocation>,
+    /// Parents whose children will merge.
+    pub derefine_parents: Vec<LogicalLocation>,
+}
+
+impl RegridDecision {
+    /// `true` if no structural change is required.
+    pub fn is_empty(&self) -> bool {
+        self.refine.is_empty() && self.derefine_parents.is_empty()
+    }
+}
+
+/// Reconciles raw per-leaf flags into a [`RegridDecision`] satisfying the
+/// 2:1 rule, the sibling-completeness rule, and the maximum level.
+///
+/// The algorithm iterates to a fixpoint: a leaf whose (prospective) neighbor
+/// would end up two levels finer first loses any derefine flag and is then
+/// promoted to refine. Termination is guaranteed because each iteration only
+/// raises prospective levels, which are bounded by `tree.max_level()`.
+///
+/// Leaves absent from `flags` are treated as [`AmrFlag::Same`].
+pub fn enforce_proper_nesting(
+    tree: &BlockTree,
+    flags: &HashMap<LogicalLocation, AmrFlag>,
+) -> RegridDecision {
+    let dim = tree.dim();
+    // Effective flag per leaf, clamped to the level range.
+    let mut eff: HashMap<LogicalLocation, AmrFlag> = tree
+        .leaves()
+        .map(|loc| {
+            let mut f = flags.get(&loc).copied().unwrap_or_default();
+            if f == AmrFlag::Refine && loc.level() >= tree.max_level() {
+                f = AmrFlag::Same;
+            }
+            if f == AmrFlag::Derefine && loc.level() == 0 {
+                f = AmrFlag::Same;
+            }
+            (loc, f)
+        })
+        .collect();
+
+    // Sibling completeness: derefinement requires every sibling to be a leaf
+    // flagged Derefine. Re-run inside the fixpoint because cancellations can
+    // break a previously complete sibling group.
+    let cancel_incomplete_sibling_groups = |eff: &mut HashMap<LogicalLocation, AmrFlag>| {
+        let deref_leaves: Vec<LogicalLocation> = eff
+            .iter()
+            .filter(|(_, f)| **f == AmrFlag::Derefine)
+            .map(|(l, _)| *l)
+            .collect();
+        let mut cancel = Vec::new();
+        for loc in &deref_leaves {
+            let parent = loc.parent();
+            let complete = parent
+                .children(dim)
+                .iter()
+                .all(|sib| eff.get(sib) == Some(&AmrFlag::Derefine));
+            if !complete {
+                cancel.push(*loc);
+            }
+        }
+        for loc in cancel {
+            eff.insert(loc, AmrFlag::Same);
+        }
+    };
+
+    let target = |loc: &LogicalLocation, f: AmrFlag| -> i32 {
+        match f {
+            AmrFlag::Refine => loc.level() + 1,
+            AmrFlag::Same => loc.level(),
+            AmrFlag::Derefine => loc.level() - 1,
+        }
+    };
+
+    loop {
+        cancel_incomplete_sibling_groups(&mut eff);
+        let mut changed = false;
+        let snapshot: Vec<LogicalLocation> = eff.keys().copied().collect();
+        for loc in &snapshot {
+            for nb in find_neighbors(tree, loc) {
+                let my_target = target(loc, eff[loc]);
+                let nb_target = target(&nb.loc, eff[&nb.loc]);
+                if nb_target > my_target + 1 {
+                    // Raise our prospective level by one step: first cancel a
+                    // derefine, then promote to refine. Under the 2:1
+                    // invariant the promotion never exceeds max_level.
+                    let new_flag = match eff[loc] {
+                        AmrFlag::Derefine => AmrFlag::Same,
+                        _ => AmrFlag::Refine,
+                    };
+                    if new_flag == AmrFlag::Refine && loc.level() >= tree.max_level() {
+                        continue;
+                    }
+                    if eff[loc] != new_flag {
+                        eff.insert(*loc, new_flag);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut refine: Vec<LogicalLocation> = eff
+        .iter()
+        .filter(|(_, f)| **f == AmrFlag::Refine)
+        .map(|(l, _)| *l)
+        .collect();
+    refine.sort();
+
+    let mut parents: HashSet<LogicalLocation> = HashSet::new();
+    for (loc, f) in &eff {
+        if *f == AmrFlag::Derefine {
+            parents.insert(loc.parent());
+        }
+    }
+    let mut derefine_parents: Vec<LogicalLocation> = parents.into_iter().collect();
+    derefine_parents.sort();
+
+    RegridDecision {
+        refine,
+        derefine_parents,
+    }
+}
+
+/// Enforces a minimum number of cycles between successive derefinements of
+/// the same region, and protects freshly created blocks from immediate
+/// derefinement.
+///
+/// ```
+/// use vibe_mesh::{DerefGate, LogicalLocation};
+///
+/// let mut gate = DerefGate::new(10);
+/// let parent = LogicalLocation::new(0, 0, 0, 0);
+/// gate.record_derefine(&parent, 5);
+/// assert!(!gate.allows(&parent, 10)); // only 5 cycles elapsed
+/// assert!(gate.allows(&parent, 15));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DerefGate {
+    min_gap: u64,
+    last_event: HashMap<LogicalLocation, u64>,
+}
+
+impl DerefGate {
+    /// Creates a gate requiring at least `min_gap` cycles between
+    /// derefinement events affecting the same parent region.
+    pub fn new(min_gap: u64) -> Self {
+        Self {
+            min_gap,
+            last_event: HashMap::new(),
+        }
+    }
+
+    /// Configured minimum cycle gap.
+    pub fn min_gap(&self) -> u64 {
+        self.min_gap
+    }
+
+    /// `true` if derefining into `parent` is allowed at `cycle`.
+    pub fn allows(&self, parent: &LogicalLocation, cycle: u64) -> bool {
+        match self.last_event.get(parent) {
+            Some(&last) => cycle >= last + self.min_gap,
+            None => true,
+        }
+    }
+
+    /// Removes parents whose derefinement is gated at `cycle`.
+    pub fn filter(&self, parents: Vec<LogicalLocation>, cycle: u64) -> Vec<LogicalLocation> {
+        parents
+            .into_iter()
+            .filter(|p| self.allows(p, cycle))
+            .collect()
+    }
+
+    /// Records that `parent` was derefined into at `cycle`.
+    pub fn record_derefine(&mut self, parent: &LogicalLocation, cycle: u64) {
+        self.last_event.insert(*parent, cycle);
+    }
+
+    /// Records that `parent` was refined (children created) at `cycle`,
+    /// protecting the new children from immediate re-merging.
+    pub fn record_refine(&mut self, parent: &LogicalLocation, cycle: u64) {
+        self.last_event.insert(*parent, cycle);
+    }
+
+    /// Drops bookkeeping for regions last touched more than `horizon` cycles
+    /// before `cycle` (they can no longer be gated).
+    pub fn prune(&mut self, cycle: u64) {
+        let gap = self.min_gap;
+        self.last_event.retain(|_, &mut last| cycle < last + gap);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags_of(pairs: &[(LogicalLocation, AmrFlag)]) -> HashMap<LogicalLocation, AmrFlag> {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn no_flags_no_changes() {
+        let tree = BlockTree::new(2, [4, 4, 1], 2, [true; 3]);
+        let d = enforce_proper_nesting(&tree, &HashMap::new());
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn single_refine_passes_through() {
+        let tree = BlockTree::new(2, [4, 4, 1], 2, [true; 3]);
+        let loc = LogicalLocation::new(0, 1, 1, 0);
+        let d = enforce_proper_nesting(&tree, &flags_of(&[(loc, AmrFlag::Refine)]));
+        assert_eq!(d.refine, vec![loc]);
+        assert!(d.derefine_parents.is_empty());
+    }
+
+    #[test]
+    fn refine_at_max_level_is_ignored() {
+        let mut tree = BlockTree::new(2, [2, 2, 1], 1, [true; 3]);
+        let children = tree.refine(&LogicalLocation::new(0, 0, 0, 0)).unwrap();
+        let d = enforce_proper_nesting(&tree, &flags_of(&[(children[0], AmrFlag::Refine)]));
+        assert!(d.refine.is_empty());
+    }
+
+    #[test]
+    fn derefine_requires_all_siblings() {
+        let mut tree = BlockTree::new(2, [2, 2, 1], 1, [true; 3]);
+        let parent = LogicalLocation::new(0, 0, 0, 0);
+        let children = tree.refine(&parent).unwrap();
+        // Only 3 of 4 siblings want to derefine.
+        let flags = flags_of(
+            &children[..3]
+                .iter()
+                .map(|c| (*c, AmrFlag::Derefine))
+                .collect::<Vec<_>>(),
+        );
+        let d = enforce_proper_nesting(&tree, &flags);
+        assert!(d.derefine_parents.is_empty());
+
+        // All 4 agree.
+        let flags = flags_of(
+            &children
+                .iter()
+                .map(|c| (*c, AmrFlag::Derefine))
+                .collect::<Vec<_>>(),
+        );
+        let d = enforce_proper_nesting(&tree, &flags);
+        assert_eq!(d.derefine_parents, vec![parent]);
+    }
+
+    #[test]
+    fn refinement_cascades_to_maintain_two_to_one() {
+        // Refine a level-1 block so its level-0 neighbor must also refine.
+        let mut tree = BlockTree::new(2, [4, 4, 1], 2, [true; 3]);
+        let coarse = LogicalLocation::new(0, 1, 1, 0);
+        let children = tree.refine(&coarse).unwrap();
+        // Child adjacent to the unrefined block at (0,0,1,0): the low-x children.
+        let fine = children
+            .iter()
+            .copied()
+            .find(|c| c.lx_d(0) == 2 && c.lx_d(1) == 2)
+            .unwrap();
+        let d = enforce_proper_nesting(&tree, &flags_of(&[(fine, AmrFlag::Refine)]));
+        assert!(d.refine.contains(&fine));
+        // The level-0 neighbors sharing a boundary with `fine` must refine too.
+        assert!(
+            d.refine.contains(&LogicalLocation::new(0, 0, 1, 0))
+                || d.refine.len() > 1,
+            "cascade expected, got {:?}",
+            d.refine
+        );
+    }
+
+    #[test]
+    fn derefine_vetoed_by_fine_neighbor_refinement() {
+        // A fine group wants to merge while an adjacent block refines to a
+        // level that would create a 2-level jump after the merge.
+        let mut tree = BlockTree::new(2, [2, 2, 1], 2, [true; 3]);
+        let parent = LogicalLocation::new(0, 0, 0, 0);
+        let children = tree.refine(&parent).unwrap();
+        let neighbor_fine = children[3]; // (1,1) child, interior corner
+        let mut pairs: Vec<(LogicalLocation, AmrFlag)> = children[..3]
+            .iter()
+            .map(|c| (*c, AmrFlag::Derefine))
+            .collect();
+        pairs.push((neighbor_fine, AmrFlag::Refine));
+        let d = enforce_proper_nesting(&tree, &flags_of(&pairs));
+        // The sibling group is incomplete (one sibling refines), so no merge.
+        assert!(d.derefine_parents.is_empty());
+        assert!(d.refine.contains(&neighbor_fine));
+    }
+
+    #[test]
+    fn cascade_terminates_on_uniform_refine_everything() {
+        let tree = BlockTree::new(2, [4, 4, 1], 3, [true; 3]);
+        let flags: HashMap<_, _> = tree.leaves().map(|l| (l, AmrFlag::Refine)).collect();
+        let d = enforce_proper_nesting(&tree, &flags);
+        assert_eq!(d.refine.len(), 16);
+    }
+
+    #[test]
+    fn decision_is_deterministic() {
+        let mut tree = BlockTree::new(2, [4, 4, 1], 2, [true; 3]);
+        tree.refine(&LogicalLocation::new(0, 2, 2, 0)).unwrap();
+        let flags: HashMap<_, _> = tree
+            .leaves()
+            .enumerate()
+            .filter(|(i, _)| i % 3 == 0)
+            .map(|(_, l)| (l, AmrFlag::Refine))
+            .collect();
+        let d1 = enforce_proper_nesting(&tree, &flags);
+        let d2 = enforce_proper_nesting(&tree, &flags);
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn deref_gate_blocks_within_gap() {
+        let mut gate = DerefGate::new(10);
+        let p = LogicalLocation::new(0, 0, 0, 0);
+        assert!(gate.allows(&p, 0));
+        gate.record_derefine(&p, 3);
+        assert!(!gate.allows(&p, 12));
+        assert!(gate.allows(&p, 13));
+    }
+
+    #[test]
+    fn deref_gate_filter_and_prune() {
+        let mut gate = DerefGate::new(5);
+        let a = LogicalLocation::new(0, 0, 0, 0);
+        let b = LogicalLocation::new(0, 1, 0, 0);
+        gate.record_refine(&a, 2);
+        let kept = gate.filter(vec![a, b], 4);
+        assert_eq!(kept, vec![b]);
+        gate.prune(100);
+        assert!(gate.allows(&a, 100));
+    }
+
+    #[test]
+    fn deref_gate_zero_gap_always_allows() {
+        let mut gate = DerefGate::new(0);
+        let p = LogicalLocation::new(0, 0, 0, 0);
+        gate.record_derefine(&p, 7);
+        assert!(gate.allows(&p, 7));
+    }
+}

@@ -1,0 +1,134 @@
+//! The Parthenon timestep-loop function taxonomy.
+
+use std::fmt;
+
+/// The (sub)functions of the Parthenon timestep loop, as broken down in the
+/// paper's timing analysis (Fig. 3, Fig. 11, Fig. 12). Every recorded event
+/// is attributed to one of these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum StepFunction {
+    /// Recompute derived quantities from the evolved state.
+    FillDerived,
+    /// Per-block refinement tagging (`Refinement::Tag`).
+    RefinementTag,
+    /// WENO5/linear reconstruction + Riemann fluxes.
+    CalculateFluxes,
+    /// Fine→coarse face-flux replacement at level boundaries.
+    FluxCorrection,
+    /// Divergence of fluxes of conserved variables.
+    FluxDivergence,
+    /// Runge-Kutta stage averaging (`AverageIndependentData` /
+    /// `UpdateIndependentData` weighted sums).
+    WeightedSumData,
+    /// Post buffers for asynchronous receives.
+    StartReceiveBoundBufs,
+    /// Restrict, pack, and send ghost-zone data.
+    SendBoundBufs,
+    /// Probe/test for message arrival and allocate on demand.
+    ReceiveBoundBufs,
+    /// Unpack received buffers into ghost cells.
+    SetBounds,
+    /// Load balancing, block redistribution, prolongation/restriction of
+    /// moved data, neighbor rebuild.
+    RedistributeAndRefineMeshBlocks,
+    /// Gather refinement flags and update the block tree.
+    UpdateMeshBlockTree,
+    /// CFL timestep reduction.
+    EstimateTimeStep,
+    /// Sorting/randomizing boundary keys when (re)building buffer caches.
+    InitializeBufferCache,
+    /// Metadata filling and views-of-views population for buffer caches.
+    RebuildBufferCache,
+    /// History reductions (e.g. total mass) for output.
+    MassHistory,
+    /// Anything not otherwise attributed.
+    Other,
+}
+
+impl StepFunction {
+    /// All functions in canonical (paper figure) order.
+    pub fn all() -> &'static [StepFunction] {
+        use StepFunction::*;
+        &[
+            FillDerived,
+            RefinementTag,
+            CalculateFluxes,
+            FluxCorrection,
+            FluxDivergence,
+            WeightedSumData,
+            StartReceiveBoundBufs,
+            SendBoundBufs,
+            ReceiveBoundBufs,
+            SetBounds,
+            RedistributeAndRefineMeshBlocks,
+            UpdateMeshBlockTree,
+            EstimateTimeStep,
+            InitializeBufferCache,
+            RebuildBufferCache,
+            MassHistory,
+            Other,
+        ]
+    }
+
+    /// Canonical display name (matches the paper's figure labels).
+    pub fn name(&self) -> &'static str {
+        use StepFunction::*;
+        match self {
+            FillDerived => "FillDerived",
+            RefinementTag => "Refinement::Tag",
+            CalculateFluxes => "CalculateFluxes",
+            FluxCorrection => "FluxCorrection",
+            FluxDivergence => "FluxDivergence",
+            WeightedSumData => "WeightedSumData",
+            StartReceiveBoundBufs => "StartReceiveBoundBufs",
+            SendBoundBufs => "SendBoundBufs",
+            ReceiveBoundBufs => "ReceiveBoundBufs",
+            SetBounds => "SetBounds",
+            RedistributeAndRefineMeshBlocks => "RedistributeAndRefineMeshBlocks",
+            UpdateMeshBlockTree => "UpdateMeshBlockTree",
+            EstimateTimeStep => "EstimateTimeStep",
+            InitializeBufferCache => "InitializeBufferCache",
+            RebuildBufferCache => "RebuildBufferCache",
+            MassHistory => "MassHistory",
+            Other => "other",
+        }
+    }
+}
+
+impl fmt::Display for StepFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_names_unique() {
+        let mut names: Vec<_> = StepFunction::all().iter().map(|f| f.name()).collect();
+        let before = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn display_matches_paper_labels() {
+        assert_eq!(StepFunction::RefinementTag.to_string(), "Refinement::Tag");
+        assert_eq!(
+            StepFunction::RedistributeAndRefineMeshBlocks.to_string(),
+            "RedistributeAndRefineMeshBlocks"
+        );
+    }
+
+    #[test]
+    fn all_is_nonempty_and_ordered() {
+        let all = StepFunction::all();
+        assert!(all.len() >= 15);
+        assert_eq!(all[0], StepFunction::FillDerived);
+        assert_eq!(*all.last().unwrap(), StepFunction::Other);
+    }
+}

@@ -1,0 +1,25 @@
+//! # vibe-prof
+//!
+//! Kokkos-Tools-style instrumentation for the AMR framework: every kernel
+//! launch, serial work loop, communication event, and memory allocation is
+//! recorded against the Parthenon timestep-loop function it belongs to.
+//!
+//! The recorder collects *workload quantities* (cells, FLOPs, bytes, loop
+//! trip counts, message sizes), not wall-clock times: the
+//! `vibe-hwmodel` crate converts these counters into modeled execution times
+//! for a concrete CPU/GPU platform, mirroring how the paper derives its
+//! timing breakdowns (Figs. 7, 9, 11, 12), microarchitectural table
+//! (Table III), communication growth ratios (§IV), and memory footprints
+//! (Fig. 10) from profiler output.
+
+pub mod functions;
+pub mod recorder;
+pub mod report;
+pub mod timeline;
+
+pub use functions::StepFunction;
+pub use recorder::{
+    CollectiveOp, CommTotals, CycleStats, KernelTotals, MemSpace, Recorder, SerialWork,
+};
+pub use report::{format_function_table, format_kernel_table};
+pub use timeline::{cycle_table, evolution_line, sparkline};

@@ -1,0 +1,423 @@
+//! The workload recorder: accumulates kernel, serial, communication, and
+//! memory events per timestep-loop function and per cycle.
+
+use std::collections::BTreeMap;
+
+use crate::functions::StepFunction;
+
+/// Accumulated work of one named kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KernelTotals {
+    /// Kernel launch count (each launch pays GPU launch latency).
+    pub launches: u64,
+    /// Cells processed across all launches.
+    pub cells: u64,
+    /// Floating-point operations performed.
+    pub flops: u64,
+    /// Bytes moved to/from memory by the kernel.
+    pub bytes: u64,
+}
+
+impl KernelTotals {
+    /// Arithmetic intensity in FLOPs per byte (0 when no bytes moved).
+    pub fn arithmetic_intensity(&self) -> f64 {
+        if self.bytes == 0 {
+            0.0
+        } else {
+            self.flops as f64 / self.bytes as f64
+        }
+    }
+
+    fn absorb(&mut self, other: &KernelTotals) {
+        self.launches += other.launches;
+        self.cells += other.cells;
+        self.flops += other.flops;
+        self.bytes += other.bytes;
+    }
+}
+
+/// Typed serial (non-kernel) work quantities, costed individually by the
+/// serial host model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SerialWork {
+    /// Scalar per-block management loop iterations.
+    BlockLoop(u64),
+    /// Per-boundary iterations (buffer cache setup, metadata fill).
+    BoundaryLoop(u64),
+    /// Keys passed through sort+shuffle in `InitializeBufferCache`.
+    SortedKeys(u64),
+    /// String-keyed variable lookups (`GetVariablesByFlag`).
+    StringLookups(u64),
+    /// Discrete memory allocations (Views-of-Views population etc.).
+    Allocations(u64),
+    /// Bytes of host-side metadata copies (incl. host-to-device setup).
+    HostCopyBytes(u64),
+    /// Tree node manipulations (refine/derefine/rebuild).
+    TreeOps(u64),
+}
+
+/// Serial work accumulated for one function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SerialTotals {
+    /// See [`SerialWork::BlockLoop`].
+    pub block_loop: u64,
+    /// See [`SerialWork::BoundaryLoop`].
+    pub boundary_loop: u64,
+    /// See [`SerialWork::SortedKeys`].
+    pub sorted_keys: u64,
+    /// See [`SerialWork::StringLookups`].
+    pub string_lookups: u64,
+    /// See [`SerialWork::Allocations`].
+    pub allocations: u64,
+    /// See [`SerialWork::HostCopyBytes`].
+    pub host_copy_bytes: u64,
+    /// See [`SerialWork::TreeOps`].
+    pub tree_ops: u64,
+}
+
+impl SerialTotals {
+    fn add(&mut self, work: SerialWork) {
+        match work {
+            SerialWork::BlockLoop(n) => self.block_loop += n,
+            SerialWork::BoundaryLoop(n) => self.boundary_loop += n,
+            SerialWork::SortedKeys(n) => self.sorted_keys += n,
+            SerialWork::StringLookups(n) => self.string_lookups += n,
+            SerialWork::Allocations(n) => self.allocations += n,
+            SerialWork::HostCopyBytes(n) => self.host_copy_bytes += n,
+            SerialWork::TreeOps(n) => self.tree_ops += n,
+        }
+    }
+
+    fn absorb(&mut self, other: &SerialTotals) {
+        self.block_loop += other.block_loop;
+        self.boundary_loop += other.boundary_loop;
+        self.sorted_keys += other.sorted_keys;
+        self.string_lookups += other.string_lookups;
+        self.allocations += other.allocations;
+        self.host_copy_bytes += other.host_copy_bytes;
+        self.tree_ops += other.tree_ops;
+    }
+}
+
+/// MPI collective operations used by the framework.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CollectiveOp {
+    /// Refinement-flag aggregation in `UpdateMeshBlockTree`.
+    AllGather,
+    /// Timestep reduction in `EstimateTimeStep`.
+    AllReduce,
+}
+
+/// Accumulated communication events.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CommTotals {
+    /// Point-to-point messages within a rank (buffer copy, no MPI).
+    pub p2p_local_messages: u64,
+    /// Point-to-point messages between ranks.
+    pub p2p_remote_messages: u64,
+    /// Bytes moved by local copies.
+    pub p2p_local_bytes: u64,
+    /// Bytes moved by remote messages.
+    pub p2p_remote_bytes: u64,
+    /// Ghost/flux cells communicated (the paper's "communicated cells").
+    pub cells_communicated: u64,
+    /// Collective invocations and payload bytes per op.
+    pub collectives: BTreeMap<CollectiveOp, (u64, u64)>,
+}
+
+impl CommTotals {
+    fn absorb(&mut self, other: &CommTotals) {
+        self.p2p_local_messages += other.p2p_local_messages;
+        self.p2p_remote_messages += other.p2p_remote_messages;
+        self.p2p_local_bytes += other.p2p_local_bytes;
+        self.p2p_remote_bytes += other.p2p_remote_bytes;
+        self.cells_communicated += other.cells_communicated;
+        for (op, (c, b)) in &other.collectives {
+            let e = self.collectives.entry(*op).or_insert((0, 0));
+            e.0 += c;
+            e.1 += b;
+        }
+    }
+}
+
+/// Memory spaces distinguished by the footprint analysis (Fig. 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MemSpace {
+    /// Kokkos/Parthenon-managed mesh data.
+    Kokkos,
+    /// MPI communication buffers.
+    MpiBuffers,
+    /// Open MPI driver overhead (per rank).
+    MpiDriver,
+}
+
+/// Everything recorded during one simulation cycle.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CycleStats {
+    /// Cycle number.
+    pub cycle: u64,
+    /// Mesh blocks at the end of the cycle.
+    pub nblocks: u64,
+    /// Blocks split this cycle.
+    pub blocks_refined: u64,
+    /// Parent regions merged this cycle.
+    pub blocks_derefined: u64,
+    /// Interior cell updates performed (cells × RK stages).
+    pub cell_updates: u64,
+    /// Per-kernel work this cycle, attributed to its launching function.
+    pub kernels: BTreeMap<(StepFunction, &'static str), KernelTotals>,
+    /// Serial work this cycle per function.
+    pub serial: BTreeMap<StepFunction, SerialTotals>,
+    /// Communication this cycle per function.
+    pub comm: BTreeMap<StepFunction, CommTotals>,
+}
+
+impl CycleStats {
+    /// Total cells communicated this cycle (all functions).
+    pub fn cells_communicated(&self) -> u64 {
+        self.comm.values().map(|c| c.cells_communicated).sum()
+    }
+
+    /// Total kernel launches this cycle.
+    pub fn kernel_launches(&self) -> u64 {
+        self.kernels.values().map(|k| k.launches).sum()
+    }
+}
+
+/// The central workload recorder, threaded through the driver.
+///
+/// ```
+/// use vibe_prof::{Recorder, StepFunction, SerialWork};
+///
+/// let mut rec = Recorder::new();
+/// rec.begin_cycle(0);
+/// rec.record_kernel(StepFunction::CalculateFluxes, "CalculateFluxes", 1, 4096, 500_000, 300_000);
+/// rec.record_serial(StepFunction::RefinementTag, SerialWork::BlockLoop(8));
+/// rec.end_cycle(8, 0, 0, 4096);
+/// assert_eq!(rec.cycles().len(), 1);
+/// assert_eq!(rec.totals().cell_updates, 4096);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    current: CycleStats,
+    in_cycle: bool,
+    cycles: Vec<CycleStats>,
+    totals: CycleStats,
+    mem_current: BTreeMap<MemSpace, i64>,
+    mem_peak: BTreeMap<MemSpace, i64>,
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a new cycle; events recorded until [`Recorder::end_cycle`] are
+    /// attributed to it.
+    pub fn begin_cycle(&mut self, cycle: u64) {
+        assert!(!self.in_cycle, "begin_cycle while a cycle is open");
+        self.current = CycleStats {
+            cycle,
+            ..CycleStats::default()
+        };
+        self.in_cycle = true;
+    }
+
+    /// Closes the current cycle with its end-of-cycle mesh census.
+    pub fn end_cycle(&mut self, nblocks: u64, refined: u64, derefined: u64, cell_updates: u64) {
+        assert!(self.in_cycle, "end_cycle without begin_cycle");
+        self.current.nblocks = nblocks;
+        self.current.blocks_refined = refined;
+        self.current.blocks_derefined = derefined;
+        self.current.cell_updates = cell_updates;
+        self.absorb_into_totals();
+        let finished = std::mem::take(&mut self.current);
+        self.cycles.push(finished);
+        self.in_cycle = false;
+    }
+
+    /// Records one kernel launch batch.
+    pub fn record_kernel(
+        &mut self,
+        func: StepFunction,
+        name: &'static str,
+        launches: u64,
+        cells: u64,
+        flops: u64,
+        bytes: u64,
+    ) {
+        let e = self.current.kernels.entry((func, name)).or_default();
+        e.launches += launches;
+        e.cells += cells;
+        e.flops += flops;
+        e.bytes += bytes;
+    }
+
+    /// Records typed serial work for `func`.
+    pub fn record_serial(&mut self, func: StepFunction, work: SerialWork) {
+        self.current.serial.entry(func).or_default().add(work);
+    }
+
+    /// Records one point-to-point transfer of `bytes`/`cells`, local when
+    /// sender and receiver share a rank.
+    pub fn record_p2p(&mut self, func: StepFunction, bytes: u64, cells: u64, local: bool) {
+        let c = self.current.comm.entry(func).or_default();
+        if local {
+            c.p2p_local_messages += 1;
+            c.p2p_local_bytes += bytes;
+        } else {
+            c.p2p_remote_messages += 1;
+            c.p2p_remote_bytes += bytes;
+        }
+        c.cells_communicated += cells;
+    }
+
+    /// Records one collective of `bytes` payload per rank.
+    pub fn record_collective(&mut self, func: StepFunction, op: CollectiveOp, bytes: u64) {
+        let c = self.current.comm.entry(func).or_default();
+        let e = c.collectives.entry(op).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += bytes;
+    }
+
+    /// Records a memory allocation (positive) or deallocation (negative).
+    pub fn record_alloc(&mut self, space: MemSpace, delta_bytes: i64) {
+        let cur = self.mem_current.entry(space).or_insert(0);
+        *cur += delta_bytes;
+        let peak = self.mem_peak.entry(space).or_insert(0);
+        *peak = (*peak).max(*cur);
+    }
+
+    /// Current live bytes per memory space.
+    pub fn mem_current(&self, space: MemSpace) -> i64 {
+        self.mem_current.get(&space).copied().unwrap_or(0)
+    }
+
+    /// Peak live bytes per memory space.
+    pub fn mem_peak(&self, space: MemSpace) -> i64 {
+        self.mem_peak.get(&space).copied().unwrap_or(0)
+    }
+
+    /// Completed cycles in order.
+    pub fn cycles(&self) -> &[CycleStats] {
+        &self.cycles
+    }
+
+    /// Accumulated totals over all completed cycles.
+    pub fn totals(&self) -> &CycleStats {
+        &self.totals
+    }
+
+    fn absorb_into_totals(&mut self) {
+        let t = &mut self.totals;
+        t.nblocks = self.current.nblocks;
+        t.blocks_refined += self.current.blocks_refined;
+        t.blocks_derefined += self.current.blocks_derefined;
+        t.cell_updates += self.current.cell_updates;
+        for (k, v) in &self.current.kernels {
+            t.kernels.entry(*k).or_default().absorb(v);
+        }
+        for (k, v) in &self.current.serial {
+            t.serial.entry(*k).or_default().absorb(v);
+        }
+        for (k, v) in &self.current.comm {
+            t.comm.entry(*k).or_default().absorb(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_lifecycle_and_totals() {
+        let mut r = Recorder::new();
+        r.begin_cycle(0);
+        r.record_kernel(StepFunction::CalculateFluxes, "CalculateFluxes", 2, 100, 1000, 800);
+        r.end_cycle(4, 1, 0, 100);
+        r.begin_cycle(1);
+        r.record_kernel(StepFunction::CalculateFluxes, "CalculateFluxes", 2, 150, 1500, 1200);
+        r.end_cycle(7, 1, 0, 150);
+
+        assert_eq!(r.cycles().len(), 2);
+        let t = r.totals();
+        assert_eq!(t.cell_updates, 250);
+        assert_eq!(t.blocks_refined, 2);
+        let k = &t.kernels[&(StepFunction::CalculateFluxes, "CalculateFluxes")];
+        assert_eq!(k.launches, 4);
+        assert_eq!(k.flops, 2500);
+    }
+
+    #[test]
+    #[should_panic(expected = "begin_cycle while a cycle is open")]
+    fn double_begin_panics() {
+        let mut r = Recorder::new();
+        r.begin_cycle(0);
+        r.begin_cycle(1);
+    }
+
+    #[test]
+    fn serial_work_typed_accumulation() {
+        let mut r = Recorder::new();
+        r.begin_cycle(0);
+        r.record_serial(StepFunction::SendBoundBufs, SerialWork::BoundaryLoop(26));
+        r.record_serial(StepFunction::SendBoundBufs, SerialWork::SortedKeys(26));
+        r.record_serial(StepFunction::SendBoundBufs, SerialWork::BoundaryLoop(4));
+        r.end_cycle(1, 0, 0, 0);
+        let s = &r.totals().serial[&StepFunction::SendBoundBufs];
+        assert_eq!(s.boundary_loop, 30);
+        assert_eq!(s.sorted_keys, 26);
+        assert_eq!(s.block_loop, 0);
+    }
+
+    #[test]
+    fn p2p_local_vs_remote() {
+        let mut r = Recorder::new();
+        r.begin_cycle(0);
+        r.record_p2p(StepFunction::SendBoundBufs, 1024, 128, true);
+        r.record_p2p(StepFunction::SendBoundBufs, 2048, 256, false);
+        r.end_cycle(1, 0, 0, 0);
+        let c = &r.totals().comm[&StepFunction::SendBoundBufs];
+        assert_eq!(c.p2p_local_messages, 1);
+        assert_eq!(c.p2p_remote_messages, 1);
+        assert_eq!(c.cells_communicated, 384);
+        assert_eq!(r.cycles()[0].cells_communicated(), 384);
+    }
+
+    #[test]
+    fn collectives_counted_per_op() {
+        let mut r = Recorder::new();
+        r.begin_cycle(0);
+        r.record_collective(StepFunction::UpdateMeshBlockTree, CollectiveOp::AllGather, 512);
+        r.record_collective(StepFunction::EstimateTimeStep, CollectiveOp::AllReduce, 8);
+        r.record_collective(StepFunction::EstimateTimeStep, CollectiveOp::AllReduce, 8);
+        r.end_cycle(1, 0, 0, 0);
+        let est = &r.totals().comm[&StepFunction::EstimateTimeStep];
+        assert_eq!(est.collectives[&CollectiveOp::AllReduce], (2, 16));
+    }
+
+    #[test]
+    fn memory_peak_tracking() {
+        let mut r = Recorder::new();
+        r.record_alloc(MemSpace::Kokkos, 1000);
+        r.record_alloc(MemSpace::Kokkos, 500);
+        r.record_alloc(MemSpace::Kokkos, -800);
+        assert_eq!(r.mem_current(MemSpace::Kokkos), 700);
+        assert_eq!(r.mem_peak(MemSpace::Kokkos), 1500);
+        assert_eq!(r.mem_current(MemSpace::MpiDriver), 0);
+    }
+
+    #[test]
+    fn arithmetic_intensity() {
+        let k = KernelTotals {
+            launches: 1,
+            cells: 10,
+            flops: 430,
+            bytes: 100,
+        };
+        assert!((k.arithmetic_intensity() - 4.3).abs() < 1e-12);
+        assert_eq!(KernelTotals::default().arithmetic_intensity(), 0.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Text rendering of recorded workload summaries.
+
+use crate::functions::StepFunction;
+use crate::recorder::CycleStats;
+
+/// Formats a per-kernel work table (launches, cells, FLOPs, bytes,
+/// arithmetic intensity) from accumulated totals.
+pub fn format_kernel_table(totals: &CycleStats) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<28} {:>9} {:>14} {:>16} {:>16} {:>8}\n",
+        "Kernel", "Launches", "Cells", "FLOPs", "Bytes", "AI"
+    ));
+    // Aggregate by kernel name across functions.
+    let mut by_name: std::collections::BTreeMap<&'static str, crate::recorder::KernelTotals> =
+        std::collections::BTreeMap::new();
+    for ((_, name), k) in &totals.kernels {
+        let e = by_name.entry(name).or_default();
+        e.launches += k.launches;
+        e.cells += k.cells;
+        e.flops += k.flops;
+        e.bytes += k.bytes;
+    }
+    for (name, k) in &by_name {
+        out.push_str(&format!(
+            "{:<28} {:>9} {:>14} {:>16} {:>16} {:>8.2}\n",
+            name,
+            k.launches,
+            k.cells,
+            k.flops,
+            k.bytes,
+            k.arithmetic_intensity()
+        ));
+    }
+    out
+}
+
+/// Formats per-function serial and communication work from accumulated
+/// totals.
+pub fn format_function_table(totals: &CycleStats) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<34} {:>10} {:>10} {:>12} {:>10} {:>12}\n",
+        "Function", "BlockLoop", "BdryLoop", "StrLookups", "Msgs", "CommCells"
+    ));
+    for f in StepFunction::all() {
+        let s = totals.serial.get(f).copied().unwrap_or_default();
+        let c = totals.comm.get(f).cloned().unwrap_or_default();
+        let has_kernel = totals.kernels.keys().any(|(kf, _)| kf == f);
+        if s == Default::default() && c == Default::default() && !has_kernel {
+            continue;
+        }
+        out.push_str(&format!(
+            "{:<34} {:>10} {:>10} {:>12} {:>10} {:>12}\n",
+            f.name(),
+            s.block_loop,
+            s.boundary_loop,
+            s.string_lookups,
+            c.p2p_local_messages + c.p2p_remote_messages,
+            c.cells_communicated,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{Recorder, SerialWork};
+
+    fn sample() -> Recorder {
+        let mut r = Recorder::new();
+        r.begin_cycle(0);
+        r.record_kernel(StepFunction::CalculateFluxes, "CalculateFluxes", 3, 4096, 800_000, 200_000);
+        r.record_serial(StepFunction::RefinementTag, SerialWork::BlockLoop(64));
+        r.record_p2p(StepFunction::SendBoundBufs, 8192, 1024, false);
+        r.end_cycle(64, 0, 0, 4096);
+        r
+    }
+
+    #[test]
+    fn kernel_table_lists_kernel() {
+        let r = sample();
+        let table = format_kernel_table(r.totals());
+        assert!(table.contains("CalculateFluxes"));
+        assert!(table.contains("4096"));
+        assert!(table.contains("4.00"), "AI column: {table}");
+    }
+
+    #[test]
+    fn function_table_skips_untouched_functions() {
+        let r = sample();
+        let table = format_function_table(r.totals());
+        assert!(table.contains("Refinement::Tag"));
+        assert!(table.contains("SendBoundBufs"));
+        assert!(!table.contains("MassHistory"));
+    }
+}

@@ -1,0 +1,67 @@
+//! Quickstart: run a small 3D Burgers AMR simulation and model its
+//! performance on the paper's platforms.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use vibe_amr::prelude::*;
+
+fn main() -> Result<(), vibe_amr::mesh::MeshError> {
+    // A 32³ mesh of 8³ blocks with up to 3 AMR levels — a scaled-down
+    // version of the paper's Mesh=128 / B=8 / L=3 configuration.
+    let mesh = Mesh::new(
+        MeshParams::builder()
+            .dim(3)
+            .mesh_cells(32)
+            .block_cells(8)
+            .max_levels(3)
+            .build()?,
+    )?;
+
+    let pkg = BurgersPackage::new(BurgersParams {
+        num_scalars: 8,
+        ..Default::default()
+    });
+    let mut driver = Driver::new(
+        mesh,
+        pkg,
+        DriverParams {
+            nranks: 12,
+            ..Default::default()
+        },
+    );
+
+    // Drop a "stone into still water" and let the mesh adapt to it.
+    driver.initialize(ic::gaussian_blob(0.9, 0.004));
+    println!(
+        "initialized: {} blocks over {} levels",
+        driver.mesh().num_blocks(),
+        driver.mesh().level_census().len()
+    );
+
+    for summary in driver.run_cycles(3) {
+        println!(
+            "cycle {}: t={:.4} dt={:.2e} blocks={} (+{} refined, -{} merged)",
+            summary.cycle, summary.time, summary.dt, summary.nblocks, summary.refined,
+            summary.derefined
+        );
+    }
+
+    // Model the recorded workload on the paper's hardware.
+    let rec = driver.recorder();
+    for (label, cfg) in [
+        ("96-core Sapphire Rapids", PlatformConfig::cpu_only(96, 8)),
+        ("1x H100, 1 rank", PlatformConfig::gpu(1, 1, 8)),
+        ("1x H100, 12 ranks", PlatformConfig::gpu(1, 12, 8)),
+    ] {
+        let report = evaluate(rec, &cfg);
+        println!(
+            "{label:<24} FOM {:>10.3e} zone-cycles/s  (kernel {:.1}%, GPU util {:.1}%)",
+            report.fom,
+            report.kernel_fraction() * 100.0,
+            report.gpu_utilization * 100.0
+        );
+    }
+    Ok(())
+}

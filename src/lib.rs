@@ -1,0 +1,62 @@
+//! # vibe-amr
+//!
+//! A Rust reproduction of the system studied in *"Characterizing Adaptive
+//! Mesh Refinement on Heterogeneous Platforms with Parthenon-VIBE"*
+//! (IISWC 2025): a block-structured AMR framework (tree-based mesh, ghost
+//! communication, flux correction, load balancing), the Parthenon-VIBE
+//! Burgers benchmark (WENO5 + HLL + RK2), and analytical performance/memory
+//! models of the paper's Sapphire Rapids + H100 testbed that regenerate
+//! every figure and table of the evaluation.
+//!
+//! This facade crate re-exports the subsystem crates:
+//!
+//! * [`mesh`] — tree-based mesh, 2:1 nesting, Morton load balancing
+//! * [`field`] — variables, containers, ghost buffers, prolong/restrict
+//! * [`exec`] — Kokkos-like kernel launching and descriptors
+//! * [`comm`] — simulated MPI (mailbox, buffer caches, collectives)
+//! * [`prof`] — workload recording (kernels, serial, comm, memory)
+//! * [`core`] — the evolution driver (timestep loop)
+//! * [`burgers`] — the VIBE benchmark package
+//! * [`hwmodel`] — H100/SPR performance and memory models
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use vibe_amr::prelude::*;
+//!
+//! let mesh = Mesh::new(
+//!     MeshParams::builder()
+//!         .dim(3)
+//!         .mesh_cells(16)
+//!         .block_cells(8)
+//!         .max_levels(2)
+//!         .build()?,
+//! )?;
+//! let pkg = BurgersPackage::new(BurgersParams { num_scalars: 1, ..Default::default() });
+//! let mut driver = Driver::new(mesh, pkg, DriverParams::default());
+//! driver.initialize(ic::gaussian_blob(0.8, 0.02));
+//! driver.run_cycles(2);
+//! let report = evaluate(driver.recorder(), &PlatformConfig::gpu(1, 1, 8));
+//! println!("FOM: {:.3e} zone-cycles/s", report.fom);
+//! # Ok::<(), vibe_mesh::MeshError>(())
+//! ```
+
+pub use vibe_burgers as burgers;
+pub use vibe_comm as comm;
+pub use vibe_core as core;
+pub use vibe_exec as exec;
+pub use vibe_field as field;
+pub use vibe_hwmodel as hwmodel;
+pub use vibe_mesh as mesh;
+pub use vibe_prof as prof;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use vibe_burgers::{ic, BurgersPackage, BurgersParams, Reconstruction};
+    pub use vibe_core::{BlockInfo, BlockSlot, CycleSummary, Driver, DriverParams, Package};
+    pub use vibe_field::{BlockData, Metadata, PackStrategy};
+    pub use vibe_hwmodel::platform::evaluate;
+    pub use vibe_hwmodel::{Backend, CpuSpec, GpuSpec, MemoryModel, PlatformConfig};
+    pub use vibe_mesh::{Mesh, MeshParams, RegionSize};
+    pub use vibe_prof::{Recorder, StepFunction};
+}

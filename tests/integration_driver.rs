@@ -1,0 +1,264 @@
+//! Cross-crate integration tests: the full driver + Burgers package +
+//! communication + profiling stack on small 3D workloads.
+
+use vibe_amr::prelude::*;
+
+fn make_driver(nranks: usize, levels: u32) -> Driver<BurgersPackage> {
+    let mesh = Mesh::new(
+        MeshParams::builder()
+            .dim(3)
+            .mesh_cells(16)
+            .block_cells(8)
+            .max_levels(levels)
+            .deref_gap(4)
+            .build()
+            .expect("valid mesh"),
+    )
+    .expect("mesh");
+    let pkg = BurgersPackage::new(BurgersParams {
+        num_scalars: 2,
+        refine_tol: 0.05,
+        deref_tol: 0.012,
+        ..Default::default()
+    });
+    let mut d = Driver::new(
+        mesh,
+        pkg,
+        DriverParams {
+            nranks,
+            cfl: 0.25,
+            ..Default::default()
+        },
+    );
+    d.initialize(ic::gaussian_blob(1.0, 0.003));
+    d
+}
+
+#[test]
+fn amr_structure_stays_valid_across_cycles() {
+    let mut d = make_driver(2, 3);
+    for _ in 0..4 {
+        d.step();
+        // Tiling + level bound invariants.
+        d.mesh().tree().validate().expect("tree valid");
+        // 2:1 rule between every pair of neighbors.
+        for b in d.mesh().blocks() {
+            for nb in d.mesh().neighbors(b.gid()) {
+                assert!(
+                    (nb.loc.level() - b.level()).abs() <= 1,
+                    "2:1 violated between {} and {}",
+                    b.loc(),
+                    nb.loc
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn steepening_flow_triggers_refinement() {
+    // Start *smooth and unrefined*: the initial sine gradient sits below the
+    // refinement threshold. Burgers steepening must push it over, so the
+    // hierarchy has to deepen at shock formation (t* = 1/(0.4·2π) ≈ 0.4).
+    let mesh = Mesh::new(
+        MeshParams::builder()
+            .dim(3)
+            .mesh_cells(16)
+            .block_cells(8)
+            .max_levels(2)
+            .build()
+            .expect("valid mesh"),
+    )
+    .expect("mesh");
+    let pkg = BurgersPackage::new(BurgersParams {
+        num_scalars: 1,
+        refine_tol: 0.3,
+        deref_tol: 0.0,
+        ..Default::default()
+    });
+    let mut d = Driver::new(mesh, pkg, DriverParams::default());
+    d.initialize(ic::sine_field(0.4));
+    assert_eq!(d.mesh().num_blocks(), 8, "smooth IC must not refine");
+    let mut saw_refine = false;
+    for _ in 0..80 {
+        if d.step().refined > 0 {
+            saw_refine = true;
+            break;
+        }
+    }
+    assert!(
+        saw_refine,
+        "shock formation must refine the mesh (t={})",
+        d.time()
+    );
+    assert!(d.mesh().num_blocks() > 8);
+}
+
+#[test]
+fn scalar_mass_conserved_with_amr_and_flux_correction() {
+    let mut d = make_driver(1, 2);
+    d.run_cycles(5);
+    let hist = d.history();
+    let first = hist.first().expect("history recorded").1[0];
+    let last = hist.last().expect("history recorded").1[0];
+    assert!(
+        ((first - last) / first).abs() < 1e-8,
+        "mass drift: {first} -> {last}"
+    );
+}
+
+#[test]
+fn recorder_captures_every_pipeline_stage() {
+    let mut d = make_driver(2, 2);
+    d.run_cycles(2);
+    let t = d.recorder().totals();
+    let kernel_names: Vec<&str> = t.kernels.keys().map(|(_, n)| *n).collect();
+    for required in [
+        "CalculateFluxes",
+        "WeightedSumData",
+        "FluxDivergence",
+        "SendBoundBufs",
+        "SetBounds",
+        "FirstDerivative",
+        "Est.Time.Mesh",
+        "MassHistory",
+        "CalculateDerived",
+    ] {
+        assert!(kernel_names.contains(&required), "missing {required}");
+    }
+    assert!(t.serial.contains_key(&StepFunction::InitializeBufferCache));
+    assert!(t.serial.contains_key(&StepFunction::RefinementTag));
+    assert!(t.comm.contains_key(&StepFunction::SendBoundBufs));
+    assert!(t.cell_updates > 0);
+}
+
+#[test]
+fn rank_count_changes_message_locality_not_physics() {
+    let mut d1 = make_driver(1, 2);
+    let mut d4 = make_driver(4, 2);
+    d1.run_cycles(3);
+    d4.run_cycles(3);
+    // Same physics: identical history (deterministic, rank-independent).
+    let h1 = &d1.history().last().unwrap().1;
+    let h4 = &d4.history().last().unwrap().1;
+    assert!(
+        (h1[0] - h4[0]).abs() < 1e-9,
+        "mass must not depend on decomposition: {} vs {}",
+        h1[0],
+        h4[0]
+    );
+    // Different communication classification.
+    let c1 = &d1.recorder().totals().comm[&StepFunction::SendBoundBufs];
+    let c4 = &d4.recorder().totals().comm[&StepFunction::SendBoundBufs];
+    assert_eq!(c1.p2p_remote_messages, 0);
+    assert!(c4.p2p_remote_messages > 0);
+    assert_eq!(
+        c1.p2p_local_messages + c1.p2p_remote_messages,
+        c4.p2p_local_messages + c4.p2p_remote_messages,
+        "total message count is decomposition-independent"
+    );
+}
+
+#[test]
+fn deeper_hierarchies_communicate_more_per_update() {
+    let mut shallow = make_driver(1, 1);
+    let mut deep = make_driver(1, 3);
+    shallow.run_cycles(2);
+    deep.run_cycles(2);
+    let ratio = |d: &Driver<BurgersPackage>| {
+        let t = d.recorder().totals();
+        t.comm
+            .values()
+            .map(|c| c.cells_communicated)
+            .sum::<u64>() as f64
+            / t.cell_updates as f64
+    };
+    assert!(
+        ratio(&deep) > ratio(&shallow),
+        "deeper AMR has higher comm-to-compute: {} vs {}",
+        ratio(&deep),
+        ratio(&shallow)
+    );
+}
+
+#[test]
+fn solution_remains_finite_and_bounded() {
+    let mut d = make_driver(2, 3);
+    d.run_cycles(6);
+    for slot in d.slots() {
+        for var in slot.data.vars() {
+            for &v in var.data().as_slice() {
+                assert!(v.is_finite(), "non-finite value in {}", var.name());
+                assert!(v.abs() < 10.0, "runaway value {v} in {}", var.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn outflow_boundaries_let_the_pulse_leave() {
+    // Non-periodic domain: a right-moving pulse exits through the +x face
+    // and total scalar mass decreases monotonically (no wraparound).
+    use vibe_amr::mesh::RegionSize;
+    let region = RegionSize::new(
+        [0.0; 3],
+        [1.0, 1.0, 1.0],
+        [32, 8, 8],
+        [false, false, false],
+    );
+    let mesh = Mesh::new(
+        MeshParams::builder()
+            .dim(3)
+            .mesh_size([32, 8, 8])
+            .block_size([8, 8, 8])
+            .max_levels(1)
+            .region(region)
+            .build()
+            .expect("valid mesh"),
+    )
+    .expect("mesh");
+    let pkg = BurgersPackage::new(BurgersParams {
+        num_scalars: 1,
+        refine_tol: f64::INFINITY,
+        deref_tol: 0.0,
+        ..Default::default()
+    });
+    let mut d = Driver::new(mesh, pkg, DriverParams::default());
+    d.initialize(|info, data| {
+        let shape = *data.shape();
+        let uid = data.id_of("u").unwrap();
+        let qid = data.id_of("q").unwrap();
+        for k in 0..shape.entire_d(2) {
+            for j in 0..shape.entire_d(1) {
+                for i in 0..shape.entire_d(0) {
+                    let x = info.geom.cell_center(
+                        i as i64 - shape.nghost_d(0) as i64,
+                        0,
+                        0,
+                    )[0];
+                    data.var_mut(uid).data_mut().set(0, k, j, i, 1.0);
+                    data.var_mut(uid).data_mut().set(1, k, j, i, 0.0);
+                    data.var_mut(uid).data_mut().set(2, k, j, i, 0.0);
+                    let q = (-(x - 0.8f64).powi(2) / 0.003).exp();
+                    data.var_mut(qid).data_mut().set(0, k, j, i, q);
+                }
+            }
+        }
+    });
+    let mass0 = d.history().first().map(|h| h.1[0]);
+    for _ in 0..30 {
+        d.step();
+    }
+    let first = d.history().first().unwrap().1[0];
+    let last = d.history().last().unwrap().1[0];
+    let _ = mass0;
+    assert!(
+        last < 0.6 * first,
+        "pulse must exit the outflow boundary: {first} -> {last}"
+    );
+    for slot in d.slots() {
+        for v in slot.data.vars()[1].data().as_slice() {
+            assert!(v.is_finite() && *v < 1.5, "stable outflow, got {v}");
+        }
+    }
+}
