@@ -1,7 +1,13 @@
-//! Criterion microbenchmarks of the core computational kernels and the
-//! §VIII-A serial-hotspot ablations.
+//! Microbenchmarks of the core computational kernels and the §VIII-A
+//! serial-hotspot ablations.
+//!
+//! Std-only timing harness (the offline build has no registry access, so
+//! criterion is not available): each benchmark is calibrated to a target
+//! wall time and reported as ns/iteration. Run with
+//! `cargo bench -p vibe-bench`.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
 
 use vibe_burgers::{hll_flux, reconstruct_linear, reconstruct_weno5};
 use vibe_comm::{BoundaryKey, BufferCache, CacheConfig};
@@ -12,40 +18,56 @@ use vibe_mesh::{
 };
 use vibe_prof::Recorder;
 
-fn bench_reconstruction(c: &mut Criterion) {
-    let stencil6 = [1.0, 1.2, 1.5, 1.9, 2.4, 3.0];
-    let stencil4 = [1.0, 1.2, 1.5, 1.9];
-    let mut g = c.benchmark_group("reconstruction");
-    g.bench_function("weno5", |b| {
-        b.iter(|| reconstruct_weno5(black_box(&stencil6)))
-    });
-    g.bench_function("linear", |b| {
-        b.iter(|| reconstruct_linear(black_box(&stencil4)))
-    });
-    g.finish();
+/// Times `f` adaptively: doubles the iteration count until the batch takes
+/// at least ~20ms, then reports ns/iter over the final batch.
+fn bench(name: &str, mut f: impl FnMut()) {
+    let mut iters: u64 = 1;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = t0.elapsed();
+        if elapsed.as_millis() >= 20 || iters >= 1 << 30 {
+            let ns = elapsed.as_nanos() as f64 / iters as f64;
+            println!("{name:<40} {ns:>12.1} ns/iter  ({iters} iters)");
+            return;
+        }
+        iters *= 2;
+    }
 }
 
-fn bench_riemann(c: &mut Criterion) {
+fn bench_reconstruction() {
+    let stencil6 = [1.0, 1.2, 1.5, 1.9, 2.4, 3.0];
+    let stencil4 = [1.0, 1.2, 1.5, 1.9];
+    bench("reconstruction/weno5", || {
+        black_box(reconstruct_weno5(black_box(&stencil6)));
+    });
+    bench("reconstruction/linear", || {
+        black_box(reconstruct_linear(black_box(&stencil4)));
+    });
+}
+
+fn bench_riemann() {
     let u_l = [1.2, 0.3, -0.1];
     let u_r = [0.8, 0.2, -0.2];
     let q_l = [1.0f64; 8];
     let q_r = [1.5f64; 8];
     let mut out = [0.0f64; 11];
-    c.bench_function("hll_flux_11comp", |b| {
-        b.iter(|| {
-            hll_flux(
-                black_box(&u_l),
-                black_box(&q_l),
-                black_box(&u_r),
-                black_box(&q_r),
-                0,
-                &mut out,
-            )
-        })
+    bench("hll_flux_11comp", || {
+        hll_flux(
+            black_box(&u_l),
+            black_box(&q_l),
+            black_box(&u_r),
+            black_box(&q_r),
+            0,
+            &mut out,
+        );
+        black_box(&out);
     });
 }
 
-fn bench_pack_unpack(c: &mut Criterion) {
+fn bench_pack_unpack() {
     let shape = IndexShape::new([16, 16, 16], 4, 3);
     let r = LogicalLocation::new(0, 0, 0, 0);
     let s = LogicalLocation::new(0, 1, 0, 0);
@@ -55,99 +77,81 @@ fn bench_pack_unpack(c: &mut Criterion) {
     let mut recv = Array4::zeros([11, 24, 24, 24]);
     let mut buf = Vec::new();
     pack(&spec, &sender, &mut buf);
-    let mut g = c.benchmark_group("ghost_buffers");
-    g.bench_function("pack_face_11comp", |b| {
-        b.iter(|| {
-            let mut out = Vec::with_capacity(buf.len());
-            pack(black_box(&spec), black_box(&sender), &mut out);
-            out
-        })
+    bench("ghost_buffers/pack_face_11comp", || {
+        let mut out = Vec::with_capacity(buf.len());
+        pack(black_box(&spec), black_box(&sender), &mut out);
+        black_box(out);
     });
-    g.bench_function("unpack_face_11comp", |b| {
-        b.iter(|| unpack(black_box(&spec), black_box(&buf), &mut recv))
+    bench("ghost_buffers/unpack_face_11comp", || {
+        unpack(black_box(&spec), black_box(&buf), &mut recv);
     });
-    g.finish();
 }
 
-fn bench_var_lookup(c: &mut Criterion) {
+fn bench_var_lookup() {
     // The §VIII-A ablation: string-keyed GetVariablesByFlag vs integer ids.
     let shape = IndexShape::new([8, 8, 8], 4, 3);
-    let mut g = c.benchmark_group("var_lookup");
     for (name, strategy) in [
         ("string_keyed", PackStrategy::StringKeyed),
         ("integer_cached", PackStrategy::IntegerCached),
     ] {
-        g.bench_with_input(BenchmarkId::new("pack_by_flag", name), &strategy, |b, &strategy| {
-            let mut data = BlockData::new(shape);
-            for i in 0..12 {
-                data.add_variable(
-                    format!("var_with_long_descriptive_name_{i}"),
-                    1,
-                    Metadata::INDEPENDENT | Metadata::FILL_GHOST,
-                );
-            }
-            data.set_pack_strategy(strategy);
-            b.iter(|| data.pack_by_flag(black_box(Metadata::FILL_GHOST)))
+        let mut data = BlockData::new(shape);
+        for i in 0..12 {
+            data.add_variable(
+                format!("var_with_long_descriptive_name_{i}"),
+                1,
+                Metadata::INDEPENDENT | Metadata::FILL_GHOST,
+            );
+        }
+        data.set_pack_strategy(strategy);
+        bench(&format!("var_lookup/pack_by_flag/{name}"), || {
+            black_box(data.pack_by_flag(black_box(Metadata::FILL_GHOST)));
         });
     }
-    g.finish();
 }
 
-fn bench_buffer_cache(c: &mut Criterion) {
+fn bench_buffer_cache() {
     // The §VIII-A ablation: sort+shuffle of boundary keys per phase.
     let keys: Vec<BoundaryKey> = (0..4096)
         .map(|i| BoundaryKey::new(i % 512, (i * 7) % 512, (i % 26) as u32))
         .collect();
-    let mut g = c.benchmark_group("buffer_cache");
     for (name, sort) in [("sorted_shuffled", true), ("plain", false)] {
-        g.bench_with_input(
-            BenchmarkId::new("initialize_4096", name),
-            &sort,
-            |b, &sort| {
-                let cfg = CacheConfig {
-                    sort_and_randomize: sort,
-                    seed: 42,
-                };
-                b.iter(|| {
-                    let mut rec = Recorder::new();
-                    rec.begin_cycle(0);
-                    let mut cache = BufferCache::new();
-                    cache.initialize(black_box(keys.clone()), &cfg, &mut rec);
-                    rec.end_cycle(0, 0, 0, 0);
-                    cache.keys().len()
-                })
-            },
-        );
+        let cfg = CacheConfig {
+            sort_and_randomize: sort,
+            seed: 42,
+        };
+        bench(&format!("buffer_cache/initialize_4096/{name}"), || {
+            let mut rec = Recorder::new();
+            rec.begin_cycle(0);
+            let mut cache = BufferCache::new();
+            cache.initialize(black_box(keys.clone()), &cfg, &mut rec);
+            rec.end_cycle(0, 0, 0, 0);
+            black_box(cache.keys().len());
+        });
     }
-    g.finish();
 }
 
-fn bench_tree_ops(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tree");
-    g.bench_function("nesting_enforcement_512_blocks", |b| {
-        let tree = BlockTree::new(3, [8, 8, 8], 3, [true; 3]);
-        let flags: std::collections::HashMap<_, _> = tree
-            .leaves()
-            .enumerate()
-            .filter(|(i, _)| i % 5 == 0)
-            .map(|(_, l)| (l, AmrFlag::Refine))
-            .collect();
-        b.iter(|| enforce_proper_nesting(black_box(&tree), black_box(&flags)))
+fn bench_tree_ops() {
+    let tree = BlockTree::new(3, [8, 8, 8], 3, [true; 3]);
+    let flags: std::collections::BTreeMap<_, _> = tree
+        .leaves()
+        .enumerate()
+        .filter(|(i, _)| i % 5 == 0)
+        .map(|(_, l)| (l, AmrFlag::Refine))
+        .collect();
+    bench("tree/nesting_enforcement_512_blocks", || {
+        black_box(enforce_proper_nesting(black_box(&tree), black_box(&flags)));
     });
-    g.bench_function("morton_partition_4096_blocks", |b| {
-        let costs: Vec<f64> = (0..4096).map(|i| 1.0 + (i % 7) as f64 * 0.1).collect();
-        b.iter(|| partition_by_cost(black_box(&costs), 96))
+    let costs: Vec<f64> = (0..4096).map(|i| 1.0 + (i % 7) as f64 * 0.1).collect();
+    bench("tree/morton_partition_4096_blocks", || {
+        black_box(partition_by_cost(black_box(&costs), 96));
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_reconstruction,
-    bench_riemann,
-    bench_pack_unpack,
-    bench_var_lookup,
-    bench_buffer_cache,
-    bench_tree_ops
-);
-criterion_main!(benches);
+fn main() {
+    bench_reconstruction();
+    bench_riemann();
+    bench_pack_unpack();
+    bench_var_lookup();
+    bench_buffer_cache();
+    bench_tree_ops();
+}

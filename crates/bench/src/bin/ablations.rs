@@ -13,12 +13,7 @@ use vibe_hwmodel::PlatformConfig;
 use vibe_mesh::{Mesh, MeshParams};
 use vibe_prof::{Recorder, StepFunction};
 
-fn run(
-    spec: &WorkloadSpec,
-    pack: PackStrategy,
-    sort: bool,
-    restrict: bool,
-) -> (Recorder, u64) {
+fn run(spec: &WorkloadSpec, pack: PackStrategy, sort: bool, restrict: bool) -> (Recorder, u64) {
     let mesh = Mesh::new(
         MeshParams::builder()
             .dim(3)
@@ -72,10 +67,30 @@ fn main() {
 
     let mut rows = Vec::new();
     let cases: [(&str, PackStrategy, bool, bool); 4] = [
-        ("baseline (Parthenon defaults)", PackStrategy::StringKeyed, true, true),
-        ("integer-keyed lookups (§VIII-A)", PackStrategy::IntegerCached, true, true),
-        ("no boundary-key sort+shuffle", PackStrategy::StringKeyed, false, true),
-        ("no restrict-on-send (§II-C off)", PackStrategy::StringKeyed, true, false),
+        (
+            "baseline (Parthenon defaults)",
+            PackStrategy::StringKeyed,
+            true,
+            true,
+        ),
+        (
+            "integer-keyed lookups (§VIII-A)",
+            PackStrategy::IntegerCached,
+            true,
+            true,
+        ),
+        (
+            "no boundary-key sort+shuffle",
+            PackStrategy::StringKeyed,
+            false,
+            true,
+        ),
+        (
+            "no restrict-on-send (§II-C off)",
+            PackStrategy::StringKeyed,
+            true,
+            false,
+        ),
     ];
     for (label, pack, sort, restrict) in cases {
         let (rec, comm_cells) = run(&spec, pack, sort, restrict);

@@ -1,0 +1,167 @@
+//! Machine-readable performance probe: runs the fixed Mesh 64 / B16 / L2
+//! configuration at several host thread counts, measures *real* wall time
+//! of the cycling loop, and writes `BENCH_fom.json` so successive PRs have
+//! a comparable figure-of-merit trajectory.
+//!
+//! FOM = zone-cycles per second of real host wall time (not the modeled
+//! platform time). A state fingerprint per run verifies that parallel
+//! execution is bitwise identical to serial execution.
+//!
+//! Usage: `bench_fom [output-path]` (default `BENCH_fom.json`); the thread
+//! counts probed default to `[1, 8]` and can be overridden with
+//! `VIBE_BENCH_THREADS=1,4,8`.
+
+use std::time::Instant;
+
+use vibe_burgers::{ic, BurgersPackage, BurgersParams};
+use vibe_core::{Driver, DriverParams};
+use vibe_mesh::{Mesh, MeshParams};
+
+const MESH_CELLS: usize = 64;
+const BLOCK_CELLS: usize = 16;
+const LEVELS: u32 = 2;
+const CYCLES: u64 = 3;
+const NUM_SCALARS: usize = 4;
+
+struct RunResult {
+    threads: usize,
+    wall_s: f64,
+    zone_cycles: u64,
+    fom: f64,
+    fingerprint: u64,
+    final_blocks: usize,
+}
+
+/// FNV-1a over the raw f64 bits of every variable of every block, in gid
+/// and registration order — a deterministic fingerprint of the full state.
+fn fingerprint(driver: &Driver<BurgersPackage>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bits: u64| {
+        for shift in [0u32, 8, 16, 24, 32, 40, 48, 56] {
+            h ^= (bits >> shift) & 0xff;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for slot in driver.slots() {
+        for var in slot.data.vars() {
+            for &v in var.data().as_slice() {
+                eat(v.to_bits());
+            }
+        }
+    }
+    h
+}
+
+fn run(threads: usize) -> RunResult {
+    let mesh = Mesh::new(
+        MeshParams::builder()
+            .dim(3)
+            .mesh_cells(MESH_CELLS)
+            .block_cells(BLOCK_CELLS)
+            .max_levels(LEVELS)
+            .nghost(4)
+            .build()
+            .expect("valid probe mesh"),
+    )
+    .expect("constructible mesh");
+    let pkg = BurgersPackage::new(BurgersParams {
+        num_scalars: NUM_SCALARS,
+        refine_tol: 0.1,
+        deref_tol: 0.025,
+        ..BurgersParams::default()
+    });
+    let mut driver = Driver::new(
+        mesh,
+        pkg,
+        DriverParams {
+            nranks: 1,
+            cfl: 0.3,
+            host_threads: threads,
+            ..DriverParams::default()
+        },
+    );
+    driver.initialize(ic::multi_blob(0.9, 0.002, 3));
+    let t0 = Instant::now();
+    driver.run_cycles(CYCLES);
+    let wall_s = t0.elapsed().as_secs_f64();
+    let zone_cycles = driver.recorder().totals().cell_updates;
+    RunResult {
+        threads,
+        wall_s,
+        zone_cycles,
+        fom: zone_cycles as f64 / wall_s,
+        fingerprint: fingerprint(&driver),
+        final_blocks: driver.mesh().num_blocks(),
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_fom.json".to_string());
+    let threads: Vec<usize> = std::env::var("VIBE_BENCH_THREADS")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .map(|t| t.trim().parse().expect("thread count"))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![1, 8]);
+
+    let mut results = Vec::new();
+    for &t in &threads {
+        eprintln!(
+            "probe: Mesh {MESH_CELLS}/B{BLOCK_CELLS}/L{LEVELS}, {CYCLES} cycles, threads={t} ..."
+        );
+        let r = run(t);
+        eprintln!(
+            "  wall {:.3}s, {} zone-cycles, FOM {:.3e} zc/s, blocks {}, fp {:016x}",
+            r.wall_s, r.zone_cycles, r.fom, r.final_blocks, r.fingerprint
+        );
+        results.push(r);
+    }
+
+    let identical = results
+        .windows(2)
+        .all(|w| w[0].fingerprint == w[1].fingerprint && w[0].zone_cycles == w[1].zone_cycles);
+    let best = results.iter().map(|r| r.fom).fold(0.0, f64::max);
+    let serial_fom = results
+        .iter()
+        .find(|r| r.threads == 1)
+        .map(|r| r.fom)
+        .unwrap_or(best);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"config\": {{\"mesh_cells\": {MESH_CELLS}, \"block_cells\": {BLOCK_CELLS}, \"levels\": {LEVELS}, \"cycles\": {CYCLES}, \"num_scalars\": {NUM_SCALARS}}},\n"
+    ));
+    json.push_str("  \"runs\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"threads\": {}, \"wall_s\": {:.6}, \"zone_cycles\": {}, \"fom_zone_cycles_per_s\": {:.1}, \"final_blocks\": {}, \"state_fingerprint\": \"{:016x}\"}}{}\n",
+            r.threads,
+            r.wall_s,
+            r.zone_cycles,
+            r.fom,
+            r.final_blocks,
+            r.fingerprint,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"bit_identical_across_threads\": {identical},\n"
+    ));
+    json.push_str(&format!(
+        "  \"serial_fom_zone_cycles_per_s\": {serial_fom:.1},\n"
+    ));
+    json.push_str(&format!("  \"best_fom_zone_cycles_per_s\": {best:.1}\n"));
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_fom.json");
+    println!("{json}");
+    if !identical {
+        eprintln!("ERROR: state fingerprints differ across thread counts");
+        std::process::exit(1);
+    }
+}

@@ -25,10 +25,7 @@ fn main() {
         };
 
         // CPU 96 ranks.
-        let cpu_run = run_workload(&WorkloadSpec {
-            nranks: 96,
-            ..base
-        });
+        let cpu_run = run_workload(&WorkloadSpec { nranks: 96, ..base });
         let cpu = evaluate(&cpu_run.recorder, &PlatformConfig::cpu_only(96, block));
 
         // GPU: best rank count among a small sweep.

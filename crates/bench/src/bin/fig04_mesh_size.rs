@@ -25,14 +25,8 @@ fn main() {
             ..WorkloadSpec::default()
         };
         let run1 = run_workload(&WorkloadSpec { nranks: 1, ..base });
-        let run12 = run_workload(&WorkloadSpec {
-            nranks: 12,
-            ..base
-        });
-        let run96 = run_workload(&WorkloadSpec {
-            nranks: 96,
-            ..base
-        });
+        let run12 = run_workload(&WorkloadSpec { nranks: 12, ..base });
+        let run96 = run_workload(&WorkloadSpec { nranks: 96, ..base });
         let run8 = run_workload(&WorkloadSpec { nranks: 8, ..base });
 
         let cpu = evaluate(&run96.recorder, &PlatformConfig::cpu_only(96, 8));
@@ -55,7 +49,13 @@ fn main() {
         "{}",
         format_table(
             &[
-                "Mesh", "Blocks", "CPU-96R", "GPU1-1R", "GPU1-BestR", "GPU4", "GPU8"
+                "Mesh",
+                "Blocks",
+                "CPU-96R",
+                "GPU1-1R",
+                "GPU1-BestR",
+                "GPU4",
+                "GPU8"
             ],
             &rows
         )

@@ -20,14 +20,8 @@ fn main() {
             ..WorkloadSpec::default()
         };
         let run1 = run_workload(&WorkloadSpec { nranks: 1, ..base });
-        let run12 = run_workload(&WorkloadSpec {
-            nranks: 12,
-            ..base
-        });
-        let run96 = run_workload(&WorkloadSpec {
-            nranks: 96,
-            ..base
-        });
+        let run12 = run_workload(&WorkloadSpec { nranks: 12, ..base });
+        let run96 = run_workload(&WorkloadSpec { nranks: 96, ..base });
         let run4 = run_workload(&WorkloadSpec { nranks: 4, ..base });
 
         let cpu = evaluate(&run96.recorder, &PlatformConfig::cpu_only(96, block));

@@ -22,14 +22,8 @@ fn main() {
             ..WorkloadSpec::default()
         };
         let run1 = run_workload(&WorkloadSpec { nranks: 1, ..base });
-        let run12 = run_workload(&WorkloadSpec {
-            nranks: 12,
-            ..base
-        });
-        let run96 = run_workload(&WorkloadSpec {
-            nranks: 96,
-            ..base
-        });
+        let run12 = run_workload(&WorkloadSpec { nranks: 12, ..base });
+        let run96 = run_workload(&WorkloadSpec { nranks: 96, ..base });
 
         let cpu = evaluate(&run96.recorder, &PlatformConfig::cpu_only(96, 16));
         let g1r1 = evaluate(&run1.recorder, &PlatformConfig::gpu(1, 1, 16));

@@ -45,7 +45,13 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["Config", "Total (s)", "Kernel (s)", "Serial (s)", "Kernel %"],
+            &[
+                "Config",
+                "Total (s)",
+                "Kernel (s)",
+                "Serial (s)",
+                "Kernel %"
+            ],
             &rows
         )
     );

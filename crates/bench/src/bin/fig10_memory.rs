@@ -34,7 +34,17 @@ fn main() {
     let model = MemoryModel::default();
     let mut rows = Vec::new();
     for ranks in [1usize, 2, 4, 6, 8, 12, 16] {
-        let rep = model.report(&gpu, paper_field, paper_blocks, 8, 4, 8, 3, ranks, paper_buffers);
+        let rep = model.report(
+            &gpu,
+            paper_field,
+            paper_blocks,
+            8,
+            4,
+            8,
+            3,
+            ranks,
+            paper_buffers,
+        );
         rows.push(vec![
             format!("GPU-{ranks}R"),
             format!("{:.1}", rep.kokkos_total() as f64 / GB),
@@ -46,7 +56,13 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["Config", "Kokkos (GB)", "MPI (GB)", "Total (GB)", "80GB HBM"],
+            &[
+                "Config",
+                "Kokkos (GB)",
+                "MPI (GB)",
+                "Total (GB)",
+                "80GB HBM"
+            ],
             &rows
         )
     );
@@ -55,9 +71,7 @@ fn main() {
         blocks,
         field_bytes as f64 / GB
     );
-    println!(
-        "extrapolated to the paper's census of ~{paper_blocks} blocks ({scale:.1}x)."
-    );
+    println!("extrapolated to the paper's census of ~{paper_blocks} blocks ({scale:.1}x).");
     println!("\nPaper shape: Kokkos-managed memory is a large, rank-independent");
     println!("share; MPI buffers + driver grow with ranks and push 12 ranks to");
     println!("75.5 GB of the 80 GB HBM, with OOM shortly beyond.");

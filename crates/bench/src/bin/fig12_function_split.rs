@@ -11,8 +11,11 @@ use vibe_prof::StepFunction;
 
 fn main() {
     println!("== Fig. 12: per-function serial vs kernel seconds (Mesh=32, B=8, L=3) ==\n");
-    let configs: Vec<(&str, usize, bool)> =
-        vec![("GPU-1R", 1, true), ("GPU-8R", 8, true), ("CPU-96R", 96, false)];
+    let configs: Vec<(&str, usize, bool)> = vec![
+        ("GPU-1R", 1, true),
+        ("GPU-8R", 8, true),
+        ("CPU-96R", 96, false),
+    ];
     let mut reports = Vec::new();
     for (label, ranks, gpu) in &configs {
         let run = run_workload(&WorkloadSpec {

@@ -5,11 +5,23 @@ fn main() {
         let mut zc = Vec::new();
         let mut cc = Vec::new();
         for levels in [1u32, 2, 3] {
-            let r = run_workload(&WorkloadSpec { mesh_cells: 32, block_cells: 8, levels, cycles: 2, refine_tol: tol, ..Default::default() });
+            let r = run_workload(&WorkloadSpec {
+                mesh_cells: 32,
+                block_cells: 8,
+                levels,
+                cycles: 2,
+                refine_tol: tol,
+                ..Default::default()
+            });
             zc.push(r.zone_cycles() as f64);
             cc.push(r.cells_communicated() as f64);
         }
-        println!("tol={tol}: updates L2/L1={:.2} L3/L1={:.2} | comm L2/L1={:.2} L3/L1={:.2}",
-            zc[1]/zc[0], zc[2]/zc[0], cc[1]/cc[0], cc[2]/cc[0]);
+        println!(
+            "tol={tol}: updates L2/L1={:.2} L3/L1={:.2} | comm L2/L1={:.2} L3/L1={:.2}",
+            zc[1] / zc[0],
+            zc[2] / zc[0],
+            cc[1] / cc[0],
+            cc[2] / cc[0]
+        );
     }
 }

@@ -37,6 +37,9 @@ pub struct WorkloadSpec {
     pub refine_tol: f64,
     /// Variable-lookup strategy.
     pub pack_strategy: PackStrategy,
+    /// Host OS threads for per-block parallel stages (1 = exact serial
+    /// path; results are bitwise identical at any value).
+    pub host_threads: usize,
 }
 
 impl Default for WorkloadSpec {
@@ -55,6 +58,7 @@ impl Default for WorkloadSpec {
             dim: 3,
             refine_tol: 0.1,
             pack_strategy: PackStrategy::StringKeyed,
+            host_threads: 1,
         }
     }
 }
@@ -123,6 +127,7 @@ pub fn run_workload(spec: &WorkloadSpec) -> WorkloadResult {
             nranks: spec.nranks,
             cfl: 0.3,
             pack_strategy: spec.pack_strategy,
+            host_threads: spec.host_threads,
             ..DriverParams::default()
         },
     );

@@ -1,7 +1,7 @@
 //! The VIBE physics package: variables, fluxes, tagging, timestep, history.
 
 use vibe_core::{BlockSlot, Package};
-use vibe_exec::{catalog, for_each_block_parallel, ghost_byte_multiplier, Launcher};
+use vibe_exec::{catalog, ghost_byte_multiplier, ExecCtx, Launcher};
 use vibe_field::{BlockData, Metadata, VarId};
 use vibe_mesh::index::IndexDomain;
 use vibe_mesh::AmrFlag;
@@ -25,9 +25,6 @@ pub enum Reconstruction {
 pub struct BurgersParams {
     /// Number of passive scalars (the paper's §VIII-B example uses 8).
     pub num_scalars: usize,
-    /// Host OS threads for the flux sweep over a rank's block pack (the
-    /// CPU analogue of a packed device launch); 1 = inline.
-    pub host_threads: usize,
     /// Reconstruction scheme.
     pub recon: Reconstruction,
     /// First-derivative magnitude above which a block refines.
@@ -40,7 +37,6 @@ impl Default for BurgersParams {
     fn default() -> Self {
         Self {
             num_scalars: 8,
-            host_threads: 1,
             recon: Reconstruction::Weno5,
             refine_tol: 0.08,
             deref_tol: 0.02,
@@ -71,11 +67,6 @@ impl BurgersPackage {
             data.id_of("q").expect("q registered"),
             data.id_of("d").expect("d registered"),
         )
-    }
-
-    /// `block_fluxes` adapter for the parallel path (shared `&self`).
-    fn block_fluxes_shared(&self, slot: &mut &mut BlockSlot) {
-        self.block_fluxes(slot);
     }
 
     /// Computes all face fluxes of one block via reconstruction + HLL.
@@ -144,10 +135,12 @@ impl BurgersPackage {
                     pos[d] = f0;
                     pos[oa] = o1;
                     pos[ob] = o2;
-                    let dbase =
-                        pos[0] * data_strides[0] + pos[1] * data_strides[1] + pos[2] * data_strides[2];
-                    let fbase =
-                        pos[0] * flux_strides[0] + pos[1] * flux_strides[1] + pos[2] * flux_strides[2];
+                    let dbase = pos[0] * data_strides[0]
+                        + pos[1] * data_strides[1]
+                        + pos[2] * data_strides[2];
+                    let fbase = pos[0] * flux_strides[0]
+                        + pos[1] * flux_strides[1]
+                        + pos[2] * flux_strides[2];
 
                     for f in 0..faces {
                         let cidx = dbase + f * stride;
@@ -172,8 +165,7 @@ impl BurgersPackage {
                             };
                             let (l, r) = match recon {
                                 Reconstruction::Weno5 => {
-                                    let stencil =
-                                        [at(-3), at(-2), at(-1), at(0), at(1), at(2)];
+                                    let stencil = [at(-3), at(-2), at(-1), at(0), at(1), at(2)];
                                     reconstruct_weno5(&stencil)
                                 }
                                 Reconstruction::Linear => {
@@ -219,7 +211,7 @@ impl Package for BurgersPackage {
         data.add_variable("d", 1, Metadata::DERIVED);
     }
 
-    fn calculate_fluxes(&self, pack: &mut [&mut BlockSlot], rec: &mut Recorder) {
+    fn calculate_fluxes(&self, pack: &mut [&mut BlockSlot], exec: ExecCtx, rec: &mut Recorder) {
         let Some(first) = pack.first() else { return };
         let shape = *first.data.shape();
         let cells = pack.len() as u64 * shape.interior_count() as u64;
@@ -231,21 +223,14 @@ impl Package for BurgersPackage {
         let b = shape.ncells()[0];
         let g = shape.nghost();
         let d = shape.dim();
-        let mult =
-            (ghost_byte_multiplier(b, g, d) / ghost_byte_multiplier(32, g, d)).sqrt();
+        let mult = (ghost_byte_multiplier(b, g, d) / ghost_byte_multiplier(32, g, d)).sqrt();
         Launcher::new(rec).record_only(&catalog::CALCULATE_FLUXES, cells, mult);
-        if self.params.host_threads > 1 {
-            for_each_block_parallel(pack, self.params.host_threads, |_, slot| {
-                self.block_fluxes_shared(slot);
-            });
-        } else {
-            for slot in pack.iter_mut() {
-                self.block_fluxes(slot);
-            }
-        }
+        exec.for_each_block(pack, |_, slot| {
+            self.block_fluxes(slot);
+        });
     }
 
-    fn fill_derived(&self, pack: &mut [&mut BlockSlot], rec: &mut Recorder) {
+    fn fill_derived(&self, pack: &mut [&mut BlockSlot], exec: ExecCtx, rec: &mut Recorder) {
         let Some(first) = pack.first() else { return };
         let shape = *first.data.shape();
         let cells = pack.len() as u64 * shape.interior_count() as u64;
@@ -253,36 +238,33 @@ impl Package for BurgersPackage {
         let ix = shape.range(0, IndexDomain::Interior);
         let iy = shape.range(1, IndexDomain::Interior);
         let iz = shape.range(2, IndexDomain::Interior);
-        let mut scratch: Vec<f64> = Vec::new();
-        for slot in pack.iter_mut() {
+        let (i0, n) = (ix.s as usize, ix.len());
+        exec.for_each_block(pack, |_, slot| {
             let (uid, qid, did) = Self::ids(&mut slot.data);
-            scratch.clear();
-            {
-                let u = slot.data.var(uid).data();
-                let q0 = slot.data.var(qid).data();
-                for k in iz.iter() {
-                    for j in iy.iter() {
-                        for i in ix.iter() {
-                            let (iu, ju, ku) = (i as usize, j as usize, k as usize);
-                            let uu: f64 = (0..3).map(|c| u.get(c, ku, ju, iu).powi(2)).sum();
-                            scratch.push(0.5 * q0.get(0, ku, ju, iu) * uu);
-                        }
-                    }
-                }
-            }
-            let dvar = slot.data.var_mut(did).data_mut();
-            let mut it = scratch.iter();
+            let [uvar, qvar, dvar] = slot.data.disjoint_mut([uid, qid, did]);
+            let [_, ez, ey, ex] = uvar.data().shape();
+            let comp = ez * ey * ex;
+            let us = uvar.data().as_slice();
+            let qs = qvar.data().as_slice();
+            let ds = dvar.data_mut().as_mut_slice();
             for k in iz.iter() {
                 for j in iy.iter() {
-                    for i in ix.iter() {
-                        dvar.set(0, k as usize, j as usize, i as usize, *it.next().expect("scratch"));
+                    let row = ((k as usize * ey) + j as usize) * ex + i0;
+                    let u0 = &us[row..row + n];
+                    let u1 = &us[comp + row..comp + row + n];
+                    let u2 = &us[2 * comp + row..2 * comp + row + n];
+                    let qr = &qs[row..row + n];
+                    let dr = &mut ds[row..row + n];
+                    for t in 0..n {
+                        let uu = u0[t] * u0[t] + u1[t] * u1[t] + u2[t] * u2[t];
+                        dr[t] = 0.5 * qr[t] * uu;
                     }
                 }
             }
-        }
+        });
     }
 
-    fn estimate_dt(&self, pack: &mut [&mut BlockSlot], rec: &mut Recorder) -> f64 {
+    fn estimate_dt(&self, pack: &mut [&mut BlockSlot], exec: ExecCtx, rec: &mut Recorder) -> f64 {
         let Some(first) = pack.first() else {
             return f64::INFINITY;
         };
@@ -293,28 +275,43 @@ impl Package for BurgersPackage {
         let ix = shape.range(0, IndexDomain::Interior);
         let iy = shape.range(1, IndexDomain::Interior);
         let iz = shape.range(2, IndexDomain::Interior);
-        let mut min_dt = f64::INFINITY;
-        for slot in pack.iter_mut() {
+        let (i0, n) = (ix.s as usize, ix.len());
+        // Per-block minima folded in pack order (min is exact, so this is
+        // bitwise identical to the serial sweep at any thread count).
+        exec.map_blocks(pack, |_, slot| {
             let (uid, ..) = Self::ids(&mut slot.data);
             let dx = slot.info.geom.dx();
             let u = slot.data.var(uid).data();
-            for k in iz.iter() {
-                for j in iy.iter() {
-                    for i in ix.iter() {
-                        for d in 0..dim {
-                            let speed = u.get(d, k as usize, j as usize, i as usize).abs();
+            let [_, ez, ey, ex] = u.shape();
+            let comp = ez * ey * ex;
+            let us = u.as_slice();
+            let mut block_min = f64::INFINITY;
+            for d in 0..dim {
+                let inv = dx[d];
+                for k in iz.iter() {
+                    for j in iy.iter() {
+                        let row = d * comp + ((k as usize * ey) + j as usize) * ex + i0;
+                        for &v in &us[row..row + n] {
+                            let speed = v.abs();
                             if speed > 1e-12 {
-                                min_dt = min_dt.min(dx[d] / speed);
+                                block_min = block_min.min(inv / speed);
                             }
                         }
                     }
                 }
             }
-        }
-        min_dt
+            block_min
+        })
+        .into_iter()
+        .fold(f64::INFINITY, f64::min)
     }
 
-    fn tag_refinement(&self, pack: &mut [&mut BlockSlot], rec: &mut Recorder) -> Vec<AmrFlag> {
+    fn tag_refinement(
+        &self,
+        pack: &mut [&mut BlockSlot],
+        exec: ExecCtx,
+        rec: &mut Recorder,
+    ) -> Vec<AmrFlag> {
         let Some(first) = pack.first() else {
             return Vec::new();
         };
@@ -325,48 +322,52 @@ impl Package for BurgersPackage {
         let ix = shape.range(0, IndexDomain::Interior);
         let iy = shape.range(1, IndexDomain::Interior);
         let iz = shape.range(2, IndexDomain::Interior);
-        pack.iter_mut()
-            .map(|slot| {
-                let (uid, ..) = Self::ids(&mut slot.data);
-                let u = slot.data.var(uid).data();
-                let mut err: f64 = 0.0;
+        let (i0, n) = (ix.s as usize, ix.len());
+        exec.map_blocks(pack, |_, slot| {
+            let (uid, ..) = Self::ids(&mut slot.data);
+            let u = slot.data.var(uid).data();
+            let [_, ez, ey, ex] = u.shape();
+            let comp = ez * ey * ex;
+            let us = u.as_slice();
+            let mut err: f64 = 0.0;
+            for c in 0..3 {
                 for k in iz.iter() {
                     for j in iy.iter() {
-                        for i in ix.iter() {
-                            let (iu, ju, ku) = (i as usize, j as usize, k as usize);
-                            for c in 0..3 {
-                                let dx_ = (u.get(c, ku, ju, iu + 1) - u.get(c, ku, ju, iu - 1))
-                                    .abs();
-                                err = err.max(dx_);
-                                if dim >= 2 {
-                                    err = err.max(
-                                        (u.get(c, ku, ju + 1, iu) - u.get(c, ku, ju - 1, iu))
-                                            .abs(),
-                                    );
-                                }
-                                if dim >= 3 {
-                                    err = err.max(
-                                        (u.get(c, ku + 1, ju, iu) - u.get(c, ku - 1, ju, iu))
-                                            .abs(),
-                                    );
-                                }
+                        let row = c * comp + ((k as usize * ey) + j as usize) * ex + i0;
+                        let xm = &us[row - 1..row - 1 + n];
+                        let xp = &us[row + 1..row + 1 + n];
+                        for t in 0..n {
+                            err = err.max((xp[t] - xm[t]).abs());
+                        }
+                        if dim >= 2 {
+                            let ym = &us[row - ex..row - ex + n];
+                            let yp = &us[row + ex..row + ex + n];
+                            for t in 0..n {
+                                err = err.max((yp[t] - ym[t]).abs());
+                            }
+                        }
+                        if dim >= 3 {
+                            let zm = &us[row - ey * ex..row - ey * ex + n];
+                            let zp = &us[row + ey * ex..row + ey * ex + n];
+                            for t in 0..n {
+                                err = err.max((zp[t] - zm[t]).abs());
                             }
                         }
                     }
                 }
-                err *= 0.5;
-                if err > self.params.refine_tol {
-                    AmrFlag::Refine
-                } else if err < self.params.deref_tol {
-                    AmrFlag::Derefine
-                } else {
-                    AmrFlag::Same
-                }
-            })
-            .collect()
+            }
+            err *= 0.5;
+            if err > self.params.refine_tol {
+                AmrFlag::Refine
+            } else if err < self.params.deref_tol {
+                AmrFlag::Derefine
+            } else {
+                AmrFlag::Same
+            }
+        })
     }
 
-    fn history(&self, pack: &mut [&mut BlockSlot], rec: &mut Recorder) -> Vec<f64> {
+    fn history(&self, pack: &mut [&mut BlockSlot], exec: ExecCtx, rec: &mut Recorder) -> Vec<f64> {
         let Some(first) = pack.first() else {
             return vec![0.0, 0.0];
         };
@@ -376,21 +377,36 @@ impl Package for BurgersPackage {
         let ix = shape.range(0, IndexDomain::Interior);
         let iy = shape.range(1, IndexDomain::Interior);
         let iz = shape.range(2, IndexDomain::Interior);
-        let mut mass = 0.0;
-        let mut energy = 0.0;
-        for slot in pack.iter_mut() {
+        let (i0, n) = (ix.s as usize, ix.len());
+        // Per-block (mass, energy) partials folded in pack order — the
+        // fixed-order reduction that keeps history bitwise reproducible at
+        // any thread count.
+        let partials = exec.map_blocks(pack, |_, slot| {
             let (_, qid, did) = Self::ids(&mut slot.data);
             let vol = slot.info.geom.cell_volume();
             let q = slot.data.var(qid).data();
             let dv = slot.data.var(did).data();
+            let [_, ez, ey, ex] = q.shape();
+            let qs = q.as_slice();
+            let ds = dv.as_slice();
+            let mut mass = 0.0;
+            let mut energy = 0.0;
             for k in iz.iter() {
                 for j in iy.iter() {
-                    for i in ix.iter() {
-                        mass += q.get(0, k as usize, j as usize, i as usize) * vol;
-                        energy += dv.get(0, k as usize, j as usize, i as usize) * vol;
+                    let row = ((k as usize * ey) + j as usize) * ex + i0;
+                    for t in row..row + n {
+                        mass += qs[t] * vol;
+                        energy += ds[t] * vol;
                     }
                 }
             }
+            let _ = ez;
+            (mass, energy)
+        });
+        let (mut mass, mut energy) = (0.0, 0.0);
+        for (m, e) in partials {
+            mass += m;
+            energy += e;
         }
         vec![mass, energy]
     }
@@ -426,9 +442,13 @@ mod tests {
                 .cell_center(idx as i64 - shape.nghost_d(0) as i64, 0, 0)[0];
             let u = 1.0 + 0.3 * (2.0 * std::f64::consts::PI * x).sin();
             data.var_mut(uid).data_mut().set(0, 0, 0, idx, u);
-            data.var_mut(qid)
-                .data_mut()
-                .set(0, 0, 0, idx, 1.0 + 0.5 * (2.0 * std::f64::consts::PI * x).cos());
+            data.var_mut(qid).data_mut().set(
+                0,
+                0,
+                0,
+                idx,
+                1.0 + 0.5 * (2.0 * std::f64::consts::PI * x).cos(),
+            );
         }
     }
 
@@ -556,7 +576,6 @@ mod tests {
         let run = |threads: usize| {
             let params = BurgersParams {
                 num_scalars: 1,
-                host_threads: threads,
                 refine_tol: 1e9,
                 deref_tol: 0.0,
                 ..BurgersParams::default()
@@ -566,6 +585,7 @@ mod tests {
                 BurgersPackage::new(params),
                 DriverParams {
                     cfl: 0.3,
+                    host_threads: threads,
                     ..DriverParams::default()
                 },
             );

@@ -8,6 +8,7 @@ const WENO_EPS: f64 = 1e-6;
 /// Fifth-order WENO reconstruction of the *left-biased* interface value at
 /// the face between `q[2]` and `q[3]`, from the five cell averages
 /// `q = [q_{i-2}, q_{i-1}, q_i, q_{i+1}, q_{i+2}]` (interface at `i+1/2`).
+#[inline(always)]
 pub fn weno5_left(q: &[f64; 5]) -> f64 {
     // Candidate stencil reconstructions.
     let p0 = (2.0 * q[0] - 7.0 * q[1] + 11.0 * q[2]) / 6.0;
@@ -37,6 +38,7 @@ pub fn weno5_left(q: &[f64; 5]) -> f64 {
 /// Returns `(q_L, q_R)`: the left state reconstructed from the upwind
 /// stencil of cell `i-1` and the right state from the mirrored stencil of
 /// cell `i`.
+#[inline(always)]
 pub fn reconstruct_weno5(q: &[f64; 6]) -> (f64, f64) {
     let left = weno5_left(&[q[0], q[1], q[2], q[3], q[4]]);
     // Right-biased: mirror the stencil around the face.
@@ -49,6 +51,7 @@ pub fn reconstruct_weno5(q: &[f64; 6]) -> (f64, f64) {
 /// `i-1` and `i`, given `q = [q_{i-2}, q_{i-1}, q_i, q_{i+1}]`.
 ///
 /// Returns `(q_L, q_R)`.
+#[inline(always)]
 pub fn reconstruct_linear(q: &[f64; 4]) -> (f64, f64) {
     let slope_l = minmod(q[2] - q[1], q[1] - q[0]);
     let slope_r = minmod(q[3] - q[2], q[2] - q[1]);

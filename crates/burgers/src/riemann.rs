@@ -6,6 +6,7 @@ pub const MAX_COMPONENTS: usize = 32;
 
 /// Physical flux of the Burgers system along direction `d` for state
 /// `(u, q)`: velocity components carry `½·u_d·u_i`, scalars carry `qⁱ·u_d`.
+#[inline(always)]
 pub fn physical_flux(u: &[f64; 3], q: &[f64], d: usize, out: &mut [f64]) {
     let ud = u[d];
     for i in 0..3 {
@@ -27,6 +28,7 @@ pub fn physical_flux(u: &[f64; 3], q: &[f64], d: usize, out: &mut [f64]) {
 ///
 /// Panics if `out` is shorter than `3 + q_l.len()` or the scalar slices
 /// disagree in length.
+#[inline]
 pub fn hll_flux(
     u_l: &[f64; 3],
     q_l: &[f64],
@@ -38,7 +40,11 @@ pub fn hll_flux(
     assert_eq!(q_l.len(), q_r.len(), "scalar count mismatch");
     let n = 3 + q_l.len();
     assert!(out.len() >= n, "output buffer too short");
-    assert!(n <= MAX_COMPONENTS, "at most {} components", MAX_COMPONENTS - 3);
+    assert!(
+        n <= MAX_COMPONENTS,
+        "at most {} components",
+        MAX_COMPONENTS - 3
+    );
     let sl = u_l[d].min(u_r[d]).min(0.0);
     let sr = u_l[d].max(u_r[d]).max(0.0);
 

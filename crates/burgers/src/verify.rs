@@ -165,7 +165,11 @@ mod tests {
 
     #[test]
     fn convergence_order_fits_exact_power_law() {
-        let samples = [(32usize, 1.0 / 32.0f64.powi(2)), (64, 1.0 / 64.0f64.powi(2)), (128, 1.0 / 128.0f64.powi(2))];
+        let samples = [
+            (32usize, 1.0 / 32.0f64.powi(2)),
+            (64, 1.0 / 64.0f64.powi(2)),
+            (128, 1.0 / 128.0f64.powi(2)),
+        ];
         let order = convergence_order(&samples);
         assert!((order - 2.0).abs() < 1e-10);
     }

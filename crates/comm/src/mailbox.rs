@@ -162,7 +162,11 @@ impl Communicator {
     /// Executes an AllGather of `bytes_per_rank` payload from every rank
     /// (used to aggregate refinement flags in `UpdateMeshBlockTree`).
     pub fn all_gather(&mut self, func: StepFunction, bytes_per_rank: u64, rec: &mut Recorder) {
-        rec.record_collective(func, CollectiveOp::AllGather, bytes_per_rank * self.nranks as u64);
+        rec.record_collective(
+            func,
+            CollectiveOp::AllGather,
+            bytes_per_rank * self.nranks as u64,
+        );
     }
 
     /// Executes an AllReduce of `bytes` (the timestep minimum in
@@ -230,7 +234,15 @@ mod tests {
         comm.start_receive(key);
         assert_eq!(comm.status(key), Some(MessageStatus::Posted));
         assert!(comm.try_receive(key, &mut rec).is_none());
-        comm.send(key, vec![5.0], 0, 1, 1, StepFunction::SendBoundBufs, &mut rec);
+        comm.send(
+            key,
+            vec![5.0],
+            0,
+            1,
+            1,
+            StepFunction::SendBoundBufs,
+            &mut rec,
+        );
         assert_eq!(comm.try_receive(key, &mut rec), Some(vec![5.0]));
         assert_eq!(comm.status(key), Some(MessageStatus::Received));
         // Second receive finds nothing new.
@@ -271,7 +283,15 @@ mod tests {
         let mut rec = recorder();
         let mut comm = Communicator::new(2);
         let key = BoundaryKey::new(0, 1, 0);
-        comm.send(key, vec![1.0], 0, 1, 1, StepFunction::SendBoundBufs, &mut rec);
+        comm.send(
+            key,
+            vec![1.0],
+            0,
+            1,
+            1,
+            StepFunction::SendBoundBufs,
+            &mut rec,
+        );
         assert_eq!(comm.in_flight(), 1);
         comm.mark_all_stale();
         assert_eq!(comm.in_flight(), 0);
@@ -301,9 +321,23 @@ mod tests {
         let mut comm = Communicator::new(2);
         comm.set_remote_delivery_delay(2);
         let key = BoundaryKey::new(0, 1, 0);
-        comm.send(key, vec![4.0], 0, 1, 1, StepFunction::SendBoundBufs, &mut rec);
-        assert!(comm.try_receive(key, &mut rec).is_none(), "first probe nudges");
-        assert!(comm.try_receive(key, &mut rec).is_none(), "second probe nudges");
+        comm.send(
+            key,
+            vec![4.0],
+            0,
+            1,
+            1,
+            StepFunction::SendBoundBufs,
+            &mut rec,
+        );
+        assert!(
+            comm.try_receive(key, &mut rec).is_none(),
+            "first probe nudges"
+        );
+        assert!(
+            comm.try_receive(key, &mut rec).is_none(),
+            "second probe nudges"
+        );
         assert_eq!(comm.try_receive(key, &mut rec), Some(vec![4.0]));
         rec.end_cycle(1, 0, 0, 0);
         // Three probes recorded as ReceiveBoundBufs serial work.
@@ -317,7 +351,15 @@ mod tests {
         let mut comm = Communicator::new(2);
         comm.set_remote_delivery_delay(5);
         let key = BoundaryKey::new(0, 1, 0);
-        comm.send(key, vec![1.0], 1, 1, 1, StepFunction::SendBoundBufs, &mut rec);
+        comm.send(
+            key,
+            vec![1.0],
+            1,
+            1,
+            1,
+            StepFunction::SendBoundBufs,
+            &mut rec,
+        );
         assert_eq!(comm.try_receive(key, &mut rec), Some(vec![1.0]));
         rec.end_cycle(1, 0, 0, 0);
     }

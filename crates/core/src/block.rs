@@ -57,10 +57,17 @@ impl BlockSlot {
         }
     }
 
-    /// Saves stage-0 copies of the listed variables.
+    /// Saves stage-0 copies of the listed variables, reusing the copies'
+    /// allocations across cycles.
     pub fn save_stage0(&mut self, vars: &[VarId]) {
         for &id in vars {
-            self.stage0.insert(id, self.data.var(id).data().clone());
+            let src = self.data.var(id).data();
+            match self.stage0.entry(id) {
+                std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().copy_from(src),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(src.clone());
+                }
+            }
         }
     }
 
@@ -70,9 +77,7 @@ impl BlockSlot {
     ///
     /// Panics if `save_stage0` was not called for `id` this cycle.
     pub fn stage0(&self, id: VarId) -> &Array4 {
-        self.stage0
-            .get(&id)
-            .expect("stage-0 copy saved before use")
+        self.stage0.get(&id).expect("stage-0 copy saved before use")
     }
 
     /// Total live field bytes (data + fluxes + stage copies) — the

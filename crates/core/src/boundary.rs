@@ -4,11 +4,9 @@
 use std::collections::HashMap;
 
 use vibe_comm::{BoundaryKey, BufferCache, CacheConfig, Communicator};
-use vibe_exec::{catalog, Launcher};
-use vibe_field::{
-    apply_flux, flux_correction_spec, pack, pack_flux, unpack, Metadata,
-};
+use vibe_exec::{catalog, ExecCtx, Launcher};
 use vibe_field::buffer::compute_buffer_spec_with;
+use vibe_field::{apply_flux, flux_correction_spec, pack, pack_flux, unpack, Metadata};
 use vibe_mesh::Mesh;
 use vibe_prof::{MemSpace, Recorder, SerialWork, StepFunction};
 
@@ -50,9 +48,14 @@ pub fn exchange_ghosts(
     comm: &mut Communicator,
     cache: &mut BufferCache,
     cfg: &ExchangeConfig,
+    exec: ExecCtx,
     rec: &mut Recorder,
 ) {
-    assert_eq!(slots.len(), mesh.num_blocks(), "slots out of sync with mesh");
+    assert_eq!(
+        slots.len(),
+        mesh.num_blocks(),
+        "slots out of sync with mesh"
+    );
     let shape = mesh.index_shape();
     let nblocks = slots.len();
 
@@ -97,7 +100,10 @@ pub fn exchange_ghosts(
         ids = slot.data.pack_by_flag(Metadata::FILL_GHOST).ids().to_vec();
         let lookups = slot.data.take_string_lookups();
         if lookups > 0 {
-            rec.record_serial(StepFunction::SendBoundBufs, SerialWork::StringLookups(lookups));
+            rec.record_serial(
+                StepFunction::SendBoundBufs,
+                SerialWork::StringLookups(lookups),
+            );
         }
     }
     rec.record_serial(
@@ -105,16 +111,27 @@ pub fn exchange_ghosts(
         SerialWork::BoundaryLoop(keys.len() as u64),
     );
 
+    // Pack every boundary buffer in parallel (pure reads of the sender
+    // blocks), then stream the sends serially in key order.
+    let mut packed: Vec<(Vec<f64>, u64)> = vec![(Vec::new(), 0); keys.len()];
+    {
+        let slots_ro: &[BlockSlot] = slots;
+        let keys_ro = &keys;
+        let specs_ro = &specs;
+        let ids_ro = &ids;
+        exec.for_each_block(&mut packed, |b, out| {
+            let (_key, _r, s, _t) = keys_ro[b];
+            let spec = &specs_ro[b];
+            for &id in ids_ro {
+                let var = slots_ro[s].data.var(id);
+                pack(spec, var.data(), &mut out.0);
+                out.1 += spec.buffer_len(var.ncomp()) as u64;
+            }
+        });
+    }
     let mut packed_cells_per_rank: HashMap<usize, u64> = HashMap::new();
     let mut remote_bytes_live: i64 = 0;
-    for ((key, r, s, _t), spec) in keys.iter().zip(&specs) {
-        let mut buf = Vec::new();
-        let mut cells = 0u64;
-        for &id in &ids {
-            let var = slots[*s].data.var(id);
-            pack(spec, var.data(), &mut buf);
-            cells += spec.buffer_len(var.ncomp()) as u64;
-        }
+    for ((key, r, s, _t), (buf, cells)) in keys.iter().zip(packed) {
         let sender_rank = slots[*s].info.rank;
         let recv_rank = slots[*r].info.rank;
         if sender_rank != recv_rank {
@@ -159,18 +176,43 @@ pub fn exchange_ghosts(
     assert_eq!(received.len(), keys.len(), "all messages arrive in-process");
 
     // --- SetBounds ---
+    // Unpack in parallel over *receiver blocks*; each block consumes its
+    // incoming buffers in global key order, so results are identical to the
+    // serial sweep at any thread count.
+    let mut by_recv: Vec<Vec<usize>> = vec![Vec::new(); nblocks];
+    for (b, (_key, r, _s, _t)) in keys.iter().enumerate() {
+        by_recv[*r].push(b);
+    }
     let mut unpacked_cells_per_rank: HashMap<usize, u64> = HashMap::new();
     for ((key, r, _s, _t), spec) in keys.iter().zip(&specs) {
-        let buf = &received[key];
-        let mut offset = 0usize;
         let recv_rank = slots[*r].info.rank;
-        for &id in &ids {
-            let var = slots[*r].data.var_mut(id);
-            let len = spec.buffer_len(var.data().ncomp());
-            unpack(spec, &buf[offset..offset + len], var.data_mut());
-            offset += len;
-            *unpacked_cells_per_rank.entry(recv_rank).or_insert(0) += len as u64;
-        }
+        let buf_len: u64 = ids
+            .iter()
+            .map(|&id| spec.buffer_len(slots[*r].data.var(id).ncomp()) as u64)
+            .sum();
+        *unpacked_cells_per_rank.entry(recv_rank).or_insert(0) += buf_len;
+        let _ = key;
+    }
+    {
+        let keys_ro = &keys;
+        let specs_ro = &specs;
+        let ids_ro = &ids;
+        let by_recv_ro = &by_recv;
+        let received_ro = &received;
+        exec.for_each_block(slots, |r, slot| {
+            for &b in &by_recv_ro[r] {
+                let (key, _r, _s, _t) = keys_ro[b];
+                let spec = &specs_ro[b];
+                let buf = &received_ro[&key];
+                let mut offset = 0usize;
+                for &id in ids_ro {
+                    let var = slot.data.var_mut(id);
+                    let len = spec.buffer_len(var.data().ncomp());
+                    unpack(spec, &buf[offset..offset + len], var.data_mut());
+                    offset += len;
+                }
+            }
+        });
     }
     {
         let mut launcher = Launcher::new(rec);
@@ -193,6 +235,7 @@ pub fn flux_correction(
     mesh: &Mesh,
     slots: &mut [BlockSlot],
     comm: &mut Communicator,
+    exec: ExecCtx,
     rec: &mut Recorder,
 ) {
     let shape = mesh.index_shape();
@@ -202,7 +245,8 @@ pub fn flux_correction(
         None => return,
     };
 
-    // Phase 1: pack restricted fine fluxes.
+    // Phase 1: enumerate fine->coarse faces, pack the restricted fine
+    // fluxes in parallel (pure reads), then send serially in face order.
     let mut transfers = Vec::new();
     for r in 0..slots.len() {
         for (t, nb) in mesh.neighbors(r).iter().enumerate() {
@@ -211,46 +255,73 @@ pub fn flux_correction(
             }
             let s = mesh.gid_at(&nb.loc).expect("neighbor is a leaf");
             let spec = flux_correction_spec(&shape, &slots[r].info.loc, &nb.loc, &nb.offset);
-            let mut buf = Vec::new();
-            let mut cells = 0u64;
-            for &id in &ids {
-                let var = slots[s].data.var(id);
-                pack_flux(&spec, var, &mut buf);
-                cells += spec.buffer_len(var.ncomp()) as u64;
-            }
             let key = BoundaryKey::new(s, r, 1000 + t as u32);
-            comm.send(
-                key,
-                buf,
-                slots[s].info.rank,
-                slots[r].info.rank,
-                cells,
-                StepFunction::FluxCorrection,
-                rec,
-            );
-            transfers.push((key, r, spec));
+            transfers.push((key, r, s, spec));
         }
+    }
+    let mut packed: Vec<(Vec<f64>, u64)> = vec![(Vec::new(), 0); transfers.len()];
+    {
+        let slots_ro: &[BlockSlot] = slots;
+        let transfers_ro = &transfers;
+        let ids_ro = &ids;
+        exec.for_each_block(&mut packed, |b, out| {
+            let (_key, _r, s, spec) = &transfers_ro[b];
+            for &id in ids_ro {
+                let var = slots_ro[*s].data.var(id);
+                pack_flux(spec, var, &mut out.0);
+                out.1 += spec.buffer_len(var.ncomp()) as u64;
+            }
+        });
+    }
+    for ((key, r, s, _spec), (buf, cells)) in transfers.iter().zip(packed) {
+        comm.send(
+            *key,
+            buf,
+            slots[*s].info.rank,
+            slots[*r].info.rank,
+            cells,
+            StepFunction::FluxCorrection,
+            rec,
+        );
     }
     rec.record_serial(
         StepFunction::FluxCorrection,
         SerialWork::BoundaryLoop(transfers.len() as u64),
     );
 
-    // Phase 2: receive and overwrite coarse fluxes (polling until the
-    // progress engine delivers).
-    for (key, r, spec) in transfers {
-        let buf = loop {
-            if let Some(buf) = comm.try_receive(key, rec) {
+    // Phase 2: receive all corrections (polling until the progress engine
+    // delivers), then overwrite coarse fluxes in parallel over receiver
+    // blocks, each applying its corrections in face order.
+    let bufs: Vec<Vec<f64>> = transfers
+        .iter()
+        .map(|(key, ..)| loop {
+            if let Some(buf) = comm.try_receive(*key, rec) {
                 break buf;
             }
-        };
-        let mut offset = 0usize;
-        for &id in &ids {
-            let var = slots[r].data.var_mut(id);
-            let len = spec.buffer_len(var.ncomp());
-            apply_flux(&spec, &buf[offset..offset + len], var);
-            offset += len;
-        }
+        })
+        .collect();
+    let mut by_recv: Vec<Vec<usize>> = vec![Vec::new(); slots.len()];
+    for (b, (_key, r, _s, _spec)) in transfers.iter().enumerate() {
+        by_recv[*r].push(b);
+    }
+    {
+        let transfers_ro = &transfers;
+        let ids_ro = &ids;
+        let by_recv_ro = &by_recv;
+        let bufs_ro = &bufs;
+        exec.for_each_block(slots, |r, slot| {
+            for &b in &by_recv_ro[r] {
+                let (_key, _r, _s, spec) = &transfers_ro[b];
+                let buf = &bufs_ro[b];
+                let mut offset = 0usize;
+                for &id in ids_ro {
+                    let var = slot.data.var_mut(id);
+                    let len = spec.buffer_len(var.ncomp());
+                    apply_flux(spec, &buf[offset..offset + len], var);
+                    offset += len;
+                }
+            }
+        });
     }
 }
 
@@ -314,13 +385,8 @@ mod tests {
                             && (shape.nghost_d(1)..shape.nghost_d(1) + shape.ncells()[1])
                                 .contains(&j);
                         let v = 2.0 * c[0] + 3.0 * c[1];
-                        var.data_mut().set(
-                            0,
-                            k,
-                            j,
-                            i,
-                            if interior { v } else { -999.0 },
-                        );
+                        var.data_mut()
+                            .set(0, k, j, i, if interior { v } else { -999.0 });
                     }
                 }
             }
@@ -335,6 +401,7 @@ mod tests {
             &mut comm,
             &mut cache,
             &ExchangeConfig::default(),
+            ExecCtx::serial(),
             &mut rec,
         );
         rec.end_cycle(mesh.num_blocks() as u64, 0, 0, 0);
@@ -384,16 +451,14 @@ mod tests {
             &mut comm,
             &mut cache,
             &ExchangeConfig::default(),
+            ExecCtx::serial(),
             &mut rec,
         );
         rec.end_cycle(16, 0, 0, 0);
         let totals = rec.totals();
         // 16 blocks x 8 neighbors = 128 boundaries.
         let comm_t = &totals.comm[&StepFunction::SendBoundBufs];
-        assert_eq!(
-            comm_t.p2p_local_messages + comm_t.p2p_remote_messages,
-            128
-        );
+        assert_eq!(comm_t.p2p_local_messages + comm_t.p2p_remote_messages, 128);
         assert!(comm_t.p2p_remote_messages > 0, "4 ranks => remote traffic");
         assert!(comm_t.cells_communicated > 0);
         // Pack/unpack kernels recorded per rank.
@@ -428,6 +493,7 @@ mod tests {
             &mut comm,
             &mut cache,
             &ExchangeConfig::default(),
+            ExecCtx::serial(),
             &mut rec,
         );
         rec.end_cycle(mesh.num_blocks() as u64, 0, 0, 0);
@@ -457,7 +523,7 @@ mod tests {
         let mut comm = Communicator::new(1);
         let mut rec = Recorder::new();
         rec.begin_cycle(0);
-        flux_correction(&mesh, &mut slots, &mut comm, &mut rec);
+        flux_correction(&mesh, &mut slots, &mut comm, ExecCtx::serial(), &mut rec);
         rec.end_cycle(mesh.num_blocks() as u64, 0, 0, 0);
 
         // The coarse block at +x of the refined region must now carry the
@@ -502,7 +568,15 @@ mod tests {
                 restrict_on_send: restrict,
                 ..ExchangeConfig::default()
             };
-            exchange_ghosts(&mesh, &mut slots, &mut comm, &mut cache, &cfg, &mut rec);
+            exchange_ghosts(
+                &mesh,
+                &mut slots,
+                &mut comm,
+                &mut cache,
+                &cfg,
+                ExecCtx::serial(),
+                &mut rec,
+            );
             rec.end_cycle(mesh.num_blocks() as u64, 0, 0, 0);
             // Constant field stays exact under receiver-side averaging too.
             for slot in &slots {

@@ -1,9 +1,9 @@
 //! The evolution driver: Parthenon's timestep loop.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use vibe_comm::{BufferCache, CacheConfig, Communicator};
-use vibe_exec::{catalog, Launcher};
+use vibe_exec::{catalog, ExecCtx, Launcher};
 use vibe_field::{apply_face_bc, BcKind, BlockData, Metadata, PackStrategy, Side};
 use vibe_mesh::{enforce_proper_nesting, AmrFlag, CostModel, DerefGate, Mesh, RegridSource};
 use vibe_prof::{MemSpace, Recorder, SerialWork, StepFunction};
@@ -37,6 +37,10 @@ pub struct DriverParams {
     pub remote_delivery_polls: u32,
     /// Boundary condition at non-periodic physical domain faces.
     pub boundary_condition: BcKind,
+    /// Host OS threads for per-block parallel stages (the CPU analogue of
+    /// packed device launches, served by the persistent `vibe-exec` worker
+    /// pool); 1 = the exact inline serial path.
+    pub host_threads: usize,
 }
 
 impl Default for DriverParams {
@@ -51,6 +55,7 @@ impl Default for DriverParams {
             cost_model: CostModel::Uniform,
             remote_delivery_polls: 1,
             boundary_condition: BcKind::Outflow,
+            host_threads: 1,
         }
     }
 }
@@ -177,6 +182,11 @@ impl<P: Package> Driver<P> {
         self.slots.iter().map(BlockSlot::nbytes).sum()
     }
 
+    /// Host execution context for per-block parallel stages.
+    fn exec(&self) -> ExecCtx {
+        ExecCtx::new(self.params.host_threads)
+    }
+
     /// Applies `ic` to every block and adapts the initial mesh to it:
     /// repeatedly tags, regrids, and re-applies `ic` until the hierarchy
     /// stabilizes (at most `max_levels` rounds), then performs the initial
@@ -203,8 +213,9 @@ impl<P: Package> Driver<P> {
         self.mesh.load_balance(self.params.nranks);
         self.sync_ranks();
         self.exchange();
+        let exec = self.exec();
         self.with_rank_packs(StepFunction::FillDerived, |pkg, pack, rec| {
-            pkg.fill_derived(pack, rec);
+            pkg.fill_derived(pack, exec, rec);
         });
         self.estimate_dt();
     }
@@ -229,41 +240,44 @@ impl<P: Package> Driver<P> {
         assert!(self.dt > 0.0, "initialize() must run before step()");
         self.rec.begin_cycle(self.cycle);
         let dt = self.dt;
+        let exec = self.exec();
 
         // === Step: RK2 predictor + corrector ===
         let two_stage: Vec<_> = {
             let first = &mut self.slots[0];
             first.data.pack_by_flag(Metadata::TWO_STAGE).ids().to_vec()
         };
-        for slot in &mut self.slots {
+        exec.for_each_block(&mut self.slots, |_, slot| {
             slot.save_stage0(&two_stage);
-        }
+        });
         for stage in 0..2 {
             self.exchange();
             self.with_rank_packs(StepFunction::CalculateFluxes, |pkg, pack, rec| {
-                pkg.calculate_fluxes(pack, rec);
+                pkg.calculate_fluxes(pack, exec, rec);
             });
-            flux_correction(&self.mesh, &mut self.slots, &mut self.comm, &mut self.rec);
+            flux_correction(
+                &self.mesh,
+                &mut self.slots,
+                &mut self.comm,
+                exec,
+                &mut self.rec,
+            );
             let (a0, b, c) = if stage == 0 {
                 (0.0, 1.0, 1.0)
             } else {
                 (0.5, 0.5, 0.5)
             };
-            Self::for_rank_packs_static(
-                &self.mesh,
-                &mut self.slots,
-                |pack| {
-                    flux_divergence_update(pack, a0, b, c, dt, &mut self.rec);
-                },
-            );
+            Self::for_rank_packs_static(&self.mesh, &mut self.slots, |pack| {
+                flux_divergence_update(pack, exec, a0, b, c, dt, &mut self.rec);
+            });
             self.with_rank_packs(StepFunction::FillDerived, |pkg, pack, rec| {
-                pkg.fill_derived(pack, rec);
+                pkg.fill_derived(pack, exec, rec);
             });
         }
         if self.params.history_every > 0 && self.cycle % self.params.history_every == 0 {
             let mut values: Vec<f64> = Vec::new();
             self.with_rank_packs(StepFunction::MassHistory, |pkg, pack, rec| {
-                let v = pkg.history(pack, rec);
+                let v = pkg.history(pack, exec, rec);
                 if values.is_empty() {
                     values = v;
                 } else {
@@ -284,9 +298,7 @@ impl<P: Package> Driver<P> {
             &mut self.rec,
         );
         let mut decision = enforce_proper_nesting(self.mesh.tree(), &flags);
-        decision.derefine_parents = self
-            .gate
-            .filter(decision.derefine_parents, self.cycle);
+        decision.derefine_parents = self.gate.filter(decision.derefine_parents, self.cycle);
         self.rec.record_serial(
             StepFunction::UpdateMeshBlockTree,
             SerialWork::TreeOps(
@@ -355,8 +367,12 @@ impl<P: Package> Driver<P> {
 
         let nblocks = self.mesh.num_blocks();
         let cell_updates = self.mesh.total_interior_cells();
-        self.rec
-            .end_cycle(nblocks as u64, refined as u64, derefined as u64, cell_updates);
+        self.rec.end_cycle(
+            nblocks as u64,
+            refined as u64,
+            derefined as u64,
+            cell_updates,
+        );
         self.time += dt;
         self.cycle += 1;
         CycleSummary {
@@ -376,12 +392,14 @@ impl<P: Package> Driver<P> {
             cache_config: self.params.cache_config,
             restrict_on_send: self.params.restrict_on_send,
         };
+        let exec = self.exec();
         exchange_ghosts(
             &self.mesh,
             &mut self.slots,
             &mut self.comm,
             &mut self.cache,
             &cfg,
+            exec,
             &mut self.rec,
         );
         self.apply_physical_bcs();
@@ -396,18 +414,20 @@ impl<P: Package> Driver<P> {
         }
         let shape = self.mesh.index_shape();
         let kind = self.params.boundary_condition;
+        let base_blocks = self.mesh.params().base_blocks();
         let ids: Vec<_> = {
             let first = &mut self.slots[0];
             first.data.pack_by_flag(Metadata::FILL_GHOST).ids().to_vec()
         };
-        for slot in &mut self.slots {
+        let exec = self.exec();
+        exec.for_each_block(&mut self.slots, |_, slot| {
             let loc = slot.info.loc;
             let level = loc.level();
             for d in 0..dim {
                 if periodic[d] {
                     continue;
                 }
-                let extent = (self.mesh.params().base_blocks()[d]) << level;
+                let extent = base_blocks[d] << level;
                 let sides = [
                     (loc.lx_d(d) == 0, Side::Lower),
                     (loc.lx_d(d) == extent - 1, Side::Upper),
@@ -423,15 +443,18 @@ impl<P: Package> Driver<P> {
                     }
                 }
             }
-        }
+        });
     }
 
-    /// Collects refinement tags from every rank's pack.
-    fn collect_tags(&mut self) -> HashMap<vibe_mesh::LogicalLocation, AmrFlag> {
-        let mut flags = HashMap::new();
+    /// Collects refinement tags from every rank's pack. Returns an ordered
+    /// map so downstream regrid decisions never depend on hash iteration
+    /// order.
+    fn collect_tags(&mut self) -> BTreeMap<vibe_mesh::LogicalLocation, AmrFlag> {
+        let mut flags = BTreeMap::new();
         let mesh = &self.mesh;
         let rec = &mut self.rec;
         let package = &self.package;
+        let exec = ExecCtx::new(self.params.host_threads);
         let mut start = 0usize;
         let mut rest: &mut [BlockSlot] = &mut self.slots;
         while !rest.is_empty() {
@@ -439,8 +462,11 @@ impl<P: Package> Driver<P> {
             let len = rest.iter().take_while(|s| s.info.rank == rank).count();
             let (head, tail) = rest.split_at_mut(len);
             let mut pack: Vec<&mut BlockSlot> = head.iter_mut().collect();
-            rec.record_serial(StepFunction::RefinementTag, SerialWork::BlockLoop(len as u64));
-            let pack_flags = package.tag_refinement(&mut pack, rec);
+            rec.record_serial(
+                StepFunction::RefinementTag,
+                SerialWork::BlockLoop(len as u64),
+            );
+            let pack_flags = package.tag_refinement(&mut pack, exec, rec);
             for (slot, f) in pack.iter().zip(pack_flags) {
                 flags.insert(slot.info.loc, f);
             }
@@ -472,6 +498,8 @@ impl<P: Package> Driver<P> {
             .collect();
         let mut created = 0u64;
         let mut moved_cells = 0u64;
+        // Pass 1 (serial): build the new slot list — reusing unchanged
+        // slots, allocating fresh ones for refined/derefined blocks.
         let mut new_slots = Vec::with_capacity(outcome.sources.len());
         for (gid, source) in outcome.sources.iter().enumerate() {
             let slot = match source {
@@ -480,31 +508,38 @@ impl<P: Package> Driver<P> {
                     s.info = BlockInfo::from_mesh(&self.mesh, gid);
                     s
                 }
-                RegridSource::Refined {
-                    parent_old_gid,
-                    child_index,
-                } => {
+                RegridSource::Refined { .. } | RegridSource::Derefined { .. } => {
                     created += 1;
-                    let mut s = self.new_slot(gid);
-                    let parent = old[*parent_old_gid].as_ref().expect("parent available");
-                    prolongate_to_child(&parent.data, *child_index, &mut s.data);
-                    moved_cells += s.data.shape().interior_count() as u64;
-                    s
-                }
-                RegridSource::Derefined { child_old_gids } => {
-                    created += 1;
-                    let mut s = self.new_slot(gid);
-                    let children: Vec<&BlockData> = child_old_gids
-                        .iter()
-                        .map(|&g| &old[g].as_ref().expect("child available").data)
-                        .collect();
-                    restrict_to_parent(&children, &mut s.data);
+                    let s = self.new_slot(gid);
                     moved_cells += s.data.shape().interior_count() as u64;
                     s
                 }
             };
             new_slots.push(slot);
         }
+        // Pass 2 (parallel): fill new blocks by prolongation/restriction.
+        // Refined parents and derefined children are never `Unchanged`, so
+        // their old slots survive pass 1 and are read-shared here.
+        let sources = &outcome.sources;
+        let old_ref = &old;
+        let exec = ExecCtx::new(self.params.host_threads);
+        exec.for_each_block(&mut new_slots, |gid, slot| match &sources[gid] {
+            RegridSource::Unchanged { .. } => {}
+            RegridSource::Refined {
+                parent_old_gid,
+                child_index,
+            } => {
+                let parent = old_ref[*parent_old_gid].as_ref().expect("parent available");
+                prolongate_to_child(&parent.data, *child_index, &mut slot.data);
+            }
+            RegridSource::Derefined { child_old_gids } => {
+                let children: Vec<&BlockData> = child_old_gids
+                    .iter()
+                    .map(|&g| &old_ref[g].as_ref().expect("child available").data)
+                    .collect();
+                restrict_to_parent(&children, &mut slot.data);
+            }
+        });
         self.slots = new_slots;
         let new_bytes: usize = self.slots.iter().map(BlockSlot::nbytes).sum();
         self.rec
@@ -517,11 +552,7 @@ impl<P: Package> Driver<P> {
         // (BuildTagMapAndBoundaryBuffers + SetMeshBlockNeighbors) are part
         // of RedistributeAndRefineMeshBlocks.
         if created > 0 {
-            let per_block = self
-                .slots
-                .first()
-                .map(|s| s.nbytes() as u64)
-                .unwrap_or(0);
+            let per_block = self.slots.first().map(|s| s.nbytes() as u64).unwrap_or(0);
             self.rec.record_serial(
                 StepFunction::RedistributeAndRefineMeshBlocks,
                 SerialWork::HostCopyBytes(created * per_block),
@@ -562,9 +593,10 @@ impl<P: Package> Driver<P> {
     /// Estimates the next timestep: per-rank kernel + AllReduce.
     fn estimate_dt(&mut self) {
         let cfl = self.params.cfl;
+        let exec = self.exec();
         let mut min_dt = f64::INFINITY;
         self.with_rank_packs(StepFunction::EstimateTimeStep, |pkg, pack, rec| {
-            min_dt = min_dt.min(pkg.estimate_dt(pack, rec));
+            min_dt = min_dt.min(pkg.estimate_dt(pack, exec, rec));
         });
         self.comm
             .all_reduce(StepFunction::EstimateTimeStep, 8, &mut self.rec);

@@ -1,5 +1,6 @@
 //! The package interface: physics plugged into the framework driver.
 
+use vibe_exec::ExecCtx;
 use vibe_field::BlockData;
 use vibe_mesh::AmrFlag;
 use vibe_prof::Recorder;
@@ -10,6 +11,12 @@ use crate::block::BlockSlot;
 /// and provides the physics kernels. All kernel-style methods receive the
 /// *pack* of blocks owned by one rank and must issue one recorded launch
 /// per pack (mirroring Parthenon's packed launches).
+///
+/// Each kernel also receives the host execution context `exec`; blocks in
+/// a pack are independent, so implementations should iterate the pack with
+/// [`ExecCtx::for_each_block`] / [`ExecCtx::map_blocks`]. Reductions
+/// (timestep minima, history sums) must fold per-block partials in pack
+/// order so results are bitwise identical at every thread count.
 pub trait Package {
     /// Package name (diagnostics only).
     fn name(&self) -> &str;
@@ -20,21 +27,31 @@ pub trait Package {
 
     /// Computes face fluxes for all blocks in `pack` (reconstruction +
     /// Riemann solve), filling the flux arrays of flux-bearing variables.
-    fn calculate_fluxes(&self, pack: &mut [&mut BlockSlot], rec: &mut Recorder);
+    fn calculate_fluxes(&self, pack: &mut [&mut BlockSlot], exec: ExecCtx, rec: &mut Recorder);
 
     /// Recomputes derived quantities from the evolved state.
-    fn fill_derived(&self, pack: &mut [&mut BlockSlot], rec: &mut Recorder);
+    fn fill_derived(&self, pack: &mut [&mut BlockSlot], exec: ExecCtx, rec: &mut Recorder);
 
     /// Estimates the stable timestep over `pack`, returning the minimum.
-    fn estimate_dt(&self, pack: &mut [&mut BlockSlot], rec: &mut Recorder) -> f64;
+    fn estimate_dt(&self, pack: &mut [&mut BlockSlot], exec: ExecCtx, rec: &mut Recorder) -> f64;
 
     /// Tags each block in `pack` for refinement/derefinement. Returns one
     /// flag per block, in pack order.
-    fn tag_refinement(&self, pack: &mut [&mut BlockSlot], rec: &mut Recorder) -> Vec<AmrFlag>;
+    fn tag_refinement(
+        &self,
+        pack: &mut [&mut BlockSlot],
+        exec: ExecCtx,
+        rec: &mut Recorder,
+    ) -> Vec<AmrFlag>;
 
     /// Computes history reductions (e.g. total scalar mass). Returns a
     /// scalar per registered history (empty by default).
-    fn history(&self, _pack: &mut [&mut BlockSlot], _rec: &mut Recorder) -> Vec<f64> {
+    fn history(
+        &self,
+        _pack: &mut [&mut BlockSlot],
+        _exec: ExecCtx,
+        _rec: &mut Recorder,
+    ) -> Vec<f64> {
         Vec::new()
     }
 }
@@ -94,14 +111,14 @@ pub mod advect {
             );
         }
 
-        fn calculate_fluxes(&self, pack: &mut [&mut BlockSlot], rec: &mut Recorder) {
+        fn calculate_fluxes(&self, pack: &mut [&mut BlockSlot], exec: ExecCtx, rec: &mut Recorder) {
             let Some(first) = pack.first() else { return };
             let shape = *first.data.shape();
             let cells: u64 = pack.len() as u64 * shape.interior_count() as u64;
             let mult = ghost_byte_multiplier(shape.ncells()[0], shape.nghost(), shape.dim());
             let mut launcher = Launcher::new(rec);
             launcher.launch(&catalog::CALCULATE_FLUXES, cells, mult, || {});
-            for slot in pack.iter_mut() {
+            exec.for_each_block(pack, |_, slot| {
                 let qid = Advect::qid(&mut slot.data);
                 let var = slot.data.var_mut(qid);
                 let (ix, iy) = (
@@ -129,86 +146,103 @@ pub mod advect {
                         .expect("flux allocated")
                         .fill(0.0);
                 }
-            }
+            });
         }
 
-        fn fill_derived(&self, pack: &mut [&mut BlockSlot], rec: &mut Recorder) {
+        fn fill_derived(&self, pack: &mut [&mut BlockSlot], _exec: ExecCtx, rec: &mut Recorder) {
             let Some(first) = pack.first() else { return };
             let cells = pack.len() as u64 * first.data.shape().interior_count() as u64;
             Launcher::new(rec).record_only(&catalog::CALCULATE_DERIVED, cells, 1.0);
         }
 
-        fn estimate_dt(&self, pack: &mut [&mut BlockSlot], rec: &mut Recorder) -> f64 {
+        fn estimate_dt(
+            &self,
+            pack: &mut [&mut BlockSlot],
+            exec: ExecCtx,
+            rec: &mut Recorder,
+        ) -> f64 {
             let Some(first) = pack.first() else {
                 return f64::INFINITY;
             };
             let cells = pack.len() as u64 * first.data.shape().interior_count() as u64;
             Launcher::new(rec).record_only(&catalog::ESTIMATE_TIMESTEP_MESH, cells, 1.0);
-            pack.iter()
-                .map(|s| s.info.geom.dx()[0])
+            // Per-block partials folded in pack order: deterministic at any
+            // thread count.
+            exec.map_blocks(pack, |_, s| s.info.geom.dx()[0])
+                .into_iter()
                 .fold(f64::INFINITY, f64::min)
         }
 
-        fn tag_refinement(&self, pack: &mut [&mut BlockSlot], rec: &mut Recorder) -> Vec<AmrFlag> {
+        fn tag_refinement(
+            &self,
+            pack: &mut [&mut BlockSlot],
+            exec: ExecCtx,
+            rec: &mut Recorder,
+        ) -> Vec<AmrFlag> {
             let Some(first) = pack.first() else {
                 return Vec::new();
             };
             let shape = *first.data.shape();
             let cells = pack.len() as u64 * shape.interior_count() as u64;
             Launcher::new(rec).record_only(&catalog::FIRST_DERIVATIVE, cells, 1.0);
-            pack.iter_mut()
-                .map(|slot| {
-                    let qid = Advect::qid(&mut slot.data);
-                    let var = slot.data.var(qid);
-                    let mut max_jump: f64 = 0.0;
-                    let ix = shape.range(0, vibe_mesh::index::IndexDomain::Interior);
-                    let iy = shape.range(1, vibe_mesh::index::IndexDomain::Interior);
-                    let iz = shape.range(2, vibe_mesh::index::IndexDomain::Interior);
-                    for k in iz.iter() {
-                        for j in iy.iter() {
-                            for i in ix.iter() {
-                                let a = var.data().get(0, k as usize, j as usize, i as usize);
-                                let b =
-                                    var.data().get(0, k as usize, j as usize, (i - 1) as usize);
-                                max_jump = max_jump.max((a - b).abs());
-                            }
-                        }
-                    }
-                    if max_jump > self.refine_above {
-                        AmrFlag::Refine
-                    } else if max_jump < self.deref_below {
-                        AmrFlag::Derefine
-                    } else {
-                        AmrFlag::Same
-                    }
-                })
-                .collect()
-        }
-
-        fn history(&self, pack: &mut [&mut BlockSlot], rec: &mut Recorder) -> Vec<f64> {
-            let Some(first) = pack.first() else {
-                return vec![0.0];
-            };
-            let shape = *first.data.shape();
-            let cells = pack.len() as u64 * shape.interior_count() as u64;
-            Launcher::new(rec).record_only(&catalog::MASS_HISTORY, cells, 1.0);
-            let mut total = 0.0;
-            for slot in pack.iter_mut() {
+            exec.map_blocks(pack, |_, slot| {
                 let qid = Advect::qid(&mut slot.data);
                 let var = slot.data.var(qid);
-                let vol = slot.info.geom.cell_volume();
+                let mut max_jump: f64 = 0.0;
                 let ix = shape.range(0, vibe_mesh::index::IndexDomain::Interior);
                 let iy = shape.range(1, vibe_mesh::index::IndexDomain::Interior);
                 let iz = shape.range(2, vibe_mesh::index::IndexDomain::Interior);
                 for k in iz.iter() {
                     for j in iy.iter() {
                         for i in ix.iter() {
-                            total += var.data().get(0, k as usize, j as usize, i as usize) * vol;
+                            let a = var.data().get(0, k as usize, j as usize, i as usize);
+                            let b = var.data().get(0, k as usize, j as usize, (i - 1) as usize);
+                            max_jump = max_jump.max((a - b).abs());
                         }
                     }
                 }
-            }
-            vec![total]
+                if max_jump > self.refine_above {
+                    AmrFlag::Refine
+                } else if max_jump < self.deref_below {
+                    AmrFlag::Derefine
+                } else {
+                    AmrFlag::Same
+                }
+            })
+        }
+
+        fn history(
+            &self,
+            pack: &mut [&mut BlockSlot],
+            exec: ExecCtx,
+            rec: &mut Recorder,
+        ) -> Vec<f64> {
+            let Some(first) = pack.first() else {
+                return vec![0.0];
+            };
+            let shape = *first.data.shape();
+            let cells = pack.len() as u64 * shape.interior_count() as u64;
+            Launcher::new(rec).record_only(&catalog::MASS_HISTORY, cells, 1.0);
+            // Per-block sums folded in pack order (fixed-order reduction).
+            let partials = exec.map_blocks(pack, |_, slot| {
+                let qid = Advect::qid(&mut slot.data);
+                let var = slot.data.var(qid);
+                let vol = slot.info.geom.cell_volume();
+                let ix = shape.range(0, vibe_mesh::index::IndexDomain::Interior);
+                let iy = shape.range(1, vibe_mesh::index::IndexDomain::Interior);
+                let iz = shape.range(2, vibe_mesh::index::IndexDomain::Interior);
+                let mut block_total = 0.0;
+                for k in iz.iter() {
+                    for j in iy.iter() {
+                        for i in ix.iter() {
+                            block_total +=
+                                var.data().get(0, k as usize, j as usize, i as usize) * vol;
+                        }
+                    }
+                }
+                block_total
+            });
+            vec![partials.into_iter().sum()]
         }
     }
 }

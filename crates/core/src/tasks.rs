@@ -95,7 +95,10 @@ impl<Ctx> Default for TaskList<Ctx> {
 impl<Ctx> fmt::Debug for TaskList<Ctx> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("TaskList")
-            .field("tasks", &self.tasks.iter().map(|t| &t.name).collect::<Vec<_>>())
+            .field(
+                "tasks",
+                &self.tasks.iter().map(|t| &t.name).collect::<Vec<_>>(),
+            )
             .finish()
     }
 }

@@ -1,7 +1,7 @@
 //! Conserved-state updates: flux divergence and Runge-Kutta stage
 //! averaging (`WeightedSumData` + `FluxDivergence`).
 
-use vibe_exec::{catalog, Launcher};
+use vibe_exec::{catalog, ExecCtx, Launcher};
 use vibe_field::Metadata;
 use vibe_mesh::index::IndexDomain;
 use vibe_prof::Recorder;
@@ -18,9 +18,11 @@ use crate::block::BlockSlot;
 /// where `u⁰` is the cycle-start copy saved by the driver. RK2 uses
 /// `(a0, b, c) = (0, 1, 1)` for the predictor and `(0.5, 0.5, 0.5)` for the
 /// corrector. Records the `WeightedSumData` and `FluxDivergence` kernels
-/// (one launch each per pack).
+/// (one launch each per pack); blocks are updated independently, in
+/// parallel under `exec`.
 pub fn flux_divergence_update(
     pack: &mut [&mut BlockSlot],
+    exec: ExecCtx,
     a0: f64,
     b: f64,
     c: f64,
@@ -31,11 +33,12 @@ pub fn flux_divergence_update(
         return;
     };
     let shape = *first.data.shape();
-    let ids = first.data.pack_by_flag(Metadata::WITH_FLUXES).ids().to_vec();
-    let ncomp_total: usize = ids
-        .iter()
-        .map(|&id| first.data.var(id).ncomp())
-        .sum();
+    let ids = first
+        .data
+        .pack_by_flag(Metadata::WITH_FLUXES)
+        .ids()
+        .to_vec();
+    let ncomp_total: usize = ids.iter().map(|&id| first.data.var(id).ncomp()).sum();
     let comp_cells = (pack.len() * shape.interior_count() * ncomp_total) as u64;
     {
         let mut launcher = Launcher::new(rec);
@@ -47,43 +50,75 @@ pub fn flux_divergence_update(
     let ix = shape.range(0, IndexDomain::Interior);
     let iy = shape.range(1, IndexDomain::Interior);
     let iz = shape.range(2, IndexDomain::Interior);
-    for slot in pack.iter_mut() {
+    let (i0, i1) = (ix.s as usize, ix.e as usize);
+    let (j0, j1) = (iy.s as usize, iy.e as usize);
+    let (k0, k1) = (iz.s as usize, iz.e as usize);
+    let n = i1 - i0 + 1;
+
+    exec.for_each_block(pack, |_, slot| {
         let dx = slot.info.geom.dx();
+        let inv = [1.0 / dx[0], 1.0 / dx[1], 1.0 / dx[2]];
+        let BlockSlot { data, stage0, .. } = &mut **slot;
         for &id in &ids {
-            let u0 = slot.stage0(id).clone();
-            let var = slot.data.var_mut(id);
+            let u0 = stage0
+                .get(&id)
+                .expect("stage-0 copy saved before use")
+                .as_slice();
+            let var = data.var_mut(id);
             let ncomp = var.ncomp();
+            let (udata, fluxes) = var.data_mut_and_fluxes();
+            let [_, ez, ey, ex] = udata.shape();
+            let u = udata.as_mut_slice();
+            let fx = fluxes[0].expect("x flux").as_slice();
+            let fy = (dim >= 2).then(|| fluxes[1].expect("y flux").as_slice());
+            let fz = (dim >= 3).then(|| fluxes[2].expect("z flux").as_slice());
+
             for comp in 0..ncomp {
-                for k in iz.iter() {
-                    for j in iy.iter() {
-                        for i in ix.iter() {
-                            let (iu, ju, ku) = (i as usize, j as usize, k as usize);
-                            let mut div = 0.0;
-                            {
-                                let fx = var.flux(0).expect("x flux");
-                                div += (fx.get(comp, ku, ju, iu + 1) - fx.get(comp, ku, ju, iu))
-                                    / dx[0];
+                for k in k0..=k1 {
+                    for j in j0..=j1 {
+                        let row = (((comp * ez + k) * ey + j) * ex) + i0;
+                        let fx_row = (((comp * ez + k) * ey + j) * (ex + 1)) + i0;
+                        let urow = &mut u[row..row + n];
+                        let u0row = &u0[row..row + n];
+                        let fxl = &fx[fx_row..fx_row + n];
+                        let fxr = &fx[fx_row + 1..fx_row + 1 + n];
+                        match (fy, fz) {
+                            (Some(fy), Some(fz)) => {
+                                let fy_row = (((comp * ez + k) * (ey + 1) + j) * ex) + i0;
+                                let fz_row = (((comp * (ez + 1) + k) * ey + j) * ex) + i0;
+                                let fyl = &fy[fy_row..fy_row + n];
+                                let fyr = &fy[fy_row + ex..fy_row + ex + n];
+                                let fzl = &fz[fz_row..fz_row + n];
+                                let fzr = &fz[fz_row + ey * ex..fz_row + ey * ex + n];
+                                for q in 0..n {
+                                    let div = (fxr[q] - fxl[q]) * inv[0]
+                                        + (fyr[q] - fyl[q]) * inv[1]
+                                        + (fzr[q] - fzl[q]) * inv[2];
+                                    urow[q] = a0 * u0row[q] + b * urow[q] - c * dt * div;
+                                }
                             }
-                            if dim >= 2 {
-                                let fy = var.flux(1).expect("y flux");
-                                div += (fy.get(comp, ku, ju + 1, iu) - fy.get(comp, ku, ju, iu))
-                                    / dx[1];
+                            (Some(fy), None) => {
+                                let fy_row = (((comp * ez + k) * (ey + 1) + j) * ex) + i0;
+                                let fyl = &fy[fy_row..fy_row + n];
+                                let fyr = &fy[fy_row + ex..fy_row + ex + n];
+                                for q in 0..n {
+                                    let div =
+                                        (fxr[q] - fxl[q]) * inv[0] + (fyr[q] - fyl[q]) * inv[1];
+                                    urow[q] = a0 * u0row[q] + b * urow[q] - c * dt * div;
+                                }
                             }
-                            if dim >= 3 {
-                                let fz = var.flux(2).expect("z flux");
-                                div += (fz.get(comp, ku + 1, ju, iu) - fz.get(comp, ku, ju, iu))
-                                    / dx[2];
+                            _ => {
+                                for q in 0..n {
+                                    let div = (fxr[q] - fxl[q]) * inv[0];
+                                    urow[q] = a0 * u0row[q] + b * urow[q] - c * dt * div;
+                                }
                             }
-                            let old = var.data().get(comp, ku, ju, iu);
-                            let base = u0.get(comp, ku, ju, iu);
-                            let new = a0 * base + b * old - c * dt * div;
-                            var.data_mut().set(comp, ku, ju, iu, new);
                         }
                     }
                 }
             }
         }
-    }
+    });
 }
 
 #[cfg(test)]
@@ -124,7 +159,7 @@ mod tests {
         let mut rec = Recorder::new();
         rec.begin_cycle(0);
         let mut pack = vec![&mut slot];
-        flux_divergence_update(&mut pack, 0.0, 1.0, 1.0, 0.1, &mut rec);
+        flux_divergence_update(&mut pack, ExecCtx::serial(), 0.0, 1.0, 1.0, 0.1, &mut rec);
         rec.end_cycle(1, 0, 0, 0);
         assert_eq!(slot.data.var(qid).data().get(0, 0, 0, 4), 2.0);
     }
@@ -145,7 +180,7 @@ mod tests {
         let mut rec = Recorder::new();
         rec.begin_cycle(0);
         let mut pack = vec![&mut slot];
-        flux_divergence_update(&mut pack, 0.0, 1.0, 1.0, 0.01, &mut rec);
+        flux_divergence_update(&mut pack, ExecCtx::serial(), 0.0, 1.0, 1.0, 0.01, &mut rec);
         rec.end_cycle(1, 0, 0, 0);
         let dx = 1.0 / 8.0;
         let want = 1.0 - 0.01 * (1.0 / dx);
@@ -164,9 +199,37 @@ mod tests {
         rec.begin_cycle(0);
         let mut pack = vec![&mut slot];
         // Zero fluxes: u <- 0.5*4 + 0.5*8 = 6.
-        flux_divergence_update(&mut pack, 0.5, 0.5, 0.5, 0.1, &mut rec);
+        flux_divergence_update(&mut pack, ExecCtx::serial(), 0.5, 0.5, 0.5, 0.1, &mut rec);
         rec.end_cycle(1, 0, 0, 0);
         assert_eq!(slot.data.var(qid).data().get(0, 0, 0, 5), 6.0);
+    }
+
+    #[test]
+    fn parallel_update_matches_serial_bitwise() {
+        let build = |exec: ExecCtx| {
+            let (_, mut slot) = setup();
+            let qid = slot.data.id_of("q").unwrap();
+            let dat = slot.data.var_mut(qid).data_mut();
+            for i in 0..dat.shape()[3] {
+                dat.set(0, 0, 0, i, (i as f64 * 0.37).sin());
+            }
+            slot.save_stage0(&[qid]);
+            {
+                let fx = slot.data.var_mut(qid).flux_mut(0).unwrap();
+                for i in 0..fx.shape()[3] {
+                    fx.set(0, 0, 0, i, (i as f64 * 0.11).cos());
+                }
+            }
+            let mut rec = Recorder::new();
+            rec.begin_cycle(0);
+            let mut pack = vec![&mut slot];
+            flux_divergence_update(&mut pack, exec, 0.5, 0.5, 0.5, 0.013, &mut rec);
+            rec.end_cycle(1, 0, 0, 0);
+            slot.data.var(qid).data().clone()
+        };
+        let serial = build(ExecCtx::serial());
+        let parallel = build(ExecCtx::new(4));
+        assert!(serial == parallel);
     }
 
     #[test]
@@ -177,7 +240,7 @@ mod tests {
         let mut rec = Recorder::new();
         rec.begin_cycle(0);
         let mut pack = vec![&mut slot];
-        flux_divergence_update(&mut pack, 0.0, 1.0, 1.0, 0.1, &mut rec);
+        flux_divergence_update(&mut pack, ExecCtx::serial(), 0.0, 1.0, 1.0, 0.1, &mut rec);
         rec.end_cycle(1, 0, 0, 0);
         let t = rec.totals();
         assert_eq!(

@@ -262,7 +262,9 @@ mod tests {
     #[test]
     fn lookup_by_name() {
         assert_eq!(
-            catalog::by_name("CalculateFluxes").unwrap().registers_per_thread,
+            catalog::by_name("CalculateFluxes")
+                .unwrap()
+                .registers_per_thread,
             128
         );
         assert!(catalog::by_name("Nope").is_none());

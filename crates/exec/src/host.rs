@@ -1,12 +1,35 @@
 //! Host-side data parallelism over mesh blocks.
 
+use crate::pool;
+
+/// Shares a base pointer into a slice with pool workers.
+///
+/// Soundness contract: the pool claims each index exactly once per region,
+/// so every `&mut` produced by [`SharedMut::at`] is to a distinct element.
+struct SharedMut<T>(*mut T);
+
+// SAFETY: see the contract above — disjoint indices mean disjoint `&mut`s.
+unsafe impl<T> Sync for SharedMut<T> {}
+
+impl<T> SharedMut<T> {
+    /// # Safety
+    /// `i` must be in bounds and claimed by exactly one thread.
+    #[allow(clippy::mut_from_ref)] // aliasing excluded by the index contract
+    unsafe fn at(&self, i: usize) -> &mut T {
+        &mut *self.0.add(i)
+    }
+}
+
 /// Applies `f` to every element of `items` using up to `nthreads` OS
-/// threads (crossbeam scoped), preserving no particular order. Each item is
-/// visited exactly once; with `nthreads <= 1` the loop runs inline.
+/// threads (the persistent [`pool`], caller included), preserving no
+/// particular order. Each item is visited exactly once; with
+/// `nthreads <= 1` the loop runs inline, in index order, with no pool
+/// interaction — the serial path is exactly the plain `for` loop.
 ///
 /// This is the CPU analogue of launching one packed kernel over all mesh
 /// blocks owned by a rank: blocks are independent, so the per-block bodies
-/// run concurrently.
+/// run concurrently. Items are claimed dynamically through an atomic
+/// index, so imbalanced per-block costs load-balance automatically.
 ///
 /// The index of each item is passed alongside the mutable reference.
 pub fn for_each_block_parallel<T, F>(items: &mut [T], nthreads: usize, f: F)
@@ -25,18 +48,103 @@ where
         }
         return;
     }
-    let chunk = n.div_ceil(threads);
-    crossbeam::scope(|scope| {
-        for (c, chunk_items) in items.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            scope.spawn(move |_| {
-                for (off, item) in chunk_items.iter_mut().enumerate() {
-                    f(c * chunk + off, item);
-                }
-            });
+    let base = SharedMut(items.as_mut_ptr());
+    pool::global().run(n, threads, &|i| {
+        let item = unsafe { base.at(i) };
+        f(i, item);
+    });
+}
+
+/// Like [`for_each_block_parallel`] but collecting one result per item, in
+/// item order regardless of execution order — per-block partials for the
+/// deterministic fixed-order reductions (timestep minima, history sums).
+pub fn map_block_parallel<T, R, F>(items: &mut [T], nthreads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Send + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = nthreads.clamp(1, n);
+    if threads == 1 {
+        return items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let ibase = SharedMut(items.as_mut_ptr());
+    let obase = SharedMut(out.as_mut_ptr());
+    pool::global().run(n, threads, &|i| {
+        let item = unsafe { ibase.at(i) };
+        let slot = unsafe { obase.at(i) };
+        *slot = Some(f(i, item));
+    });
+    out.into_iter()
+        .map(|r| r.expect("every index executed"))
+        .collect()
+}
+
+/// Per-driver host execution context handed to framework and package
+/// kernels: carries the thread budget for per-block parallel stages.
+///
+/// `threads == 1` (the default) guarantees the exact inline serial path —
+/// results at any thread count are bitwise identical to it because blocks
+/// are independent and all cross-block reductions fold per-block partials
+/// in block order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecCtx {
+    threads: usize,
+}
+
+impl Default for ExecCtx {
+    fn default() -> Self {
+        Self::serial()
+    }
+}
+
+impl ExecCtx {
+    /// Context using up to `threads` OS threads (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
         }
-    })
-    .expect("block-parallel worker panicked");
+    }
+
+    /// The inline single-thread context.
+    pub fn serial() -> Self {
+        Self::new(1)
+    }
+
+    /// Thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// [`for_each_block_parallel`] with this context's thread budget.
+    pub fn for_each_block<T, F>(&self, items: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Send + Sync,
+    {
+        for_each_block_parallel(items, self.threads, f);
+    }
+
+    /// [`map_block_parallel`] with this context's thread budget.
+    pub fn map_blocks<T, R, F>(&self, items: &mut [T], f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, &mut T) -> R + Send + Sync,
+    {
+        map_block_parallel(items, self.threads, f)
+    }
+
+    /// Index-space parallel-for (`f(0), …, f(n-1)`) with this context's
+    /// thread budget; inline and in order when the budget is 1.
+    pub fn for_each_index(&self, n: usize, f: impl Fn(usize) + Sync) {
+        pool::for_each_index(n, self.threads, f);
+    }
 }
 
 #[cfg(test)]
@@ -84,5 +192,48 @@ mod tests {
         for_each_block_parallel(&mut a, 1, |i, x| *x = (i as f64).sin() + *x);
         for_each_block_parallel(&mut b, 7, |i, x| *x = (i as f64).sin() + *x);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn heavy_items_load_balance_without_loss() {
+        // Mixed cost items: correctness must not depend on scheduling.
+        let mut v: Vec<f64> = (0..97).map(|i| i as f64).collect();
+        let mut expect = v.clone();
+        for x in expect.iter_mut() {
+            *x = x.sqrt() + 1.0;
+        }
+        for_each_block_parallel(&mut v, 5, |i, x| {
+            if i % 7 == 0 {
+                std::thread::yield_now();
+            }
+            *x = x.sqrt() + 1.0;
+        });
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn map_results_in_item_order() {
+        let mut v: Vec<u32> = (0..333).collect();
+        let serial = map_block_parallel(&mut v, 1, |i, x| *x as u64 + i as u64);
+        let parallel = map_block_parallel(&mut v, 6, |i, x| *x as u64 + i as u64);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[10], 20);
+    }
+
+    #[test]
+    fn exec_ctx_clamps_and_dispatches() {
+        assert_eq!(ExecCtx::new(0).threads(), 1);
+        assert_eq!(ExecCtx::default(), ExecCtx::serial());
+        let ctx = ExecCtx::new(4);
+        let mut v = vec![1.0f64; 64];
+        ctx.for_each_block(&mut v, |i, x| *x += i as f64);
+        assert_eq!(v[10], 11.0);
+        let sums = ctx.map_blocks(&mut v, |_, x| *x * 2.0);
+        assert_eq!(sums[10], 22.0);
+        let count = AtomicUsize::new(0);
+        ctx.for_each_index(17, |_| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 17);
     }
 }

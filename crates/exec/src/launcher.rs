@@ -131,7 +131,9 @@ mod tests {
         // B32 to B16 as ghost traffic grows relative to interior work.
         let k = catalog::CALCULATE_FLUXES;
         let ai = |b: usize| {
-            k.flops_per_cell / (k.bytes_per_cell * ghost_byte_multiplier(b, 4, 3) / ghost_byte_multiplier(32, 4, 3))
+            k.flops_per_cell
+                / (k.bytes_per_cell * ghost_byte_multiplier(b, 4, 3)
+                    / ghost_byte_multiplier(32, 4, 3))
         };
         assert!(ai(16) < ai(32));
     }

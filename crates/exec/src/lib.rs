@@ -11,14 +11,17 @@
 //! reports them for the real Parthenon kernels (paper Table III).
 //!
 //! Host-side data parallelism over mesh blocks is provided by
-//! [`for_each_block_parallel`], backed by crossbeam scoped threads.
+//! [`for_each_block_parallel`], backed by the persistent [`pool`] of
+//! parked worker threads with dynamic (atomic-index) scheduling.
 
 pub mod descriptor;
 pub mod host;
 pub mod launcher;
+pub mod pool;
 pub mod registry;
 
 pub use descriptor::{catalog, InnerLoop, KernelDescriptor};
-pub use host::for_each_block_parallel;
+pub use host::{for_each_block_parallel, map_block_parallel, ExecCtx};
 pub use launcher::{ghost_byte_multiplier, Launcher};
+pub use pool::{for_each_index, WorkerPool};
 pub use registry::WallRegistry;

@@ -1,0 +1,340 @@
+//! A persistent host worker pool with dynamic (atomic-index) scheduling.
+//!
+//! Mirrors the Kokkos `OpenMP` host backend used by Parthenon: a fixed set
+//! of OS threads is spawned once, parked on a condvar, and woken per
+//! parallel region. Work items are claimed one at a time through an atomic
+//! counter, so imbalanced per-block costs (deep AMR hierarchies mix cheap
+//! coarse blocks with expensive fine ones) are load-balanced dynamically
+//! instead of statically chunked.
+//!
+//! The dispatching thread always participates in the region and blocks
+//! until every item has completed, which is what makes the scoped-borrow
+//! API of [`crate::for_each_block_parallel`] sound: borrows captured by
+//! the body cannot dangle while any worker still runs it.
+//!
+//! Determinism: a region's result never depends on which thread ran which
+//! item — items are independent and any cross-item reduction is the
+//! caller's responsibility (see the fixed-order reductions in `vibe-core`).
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Type-erased pointer to the region body. The pointee lives on the
+/// dispatcher's stack; safety rests on the dispatcher not returning until
+/// `Counters::pending` reaches zero.
+#[derive(Clone, Copy)]
+struct WorkPtr(*const (dyn Fn(usize) + Sync + 'static));
+
+// SAFETY: the pointee is Sync (shared calls from many threads are fine) and
+// the dispatch protocol guarantees it outlives every dereference.
+unsafe impl Send for WorkPtr {}
+unsafe impl Sync for WorkPtr {}
+
+/// Per-region bookkeeping, shared by the dispatcher and every worker that
+/// observes the region. Allocated fresh per dispatch so a worker waking up
+/// late (after the region completed and a new one started) can only
+/// operate on its own region's counters, never the new region's.
+struct Counters {
+    /// Next unclaimed item index; `fetch_add` hands out each index exactly
+    /// once.
+    next: AtomicUsize,
+    /// Items not yet finished executing. The dispatcher returns only once
+    /// this reaches zero.
+    pending: AtomicUsize,
+    /// First panic payload caught in the region, re-thrown by the
+    /// dispatcher.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    panicked: AtomicBool,
+}
+
+#[derive(Clone)]
+struct Job {
+    n: usize,
+    work: WorkPtr,
+    counters: Arc<Counters>,
+}
+
+struct PoolState {
+    /// Bumped on every dispatch; workers compare against their last seen
+    /// value to detect fresh work.
+    epoch: u64,
+    job: Option<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    /// Workers park here waiting for a new epoch.
+    work_cv: Condvar,
+    /// The dispatcher parks here waiting for `pending == 0`.
+    done_cv: Condvar,
+}
+
+/// A persistent pool of parked worker threads executing parallel-for
+/// regions with dynamic index scheduling.
+///
+/// Use [`global`] for the process-wide pool (what
+/// [`crate::for_each_block_parallel`] uses); independent instances are
+/// mainly for tests.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    /// Number of worker threads spawned so far; grown on demand.
+    spawned: Mutex<usize>,
+}
+
+impl Default for WorkerPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WorkerPool {
+    /// Creates an empty pool; workers are spawned lazily by [`run`].
+    ///
+    /// [`run`]: WorkerPool::run
+    pub fn new() -> Self {
+        Self {
+            shared: Arc::new(Shared {
+                state: Mutex::new(PoolState {
+                    epoch: 0,
+                    job: None,
+                    shutdown: false,
+                }),
+                work_cv: Condvar::new(),
+                done_cv: Condvar::new(),
+            }),
+            spawned: Mutex::new(0),
+        }
+    }
+
+    /// Ensures at least `want` workers exist.
+    fn ensure_workers(&self, want: usize) {
+        let mut spawned = self.spawned.lock().unwrap();
+        while *spawned < want {
+            let shared = Arc::clone(&self.shared);
+            let id = *spawned;
+            std::thread::Builder::new()
+                .name(format!("vibe-pool-{id}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn pool worker");
+            *spawned += 1;
+        }
+    }
+
+    /// Runs `f(0), f(1), …, f(n_items - 1)` using up to `threads` OS
+    /// threads including the calling thread, returning once every call has
+    /// finished. Indices are claimed dynamically; each is executed exactly
+    /// once. With `threads <= 1` the loop runs inline on the caller with
+    /// no pool interaction at all.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises (on the calling thread) the first panic raised by any
+    /// `f(i)`; remaining items still complete first so borrows stay valid.
+    pub fn run(&self, n_items: usize, threads: usize, f: &(dyn Fn(usize) + Sync)) {
+        if n_items == 0 {
+            return;
+        }
+        let threads = threads.clamp(1, n_items);
+        if threads == 1 {
+            for i in 0..n_items {
+                f(i);
+            }
+            return;
+        }
+        self.ensure_workers(threads - 1);
+
+        let counters = Arc::new(Counters {
+            next: AtomicUsize::new(0),
+            pending: AtomicUsize::new(n_items),
+            panic: Mutex::new(None),
+            panicked: AtomicBool::new(false),
+        });
+        // SAFETY: erasing the lifetime of `f` is sound because this
+        // function does not return until `pending == 0`, i.e. until no
+        // thread can dereference the pointer again.
+        let work = WorkPtr(unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(f)
+        });
+        let job = Job {
+            n: n_items,
+            work,
+            counters: Arc::clone(&counters),
+        };
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.epoch += 1;
+            st.job = Some(job.clone());
+            self.shared.work_cv.notify_all();
+        }
+
+        // The dispatcher is one of the `threads` participants.
+        execute(&self.shared, &job);
+
+        let mut st = self.shared.state.lock().unwrap();
+        while job.counters.pending.load(Ordering::Acquire) != 0 {
+            st = self.shared.done_cv.wait(st).unwrap();
+        }
+        drop(st);
+
+        if counters.panicked.load(Ordering::Acquire) {
+            let payload = counters.panic.lock().unwrap().take();
+            match payload {
+                Some(p) => std::panic::resume_unwind(p),
+                None => panic!("worker panicked in parallel region"),
+            }
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        let mut st = self.shared.state.lock().unwrap();
+        st.shutdown = true;
+        self.shared.work_cv.notify_all();
+    }
+}
+
+/// Claims and executes items of `job` until none remain.
+fn execute(shared: &Shared, job: &Job) {
+    let body = unsafe { &*job.work.0 };
+    loop {
+        let i = job.counters.next.fetch_add(1, Ordering::Relaxed);
+        if i >= job.n {
+            return;
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| body(i)));
+        if let Err(payload) = result {
+            job.counters.panicked.store(true, Ordering::Release);
+            let mut slot = job.counters.panic.lock().unwrap();
+            slot.get_or_insert(payload);
+        }
+        if job.counters.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last item: wake the dispatcher. The empty lock orders the
+            // notify after the dispatcher's predicate check.
+            drop(shared.state.lock().unwrap());
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut last_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != last_epoch {
+                    last_epoch = st.epoch;
+                    break st.job.clone();
+                }
+                st = shared.work_cv.wait(st).unwrap();
+            }
+        };
+        if let Some(job) = job {
+            // A late wake-up after the region already drained is harmless:
+            // `next >= n`, so the body pointer is never dereferenced.
+            execute(shared, &job);
+        }
+    }
+}
+
+/// The process-wide pool used by [`crate::for_each_block_parallel`].
+/// Workers are spawned on first use and grown to the largest thread count
+/// ever requested; they park on a condvar between regions.
+pub fn global() -> &'static WorkerPool {
+    static POOL: OnceLock<WorkerPool> = OnceLock::new();
+    POOL.get_or_init(WorkerPool::new)
+}
+
+/// Index-space parallel-for on the [`global`] pool: runs `f(i)` for
+/// `i in 0..n` on up to `threads` threads (caller included), blocking
+/// until all complete. `threads <= 1` runs inline.
+pub fn for_each_index(n: usize, threads: usize, f: impl Fn(usize) + Sync) {
+    global().run(n, threads, &f);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_every_index_exactly_once() {
+        let pool = WorkerPool::new();
+        let hits: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
+        pool.run(1000, 8, &|i| {
+            hits[i].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn serial_path_runs_in_order() {
+        let pool = WorkerPool::new();
+        let order = Mutex::new(Vec::new());
+        pool.run(16, 1, &|i| order.lock().unwrap().push(i));
+        assert_eq!(*order.lock().unwrap(), (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_is_reusable_across_regions() {
+        let pool = WorkerPool::new();
+        let total = AtomicUsize::new(0);
+        for _ in 0..50 {
+            pool.run(64, 4, &|_| {
+                total.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        assert_eq!(total.load(Ordering::SeqCst), 50 * 64);
+    }
+
+    #[test]
+    fn uses_multiple_threads() {
+        let pool = WorkerPool::new();
+        let ids = Mutex::new(HashSet::new());
+        let gate = std::sync::Barrier::new(4);
+        pool.run(4, 4, &|_| {
+            // All four items rendezvous, so four distinct threads must run.
+            gate.wait();
+            ids.lock().unwrap().insert(std::thread::current().id());
+        });
+        assert_eq!(ids.lock().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_dispatcher() {
+        let pool = WorkerPool::new();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(32, 4, &|i| {
+                if i == 7 {
+                    panic!("boom at 7");
+                }
+            });
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "boom at 7");
+        // Pool stays usable after a panic.
+        let count = AtomicUsize::new(0);
+        pool.run(8, 4, &|_| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn global_pool_for_each_index() {
+        let sum = AtomicUsize::new(0);
+        for_each_index(100, 8, |i| {
+            sum.fetch_add(i, Ordering::SeqCst);
+        });
+        assert_eq!(sum.load(Ordering::SeqCst), 99 * 100 / 2);
+    }
+}

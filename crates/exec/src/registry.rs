@@ -50,7 +50,7 @@ impl WallRegistry {
             .iter()
             .map(|(n, (c, d))| (*n, *c, *d))
             .collect();
-        v.sort_by(|a, b| b.2.cmp(&a.2));
+        v.sort_by_key(|e| std::cmp::Reverse(e.2));
         v
     }
 

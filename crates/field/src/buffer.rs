@@ -71,13 +71,8 @@ impl BufferSpec {
     pub fn cells_per_component(&self) -> usize {
         match self.mode {
             BufferMode::Copy | BufferMode::RestrictFromFine => self.recv_region.count(),
-            BufferMode::FineUnrestricted => {
-                self.recv_region.count() << self.shape.dim()
-            }
-            BufferMode::CoarseToFine => self
-                .packed_region
-                .as_ref()
-                .map_or(0, Region::count),
+            BufferMode::FineUnrestricted => self.recv_region.count() << self.shape.dim(),
+            BufferMode::CoarseToFine => self.packed_region.as_ref().map_or(0, Region::count),
         }
     }
 
@@ -323,11 +318,7 @@ pub fn pack(spec: &BufferSpec, sender: &Array4, out: &mut Vec<f64>) {
             for v in 0..ncomp {
                 for ck in r[2].iter() {
                     for cj in r[1].iter() {
-                        let s = storage_from_global(
-                            shape,
-                            &spec.sender_origin,
-                            [r[0].s, cj, ck],
-                        );
+                        let s = storage_from_global(shape, &spec.sender_origin, [r[0].s, cj, ck]);
                         let start = v * per_comp + (s[2] * ey + s[1]) * ex + s[0];
                         out.extend_from_slice(&data[start..start + row_len]);
                     }
@@ -447,7 +438,11 @@ pub fn unpack(spec: &BufferSpec, buf: &[f64], recv: &mut Array4) {
 
 /// Converts a sender-level global cell index to sender storage indices.
 #[inline]
-fn storage_from_global(shape: &IndexShape, sender_origin: &[i64; 3], global: [i64; 3]) -> [usize; 3] {
+fn storage_from_global(
+    shape: &IndexShape,
+    sender_origin: &[i64; 3],
+    global: [i64; 3],
+) -> [usize; 3] {
     let mut s = [0usize; 3];
     for d in 0..3 {
         let idx = global[d] - sender_origin[d] + shape.nghost_d(d) as i64;
@@ -467,13 +462,12 @@ mod tests {
 
     /// Fills a block's storage with a function of *global* (unwrapped) cell
     /// index at the block's own level, given the block origin.
-    fn fill_global(shape: &IndexShape, origin: [i64; 3], f: impl Fn(i64, i64, i64) -> f64) -> Array4 {
-        let mut a = Array4::zeros([
-            1,
-            shape.entire_d(2),
-            shape.entire_d(1),
-            shape.entire_d(0),
-        ]);
+    fn fill_global(
+        shape: &IndexShape,
+        origin: [i64; 3],
+        f: impl Fn(i64, i64, i64) -> f64,
+    ) -> Array4 {
+        let mut a = Array4::zeros([1, shape.entire_d(2), shape.entire_d(1), shape.entire_d(0)]);
         for k in 0..shape.entire_d(2) {
             for j in 0..shape.entire_d(1) {
                 for i in 0..shape.entire_d(0) {
@@ -675,9 +669,21 @@ mod tests {
         let shape = IndexShape::new([8, 8, 1], 2, 2);
         let off = NeighborOffset::new(1, 0, 0);
         let cases = [
-            (LogicalLocation::new(0, 0, 0, 0), LogicalLocation::new(0, 1, 0, 0), [8, 0, 0]),
-            (LogicalLocation::new(0, 0, 0, 0), LogicalLocation::new(1, 2, 0, 0), [16, 0, 0]),
-            (LogicalLocation::new(1, 1, 0, 0), LogicalLocation::new(0, 1, 0, 0), [8, 0, 0]),
+            (
+                LogicalLocation::new(0, 0, 0, 0),
+                LogicalLocation::new(0, 1, 0, 0),
+                [8, 0, 0],
+            ),
+            (
+                LogicalLocation::new(0, 0, 0, 0),
+                LogicalLocation::new(1, 2, 0, 0),
+                [16, 0, 0],
+            ),
+            (
+                LogicalLocation::new(1, 1, 0, 0),
+                LogicalLocation::new(0, 1, 0, 0),
+                [8, 0, 0],
+            ),
         ];
         for (r, s, origin) in cases {
             let spec = compute_buffer_spec(&shape, &r, &s, &off);

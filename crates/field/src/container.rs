@@ -184,6 +184,25 @@ impl BlockData {
         }
     }
 
+    /// Simultaneous mutable access to `N` distinct variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any two ids are equal or any id is out of range.
+    pub fn disjoint_mut<const N: usize>(&mut self, ids: [VarId; N]) -> [&mut CellVariable; N] {
+        for (i, a) in ids.iter().enumerate() {
+            assert!(a.0 < self.vars.len(), "variable id out of range");
+            for b in &ids[i + 1..] {
+                assert_ne!(a, b, "disjoint_mut needs distinct variables");
+            }
+        }
+        let base = self.vars.as_mut_ptr();
+        // SAFETY: ids are pairwise distinct and in range, so each returned
+        // `&mut` aliases a different element; lifetimes are tied to the
+        // `&mut self` borrow by the signature.
+        ids.map(|id| unsafe { &mut *base.add(id.0) })
+    }
+
     /// Variable by name — the string-keyed path the paper flags as serial
     /// overhead. Increments the string-lookup counter.
     pub fn var_by_name(&mut self, name: &str) -> Option<&CellVariable> {
@@ -218,8 +237,7 @@ impl BlockData {
                 // GetVariablesByFlag does: one string hash per variable.
                 let mut ids = Vec::new();
                 let mut total = 0usize;
-                let names: Vec<String> =
-                    self.vars.iter().map(|v| v.name().to_string()).collect();
+                let names: Vec<String> = self.vars.iter().map(|v| v.name().to_string()).collect();
                 for name in &names {
                     self.string_lookups += 1;
                     let id = self.by_name[name.as_str()];

@@ -32,7 +32,10 @@ pub fn minmod(a: f64, b: f64) -> f64 {
 /// Panics if `fine` is empty.
 #[inline]
 pub fn restrict_average(fine: &[f64]) -> f64 {
-    assert!(!fine.is_empty(), "restriction needs at least one fine value");
+    assert!(
+        !fine.is_empty(),
+        "restriction needs at least one fine value"
+    );
     fine.iter().sum::<f64>() / fine.len() as f64
 }
 

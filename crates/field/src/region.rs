@@ -56,8 +56,10 @@ impl Region {
     /// pack/unpack order.
     pub fn iter(&self) -> impl Iterator<Item = (i64, i64, i64)> + '_ {
         let [rx, ry, rz] = self.ranges;
-        rz.iter()
-            .flat_map(move |k| ry.iter().flat_map(move |j| rx.iter().map(move |i| (i, j, k))))
+        rz.iter().flat_map(move |k| {
+            ry.iter()
+                .flat_map(move |j| rx.iter().map(move |i| (i, j, k)))
+        })
     }
 
     /// `true` if `(i, j, k)` lies inside the region.
@@ -96,10 +98,7 @@ mod tests {
     fn iteration_order_i_fastest() {
         let r = region((0, 1), (0, 1), (0, 0));
         let cells: Vec<_> = r.iter().collect();
-        assert_eq!(
-            cells,
-            vec![(0, 0, 0), (1, 0, 0), (0, 1, 0), (1, 1, 0)]
-        );
+        assert_eq!(cells, vec![(0, 0, 0), (1, 0, 0), (0, 1, 0), (1, 1, 0)]);
     }
 
     #[test]

@@ -116,7 +116,12 @@ impl CellVariable {
     /// # Panics
     ///
     /// Panics if `ncomp == 0` or `name` is empty.
-    pub fn new(name: impl Into<String>, ncomp: usize, metadata: Metadata, shape: &IndexShape) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        ncomp: usize,
+        metadata: Metadata,
+        shape: &IndexShape,
+    ) -> Self {
         let name = name.into();
         assert!(!name.is_empty(), "variable name must be non-empty");
         assert!(ncomp > 0, "variable must have at least one component");
@@ -180,11 +185,19 @@ impl CellVariable {
     ///
     /// Panics if the variable has no flux arrays.
     pub fn data_and_flux_mut(&mut self, d: usize) -> (&Array4, &mut Array4) {
-        let flux = self
-            .fluxes
-            .as_mut()
-            .expect("variable carries flux arrays");
+        let flux = self.fluxes.as_mut().expect("variable carries flux arrays");
         (&self.data, &mut flux[d])
+    }
+
+    /// Simultaneous mutable cell data and immutable views of all allocated
+    /// flux arrays — the borrow split the flux-divergence update needs
+    /// (read all face fluxes, write the state).
+    pub fn data_mut_and_fluxes(&mut self) -> (&mut Array4, [Option<&Array4>; 3]) {
+        let fluxes = match self.fluxes.as_ref() {
+            Some(f) => [Some(&f[0]), Some(&f[1]), Some(&f[2])],
+            None => [None, None, None],
+        };
+        (&mut self.data, fluxes)
     }
 
     /// Total allocated bytes for data plus fluxes — the quantity the

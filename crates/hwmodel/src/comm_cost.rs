@@ -48,12 +48,7 @@ impl CommCosts {
     /// Wall seconds of point-to-point traffic in `totals`, spread over
     /// `ranks` concurrently communicating processes. `internode_fraction`
     /// of remote messages cross a node boundary (0 on one node).
-    pub fn p2p_seconds(
-        &self,
-        totals: &CommTotals,
-        ranks: usize,
-        internode_fraction: f64,
-    ) -> f64 {
+    pub fn p2p_seconds(&self, totals: &CommTotals, ranks: usize, internode_fraction: f64) -> f64 {
         let r = ranks.max(1) as f64;
         let intra = 1.0 - internode_fraction;
         let remote_msgs = totals.p2p_remote_messages as f64;
@@ -93,8 +88,7 @@ impl CommCosts {
 
     /// Total communication wall seconds.
     pub fn seconds(&self, totals: &CommTotals, ranks: usize, internode_fraction: f64) -> f64 {
-        self.p2p_seconds(totals, ranks, internode_fraction)
-            + self.collective_seconds(totals, ranks)
+        self.p2p_seconds(totals, ranks, internode_fraction) + self.collective_seconds(totals, ranks)
     }
 }
 
@@ -138,7 +132,11 @@ mod tests {
         let t12 = c.collective_seconds_one(12, 1024);
         let t96 = c.collective_seconds_one(96, 1024);
         assert!(t2 < t12 && t12 < t96);
-        assert_eq!(c.collective_seconds_one(1, 1024), 0.0, "no collective alone");
+        assert_eq!(
+            c.collective_seconds_one(1, 1024),
+            0.0,
+            "no collective alone"
+        );
     }
 
     #[test]
@@ -166,10 +164,14 @@ mod tests {
             (0, 0),
             (0, 0),
             0,
-            &[(CollectiveOp::AllReduce, 10, 80), (CollectiveOp::AllGather, 2, 4096)],
+            &[
+                (CollectiveOp::AllReduce, 10, 80),
+                (CollectiveOp::AllGather, 2, 4096),
+            ],
         );
         let total = c.collective_seconds(&t, 8);
-        let expect = 10.0 * c.collective_seconds_one(8, 8) + 2.0 * c.collective_seconds_one(8, 2048);
+        let expect =
+            10.0 * c.collective_seconds_one(8, 8) + 2.0 * c.collective_seconds_one(8, 2048);
         assert!((total - expect).abs() < 1e-12);
     }
 }

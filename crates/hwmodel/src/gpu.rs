@@ -63,8 +63,7 @@ pub fn kernel_duration(
         return 0.0;
     }
     let t_mem = totals.bytes as f64 / (gpu.mem_bw * memory_efficiency(desc, gpu, block_cells));
-    let t_cmp =
-        totals.flops as f64 / (gpu.peak_fp64 * compute_efficiency(desc, gpu, block_cells));
+    let t_cmp = totals.flops as f64 / (gpu.peak_fp64 * compute_efficiency(desc, gpu, block_cells));
     // Grid fill: threads per launch vs. what the GPU can host.
     let occ = occupancy(desc, gpu);
     let cells_per_launch = totals.cells as f64 / totals.launches as f64;
@@ -159,7 +158,12 @@ mod tests {
     fn launch_latency_dominates_many_tiny_launches() {
         let desc = &catalog::WEIGHTED_SUM_DATA;
         let one = kernel_duration(desc, &totals(1, 512, 3584, 12288), &h100(), 8);
-        let many = kernel_duration(desc, &totals(1000, 512_000, 3_584_000, 12_288_000), &h100(), 8);
+        let many = kernel_duration(
+            desc,
+            &totals(1000, 512_000, 3_584_000, 12_288_000),
+            &h100(),
+            8,
+        );
         // Same total work split over 1000 launches pays 1000 latencies.
         assert!(many > 1000.0 * h100().launch_latency * 0.9);
         assert!(many > one * 100.0);
@@ -200,7 +204,12 @@ mod tests {
     fn metrics_report_expected_occupancy_and_ai() {
         let desc = &catalog::CALCULATE_FLUXES;
         let cells = 1u64 << 20;
-        let m = kernel_metrics(desc, &totals(1, cells, cells * 1548, cells * 360), &h100(), 32);
+        let m = kernel_metrics(
+            desc,
+            &totals(1, cells, cells * 1548, cells * 360),
+            &h100(),
+            32,
+        );
         assert!((m.sm_occ_pct - 25.0).abs() < 2.0);
         assert!((m.arith_intensity - 4.3).abs() < 0.01);
         assert!(m.sm_util_pct > 10.0 && m.sm_util_pct < 60.0);
@@ -210,8 +219,18 @@ mod tests {
     fn compute_bound_kernel_insensitive_to_bytes() {
         let desc = &catalog::FIRST_DERIVATIVE;
         let cells = 1u64 << 22;
-        let a = kernel_duration(desc, &totals(1, cells, cells * 725, cells * 50), &h100(), 32);
-        let b = kernel_duration(desc, &totals(1, cells, cells * 725, cells * 25), &h100(), 32);
+        let a = kernel_duration(
+            desc,
+            &totals(1, cells, cells * 725, cells * 50),
+            &h100(),
+            32,
+        );
+        let b = kernel_duration(
+            desc,
+            &totals(1, cells, cells * 725, cells * 25),
+            &h100(),
+            32,
+        );
         assert!((a - b).abs() / a < 0.05, "compute-bound: {a} vs {b}");
     }
 

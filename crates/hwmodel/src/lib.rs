@@ -38,7 +38,7 @@ pub use gpu::{kernel_duration, kernel_metrics, KernelMetrics};
 pub use memory::{aux_buffer_bytes, AuxBufferLayout, MemoryModel, MemoryReport};
 pub use occupancy::{occupancy, Occupancy};
 pub use opcode::{opcode_mix, OpcodeMix};
-pub use platform::{Backend, PlatformConfig, PlatformReport, FunctionTime};
+pub use platform::{Backend, FunctionTime, PlatformConfig, PlatformReport};
 pub use report::{function_table, stacked_bar, summary_line};
 pub use serial::SerialCosts;
 pub use specs::{CpuSpec, GpuSpec};

@@ -41,9 +41,7 @@ pub fn aux_buffer_bytes(
     let comps = (3 + num_scalar) as u64;
     let width = (nx1 + 2 * nghost) as u64;
     match layout {
-        AuxBufferLayout::PerMeshBlock3D => {
-            mesh_blocks * b * 6 * width.pow(dim) * comps
-        }
+        AuxBufferLayout::PerMeshBlock3D => mesh_blocks * b * 6 * width.pow(dim) * comps,
         AuxBufferLayout::PerThreadBlock { d, thread_blocks } => {
             thread_blocks * b * 6 * width.pow(d) * comps
         }
@@ -97,7 +95,9 @@ pub struct MemoryReport {
 impl MemoryReport {
     /// Total bytes across all components.
     pub fn total(&self) -> u64 {
-        self.kokkos_data_bytes + self.kokkos_aux_bytes + self.mpi_buffer_bytes
+        self.kokkos_data_bytes
+            + self.kokkos_aux_bytes
+            + self.mpi_buffer_bytes
             + self.mpi_driver_bytes
     }
 
@@ -143,8 +143,7 @@ impl MemoryModel {
         } else {
             AuxBufferLayout::PerMeshBlock3D
         };
-        let kokkos_aux_bytes =
-            aux_buffer_bytes(mesh_blocks, nx1, nghost, num_scalar, dim, layout);
+        let kokkos_aux_bytes = aux_buffer_bytes(mesh_blocks, nx1, nghost, num_scalar, dim, layout);
         let mpi_driver_bytes = self.mpi_driver_per_rank * ranks as u64;
         let mpi_buffer_bytes =
             self.mpi_buffer_base_per_rank * ranks as u64 + 2 * remote_buffer_bytes;
@@ -212,16 +211,17 @@ mod tests {
             },
         );
         let factor = pre as f64 / post as f64;
-        assert!((factor - 64.0).abs() < 1.0, "8.858/0.138 ≈ 64: got {factor}");
+        assert!(
+            (factor - 64.0).abs() < 1.0,
+            "8.858/0.138 ≈ 64: got {factor}"
+        );
     }
 
     #[test]
     fn memory_grows_with_ranks_mpi_dominated() {
         let gpu = GpuSpec::h100();
         let model = MemoryModel::default();
-        let mk = |ranks| {
-            model.report(&gpu, 12 << 30, 4096, 8, 4, 8, 3, ranks, 1 << 30)
-        };
+        let mk = |ranks| model.report(&gpu, 12 << 30, 4096, 8, 4, 8, 3, ranks, 1 << 30);
         let r1 = mk(1);
         let r12 = mk(12);
         assert!(r12.total() > r1.total());
@@ -251,7 +251,11 @@ mod tests {
         let gpu = GpuSpec::h100();
         let model = MemoryModel::default();
         let r = model.report(&gpu, 40 << 30, 4096, 8, 4, 8, 3, 24, 4 << 30);
-        assert!(r.oom, "24 ranks must exceed 80 GB: {} GB", r.total() as f64 / 1e9);
+        assert!(
+            r.oom,
+            "24 ranks must exceed 80 GB: {} GB",
+            r.total() as f64 / 1e9
+        );
     }
 
     #[test]

@@ -152,7 +152,10 @@ mod tests {
             cells * 7,
             cells * 24,
         );
-        rec.record_serial(StepFunction::SendBoundBufs, SerialWork::BoundaryLoop(40_000));
+        rec.record_serial(
+            StepFunction::SendBoundBufs,
+            SerialWork::BoundaryLoop(40_000),
+        );
         rec.record_serial(StepFunction::RefinementTag, SerialWork::BlockLoop(4_000));
         rec.record_serial(
             StepFunction::CalculateFluxes,

@@ -223,7 +223,9 @@ pub fn evaluate(rec: &Recorder, config: &PlatformConfig) -> PlatformReport {
                         * useful_ranks as f64
                         * config.cpu_kernel_efficiency
                         * veff);
-                let bw = config.cpu.mem_bw * config.cpu.stream_efficiency * nodes as f64
+                let bw = config.cpu.mem_bw
+                    * config.cpu.stream_efficiency
+                    * nodes as f64
                     * (useful_ranks as f64 / ranks.max(1) as f64).min(1.0);
                 let t_mem = k.bytes as f64 / bw;
                 t_cmp.max(t_mem)
@@ -240,8 +242,7 @@ pub fn evaluate(rec: &Recorder, config: &PlatformConfig) -> PlatformReport {
     // communication-heavy management functions.
     if let Backend::Gpu { ranks_per_gpu, .. } = config.backend {
         if ranks_per_gpu > 1 {
-            let overhead =
-                config.gpu_rank_overhead * (ranks_per_gpu as f64 - 1.0) * cycles as f64;
+            let overhead = config.gpu_rank_overhead * (ranks_per_gpu as f64 - 1.0) * cycles as f64;
             per_function[idx(StepFunction::ReceiveBoundBufs)].serial_s += overhead;
         }
     }
@@ -311,17 +312,33 @@ mod tests {
                 cells * 2 * 7,
                 cells * 2 * 24,
             );
-            rec.record_serial(StepFunction::RedistributeAndRefineMeshBlocks, SerialWork::BlockLoop(nblocks * 8));
-            rec.record_serial(StepFunction::SendBoundBufs, SerialWork::BoundaryLoop(nblocks * 26));
-            rec.record_serial(StepFunction::SendBoundBufs, SerialWork::SortedKeys(nblocks * 26));
-            rec.record_serial(StepFunction::RebuildBufferCache, SerialWork::Allocations(nblocks));
+            rec.record_serial(
+                StepFunction::RedistributeAndRefineMeshBlocks,
+                SerialWork::BlockLoop(nblocks * 8),
+            );
+            rec.record_serial(
+                StepFunction::SendBoundBufs,
+                SerialWork::BoundaryLoop(nblocks * 26),
+            );
+            rec.record_serial(
+                StepFunction::SendBoundBufs,
+                SerialWork::SortedKeys(nblocks * 26),
+            );
+            rec.record_serial(
+                StepFunction::RebuildBufferCache,
+                SerialWork::Allocations(nblocks),
+            );
             rec.record_serial(StepFunction::RefinementTag, SerialWork::BlockLoop(nblocks));
             let remote_frac = 1.0 - 1.0 / nranks as f64;
             let msgs = (nblocks * 26) as f64;
             for _ in 0..(msgs * remote_frac / 1000.0) as u64 {
                 rec.record_p2p(StepFunction::SendBoundBufs, 1000 * 4096, 1000 * 512, false);
             }
-            rec.record_collective(StepFunction::UpdateMeshBlockTree, CollectiveOp::AllGather, nblocks);
+            rec.record_collective(
+                StepFunction::UpdateMeshBlockTree,
+                CollectiveOp::AllGather,
+                nblocks,
+            );
             rec.record_collective(StepFunction::EstimateTimeStep, CollectiveOp::AllReduce, 8);
             rec.end_cycle(nblocks, 8, 0, cells);
         }
@@ -374,7 +391,10 @@ mod tests {
             totals.push(report.total_s);
         }
         for w in totals.windows(2) {
-            assert!(w[1] < w[0], "CPU total time decreases with cores: {totals:?}");
+            assert!(
+                w[1] < w[0],
+                "CPU total time decreases with cores: {totals:?}"
+            );
         }
     }
 

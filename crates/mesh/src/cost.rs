@@ -57,7 +57,7 @@ mod tests {
     use super::*;
     use crate::mesh::MeshParams;
     use crate::refinement::{enforce_proper_nesting, AmrFlag};
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
 
     fn refined_mesh() -> Mesh {
         let mut m = Mesh::new(
@@ -71,7 +71,7 @@ mod tests {
         )
         .unwrap();
         let loc = m.block(0).loc();
-        let flags: HashMap<_, _> = [(loc, AmrFlag::Refine)].into_iter().collect();
+        let flags: BTreeMap<_, _> = [(loc, AmrFlag::Refine)].into_iter().collect();
         let d = enforce_proper_nesting(m.tree(), &flags);
         m.regrid(&d).unwrap();
         m
@@ -92,7 +92,10 @@ mod tests {
             let want = 2.0f64.powi(b.level());
             assert!((b.cost() - want).abs() < 1e-15);
         }
-        assert!(m.blocks().iter().any(|b| b.cost() > 1.5), "refined blocks cost more");
+        assert!(
+            m.blocks().iter().any(|b| b.cost() > 1.5),
+            "refined blocks cost more"
+        );
     }
 
     #[test]
@@ -123,6 +126,10 @@ mod tests {
         CostModel::ByLevel { factor: 2.0 }.apply(&mut m);
         let costs: Vec<f64> = m.blocks().iter().map(|b| b.cost()).collect();
         let a = m.load_balance(4);
-        assert!(a.imbalance(&costs) < 1.6, "imbalance {}", a.imbalance(&costs));
+        assert!(
+            a.imbalance(&costs) < 1.6,
+            "imbalance {}",
+            a.imbalance(&costs)
+        );
     }
 }

@@ -215,9 +215,10 @@ mod tests {
             [4, 4, 4],
             [16, 16, 16],
         );
-        assert!(((coarse.xmax()[0] - coarse.xmin()[0]) / (fine.xmax()[0] - fine.xmin()[0]) - 2.0)
-            .abs()
-            < 1e-14);
+        assert!(
+            ((coarse.xmax()[0] - coarse.xmin()[0]) / (fine.xmax()[0] - fine.xmin()[0]) - 2.0).abs()
+                < 1e-14
+        );
         assert_eq!(fine.ncells(), [16, 16, 16]);
         assert!((coarse.dx()[0] / fine.dx()[0] - 2.0).abs() < 1e-14);
     }

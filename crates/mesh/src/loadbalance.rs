@@ -202,9 +202,15 @@ mod tests {
 
     #[test]
     fn imbalance_bounded_for_random_like_costs() {
-        let costs: Vec<f64> = (0..200).map(|i| 1.0 + ((i * 7) % 13) as f64 / 13.0).collect();
+        let costs: Vec<f64> = (0..200)
+            .map(|i| 1.0 + ((i * 7) % 13) as f64 / 13.0)
+            .collect();
         let a = partition_by_cost(&costs, 16);
-        assert!(a.imbalance(&costs) < 1.5, "imbalance {}", a.imbalance(&costs));
+        assert!(
+            a.imbalance(&costs) < 1.5,
+            "imbalance {}",
+            a.imbalance(&costs)
+        );
         assert_eq!(a.idle_ranks(), 0);
     }
 

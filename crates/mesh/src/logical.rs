@@ -147,12 +147,7 @@ impl LogicalLocation {
     ///
     /// `extent` is the number of blocks per dimension at this level.
     /// `periodic` selects per-dimension wraparound.
-    pub fn offset(
-        &self,
-        off: [i64; 3],
-        extent: [i64; 3],
-        periodic: [bool; 3],
-    ) -> Option<Self> {
+    pub fn offset(&self, off: [i64; 3], extent: [i64; 3], periodic: [bool; 3]) -> Option<Self> {
         let mut lx = [0i64; 3];
         for d in 0..3 {
             let mut v = self.lx[d] + off[d];

@@ -577,11 +577,7 @@ impl Mesh {
                 rank: 0,
             })
             .collect();
-        self.by_loc = self
-            .blocks
-            .iter()
-            .map(|b| (b.loc, b.gid))
-            .collect();
+        self.by_loc = self.blocks.iter().map(|b| (b.loc, b.gid)).collect();
         self.neighbors = self
             .blocks
             .iter()
@@ -651,7 +647,8 @@ mod tests {
     fn regrid_refine_tracks_provenance() {
         let mut m = mesh_2d();
         let loc = m.block(5).loc();
-        let flags: HashMap<_, _> = [(loc, AmrFlag::Refine)].into_iter().collect();
+        let flags: std::collections::BTreeMap<_, _> =
+            [(loc, AmrFlag::Refine)].into_iter().collect();
         let decision = enforce_proper_nesting(m.tree(), &flags);
         let outcome = m.regrid(&decision).unwrap();
         assert_eq!(m.num_blocks(), 19);
@@ -675,12 +672,13 @@ mod tests {
     fn regrid_derefine_tracks_children() {
         let mut m = mesh_2d();
         let loc = m.block(0).loc();
-        let flags: HashMap<_, _> = [(loc, AmrFlag::Refine)].into_iter().collect();
+        let flags: std::collections::BTreeMap<_, _> =
+            [(loc, AmrFlag::Refine)].into_iter().collect();
         let d = enforce_proper_nesting(m.tree(), &flags);
         m.regrid(&d).unwrap();
 
         // Now merge them back.
-        let flags: HashMap<_, _> = loc
+        let flags: std::collections::BTreeMap<_, _> = loc
             .children(2)
             .into_iter()
             .map(|c| (c, AmrFlag::Derefine))
@@ -704,7 +702,8 @@ mod tests {
     fn neighbor_cache_consistent_after_regrid() {
         let mut m = mesh_2d();
         let loc = m.block(3).loc();
-        let flags: HashMap<_, _> = [(loc, AmrFlag::Refine)].into_iter().collect();
+        let flags: std::collections::BTreeMap<_, _> =
+            [(loc, AmrFlag::Refine)].into_iter().collect();
         let d = enforce_proper_nesting(m.tree(), &flags);
         m.regrid(&d).unwrap();
         for b in m.blocks() {
@@ -729,7 +728,8 @@ mod tests {
         let mut m = mesh_2d();
         m.load_balance(4);
         let loc = m.block(0).loc();
-        let flags: HashMap<_, _> = [(loc, AmrFlag::Refine)].into_iter().collect();
+        let flags: std::collections::BTreeMap<_, _> =
+            [(loc, AmrFlag::Refine)].into_iter().collect();
         let d = enforce_proper_nesting(m.tree(), &flags);
         m.regrid(&d).unwrap();
         assert_eq!(m.nranks(), 4);
@@ -748,7 +748,8 @@ mod tests {
     fn level_and_rank_iterators() {
         let mut m = mesh_2d();
         let loc = m.block(5).loc();
-        let flags: HashMap<_, _> = [(loc, AmrFlag::Refine)].into_iter().collect();
+        let flags: std::collections::BTreeMap<_, _> =
+            [(loc, AmrFlag::Refine)].into_iter().collect();
         let d = enforce_proper_nesting(m.tree(), &flags);
         m.regrid(&d).unwrap();
         m.load_balance(4);
@@ -763,7 +764,10 @@ mod tests {
                 assert_eq!(w[1], w[0] + 1);
             }
         }
-        assert!(m.level_boundary_count() > 0, "fine-coarse connections exist");
+        assert!(
+            m.level_boundary_count() > 0,
+            "fine-coarse connections exist"
+        );
     }
 
     #[test]
@@ -776,7 +780,8 @@ mod tests {
     fn from_leaf_set_roundtrip() {
         let mut m = mesh_2d();
         let loc = m.block(7).loc();
-        let flags: HashMap<_, _> = [(loc, AmrFlag::Refine)].into_iter().collect();
+        let flags: std::collections::BTreeMap<_, _> =
+            [(loc, AmrFlag::Refine)].into_iter().collect();
         let d = enforce_proper_nesting(m.tree(), &flags);
         m.regrid(&d).unwrap();
         let leaves: Vec<_> = m.blocks().iter().map(|b| b.loc()).collect();

@@ -128,7 +128,10 @@ impl NeighborBlock {
 ///
 /// Panics if `loc` is not a leaf of `tree`.
 pub fn find_neighbors(tree: &BlockTree, loc: &LogicalLocation) -> Vec<NeighborBlock> {
-    assert!(tree.contains_leaf(loc), "find_neighbors: {loc} is not a leaf");
+    assert!(
+        tree.contains_leaf(loc),
+        "find_neighbors: {loc} is not a leaf"
+    );
     let dim = tree.dim();
     let extent = tree.extent_at(loc.level());
     let periodic = tree.periodic();

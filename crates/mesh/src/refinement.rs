@@ -13,7 +13,7 @@
 //!   derefinements of the same region by a minimum cycle gap (10 cycles in
 //!   the paper's configuration); [`DerefGate`] implements this.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use crate::logical::LogicalLocation;
 use crate::neighbor::find_neighbors;
@@ -59,11 +59,11 @@ impl RegridDecision {
 /// Leaves absent from `flags` are treated as [`AmrFlag::Same`].
 pub fn enforce_proper_nesting(
     tree: &BlockTree,
-    flags: &HashMap<LogicalLocation, AmrFlag>,
+    flags: &BTreeMap<LogicalLocation, AmrFlag>,
 ) -> RegridDecision {
     let dim = tree.dim();
     // Effective flag per leaf, clamped to the level range.
-    let mut eff: HashMap<LogicalLocation, AmrFlag> = tree
+    let mut eff: BTreeMap<LogicalLocation, AmrFlag> = tree
         .leaves()
         .map(|loc| {
             let mut f = flags.get(&loc).copied().unwrap_or_default();
@@ -80,7 +80,7 @@ pub fn enforce_proper_nesting(
     // Sibling completeness: derefinement requires every sibling to be a leaf
     // flagged Derefine. Re-run inside the fixpoint because cancellations can
     // break a previously complete sibling group.
-    let cancel_incomplete_sibling_groups = |eff: &mut HashMap<LogicalLocation, AmrFlag>| {
+    let cancel_incomplete_sibling_groups = |eff: &mut BTreeMap<LogicalLocation, AmrFlag>| {
         let deref_leaves: Vec<LogicalLocation> = eff
             .iter()
             .filter(|(_, f)| **f == AmrFlag::Derefine)
@@ -236,14 +236,14 @@ impl DerefGate {
 mod tests {
     use super::*;
 
-    fn flags_of(pairs: &[(LogicalLocation, AmrFlag)]) -> HashMap<LogicalLocation, AmrFlag> {
+    fn flags_of(pairs: &[(LogicalLocation, AmrFlag)]) -> BTreeMap<LogicalLocation, AmrFlag> {
         pairs.iter().copied().collect()
     }
 
     #[test]
     fn no_flags_no_changes() {
         let tree = BlockTree::new(2, [4, 4, 1], 2, [true; 3]);
-        let d = enforce_proper_nesting(&tree, &HashMap::new());
+        let d = enforce_proper_nesting(&tree, &BTreeMap::new());
         assert!(d.is_empty());
     }
 
@@ -306,8 +306,7 @@ mod tests {
         assert!(d.refine.contains(&fine));
         // The level-0 neighbors sharing a boundary with `fine` must refine too.
         assert!(
-            d.refine.contains(&LogicalLocation::new(0, 0, 1, 0))
-                || d.refine.len() > 1,
+            d.refine.contains(&LogicalLocation::new(0, 0, 1, 0)) || d.refine.len() > 1,
             "cascade expected, got {:?}",
             d.refine
         );
@@ -335,7 +334,7 @@ mod tests {
     #[test]
     fn cascade_terminates_on_uniform_refine_everything() {
         let tree = BlockTree::new(2, [4, 4, 1], 3, [true; 3]);
-        let flags: HashMap<_, _> = tree.leaves().map(|l| (l, AmrFlag::Refine)).collect();
+        let flags: BTreeMap<_, _> = tree.leaves().map(|l| (l, AmrFlag::Refine)).collect();
         let d = enforce_proper_nesting(&tree, &flags);
         assert_eq!(d.refine.len(), 16);
     }
@@ -344,7 +343,7 @@ mod tests {
     fn decision_is_deterministic() {
         let mut tree = BlockTree::new(2, [4, 4, 1], 2, [true; 3]);
         tree.refine(&LogicalLocation::new(0, 2, 2, 0)).unwrap();
-        let flags: HashMap<_, _> = tree
+        let flags: BTreeMap<_, _> = tree
             .leaves()
             .enumerate()
             .filter(|(i, _)| i % 3 == 0)

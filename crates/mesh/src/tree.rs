@@ -62,7 +62,10 @@ impl BlockTree {
             if d < dim {
                 assert!(base_blocks[d] > 0, "active dimension {d} has no blocks");
             } else {
-                assert_eq!(base_blocks[d], 1, "inactive dimension {d} must have 1 block");
+                assert_eq!(
+                    base_blocks[d], 1,
+                    "inactive dimension {d} must have 1 block"
+                );
             }
         }
         let mut tree = Self {

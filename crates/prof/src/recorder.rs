@@ -335,10 +335,24 @@ mod tests {
     fn cycle_lifecycle_and_totals() {
         let mut r = Recorder::new();
         r.begin_cycle(0);
-        r.record_kernel(StepFunction::CalculateFluxes, "CalculateFluxes", 2, 100, 1000, 800);
+        r.record_kernel(
+            StepFunction::CalculateFluxes,
+            "CalculateFluxes",
+            2,
+            100,
+            1000,
+            800,
+        );
         r.end_cycle(4, 1, 0, 100);
         r.begin_cycle(1);
-        r.record_kernel(StepFunction::CalculateFluxes, "CalculateFluxes", 2, 150, 1500, 1200);
+        r.record_kernel(
+            StepFunction::CalculateFluxes,
+            "CalculateFluxes",
+            2,
+            150,
+            1500,
+            1200,
+        );
         r.end_cycle(7, 1, 0, 150);
 
         assert_eq!(r.cycles().len(), 2);
@@ -390,7 +404,11 @@ mod tests {
     fn collectives_counted_per_op() {
         let mut r = Recorder::new();
         r.begin_cycle(0);
-        r.record_collective(StepFunction::UpdateMeshBlockTree, CollectiveOp::AllGather, 512);
+        r.record_collective(
+            StepFunction::UpdateMeshBlockTree,
+            CollectiveOp::AllGather,
+            512,
+        );
         r.record_collective(StepFunction::EstimateTimeStep, CollectiveOp::AllReduce, 8);
         r.record_collective(StepFunction::EstimateTimeStep, CollectiveOp::AllReduce, 8);
         r.end_cycle(1, 0, 0, 0);

@@ -71,7 +71,14 @@ mod tests {
     fn sample() -> Recorder {
         let mut r = Recorder::new();
         r.begin_cycle(0);
-        r.record_kernel(StepFunction::CalculateFluxes, "CalculateFluxes", 3, 4096, 800_000, 200_000);
+        r.record_kernel(
+            StepFunction::CalculateFluxes,
+            "CalculateFluxes",
+            3,
+            4096,
+            800_000,
+            200_000,
+        );
         r.record_serial(StepFunction::RefinementTag, SerialWork::BlockLoop(64));
         r.record_p2p(StepFunction::SendBoundBufs, 8192, 1024, false);
         r.end_cycle(64, 0, 0, 4096);

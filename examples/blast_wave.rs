@@ -11,8 +11,8 @@
 //! ```
 
 use vibe_amr::mesh::render;
-use vibe_amr::prof::timeline;
 use vibe_amr::prelude::*;
+use vibe_amr::prof::timeline;
 
 fn main() -> Result<(), vibe_amr::mesh::MeshError> {
     let mesh = Mesh::new(
@@ -81,7 +81,11 @@ fn main() -> Result<(), vibe_amr::mesh::MeshError> {
     // single-rank GPU.
     let report = evaluate(driver.recorder(), &PlatformConfig::gpu(1, 4, 8));
     println!("\nmodeled on 1x H100 with 4 ranks:");
-    let mut funcs: Vec<_> = report.per_function.iter().filter(|f| f.total() > 1e-6).collect();
+    let mut funcs: Vec<_> = report
+        .per_function
+        .iter()
+        .filter(|f| f.total() > 1e-6)
+        .collect();
     funcs.sort_by(|a, b| b.total().total_cmp(&a.total()));
     for f in funcs.iter().take(8) {
         println!(

@@ -14,7 +14,13 @@ use vibe_amr::hwmodel::{GpuSpec, MemoryModel};
 
 const GB: f64 = 1e9;
 
-fn max_ranks(model: &MemoryModel, gpu: &GpuSpec, field_bytes: u64, blocks: u64, nx1: usize) -> usize {
+fn max_ranks(
+    model: &MemoryModel,
+    gpu: &GpuSpec,
+    field_bytes: u64,
+    blocks: u64,
+    nx1: usize,
+) -> usize {
     let mut last_ok = 0;
     for ranks in 1..=64 {
         let rep = model.report(gpu, field_bytes, blocks, nx1, 4, 8, 3, ranks, 1 << 30);

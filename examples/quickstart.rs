@@ -43,7 +43,11 @@ fn main() -> Result<(), vibe_amr::mesh::MeshError> {
     for summary in driver.run_cycles(3) {
         println!(
             "cycle {}: t={:.4} dt={:.2e} blocks={} (+{} refined, -{} merged)",
-            summary.cycle, summary.time, summary.dt, summary.nblocks, summary.refined,
+            summary.cycle,
+            summary.time,
+            summary.dt,
+            summary.nblocks,
+            summary.refined,
             summary.derefined
         );
     }

@@ -8,8 +8,8 @@
 //! cargo run --release --example rank_sweep
 //! ```
 
-use vibe_amr::prelude::*;
 use vibe_amr::hwmodel::MemoryModel;
+use vibe_amr::prelude::*;
 use vibe_amr::prof::MemSpace;
 
 fn main() {
@@ -68,6 +68,9 @@ fn main() {
             if mem.oom { "OOM" } else { "yes" }
         );
     }
-    println!("\nbest feasible rank count: {} (paper: ~12 before collective", best.0);
+    println!(
+        "\nbest feasible rank count: {} (paper: ~12 before collective",
+        best.0
+    );
     println!("overheads and the 80 GB HBM ceiling bite)");
 }

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Offline CI gate: tier-1 build+test, formatting, lints, and a dependency
+# allowlist check. Must pass with no network access.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> dependency allowlist"
+# Everything in the lockfile must be a workspace crate or on the allowlist
+# (dev/bench-only: proptest + criterion and their transitive closure).
+# Catches accidental `cargo add` of new external dependencies.
+allowlist='^(vibe-[a-z]+|vibe_amr|vibe-amr)$'
+dev_closure='^(proptest|criterion|criterion-plot|anes|autocfg|bitflags|bit-set|bit-vec|cast|cfg-if|ciborium|ciborium-io|ciborium-ll|clap|clap_builder|clap_lex|crossbeam|crossbeam-channel|crossbeam-deque|crossbeam-epoch|crossbeam-utils|crunchy|either|errno|fastrand|fnv|getrandom|half|hermit-abi|is-terminal|itertools|itoa|lazy_static|libc|libm|linux-raw-sys|log|memchr|num-traits|once_cell|oorandom|plotters|plotters-backend|plotters-svg|ppv-lite86|proc-macro2|quick-error|quote|rand|rand_chacha|rand_core|rand_xorshift|rayon|rayon-core|regex|regex-automata|regex-syntax|rustix|rusty-fork|ryu|same-file|serde|serde_derive|serde_json|syn|tempfile|unarray|unicode-ident|wait-timeout|walkdir|wasi|web-sys|wasm-bindgen.*|winapi.*|windows.*|js-sys|anstyle|aho-corasick|tinytemplate)$'
+bad=$(grep '^name = ' Cargo.lock | sed 's/name = "\(.*\)"/\1/' |
+    grep -Ev "$allowlist" | grep -Ev "$dev_closure" || true)
+if [ -n "$bad" ]; then
+    echo "unexpected dependencies in Cargo.lock:" >&2
+    echo "$bad" >&2
+    exit 1
+fi
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (offline)"
+# Deny-by-default lints fail the build; style warnings are advisory.
+cargo clippy --workspace --offline -q
+
+echo "==> tier-1: release build"
+cargo build --release --offline
+
+echo "==> tier-1: tests"
+cargo test -q --offline
+
+echo "CI green."

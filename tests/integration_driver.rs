@@ -167,11 +167,7 @@ fn deeper_hierarchies_communicate_more_per_update() {
     deep.run_cycles(2);
     let ratio = |d: &Driver<BurgersPackage>| {
         let t = d.recorder().totals();
-        t.comm
-            .values()
-            .map(|c| c.cells_communicated)
-            .sum::<u64>() as f64
-            / t.cell_updates as f64
+        t.comm.values().map(|c| c.cells_communicated).sum::<u64>() as f64 / t.cell_updates as f64
     };
     assert!(
         ratio(&deep) > ratio(&shallow),
@@ -200,12 +196,7 @@ fn outflow_boundaries_let_the_pulse_leave() {
     // Non-periodic domain: a right-moving pulse exits through the +x face
     // and total scalar mass decreases monotonically (no wraparound).
     use vibe_amr::mesh::RegionSize;
-    let region = RegionSize::new(
-        [0.0; 3],
-        [1.0, 1.0, 1.0],
-        [32, 8, 8],
-        [false, false, false],
-    );
+    let region = RegionSize::new([0.0; 3], [1.0, 1.0, 1.0], [32, 8, 8], [false, false, false]);
     let mesh = Mesh::new(
         MeshParams::builder()
             .dim(3)
@@ -231,11 +222,9 @@ fn outflow_boundaries_let_the_pulse_leave() {
         for k in 0..shape.entire_d(2) {
             for j in 0..shape.entire_d(1) {
                 for i in 0..shape.entire_d(0) {
-                    let x = info.geom.cell_center(
-                        i as i64 - shape.nghost_d(0) as i64,
-                        0,
-                        0,
-                    )[0];
+                    let x = info
+                        .geom
+                        .cell_center(i as i64 - shape.nghost_d(0) as i64, 0, 0)[0];
                     data.var_mut(uid).data_mut().set(0, k, j, i, 1.0);
                     data.var_mut(uid).data_mut().set(1, k, j, i, 0.0);
                     data.var_mut(uid).data_mut().set(2, k, j, i, 0.0);

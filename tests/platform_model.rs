@@ -115,7 +115,11 @@ fn memory_model_limits_ranks_at_paper_scale() {
     // Paper-scale Mesh 128 / B8 / L3 census (~4 GB field data).
     let r12 = model.report(&gpu, 4 << 30, 4096, 8, 4, 8, 3, 12, 1 << 30);
     let r24 = model.report(&gpu, 4 << 30, 4096, 8, 4, 8, 3, 24, 1 << 30);
-    assert!(!r12.oom, "12 ranks fit ({} GB)", r12.total() / 1_000_000_000);
+    assert!(
+        !r12.oom,
+        "12 ranks fit ({} GB)",
+        r12.total() / 1_000_000_000
+    );
     assert!(r24.oom, "24 ranks exceed HBM");
 }
 

@@ -1,7 +1,10 @@
-//! Property-based tests of the ghost-buffer machinery over randomized 3D
-//! geometry: every neighbor direction, every transfer mode.
+//! Randomized tests of the ghost-buffer machinery over randomized 3D
+//! geometry: every neighbor direction, every transfer mode (seeded,
+//! deterministic — see `tests/util/mod.rs`).
 
-use proptest::prelude::*;
+mod util;
+
+use util::Rng;
 
 use vibe_amr::field::buffer::compute_buffer_spec_with;
 use vibe_amr::field::{pack, unpack, Array4, BufferMode};
@@ -10,12 +13,7 @@ use vibe_amr::mesh::{IndexShape, LogicalLocation, NeighborOffset};
 /// Fills a block array with a linear function of unwrapped global cell
 /// index at the block's own level.
 fn fill_linear(shape: &IndexShape, origin: [i64; 3], coef: [f64; 3]) -> Array4 {
-    let mut a = Array4::zeros([
-        1,
-        shape.entire_d(2),
-        shape.entire_d(1),
-        shape.entire_d(0),
-    ]);
+    let mut a = Array4::zeros([1, shape.entire_d(2), shape.entire_d(1), shape.entire_d(0)]);
     for k in 0..shape.entire_d(2) {
         for j in 0..shape.entire_d(1) {
             for i in 0..shape.entire_d(0) {
@@ -37,48 +35,63 @@ fn fill_linear(shape: &IndexShape, origin: [i64; 3], coef: [f64; 3]) -> Array4 {
     a
 }
 
-fn offsets_3d() -> impl Strategy<Value = (i64, i64, i64)> {
-    (-1i64..=1, -1i64..=1, -1i64..=1).prop_filter("non-zero", |o| *o != (0, 0, 0))
+fn rand_coef(rng: &mut Rng) -> [f64; 3] {
+    [
+        rng.f64_in(-2.0, 2.0),
+        rng.f64_in(-2.0, 2.0),
+        rng.f64_in(-2.0, 2.0),
+    ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn rand_offset(rng: &mut Rng) -> (i64, i64, i64) {
+    loop {
+        let o = (rng.i64_in(-1, 2), rng.i64_in(-1, 2), rng.i64_in(-1, 2));
+        if o != (0, 0, 0) {
+            return o;
+        }
+    }
+}
 
-    /// Same-level transfers reproduce a linear field exactly in every
-    /// direction (faces, edges, corners).
-    #[test]
-    fn same_level_exact_all_directions(
-        (ox, oy, oz) in offsets_3d(),
-        coef in prop::array::uniform3(-2.0f64..2.0),
-    ) {
+const CASES: usize = 48;
+
+/// Same-level transfers reproduce a linear field exactly in every
+/// direction (faces, edges, corners).
+#[test]
+fn same_level_exact_all_directions() {
+    let mut rng = Rng::new(0xBF00_0001);
+    for _case in 0..CASES {
+        let (ox, oy, oz) = rand_offset(&mut rng);
+        let coef = rand_coef(&mut rng);
         let shape = IndexShape::new([8, 8, 8], 2, 3);
         let r = LogicalLocation::new(1, 3, 3, 3);
         let off = NeighborOffset::new(ox, oy, oz);
         let s = LogicalLocation::new(1, 3 + ox, 3 + oy, 3 + oz);
         let spec = compute_buffer_spec_with(&shape, &r, &s, &off, true);
-        prop_assert_eq!(spec.mode(), BufferMode::Copy);
+        assert_eq!(spec.mode(), BufferMode::Copy);
 
         let sender = fill_linear(&shape, [(3 + ox) * 8, (3 + oy) * 8, (3 + oz) * 8], coef);
         let mut buf = Vec::new();
         pack(&spec, &sender, &mut buf);
-        prop_assert_eq!(buf.len(), spec.buffer_len(1));
+        assert_eq!(buf.len(), spec.buffer_len(1));
         let mut recv = Array4::zeros([1, 12, 12, 12]);
         unpack(&spec, &buf, &mut recv);
         for (i, j, k) in spec.recv_region().iter() {
             let g = [3 * 8 + i - 2, 3 * 8 + j - 2, 3 * 8 + k - 2];
             let want = coef[0] * g[0] as f64 + coef[1] * g[1] as f64 + coef[2] * g[2] as f64;
             let got = recv.get(0, k as usize, j as usize, i as usize);
-            prop_assert!((got - want).abs() < 1e-10, "({i},{j},{k}): {got} vs {want}");
+            assert!((got - want).abs() < 1e-10, "({i},{j},{k}): {got} vs {want}");
         }
     }
+}
 
-    /// Restrict-on-send reproduces linear fields exactly (averaging a
-    /// linear function over 8 fine cells gives the coarse cell value).
-    #[test]
-    fn restriction_exact_for_linear_fields(
-        bits in 0usize..8,
-        coef in prop::array::uniform3(-2.0f64..2.0),
-    ) {
+/// Restrict-on-send reproduces linear fields exactly (averaging a
+/// linear function over 8 fine cells gives the coarse cell value).
+#[test]
+fn restriction_exact_for_linear_fields() {
+    let mut rng = Rng::new(0xBF00_0002);
+    for _case in 0..CASES {
+        let bits = rng.usize_in(0, 8);
+        let coef = rand_coef(&mut rng);
         let shape = IndexShape::new([8, 8, 8], 2, 3);
         let r = LogicalLocation::new(0, 0, 0, 0);
         // Fine neighbor across +x: child of (0,1,0,0) facing us has x-bit 0.
@@ -87,7 +100,7 @@ proptest! {
         let s = LogicalLocation::new(1, 2, by as i64, bz as i64);
         let off = NeighborOffset::new(1, 0, 0);
         let spec = compute_buffer_spec_with(&shape, &r, &s, &off, true);
-        prop_assert_eq!(spec.mode(), BufferMode::RestrictFromFine);
+        assert_eq!(spec.mode(), BufferMode::RestrictFromFine);
 
         // Sender data linear in *fine* global coordinates; the receiver's
         // coarse ghost value must equal the linear function at the coarse
@@ -102,26 +115,31 @@ proptest! {
             // Coarse global index of this ghost cell.
             let gc = [i - 2, j - 2, k - 2];
             // Fine center average = 2*gc + 0.5 per dim.
-            let want: f64 = (0..3)
-                .map(|d| coef[d] * (2.0 * gc[d] as f64 + 0.5))
-                .sum();
+            let want: f64 = (0..3).map(|d| coef[d] * (2.0 * gc[d] as f64 + 0.5)).sum();
             let got = recv.get(0, k as usize, j as usize, i as usize);
-            prop_assert!((got - want).abs() < 1e-10, "({i},{j},{k}): {got} vs {want}");
+            assert!((got - want).abs() < 1e-10, "({i},{j},{k}): {got} vs {want}");
         }
     }
+}
 
-    /// The unrestricted fine→coarse mode moves exactly 2^dim times the
-    /// restricted volume and produces identical receiver values for linear
-    /// data.
-    #[test]
-    fn unrestricted_mode_equivalent_but_bulkier(coef in prop::array::uniform3(-2.0f64..2.0)) {
+/// The unrestricted fine→coarse mode moves exactly 2^dim times the
+/// restricted volume and produces identical receiver values for linear
+/// data.
+#[test]
+fn unrestricted_mode_equivalent_but_bulkier() {
+    let mut rng = Rng::new(0xBF00_0003);
+    for _case in 0..CASES {
+        let coef = rand_coef(&mut rng);
         let shape = IndexShape::new([8, 8, 8], 2, 3);
         let r = LogicalLocation::new(0, 0, 0, 0);
         let s = LogicalLocation::new(1, 2, 0, 0);
         let off = NeighborOffset::new(1, 0, 0);
         let spec_r = compute_buffer_spec_with(&shape, &r, &s, &off, true);
         let spec_u = compute_buffer_spec_with(&shape, &r, &s, &off, false);
-        prop_assert_eq!(spec_u.cells_per_component(), 8 * spec_r.cells_per_component());
+        assert_eq!(
+            spec_u.cells_per_component(),
+            8 * spec_r.cells_per_component()
+        );
 
         let sender = fill_linear(&shape, [16, 0, 0], coef);
         let mut buf_r = Vec::new();
@@ -135,17 +153,22 @@ proptest! {
         for (i, j, k) in spec_r.recv_region().iter() {
             let a = recv_r.get(0, k as usize, j as usize, i as usize);
             let b = recv_u.get(0, k as usize, j as usize, i as usize);
-            prop_assert!((a - b).abs() < 1e-10, "sender- vs receiver-side restriction");
+            assert!(
+                (a - b).abs() < 1e-10,
+                "sender- vs receiver-side restriction"
+            );
         }
     }
+}
 
-    /// Coarse→fine prolongation is exact for linear fields at every face.
-    #[test]
-    fn prolongation_exact_for_linear_fields(
-        axis in 0usize..3,
-        positive in any::<bool>(),
-        coef in prop::array::uniform3(-2.0f64..2.0),
-    ) {
+/// Coarse→fine prolongation is exact for linear fields at every face.
+#[test]
+fn prolongation_exact_for_linear_fields() {
+    let mut rng = Rng::new(0xBF00_0004);
+    for _case in 0..CASES {
+        let axis = rng.usize_in(0, 3);
+        let positive = rng.bool();
+        let coef = rand_coef(&mut rng);
         let shape = IndexShape::new([8, 8, 8], 2, 3);
         // Fine receiver: a level-1 block in the middle of a 2^3 base grid.
         let rloc = [2i64, 2, 2];
@@ -154,10 +177,15 @@ proptest! {
         off[axis] = if positive { 1 } else { -1 };
         // Coarse sender: parent-level neighbor.
         let cand = [rloc[0] + off[0], rloc[1] + off[1], rloc[2] + off[2]];
-        let s = LogicalLocation::new(0, cand[0].div_euclid(2), cand[1].div_euclid(2), cand[2].div_euclid(2));
+        let s = LogicalLocation::new(
+            0,
+            cand[0].div_euclid(2),
+            cand[1].div_euclid(2),
+            cand[2].div_euclid(2),
+        );
         let offset = NeighborOffset::new(off[0], off[1], off[2]);
         let spec = compute_buffer_spec_with(&shape, &r, &s, &offset, true);
-        prop_assert_eq!(spec.mode(), BufferMode::CoarseToFine);
+        assert_eq!(spec.mode(), BufferMode::CoarseToFine);
 
         // Coarse sender holds the linear function of *coarse* global index;
         // the exact fine-sample value is c·(g/2 ± 1/4) = linear in fine
@@ -173,16 +201,24 @@ proptest! {
         let mut recv = Array4::zeros([1, 12, 12, 12]);
         unpack(&spec, &buf, &mut recv);
         for (i, j, k) in spec.recv_region().iter() {
-            let gf = [rloc[0] * 8 + i - 2, rloc[1] * 8 + j - 2, rloc[2] * 8 + k - 2];
+            let gf = [
+                rloc[0] * 8 + i - 2,
+                rloc[1] * 8 + j - 2,
+                rloc[2] * 8 + k - 2,
+            ];
             let want: f64 = (0..3)
                 .map(|d| {
                     let c = gf[d].div_euclid(2) as f64;
-                    let sign = if gf[d].rem_euclid(2) == 0 { -0.25 } else { 0.25 };
+                    let sign = if gf[d].rem_euclid(2) == 0 {
+                        -0.25
+                    } else {
+                        0.25
+                    };
                     coef[d] * (c + sign)
                 })
                 .sum();
             let got = recv.get(0, k as usize, j as usize, i as usize);
-            prop_assert!((got - want).abs() < 1e-9, "({i},{j},{k}): {got} vs {want}");
+            assert!((got - want).abs() < 1e-9, "({i},{j},{k}): {got} vs {want}");
         }
     }
 }

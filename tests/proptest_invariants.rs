@@ -1,7 +1,10 @@
-//! Property-based tests of the core data-structure invariants.
+//! Randomized tests of the core data-structure invariants (seeded,
+//! deterministic — see `tests/util/mod.rs`).
 
-use proptest::prelude::*;
-use std::collections::HashMap;
+mod util;
+
+use std::collections::BTreeMap;
+use util::Rng;
 
 use vibe_amr::field::{compute_buffer_spec, pack, unpack, Array4};
 use vibe_amr::mesh::{
@@ -9,47 +12,49 @@ use vibe_amr::mesh::{
     MortonKey, NeighborOffset,
 };
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Random refine sequences keep the tree tiling the domain.
-    #[test]
-    fn tree_tiles_after_random_refines(picks in prop::collection::vec(0usize..64, 0..20)) {
+/// Random refine sequences keep the tree tiling the domain.
+#[test]
+fn tree_tiles_after_random_refines() {
+    let mut rng = Rng::new(0x1157_C001);
+    for _case in 0..64 {
         let mut tree = BlockTree::new(2, [4, 4, 1], 3, [true, true, true]);
-        for p in picks {
+        let npicks = rng.usize_in(0, 20);
+        for _ in 0..npicks {
             let leaves: Vec<LogicalLocation> = tree.leaves().collect();
-            let loc = leaves[p % leaves.len()];
+            let loc = leaves[rng.usize_in(0, leaves.len())];
             // Refine may fail at max level: that must be the only failure.
             match tree.refine(&loc) {
                 Ok(_) => {}
-                Err(e) => prop_assert!(
+                Err(e) => assert!(
                     matches!(e, vibe_amr::mesh::MeshError::MaxLevelExceeded { .. }),
                     "unexpected error {e}"
                 ),
             }
-            tree.validate().map_err(|e| TestCaseError::fail(e))?;
+            tree.validate().expect("tree tiles the domain");
         }
     }
+}
 
-    /// Refine-then-derefine returns the tree to its original leaf set.
-    #[test]
-    fn refine_derefine_roundtrip(p in 0usize..16) {
+/// Refine-then-derefine returns the tree to its original leaf set.
+#[test]
+fn refine_derefine_roundtrip() {
+    for p in 0..16 {
         let mut tree = BlockTree::new(2, [4, 4, 1], 2, [true, true, true]);
         let before: Vec<LogicalLocation> = tree.leaves().collect();
         let loc = before[p];
         tree.refine(&loc).expect("refinable");
         tree.derefine(&loc).expect("derefinable");
         let after: Vec<LogicalLocation> = tree.leaves().collect();
-        prop_assert_eq!(before, after);
+        assert_eq!(before, after);
     }
+}
 
-    /// Nesting enforcement always produces a 2:1-legal plan: applying it
-    /// never leaves two neighboring leaves more than one level apart.
-    #[test]
-    fn nesting_enforcement_yields_legal_mesh(
-        refine_picks in prop::collection::vec(0usize..1000, 0..8),
-        deref_picks in prop::collection::vec(0usize..1000, 0..8),
-    ) {
+/// Nesting enforcement always produces a 2:1-legal plan: applying it
+/// never leaves two neighboring leaves more than one level apart.
+#[test]
+fn nesting_enforcement_yields_legal_mesh() {
+    let mut rng = Rng::new(0xAE5F_0002);
+    for _case in 0..64 {
         let mut tree = BlockTree::new(2, [4, 4, 1], 3, [true, true, true]);
         // Pre-refine a couple of spots to create level structure.
         let l0: Vec<_> = tree.leaves().collect();
@@ -57,12 +62,14 @@ proptest! {
         tree.refine(&l0[10]).unwrap();
 
         let leaves: Vec<_> = tree.leaves().collect();
-        let mut flags = HashMap::new();
-        for p in refine_picks {
-            flags.insert(leaves[p % leaves.len()], AmrFlag::Refine);
+        let mut flags = BTreeMap::new();
+        for _ in 0..rng.usize_in(0, 8) {
+            flags.insert(leaves[rng.usize_in(0, leaves.len())], AmrFlag::Refine);
         }
-        for p in deref_picks {
-            flags.entry(leaves[p % leaves.len()]).or_insert(AmrFlag::Derefine);
+        for _ in 0..rng.usize_in(0, 8) {
+            flags
+                .entry(leaves[rng.usize_in(0, leaves.len())])
+                .or_insert(AmrFlag::Derefine);
         }
         let decision = enforce_proper_nesting(&tree, &flags);
         for loc in &decision.refine {
@@ -71,51 +78,66 @@ proptest! {
         for parent in &decision.derefine_parents {
             tree.derefine(parent).expect("plan must be applicable");
         }
-        tree.validate().map_err(TestCaseError::fail)?;
+        tree.validate().expect("legal mesh after plan");
         for leaf in tree.leaves() {
             for nb in vibe_amr::mesh::neighbor::find_neighbors(&tree, &leaf) {
-                prop_assert!((nb.loc.level() - leaf.level()).abs() <= 1);
+                assert!((nb.loc.level() - leaf.level()).abs() <= 1);
             }
         }
     }
+}
 
-    /// Morton keys are unique and order ancestors before descendants.
-    #[test]
-    fn morton_keys_unique_and_hierarchical(level in 1i32..4, lx in 0i64..8, ly in 0i64..8) {
+/// Morton keys are unique and order ancestors before descendants.
+#[test]
+fn morton_keys_unique_and_hierarchical() {
+    let mut rng = Rng::new(0x3030_7777);
+    for _case in 0..64 {
+        let level = rng.i64_in(1, 4) as i32;
         let extent = 1i64 << level;
-        let loc = LogicalLocation::new(level, lx % extent, ly % extent, 0);
+        let lx = rng.i64_in(0, 8) % extent;
+        let ly = rng.i64_in(0, 8) % extent;
+        let loc = LogicalLocation::new(level, lx, ly, 0);
         let key = MortonKey::new(&loc, 6);
         let parent_key = MortonKey::new(&loc.parent(), 6);
-        prop_assert!(parent_key < key);
+        assert!(parent_key < key);
         // Sibling keys are distinct.
         for sib in loc.parent().children(2) {
             if sib != loc {
-                prop_assert_ne!(MortonKey::new(&sib, 6), key);
+                assert_ne!(MortonKey::new(&sib, 6), key);
             }
         }
     }
+}
 
-    /// Cost partitioning: contiguous, complete, bounded rank ids, and with
-    /// enough ranks no rank exceeds twice the fair share for unit costs.
-    #[test]
-    fn partition_properties(n in 1usize..200, nranks in 1usize..32) {
+/// Cost partitioning: contiguous, complete, bounded rank ids, and with
+/// enough ranks no rank exceeds twice the fair share for unit costs.
+#[test]
+fn partition_properties() {
+    let mut rng = Rng::new(0x9A91_44D1);
+    for _case in 0..64 {
+        let n = rng.usize_in(1, 200);
+        let nranks = rng.usize_in(1, 32);
         let costs = vec![1.0f64; n];
         let a = partition_by_cost(&costs, nranks);
-        prop_assert_eq!(a.num_blocks(), n);
+        assert_eq!(a.num_blocks(), n);
         for w in a.block_ranks().windows(2) {
-            prop_assert!(w[1] >= w[0] && w[1] - w[0] <= 1, "contiguous ranks");
+            assert!(w[1] >= w[0] && w[1] - w[0] <= 1, "contiguous ranks");
         }
-        prop_assert!(*a.block_ranks().last().unwrap() < nranks);
+        assert!(*a.block_ranks().last().unwrap() < nranks);
         let per_rank = a.blocks_per_rank();
         let fair = n.div_ceil(nranks);
         for &c in &per_rank {
-            prop_assert!(c <= fair + 1, "rank holds {c} > fair {fair}+1");
+            assert!(c <= fair + 1, "rank holds {c} > fair {fair}+1");
         }
     }
+}
 
-    /// Same-level ghost pack/unpack is exact for arbitrary sender data.
-    #[test]
-    fn copy_buffer_roundtrip(values in prop::collection::vec(-1e6f64..1e6, 64)) {
+/// Same-level ghost pack/unpack is exact for arbitrary sender data.
+#[test]
+fn copy_buffer_roundtrip() {
+    let mut rng = Rng::new(0xB0F0_1E55);
+    for _case in 0..64 {
+        let values = rng.vec_f64(64, -1e6, 1e6);
         let shape = IndexShape::new([4, 4, 1], 2, 2);
         let r = LogicalLocation::new(0, 0, 0, 0);
         let s = LogicalLocation::new(0, 1, 0, 0);
@@ -135,14 +157,18 @@ proptest! {
             for gi in 0..2usize {
                 let got = recv.get(0, 0, 2 + gj, 6 + gi);
                 let want = sender.get(0, 0, 2 + gj, 2 + gi);
-                prop_assert_eq!(got, want);
+                assert_eq!(got, want);
             }
         }
     }
+}
 
-    /// Restriction before sending preserves the mean of the fine data.
-    #[test]
-    fn restrict_buffer_preserves_mean(values in prop::collection::vec(0.0f64..10.0, 144)) {
+/// Restriction before sending preserves the mean of the fine data.
+#[test]
+fn restrict_buffer_preserves_mean() {
+    let mut rng = Rng::new(0xC3C3_0001);
+    for _case in 0..64 {
+        let values = rng.vec_f64(144, 0.0, 10.0);
         let shape = IndexShape::new([4, 4, 1], 2, 2);
         let r = LogicalLocation::new(0, 0, 0, 0);
         let s = LogicalLocation::new(1, 2, 0, 0); // fine neighbor across +x
@@ -158,7 +184,7 @@ proptest! {
         // Every packed value is an average of sender cells, hence within
         // the sender's value range.
         for &v in &buf {
-            prop_assert!((0.0..=10.0).contains(&v), "restriction is a mean: {v}");
+            assert!((0.0..=10.0).contains(&v), "restriction is a mean: {v}");
         }
     }
 }

@@ -1,84 +1,123 @@
-//! Property-based tests of the numerical kernels: reconstruction and the
-//! Riemann solver.
+//! Randomized tests of the numerical kernels: reconstruction and the
+//! Riemann solver (seeded, deterministic — see `tests/util/mod.rs`).
 
-use proptest::prelude::*;
+mod util;
 
-use vibe_amr::burgers::{hll_flux, reconstruct_linear, reconstruct_weno5};
+use util::Rng;
+
 use vibe_amr::burgers::riemann::physical_flux;
+use vibe_amr::burgers::{hll_flux, reconstruct_linear, reconstruct_weno5};
 use vibe_amr::field::minmod;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+const CASES: usize = 256;
 
-    /// WENO5 output is a convex-ish combination of three quadratic
-    /// candidates, each bounded by ~3.4x the stencil magnitude — arbitrary
-    /// data never produces runaway values.
-    #[test]
-    fn weno5_magnitude_bounded(q in prop::collection::vec(-10.0f64..10.0, 6)) {
-        let stencil: [f64; 6] = q.clone().try_into().unwrap();
+/// WENO5 output is a convex-ish combination of three quadratic
+/// candidates, each bounded by ~3.4x the stencil magnitude — arbitrary
+/// data never produces runaway values.
+#[test]
+fn weno5_magnitude_bounded() {
+    let mut rng = Rng::new(0x57E0_0001);
+    for _case in 0..CASES {
+        let mut stencil = [0.0f64; 6];
+        for v in &mut stencil {
+            *v = rng.f64_in(-10.0, 10.0);
+        }
         let (l, r) = reconstruct_weno5(&stencil);
         let mag = stencil.iter().cloned().fold(0.0f64, |m, v| m.max(v.abs()));
         let bound = 3.4 * mag + 1e-12;
-        prop_assert!(l.abs() <= bound, "left {l} vs bound {bound}");
-        prop_assert!(r.abs() <= bound, "right {r} vs bound {bound}");
+        assert!(l.abs() <= bound, "left {l} vs bound {bound}");
+        assert!(r.abs() <= bound, "right {r} vs bound {bound}");
     }
+}
 
-    /// On *monotone* data (where ENO behavior applies) WENO5 stays within
-    /// the stencil range up to a small overshoot.
-    #[test]
-    fn weno5_essentially_monotone_on_sorted_data(q in prop::collection::vec(-10.0f64..10.0, 6)) {
-        let mut stencil: [f64; 6] = q.clone().try_into().unwrap();
+/// On *monotone* data (where ENO behavior applies) WENO5 stays within
+/// the stencil range up to a small overshoot.
+#[test]
+fn weno5_essentially_monotone_on_sorted_data() {
+    let mut rng = Rng::new(0x57E0_0002);
+    for _case in 0..CASES {
+        let mut stencil = [0.0f64; 6];
+        for v in &mut stencil {
+            *v = rng.f64_in(-10.0, 10.0);
+        }
         stencil.sort_by(f64::total_cmp);
         let (l, r) = reconstruct_weno5(&stencil);
         let min = stencil[0];
         let max = stencil[5];
         let span = (max - min).max(1e-12);
-        prop_assert!(l >= min - 0.1 * span && l <= max + 0.1 * span, "left {l} vs [{min}, {max}]");
-        prop_assert!(r >= min - 0.1 * span && r <= max + 0.1 * span, "right {r} vs [{min}, {max}]");
+        assert!(
+            l >= min - 0.1 * span && l <= max + 0.1 * span,
+            "left {l} vs [{min}, {max}]"
+        );
+        assert!(
+            r >= min - 0.1 * span && r <= max + 0.1 * span,
+            "right {r} vs [{min}, {max}]"
+        );
     }
+}
 
-    /// Linear (minmod) reconstruction is strictly bounded by its stencil.
-    #[test]
-    fn linear_reconstruction_monotone(q in prop::collection::vec(-10.0f64..10.0, 4)) {
-        let stencil: [f64; 4] = q.clone().try_into().unwrap();
+/// Linear (minmod) reconstruction is strictly bounded by its stencil.
+#[test]
+fn linear_reconstruction_monotone() {
+    let mut rng = Rng::new(0x57E0_0003);
+    for _case in 0..CASES {
+        let mut stencil = [0.0f64; 4];
+        for v in &mut stencil {
+            *v = rng.f64_in(-10.0, 10.0);
+        }
         let (l, r) = reconstruct_linear(&stencil);
         let min = stencil.iter().cloned().fold(f64::MAX, f64::min);
         let max = stencil.iter().cloned().fold(f64::MIN, f64::max);
-        prop_assert!(l >= min - 1e-12 && l <= max + 1e-12);
-        prop_assert!(r >= min - 1e-12 && r <= max + 1e-12);
+        assert!(l >= min - 1e-12 && l <= max + 1e-12);
+        assert!(r >= min - 1e-12 && r <= max + 1e-12);
     }
+}
 
-    /// Both schemes reproduce constants exactly.
-    #[test]
-    fn reconstructions_exact_for_constants(c in -100.0f64..100.0) {
+/// Both schemes reproduce constants exactly.
+#[test]
+fn reconstructions_exact_for_constants() {
+    let mut rng = Rng::new(0x57E0_0004);
+    for _case in 0..CASES {
+        let c = rng.f64_in(-100.0, 100.0);
         let (l6, r6) = reconstruct_weno5(&[c; 6]);
         let (l4, r4) = reconstruct_linear(&[c; 4]);
-        prop_assert!((l6 - c).abs() < 1e-12 * c.abs().max(1.0));
-        prop_assert!((r6 - c).abs() < 1e-12 * c.abs().max(1.0));
-        prop_assert!((l4 - c).abs() < 1e-14 * c.abs().max(1.0));
-        prop_assert!((r4 - c).abs() < 1e-14 * c.abs().max(1.0));
+        assert!((l6 - c).abs() < 1e-12 * c.abs().max(1.0));
+        assert!((r6 - c).abs() < 1e-12 * c.abs().max(1.0));
+        assert!((l4 - c).abs() < 1e-14 * c.abs().max(1.0));
+        assert!((r4 - c).abs() < 1e-14 * c.abs().max(1.0));
     }
+}
 
-    /// HLL consistency: F(U, U) equals the physical flux of U.
-    #[test]
-    fn hll_consistency(
-        u in prop::array::uniform3(-3.0f64..3.0),
-        q in prop::collection::vec(-2.0f64..2.0, 3),
-        d in 0usize..3,
-    ) {
+/// HLL consistency: F(U, U) equals the physical flux of U.
+#[test]
+fn hll_consistency() {
+    let mut rng = Rng::new(0x57E0_0005);
+    for _case in 0..CASES {
+        let u = [
+            rng.f64_in(-3.0, 3.0),
+            rng.f64_in(-3.0, 3.0),
+            rng.f64_in(-3.0, 3.0),
+        ];
+        let q = rng.vec_f64(3, -2.0, 2.0);
+        let d = rng.usize_in(0, 3);
         let mut got = [0.0f64; 6];
         let mut want = [0.0f64; 6];
         hll_flux(&u, &q, &u, &q, d, &mut got);
         physical_flux(&u, &q, d, &mut want);
         for i in 0..6 {
-            prop_assert!((got[i] - want[i]).abs() < 1e-12, "comp {i}");
+            assert!((got[i] - want[i]).abs() < 1e-12, "comp {i}");
         }
     }
+}
 
-    /// HLL upwinding: with supersonic right-moving data the flux is exactly
-    /// the left physical flux, and vice versa.
-    #[test]
-    fn hll_upwind_limits(speed in 0.5f64..4.0, other in -1.0f64..1.0) {
+/// HLL upwinding: with supersonic right-moving data the flux is exactly
+/// the left physical flux, and vice versa.
+#[test]
+fn hll_upwind_limits() {
+    let mut rng = Rng::new(0x57E0_0006);
+    for _case in 0..CASES {
+        let speed = rng.f64_in(0.5, 4.0);
+        let other = rng.f64_in(-1.0, 1.0);
         let u_l = [speed, other, -other];
         let u_r = [speed * 0.7, other, other];
         let q_l = [1.5];
@@ -88,7 +127,7 @@ proptest! {
         hll_flux(&u_l, &q_l, &u_r, &q_r, 0, &mut f);
         physical_flux(&u_l, &q_l, 0, &mut f_l);
         for i in 0..4 {
-            prop_assert!((f[i] - f_l[i]).abs() < 1e-12, "upwind-left comp {i}");
+            assert!((f[i] - f_l[i]).abs() < 1e-12, "upwind-left comp {i}");
         }
         // Mirror: both speeds negative -> right flux.
         let v_l = [-speed * 0.7, other, other];
@@ -98,20 +137,22 @@ proptest! {
         hll_flux(&v_l, &q_l, &v_r, &q_r, 0, &mut g);
         physical_flux(&v_r, &q_r, 0, &mut f_r);
         for i in 0..4 {
-            prop_assert!((g[i] - f_r[i]).abs() < 1e-12, "upwind-right comp {i}");
+            assert!((g[i] - f_r[i]).abs() < 1e-12, "upwind-right comp {i}");
         }
     }
+}
 
-    /// The HLL flux is a continuous blend: it lies within the interval
-    /// spanned by the left/right physical fluxes widened by the dissipation
-    /// term (checked via a crude Lipschitz-style bound).
-    #[test]
-    fn hll_bounded_blend(
-        ul in -2.0f64..2.0,
-        ur in -2.0f64..2.0,
-        ql in 0.1f64..3.0,
-        qr in 0.1f64..3.0,
-    ) {
+/// The HLL flux is a continuous blend: it lies within the interval
+/// spanned by the left/right physical fluxes widened by the dissipation
+/// term (checked via a crude Lipschitz-style bound).
+#[test]
+fn hll_bounded_blend() {
+    let mut rng = Rng::new(0x57E0_0007);
+    for _case in 0..CASES {
+        let ul = rng.f64_in(-2.0, 2.0);
+        let ur = rng.f64_in(-2.0, 2.0);
+        let ql = rng.f64_in(0.1, 3.0);
+        let qr = rng.f64_in(0.1, 3.0);
         let u_l = [ul, 0.0, 0.0];
         let u_r = [ur, 0.0, 0.0];
         let mut f = [0.0f64; 4];
@@ -120,21 +161,26 @@ proptest! {
             + 2.0 * (ql.max(qr)) * (ul.abs().max(ur.abs()))
             + 2.0 * (ul - ur).abs() * (1.0 + ql + qr);
         for (i, &v) in f.iter().enumerate() {
-            prop_assert!(v.abs() <= bound + 1e-9, "comp {i}: {v} vs bound {bound}");
+            assert!(v.abs() <= bound + 1e-9, "comp {i}: {v} vs bound {bound}");
         }
     }
+}
 
-    /// minmod: result has the magnitude of the smaller argument and agrees
-    /// in sign with both, or is zero.
-    #[test]
-    fn minmod_properties(a in -5.0f64..5.0, b in -5.0f64..5.0) {
+/// minmod: result has the magnitude of the smaller argument and agrees
+/// in sign with both, or is zero.
+#[test]
+fn minmod_properties() {
+    let mut rng = Rng::new(0x57E0_0008);
+    for _case in 0..CASES {
+        let a = rng.f64_in(-5.0, 5.0);
+        let b = rng.f64_in(-5.0, 5.0);
         let m = minmod(a, b);
         if a * b <= 0.0 {
-            prop_assert_eq!(m, 0.0);
+            assert_eq!(m, 0.0);
         } else {
-            prop_assert!(m.abs() <= a.abs() + 1e-15);
-            prop_assert!(m.abs() <= b.abs() + 1e-15);
-            prop_assert!(m * a > 0.0);
+            assert!(m.abs() <= a.abs() + 1e-15);
+            assert!(m.abs() <= b.abs() + 1e-15);
+            assert!(m * a > 0.0);
         }
     }
 }

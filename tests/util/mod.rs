@@ -1,0 +1,53 @@
+//! Minimal deterministic random-input generator for the randomized
+//! property tests (std-only replacement for the former proptest harness:
+//! the offline build cannot reach a registry, so the property tests run on
+//! a seeded xorshift generator instead).
+
+/// Xorshift64* PRNG: tiny, deterministic, good enough for test-input
+/// generation (not for statistics).
+pub struct Rng(u64);
+
+impl Rng {
+    /// Creates a generator from a fixed seed (must be non-zero).
+    pub fn new(seed: u64) -> Self {
+        Self(seed.max(1))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + u * (hi - lo)
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(hi > lo);
+        lo + (self.next_u64() as usize) % (hi - lo)
+    }
+
+    /// Uniform `i64` in `[lo, hi)`.
+    pub fn i64_in(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(hi > lo);
+        lo + (self.next_u64() % (hi - lo) as u64) as i64
+    }
+
+    /// Random bool.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Vector of uniform `f64` values in `[lo, hi)`.
+    pub fn vec_f64(&mut self, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+        (0..n).map(|_| self.f64_in(lo, hi)).collect()
+    }
+}
