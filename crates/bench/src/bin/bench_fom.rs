@@ -7,15 +7,25 @@
 //! platform time). A state fingerprint per run verifies that parallel
 //! execution is bitwise identical to serial execution.
 //!
+//! After the timing runs, one instrumented run (full wall-clock profiling
+//! at the highest probed thread count) prints the TinyProfiler-style
+//! region summary and a measured-vs-modeled per-function comparison, and
+//! contributes the measured per-stage breakdown to the JSON output. Its
+//! fingerprint must match the uninstrumented run at the same thread count.
+//!
 //! Usage: `bench_fom [output-path]` (default `BENCH_fom.json`); the thread
 //! counts probed default to `[1, 8]` and can be overridden with
 //! `VIBE_BENCH_THREADS=1,4,8`.
 
+use std::fmt::Write as _;
 use std::time::Instant;
 
 use vibe_burgers::{ic, BurgersPackage, BurgersParams};
 use vibe_core::{Driver, DriverParams};
+use vibe_hwmodel::platform::evaluate;
+use vibe_hwmodel::PlatformConfig;
 use vibe_mesh::{Mesh, MeshParams};
+use vibe_prof::{summary_table, ProfLevel, Recorder, StepFunction};
 
 const MESH_CELLS: usize = 64;
 const BLOCK_CELLS: usize = 16;
@@ -32,27 +42,7 @@ struct RunResult {
     final_blocks: usize,
 }
 
-/// FNV-1a over the raw f64 bits of every variable of every block, in gid
-/// and registration order — a deterministic fingerprint of the full state.
-fn fingerprint(driver: &Driver<BurgersPackage>) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut eat = |bits: u64| {
-        for shift in [0u32, 8, 16, 24, 32, 40, 48, 56] {
-            h ^= (bits >> shift) & 0xff;
-            h = h.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-    };
-    for slot in driver.slots() {
-        for var in slot.data.vars() {
-            for &v in var.data().as_slice() {
-                eat(v.to_bits());
-            }
-        }
-    }
-    h
-}
-
-fn run(threads: usize) -> RunResult {
+fn build_driver(threads: usize, prof_level: ProfLevel) -> Driver<BurgersPackage> {
     let mesh = Mesh::new(
         MeshParams::builder()
             .dim(3)
@@ -70,29 +60,93 @@ fn run(threads: usize) -> RunResult {
         deref_tol: 0.025,
         ..BurgersParams::default()
     });
-    let mut driver = Driver::new(
+    Driver::new(
         mesh,
         pkg,
         DriverParams {
             nranks: 1,
             cfl: 0.3,
             host_threads: threads,
+            prof_level,
             ..DriverParams::default()
         },
-    );
+    )
+}
+
+fn run(threads: usize, prof_level: ProfLevel) -> (RunResult, Recorder) {
+    let mut driver = build_driver(threads, prof_level);
     driver.initialize(ic::multi_blob(0.9, 0.002, 3));
     let t0 = Instant::now();
     driver.run_cycles(CYCLES);
     let wall_s = t0.elapsed().as_secs_f64();
     let zone_cycles = driver.recorder().totals().cell_updates;
-    RunResult {
+    let result = RunResult {
         threads,
         wall_s,
         zone_cycles,
         fom: zone_cycles as f64 / wall_s,
-        fingerprint: fingerprint(&driver),
+        fingerprint: vibe_bench::state_fingerprint(&driver),
         final_blocks: driver.mesh().num_blocks(),
+    };
+    (result, driver.into_recorder())
+}
+
+/// Renders the measured (wall-clock) vs modeled (hwmodel) per-function
+/// breakdown side by side, as shares of their respective totals.
+fn measured_vs_modeled(rec: &Recorder) -> String {
+    let measured = rec
+        .wall()
+        .with_totals(vibe_prof::measured_by_function)
+        .unwrap_or_default();
+    let measured_total: u64 = measured.values().map(|(ns, _)| ns).sum();
+    let rep = evaluate(rec, &PlatformConfig::cpu_only(1, 8));
+    let mut rows = Vec::new();
+    for func in StepFunction::all() {
+        let modeled_s = rep
+            .per_function
+            .iter()
+            .find(|f| f.func == *func)
+            .map(|f| f.total())
+            .unwrap_or(0.0);
+        let (meas_ns, calls) = measured.get(func).copied().unwrap_or((0, 0));
+        if modeled_s <= 0.0 && meas_ns == 0 {
+            continue;
+        }
+        let meas_share = if measured_total > 0 {
+            meas_ns as f64 / measured_total as f64 * 100.0
+        } else {
+            0.0
+        };
+        let model_share = if rep.total_s > 0.0 {
+            modeled_s / rep.total_s * 100.0
+        } else {
+            0.0
+        };
+        rows.push(vec![
+            func.name().to_string(),
+            calls.to_string(),
+            format!("{:.3}", meas_ns as f64 / 1e6),
+            format!("{meas_share:.1}%"),
+            format!("{:.3}", modeled_s * 1e3),
+            format!("{model_share:.1}%"),
+        ]);
     }
+    let mut out = vibe_bench::format_table(
+        &[
+            "Function",
+            "calls",
+            "measured(ms)",
+            "meas%",
+            "modeled(ms)",
+            "model%",
+        ],
+        &rows,
+    );
+    let _ = writeln!(
+        out,
+        "measured: this host, {CYCLES} cycles; modeled: paper CPU-1R platform (shares comparable, absolutes not)"
+    );
+    out
 }
 
 fn main() {
@@ -113,13 +167,33 @@ fn main() {
         eprintln!(
             "probe: Mesh {MESH_CELLS}/B{BLOCK_CELLS}/L{LEVELS}, {CYCLES} cycles, threads={t} ..."
         );
-        let r = run(t);
+        let (r, _) = run(t, ProfLevel::Off);
         eprintln!(
             "  wall {:.3}s, {} zone-cycles, FOM {:.3e} zc/s, blocks {}, fp {:016x}",
             r.wall_s, r.zone_cycles, r.fom, r.final_blocks, r.fingerprint
         );
         results.push(r);
     }
+
+    // Instrumented run at the widest probed thread count: the measured
+    // per-stage breakdown, and proof that profiling is result-neutral.
+    let prof_threads = threads.iter().copied().max().unwrap_or(1);
+    eprintln!("probe: instrumented rerun (prof=full), threads={prof_threads} ...");
+    let (prof_run, prof_rec) = run(prof_threads, ProfLevel::Full);
+    let prof_neutral = results
+        .iter()
+        .find(|r| r.threads == prof_threads)
+        .map(|r| r.fingerprint == prof_run.fingerprint)
+        .unwrap_or(true);
+    let pool = prof_rec.wall().pool_totals();
+    println!("== measured region summary (threads={prof_threads}, prof=full) ==");
+    let table = prof_rec
+        .wall()
+        .with_totals(|t| summary_table(t, &pool))
+        .expect("profiling enabled");
+    println!("{table}");
+    println!("== measured vs modeled per-function breakdown ==");
+    println!("{}", measured_vs_modeled(&prof_rec));
 
     let identical = results
         .windows(2)
@@ -150,6 +224,25 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    let measured = prof_rec
+        .wall()
+        .with_totals(vibe_prof::measured_by_function)
+        .unwrap_or_default();
+    json.push_str(&format!(
+        "  \"measured_breakdown\": {{\"threads\": {prof_threads}, \"prof_level\": \"full\", \"profiling_result_neutral\": {prof_neutral}, \"pool_utilization\": {:.4}, \"pool_load_imbalance\": {:.4}, \"stages\": {{",
+        pool.utilization(),
+        pool.load_imbalance()
+    ));
+    for (i, (func, (ns, calls))) in measured.iter().enumerate() {
+        if i > 0 {
+            json.push_str(", ");
+        }
+        json.push_str(&format!(
+            "\"{}\": {{\"wall_ns\": {ns}, \"calls\": {calls}}}",
+            func.name()
+        ));
+    }
+    json.push_str("}},\n");
     json.push_str(&format!(
         "  \"bit_identical_across_threads\": {identical},\n"
     ));
@@ -158,10 +251,15 @@ fn main() {
     ));
     json.push_str(&format!("  \"best_fom_zone_cycles_per_s\": {best:.1}\n"));
     json.push_str("}\n");
+    vibe_prof::validate_json(&json).expect("BENCH_fom.json is well-formed");
     std::fs::write(&out_path, &json).expect("write BENCH_fom.json");
     println!("{json}");
     if !identical {
         eprintln!("ERROR: state fingerprints differ across thread counts");
+        std::process::exit(1);
+    }
+    if !prof_neutral {
+        eprintln!("ERROR: instrumented run changed the state fingerprint");
         std::process::exit(1);
     }
 }

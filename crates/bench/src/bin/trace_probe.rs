@@ -1,0 +1,100 @@
+//! Instrumented observability probe: runs the fixed Mesh 64 / B16 / L2
+//! workload with full wall-clock profiling, writes a Chrome/Perfetto
+//! `trace.json` and a per-cycle `metrics.jsonl` into the output directory,
+//! prints the TinyProfiler-style region summary, and verifies that
+//! profiling does not perturb the simulation (bitwise-identical state
+//! fingerprint against an uninstrumented run).
+//!
+//! Usage: `trace_probe [output-dir]` (default `target/trace-probe`).
+//! Overrides: `VIBE_TRACE_THREADS` (default 8), `VIBE_TRACE_CYCLES`
+//! (default 3).
+//!
+//! Open the trace at `ui.perfetto.dev` (or `chrome://tracing`): tid 0 is
+//! the driver thread's region hierarchy, tids 1.. are pool load-rank slots.
+
+use std::path::Path;
+
+use vibe_bench::{run_workload, WorkloadSpec};
+use vibe_prof::{
+    metrics_jsonl, perfetto_trace_json, summary_table, validate_json, validate_jsonl, ProfLevel,
+};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .map(|s| s.trim().parse().unwrap_or_else(|_| panic!("bad {name}")))
+        .unwrap_or(default)
+}
+
+fn main() {
+    let out_dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/trace-probe".to_string());
+    let threads = env_usize("VIBE_TRACE_THREADS", 8);
+    let cycles = env_usize("VIBE_TRACE_CYCLES", 3) as u64;
+    let spec = WorkloadSpec {
+        mesh_cells: 64,
+        block_cells: 16,
+        levels: 2,
+        cycles,
+        num_scalars: 4,
+        host_threads: threads,
+        ..WorkloadSpec::default()
+    };
+
+    eprintln!(
+        "trace_probe: Mesh {}/B{}/L{}, {} cycles, threads={} ...",
+        spec.mesh_cells, spec.block_cells, spec.levels, spec.cycles, threads
+    );
+
+    // Reference run without instrumentation, then the instrumented run:
+    // profiling must never change the simulation state.
+    let baseline = run_workload(&spec);
+    let profiled = run_workload(&WorkloadSpec {
+        prof_level: ProfLevel::Full,
+        ..spec
+    });
+    if baseline.state_fingerprint != profiled.state_fingerprint {
+        eprintln!(
+            "ERROR: profiling changed the state: {:016x} (off) vs {:016x} (full)",
+            baseline.state_fingerprint, profiled.state_fingerprint
+        );
+        std::process::exit(1);
+    }
+
+    let wall = profiled.recorder.wall();
+    let (events, dropped) = wall.trace_events();
+    let trace = perfetto_trace_json(&events, "vibe-amr trace_probe");
+    let jsonl = wall
+        .with_cycles(metrics_jsonl)
+        .expect("profiling was enabled");
+    // Self-validate before writing, so a malformed export fails loudly
+    // here rather than in a viewer.
+    validate_json(&trace).expect("trace.json is well-formed JSON");
+    let lines = validate_jsonl(&jsonl).expect("metrics.jsonl lines are well-formed");
+    assert_eq!(lines as u64, cycles, "one metrics line per cycle");
+
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+    let trace_path = Path::new(&out_dir).join("trace.json");
+    let metrics_path = Path::new(&out_dir).join("metrics.jsonl");
+    std::fs::write(&trace_path, &trace).expect("write trace.json");
+    std::fs::write(&metrics_path, &jsonl).expect("write metrics.jsonl");
+
+    let pool = wall.pool_totals();
+    let table = wall
+        .with_totals(|t| summary_table(t, &pool))
+        .expect("profiling was enabled");
+    println!("{table}");
+    println!(
+        "state fingerprint {:016x} (identical with profiling off)",
+        profiled.state_fingerprint
+    );
+    println!(
+        "{} trace events ({} dropped) -> {}",
+        events.len(),
+        dropped,
+        trace_path.display()
+    );
+    println!("{} metrics lines -> {}", lines, metrics_path.display());
+    println!("open {} at https://ui.perfetto.dev", trace_path.display());
+}

@@ -11,10 +11,10 @@
 //! platform models.
 
 use vibe_burgers::{ic, BurgersPackage, BurgersParams};
-use vibe_core::{CycleSummary, Driver, DriverParams};
+use vibe_core::{CycleSummary, Driver, DriverParams, Package};
 use vibe_field::PackStrategy;
 use vibe_mesh::{Mesh, MeshParams};
-use vibe_prof::Recorder;
+use vibe_prof::{ProfLevel, Recorder};
 
 /// One functional-simulation configuration (the paper's workload axes).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -40,6 +40,8 @@ pub struct WorkloadSpec {
     /// Host OS threads for per-block parallel stages (1 = exact serial
     /// path; results are bitwise identical at any value).
     pub host_threads: usize,
+    /// Wall-clock instrumentation level (never affects results).
+    pub prof_level: ProfLevel,
 }
 
 impl Default for WorkloadSpec {
@@ -59,6 +61,7 @@ impl Default for WorkloadSpec {
             refine_tol: 0.1,
             pack_strategy: PackStrategy::StringKeyed,
             host_threads: 1,
+            prof_level: ProfLevel::Off,
         }
     }
 }
@@ -74,6 +77,31 @@ pub struct WorkloadResult {
     pub field_bytes: u64,
     /// Per-cycle summaries.
     pub summaries: Vec<CycleSummary>,
+    /// FNV-1a fingerprint of the full final state (see
+    /// [`state_fingerprint`]).
+    pub state_fingerprint: u64,
+}
+
+/// FNV-1a over the raw f64 bits of every variable of every block, in gid
+/// and registration order — a deterministic fingerprint of the full
+/// simulation state, used to verify that thread count and profiling level
+/// never change results.
+pub fn state_fingerprint<P: Package>(driver: &Driver<P>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bits: u64| {
+        for shift in [0u32, 8, 16, 24, 32, 40, 48, 56] {
+            h ^= (bits >> shift) & 0xff;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for slot in driver.slots() {
+        for var in slot.data.vars() {
+            for &v in var.data().as_slice() {
+                eat(v.to_bits());
+            }
+        }
+    }
+    h
 }
 
 impl WorkloadResult {
@@ -128,6 +156,7 @@ pub fn run_workload(spec: &WorkloadSpec) -> WorkloadResult {
             cfl: 0.3,
             pack_strategy: spec.pack_strategy,
             host_threads: spec.host_threads,
+            prof_level: spec.prof_level,
             ..DriverParams::default()
         },
     );
@@ -137,6 +166,7 @@ pub fn run_workload(spec: &WorkloadSpec) -> WorkloadResult {
         final_blocks: driver.mesh().num_blocks(),
         field_bytes: driver.total_field_bytes() as u64,
         summaries,
+        state_fingerprint: state_fingerprint(&driver),
         recorder: driver.into_recorder(),
     }
 }

@@ -8,7 +8,7 @@ use vibe_exec::{catalog, ExecCtx, Launcher};
 use vibe_field::buffer::compute_buffer_spec_with;
 use vibe_field::{apply_flux, flux_correction_spec, pack, pack_flux, unpack, Metadata};
 use vibe_mesh::Mesh;
-use vibe_prof::{MemSpace, Recorder, SerialWork, StepFunction};
+use vibe_prof::{MemSpace, Recorder, RegionKey, SerialWork, StepFunction};
 
 use crate::block::BlockSlot;
 
@@ -78,16 +78,22 @@ pub fn exchange_ghosts(
         }
     }
 
+    let wall = rec.wall().clone();
+
     // --- StartReceiveBoundBufs ---
-    for (key, ..) in &keys {
-        comm.start_receive(*key);
+    {
+        let _g = wall.region_hot(RegionKey::Step(StepFunction::StartReceiveBoundBufs));
+        for (key, ..) in &keys {
+            comm.start_receive(*key);
+        }
+        rec.record_serial(
+            StepFunction::StartReceiveBoundBufs,
+            SerialWork::BoundaryLoop(keys.len() as u64),
+        );
     }
-    rec.record_serial(
-        StepFunction::StartReceiveBoundBufs,
-        SerialWork::BoundaryLoop(keys.len() as u64),
-    );
 
     // --- SendBoundBufs ---
+    let send_guard = wall.region(RegionKey::Step(StepFunction::SendBoundBufs));
     cache.initialize(
         keys.iter().map(|(k, ..)| *k).collect(),
         &cfg.cache_config,
@@ -155,10 +161,12 @@ pub fn exchange_ghosts(
             launcher.record_only(&catalog::SEND_BOUND_BUFS, *cells, 1.0);
         }
     }
+    drop(send_guard);
 
     // --- ReceiveBoundBufs ---
     // Poll until every message lands; remote messages may need several
     // MPI_Iprobe nudges before the progress engine delivers them.
+    let recv_guard = wall.region(RegionKey::Step(StepFunction::ReceiveBoundBufs));
     let mut received: HashMap<BoundaryKey, Vec<f64>> = HashMap::new();
     let mut pending: Vec<BoundaryKey> = keys.iter().map(|(k, ..)| *k).collect();
     let mut sweeps = 0u32;
@@ -174,8 +182,10 @@ pub fn exchange_ghosts(
         assert!(sweeps < 10_000, "ghost messages never arrived");
     }
     assert_eq!(received.len(), keys.len(), "all messages arrive in-process");
+    drop(recv_guard);
 
     // --- SetBounds ---
+    let _set_guard = wall.region(RegionKey::Step(StepFunction::SetBounds));
     // Unpack in parallel over *receiver blocks*; each block consumes its
     // incoming buffers in global key order, so results are identical to the
     // serial sweep at any thread count.
@@ -238,6 +248,10 @@ pub fn flux_correction(
     exec: ExecCtx,
     rec: &mut Recorder,
 ) {
+    let _g = rec
+        .wall()
+        .clone()
+        .region(RegionKey::Step(StepFunction::FluxCorrection));
     let shape = mesh.index_shape();
     // Flux-bearing variable ids (identical registration on every block).
     let ids = match slots.first_mut() {

@@ -6,7 +6,7 @@ use vibe_comm::{BufferCache, CacheConfig, Communicator};
 use vibe_exec::{catalog, ExecCtx, Launcher};
 use vibe_field::{apply_face_bc, BcKind, BlockData, Metadata, PackStrategy, Side};
 use vibe_mesh::{enforce_proper_nesting, AmrFlag, CostModel, DerefGate, Mesh, RegridSource};
-use vibe_prof::{MemSpace, Recorder, SerialWork, StepFunction};
+use vibe_prof::{MemSpace, ProfLevel, Recorder, RegionKey, SerialWork, StepFunction};
 
 use crate::amr::{prolongate_to_child, restrict_to_parent};
 use crate::block::{BlockInfo, BlockSlot};
@@ -41,6 +41,11 @@ pub struct DriverParams {
     /// packed device launches, served by the persistent `vibe-exec` worker
     /// pool); 1 = the exact inline serial path.
     pub host_threads: usize,
+    /// Measured-time (wall-clock) instrumentation level. `Off` (the
+    /// default) pays no overhead; `Coarse`/`Full` wrap every driver stage
+    /// in hierarchical region timers and sample pool utilization. The
+    /// level never affects simulation results.
+    pub prof_level: ProfLevel,
 }
 
 impl Default for DriverParams {
@@ -56,8 +61,35 @@ impl Default for DriverParams {
             remote_delivery_polls: 1,
             boundary_condition: BcKind::Outflow,
             host_threads: 1,
+            prof_level: ProfLevel::Off,
         }
     }
+}
+
+/// Measured wall-clock breakdown of one cycle, all zeros when profiling is
+/// off (so summaries stay comparable across runs that only differ in
+/// instrumentation level being off).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CycleTiming {
+    /// Inclusive wall time of the whole cycle (ns).
+    pub wall_ns: u64,
+    /// CalculateFluxes wall time (ns, both RK stages).
+    pub flux_ns: u64,
+    /// Ghost-exchange wall time (ns, all exchanges in the cycle).
+    pub comm_ns: u64,
+    /// RK2 weighted-sum + flux-divergence update wall time (ns).
+    pub update_ns: u64,
+    /// Tagging, tree update, regridding, and load balancing wall time (ns).
+    pub amr_ns: u64,
+    /// EstimateTimeStep wall time (ns).
+    pub dt_ns: u64,
+    /// Summed busy time of all pool participants (ns).
+    pub pool_busy_ns: u64,
+    /// Available pool thread-time (wall × participants, summed; ns).
+    pub pool_thread_time_ns: u64,
+    /// Pool load-imbalance factor (max/mean worker busy time; 0 when
+    /// profiling is off, 1.0 is perfect balance).
+    pub load_imbalance: f64,
 }
 
 /// Summary of one completed cycle.
@@ -75,6 +107,9 @@ pub struct CycleSummary {
     pub refined: usize,
     /// Parent regions derefined this cycle.
     pub derefined: usize,
+    /// Measured per-stage wall times and pool utilization (all zeros when
+    /// `DriverParams::prof_level` is `Off`).
+    pub timing: CycleTiming,
 }
 
 /// The evolution driver: owns the mesh, block data, communication state,
@@ -106,7 +141,7 @@ impl<P: Package> Driver<P> {
         let mut driver = Self {
             comm,
             cache: BufferCache::new(),
-            rec: Recorder::new(),
+            rec: Recorder::with_prof_level(params.prof_level),
             gate: DerefGate::new(mesh.params().deref_gap()),
             time: 0.0,
             dt: 0.0,
@@ -194,6 +229,11 @@ impl<P: Package> Driver<P> {
     ///
     /// Work during initialization is not attributed to any cycle.
     pub fn initialize(&mut self, ic: impl Fn(&BlockInfo, &mut BlockData)) {
+        let wall = self.rec.wall().clone();
+        if wall.enabled() {
+            vibe_exec::stats_begin();
+        }
+        let init_guard = wall.region(RegionKey::Named("Initialize"));
         let rounds = self.mesh.params().max_levels();
         for slot in &mut self.slots {
             ic(&slot.info, &mut slot.data);
@@ -214,10 +254,17 @@ impl<P: Package> Driver<P> {
         self.sync_ranks();
         self.exchange();
         let exec = self.exec();
-        self.with_rank_packs(StepFunction::FillDerived, |pkg, pack, rec| {
-            pkg.fill_derived(pack, exec, rec);
-        });
+        {
+            let _fd = wall.region(RegionKey::Step(StepFunction::FillDerived));
+            self.with_rank_packs(StepFunction::FillDerived, |pkg, pack, rec| {
+                pkg.fill_derived(pack, exec, rec);
+            });
+        }
         self.estimate_dt();
+        drop(init_guard);
+        if wall.enabled() {
+            wall.record_pool_samples(&vibe_exec::stats_end());
+        }
     }
 
     /// Advances `n` cycles, returning their summaries.
@@ -239,6 +286,11 @@ impl<P: Package> Driver<P> {
     pub fn step(&mut self) -> CycleSummary {
         assert!(self.dt > 0.0, "initialize() must run before step()");
         self.rec.begin_cycle(self.cycle);
+        let wall = self.rec.wall().clone();
+        if wall.enabled() {
+            vibe_exec::stats_begin();
+        }
+        let cycle_guard = wall.region(RegionKey::Named("Cycle"));
         let dt = self.dt;
         let exec = self.exec();
 
@@ -247,14 +299,20 @@ impl<P: Package> Driver<P> {
             let first = &mut self.slots[0];
             first.data.pack_by_flag(Metadata::TWO_STAGE).ids().to_vec()
         };
-        exec.for_each_block(&mut self.slots, |_, slot| {
-            slot.save_stage0(&two_stage);
-        });
+        {
+            let _g = wall.region_hot(RegionKey::Named("SaveStage0"));
+            exec.for_each_block(&mut self.slots, |_, slot| {
+                slot.save_stage0(&two_stage);
+            });
+        }
         for stage in 0..2 {
             self.exchange();
-            self.with_rank_packs(StepFunction::CalculateFluxes, |pkg, pack, rec| {
-                pkg.calculate_fluxes(pack, exec, rec);
-            });
+            {
+                let _g = wall.region(RegionKey::Step(StepFunction::CalculateFluxes));
+                self.with_rank_packs(StepFunction::CalculateFluxes, |pkg, pack, rec| {
+                    pkg.calculate_fluxes(pack, exec, rec);
+                });
+            }
             flux_correction(
                 &self.mesh,
                 &mut self.slots,
@@ -267,14 +325,21 @@ impl<P: Package> Driver<P> {
             } else {
                 (0.5, 0.5, 0.5)
             };
-            Self::for_rank_packs_static(&self.mesh, &mut self.slots, |pack| {
-                flux_divergence_update(pack, exec, a0, b, c, dt, &mut self.rec);
-            });
-            self.with_rank_packs(StepFunction::FillDerived, |pkg, pack, rec| {
-                pkg.fill_derived(pack, exec, rec);
-            });
+            {
+                let _g = wall.region(RegionKey::Named("RK2Update"));
+                Self::for_rank_packs_static(&self.mesh, &mut self.slots, |pack| {
+                    flux_divergence_update(pack, exec, a0, b, c, dt, &mut self.rec);
+                });
+            }
+            {
+                let _g = wall.region(RegionKey::Step(StepFunction::FillDerived));
+                self.with_rank_packs(StepFunction::FillDerived, |pkg, pack, rec| {
+                    pkg.fill_derived(pack, exec, rec);
+                });
+            }
         }
         if self.params.history_every > 0 && self.cycle % self.params.history_every == 0 {
+            let _g = wall.region(RegionKey::Step(StepFunction::MassHistory));
             let mut values: Vec<f64> = Vec::new();
             self.with_rank_packs(StepFunction::MassHistory, |pkg, pack, rec| {
                 let v = pkg.history(pack, exec, rec);
@@ -292,6 +357,7 @@ impl<P: Package> Driver<P> {
         // === LoadBalancingAndAMR ===
         let flags = self.collect_tags();
         // UpdateMeshBlockTree: gather flags across ranks, reconcile.
+        let tree_guard = wall.region(RegionKey::Step(StepFunction::UpdateMeshBlockTree));
         self.comm.all_gather(
             StepFunction::UpdateMeshBlockTree,
             self.mesh.num_blocks() as u64,
@@ -309,7 +375,11 @@ impl<P: Package> Driver<P> {
             StepFunction::UpdateMeshBlockTree,
             SerialWork::BlockLoop(self.mesh.num_blocks() as u64),
         );
+        drop(tree_guard);
         let (refined, derefined) = (decision.refine.len(), decision.derefine_parents.len());
+        let regrid_guard = wall.region(RegionKey::Step(
+            StepFunction::RedistributeAndRefineMeshBlocks,
+        ));
         if !decision.is_empty() {
             for parent in &decision.derefine_parents {
                 self.gate.record_derefine(parent, self.cycle);
@@ -361,10 +431,15 @@ impl<P: Package> Driver<P> {
             self.cache
                 .rebuild(nbuffers as u64, nbuffers as u64 * 96, &mut self.rec);
         }
+        drop(regrid_guard);
 
         // === EstimateTimeStep ===
         self.estimate_dt();
 
+        drop(cycle_guard);
+        if wall.enabled() {
+            wall.record_pool_samples(&vibe_exec::stats_end());
+        }
         let nblocks = self.mesh.num_blocks();
         let cell_updates = self.mesh.total_interior_cells();
         self.rec.end_cycle(
@@ -382,7 +457,43 @@ impl<P: Package> Driver<P> {
             nblocks,
             refined,
             derefined,
+            timing: self.last_cycle_timing(),
         }
+    }
+
+    /// Extracts the measured per-stage breakdown of the most recently
+    /// archived cycle (all zeros when profiling is off).
+    fn last_cycle_timing(&self) -> CycleTiming {
+        self.rec
+            .wall()
+            .with_cycles(|cycles| {
+                let Some(last) = cycles.last() else {
+                    return CycleTiming::default();
+                };
+                let by_func = last.tree.by_step_function();
+                let func_ns = |f: StepFunction| by_func.get(&f).map_or(0, |(ns, _)| *ns);
+                let flat = last.tree.flatten();
+                let named_ns = |name: &str| -> u64 {
+                    flat.iter()
+                        .filter(|r| matches!(r.key, RegionKey::Named(n) if n == name))
+                        .map(|r| r.stats.total_ns)
+                        .sum()
+                };
+                CycleTiming {
+                    wall_ns: named_ns("Cycle"),
+                    flux_ns: func_ns(StepFunction::CalculateFluxes),
+                    comm_ns: named_ns("GhostExchange"),
+                    update_ns: named_ns("RK2Update"),
+                    amr_ns: func_ns(StepFunction::RefinementTag)
+                        + func_ns(StepFunction::UpdateMeshBlockTree)
+                        + func_ns(StepFunction::RedistributeAndRefineMeshBlocks),
+                    dt_ns: func_ns(StepFunction::EstimateTimeStep),
+                    pool_busy_ns: last.pool.busy_ns,
+                    pool_thread_time_ns: last.pool.thread_time_ns,
+                    load_imbalance: last.pool.load_imbalance(),
+                }
+            })
+            .unwrap_or_default()
     }
 
     /// One ghost exchange over all FILL_GHOST variables, followed by
@@ -393,6 +504,11 @@ impl<P: Package> Driver<P> {
             restrict_on_send: self.params.restrict_on_send,
         };
         let exec = self.exec();
+        let _g = self
+            .rec
+            .wall()
+            .clone()
+            .region(RegionKey::Named("GhostExchange"));
         exchange_ghosts(
             &self.mesh,
             &mut self.slots,
@@ -412,6 +528,11 @@ impl<P: Package> Driver<P> {
         if periodic.iter().take(dim).all(|&p| p) {
             return;
         }
+        let _g = self
+            .rec
+            .wall()
+            .clone()
+            .region_hot(RegionKey::Named("PhysicalBCs"));
         let shape = self.mesh.index_shape();
         let kind = self.params.boundary_condition;
         let base_blocks = self.mesh.params().base_blocks();
@@ -450,6 +571,11 @@ impl<P: Package> Driver<P> {
     /// map so downstream regrid decisions never depend on hash iteration
     /// order.
     fn collect_tags(&mut self) -> BTreeMap<vibe_mesh::LogicalLocation, AmrFlag> {
+        let _g = self
+            .rec
+            .wall()
+            .clone()
+            .region(RegionKey::Step(StepFunction::RefinementTag));
         let mut flags = BTreeMap::new();
         let mesh = &self.mesh;
         let rec = &mut self.rec;
@@ -592,6 +718,11 @@ impl<P: Package> Driver<P> {
 
     /// Estimates the next timestep: per-rank kernel + AllReduce.
     fn estimate_dt(&mut self) {
+        let _g = self
+            .rec
+            .wall()
+            .clone()
+            .region(RegionKey::Step(StepFunction::EstimateTimeStep));
         let cfl = self.params.cfl;
         let exec = self.exec();
         let mut min_dt = f64::INFINITY;
@@ -831,6 +962,71 @@ mod tests {
         let bytes = d.recorder().mem_current(MemSpace::Kokkos);
         assert!(bytes > 0);
         assert_eq!(bytes as usize, d.total_field_bytes());
+    }
+
+    #[test]
+    fn profiling_records_stage_regions_and_cycle_timing() {
+        let params = DriverParams {
+            nranks: 2,
+            cfl: 0.3,
+            host_threads: 2,
+            prof_level: ProfLevel::Full,
+            ..DriverParams::default()
+        };
+        let pkg = Advect {
+            refine_above: 0.2,
+            deref_below: 0.02,
+        };
+        let mut d = Driver::new(mesh(), pkg, params);
+        d.initialize(gaussian_ic);
+        let summaries = d.run_cycles(2);
+        let t = summaries[0].timing;
+        assert!(t.wall_ns > 0, "cycle wall time measured");
+        assert!(t.flux_ns > 0 && t.flux_ns < t.wall_ns);
+        assert!(t.comm_ns > 0 && t.comm_ns < t.wall_ns);
+        assert!(t.update_ns > 0 && t.dt_ns > 0);
+        assert!(t.pool_busy_ns > 0 && t.pool_thread_time_ns >= t.pool_busy_ns);
+        assert!(t.load_imbalance >= 1.0);
+        d.recorder()
+            .wall()
+            .with_totals(|tree| {
+                let paths: Vec<String> = tree.flatten().iter().map(|f| f.path.clone()).collect();
+                for want in [
+                    "Initialize",
+                    "Cycle",
+                    "Cycle/GhostExchange",
+                    "Cycle/GhostExchange/SendBoundBufs",
+                    "Cycle/GhostExchange/SetBounds",
+                    "Cycle/CalculateFluxes",
+                    "Cycle/FluxCorrection",
+                    "Cycle/RK2Update/FluxDivergence",
+                    "Cycle/Refinement::Tag",
+                    "Cycle/EstimateTimeStep",
+                ] {
+                    assert!(
+                        paths.iter().any(|p| p == want),
+                        "missing region {want}, have {paths:?}"
+                    );
+                }
+            })
+            .unwrap();
+        // Trace events were buffered for export.
+        let (events, dropped) = d.recorder().wall().trace_events();
+        assert!(!events.is_empty());
+        assert_eq!(dropped, 0);
+        // Per-cycle archives line up with the summaries.
+        d.recorder()
+            .wall()
+            .with_cycles(|c| assert_eq!(c.len(), 2))
+            .unwrap();
+    }
+
+    #[test]
+    fn profiling_off_leaves_timing_zeroed() {
+        let mut d = driver(1);
+        let s = d.step();
+        assert_eq!(s.timing, CycleTiming::default());
+        assert!(!d.recorder().wall().enabled());
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use vibe_exec::{catalog, ExecCtx, Launcher};
 use vibe_field::Metadata;
 use vibe_mesh::index::IndexDomain;
-use vibe_prof::Recorder;
+use vibe_prof::{Recorder, RegionKey, StepFunction};
 
 use crate::block::BlockSlot;
 
@@ -29,6 +29,13 @@ pub fn flux_divergence_update(
     dt: f64,
     rec: &mut Recorder,
 ) {
+    // The weighted sum and flux divergence run fused per block, so one
+    // region covers both kernels (their split shows up in the modeled
+    // breakdown, not the measured one).
+    let _g = rec
+        .wall()
+        .clone()
+        .region(RegionKey::Step(StepFunction::FluxDivergence));
     let Some(first) = pack.first_mut() else {
         return;
     };

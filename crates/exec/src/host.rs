@@ -43,8 +43,12 @@ where
     }
     let threads = nthreads.clamp(1, n);
     if threads == 1 {
+        let start = pool::stats_sampling().then(std::time::Instant::now);
         for (i, item) in items.iter_mut().enumerate() {
             f(i, item);
+        }
+        if let Some(start) = start {
+            pool::stats_record_inline(n, start);
         }
         return;
     }
@@ -70,7 +74,12 @@ where
     }
     let threads = nthreads.clamp(1, n);
     if threads == 1 {
-        return items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
+        let start = pool::stats_sampling().then(std::time::Instant::now);
+        let out = items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
+        if let Some(start) = start {
+            pool::stats_record_inline(n, start);
+        }
+        return out;
     }
     let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
     let ibase = SharedMut(items.as_mut_ptr());

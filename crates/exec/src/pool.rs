@@ -17,9 +17,13 @@
 //! caller's responsibility (see the fixed-order reductions in `vibe-core`).
 
 use std::any::Any;
+use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
+
+use vibe_prof::{PoolRunSample, PoolWorkerSample};
 
 /// Type-erased pointer to the region body. The pointee lives on the
 /// dispatcher's stack; safety rests on the dispatcher not returning until
@@ -47,6 +51,71 @@ struct Counters {
     /// dispatcher.
     panic: Mutex<Option<Box<dyn Any + Send>>>,
     panicked: AtomicBool,
+    /// Per-participant busy samples, present only when the dispatching
+    /// thread has utilization sampling enabled (see [`stats_begin`]).
+    stats: Option<Mutex<Vec<PoolWorkerSample>>>,
+}
+
+// --- Pool utilization sampling -------------------------------------------
+//
+// Sampling is scoped to the *dispatching* thread: a driver that wants
+// utilization metrics calls `stats_begin()` before its parallel stages and
+// `stats_end()` afterwards. Workers write their busy samples into the
+// region's own `Counters`, so concurrent dispatchers (parallel tests
+// sharing the global pool) never see each other's samples. When sampling is
+// off the only cost is one thread-local read per region — never per item.
+
+thread_local! {
+    static TLS_POOL_STATS: RefCell<Option<Vec<PoolRunSample>>> = const { RefCell::new(None) };
+}
+
+/// Starts (or restarts, discarding pending samples) utilization sampling
+/// for regions dispatched from this thread.
+pub fn stats_begin() {
+    TLS_POOL_STATS.with(|s| *s.borrow_mut() = Some(Vec::new()));
+}
+
+/// Stops sampling on this thread and returns the collected samples.
+pub fn stats_end() -> Vec<PoolRunSample> {
+    TLS_POOL_STATS.with(|s| s.borrow_mut().take().unwrap_or_default())
+}
+
+fn stats_enabled() -> bool {
+    TLS_POOL_STATS.with(|s| s.borrow().is_some())
+}
+
+fn stats_push(sample: PoolRunSample) {
+    TLS_POOL_STATS.with(|s| {
+        if let Some(v) = s.borrow_mut().as_mut() {
+            v.push(sample);
+        }
+    });
+}
+
+/// Records an inline (no-pool) region executed on the calling thread, so
+/// serial stages appear in utilization metrics alongside pooled ones.
+pub(crate) fn stats_record_inline(n_items: usize, start: Instant) {
+    if !stats_enabled() {
+        return;
+    }
+    let busy_ns = start.elapsed().as_nanos() as u64;
+    stats_push(PoolRunSample {
+        n_items: n_items as u64,
+        threads: 1,
+        start,
+        wall_ns: busy_ns,
+        workers: vec![PoolWorkerSample {
+            start,
+            busy_ns,
+            items: n_items as u64,
+        }],
+    });
+}
+
+/// True when the dispatching thread is sampling; callers that want to
+/// instrument an inline loop cheaply can branch on this first.
+pub(crate) fn stats_sampling() -> bool {
+    stats_enabled()
 }
 
 #[derive(Clone)]
@@ -139,18 +208,24 @@ impl WorkerPool {
         }
         let threads = threads.clamp(1, n_items);
         if threads == 1 {
+            let start = stats_enabled().then(Instant::now);
             for i in 0..n_items {
                 f(i);
+            }
+            if let Some(start) = start {
+                stats_record_inline(n_items, start);
             }
             return;
         }
         self.ensure_workers(threads - 1);
 
+        let run_start = stats_enabled().then(Instant::now);
         let counters = Arc::new(Counters {
             next: AtomicUsize::new(0),
             pending: AtomicUsize::new(n_items),
             panic: Mutex::new(None),
             panicked: AtomicBool::new(false),
+            stats: run_start.map(|_| Mutex::new(Vec::new())),
         });
         // SAFETY: erasing the lifetime of `f` is sound because this
         // function does not return until `pending == 0`, i.e. until no
@@ -179,6 +254,19 @@ impl WorkerPool {
         }
         drop(st);
 
+        if let (Some(start), Some(stats)) = (run_start, &counters.stats) {
+            // Every executed item was accounted before its `pending`
+            // decrement, so the drain below observes a complete sample set.
+            let workers = std::mem::take(&mut *stats.lock().unwrap());
+            stats_push(PoolRunSample {
+                n_items: n_items as u64,
+                threads: threads as u64,
+                start,
+                wall_ns: start.elapsed().as_nanos() as u64,
+                workers,
+            });
+        }
+
         if counters.panicked.load(Ordering::Acquire) {
             let payload = counters.panic.lock().unwrap().take();
             match payload {
@@ -200,6 +288,8 @@ impl Drop for WorkerPool {
 /// Claims and executes items of `job` until none remain.
 fn execute(shared: &Shared, job: &Job) {
     let body = unsafe { &*job.work.0 };
+    let start = Instant::now();
+    let mut slot: Option<usize> = None;
     loop {
         let i = job.counters.next.fetch_add(1, Ordering::Relaxed);
         if i >= job.n {
@@ -210,6 +300,22 @@ fn execute(shared: &Shared, job: &Job) {
             job.counters.panicked.store(true, Ordering::Release);
             let mut slot = job.counters.panic.lock().unwrap();
             slot.get_or_insert(payload);
+        }
+        // Account the item *before* releasing `pending`, so the dispatcher
+        // never observes `pending == 0` while an executed item is still
+        // missing from the sample set.
+        if let Some(stats) = &job.counters.stats {
+            let mut v = stats.lock().unwrap();
+            let idx = *slot.get_or_insert_with(|| {
+                v.push(PoolWorkerSample {
+                    start,
+                    busy_ns: 0,
+                    items: 0,
+                });
+                v.len() - 1
+            });
+            v[idx].busy_ns = start.elapsed().as_nanos() as u64;
+            v[idx].items += 1;
         }
         if job.counters.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
             // Last item: wake the dispatcher. The empty lock orders the
@@ -336,5 +442,55 @@ mod tests {
             sum.fetch_add(i, Ordering::SeqCst);
         });
         assert_eq!(sum.load(Ordering::SeqCst), 99 * 100 / 2);
+    }
+
+    #[test]
+    fn sampling_accounts_every_item() {
+        let pool = WorkerPool::new();
+        stats_begin();
+        pool.run(500, 6, &|_| std::hint::black_box(()));
+        pool.run(32, 1, &|_| std::hint::black_box(()));
+        let samples = stats_end();
+        assert_eq!(samples.len(), 2);
+        let parallel = &samples[0];
+        assert_eq!(parallel.n_items, 500);
+        assert_eq!(parallel.threads, 6);
+        assert_eq!(parallel.workers.iter().map(|w| w.items).sum::<u64>(), 500);
+        assert!(!parallel.workers.is_empty() && parallel.workers.len() <= 6);
+        assert!(parallel
+            .workers
+            .iter()
+            .all(|w| w.busy_ns <= parallel.wall_ns));
+        let serial = &samples[1];
+        assert_eq!((serial.n_items, serial.threads), (32, 1));
+        assert_eq!(serial.workers.len(), 1);
+        assert_eq!(serial.workers[0].items, 32);
+    }
+
+    #[test]
+    fn sampling_off_records_nothing_and_ends_idempotently() {
+        let pool = WorkerPool::new();
+        pool.run(64, 4, &|_| std::hint::black_box(()));
+        // Never began on this thread: drain yields nothing.
+        assert!(stats_end().is_empty());
+        // After a begin/end pair, regions are no longer collected.
+        stats_begin();
+        let _ = stats_end();
+        pool.run(64, 4, &|_| std::hint::black_box(()));
+        assert!(stats_end().is_empty());
+    }
+
+    #[test]
+    fn sampling_is_scoped_to_the_dispatching_thread() {
+        stats_begin();
+        let from_other = std::thread::spawn(|| {
+            let pool = WorkerPool::new();
+            pool.run(16, 2, &|_| std::hint::black_box(()));
+            stats_end().len()
+        })
+        .join()
+        .unwrap();
+        assert_eq!(from_other, 0);
+        assert!(stats_end().is_empty());
     }
 }

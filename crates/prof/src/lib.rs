@@ -5,21 +5,40 @@
 //! recorded against the Parthenon timestep-loop function it belongs to.
 //!
 //! The recorder collects *workload quantities* (cells, FLOPs, bytes, loop
-//! trip counts, message sizes), not wall-clock times: the
-//! `vibe-hwmodel` crate converts these counters into modeled execution times
-//! for a concrete CPU/GPU platform, mirroring how the paper derives its
-//! timing breakdowns (Figs. 7, 9, 11, 12), microarchitectural table
-//! (Table III), communication growth ratios (§IV), and memory footprints
-//! (Fig. 10) from profiler output.
+//! trip counts, message sizes): the `vibe-hwmodel` crate converts these
+//! counters into modeled execution times for a concrete CPU/GPU platform,
+//! mirroring how the paper derives its timing breakdowns (Figs. 7, 9, 11,
+//! 12), microarchitectural table (Table III), communication growth ratios
+//! (§IV), and memory footprints (Fig. 10) from profiler output.
+//!
+//! Alongside the modeled-time path, the [`wallclock`] / [`regions`] /
+//! [`pool_stats`] / [`trace_export`] modules form the *measured-time*
+//! observability layer (the characterization methodology itself):
+//! hierarchical RAII region timers over the same [`StepFunction`] taxonomy,
+//! worker-pool utilization metrics, and Chrome/Perfetto + JSONL + text
+//! exporters. The [`WallClock`] handle rides inside the [`Recorder`], so
+//! framework code opens nested regions through the recorder it already
+//! holds.
 
 pub mod functions;
+pub mod pool_stats;
 pub mod recorder;
+pub mod regions;
 pub mod report;
 pub mod timeline;
+pub mod trace_export;
+pub mod wallclock;
 
 pub use functions::StepFunction;
+pub use pool_stats::{PoolRunSample, PoolStats, PoolWorkerSample};
 pub use recorder::{
     CollectiveOp, CommTotals, CycleStats, KernelTotals, MemSpace, Recorder, SerialWork,
 };
+pub use regions::{FlatRegion, RegionKey, RegionStats, RegionTree};
 pub use report::{format_function_table, format_kernel_table};
 pub use timeline::{cycle_table, evolution_line, sparkline};
+pub use trace_export::{
+    measured_by_function, metrics_jsonl, perfetto_trace_json, summary_table, validate_json,
+    validate_jsonl,
+};
+pub use wallclock::{ProfLevel, RegionGuard, TraceEvent, WallClock, WallCycleStats};

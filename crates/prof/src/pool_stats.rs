@@ -1,0 +1,220 @@
+//! Worker-pool utilization accounting.
+//!
+//! The `vibe-exec` worker pool reports one [`PoolRunSample`] per parallel
+//! region when sampling is enabled: the region's wall span plus, for every
+//! participating thread (dispatcher included), its busy time and the number
+//! of items it claimed. [`PoolStats`] aggregates samples into the metrics
+//! the paper's dynamic-scheduling analysis needs — utilization and a
+//! load-imbalance factor (max worker busy time over mean worker busy time).
+
+use std::time::Instant;
+
+/// One participating thread's share of a parallel region.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolWorkerSample {
+    /// When the thread started claiming items.
+    pub start: Instant,
+    /// Time spent in the claim/execute loop (ns).
+    pub busy_ns: u64,
+    /// Items executed.
+    pub items: u64,
+}
+
+/// One `WorkerPool::run` region (or inline serial region).
+#[derive(Debug, Clone)]
+pub struct PoolRunSample {
+    /// Items in the region.
+    pub n_items: u64,
+    /// Threads requested (after clamping to the item count).
+    pub threads: u64,
+    /// Region start on the dispatching thread.
+    pub start: Instant,
+    /// Dispatcher wall time from entry to completion (ns).
+    pub wall_ns: u64,
+    /// Per-participant busy samples (unordered; participation is dynamic).
+    pub workers: Vec<PoolWorkerSample>,
+}
+
+/// Aggregated pool utilization over many regions.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PoolStats {
+    /// Parallel regions executed.
+    pub regions: u64,
+    /// Items executed across all regions.
+    pub items: u64,
+    /// Summed busy time of every participant (ns).
+    pub busy_ns: u64,
+    /// Summed region wall time (ns).
+    pub wall_ns: u64,
+    /// Summed `wall × participants` (ns) — the available thread-time.
+    pub thread_time_ns: u64,
+    /// Summed per-region maximum worker busy time (ns).
+    pub sum_max_busy_ns: u64,
+    /// Summed per-region mean worker busy time (ns).
+    pub sum_mean_busy_ns: f64,
+    /// Busy time and items per load-rank slot: within each region workers
+    /// are sorted by busy time descending, so slot 0 accumulates the
+    /// most-loaded participant of every region.
+    pub per_worker: Vec<(u64, u64)>,
+}
+
+impl PoolStats {
+    /// Creates empty stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when no region was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.regions == 0
+    }
+
+    /// Folds one region sample in.
+    pub fn record(&mut self, sample: &PoolRunSample) {
+        self.regions += 1;
+        self.items += sample.n_items;
+        self.wall_ns += sample.wall_ns;
+        let participants = sample.workers.len().max(1) as u64;
+        self.thread_time_ns += sample.wall_ns * participants;
+        let mut busy: Vec<(u64, u64)> = sample
+            .workers
+            .iter()
+            .map(|w| (w.busy_ns, w.items))
+            .collect();
+        busy.sort_by(|a, b| b.cmp(a));
+        let region_busy: u64 = busy.iter().map(|(b, _)| *b).sum();
+        self.busy_ns += region_busy;
+        self.sum_max_busy_ns += busy.first().map(|(b, _)| *b).unwrap_or(0);
+        self.sum_mean_busy_ns += region_busy as f64 / participants as f64;
+        if self.per_worker.len() < busy.len() {
+            self.per_worker.resize(busy.len(), (0, 0));
+        }
+        for (slot, (b, n)) in busy.iter().enumerate() {
+            self.per_worker[slot].0 += b;
+            self.per_worker[slot].1 += n;
+        }
+    }
+
+    /// Merges another aggregate in.
+    pub fn absorb(&mut self, other: &PoolStats) {
+        self.regions += other.regions;
+        self.items += other.items;
+        self.busy_ns += other.busy_ns;
+        self.wall_ns += other.wall_ns;
+        self.thread_time_ns += other.thread_time_ns;
+        self.sum_max_busy_ns += other.sum_max_busy_ns;
+        self.sum_mean_busy_ns += other.sum_mean_busy_ns;
+        if self.per_worker.len() < other.per_worker.len() {
+            self.per_worker.resize(other.per_worker.len(), (0, 0));
+        }
+        for (slot, (b, n)) in other.per_worker.iter().enumerate() {
+            self.per_worker[slot].0 += b;
+            self.per_worker[slot].1 += n;
+        }
+    }
+
+    /// Load-imbalance factor: max worker busy time over mean worker busy
+    /// time, wall-time-weighted across regions. 1.0 is perfect balance;
+    /// 1.0 when nothing was recorded.
+    pub fn load_imbalance(&self) -> f64 {
+        if self.sum_mean_busy_ns <= 0.0 {
+            1.0
+        } else {
+            self.sum_max_busy_ns as f64 / self.sum_mean_busy_ns
+        }
+    }
+
+    /// Fraction of available thread-time spent busy (0 when nothing
+    /// recorded).
+    pub fn utilization(&self) -> f64 {
+        if self.thread_time_ns == 0 {
+            0.0
+        } else {
+            (self.busy_ns as f64 / self.thread_time_ns as f64).min(1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(busy: &[u64], items: &[u64], wall: u64) -> PoolRunSample {
+        let start = Instant::now();
+        PoolRunSample {
+            n_items: items.iter().sum(),
+            threads: busy.len() as u64,
+            start,
+            wall_ns: wall,
+            workers: busy
+                .iter()
+                .zip(items)
+                .map(|(&busy_ns, &items)| PoolWorkerSample {
+                    start,
+                    busy_ns,
+                    items,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn perfectly_balanced_region_has_unit_imbalance() {
+        let mut s = PoolStats::new();
+        s.record(&sample(&[100, 100, 100, 100], &[4, 4, 4, 4], 110));
+        assert_eq!(s.regions, 1);
+        assert_eq!(s.items, 16);
+        assert!((s.load_imbalance() - 1.0).abs() < 1e-12);
+        assert!((s.utilization() - 400.0 / 440.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewed_region_reports_imbalance() {
+        let mut s = PoolStats::new();
+        // One worker does triple the mean: max 300, mean (300+100+100+100)/4=150.
+        s.record(&sample(&[100, 300, 100, 100], &[1, 9, 1, 1], 310));
+        assert!((s.load_imbalance() - 2.0).abs() < 1e-12);
+        // Most-loaded slot is sorted first.
+        assert_eq!(s.per_worker[0], (300, 9));
+        assert_eq!(s.per_worker[3], (100, 1));
+    }
+
+    #[test]
+    fn aggregation_across_thread_counts() {
+        let mut s = PoolStats::new();
+        s.record(&sample(&[200], &[8], 200)); // serial region
+        s.record(&sample(&[100, 100, 100, 100], &[2, 2, 2, 2], 105));
+        assert_eq!(s.regions, 2);
+        assert_eq!(s.items, 16);
+        assert_eq!(s.busy_ns, 600);
+        assert_eq!(s.thread_time_ns, 200 + 4 * 105);
+        // Imbalance: (200 + 100) / (200 + 100) = 1.0.
+        assert!((s.load_imbalance() - 1.0).abs() < 1e-12);
+        // per_worker grows to widest region.
+        assert_eq!(s.per_worker.len(), 4);
+        assert_eq!(s.per_worker[0], (300, 10));
+    }
+
+    #[test]
+    fn absorb_matches_recording_directly() {
+        let a_s = sample(&[50, 150], &[1, 3], 160);
+        let b_s = sample(&[80, 80, 80], &[2, 2, 2], 90);
+        let mut direct = PoolStats::new();
+        direct.record(&a_s);
+        direct.record(&b_s);
+        let mut split_a = PoolStats::new();
+        split_a.record(&a_s);
+        let mut split_b = PoolStats::new();
+        split_b.record(&b_s);
+        split_a.absorb(&split_b);
+        assert_eq!(direct, split_a);
+    }
+
+    #[test]
+    fn empty_stats_are_benign() {
+        let s = PoolStats::new();
+        assert!(s.is_empty());
+        assert_eq!(s.load_imbalance(), 1.0);
+        assert_eq!(s.utilization(), 0.0);
+    }
+}

@@ -4,6 +4,7 @@
 use std::collections::BTreeMap;
 
 use crate::functions::StepFunction;
+use crate::wallclock::{ProfLevel, WallClock};
 
 /// Accumulated work of one named kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -205,12 +206,30 @@ pub struct Recorder {
     totals: CycleStats,
     mem_current: BTreeMap<MemSpace, i64>,
     mem_peak: BTreeMap<MemSpace, i64>,
+    /// Measured-time profiler handle (disabled by default; shared by
+    /// clones).
+    wall: WallClock,
 }
 
 impl Recorder {
-    /// Creates an empty recorder.
+    /// Creates an empty recorder with wall-clock profiling off.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty recorder with measured-time profiling at `level`.
+    pub fn with_prof_level(level: ProfLevel) -> Self {
+        Self {
+            wall: WallClock::new(level),
+            ..Self::default()
+        }
+    }
+
+    /// The measured-time profiler handle. Open regions with
+    /// `rec.wall().region(..)`; the guard owns a shared handle, so the
+    /// recorder stays freely usable inside the region.
+    pub fn wall(&self) -> &WallClock {
+        &self.wall
     }
 
     /// Opens a new cycle; events recorded until [`Recorder::end_cycle`] are
@@ -222,6 +241,9 @@ impl Recorder {
             ..CycleStats::default()
         };
         self.in_cycle = true;
+        // Wall time measured outside any cycle (initialization) counts
+        // toward totals but is not attributed to this cycle.
+        self.wall.discard_partial_cycle();
     }
 
     /// Closes the current cycle with its end-of-cycle mesh census.
@@ -233,6 +255,7 @@ impl Recorder {
         self.current.cell_updates = cell_updates;
         self.absorb_into_totals();
         let finished = std::mem::take(&mut self.current);
+        self.wall.end_cycle(finished.cycle);
         self.cycles.push(finished);
         self.in_cycle = false;
     }
@@ -425,6 +448,34 @@ mod tests {
         assert_eq!(r.mem_current(MemSpace::Kokkos), 700);
         assert_eq!(r.mem_peak(MemSpace::Kokkos), 1500);
         assert_eq!(r.mem_current(MemSpace::MpiDriver), 0);
+    }
+
+    #[test]
+    fn wall_clock_rides_the_recorder_cycle_lifecycle() {
+        let mut r = Recorder::with_prof_level(ProfLevel::Coarse);
+        {
+            let _init = r.wall().region(crate::RegionKey::Named("Init"));
+        }
+        r.begin_cycle(0);
+        {
+            let _g = r.wall().region(crate::RegionKey::Named("Cycle"));
+        }
+        r.end_cycle(1, 0, 0, 0);
+        r.wall()
+            .with_cycles(|c| {
+                assert_eq!(c.len(), 1);
+                assert_eq!(c[0].cycle, 0);
+                let flat = c[0].tree.flatten();
+                assert_eq!(flat.len(), 1);
+                assert_eq!(flat[0].path, "Cycle");
+            })
+            .unwrap();
+        // Init work went to totals only, alongside the cycle's regions.
+        r.wall()
+            .with_totals(|t| assert_eq!(t.flatten().len(), 2))
+            .unwrap();
+        // The default recorder keeps measured time off entirely.
+        assert!(!Recorder::new().wall().enabled());
     }
 
     #[test]

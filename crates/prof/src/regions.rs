@@ -1,0 +1,398 @@
+//! Hierarchical wall-clock region accounting.
+//!
+//! A [`RegionTree`] is an arena of nested timing scopes, keyed by
+//! [`RegionKey`] — either a [`StepFunction`] (so measured time can be
+//! compared one-to-one with the hwmodel's modeled per-function time) or a
+//! free-form static name for structural scopes the paper's taxonomy does
+//! not cover (the whole cycle, the ghost-exchange umbrella, …).
+//!
+//! Stats distinguish *inclusive* time (the scope and everything nested in
+//! it) from *exclusive* time (inclusive minus the time of direct
+//! children), mirroring AMReX's TinyProfiler and Kokkos-Tools nested
+//! regions. The invariants
+//!
+//! ```text
+//! sum(children inclusive) <= parent inclusive
+//! exclusive == inclusive - sum(children inclusive)
+//! ```
+//!
+//! hold for every node once all scopes are closed.
+
+use std::collections::BTreeMap;
+
+use crate::functions::StepFunction;
+
+/// Identity of one timing scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RegionKey {
+    /// A scope that maps onto the paper's timestep-loop taxonomy.
+    Step(StepFunction),
+    /// A structural scope outside the taxonomy.
+    Named(&'static str),
+}
+
+impl RegionKey {
+    /// Display name (taxonomy names match the paper's figure labels).
+    pub fn name(&self) -> &'static str {
+        match self {
+            RegionKey::Step(f) => f.name(),
+            RegionKey::Named(n) => n,
+        }
+    }
+}
+
+impl From<StepFunction> for RegionKey {
+    fn from(f: StepFunction) -> Self {
+        RegionKey::Step(f)
+    }
+}
+
+/// Accumulated samples of one region node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RegionStats {
+    /// Times the scope was entered.
+    pub count: u64,
+    /// Inclusive wall time (ns) across all entries.
+    pub total_ns: u64,
+    /// Wall time (ns) spent in direct children.
+    pub child_ns: u64,
+    /// Shortest single entry (ns); 0 when never timed.
+    pub min_ns: u64,
+    /// Longest single entry (ns).
+    pub max_ns: u64,
+}
+
+impl RegionStats {
+    /// Inclusive minus direct-children time.
+    pub fn exclusive_ns(&self) -> u64 {
+        self.total_ns.saturating_sub(self.child_ns)
+    }
+
+    /// Mean inclusive time per entry (0 when never entered).
+    pub fn mean_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.total_ns / self.count
+        }
+    }
+
+    fn add_sample(&mut self, ns: u64) {
+        self.count += 1;
+        self.total_ns += ns;
+        self.min_ns = if self.count == 1 {
+            ns
+        } else {
+            self.min_ns.min(ns)
+        };
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    fn absorb(&mut self, other: &RegionStats) {
+        if other.count == 0 && other.total_ns == 0 {
+            return;
+        }
+        self.min_ns = if self.count == 0 {
+            other.min_ns
+        } else if other.count == 0 {
+            self.min_ns
+        } else {
+            self.min_ns.min(other.min_ns)
+        };
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.child_ns += other.child_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    key: RegionKey,
+    parent: Option<usize>,
+    children: BTreeMap<RegionKey, usize>,
+    stats: RegionStats,
+}
+
+/// One region flattened out of the tree for reporting.
+#[derive(Debug, Clone)]
+pub struct FlatRegion {
+    /// `/`-joined path from the root, e.g. `Cycle/GhostExchange/SetBounds`.
+    pub path: String,
+    /// Nesting depth (roots are 0).
+    pub depth: usize,
+    /// The node's own key.
+    pub key: RegionKey,
+    /// Accumulated samples.
+    pub stats: RegionStats,
+}
+
+/// Arena of nested region scopes with per-node [`RegionStats`].
+#[derive(Debug, Clone, Default)]
+pub struct RegionTree {
+    nodes: Vec<Node>,
+    roots: BTreeMap<RegionKey, usize>,
+}
+
+impl RegionTree {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when no region was ever entered.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Returns the node for `key` under `parent` (a node index, or `None`
+    /// for a root), creating it if needed.
+    pub fn child_of(&mut self, parent: Option<usize>, key: RegionKey) -> usize {
+        let map = match parent {
+            Some(p) => &mut self.nodes[p].children,
+            None => &mut self.roots,
+        };
+        if let Some(&idx) = map.get(&key) {
+            return idx;
+        }
+        let idx = self.nodes.len();
+        match parent {
+            Some(p) => self.nodes[p].children.insert(key, idx),
+            None => self.roots.insert(key, idx),
+        };
+        self.nodes.push(Node {
+            key,
+            parent,
+            children: BTreeMap::new(),
+            stats: RegionStats::default(),
+        });
+        idx
+    }
+
+    /// Records one closed scope of `ns` at `node`, crediting the time to
+    /// the parent's child total.
+    pub fn record(&mut self, node: usize, ns: u64) {
+        self.nodes[node].stats.add_sample(ns);
+        if let Some(p) = self.nodes[node].parent {
+            self.nodes[p].stats.child_ns += ns;
+        }
+    }
+
+    /// Records an *untimed* entry at `node` (Coarse-level hot regions:
+    /// the call count aggregates, but no `Instant` pair is paid).
+    pub fn count_only(&mut self, node: usize) {
+        self.nodes[node].stats.count += 1;
+    }
+
+    /// Stats of a node index.
+    pub fn stats(&self, node: usize) -> &RegionStats {
+        &self.nodes[node].stats
+    }
+
+    /// Key of a node index.
+    pub fn key_of(&self, node: usize) -> RegionKey {
+        self.nodes[node].key
+    }
+
+    /// Depth-first flattening in deterministic (key-ordered) child order.
+    pub fn flatten(&self) -> Vec<FlatRegion> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        for (&key, &idx) in &self.roots {
+            self.flatten_into(idx, key.name().to_string(), 0, &mut out);
+        }
+        out
+    }
+
+    fn flatten_into(&self, idx: usize, path: String, depth: usize, out: &mut Vec<FlatRegion>) {
+        let node = &self.nodes[idx];
+        out.push(FlatRegion {
+            path: path.clone(),
+            depth,
+            key: node.key,
+            stats: node.stats,
+        });
+        for (&ckey, &cidx) in &node.children {
+            self.flatten_into(cidx, format!("{}/{}", path, ckey.name()), depth + 1, out);
+        }
+    }
+
+    /// Merges `other` into `self`, matching nodes by path.
+    pub fn absorb(&mut self, other: &RegionTree) {
+        for (&key, &idx) in &other.roots {
+            self.absorb_node(other, idx, None, key);
+        }
+    }
+
+    fn absorb_node(
+        &mut self,
+        other: &RegionTree,
+        oidx: usize,
+        parent: Option<usize>,
+        key: RegionKey,
+    ) {
+        let sidx = self.child_of(parent, key);
+        self.nodes[sidx].stats.absorb(&other.nodes[oidx].stats);
+        let children: Vec<(RegionKey, usize)> = other.nodes[oidx]
+            .children
+            .iter()
+            .map(|(&k, &i)| (k, i))
+            .collect();
+        for (ckey, cidx) in children {
+            self.absorb_node(other, cidx, Some(sidx), ckey);
+        }
+    }
+
+    /// Summed inclusive time and entry count per key, over every node with
+    /// that key anywhere in the tree. Correct as long as a key never nests
+    /// within itself (true for the driver's taxonomy).
+    pub fn by_key(&self) -> BTreeMap<RegionKey, RegionStats> {
+        let mut out: BTreeMap<RegionKey, RegionStats> = BTreeMap::new();
+        for node in &self.nodes {
+            out.entry(node.key).or_default().absorb(&node.stats);
+        }
+        out
+    }
+
+    /// Summed inclusive time (ns) and entry count for every
+    /// [`StepFunction`]-keyed region — the measured side of the
+    /// measured-vs-modeled comparison.
+    pub fn by_step_function(&self) -> BTreeMap<StepFunction, (u64, u64)> {
+        let mut out = BTreeMap::new();
+        for (key, stats) in self.by_key() {
+            if let RegionKey::Step(f) = key {
+                let e = out.entry(f).or_insert((0u64, 0u64));
+                e.0 += stats.total_ns;
+                e.1 += stats.count;
+            }
+        }
+        out
+    }
+
+    /// Total inclusive time (ns) of all roots.
+    pub fn total_ns(&self) -> u64 {
+        self.roots
+            .values()
+            .map(|&i| self.nodes[i].stats.total_ns)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_accounting_invariants() {
+        let mut t = RegionTree::new();
+        let root = t.child_of(None, RegionKey::Named("Cycle"));
+        let a = t.child_of(Some(root), RegionKey::Step(StepFunction::CalculateFluxes));
+        let b = t.child_of(Some(root), RegionKey::Step(StepFunction::SetBounds));
+        let a1 = t.child_of(Some(a), RegionKey::Named("inner"));
+        // Close scopes innermost-first, as RAII guards would.
+        t.record(a1, 30);
+        t.record(a, 100);
+        t.record(b, 50);
+        t.record(root, 200);
+
+        // exclusive == inclusive - children.
+        assert_eq!(t.stats(root).total_ns, 200);
+        assert_eq!(t.stats(root).child_ns, 150);
+        assert_eq!(t.stats(root).exclusive_ns(), 50);
+        assert_eq!(t.stats(a).exclusive_ns(), 70);
+        assert_eq!(t.stats(b).exclusive_ns(), 50);
+        // sum(children inclusive) <= parent inclusive.
+        assert!(t.stats(root).child_ns <= t.stats(root).total_ns);
+        assert!(t.stats(a).child_ns <= t.stats(a).total_ns);
+    }
+
+    #[test]
+    fn repeated_entries_track_min_max_mean() {
+        let mut t = RegionTree::new();
+        let n = t.child_of(None, RegionKey::Named("r"));
+        for ns in [40u64, 10, 70] {
+            t.record(n, ns);
+        }
+        let s = t.stats(n);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.total_ns, 120);
+        assert_eq!(s.min_ns, 10);
+        assert_eq!(s.max_ns, 70);
+        assert_eq!(s.mean_ns(), 40);
+    }
+
+    #[test]
+    fn count_only_skips_timing() {
+        let mut t = RegionTree::new();
+        let n = t.child_of(None, RegionKey::Named("hot"));
+        t.count_only(n);
+        t.count_only(n);
+        let s = t.stats(n);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.total_ns, 0);
+        assert_eq!(s.max_ns, 0);
+    }
+
+    #[test]
+    fn same_key_different_parents_are_distinct_nodes() {
+        let mut t = RegionTree::new();
+        let a = t.child_of(None, RegionKey::Named("a"));
+        let b = t.child_of(None, RegionKey::Named("b"));
+        let fa = t.child_of(Some(a), RegionKey::Step(StepFunction::FillDerived));
+        let fb = t.child_of(Some(b), RegionKey::Step(StepFunction::FillDerived));
+        assert_ne!(fa, fb);
+        t.record(fa, 10);
+        t.record(fb, 20);
+        t.record(a, 10);
+        t.record(b, 20);
+        // by_step_function sums across parents.
+        let by = t.by_step_function();
+        assert_eq!(by[&StepFunction::FillDerived], (30, 2));
+    }
+
+    #[test]
+    fn flatten_is_dfs_with_paths() {
+        let mut t = RegionTree::new();
+        let root = t.child_of(None, RegionKey::Named("Cycle"));
+        let ex = t.child_of(Some(root), RegionKey::Named("GhostExchange"));
+        let sb = t.child_of(Some(ex), RegionKey::Step(StepFunction::SetBounds));
+        t.record(sb, 5);
+        t.record(ex, 10);
+        t.record(root, 20);
+        let flat = t.flatten();
+        let paths: Vec<&str> = flat.iter().map(|f| f.path.as_str()).collect();
+        assert_eq!(
+            paths,
+            vec![
+                "Cycle",
+                "Cycle/GhostExchange",
+                "Cycle/GhostExchange/SetBounds"
+            ]
+        );
+        assert_eq!(flat[0].depth, 0);
+        assert_eq!(flat[2].depth, 2);
+    }
+
+    #[test]
+    fn absorb_merges_by_path() {
+        let mk = |x: u64| {
+            let mut t = RegionTree::new();
+            let root = t.child_of(None, RegionKey::Named("Cycle"));
+            let c = t.child_of(Some(root), RegionKey::Step(StepFunction::CalculateFluxes));
+            t.record(c, x);
+            t.record(root, 2 * x);
+            t
+        };
+        let mut total = RegionTree::new();
+        total.absorb(&mk(100));
+        total.absorb(&mk(40));
+        let flat = total.flatten();
+        assert_eq!(flat.len(), 2);
+        let root = &flat[0];
+        assert_eq!(root.stats.count, 2);
+        assert_eq!(root.stats.total_ns, 280);
+        assert_eq!(root.stats.child_ns, 140);
+        assert_eq!(root.stats.min_ns, 80);
+        assert_eq!(root.stats.max_ns, 200);
+        assert_eq!(root.stats.exclusive_ns(), 140);
+    }
+}

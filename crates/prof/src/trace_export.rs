@@ -1,0 +1,504 @@
+//! Exporters for the measured-time profiler: Chrome/Perfetto
+//! `trace_events` JSON, a per-cycle JSONL metrics stream, a
+//! TinyProfiler-style text summary, and a dependency-free JSON syntax
+//! validator so CI can check emitted artifacts offline.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::functions::StepFunction;
+use crate::pool_stats::PoolStats;
+use crate::regions::RegionTree;
+use crate::wallclock::{TraceEvent, WallCycleStats};
+
+/// Sorts events for export: by tid, then start time, then *descending*
+/// duration so an enclosing span precedes the spans it contains.
+pub fn sort_events(events: &mut [TraceEvent]) {
+    events.sort_by(|a, b| {
+        (a.tid, a.ts_ns)
+            .cmp(&(b.tid, b.ts_ns))
+            .then(b.dur_ns.cmp(&a.dur_ns))
+    });
+}
+
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders a Chrome/Perfetto trace (the JSON Object Format with a
+/// `traceEvents` array of complete `ph: "X"` events; timestamps in µs).
+/// Open the result at `ui.perfetto.dev` or `chrome://tracing`.
+pub fn perfetto_trace_json(events: &[TraceEvent], process_name: &str) -> String {
+    let mut sorted = events.to_vec();
+    sort_events(&mut sorted);
+    let mut out = String::with_capacity(128 + sorted.len() * 96);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut name = String::new();
+    escape_json(process_name, &mut name);
+    let _ = write!(
+        out,
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{{\"name\":\"{name}\"}}}}"
+    );
+    for ev in &sorted {
+        out.push_str(",\n");
+        let mut ev_name = String::new();
+        escape_json(ev.name, &mut ev_name);
+        let _ = write!(
+            out,
+            "{{\"name\":\"{ev_name}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{}.{:03},\"dur\":{}.{:03},\"pid\":1,\"tid\":{}}}",
+            ev.cat,
+            ev.ts_ns / 1_000,
+            ev.ts_ns % 1_000,
+            ev.dur_ns / 1_000,
+            ev.dur_ns % 1_000,
+            ev.tid
+        );
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+fn pool_json(pool: &PoolStats, out: &mut String) {
+    let _ = write!(
+        out,
+        "{{\"regions\":{},\"items\":{},\"busy_ns\":{},\"wall_ns\":{},\"thread_time_ns\":{},\"load_imbalance\":{:.4},\"utilization\":{:.4}}}",
+        pool.regions,
+        pool.items,
+        pool.busy_ns,
+        pool.wall_ns,
+        pool.thread_time_ns,
+        pool.load_imbalance(),
+        pool.utilization()
+    );
+}
+
+/// Renders one JSON object per cycle (JSON Lines): the flattened region
+/// tree (call counts, inclusive/exclusive ns) plus pool utilization.
+pub fn metrics_jsonl(cycles: &[WallCycleStats]) -> String {
+    let mut out = String::new();
+    for c in cycles {
+        let _ = write!(out, "{{\"cycle\":{},\"regions\":{{", c.cycle);
+        for (i, f) in c.tree.flatten().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let mut path = String::new();
+            escape_json(&f.path, &mut path);
+            let _ = write!(
+                out,
+                "\"{path}\":{{\"calls\":{},\"incl_ns\":{},\"excl_ns\":{}}}",
+                f.stats.count,
+                f.stats.total_ns,
+                f.stats.exclusive_ns()
+            );
+        }
+        out.push_str("},\"pool\":");
+        pool_json(&c.pool, &mut out);
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Renders a TinyProfiler-style summary: every region (full path), sorted
+/// by exclusive time descending, with call counts and min/mean/max
+/// inclusive times, followed by the pool utilization line.
+pub fn summary_table(totals: &RegionTree, pool: &PoolStats) -> String {
+    let mut flat = totals.flatten();
+    flat.sort_by_key(|f| std::cmp::Reverse(f.stats.exclusive_ns()));
+    let total_excl: u64 = flat.iter().map(|f| f.stats.exclusive_ns()).sum();
+    let denom = (total_excl as f64).max(1.0);
+    let ms = |ns: u64| ns as f64 / 1e6;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<44} {:>7} {:>10} {:>10} {:>6} {:>9} {:>9} {:>9}",
+        "region", "calls", "excl(ms)", "incl(ms)", "excl%", "min(ms)", "mean(ms)", "max(ms)"
+    );
+    out.push_str(&"-".repeat(110));
+    out.push('\n');
+    for f in &flat {
+        let s = &f.stats;
+        let _ = writeln!(
+            out,
+            "{:<44} {:>7} {:>10.3} {:>10.3} {:>5.1}% {:>9.3} {:>9.3} {:>9.3}",
+            f.path,
+            s.count,
+            ms(s.exclusive_ns()),
+            ms(s.total_ns),
+            s.exclusive_ns() as f64 / denom * 100.0,
+            ms(s.min_ns),
+            ms(s.mean_ns()),
+            ms(s.max_ns),
+        );
+    }
+    if !pool.is_empty() {
+        let _ = writeln!(
+            out,
+            "pool: {} regions, {} items, utilization {:.1}%, load-imbalance {:.3} (max/mean busy)",
+            pool.regions,
+            pool.items,
+            pool.utilization() * 100.0,
+            pool.load_imbalance()
+        );
+    }
+    out
+}
+
+/// Measured inclusive wall time (ns) and call count per [`StepFunction`],
+/// for side-by-side comparison against the hwmodel's modeled per-function
+/// times.
+pub fn measured_by_function(totals: &RegionTree) -> BTreeMap<StepFunction, (u64, u64)> {
+    totals.by_step_function()
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON syntax validator (no external dependencies).
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, msg: &str) -> Result<T, String> {
+        Err(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.bump() == Some(b) {
+            Ok(())
+        } else {
+            self.pos = self.pos.saturating_sub(1);
+            self.err(&format!("expected '{}'", b as char))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<(), String> {
+        if depth > 128 {
+            return self.err("nesting too deep");
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => self.err("expected a JSON value"),
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            self.err(&format!("expected '{lit}'"))
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.value(depth + 1)?;
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(()),
+                _ => {
+                    self.pos = self.pos.saturating_sub(1);
+                    return self.err("expected ',' or '}'");
+                }
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.value(depth + 1)?;
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(()),
+                _ => {
+                    self.pos = self.pos.saturating_sub(1);
+                    return self.err("expected ',' or ']'");
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.expect(b'"')?;
+        loop {
+            match self.bump() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => return Ok(()),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {}
+                    Some(b'u') => {
+                        for _ in 0..4 {
+                            match self.bump() {
+                                Some(c) if c.is_ascii_hexdigit() => {}
+                                _ => return self.err("bad \\u escape"),
+                            }
+                        }
+                    }
+                    _ => return self.err("bad escape"),
+                },
+                Some(c) if c < 0x20 => return self.err("raw control char in string"),
+                Some(_) => {}
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut digits = 0;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+            digits += 1;
+        }
+        if digits == 0 {
+            return self.err("expected digits");
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let mut frac = 0;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+                frac += 1;
+            }
+            if frac == 0 {
+                return self.err("expected fraction digits");
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let mut exp = 0;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+                exp += 1;
+            }
+            if exp == 0 {
+                return self.err("expected exponent digits");
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Validates that `s` is one syntactically well-formed JSON document.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing content after JSON value");
+    }
+    Ok(())
+}
+
+/// Validates a JSON Lines document: every non-empty line is valid JSON.
+pub fn validate_jsonl(s: &str) -> Result<usize, String> {
+    let mut n = 0;
+    for (lineno, line) in s.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        validate_json(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        n += 1;
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regions::RegionKey;
+    use crate::wallclock::WallCycleStats;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent {
+                name: "CalculateFluxes",
+                cat: "region",
+                ts_ns: 2_500,
+                dur_ns: 1_000,
+                tid: 0,
+            },
+            TraceEvent {
+                name: "Cycle",
+                cat: "region",
+                ts_ns: 1_000,
+                dur_ns: 9_000,
+                tid: 0,
+            },
+            TraceEvent {
+                name: "pool-worker",
+                cat: "pool",
+                ts_ns: 2_600,
+                dur_ns: 700,
+                tid: 1,
+            },
+        ]
+    }
+
+    #[test]
+    fn perfetto_export_is_valid_json_with_sorted_ts() {
+        let json = perfetto_trace_json(&sample_events(), "vibe-amr");
+        validate_json(&json).expect("trace JSON must parse");
+        assert!(json.contains("\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"name\":\"CalculateFluxes\""));
+        // µs rendering of 2500 ns.
+        assert!(json.contains("\"ts\":2.500"), "{json}");
+
+        let mut sorted = sample_events();
+        sort_events(&mut sorted);
+        // Monotonically non-decreasing ts per tid.
+        for w in sorted.windows(2) {
+            if w[0].tid == w[1].tid {
+                assert!(w[0].ts_ns <= w[1].ts_ns);
+            }
+        }
+        assert!(sorted.windows(2).all(|w| w[0].tid <= w[1].tid));
+        // The enclosing Cycle span precedes the nested fluxes span.
+        assert_eq!(sorted[0].name, "Cycle");
+    }
+
+    fn sample_cycles() -> Vec<WallCycleStats> {
+        let mut tree = RegionTree::new();
+        let root = tree.child_of(None, RegionKey::Named("Cycle"));
+        let c = tree.child_of(
+            Some(root),
+            RegionKey::Step(crate::StepFunction::CalculateFluxes),
+        );
+        tree.record(c, 700);
+        tree.record(root, 1000);
+        let mut pool = PoolStats::new();
+        pool.record(&crate::pool_stats::PoolRunSample {
+            n_items: 4,
+            threads: 2,
+            start: std::time::Instant::now(),
+            wall_ns: 500,
+            workers: vec![
+                crate::pool_stats::PoolWorkerSample {
+                    start: std::time::Instant::now(),
+                    busy_ns: 400,
+                    items: 3,
+                },
+                crate::pool_stats::PoolWorkerSample {
+                    start: std::time::Instant::now(),
+                    busy_ns: 300,
+                    items: 1,
+                },
+            ],
+        });
+        vec![WallCycleStats {
+            cycle: 7,
+            tree,
+            pool,
+        }]
+    }
+
+    #[test]
+    fn jsonl_lines_parse_and_carry_metrics() {
+        let jsonl = metrics_jsonl(&sample_cycles());
+        let n = validate_jsonl(&jsonl).expect("all lines parse");
+        assert_eq!(n, 1);
+        assert!(jsonl.contains("\"cycle\":7"));
+        assert!(jsonl.contains("\"Cycle/CalculateFluxes\""));
+        assert!(jsonl.contains("\"excl_ns\":300"));
+        assert!(jsonl.contains("\"load_imbalance\""));
+    }
+
+    #[test]
+    fn summary_table_sorted_by_exclusive() {
+        let cycles = sample_cycles();
+        let table = summary_table(&cycles[0].tree, &cycles[0].pool);
+        let lines: Vec<&str> = table.lines().collect();
+        // Header, rule, then CalculateFluxes (700 excl) before Cycle (300).
+        assert!(lines[2].contains("Cycle/CalculateFluxes"));
+        assert!(lines[3].starts_with("Cycle"));
+        assert!(table.contains("load-imbalance"));
+    }
+
+    #[test]
+    fn measured_by_function_extracts_taxonomy() {
+        let cycles = sample_cycles();
+        let by = measured_by_function(&cycles[0].tree);
+        assert_eq!(by[&crate::StepFunction::CalculateFluxes], (700, 1));
+        assert_eq!(by.len(), 1);
+    }
+
+    #[test]
+    fn validator_accepts_and_rejects() {
+        validate_json("{\"a\": [1, 2.5, -3e4, true, null, \"x\\n\"]}").unwrap();
+        validate_json("[]").unwrap();
+        validate_json("  {\"nested\": {\"deep\": [{}]}} ").unwrap();
+        assert!(validate_json("{").is_err());
+        assert!(validate_json("{\"a\":}").is_err());
+        assert!(validate_json("[1,]").is_err());
+        assert!(validate_json("{\"a\":1} extra").is_err());
+        assert!(validate_json("\"bad\\escape\"").is_err());
+        assert!(validate_jsonl("{\"a\":1}\n{\"b\":2}\n").unwrap() == 2);
+        assert!(validate_jsonl("{\"a\":1}\nnot json\n").is_err());
+    }
+}

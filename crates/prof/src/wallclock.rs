@@ -1,0 +1,487 @@
+//! The measured-time profiler: RAII region guards, per-cycle archives, and
+//! a Chrome/Perfetto trace-event buffer.
+//!
+//! [`WallClock`] is a cheap cloneable handle (an `Arc` around the shared
+//! state, or nothing at all when profiling is off). It rides inside the
+//! workload [`Recorder`](crate::Recorder), so every piece of framework code
+//! that already receives the recorder can open nested regions without any
+//! signature change:
+//!
+//! ```
+//! use vibe_prof::{ProfLevel, RegionKey, StepFunction, WallClock};
+//!
+//! let wall = WallClock::new(ProfLevel::Full);
+//! {
+//!     let _cycle = wall.region(RegionKey::Named("Cycle"));
+//!     let _fluxes = wall.region(RegionKey::Step(StepFunction::CalculateFluxes));
+//!     // ... work ...
+//! } // guards close innermost-first, crediting child time to the parent
+//! wall.end_cycle(0);
+//! wall.with_totals(|t| assert_eq!(t.flatten()[0].stats.count, 1));
+//! ```
+//!
+//! Overhead discipline:
+//! - `ProfLevel::Off`: the handle holds no allocation; opening a region is
+//!   a branch on `None` and returns an inert guard.
+//! - `ProfLevel::Coarse`: regions opened through [`WallClock::region_hot`]
+//!   (scopes that can be cheaper than ~1µs) only bump a counter — no
+//!   `Instant` pair, no trace event. Normal regions are timed.
+//! - `ProfLevel::Full`: everything is timed and every region close appends
+//!   a trace event (bounded by [`MAX_TRACE_EVENTS`]).
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::pool_stats::{PoolRunSample, PoolStats};
+use crate::regions::{RegionKey, RegionTree};
+
+/// How much measured-time instrumentation to pay for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum ProfLevel {
+    /// No wall-clock instrumentation at all (the default).
+    #[default]
+    Off,
+    /// Region timers on, but hot (sub-µs) regions aggregate call counts
+    /// only and no trace events are buffered.
+    Coarse,
+    /// Region timers, pool utilization, and Perfetto trace events.
+    Full,
+}
+
+impl ProfLevel {
+    /// Parses `off` / `coarse` / `full` (case-insensitive).
+    pub fn parse(s: &str) -> Option<ProfLevel> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" => Some(ProfLevel::Off),
+            "coarse" => Some(ProfLevel::Coarse),
+            "full" => Some(ProfLevel::Full),
+            _ => None,
+        }
+    }
+}
+
+/// One complete Chrome `trace_events` entry (phase `X`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Event name (region or worker label).
+    pub name: &'static str,
+    /// Category (`region` or `pool`).
+    pub cat: &'static str,
+    /// Start, ns since the profiler epoch.
+    pub ts_ns: u64,
+    /// Duration in ns.
+    pub dur_ns: u64,
+    /// Virtual thread: 0 is the driver thread, 1.. are pool load-rank
+    /// slots.
+    pub tid: u32,
+}
+
+/// Trace-event buffer cap; beyond it events are counted but dropped.
+pub const MAX_TRACE_EVENTS: usize = 4_000_000;
+
+/// Wall-clock data of one archived cycle.
+#[derive(Debug, Clone, Default)]
+pub struct WallCycleStats {
+    /// Cycle index.
+    pub cycle: u64,
+    /// Region tree of scopes closed during the cycle.
+    pub tree: RegionTree,
+    /// Pool utilization during the cycle.
+    pub pool: PoolStats,
+}
+
+#[derive(Debug, Default)]
+struct WallState {
+    current: RegionTree,
+    /// Open-scope stack of node indices into `current`.
+    stack: Vec<usize>,
+    pool_current: PoolStats,
+    cycles: Vec<WallCycleStats>,
+    totals: RegionTree,
+    pool_totals: PoolStats,
+    events: Vec<TraceEvent>,
+    events_dropped: u64,
+}
+
+#[derive(Debug)]
+struct WallInner {
+    level: ProfLevel,
+    epoch: Instant,
+    state: Mutex<WallState>,
+}
+
+/// Handle to the measured-time profiler; see the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct WallClock {
+    inner: Option<Arc<WallInner>>,
+}
+
+/// RAII guard for one open region; records on drop.
+#[must_use = "dropping the guard immediately closes the region"]
+pub struct RegionGuard {
+    ctx: Option<(Arc<WallInner>, usize, Option<Instant>)>,
+}
+
+impl WallClock {
+    /// Creates a profiler at `level` (`Off` allocates nothing).
+    pub fn new(level: ProfLevel) -> Self {
+        if level == ProfLevel::Off {
+            return Self { inner: None };
+        }
+        Self {
+            inner: Some(Arc::new(WallInner {
+                level,
+                epoch: Instant::now(),
+                state: Mutex::new(WallState::default()),
+            })),
+        }
+    }
+
+    /// The disabled profiler.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// The active level.
+    pub fn level(&self) -> ProfLevel {
+        self.inner.as_ref().map_or(ProfLevel::Off, |i| i.level)
+    }
+
+    /// True when any instrumentation is active.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a timed region nested under the innermost open region.
+    pub fn region(&self, key: RegionKey) -> RegionGuard {
+        let Some(inner) = &self.inner else {
+            return RegionGuard { ctx: None };
+        };
+        let node = {
+            let mut st = inner.state.lock().unwrap();
+            let parent = st.stack.last().copied();
+            let node = st.current.child_of(parent, key);
+            st.stack.push(node);
+            node
+        };
+        RegionGuard {
+            ctx: Some((Arc::clone(inner), node, Some(Instant::now()))),
+        }
+    }
+
+    /// Opens a region that may be cheaper than ~1µs: at
+    /// [`ProfLevel::Coarse`] only the call count aggregates (no `Instant`
+    /// pair is paid); at [`ProfLevel::Full`] it behaves like
+    /// [`WallClock::region`].
+    pub fn region_hot(&self, key: RegionKey) -> RegionGuard {
+        let Some(inner) = &self.inner else {
+            return RegionGuard { ctx: None };
+        };
+        if inner.level == ProfLevel::Coarse {
+            let mut st = inner.state.lock().unwrap();
+            let parent = st.stack.last().copied();
+            let node = st.current.child_of(parent, key);
+            st.current.count_only(node);
+            return RegionGuard { ctx: None };
+        }
+        self.region(key)
+    }
+
+    /// Folds pool run samples into the current cycle's utilization stats,
+    /// emitting per-worker trace spans at [`ProfLevel::Full`].
+    pub fn record_pool_samples(&self, samples: &[PoolRunSample]) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let mut st = inner.state.lock().unwrap();
+        for sample in samples {
+            st.pool_current.record(sample);
+            if inner.level == ProfLevel::Full {
+                let mut workers: Vec<_> = sample.workers.clone();
+                workers.sort_by(|a, b| b.busy_ns.cmp(&a.busy_ns));
+                for (slot, w) in workers.iter().enumerate() {
+                    let ts_ns = w.start.saturating_duration_since(inner.epoch).as_nanos() as u64;
+                    push_event(
+                        &mut st,
+                        TraceEvent {
+                            name: "pool-worker",
+                            cat: "pool",
+                            ts_ns,
+                            dur_ns: w.busy_ns,
+                            tid: slot as u32 + 1,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Archives everything recorded since the last archive point as cycle
+    /// `cycle`, folding it into the running totals. Open regions must all
+    /// be closed (the driver closes every stage guard before ending a
+    /// cycle).
+    pub fn end_cycle(&self, cycle: u64) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let mut st = inner.state.lock().unwrap();
+        debug_assert!(st.stack.is_empty(), "end_cycle with open regions");
+        let tree = std::mem::take(&mut st.current);
+        let pool = std::mem::take(&mut st.pool_current);
+        st.totals.absorb(&tree);
+        st.pool_totals.absorb(&pool);
+        st.cycles.push(WallCycleStats { cycle, tree, pool });
+    }
+
+    /// Folds everything recorded since the last archive point into the
+    /// totals *without* creating a cycle record (initialization work).
+    pub fn discard_partial_cycle(&self) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let mut st = inner.state.lock().unwrap();
+        let tree = std::mem::take(&mut st.current);
+        let pool = std::mem::take(&mut st.pool_current);
+        st.totals.absorb(&tree);
+        st.pool_totals.absorb(&pool);
+    }
+
+    /// Runs `f` over the archived per-cycle stats.
+    ///
+    /// `f` runs under the profiler's internal lock: calling any other
+    /// `WallClock` method (e.g. [`WallClock::pool_totals`]) from inside it
+    /// deadlocks. Snapshot such values before entering the closure.
+    pub fn with_cycles<R>(&self, f: impl FnOnce(&[WallCycleStats]) -> R) -> Option<R> {
+        let inner = self.inner.as_ref()?;
+        let st = inner.state.lock().unwrap();
+        Some(f(&st.cycles))
+    }
+
+    /// Runs `f` over the accumulated totals tree (cycles + init work).
+    ///
+    /// `f` runs under the profiler's internal lock — see
+    /// [`WallClock::with_cycles`] for the no-nesting rule.
+    pub fn with_totals<R>(&self, f: impl FnOnce(&RegionTree) -> R) -> Option<R> {
+        let inner = self.inner.as_ref()?;
+        let st = inner.state.lock().unwrap();
+        Some(f(&st.totals))
+    }
+
+    /// Accumulated pool utilization (cycles + init work).
+    pub fn pool_totals(&self) -> PoolStats {
+        self.inner.as_ref().map_or_else(PoolStats::new, |i| {
+            i.state.lock().unwrap().pool_totals.clone()
+        })
+    }
+
+    /// Snapshot of the buffered trace events (sorted by `(tid, ts)` at
+    /// export time, not here) and the count of events dropped at the cap.
+    pub fn trace_events(&self) -> (Vec<TraceEvent>, u64) {
+        self.inner.as_ref().map_or((Vec::new(), 0), |i| {
+            let st = i.state.lock().unwrap();
+            (st.events.clone(), st.events_dropped)
+        })
+    }
+}
+
+fn push_event(st: &mut WallState, ev: TraceEvent) {
+    if st.events.len() >= MAX_TRACE_EVENTS {
+        st.events_dropped += 1;
+    } else {
+        st.events.push(ev);
+    }
+}
+
+impl Drop for RegionGuard {
+    fn drop(&mut self) {
+        let Some((inner, node, start)) = self.ctx.take() else {
+            return;
+        };
+        let now = Instant::now();
+        let mut st = inner.state.lock().unwrap();
+        let popped = st.stack.pop();
+        debug_assert_eq!(popped, Some(node), "region guards dropped out of order");
+        if let Some(start) = start {
+            let dur_ns = now.duration_since(start).as_nanos() as u64;
+            st.current.record(node, dur_ns);
+            if inner.level == ProfLevel::Full {
+                let ts_ns = start.saturating_duration_since(inner.epoch).as_nanos() as u64;
+                let name = name_of(&st.current, node);
+                push_event(
+                    &mut st,
+                    TraceEvent {
+                        name,
+                        cat: "region",
+                        ts_ns,
+                        dur_ns,
+                        tid: 0,
+                    },
+                );
+            }
+        }
+    }
+}
+
+fn name_of(tree: &RegionTree, node: usize) -> &'static str {
+    tree.key_of(node).name()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functions::StepFunction;
+    use std::time::Duration;
+
+    #[test]
+    fn off_level_is_inert() {
+        let wall = WallClock::new(ProfLevel::Off);
+        assert!(!wall.enabled());
+        {
+            let _g = wall.region(RegionKey::Named("x"));
+            let _h = wall.region_hot(RegionKey::Named("y"));
+        }
+        wall.end_cycle(0);
+        assert!(wall.with_totals(|_| ()).is_none());
+        assert_eq!(wall.trace_events().0.len(), 0);
+    }
+
+    #[test]
+    fn nested_guards_credit_parent_child_time() {
+        let wall = WallClock::new(ProfLevel::Full);
+        {
+            let _outer = wall.region(RegionKey::Named("Cycle"));
+            std::thread::sleep(Duration::from_millis(2));
+            {
+                let _inner = wall.region(RegionKey::Step(StepFunction::CalculateFluxes));
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        wall.end_cycle(0);
+        wall.with_cycles(|cycles| {
+            assert_eq!(cycles.len(), 1);
+            let flat = cycles[0].tree.flatten();
+            assert_eq!(flat.len(), 2);
+            let (outer, inner) = (&flat[0].stats, &flat[1].stats);
+            assert_eq!(flat[1].path, "Cycle/CalculateFluxes");
+            // Child inclusive <= parent inclusive; exclusive consistent.
+            assert!(inner.total_ns <= outer.total_ns);
+            assert_eq!(outer.child_ns, inner.total_ns);
+            assert_eq!(outer.exclusive_ns(), outer.total_ns - inner.total_ns);
+            // Both slept ~2ms.
+            assert!(inner.total_ns >= 1_000_000);
+            assert!(outer.exclusive_ns() >= 1_000_000);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn coarse_hot_regions_count_without_timing() {
+        let wall = WallClock::new(ProfLevel::Coarse);
+        for _ in 0..5 {
+            let _g = wall.region_hot(RegionKey::Named("hot"));
+        }
+        {
+            let _g = wall.region(RegionKey::Named("normal"));
+        }
+        wall.end_cycle(0);
+        wall.with_totals(|t| {
+            let flat = t.flatten();
+            let hot = flat.iter().find(|f| f.path == "hot").unwrap();
+            assert_eq!(hot.stats.count, 5);
+            assert_eq!(hot.stats.total_ns, 0);
+            let normal = flat.iter().find(|f| f.path == "normal").unwrap();
+            assert_eq!(normal.stats.count, 1);
+        })
+        .unwrap();
+        // Coarse buffers no trace events.
+        assert!(wall.trace_events().0.is_empty());
+    }
+
+    #[test]
+    fn full_level_buffers_region_events() {
+        let wall = WallClock::new(ProfLevel::Full);
+        {
+            let _g = wall.region(RegionKey::Step(StepFunction::SetBounds));
+        }
+        wall.end_cycle(0);
+        let (events, dropped) = wall.trace_events();
+        assert_eq!(dropped, 0);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "SetBounds");
+        assert_eq!(events[0].cat, "region");
+        assert_eq!(events[0].tid, 0);
+    }
+
+    #[test]
+    fn cycles_archive_and_totals_accumulate() {
+        let wall = WallClock::new(ProfLevel::Coarse);
+        for cycle in 0..3u64 {
+            let _g = wall.region(RegionKey::Named("Cycle"));
+            drop(_g);
+            wall.end_cycle(cycle);
+        }
+        wall.with_cycles(|c| {
+            assert_eq!(c.len(), 3);
+            assert_eq!(c[2].cycle, 2);
+            assert_eq!(c[1].tree.flatten()[0].stats.count, 1);
+        })
+        .unwrap();
+        wall.with_totals(|t| assert_eq!(t.flatten()[0].stats.count, 3))
+            .unwrap();
+    }
+
+    #[test]
+    fn pool_samples_fold_into_cycle_and_trace() {
+        let wall = WallClock::new(ProfLevel::Full);
+        let start = Instant::now();
+        let sample = PoolRunSample {
+            n_items: 8,
+            threads: 2,
+            start,
+            wall_ns: 1000,
+            workers: vec![
+                crate::pool_stats::PoolWorkerSample {
+                    start,
+                    busy_ns: 900,
+                    items: 6,
+                },
+                crate::pool_stats::PoolWorkerSample {
+                    start,
+                    busy_ns: 500,
+                    items: 2,
+                },
+            ],
+        };
+        wall.record_pool_samples(&[sample]);
+        wall.end_cycle(0);
+        wall.with_cycles(|c| {
+            assert_eq!(c[0].pool.regions, 1);
+            assert_eq!(c[0].pool.items, 8);
+        })
+        .unwrap();
+        let pool = wall.pool_totals();
+        assert_eq!(pool.busy_ns, 1400);
+        let (events, _) = wall.trace_events();
+        let tids: Vec<u32> = events.iter().map(|e| e.tid).collect();
+        assert_eq!(tids, vec![1, 2]);
+    }
+
+    #[test]
+    fn discard_partial_cycle_feeds_totals_only() {
+        let wall = WallClock::new(ProfLevel::Coarse);
+        {
+            let _g = wall.region(RegionKey::Named("Init"));
+        }
+        wall.discard_partial_cycle();
+        wall.with_cycles(|c| assert!(c.is_empty())).unwrap();
+        wall.with_totals(|t| assert!(!t.is_empty())).unwrap();
+    }
+
+    #[test]
+    fn prof_level_parses() {
+        assert_eq!(ProfLevel::parse("full"), Some(ProfLevel::Full));
+        assert_eq!(ProfLevel::parse(" Coarse "), Some(ProfLevel::Coarse));
+        assert_eq!(ProfLevel::parse("OFF"), Some(ProfLevel::Off));
+        assert_eq!(ProfLevel::parse("verbose"), None);
+    }
+}

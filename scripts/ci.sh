@@ -31,4 +31,14 @@ cargo build --release --offline
 echo "==> tier-1: tests"
 cargo test -q --offline
 
+echo "==> instrumented smoke (trace_probe)"
+# Full-profiling run: exits nonzero if profiling perturbs the state or the
+# exporters emit malformed JSON (the probe self-validates both).
+VIBE_TRACE_CYCLES=2 VIBE_TRACE_THREADS=8 target/release/trace_probe target/ci-trace >/dev/null
+# Independent offline sanity of the emitted artifacts.
+grep -q '"traceEvents"' target/ci-trace/trace.json
+grep -q '"displayTimeUnit"' target/ci-trace/trace.json
+test "$(wc -l <target/ci-trace/metrics.jsonl)" -eq 2
+grep -q '"pool"' target/ci-trace/metrics.jsonl
+
 echo "CI green."

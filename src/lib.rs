@@ -58,5 +58,5 @@ pub mod prelude {
     pub use vibe_hwmodel::platform::evaluate;
     pub use vibe_hwmodel::{Backend, CpuSpec, GpuSpec, MemoryModel, PlatformConfig};
     pub use vibe_mesh::{Mesh, MeshParams, RegionSize};
-    pub use vibe_prof::{Recorder, StepFunction};
+    pub use vibe_prof::{ProfLevel, Recorder, RegionKey, StepFunction};
 }

@@ -33,6 +33,10 @@ struct RunOutcome {
 /// blob edge) and derefines (behind it) within a few cycles, with ghost
 /// exchange and flux correction across levels every cycle.
 fn run(threads: usize, cycles: u64) -> RunOutcome {
+    run_prof(threads, cycles, ProfLevel::Off).0
+}
+
+fn run_prof(threads: usize, cycles: u64, prof_level: ProfLevel) -> (RunOutcome, Recorder) {
     let mesh = Mesh::new(
         MeshParams::builder()
             .dim(3)
@@ -57,17 +61,19 @@ fn run(threads: usize, cycles: u64) -> RunOutcome {
             nranks: 2,
             cfl: 0.25,
             host_threads: threads,
+            prof_level,
             ..Default::default()
         },
     );
     d.initialize(ic::gaussian_blob(1.0, 0.02));
     let summaries = d.run_cycles(cycles);
-    RunOutcome {
+    let outcome = RunOutcome {
         summaries,
         history: d.history().to_vec(),
         fingerprint: fingerprint(&d),
         nblocks: d.mesh().num_blocks(),
-    }
+    };
+    (outcome, d.into_recorder())
 }
 
 #[test]
@@ -97,6 +103,39 @@ fn amr_run_is_bitwise_identical_across_thread_counts() {
             serial.fingerprint, parallel.fingerprint,
             "state fingerprint diverged at {threads} threads"
         );
+    }
+}
+
+#[test]
+fn profiling_is_result_neutral_at_any_thread_count() {
+    const CYCLES: u64 = 4;
+    for threads in [1, 8] {
+        let (off, _) = run_prof(threads, CYCLES, ProfLevel::Off);
+        for level in [ProfLevel::Coarse, ProfLevel::Full] {
+            let (on, rec) = run_prof(threads, CYCLES, level);
+            assert_eq!(
+                off.fingerprint, on.fingerprint,
+                "profiling {level:?} changed the state at {threads} threads"
+            );
+            assert_eq!(off.history, on.history);
+            assert_eq!(off.nblocks, on.nblocks);
+
+            // The neutrality claim is vacuous unless instrumentation
+            // actually recorded the run.
+            let wall = rec.wall();
+            assert_eq!(wall.with_cycles(|c| c.len() as u64), Some(CYCLES));
+            wall.with_totals(|t| {
+                let flat = t.flatten();
+                let has = |p: &str| flat.iter().any(|r| r.path == p);
+                assert!(has("Cycle"), "Cycle region recorded");
+                assert!(
+                    has("Cycle/CalculateFluxes"),
+                    "flux stage recorded under the cycle"
+                );
+            })
+            .unwrap();
+            assert!(wall.pool_totals().items > 0, "pool utilization sampled");
+        }
     }
 }
 
