@@ -11,6 +11,7 @@
 //! platform models.
 
 use vibe_burgers::{ic, BurgersPackage, BurgersParams};
+use vibe_comm::CommEvent;
 use vibe_core::{CycleSummary, Driver, DriverParams, Package};
 use vibe_field::PackStrategy;
 use vibe_mesh::{Mesh, MeshParams};
@@ -80,6 +81,9 @@ pub struct WorkloadResult {
     /// FNV-1a fingerprint of the full final state (see
     /// [`state_fingerprint`]).
     pub state_fingerprint: u64,
+    /// The communicator's ordered event log (per-message post/send/
+    /// completion order) — the per-rank streams `vibe-sim` replays.
+    pub comm_events: Vec<CommEvent>,
 }
 
 /// FNV-1a over the raw f64 bits of every variable of every block, in gid
@@ -167,6 +171,7 @@ pub fn run_workload(spec: &WorkloadSpec) -> WorkloadResult {
         field_bytes: driver.total_field_bytes() as u64,
         summaries,
         state_fingerprint: state_fingerprint(&driver),
+        comm_events: driver.comm_events().to_vec(),
         recorder: driver.into_recorder(),
     }
 }

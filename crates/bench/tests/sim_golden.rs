@@ -1,0 +1,64 @@
+//! Golden calibration tests: the discrete-event simulator with overlap
+//! disabled and a single stream must reproduce the analytic hwmodel
+//! totals within 1% on the calibration anchors (DESIGN.md §Calibration).
+//!
+//! At one rank every boundary transfer is a same-rank copy and collectives
+//! are free, so the simulated wall clock decomposes into exactly the
+//! analytic terms: serial seconds + launches × (exec + launch latency) +
+//! local bytes / local bandwidth.
+
+use vibe_bench::{run_workload, WorkloadSpec};
+use vibe_hwmodel::platform::evaluate;
+use vibe_hwmodel::PlatformConfig;
+use vibe_sim::{simulate, SimConfig, SimWorkload};
+
+fn golden_check(mesh: usize, block: usize, levels: u32) {
+    let spec = WorkloadSpec {
+        mesh_cells: mesh,
+        block_cells: block,
+        levels,
+        nranks: 1,
+        cycles: 2,
+        ..WorkloadSpec::default()
+    };
+    let run = run_workload(&spec);
+    let analytic = evaluate(&run.recorder, &PlatformConfig::gpu(1, 1, block));
+    let cfg = SimConfig::zero_overlap(1, block);
+    let w = SimWorkload::from_recorded(&run.recorder, &run.comm_events, &cfg);
+    let (sim, tl) = simulate(&w, &cfg).expect("consistent workload");
+    sim.validate().expect("valid report");
+    tl.validate().expect("valid timeline");
+    let rel = (sim.wall_s - analytic.total_s).abs() / analytic.total_s;
+    assert!(
+        rel < 0.01,
+        "Mesh {mesh}/B{block}/L{levels}: sim {} vs analytic {} (rel err {:.4}%)",
+        sim.wall_s,
+        analytic.total_s,
+        rel * 100.0
+    );
+}
+
+#[test]
+fn zero_overlap_single_stream_matches_analytic_anchor_b8() {
+    golden_check(32, 8, 3);
+}
+
+#[test]
+fn zero_overlap_single_stream_matches_analytic_anchor_b16() {
+    golden_check(32, 16, 2);
+}
+
+#[test]
+fn event_log_round_trips_through_validator() {
+    let run = run_workload(&WorkloadSpec {
+        mesh_cells: 32,
+        block_cells: 8,
+        levels: 2,
+        nranks: 4,
+        cycles: 2,
+        ..WorkloadSpec::default()
+    });
+    let edges = vibe_comm::validate_event_order(&run.comm_events)
+        .expect("driver event log satisfies ordering invariants");
+    assert!(edges > 0, "ghost exchanges produce send→complete edges");
+}

@@ -1,0 +1,128 @@
+//! Ordered communication event streams.
+//!
+//! Every mailbox operation appends a [`CommEvent`] carrying a globally
+//! monotone sequence number, so post/send/completion *order* — not just the
+//! aggregate byte counts the [`vibe_prof::Recorder`] keeps — survives into
+//! downstream consumers. The timeline simulator (`vibe-sim`) replays these
+//! streams to schedule individual messages onto NIC channels and the MPI
+//! progress engine; [`validate_event_order`] is the invariant checker that
+//! any interleaving of sends and probes must satisfy.
+
+use vibe_prof::{CollectiveOp, StepFunction};
+
+use crate::cache::BoundaryKey;
+
+/// What happened on the communicator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CommEventKind {
+    /// An asynchronous receive was posted for the key
+    /// (`StartReceiveBoundBufs`).
+    PostReceive,
+    /// A buffer was packed and shipped (`SendBoundBufs`).
+    Send {
+        /// Sending virtual rank.
+        src: usize,
+        /// Receiving virtual rank.
+        dst: usize,
+        /// Payload size.
+        bytes: u64,
+        /// Ghost/flux cells carried, for workload accounting.
+        cells: u64,
+        /// Same-rank copy (`true`) vs. remote message.
+        local: bool,
+    },
+    /// A probe found the message and consumed it (`ReceiveBoundBufs`
+    /// completing an `MPI_Test`).
+    Complete {
+        /// Payload size delivered.
+        bytes: u64,
+        /// Whether the delivery was a same-rank copy.
+        local: bool,
+    },
+    /// A collective operation executed over all ranks.
+    Collective {
+        /// Which collective.
+        op: CollectiveOp,
+        /// Total payload moved.
+        bytes: u64,
+    },
+}
+
+/// One entry in a communicator's ordered event log.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommEvent {
+    /// Globally monotone sequence number (unique per communicator, strictly
+    /// increasing in program order).
+    pub seq: u64,
+    /// Simulation cycle the event belongs to.
+    pub cycle: u64,
+    /// Boundary key for p2p events; `BoundaryKey::new(0, 0, 0)` convention
+    /// for collectives (which have no boundary).
+    pub key: BoundaryKey,
+    /// Timestep-loop function that issued the operation.
+    pub func: StepFunction,
+    /// The operation itself.
+    pub kind: CommEventKind,
+}
+
+/// Checks the ordering invariants of an event log:
+///
+/// 1. sequence numbers are strictly increasing (monotone program order);
+/// 2. cycles never decrease (events stamped with the initialization
+///    sentinel `u64::MAX` are exempt — they precede cycle 0 by design);
+/// 3. every `Complete` for a key is preceded by a `Send` for that key that
+///    has not already been consumed — regardless of how deliveries were
+///    interleaved across keys (shuffled probe order is legal, completing a
+///    message that was never sent is not);
+/// 4. a `Send` overwriting an unconsumed `Send` on the same key is allowed
+///    (re-sends after a stale reset) but a double `Complete` is not.
+///
+/// Returns the number of satisfied (send → complete) dependency edges.
+pub fn validate_event_order(events: &[CommEvent]) -> Result<usize, String> {
+    let mut last_seq: Option<u64> = None;
+    let mut last_cycle = 0u64;
+    let mut pending: std::collections::HashMap<BoundaryKey, u64> = std::collections::HashMap::new();
+    let mut edges = 0usize;
+    for ev in events {
+        if let Some(prev) = last_seq {
+            if ev.seq <= prev {
+                return Err(format!(
+                    "sequence numbers not strictly increasing: {} after {prev}",
+                    ev.seq
+                ));
+            }
+        }
+        last_seq = Some(ev.seq);
+        if ev.cycle != u64::MAX {
+            if ev.cycle < last_cycle {
+                return Err(format!(
+                    "cycle went backwards: {} after {last_cycle} at seq {}",
+                    ev.cycle, ev.seq
+                ));
+            }
+            last_cycle = ev.cycle;
+        }
+        match ev.kind {
+            CommEventKind::PostReceive | CommEventKind::Collective { .. } => {}
+            CommEventKind::Send { .. } => {
+                pending.insert(ev.key, ev.seq);
+            }
+            CommEventKind::Complete { .. } => match pending.remove(&ev.key) {
+                Some(send_seq) if send_seq < ev.seq => edges += 1,
+                Some(send_seq) => {
+                    return Err(format!(
+                        "completion at seq {} not after its send at seq {send_seq}",
+                        ev.seq
+                    ));
+                }
+                None => {
+                    return Err(format!(
+                        "completion at seq {} for {:?} with no pending send",
+                        ev.seq, ev.key
+                    ));
+                }
+            },
+        }
+    }
+    Ok(edges)
+}

@@ -20,7 +20,9 @@
 //!   both identified as serial hotspots in §VIII-A of the paper.
 
 pub mod cache;
+pub mod events;
 pub mod mailbox;
 
 pub use cache::{BoundaryKey, BufferCache, CacheConfig};
+pub use events::{validate_event_order, CommEvent, CommEventKind};
 pub use mailbox::{Communicator, MessageStatus};

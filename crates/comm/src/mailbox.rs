@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use vibe_prof::{CollectiveOp, Recorder, SerialWork, StepFunction};
 
 use crate::cache::BoundaryKey;
+use crate::events::{CommEvent, CommEventKind};
 
 /// Delivery state of one boundary message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,6 +26,8 @@ struct Slot {
     /// models the MPI progress engine needing to be "nudged" by
     /// `MPI_Iprobe` before remote data lands (§II-D).
     arrival_delay: u32,
+    /// Whether the in-flight payload is a same-rank copy (event-log data).
+    local: bool,
 }
 
 /// Simulated communicator over `nranks` virtual ranks.
@@ -53,6 +56,10 @@ pub struct Communicator {
     slots: HashMap<BoundaryKey, Slot>,
     probe_calls: u64,
     remote_delivery_delay: u32,
+    /// Ordered event log with globally monotone sequence numbers.
+    log: Vec<CommEvent>,
+    next_seq: u64,
+    cycle: u64,
 }
 
 impl Communicator {
@@ -68,7 +75,39 @@ impl Communicator {
             slots: HashMap::new(),
             probe_calls: 0,
             remote_delivery_delay: 0,
+            log: Vec::new(),
+            next_seq: 0,
+            cycle: 0,
         }
+    }
+
+    fn push_event(&mut self, key: BoundaryKey, func: StepFunction, kind: CommEventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.log.push(CommEvent {
+            seq,
+            cycle: self.cycle,
+            key,
+            func,
+            kind,
+        });
+    }
+
+    /// Stamps subsequent events with `cycle` (called by the driver at the
+    /// top of each timestep).
+    pub fn begin_cycle(&mut self, cycle: u64) {
+        self.cycle = cycle;
+    }
+
+    /// The ordered event log since construction (or the last
+    /// [`Communicator::take_events`]).
+    pub fn events(&self) -> &[CommEvent] {
+        &self.log
+    }
+
+    /// Drains and returns the event log.
+    pub fn take_events(&mut self) -> Vec<CommEvent> {
+        std::mem::take(&mut self.log)
     }
 
     /// Makes remote messages require `polls` probe attempts before they
@@ -86,11 +125,23 @@ impl Communicator {
 
     /// Posts an asynchronous receive for `key` (idempotent until satisfied).
     pub fn start_receive(&mut self, key: BoundaryKey) {
-        self.slots.entry(key).or_insert(Slot {
-            status: MessageStatus::Posted,
-            payload: Vec::new(),
-            arrival_delay: 0,
+        let mut fresh = false;
+        self.slots.entry(key).or_insert_with(|| {
+            fresh = true;
+            Slot {
+                status: MessageStatus::Posted,
+                payload: Vec::new(),
+                arrival_delay: 0,
+                local: false,
+            }
         });
+        if fresh {
+            self.push_event(
+                key,
+                StepFunction::StartReceiveBoundBufs,
+                CommEventKind::PostReceive,
+            );
+        }
     }
 
     /// Sends `payload` for `key`. Records a local copy when
@@ -117,10 +168,23 @@ impl Communicator {
             status: MessageStatus::Posted,
             payload: Vec::new(),
             arrival_delay: 0,
+            local,
         });
         slot.payload = payload;
         slot.status = MessageStatus::InFlight;
         slot.arrival_delay = if local { 0 } else { self.remote_delivery_delay };
+        slot.local = local;
+        self.push_event(
+            key,
+            func,
+            CommEventKind::Send {
+                src: sender_rank,
+                dst: recv_rank,
+                bytes,
+                cells,
+                local,
+            },
+        );
     }
 
     /// Probes for and completes the message for `key`, consuming it.
@@ -140,7 +204,15 @@ impl Communicator {
             return None;
         }
         slot.status = MessageStatus::Received;
-        Some(std::mem::take(&mut slot.payload))
+        let payload = std::mem::take(&mut slot.payload);
+        let local = slot.local;
+        let bytes = (payload.len() * std::mem::size_of::<f64>()) as u64;
+        self.push_event(
+            key,
+            StepFunction::ReceiveBoundBufs,
+            CommEventKind::Complete { bytes, local },
+        );
+        Some(payload)
     }
 
     /// Delivery status of `key`, if known.
@@ -162,10 +234,15 @@ impl Communicator {
     /// Executes an AllGather of `bytes_per_rank` payload from every rank
     /// (used to aggregate refinement flags in `UpdateMeshBlockTree`).
     pub fn all_gather(&mut self, func: StepFunction, bytes_per_rank: u64, rec: &mut Recorder) {
-        rec.record_collective(
+        let bytes = bytes_per_rank * self.nranks as u64;
+        rec.record_collective(func, CollectiveOp::AllGather, bytes);
+        self.push_event(
+            BoundaryKey::new(0, 0, 0),
             func,
-            CollectiveOp::AllGather,
-            bytes_per_rank * self.nranks as u64,
+            CommEventKind::Collective {
+                op: CollectiveOp::AllGather,
+                bytes,
+            },
         );
     }
 
@@ -173,6 +250,14 @@ impl Communicator {
     /// `EstimateTimeStep`).
     pub fn all_reduce(&mut self, func: StepFunction, bytes: u64, rec: &mut Recorder) {
         rec.record_collective(func, CollectiveOp::AllReduce, bytes);
+        self.push_event(
+            BoundaryKey::new(0, 0, 0),
+            func,
+            CommEventKind::Collective {
+                op: CollectiveOp::AllReduce,
+                bytes,
+            },
+        );
     }
 
     /// Number of currently in-flight (sent, unconsumed) messages.
@@ -343,6 +428,96 @@ mod tests {
         // Three probes recorded as ReceiveBoundBufs serial work.
         let s = &rec.totals().serial[&StepFunction::ReceiveBoundBufs];
         assert_eq!(s.boundary_loop, 3);
+    }
+
+    /// One ghost exchange over `keys`: post all receives, send all, then
+    /// complete in the order given by `delivery`.
+    fn run_exchange(delivery: &[usize]) -> Vec<CommEvent> {
+        let mut rec = recorder();
+        let mut comm = Communicator::new(4);
+        comm.begin_cycle(1);
+        let keys: Vec<BoundaryKey> = (0..delivery.len())
+            .map(|i| BoundaryKey::new(i, i + 1, 0))
+            .collect();
+        for &k in &keys {
+            comm.start_receive(k);
+        }
+        for (i, &k) in keys.iter().enumerate() {
+            comm.send(
+                k,
+                vec![i as f64; i + 1],
+                i % 4,
+                (i + 1) % 4,
+                (i + 1) as u64,
+                StepFunction::SendBoundBufs,
+                &mut rec,
+            );
+        }
+        for &i in delivery {
+            assert!(comm.try_receive(keys[i], &mut rec).is_some());
+        }
+        rec.end_cycle(1, 0, 0, 0);
+        comm.take_events()
+    }
+
+    #[test]
+    fn event_log_is_monotone_and_deterministic() {
+        let a = run_exchange(&[0, 1, 2, 3]);
+        let b = run_exchange(&[0, 1, 2, 3]);
+        assert_eq!(a, b, "identical exchanges must produce identical logs");
+        let edges = crate::events::validate_event_order(&a).unwrap();
+        assert_eq!(edges, 4, "each key contributes one send→complete edge");
+        // Sequence numbers are dense from zero in program order.
+        for (i, ev) in a.iter().enumerate() {
+            assert_eq!(ev.seq, i as u64);
+            assert_eq!(ev.cycle, 1);
+        }
+    }
+
+    #[test]
+    fn shuffled_delivery_still_satisfies_dependencies() {
+        // The receiver probes keys in an order unrelated to send order —
+        // exactly what a real MPI progress engine produces. The log must
+        // still validate: every completion follows its own send.
+        for delivery in [[3, 1, 0, 2], [2, 3, 1, 0], [1, 0, 3, 2]] {
+            let events = run_exchange(&delivery);
+            let edges = crate::events::validate_event_order(&events).unwrap();
+            assert_eq!(edges, 4);
+            // Completions appear in the shuffled order, not send order.
+            let completes: Vec<BoundaryKey> = events
+                .iter()
+                .filter(|e| matches!(e.kind, CommEventKind::Complete { .. }))
+                .map(|e| e.key)
+                .collect();
+            let expect: Vec<BoundaryKey> = delivery
+                .iter()
+                .map(|&i| BoundaryKey::new(i, i + 1, 0))
+                .collect();
+            assert_eq!(completes, expect);
+        }
+    }
+
+    #[test]
+    fn validator_rejects_broken_orderings() {
+        let mut events = run_exchange(&[0, 1, 2, 3]);
+        // Duplicate completion: second Complete for a consumed key.
+        let dup = *events
+            .iter()
+            .find(|e| matches!(e.kind, CommEventKind::Complete { .. }))
+            .unwrap();
+        let mut with_dup = events.clone();
+        with_dup.push(CommEvent {
+            seq: events.last().unwrap().seq + 1,
+            ..dup
+        });
+        assert!(crate::events::validate_event_order(&with_dup)
+            .unwrap_err()
+            .contains("no pending send"));
+        // Non-monotone sequence numbers.
+        events[3].seq = 0;
+        assert!(crate::events::validate_event_order(&events)
+            .unwrap_err()
+            .contains("not strictly increasing"));
     }
 
     #[test]

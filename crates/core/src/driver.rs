@@ -187,6 +187,13 @@ impl<P: Package> Driver<P> {
         &self.rec
     }
 
+    /// The communicator's ordered event log (post/send/completion order
+    /// with monotone sequence numbers) — the per-rank message streams the
+    /// timeline simulator replays.
+    pub fn comm_events(&self) -> &[vibe_comm::CommEvent] {
+        self.comm.events()
+    }
+
     /// Consumes the driver, returning the recorder.
     pub fn into_recorder(self) -> Recorder {
         self.rec
@@ -229,6 +236,10 @@ impl<P: Package> Driver<P> {
     ///
     /// Work during initialization is not attributed to any cycle.
     pub fn initialize(&mut self, ic: impl Fn(&BlockInfo, &mut BlockData)) {
+        // Comm events during initialization carry a sentinel cycle so
+        // consumers replaying per-cycle streams (vibe-sim) can drop them,
+        // mirroring how recorded work here is not attributed to any cycle.
+        self.comm.begin_cycle(u64::MAX);
         let wall = self.rec.wall().clone();
         if wall.enabled() {
             vibe_exec::stats_begin();
@@ -286,6 +297,7 @@ impl<P: Package> Driver<P> {
     pub fn step(&mut self) -> CycleSummary {
         assert!(self.dt > 0.0, "initialize() must run before step()");
         self.rec.begin_cycle(self.cycle);
+        self.comm.begin_cycle(self.cycle);
         let wall = self.rec.wall().clone();
         if wall.enabled() {
             vibe_exec::stats_begin();

@@ -36,7 +36,7 @@ pub use block::{BlockInfo, BlockSlot};
 pub use driver::{CycleSummary, Driver, DriverParams};
 pub use package::Package;
 pub use snapshot::{read_snapshot, restore_driver, Snapshot};
-pub use tasks::{TaskError, TaskId, TaskList, TaskStatus};
+pub use tasks::{topo_order, TaskError, TaskId, TaskList, TaskNode, TaskStatus};
 
 pub use vibe_comm as comm;
 pub use vibe_exec as exec;

@@ -78,6 +78,49 @@ struct Task<Ctx> {
     done: bool,
 }
 
+/// Action-free snapshot of one task: its name and dependency indices.
+/// [`TaskList::graph`] exports these so consumers that cannot hold the
+/// closures — the timeline simulator turning a stage's task list into
+/// scheduled events — can still see the dependency structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskNode {
+    /// Task name as given to [`TaskList::add_task`].
+    pub name: String,
+    /// Indices (into the graph vector) of the tasks this one depends on.
+    pub deps: Vec<usize>,
+}
+
+/// Topologically sorts a task graph (Kahn's algorithm, stable: ties break
+/// by insertion order). Returns the node indices in a dependency-respecting
+/// execution order, or `None` if the graph has a cycle.
+pub fn topo_order(graph: &[TaskNode]) -> Option<Vec<usize>> {
+    let n = graph.len();
+    let mut indegree = vec![0usize; n];
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, node) in graph.iter().enumerate() {
+        indegree[i] = node.deps.len();
+        for &d in &node.deps {
+            if d >= n {
+                return None;
+            }
+            dependents[d].push(i);
+        }
+    }
+    let mut ready: std::collections::VecDeque<usize> =
+        (0..n).filter(|&i| indegree[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(i) = ready.pop_front() {
+        order.push(i);
+        for &j in &dependents[i] {
+            indegree[j] -= 1;
+            if indegree[j] == 0 {
+                ready.push_back(j);
+            }
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
 /// An ordered collection of interdependent tasks executed against a shared
 /// mutable context `Ctx` (typically the driver state for one stage).
 pub struct TaskList<Ctx> {
@@ -133,6 +176,20 @@ impl<Ctx> TaskList<Ctx> {
             done: false,
         });
         id
+    }
+
+    /// Action-free snapshot of the dependency graph: one [`TaskNode`] per
+    /// task, in insertion order, with dependencies as indices into the
+    /// returned vector. This is what the timeline simulator consumes to
+    /// turn a stage's task list into ordered scheduler events.
+    pub fn graph(&self) -> Vec<TaskNode> {
+        self.tasks
+            .iter()
+            .map(|t| TaskNode {
+                name: t.name.clone(),
+                deps: t.deps.iter().map(|d| d.0).collect(),
+            })
+            .collect()
     }
 
     /// Number of tasks in the list.
@@ -354,6 +411,62 @@ mod tests {
         list.set_max_polls(5);
         let err = list.execute(&mut ()).unwrap_err();
         assert!(matches!(err, TaskError::Stalled { .. }));
+    }
+
+    #[test]
+    fn graph_snapshot_and_topo_order() {
+        let mut list: TaskList<()> = TaskList::new();
+        let start = list.add_task("start", [], |_| TaskStatus::Complete);
+        let left = list.add_task("left", [start], |_| TaskStatus::Complete);
+        let right = list.add_task("right", [start], |_| TaskStatus::Complete);
+        list.add_task("join", [left, right], |_| TaskStatus::Complete);
+        let graph = list.graph();
+        assert_eq!(
+            graph,
+            vec![
+                TaskNode {
+                    name: "start".into(),
+                    deps: vec![]
+                },
+                TaskNode {
+                    name: "left".into(),
+                    deps: vec![0]
+                },
+                TaskNode {
+                    name: "right".into(),
+                    deps: vec![0]
+                },
+                TaskNode {
+                    name: "join".into(),
+                    deps: vec![1, 2]
+                },
+            ]
+        );
+        let order = topo_order(&graph).unwrap();
+        let pos = |i: usize| order.iter().position(|&x| x == i).unwrap();
+        assert!(pos(0) < pos(1) && pos(0) < pos(2));
+        assert!(pos(1) < pos(3) && pos(2) < pos(3));
+    }
+
+    #[test]
+    fn topo_order_rejects_cycles_and_bad_indices() {
+        let cyclic = vec![
+            TaskNode {
+                name: "a".into(),
+                deps: vec![1],
+            },
+            TaskNode {
+                name: "b".into(),
+                deps: vec![0],
+            },
+        ];
+        assert_eq!(topo_order(&cyclic), None);
+        let dangling = vec![TaskNode {
+            name: "a".into(),
+            deps: vec![9],
+        }];
+        assert_eq!(topo_order(&dangling), None);
+        assert_eq!(topo_order(&[]), Some(vec![]));
     }
 
     #[test]

@@ -45,6 +45,36 @@ impl Default for CommCosts {
 }
 
 impl CommCosts {
+    /// Seconds of one point-to-point message of `bytes` — the per-message
+    /// primitive the timeline simulator schedules individually. Local
+    /// copies are pure bandwidth on the host; remote messages pay the
+    /// software latency plus transport bandwidth (the inter-node variant
+    /// multiplies latency and swaps the bandwidth). Summing this over every
+    /// message reproduces the numerator of [`CommCosts::p2p_seconds`].
+    pub fn message_seconds(&self, bytes: u64, local: bool, internode: bool) -> f64 {
+        if local {
+            bytes as f64 / self.local_bw
+        } else if internode {
+            self.remote_latency * self.internode_latency_factor + bytes as f64 / self.internode_bw
+        } else {
+            self.remote_latency + bytes as f64 / self.remote_bw
+        }
+    }
+
+    /// The software-latency part of [`CommCosts::message_seconds`] — the
+    /// host-side cost of posting a remote send (zero for local copies),
+    /// charged to the sending rank's timeline by the simulator while the
+    /// payload transfer occupies the NIC/DMA channel.
+    pub fn message_host_seconds(&self, local: bool, internode: bool) -> f64 {
+        if local {
+            0.0
+        } else if internode {
+            self.remote_latency * self.internode_latency_factor
+        } else {
+            self.remote_latency
+        }
+    }
+
     /// Wall seconds of point-to-point traffic in `totals`, spread over
     /// `ranks` concurrently communicating processes. `internode_fraction`
     /// of remote messages cross a node boundary (0 on one node).
@@ -146,6 +176,22 @@ mod tests {
         let w1 = c.p2p_seconds(&t, 1, 0.0);
         let w8 = c.p2p_seconds(&t, 8, 0.0);
         assert!((w1 / w8 - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_message_primitive_sums_to_p2p_seconds() {
+        let c = CommCosts::default();
+        let t = comm_totals((5, 5 << 12), (100, 100 << 16), 0, &[]);
+        let summed = (0..5)
+            .map(|_| c.message_seconds(1 << 12, true, false))
+            .sum::<f64>()
+            + (0..100)
+                .map(|_| c.message_seconds(1 << 16, false, false))
+                .sum::<f64>();
+        assert!((summed - c.p2p_seconds(&t, 1, 0.0)).abs() / summed < 1e-12);
+        // Host-side latency share is bounded by the full message cost.
+        assert!(c.message_host_seconds(false, false) < c.message_seconds(1, false, false));
+        assert_eq!(c.message_host_seconds(true, false), 0.0);
     }
 
     #[test]

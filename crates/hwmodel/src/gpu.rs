@@ -49,24 +49,17 @@ pub fn compute_efficiency(desc: &KernelDescriptor, gpu: &GpuSpec, block_cells: u
     (desc.ilp_efficiency * occ_sat * warp_utilization(desc, block_cells)).clamp(1e-4, 1.0)
 }
 
-/// Modeled duration (seconds) of the accumulated launches in `totals` for
-/// kernel `desc` on `gpu`, including per-launch latency and the grid-fill
-/// penalty when individual launches are too small to cover the SMs (the
-/// low-utilization regime of Fig. 1(c)).
-pub fn kernel_duration(
+/// Fraction of the GPU one launch over `cells_per_launch` cells fills:
+/// resident thread blocks demanded by the grid vs. what the SMs can host
+/// at this kernel's occupancy (floored at 2% — even a one-block grid keeps
+/// some SMs busy).
+pub fn grid_fill(
     desc: &KernelDescriptor,
-    totals: &KernelTotals,
     gpu: &GpuSpec,
+    cells_per_launch: f64,
     block_cells: usize,
 ) -> f64 {
-    if totals.launches == 0 {
-        return 0.0;
-    }
-    let t_mem = totals.bytes as f64 / (gpu.mem_bw * memory_efficiency(desc, gpu, block_cells));
-    let t_cmp = totals.flops as f64 / (gpu.peak_fp64 * compute_efficiency(desc, gpu, block_cells));
-    // Grid fill: threads per launch vs. what the GPU can host.
     let occ = occupancy(desc, gpu);
-    let cells_per_launch = totals.cells as f64 / totals.launches as f64;
     let threads_needed = match desc.inner_loop {
         // One warp (padded to a CUDA block) per block row.
         InnerLoop::BlockRow => {
@@ -77,8 +70,53 @@ pub fn kernel_duration(
     };
     let grid_blocks = (threads_needed / f64::from(desc.threads_per_block)).max(1.0);
     let resident_capacity = f64::from(gpu.sms) * f64::from(occ.blocks_per_sm);
-    let fill = (grid_blocks / resident_capacity).min(1.0).max(0.02);
-    (t_mem.max(t_cmp)) / fill + totals.launches as f64 * gpu.launch_latency
+    (grid_blocks / resident_capacity).min(1.0).max(0.02)
+}
+
+/// Modeled *device-side execution* seconds of one launch of `desc`
+/// processing `cells` cells with `flops`/`bytes` of work — the roofline
+/// time inflated by the grid-fill penalty, excluding launch latency.
+///
+/// This is the per-launch primitive the timeline simulator schedules onto
+/// stream queues; [`kernel_duration`] is by construction `launches ×`
+/// (this + `gpu.launch_latency`) for evenly split work.
+pub fn launch_exec_seconds(
+    desc: &KernelDescriptor,
+    gpu: &GpuSpec,
+    block_cells: usize,
+    cells: f64,
+    flops: f64,
+    bytes: f64,
+) -> f64 {
+    let t_mem = bytes / (gpu.mem_bw * memory_efficiency(desc, gpu, block_cells));
+    let t_cmp = flops / (gpu.peak_fp64 * compute_efficiency(desc, gpu, block_cells));
+    t_mem.max(t_cmp) / grid_fill(desc, gpu, cells, block_cells)
+}
+
+/// Modeled duration (seconds) of the accumulated launches in `totals` for
+/// kernel `desc` on `gpu`, including per-launch latency and the grid-fill
+/// penalty when individual launches are too small to cover the SMs (the
+/// low-utilization regime of Fig. 1(c)). Defined as the sum of
+/// [`launch_exec_seconds`] over `launches` even splits of the work, plus
+/// one launch latency each.
+pub fn kernel_duration(
+    desc: &KernelDescriptor,
+    totals: &KernelTotals,
+    gpu: &GpuSpec,
+    block_cells: usize,
+) -> f64 {
+    if totals.launches == 0 {
+        return 0.0;
+    }
+    let n = totals.launches as f64;
+    n * launch_exec_seconds(
+        desc,
+        gpu,
+        block_cells,
+        totals.cells as f64 / n,
+        totals.flops as f64 / n,
+        totals.bytes as f64 / n,
+    ) + n * gpu.launch_latency
 }
 
 /// The Table III row for one kernel.
@@ -232,6 +270,32 @@ mod tests {
             32,
         );
         assert!((a - b).abs() / a < 0.05, "compute-bound: {a} vs {b}");
+    }
+
+    #[test]
+    fn per_launch_primitive_composes_to_kernel_duration() {
+        // The aggregated duration is exactly launches × (exec + latency)
+        // for evenly split work — the contract the timeline simulator's
+        // zero-overlap validation relies on.
+        let desc = &catalog::CALCULATE_FLUXES;
+        let gpu = h100();
+        let t = totals(24, 24 * 4096, 24 * 4096 * 1548, 24 * 4096 * 360);
+        let agg = kernel_duration(desc, &t, &gpu, 16);
+        let one = launch_exec_seconds(desc, &gpu, 16, 4096.0, 4096.0 * 1548.0, 4096.0 * 360.0);
+        let composed = 24.0 * (one + gpu.launch_latency);
+        assert!((agg - composed).abs() / agg < 1e-12, "{agg} vs {composed}");
+        assert!(one > 0.0);
+    }
+
+    #[test]
+    fn grid_fill_small_launches_penalized() {
+        let desc = &catalog::WEIGHTED_SUM_DATA;
+        let gpu = h100();
+        let small = grid_fill(desc, &gpu, 512.0, 8);
+        let big = grid_fill(desc, &gpu, (1 << 22) as f64, 8);
+        assert!(small < big);
+        assert!((0.02..=1.0).contains(&small));
+        assert!((0.02..=1.0).contains(&big));
     }
 
     #[test]

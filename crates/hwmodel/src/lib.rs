@@ -34,7 +34,7 @@ pub mod serial;
 pub mod specs;
 
 pub use comm_cost::CommCosts;
-pub use gpu::{kernel_duration, kernel_metrics, KernelMetrics};
+pub use gpu::{grid_fill, kernel_duration, kernel_metrics, launch_exec_seconds, KernelMetrics};
 pub use memory::{aux_buffer_bytes, AuxBufferLayout, MemoryModel, MemoryReport};
 pub use occupancy::{occupancy, Occupancy};
 pub use opcode::{opcode_mix, OpcodeMix};

@@ -70,6 +70,182 @@ pub fn perfetto_trace_json(events: &[TraceEvent], process_name: &str) -> String 
     out
 }
 
+/// One span on an async (overlap-capable) track: the Chrome `trace_events`
+/// `"b"`/`"e"` pair representation used for simulator timelines, where one
+/// track per rank/stream/NIC must render *concurrent* spans side by side
+/// instead of the `ph: "X"` exporter's nested rendering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsyncSpan {
+    /// Span label (kernel name, serial section, message, ...).
+    pub name: String,
+    /// Category string (e.g. `host`, `stream`, `nic`).
+    pub cat: &'static str,
+    /// Track id: becomes both the async `id` and the `tid`, so each
+    /// resource renders as its own lane.
+    pub track: u32,
+    /// Start, ns since the simulation epoch.
+    pub ts_ns: u64,
+    /// Duration in ns.
+    pub dur_ns: u64,
+}
+
+impl AsyncSpan {
+    /// End timestamp in ns.
+    pub fn end_ns(&self) -> u64 {
+        self.ts_ns + self.dur_ns
+    }
+}
+
+/// Renders async spans as a Chrome/Perfetto trace of `"b"`/`"e"` event
+/// pairs (one line per event). `tracks` names each track id (rendered as
+/// thread-name metadata, e.g. `rank0/stream1`). Spans on one track must
+/// not overlap (each track is one serially-occupied resource); spans on
+/// *different* tracks may overlap freely — that is the point of the async
+/// representation.
+pub fn perfetto_async_trace_json(
+    spans: &[AsyncSpan],
+    process_name: &str,
+    tracks: &[(u32, String)],
+) -> String {
+    // Order events by time; at equal timestamps close before opening so a
+    // back-to-back pair on one track stays balanced.
+    let mut endpoints: Vec<(u64, u8, usize)> = Vec::with_capacity(spans.len() * 2);
+    for (i, s) in spans.iter().enumerate() {
+        endpoints.push((s.ts_ns, 1, i));
+        endpoints.push((s.end_ns(), 0, i));
+    }
+    endpoints.sort_by_key(|&(ts, phase, i)| (ts, phase, spans[i].track, i));
+
+    let mut out = String::with_capacity(256 + spans.len() * 192);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut name = String::new();
+    escape_json(process_name, &mut name);
+    let _ = write!(
+        out,
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{{\"name\":\"{name}\"}}}}"
+    );
+    for (tid, label) in tracks {
+        let mut lbl = String::new();
+        escape_json(label, &mut lbl);
+        let _ = write!(
+            out,
+            ",\n{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"args\":{{\"name\":\"{lbl}\"}}}}"
+        );
+    }
+    for &(ts, phase, i) in &endpoints {
+        let s = &spans[i];
+        let ph = if phase == 1 { 'b' } else { 'e' };
+        let mut ev_name = String::new();
+        escape_json(&s.name, &mut ev_name);
+        let _ = write!(
+            out,
+            ",\n{{\"name\":\"{ev_name}\",\"cat\":\"{}\",\"ph\":\"{ph}\",\"id\":\"0x{:x}\",\"ts\":{}.{:03},\"pid\":1,\"tid\":{}}}",
+            s.cat,
+            s.track,
+            ts / 1_000,
+            ts % 1_000,
+            s.track
+        );
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Statistics from a validated async trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AsyncTraceStats {
+    /// Matched `"b"`/`"e"` pairs.
+    pub pairs: usize,
+    /// Distinct async ids (tracks) seen.
+    pub tracks: usize,
+}
+
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let start = line.find(key)? + key.len();
+    let rest = &line[start..];
+    // String values end at the next unescaped quote; numbers at , or }.
+    if let Some(stripped) = rest.strip_prefix('"') {
+        let mut end = 0;
+        let bytes = stripped.as_bytes();
+        while end < bytes.len() {
+            match bytes[end] {
+                b'\\' => end += 2,
+                b'"' => return Some(&stripped[..end]),
+                _ => end += 1,
+            }
+        }
+        None
+    } else {
+        let end = rest.find([',', '}'])?;
+        Some(&rest[..end])
+    }
+}
+
+/// Offline validation of an async trace produced by
+/// [`perfetto_async_trace_json`]: checks JSON syntax, then that every
+/// `"b"` has a matching `"e"` (same id, same name, in order), that
+/// timestamps are non-negative finite numbers in non-decreasing pair
+/// order (no negative durations), and that no event dangles at EOF.
+/// Relies on the exporter's one-event-per-line layout.
+pub fn validate_async_trace(json: &str) -> Result<AsyncTraceStats, String> {
+    validate_json(json)?;
+    let mut open: BTreeMap<String, Vec<(String, f64)>> = BTreeMap::new();
+    let mut pairs = 0usize;
+    let mut ids = std::collections::BTreeSet::new();
+    for (lineno, line) in json.lines().enumerate() {
+        let ph = match field(line, "\"ph\":") {
+            Some(p) => p,
+            None => continue,
+        };
+        if ph != "b" && ph != "e" {
+            continue;
+        }
+        let at = |msg: &str| format!("line {}: {msg}", lineno + 1);
+        let id = field(line, "\"id\":").ok_or_else(|| at("async event without id"))?;
+        let name = field(line, "\"name\":").ok_or_else(|| at("async event without name"))?;
+        let ts: f64 = field(line, "\"ts\":")
+            .ok_or_else(|| at("async event without ts"))?
+            .parse()
+            .map_err(|e| at(&format!("bad ts: {e}")))?;
+        if !ts.is_finite() || ts < 0.0 {
+            return Err(at(&format!("non-finite or negative ts {ts}")));
+        }
+        ids.insert(id.to_string());
+        if ph == "b" {
+            open.entry(id.to_string())
+                .or_default()
+                .push((name.to_string(), ts));
+        } else {
+            let stack = open
+                .get_mut(id)
+                .filter(|s| !s.is_empty())
+                .ok_or_else(|| at(&format!("'e' event with no open 'b' on id {id}")))?;
+            let (open_name, open_ts) = stack.pop().expect("checked non-empty");
+            if open_name != name {
+                return Err(at(&format!(
+                    "'e' name {name:?} does not match open 'b' {open_name:?} on id {id}"
+                )));
+            }
+            if ts < open_ts {
+                return Err(at(&format!(
+                    "negative duration: 'e' at {ts} before 'b' at {open_ts} on id {id}"
+                )));
+            }
+            pairs += 1;
+        }
+    }
+    if let Some((id, stack)) = open.iter().find(|(_, s)| !s.is_empty()) {
+        return Err(format!(
+            "unclosed async event {:?} on id {id}",
+            stack.last().expect("non-empty").0
+        ));
+    }
+    Ok(AsyncTraceStats {
+        pairs,
+        tracks: ids.len(),
+    })
+}
+
 fn pool_json(pool: &PoolStats, out: &mut String) {
     let _ = write!(
         out,
@@ -500,5 +676,86 @@ mod tests {
         assert!(validate_json("\"bad\\escape\"").is_err());
         assert!(validate_jsonl("{\"a\":1}\n{\"b\":2}\n").unwrap() == 2);
         assert!(validate_jsonl("{\"a\":1}\nnot json\n").is_err());
+    }
+
+    fn sample_async_spans() -> Vec<AsyncSpan> {
+        vec![
+            AsyncSpan {
+                name: "serial:FillDerived".into(),
+                cat: "host",
+                track: 0,
+                ts_ns: 0,
+                dur_ns: 4_000,
+            },
+            // Overlaps the host span above on a different track.
+            AsyncSpan {
+                name: "CalculateFluxes".into(),
+                cat: "stream",
+                track: 1,
+                ts_ns: 1_000,
+                dur_ns: 6_000,
+            },
+            // Back-to-back on track 1: begins exactly where the previous
+            // span ends, exercising e-before-b ordering at equal ts.
+            AsyncSpan {
+                name: "UpdateVars".into(),
+                cat: "stream",
+                track: 1,
+                ts_ns: 7_000,
+                dur_ns: 500,
+            },
+        ]
+    }
+
+    #[test]
+    fn async_trace_round_trips_through_validator() {
+        let spans = sample_async_spans();
+        let tracks = vec![
+            (0, "rank0/host".to_string()),
+            (1, "rank0/stream0".to_string()),
+        ];
+        let json = perfetto_async_trace_json(&spans, "vibe-sim", &tracks);
+        assert!(json.contains("\"ph\":\"b\""));
+        assert!(json.contains("\"ph\":\"e\""));
+        assert!(json.contains("\"id\":\"0x1\""));
+        assert!(json.contains("rank0/stream0"));
+        let stats = validate_async_trace(&json).unwrap();
+        assert_eq!(stats.pairs, 3);
+        assert_eq!(stats.tracks, 2);
+        // The 'e' closing UpdateVars's predecessor must precede its 'b'.
+        let e_at = json.find("\"name\":\"CalculateFluxes\",\"cat\":\"stream\",\"ph\":\"e\"");
+        let b_at = json.find("\"name\":\"UpdateVars\",\"cat\":\"stream\",\"ph\":\"b\"");
+        assert!(e_at.unwrap() < b_at.unwrap());
+    }
+
+    #[test]
+    fn async_validator_rejects_malformed_pairings() {
+        let unclosed = "{\"traceEvents\":[\n{\"name\":\"k\",\"cat\":\"s\",\"ph\":\"b\",\"id\":\"0x1\",\"ts\":1.0,\"pid\":1,\"tid\":1}\n]}";
+        assert!(validate_async_trace(unclosed)
+            .unwrap_err()
+            .contains("unclosed"));
+
+        let orphan_end = "{\"traceEvents\":[\n{\"name\":\"k\",\"cat\":\"s\",\"ph\":\"e\",\"id\":\"0x1\",\"ts\":1.0,\"pid\":1,\"tid\":1}\n]}";
+        assert!(validate_async_trace(orphan_end)
+            .unwrap_err()
+            .contains("no open 'b'"));
+
+        let name_mismatch = "{\"traceEvents\":[\n{\"name\":\"k\",\"cat\":\"s\",\"ph\":\"b\",\"id\":\"0x1\",\"ts\":1.0,\"pid\":1,\"tid\":1},\n{\"name\":\"j\",\"cat\":\"s\",\"ph\":\"e\",\"id\":\"0x1\",\"ts\":2.0,\"pid\":1,\"tid\":1}\n]}";
+        assert!(validate_async_trace(name_mismatch)
+            .unwrap_err()
+            .contains("does not match"));
+
+        let negative_dur = "{\"traceEvents\":[\n{\"name\":\"k\",\"cat\":\"s\",\"ph\":\"b\",\"id\":\"0x1\",\"ts\":5.0,\"pid\":1,\"tid\":1},\n{\"name\":\"k\",\"cat\":\"s\",\"ph\":\"e\",\"id\":\"0x1\",\"ts\":2.0,\"pid\":1,\"tid\":1}\n]}";
+        assert!(validate_async_trace(negative_dur)
+            .unwrap_err()
+            .contains("negative duration"));
+
+        let negative_ts = "{\"traceEvents\":[\n{\"name\":\"k\",\"cat\":\"s\",\"ph\":\"b\",\"id\":\"0x1\",\"ts\":-1.0,\"pid\":1,\"tid\":1}\n]}";
+        assert!(validate_async_trace(negative_ts)
+            .unwrap_err()
+            .contains("negative"));
+
+        // Not even valid JSON fails at the syntax layer first.
+        assert!(validate_async_trace("{\"traceEvents\":[").is_err());
     }
 }

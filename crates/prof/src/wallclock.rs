@@ -29,7 +29,7 @@
 //! - `ProfLevel::Full`: everything is timed and every region close appends
 //!   a trace event (bounded by [`MAX_TRACE_EVENTS`]).
 
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
 use crate::pool_stats::{PoolRunSample, PoolStats};
@@ -110,6 +110,54 @@ struct WallInner {
     state: Mutex<WallState>,
 }
 
+// Debug-mode reentrancy detector: the address of the `WallInner` whose
+// accessor closure is currently running on this thread, or 0. The state
+// mutex is not reentrant, so calling any `WallClock` method from inside a
+// `with_cycles`/`with_totals` closure would self-deadlock; this turns the
+// silent deadlock into an immediate panic with an actionable message.
+#[cfg(debug_assertions)]
+thread_local! {
+    static ACCESSOR_OWNER: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+impl WallInner {
+    /// Locks the profiler state, panicking (debug builds) when the calling
+    /// thread is already inside one of this profiler's accessor closures.
+    fn lock(&self) -> MutexGuard<'_, WallState> {
+        #[cfg(debug_assertions)]
+        ACCESSOR_OWNER.with(|owner| {
+            assert!(
+                owner.get() != self as *const _ as usize,
+                "WallClock re-entered from inside a with_cycles/with_totals \
+                 closure: nested accessors self-deadlock on the profiler \
+                 lock. Snapshot values (e.g. pool_totals) before entering \
+                 the closure — see the wallclock module docs."
+            );
+        });
+        self.state.lock().unwrap()
+    }
+
+    /// Runs `f` with the state locked and the reentrancy flag raised, so
+    /// any nested `WallClock` call on this thread panics instead of
+    /// deadlocking (debug builds; release builds still deadlock, which is
+    /// why the rule also stays documented).
+    fn with_locked<R>(&self, f: impl FnOnce(&mut WallState) -> R) -> R {
+        let mut st = self.lock();
+        #[cfg(debug_assertions)]
+        let _reset = {
+            struct Reset;
+            impl Drop for Reset {
+                fn drop(&mut self) {
+                    ACCESSOR_OWNER.with(|owner| owner.set(0));
+                }
+            }
+            ACCESSOR_OWNER.with(|owner| owner.set(self as *const _ as usize));
+            Reset
+        };
+        f(&mut st)
+    }
+}
+
 /// Handle to the measured-time profiler; see the module docs.
 #[derive(Debug, Clone, Default)]
 pub struct WallClock {
@@ -158,7 +206,7 @@ impl WallClock {
             return RegionGuard { ctx: None };
         };
         let node = {
-            let mut st = inner.state.lock().unwrap();
+            let mut st = inner.lock();
             let parent = st.stack.last().copied();
             let node = st.current.child_of(parent, key);
             st.stack.push(node);
@@ -178,7 +226,7 @@ impl WallClock {
             return RegionGuard { ctx: None };
         };
         if inner.level == ProfLevel::Coarse {
-            let mut st = inner.state.lock().unwrap();
+            let mut st = inner.lock();
             let parent = st.stack.last().copied();
             let node = st.current.child_of(parent, key);
             st.current.count_only(node);
@@ -193,7 +241,7 @@ impl WallClock {
         let Some(inner) = &self.inner else {
             return;
         };
-        let mut st = inner.state.lock().unwrap();
+        let mut st = inner.lock();
         for sample in samples {
             st.pool_current.record(sample);
             if inner.level == ProfLevel::Full {
@@ -224,7 +272,7 @@ impl WallClock {
         let Some(inner) = &self.inner else {
             return;
         };
-        let mut st = inner.state.lock().unwrap();
+        let mut st = inner.lock();
         debug_assert!(st.stack.is_empty(), "end_cycle with open regions");
         let tree = std::mem::take(&mut st.current);
         let pool = std::mem::take(&mut st.pool_current);
@@ -239,7 +287,7 @@ impl WallClock {
         let Some(inner) = &self.inner else {
             return;
         };
-        let mut st = inner.state.lock().unwrap();
+        let mut st = inner.lock();
         let tree = std::mem::take(&mut st.current);
         let pool = std::mem::take(&mut st.pool_current);
         st.totals.absorb(&tree);
@@ -250,35 +298,35 @@ impl WallClock {
     ///
     /// `f` runs under the profiler's internal lock: calling any other
     /// `WallClock` method (e.g. [`WallClock::pool_totals`]) from inside it
-    /// deadlocks. Snapshot such values before entering the closure.
+    /// would self-deadlock — debug builds detect this and panic with an
+    /// explanatory message instead. Snapshot such values before entering
+    /// the closure.
     pub fn with_cycles<R>(&self, f: impl FnOnce(&[WallCycleStats]) -> R) -> Option<R> {
         let inner = self.inner.as_ref()?;
-        let st = inner.state.lock().unwrap();
-        Some(f(&st.cycles))
+        Some(inner.with_locked(|st| f(&st.cycles)))
     }
 
     /// Runs `f` over the accumulated totals tree (cycles + init work).
     ///
     /// `f` runs under the profiler's internal lock — see
-    /// [`WallClock::with_cycles`] for the no-nesting rule.
+    /// [`WallClock::with_cycles`] for the checked no-nesting rule.
     pub fn with_totals<R>(&self, f: impl FnOnce(&RegionTree) -> R) -> Option<R> {
         let inner = self.inner.as_ref()?;
-        let st = inner.state.lock().unwrap();
-        Some(f(&st.totals))
+        Some(inner.with_locked(|st| f(&st.totals)))
     }
 
     /// Accumulated pool utilization (cycles + init work).
     pub fn pool_totals(&self) -> PoolStats {
-        self.inner.as_ref().map_or_else(PoolStats::new, |i| {
-            i.state.lock().unwrap().pool_totals.clone()
-        })
+        self.inner
+            .as_ref()
+            .map_or_else(PoolStats::new, |i| i.lock().pool_totals.clone())
     }
 
     /// Snapshot of the buffered trace events (sorted by `(tid, ts)` at
     /// export time, not here) and the count of events dropped at the cap.
     pub fn trace_events(&self) -> (Vec<TraceEvent>, u64) {
         self.inner.as_ref().map_or((Vec::new(), 0), |i| {
-            let st = i.state.lock().unwrap();
+            let st = i.lock();
             (st.events.clone(), st.events_dropped)
         })
     }
@@ -298,7 +346,7 @@ impl Drop for RegionGuard {
             return;
         };
         let now = Instant::now();
-        let mut st = inner.state.lock().unwrap();
+        let mut st = inner.lock();
         let popped = st.stack.pop();
         debug_assert_eq!(popped, Some(node), "region guards dropped out of order");
         if let Some(start) = start {
@@ -475,6 +523,40 @@ mod tests {
         wall.discard_partial_cycle();
         wall.with_cycles(|c| assert!(c.is_empty())).unwrap();
         wall.with_totals(|t| assert!(!t.is_empty())).unwrap();
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "WallClock re-entered")]
+    fn nested_accessor_panics_instead_of_deadlocking() {
+        let wall = WallClock::new(ProfLevel::Coarse);
+        {
+            let _g = wall.region(RegionKey::Named("x"));
+        }
+        wall.end_cycle(0);
+        wall.with_totals(|_| {
+            // The documented footgun: any WallClock call inside the
+            // closure used to self-deadlock; it must now panic.
+            let _ = wall.pool_totals();
+        });
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn accessor_on_distinct_profiler_is_allowed() {
+        // The reentrancy check is per profiler instance: reading another
+        // WallClock inside the closure is safe and must not panic.
+        let a = WallClock::new(ProfLevel::Coarse);
+        let b = WallClock::new(ProfLevel::Coarse);
+        a.end_cycle(0);
+        b.end_cycle(0);
+        a.with_totals(|_| {
+            let _ = b.pool_totals();
+        })
+        .unwrap();
+        // And sequential accessors on the same profiler still work.
+        a.with_totals(|_| ()).unwrap();
+        a.with_cycles(|_| ()).unwrap();
     }
 
     #[test]

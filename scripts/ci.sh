@@ -26,10 +26,10 @@ echo "==> cargo clippy (offline)"
 cargo clippy --workspace --offline -q
 
 echo "==> tier-1: release build"
-cargo build --release --offline
+cargo build --workspace --release --offline
 
 echo "==> tier-1: tests"
-cargo test -q --offline
+cargo test -q --workspace --offline
 
 echo "==> instrumented smoke (trace_probe)"
 # Full-profiling run: exits nonzero if profiling perturbs the state or the
@@ -40,5 +40,16 @@ grep -q '"traceEvents"' target/ci-trace/trace.json
 grep -q '"displayTimeUnit"' target/ci-trace/trace.json
 test "$(wc -l <target/ci-trace/metrics.jsonl)" -eq 2
 grep -q '"pool"' target/ci-trace/metrics.jsonl
+
+echo "==> simulated timeline smoke (sim_timeline)"
+# The binary gates itself: nonzero exit on NaN/negative times, idle
+# fractions outside [0,1], calibration drift > 1%, a missing launch-bound
+# regime at the smallest block size, or a trace that fails the offline
+# async validator.
+VIBE_SIM_MESH=32 VIBE_SIM_BLOCK=8 VIBE_SIM_LEVELS=2 VIBE_SIM_CYCLES=2 \
+    VIBE_SIM_TRACE_DIR=target/ci-sim target/release/sim_timeline >/dev/null
+grep -q '"traceEvents"' target/ci-sim/trace.json
+grep -q '"ph":"b"' target/ci-sim/trace.json
+grep -q '"ph":"e"' target/ci-sim/trace.json
 
 echo "CI green."

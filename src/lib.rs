@@ -18,6 +18,7 @@
 //! * [`core`] — the evolution driver (timestep loop)
 //! * [`burgers`] — the VIBE benchmark package
 //! * [`hwmodel`] — H100/SPR performance and memory models
+//! * [`sim`] — discrete-event heterogeneous timeline simulator
 //!
 //! ## Quickstart
 //!
@@ -49,6 +50,7 @@ pub use vibe_field as field;
 pub use vibe_hwmodel as hwmodel;
 pub use vibe_mesh as mesh;
 pub use vibe_prof as prof;
+pub use vibe_sim as sim;
 
 /// The most common imports in one place.
 pub mod prelude {
