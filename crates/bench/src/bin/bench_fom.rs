@@ -40,6 +40,24 @@ struct RunResult {
     fom: f64,
     fingerprint: u64,
     final_blocks: usize,
+    /// Wall time inside compute tasks, summed over cycles (0 when
+    /// profiling is off).
+    compute_task_ns: u64,
+    /// Subset of `compute_task_ns` spent while comm traffic was in
+    /// flight — the task executor's measured comm/compute overlap.
+    overlapped_compute_ns: u64,
+}
+
+impl RunResult {
+    /// Measured comm/compute overlap fraction of the run (0 when
+    /// profiling was off or no compute time was recorded).
+    fn overlap_fraction(&self) -> f64 {
+        if self.compute_task_ns == 0 {
+            0.0
+        } else {
+            self.overlapped_compute_ns as f64 / self.compute_task_ns as f64
+        }
+    }
 }
 
 fn build_driver(threads: usize, prof_level: ProfLevel) -> Driver<BurgersPackage> {
@@ -77,7 +95,7 @@ fn run(threads: usize, prof_level: ProfLevel) -> (RunResult, Recorder) {
     let mut driver = build_driver(threads, prof_level);
     driver.initialize(ic::multi_blob(0.9, 0.002, 3));
     let t0 = Instant::now();
-    driver.run_cycles(CYCLES);
+    let summaries = driver.run_cycles(CYCLES);
     let wall_s = t0.elapsed().as_secs_f64();
     let zone_cycles = driver.recorder().totals().cell_updates;
     let result = RunResult {
@@ -87,6 +105,11 @@ fn run(threads: usize, prof_level: ProfLevel) -> (RunResult, Recorder) {
         fom: zone_cycles as f64 / wall_s,
         fingerprint: vibe_bench::state_fingerprint(&driver),
         final_blocks: driver.mesh().num_blocks(),
+        compute_task_ns: summaries.iter().map(|s| s.timing.compute_task_ns).sum(),
+        overlapped_compute_ns: summaries
+            .iter()
+            .map(|s| s.timing.overlapped_compute_ns)
+            .sum(),
     };
     (result, driver.into_recorder())
 }
@@ -195,6 +218,37 @@ fn main() {
     println!("== measured vs modeled per-function breakdown ==");
     println!("{}", measured_vs_modeled(&prof_rec));
 
+    // Comm/compute overlap, measured vs modeled. Measured: the task
+    // executor's attribution of compute wall time spent while mailbox
+    // traffic was outstanding. Modeled: the discrete-event simulator's
+    // speedup of the streamed configuration over the zero-overlap one on
+    // the same recorded workload.
+    let measured_overlap = prof_run.overlap_fraction();
+    let modeled_overlap = {
+        let sync_cfg = vibe_sim::SimConfig::zero_overlap(1, BLOCK_CELLS);
+        let stream_cfg = vibe_sim::SimConfig::streamed(1, BLOCK_CELLS, 2);
+        let w = vibe_sim::SimWorkload::from_recorded(&prof_rec, &[], &sync_cfg);
+        let (sync_rep, _) = vibe_sim::simulate(&w, &sync_cfg).expect("zero-overlap sim");
+        let (stream_rep, _) = vibe_sim::simulate(&w, &stream_cfg).expect("streamed sim");
+        if sync_rep.wall_s > 0.0 {
+            (1.0 - stream_rep.wall_s / sync_rep.wall_s).max(0.0)
+        } else {
+            0.0
+        }
+    };
+    println!("== comm/compute overlap (threads={prof_threads}) ==");
+    println!(
+        "measured {:.1}% of compute task time ran while comm was in flight ({:.3} ms of {:.3} ms)",
+        measured_overlap * 100.0,
+        prof_run.overlapped_compute_ns as f64 / 1e6,
+        prof_run.compute_task_ns as f64 / 1e6,
+    );
+    println!(
+        "modeled  {:.1}% wall reduction from streamed vs zero-overlap replay of the same workload",
+        modeled_overlap * 100.0
+    );
+    println!();
+
     let identical = results
         .windows(2)
         .all(|w| w[0].fingerprint == w[1].fingerprint && w[0].zone_cycles == w[1].zone_cycles);
@@ -243,6 +297,10 @@ fn main() {
         ));
     }
     json.push_str("}},\n");
+    json.push_str(&format!(
+        "  \"overlap\": {{\"threads\": {prof_threads}, \"measured_fraction\": {measured_overlap:.4}, \"modeled_fraction\": {modeled_overlap:.4}, \"overlapped_compute_ns\": {}, \"compute_task_ns\": {}}},\n",
+        prof_run.overlapped_compute_ns, prof_run.compute_task_ns
+    ));
     json.push_str(&format!(
         "  \"bit_identical_across_threads\": {identical},\n"
     ));

@@ -33,7 +33,7 @@ fn main() {
         for &r in &gpu_ranks {
             let run = run_workload(&WorkloadSpec { nranks: r, ..base });
             let rep = evaluate(&run.recorder, &PlatformConfig::gpu(1, r, block));
-            if best.as_ref().map_or(true, |(_, b)| rep.fom > b.fom) {
+            if best.as_ref().is_none_or(|(_, b)| rep.fom > b.fom) {
                 best = Some((r, rep));
             }
         }

@@ -3,9 +3,9 @@
 //! occupancy, warp utilization, bandwidth utilization, and arithmetic
 //! intensity, at block sizes 32 and 16.
 //!
-//! Paper: mesh 128, L = 3, Nsight Compute; here derived from the occupancy
-//! + sparse-roofline models over the recorded per-kernel work. Scaled
-//! mesh 64.
+//! Paper: mesh 128, L = 3, Nsight Compute; here derived from the
+//! occupancy + sparse-roofline models over the recorded per-kernel work,
+//! scaled to mesh 64.
 
 use std::collections::BTreeMap;
 

@@ -24,8 +24,8 @@ fn fill_with(info: &BlockInfo, data: &mut BlockData, f: impl Fn([f64; 3]) -> ([f
                     k as i64 - shape.nghost_d(2) as i64,
                 );
                 let (u, feature) = f(pos);
-                for c in 0..3 {
-                    udata.set(c, k, j, i, u[c]);
+                for (c, &uc) in u.iter().enumerate() {
+                    udata.set(c, k, j, i, uc);
                 }
                 for s in 0..nscal {
                     qdata.set(s, k, j, i, 1.0 + feature / (s + 1) as f64);

@@ -1,6 +1,6 @@
 //! The VIBE physics package: variables, fluxes, tagging, timestep, history.
 
-use vibe_core::{BlockSlot, Package};
+use vibe_core::{BlockSlot, FluxPhase, Package};
 use vibe_exec::{catalog, ghost_byte_multiplier, ExecCtx, Launcher};
 use vibe_field::{BlockData, Metadata, VarId};
 use vibe_mesh::index::IndexDomain;
@@ -69,11 +69,42 @@ impl BurgersPackage {
         )
     }
 
+    /// Number of cells the reconstruction stencil reaches to either side
+    /// of a face.
+    fn stencil_radius(&self) -> usize {
+        match self.params.recon {
+            Reconstruction::Weno5 => 3,
+            Reconstruction::Linear => 2,
+        }
+    }
+
+    /// Splits the `n + 1` faces along one dimension into the
+    /// ghost-independent interior band `lo_end..hi_start` and its exterior
+    /// complement. A face `f` reconstructs from cells `f - m ..= f + m - 1`
+    /// (relative to the first interior cell), so exactly the faces in
+    /// `m..=n - m` read no ghost data. Degenerate blocks (`n < 2m`) get an
+    /// empty interior band; every face is then exterior.
+    fn face_bands(&self, n: usize) -> (usize, usize) {
+        let faces = n + 1;
+        let m = self.stencil_radius();
+        let lo_end = m.min(faces);
+        let hi_start = faces.saturating_sub(m).max(lo_end);
+        (lo_end, hi_start)
+    }
+
     /// Computes all face fluxes of one block via reconstruction + HLL.
+    fn block_fluxes(&self, slot: &mut BlockSlot) {
+        self.block_fluxes_banded(slot, None);
+    }
+
+    /// Computes the face fluxes of one block, restricted to one
+    /// [`FluxPhase`] band (`None` sweeps every face). The same kernel runs
+    /// either way, so the two phases together are bitwise identical to the
+    /// full sweep.
     ///
     /// Hot path: all access goes through precomputed strides over the raw
     /// slices, sweeping contiguous lines along the face-normal dimension.
-    fn block_fluxes(&self, slot: &mut BlockSlot) {
+    fn block_fluxes_banded(&self, slot: &mut BlockSlot, phase: Option<FluxPhase>) {
         let shape = *slot.data.shape();
         let dim = shape.dim();
         let ns = self.params.num_scalars;
@@ -126,6 +157,14 @@ impl BurgersPackage {
                 _ => (0, 1),
             };
             let faces = ranges[d].len() + 1; // interior faces incl. both ends
+            let (lo_end, hi_start) = self.face_bands(ranges[d].len());
+            // Up to two contiguous face bands; the second is empty except
+            // in the exterior phase.
+            let (band_a, band_b) = match phase {
+                None => (0..faces, faces..faces),
+                Some(FluxPhase::Interior) => (lo_end..hi_start, hi_start..hi_start),
+                Some(FluxPhase::Exterior) => (0..lo_end, hi_start..faces),
+            };
             let f0 = ranges[d].s as usize;
 
             for o2 in ranges[ob].s as usize..=ranges[ob].e as usize {
@@ -142,7 +181,7 @@ impl BurgersPackage {
                         + pos[1] * flux_strides[1]
                         + pos[2] * flux_strides[2];
 
-                    for f in 0..faces {
+                    for f in band_a.clone().chain(band_b.clone()) {
                         let cidx = dbase + f * stride;
                         let fidx = fbase + f * fstride;
                         for comp in 0..ncomp {
@@ -230,6 +269,35 @@ impl Package for BurgersPackage {
         });
     }
 
+    fn calculate_fluxes_phase(
+        &self,
+        pack: &mut [&mut BlockSlot],
+        phase: FluxPhase,
+        exec: ExecCtx,
+        rec: &mut Recorder,
+    ) {
+        let Some(first) = pack.first() else { return };
+        let shape = *first.data.shape();
+        let cells = pack.len() as u64 * shape.interior_count() as u64;
+        let b = shape.ncells()[0];
+        let g = shape.nghost();
+        let d = shape.dim();
+        let mult = (ghost_byte_multiplier(b, g, d) / ghost_byte_multiplier(32, g, d)).sqrt();
+        // Split the launch's cell accounting by the x-face band widths so
+        // the two phases sum exactly to the full sweep's count.
+        let n = shape.range(0, IndexDomain::Interior).len();
+        let (lo_end, hi_start) = self.face_bands(n);
+        let cells_interior = cells * (hi_start - lo_end) as u64 / (n as u64 + 1);
+        let cells_phase = match phase {
+            FluxPhase::Interior => cells_interior,
+            FluxPhase::Exterior => cells - cells_interior,
+        };
+        Launcher::new(rec).record_only(&catalog::CALCULATE_FLUXES, cells_phase, mult);
+        exec.for_each_block(pack, |_, slot| {
+            self.block_fluxes_banded(slot, Some(phase));
+        });
+    }
+
     fn fill_derived(&self, pack: &mut [&mut BlockSlot], exec: ExecCtx, rec: &mut Recorder) {
         let Some(first) = pack.first() else { return };
         let shape = *first.data.shape();
@@ -286,8 +354,7 @@ impl Package for BurgersPackage {
             let comp = ez * ey * ex;
             let us = u.as_slice();
             let mut block_min = f64::INFINITY;
-            for d in 0..dim {
-                let inv = dx[d];
+            for (d, &inv) in dx.iter().enumerate().take(dim) {
                 for k in iz.iter() {
                     for j in iy.iter() {
                         let row = d * comp + ((k as usize * ey) + j as usize) * ex + i0;
@@ -458,7 +525,6 @@ mod tests {
             recon,
             refine_tol: 1e9, // uniform for 1D accuracy tests
             deref_tol: 0.0,
-            ..BurgersParams::default()
         };
         let mut d = Driver::new(
             mesh_1d(64, 16),
@@ -596,6 +662,32 @@ mod tests {
         let serial = run(1);
         let parallel = run(4);
         assert_eq!(serial, parallel, "bitwise identical across thread counts");
+    }
+
+    #[test]
+    fn face_bands_partition_every_face_exactly_once() {
+        for recon in [Reconstruction::Weno5, Reconstruction::Linear] {
+            let pkg = BurgersPackage::new(BurgersParams {
+                recon,
+                ..BurgersParams::default()
+            });
+            let m = pkg.stencil_radius();
+            for n in [1usize, 2, 4, 5, 6, 8, 16, 33] {
+                let faces = n + 1;
+                let (lo_end, hi_start) = pkg.face_bands(n);
+                assert!(lo_end <= hi_start && hi_start <= faces);
+                // Exterior + interior bands tile 0..faces with no overlap.
+                assert_eq!(lo_end + (hi_start - lo_end) + (faces - hi_start), faces);
+                // Every interior-band face keeps its stencil out of the ghosts.
+                for f in lo_end..hi_start {
+                    assert!(f >= m && f + m < faces, "face {f} of {faces} reads ghosts");
+                }
+                // Degenerate blocks fall back to an all-exterior sweep.
+                if n < 2 * m {
+                    assert_eq!(lo_end, hi_start);
+                }
+            }
+        }
     }
 
     #[test]

@@ -122,8 +122,8 @@ mod tests {
     #[test]
     fn linear_monotone_across_jump() {
         let (l, r) = reconstruct_linear(&[0.0, 0.0, 1.0, 1.0]);
-        assert!(l >= 0.0 && l <= 1.0);
-        assert!(r >= 0.0 && r <= 1.0);
+        assert!((0.0..=1.0).contains(&l));
+        assert!((0.0..=1.0).contains(&r));
         assert!(l <= r);
     }
 }

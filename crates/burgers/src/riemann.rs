@@ -84,7 +84,7 @@ mod tests {
         physical_flux(&u, &q, 0, &mut f);
         assert_eq!(f[0], 0.5 * 2.0 * 2.0);
         assert_eq!(f[1], 0.5 * 2.0 * 1.0);
-        assert_eq!(f[2], 0.5 * 2.0 * -1.0);
+        assert_eq!(f[2], -(0.5 * 2.0));
         assert_eq!(f[3], 3.0 * 2.0);
         assert_eq!(f[4], 0.5 * 2.0);
     }
@@ -130,7 +130,8 @@ mod tests {
         hll_flux(&u_l, &[], &u_r, &[], 0, &mut f);
         // F_L = F_R = 0.5; blended flux adds dissipation: f = (sr*Fl - sl*Fr
         // + sl*sr*(ur-ul))/(sr-sl) = (0.5 + 0.5 - 2)/2 = -0.5... compute:
-        let expect = (1.0 * 0.5 - (-1.0) * 0.5 + (-1.0) * 1.0 * (1.0 - (-1.0))) / 2.0;
+        let (sl, sr) = (-1.0, 1.0);
+        let expect = (sr * 0.5 - sl * 0.5 + sl * sr * (u_r[0] - u_l[0])) / (sr - sl);
         assert!((f[0] - expect).abs() < 1e-14);
     }
 

@@ -61,6 +61,10 @@ pub struct CommEvent {
     pub key: BoundaryKey,
     /// Timestep-loop function that issued the operation.
     pub func: StepFunction,
+    /// Name of the driver task that issued the operation, when the task
+    /// executor attributed one (see `Communicator::set_task`). Initialization
+    /// traffic and direct mailbox use carry `None`.
+    pub task: Option<&'static str>,
     /// The operation itself.
     pub kind: CommEventKind,
 }

@@ -25,4 +25,4 @@ pub mod mailbox;
 
 pub use cache::{BoundaryKey, BufferCache, CacheConfig};
 pub use events::{validate_event_order, CommEvent, CommEventKind};
-pub use mailbox::{Communicator, MessageStatus};
+pub use mailbox::{Communicator, MessageStatus, SendMeta};

@@ -30,6 +30,17 @@ struct Slot {
     local: bool,
 }
 
+/// Routing and accounting metadata for one [`Communicator::send`].
+#[derive(Debug, Clone, Copy)]
+pub struct SendMeta {
+    /// Sending virtual rank.
+    pub src: usize,
+    /// Receiving virtual rank.
+    pub dst: usize,
+    /// Ghost/flux cells carried, for workload accounting.
+    pub cells: u64,
+}
+
 /// Simulated communicator over `nranks` virtual ranks.
 ///
 /// All data lives in one address space; the rank structure only determines
@@ -37,7 +48,7 @@ struct Slot {
 /// the distinction that drives the MPI cost and memory models.
 ///
 /// ```
-/// use vibe_comm::{BoundaryKey, Communicator};
+/// use vibe_comm::{BoundaryKey, Communicator, SendMeta};
 /// use vibe_prof::{Recorder, StepFunction};
 ///
 /// let mut rec = Recorder::new();
@@ -45,7 +56,8 @@ struct Slot {
 /// let mut comm = Communicator::new(4);
 /// let key = BoundaryKey::new(0, 1, 0);
 /// comm.start_receive(key);
-/// comm.send(key, vec![1.0, 2.0], 0, 2, 2, StepFunction::SendBoundBufs, &mut rec);
+/// let meta = SendMeta { src: 0, dst: 2, cells: 2 };
+/// comm.send(key, vec![1.0, 2.0], meta, StepFunction::SendBoundBufs, &mut rec);
 /// let buf = comm.try_receive(key, &mut rec).expect("message arrived");
 /// assert_eq!(buf, vec![1.0, 2.0]);
 /// rec.end_cycle(1, 0, 0, 0);
@@ -60,6 +72,8 @@ pub struct Communicator {
     log: Vec<CommEvent>,
     next_seq: u64,
     cycle: u64,
+    /// Task name stamped onto subsequent events (set by the task executor).
+    task: Option<&'static str>,
 }
 
 impl Communicator {
@@ -78,6 +92,7 @@ impl Communicator {
             log: Vec::new(),
             next_seq: 0,
             cycle: 0,
+            task: None,
         }
     }
 
@@ -89,6 +104,7 @@ impl Communicator {
             cycle: self.cycle,
             key,
             func,
+            task: self.task,
             kind,
         });
     }
@@ -97,6 +113,13 @@ impl Communicator {
     /// top of each timestep).
     pub fn begin_cycle(&mut self, cycle: u64) {
         self.cycle = cycle;
+    }
+
+    /// Stamps subsequent events with the name of the driver task issuing
+    /// them (`None` clears the attribution). Lets trace consumers line the
+    /// event log up against per-task wall spans.
+    pub fn set_task(&mut self, task: Option<&'static str>) {
+        self.task = task;
     }
 
     /// The ordered event log since construction (or the last
@@ -145,25 +168,22 @@ impl Communicator {
     }
 
     /// Sends `payload` for `key`. Records a local copy when
-    /// `sender_rank == recv_rank`, a remote message otherwise. `cells` is
-    /// the ghost/flux cell count for workload accounting.
+    /// `meta.src == meta.dst`, a remote message otherwise.
     pub fn send(
         &mut self,
         key: BoundaryKey,
         payload: Vec<f64>,
-        sender_rank: usize,
-        recv_rank: usize,
-        cells: u64,
+        meta: SendMeta,
         func: StepFunction,
         rec: &mut Recorder,
     ) {
         assert!(
-            sender_rank < self.nranks && recv_rank < self.nranks,
+            meta.src < self.nranks && meta.dst < self.nranks,
             "rank out of range"
         );
         let bytes = (payload.len() * std::mem::size_of::<f64>()) as u64;
-        let local = sender_rank == recv_rank;
-        rec.record_p2p(func, bytes, cells, local);
+        let local = meta.src == meta.dst;
+        rec.record_p2p(func, bytes, meta.cells, local);
         let slot = self.slots.entry(key).or_insert(Slot {
             status: MessageStatus::Posted,
             payload: Vec::new(),
@@ -178,31 +198,44 @@ impl Communicator {
             key,
             func,
             CommEventKind::Send {
-                src: sender_rank,
-                dst: recv_rank,
+                src: meta.src,
+                dst: meta.dst,
                 bytes,
-                cells,
+                cells: meta.cells,
                 local,
             },
         );
     }
 
-    /// Probes for and completes the message for `key`, consuming it.
-    /// Returns `None` when nothing has been sent yet (the receiver must poll
-    /// again — this is `MPI_Iprobe` nudging the progress engine).
-    pub fn try_receive(&mut self, key: BoundaryKey, rec: &mut Recorder) -> Option<Vec<f64>> {
+    /// One non-blocking probe of the progress engine for `key`: records the
+    /// `MPI_Iprobe` cost, nudges any pending arrival delay, and reports
+    /// whether the message is now consumable — without consuming it.
+    pub fn poll_ready(&mut self, key: BoundaryKey, rec: &mut Recorder) -> bool {
         self.probe_calls += 1;
         rec.record_serial(StepFunction::ReceiveBoundBufs, SerialWork::BoundaryLoop(1));
-        let slot = self.slots.get_mut(&key)?;
+        let Some(slot) = self.slots.get_mut(&key) else {
+            return false;
+        };
         if slot.status != MessageStatus::InFlight {
-            return None;
+            return false;
         }
         if slot.arrival_delay > 0 {
             // The probe nudged the progress engine but the data has not
             // landed yet.
             slot.arrival_delay -= 1;
+            return false;
+        }
+        true
+    }
+
+    /// Probes for and completes the message for `key`, consuming it.
+    /// Returns `None` when nothing has arrived yet (the receiver must poll
+    /// again — this is `MPI_Iprobe` nudging the progress engine).
+    pub fn try_receive(&mut self, key: BoundaryKey, rec: &mut Recorder) -> Option<Vec<f64>> {
+        if !self.poll_ready(key, rec) {
             return None;
         }
+        let slot = self.slots.get_mut(&key).expect("polled slot exists");
         slot.status = MessageStatus::Received;
         let payload = std::mem::take(&mut slot.payload);
         let local = slot.local;
@@ -287,18 +320,22 @@ mod tests {
         comm.send(
             BoundaryKey::new(0, 1, 0),
             vec![0.0; 10],
-            2,
-            2,
-            10,
+            SendMeta {
+                src: 2,
+                dst: 2,
+                cells: 10,
+            },
             StepFunction::SendBoundBufs,
             &mut rec,
         );
         comm.send(
             BoundaryKey::new(1, 2, 0),
             vec![0.0; 20],
-            1,
-            3,
-            20,
+            SendMeta {
+                src: 1,
+                dst: 3,
+                cells: 20,
+            },
             StepFunction::SendBoundBufs,
             &mut rec,
         );
@@ -322,9 +359,11 @@ mod tests {
         comm.send(
             key,
             vec![5.0],
-            0,
-            1,
-            1,
+            SendMeta {
+                src: 0,
+                dst: 1,
+                cells: 1,
+            },
             StepFunction::SendBoundBufs,
             &mut rec,
         );
@@ -371,9 +410,11 @@ mod tests {
         comm.send(
             key,
             vec![1.0],
-            0,
-            1,
-            1,
+            SendMeta {
+                src: 0,
+                dst: 1,
+                cells: 1,
+            },
             StepFunction::SendBoundBufs,
             &mut rec,
         );
@@ -392,9 +433,11 @@ mod tests {
         comm.send(
             BoundaryKey::new(0, 1, 0),
             vec![],
-            0,
-            5,
-            0,
+            SendMeta {
+                src: 0,
+                dst: 5,
+                cells: 0,
+            },
             StepFunction::SendBoundBufs,
             &mut rec,
         );
@@ -409,9 +452,11 @@ mod tests {
         comm.send(
             key,
             vec![4.0],
-            0,
-            1,
-            1,
+            SendMeta {
+                src: 0,
+                dst: 1,
+                cells: 1,
+            },
             StepFunction::SendBoundBufs,
             &mut rec,
         );
@@ -446,9 +491,11 @@ mod tests {
             comm.send(
                 k,
                 vec![i as f64; i + 1],
-                i % 4,
-                (i + 1) % 4,
-                (i + 1) as u64,
+                SendMeta {
+                    src: i % 4,
+                    dst: (i + 1) % 4,
+                    cells: (i + 1) as u64,
+                },
                 StepFunction::SendBoundBufs,
                 &mut rec,
             );
@@ -521,6 +568,76 @@ mod tests {
     }
 
     #[test]
+    fn poll_ready_probes_without_consuming() {
+        let mut rec = recorder();
+        let mut comm = Communicator::new(2);
+        comm.set_remote_delivery_delay(1);
+        let key = BoundaryKey::new(0, 1, 0);
+        assert!(!comm.poll_ready(key, &mut rec), "nothing posted yet");
+        comm.start_receive(key);
+        assert!(!comm.poll_ready(key, &mut rec), "nothing sent yet");
+        comm.send(
+            key,
+            vec![7.0],
+            SendMeta {
+                src: 0,
+                dst: 1,
+                cells: 1,
+            },
+            StepFunction::SendBoundBufs,
+            &mut rec,
+        );
+        assert!(!comm.poll_ready(key, &mut rec), "first probe only nudges");
+        assert!(comm.poll_ready(key, &mut rec), "delivered after the nudge");
+        assert!(
+            comm.poll_ready(key, &mut rec),
+            "readiness is stable until consumed"
+        );
+        assert_eq!(comm.try_receive(key, &mut rec), Some(vec![7.0]));
+        assert!(!comm.poll_ready(key, &mut rec), "consumed");
+        rec.end_cycle(1, 0, 0, 0);
+        // Every probe (poll_ready or try_receive) costs one progress nudge.
+        assert_eq!(comm.probe_calls(), 7);
+        let s = &rec.totals().serial[&StepFunction::ReceiveBoundBufs];
+        assert_eq!(s.boundary_loop, 7);
+    }
+
+    #[test]
+    fn events_carry_the_issuing_task() {
+        let mut rec = recorder();
+        let mut comm = Communicator::new(2);
+        let key = BoundaryKey::new(0, 1, 0);
+        comm.set_task(Some("Stage0::PackSend"));
+        comm.start_receive(key);
+        comm.send(
+            key,
+            vec![1.0],
+            SendMeta {
+                src: 0,
+                dst: 1,
+                cells: 1,
+            },
+            StepFunction::SendBoundBufs,
+            &mut rec,
+        );
+        comm.set_task(Some("Stage0::WaitUnpack"));
+        assert!(comm.try_receive(key, &mut rec).is_some());
+        comm.set_task(None);
+        comm.all_reduce(StepFunction::EstimateTimeStep, 8, &mut rec);
+        rec.end_cycle(1, 0, 0, 0);
+        let tasks: Vec<Option<&'static str>> = comm.events().iter().map(|e| e.task).collect();
+        assert_eq!(
+            tasks,
+            vec![
+                Some("Stage0::PackSend"),
+                Some("Stage0::PackSend"),
+                Some("Stage0::WaitUnpack"),
+                None,
+            ]
+        );
+    }
+
+    #[test]
     fn local_messages_ignore_delivery_delay() {
         let mut rec = recorder();
         let mut comm = Communicator::new(2);
@@ -529,9 +646,11 @@ mod tests {
         comm.send(
             key,
             vec![1.0],
-            1,
-            1,
-            1,
+            SendMeta {
+                src: 1,
+                dst: 1,
+                cells: 1,
+            },
             StepFunction::SendBoundBufs,
             &mut rec,
         );

@@ -18,8 +18,11 @@ pub fn prolongate_to_child(parent: &BlockData, child_index: usize, child: &mut B
     assert_eq!(parent.num_vars(), child.num_vars(), "registration mismatch");
     let dim = shape.dim();
     let n = shape.ncells();
-    for d in 0..dim {
-        assert!(n[d] % 2 == 0, "active extent must be even for refinement");
+    for nd in n.iter().take(dim) {
+        assert!(
+            nd.is_multiple_of(2),
+            "active extent must be even for refinement"
+        );
     }
     let g = [shape.nghost_d(0), shape.nghost_d(1), shape.nghost_d(2)];
     let bit = |d: usize| (child_index >> d) & 1;

@@ -1,12 +1,29 @@
 //! Ghost-cell communication: the StartReceiveBoundBufs → SendBoundBufs →
 //! ReceiveBoundBufs → SetBounds cycle, plus fine-coarse flux correction.
+//!
+//! The exchange is split into phases so the driver's task graph can keep
+//! interior compute running while messages are in flight:
+//!
+//! * [`ExchangePlan::build`] — per-mesh-generation boundary enumeration,
+//!   buffer specs, and variable-id lookups;
+//! * [`ghost_pack_and_send`] — post receives, pack, and ship every buffer;
+//! * [`ghost_poll`] — one non-blocking delivery sweep over pending keys;
+//! * [`ghost_set_bounds`] — unpack the delivered buffers into ghost zones;
+//! * [`flux_corr_send`] / [`flux_corr_poll`] / [`flux_corr_apply`] — the
+//!   same split for fine→coarse flux correction.
+//!
+//! [`exchange_ghosts`] and [`flux_correction`] run the phases back-to-back
+//! for callers that do not overlap (initialization, tests).
 
 use std::collections::HashMap;
 
-use vibe_comm::{BoundaryKey, BufferCache, CacheConfig, Communicator};
+use vibe_comm::{BoundaryKey, BufferCache, CacheConfig, Communicator, SendMeta};
 use vibe_exec::{catalog, ExecCtx, Launcher};
 use vibe_field::buffer::compute_buffer_spec_with;
-use vibe_field::{apply_flux, flux_correction_spec, pack, pack_flux, unpack, Metadata};
+use vibe_field::{
+    apply_flux, flux_correction_spec, pack, pack_flux, unpack, BufferSpec, FluxCorrSpec, Metadata,
+    VarId,
+};
 use vibe_mesh::Mesh;
 use vibe_prof::{MemSpace, Recorder, RegionKey, SerialWork, StepFunction};
 
@@ -32,8 +49,358 @@ impl Default for ExchangeConfig {
     }
 }
 
+/// Everything the communication phases need that only changes when the
+/// mesh does: boundary enumeration, pack/unpack buffer specs, fine→coarse
+/// flux-correction transfers, and the variable-id pack lookups — computed
+/// once per mesh generation instead of once per cycle (the repeated
+/// `pack_by_flag` lookups were a measurable serial hot path).
+///
+/// Ranks are deliberately *not* cached: senders and receivers read live
+/// `BlockSlot::info.rank` at send time, so plain load balancing keeps the
+/// plan valid; only regridding (new gids and neighbor lists) invalidates
+/// it.
+#[derive(Debug, Clone)]
+pub struct ExchangePlan {
+    /// Ghost boundaries as (key, receiver gid, sender gid), in the fixed
+    /// receiver-major enumeration order.
+    keys: Vec<(BoundaryKey, usize, usize)>,
+    /// Pack/unpack spec per ghost boundary (parallel to `keys`).
+    specs: Vec<BufferSpec>,
+    /// Ghost-boundary indices grouped by receiver gid.
+    by_recv: Vec<Vec<usize>>,
+    /// Fine→coarse flux-correction transfers (key, receiver, sender, spec).
+    transfers: Vec<(BoundaryKey, usize, usize, FluxCorrSpec)>,
+    /// Transfer indices grouped by receiver gid.
+    fcorr_by_recv: Vec<Vec<usize>>,
+    /// [`Metadata::FILL_GHOST`] variable ids (registration is identical on
+    /// every block).
+    pub ghost_ids: Vec<VarId>,
+    /// [`Metadata::WITH_FLUXES`] variable ids.
+    pub flux_ids: Vec<VarId>,
+    /// [`Metadata::TWO_STAGE`] variable ids.
+    pub two_stage_ids: Vec<VarId>,
+}
+
+impl ExchangePlan {
+    /// Builds the plan for the current mesh generation, performing (and
+    /// recording) the per-block variable lookups that previously ran on
+    /// every exchange.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is not indexed by gid consistently with `mesh`.
+    pub fn build(
+        mesh: &Mesh,
+        slots: &mut [BlockSlot],
+        cfg: &ExchangeConfig,
+        rec: &mut Recorder,
+    ) -> Self {
+        assert_eq!(
+            slots.len(),
+            mesh.num_blocks(),
+            "slots out of sync with mesh"
+        );
+        let shape = mesh.index_shape();
+        let nblocks = slots.len();
+        let mut keys = Vec::new();
+        let mut specs = Vec::new();
+        let mut by_recv: Vec<Vec<usize>> = vec![Vec::new(); nblocks];
+        let mut transfers = Vec::new();
+        for r in 0..nblocks {
+            for (t, nb) in mesh.neighbors(r).iter().enumerate() {
+                let s = mesh.gid_at(&nb.loc).expect("neighbor is a leaf");
+                by_recv[r].push(keys.len());
+                keys.push((BoundaryKey::new(s, r, t as u32), r, s));
+                specs.push(compute_buffer_spec_with(
+                    &shape,
+                    &mesh.block(r).loc(),
+                    &nb.loc,
+                    &nb.offset,
+                    cfg.restrict_on_send,
+                ));
+                if nb.is_finer() && nb.offset.order() == 1 {
+                    transfers.push((
+                        BoundaryKey::new(s, r, 1000 + t as u32),
+                        r,
+                        s,
+                        flux_correction_spec(&shape, &slots[r].info.loc, &nb.loc, &nb.offset),
+                    ));
+                }
+            }
+        }
+        let mut fcorr_by_recv: Vec<Vec<usize>> = vec![Vec::new(); nblocks];
+        for (b, (_key, r, ..)) in transfers.iter().enumerate() {
+            fcorr_by_recv[*r].push(b);
+        }
+        // Variable selection per block (string-keyed or cached, per
+        // container strategy), once per generation; drain the lookup
+        // counters into the profile.
+        let mut ghost_ids = Vec::new();
+        for slot in slots.iter_mut() {
+            ghost_ids = slot.data.pack_by_flag(Metadata::FILL_GHOST).ids().to_vec();
+        }
+        let (flux_ids, two_stage_ids) = match slots.first_mut() {
+            Some(first) => (
+                first
+                    .data
+                    .pack_by_flag(Metadata::WITH_FLUXES)
+                    .ids()
+                    .to_vec(),
+                first.data.pack_by_flag(Metadata::TWO_STAGE).ids().to_vec(),
+            ),
+            None => (Vec::new(), Vec::new()),
+        };
+        for slot in slots.iter_mut() {
+            let lookups = slot.data.take_string_lookups();
+            if lookups > 0 {
+                rec.record_serial(
+                    StepFunction::SendBoundBufs,
+                    SerialWork::StringLookups(lookups),
+                );
+            }
+        }
+        Self {
+            keys,
+            specs,
+            by_recv,
+            transfers,
+            fcorr_by_recv,
+            ghost_ids,
+            flux_ids,
+            two_stage_ids,
+        }
+    }
+
+    /// Number of ghost boundaries in the plan.
+    pub fn num_boundaries(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Number of fine→coarse flux-correction transfers.
+    pub fn num_flux_transfers(&self) -> usize {
+        self.transfers.len()
+    }
+}
+
+/// In-flight state of one ghost exchange between its pack/send and
+/// wait/unpack phases.
+#[derive(Debug, Default)]
+pub struct GhostExchangeState {
+    /// Keys still waiting on delivery.
+    pending: Vec<BoundaryKey>,
+    /// Delivered payloads by key.
+    received: HashMap<BoundaryKey, Vec<f64>>,
+    /// Remote payload bytes currently held in MPI buffers.
+    remote_bytes_live: i64,
+}
+
+/// Posts all receives (`StartReceiveBoundBufs`), packs every boundary
+/// buffer in parallel (pure reads of the sender blocks), and streams the
+/// sends serially in key order (`SendBoundBufs`). Returns the in-flight
+/// state that [`ghost_poll`] and [`ghost_set_bounds`] retire.
+pub fn ghost_pack_and_send(
+    plan: &ExchangePlan,
+    slots: &[BlockSlot],
+    comm: &mut Communicator,
+    cache: &mut BufferCache,
+    cfg: &ExchangeConfig,
+    exec: ExecCtx,
+    rec: &mut Recorder,
+) -> GhostExchangeState {
+    let wall = rec.wall().clone();
+
+    {
+        let _g = wall.region_hot(RegionKey::Step(StepFunction::StartReceiveBoundBufs));
+        for (key, ..) in &plan.keys {
+            comm.start_receive(*key);
+        }
+        rec.record_serial(
+            StepFunction::StartReceiveBoundBufs,
+            SerialWork::BoundaryLoop(plan.keys.len() as u64),
+        );
+    }
+
+    let _send_guard = wall.region(RegionKey::Step(StepFunction::SendBoundBufs));
+    cache.initialize(
+        plan.keys.iter().map(|(k, ..)| *k).collect(),
+        &cfg.cache_config,
+        rec,
+    );
+    rec.record_serial(
+        StepFunction::SendBoundBufs,
+        SerialWork::BoundaryLoop(plan.keys.len() as u64),
+    );
+
+    let mut packed: Vec<(Vec<f64>, u64)> = vec![(Vec::new(), 0); plan.keys.len()];
+    {
+        let keys_ro = &plan.keys;
+        let specs_ro = &plan.specs;
+        let ids_ro = &plan.ghost_ids;
+        exec.for_each_block(&mut packed, |b, out| {
+            let (_key, _r, s) = keys_ro[b];
+            let spec = &specs_ro[b];
+            for &id in ids_ro {
+                let var = slots[s].data.var(id);
+                pack(spec, var.data(), &mut out.0);
+                out.1 += spec.buffer_len(var.ncomp()) as u64;
+            }
+        });
+    }
+    let mut packed_cells_per_rank: HashMap<usize, u64> = HashMap::new();
+    let mut remote_bytes_live: i64 = 0;
+    for ((key, r, s), (buf, cells)) in plan.keys.iter().zip(packed) {
+        let src = slots[*s].info.rank;
+        let dst = slots[*r].info.rank;
+        if src != dst {
+            remote_bytes_live += (buf.len() * 8) as i64;
+        }
+        *packed_cells_per_rank.entry(src).or_insert(0) += cells;
+        comm.send(
+            *key,
+            buf,
+            SendMeta { src, dst, cells },
+            StepFunction::SendBoundBufs,
+            rec,
+        );
+    }
+    rec.record_alloc(MemSpace::MpiBuffers, remote_bytes_live);
+    {
+        let mut launcher = Launcher::new(rec);
+        for cells in packed_cells_per_rank.values() {
+            launcher.record_only(&catalog::SEND_BOUND_BUFS, *cells, 1.0);
+        }
+    }
+
+    GhostExchangeState {
+        pending: plan.keys.iter().map(|(k, ..)| *k).collect(),
+        received: HashMap::new(),
+        remote_bytes_live,
+    }
+}
+
+/// One delivery sweep (`ReceiveBoundBufs`): probes every still-pending
+/// boundary once, banking arrivals. Returns `true` once every message has
+/// landed; remote messages may need several sweeps before the progress
+/// engine delivers them.
+pub fn ghost_poll(
+    state: &mut GhostExchangeState,
+    comm: &mut Communicator,
+    rec: &mut Recorder,
+) -> bool {
+    let _g = rec
+        .wall()
+        .clone()
+        .region(RegionKey::Step(StepFunction::ReceiveBoundBufs));
+    let received = &mut state.received;
+    state
+        .pending
+        .retain(|key| match comm.try_receive(*key, rec) {
+            Some(buf) => {
+                received.insert(*key, buf);
+                false
+            }
+            None => true,
+        });
+    state.pending.is_empty()
+}
+
+/// Unpacks every delivered buffer into its receiver's ghost zones
+/// (`SetBounds`) and releases the exchange's MPI buffer memory. Blocks
+/// unpack in parallel over *receivers*; each consumes its incoming buffers
+/// in global key order, so results are identical to the serial sweep at
+/// any thread count.
+///
+/// # Panics
+///
+/// Panics unless [`ghost_poll`] reported completion for `state`.
+pub fn ghost_set_bounds(
+    plan: &ExchangePlan,
+    state: GhostExchangeState,
+    slots: &mut [BlockSlot],
+    comm: &mut Communicator,
+    exec: ExecCtx,
+    rec: &mut Recorder,
+) {
+    assert!(state.pending.is_empty(), "all messages arrive in-process");
+    assert_eq!(
+        state.received.len(),
+        plan.keys.len(),
+        "every boundary delivered"
+    );
+    let _set_guard = rec
+        .wall()
+        .clone()
+        .region(RegionKey::Step(StepFunction::SetBounds));
+    let mut unpacked_cells_per_rank: HashMap<usize, u64> = HashMap::new();
+    for ((_key, r, _s), spec) in plan.keys.iter().zip(&plan.specs) {
+        let recv_rank = slots[*r].info.rank;
+        let buf_len: u64 = plan
+            .ghost_ids
+            .iter()
+            .map(|&id| spec.buffer_len(slots[*r].data.var(id).ncomp()) as u64)
+            .sum();
+        *unpacked_cells_per_rank.entry(recv_rank).or_insert(0) += buf_len;
+    }
+    {
+        let keys_ro = &plan.keys;
+        let specs_ro = &plan.specs;
+        let ids_ro = &plan.ghost_ids;
+        let by_recv_ro = &plan.by_recv;
+        let received_ro = &state.received;
+        exec.for_each_block(slots, |r, slot| {
+            for &b in &by_recv_ro[r] {
+                let (key, ..) = keys_ro[b];
+                let spec = &specs_ro[b];
+                let buf = &received_ro[&key];
+                let mut offset = 0usize;
+                for &id in ids_ro {
+                    let var = slot.data.var_mut(id);
+                    let len = spec.buffer_len(var.data().ncomp());
+                    unpack(spec, &buf[offset..offset + len], var.data_mut());
+                    offset += len;
+                }
+            }
+        });
+    }
+    {
+        let mut launcher = Launcher::new(rec);
+        for cells in unpacked_cells_per_rank.values() {
+            launcher.record_only(&catalog::SET_BOUNDS, *cells, 1.0);
+        }
+    }
+    rec.record_serial(
+        StepFunction::SetBounds,
+        SerialWork::BoundaryLoop(plan.keys.len() as u64),
+    );
+    comm.mark_all_stale();
+    rec.record_alloc(MemSpace::MpiBuffers, -state.remote_bytes_live);
+}
+
+/// Runs the pack/send → poll → set-bounds phases back-to-back with a
+/// prebuilt plan. This is the non-overlapping path (initialization and
+/// direct callers); the cycle path schedules the same phases as separate
+/// tasks so interior compute proceeds while messages are in flight.
+pub fn exchange_ghosts_with_plan(
+    plan: &ExchangePlan,
+    slots: &mut [BlockSlot],
+    comm: &mut Communicator,
+    cache: &mut BufferCache,
+    cfg: &ExchangeConfig,
+    exec: ExecCtx,
+    rec: &mut Recorder,
+) {
+    let mut state = ghost_pack_and_send(plan, slots, comm, cache, cfg, exec, rec);
+    let mut sweeps = 0u32;
+    while !ghost_poll(&mut state, comm, rec) {
+        sweeps += 1;
+        assert!(sweeps < 10_000, "ghost messages never arrived");
+    }
+    ghost_set_bounds(plan, state, slots, comm, exec, rec);
+}
+
 /// Performs one full ghost-zone exchange of all [`Metadata::FILL_GHOST`]
-/// variables across all block boundaries.
+/// variables across all block boundaries, building a one-shot
+/// [`ExchangePlan`].
 ///
 /// Fine→coarse data is restricted on the sender; coarse→fine data ships at
 /// coarse resolution and is prolongated during `SetBounds` — matching
@@ -51,196 +418,140 @@ pub fn exchange_ghosts(
     exec: ExecCtx,
     rec: &mut Recorder,
 ) {
-    assert_eq!(
-        slots.len(),
-        mesh.num_blocks(),
-        "slots out of sync with mesh"
-    );
-    let shape = mesh.index_shape();
-    let nblocks = slots.len();
+    let plan = ExchangePlan::build(mesh, slots, cfg, rec);
+    exchange_ghosts_with_plan(&plan, slots, comm, cache, cfg, exec, rec);
+}
 
-    // Enumerate all boundaries: (key, receiver gid, sender gid, neighbor
-    // idx), with each buffer's spec computed once and reused by the send
-    // and set phases.
-    let mut keys = Vec::new();
-    let mut specs = Vec::new();
-    for r in 0..nblocks {
-        for (t, nb) in mesh.neighbors(r).iter().enumerate() {
-            let s = mesh.gid_at(&nb.loc).expect("neighbor is a leaf");
-            keys.push((BoundaryKey::new(s, r, t as u32), r, s, t));
-            specs.push(compute_buffer_spec_with(
-                &shape,
-                &mesh.block(r).loc(),
-                &nb.loc,
-                &nb.offset,
-                cfg.restrict_on_send,
-            ));
-        }
-    }
+/// In-flight state of one flux-correction round between its send and
+/// apply phases.
+#[derive(Debug, Default)]
+pub struct FluxCorrState {
+    /// Transfer indices still waiting on delivery.
+    pending: Vec<usize>,
+    /// Delivered payloads, indexed like the plan's transfer list.
+    bufs: Vec<Option<Vec<f64>>>,
+}
 
-    let wall = rec.wall().clone();
-
-    // --- StartReceiveBoundBufs ---
+/// Packs the restricted fine face fluxes of every fine→coarse transfer in
+/// parallel (pure reads), then sends them serially in face order
+/// (`FluxCorrection`).
+pub fn flux_corr_send(
+    plan: &ExchangePlan,
+    slots: &[BlockSlot],
+    comm: &mut Communicator,
+    exec: ExecCtx,
+    rec: &mut Recorder,
+) -> FluxCorrState {
+    let _g = rec
+        .wall()
+        .clone()
+        .region(RegionKey::Step(StepFunction::FluxCorrection));
+    let mut packed: Vec<(Vec<f64>, u64)> = vec![(Vec::new(), 0); plan.transfers.len()];
     {
-        let _g = wall.region_hot(RegionKey::Step(StepFunction::StartReceiveBoundBufs));
-        for (key, ..) in &keys {
-            comm.start_receive(*key);
-        }
-        rec.record_serial(
-            StepFunction::StartReceiveBoundBufs,
-            SerialWork::BoundaryLoop(keys.len() as u64),
-        );
-    }
-
-    // --- SendBoundBufs ---
-    let send_guard = wall.region(RegionKey::Step(StepFunction::SendBoundBufs));
-    cache.initialize(
-        keys.iter().map(|(k, ..)| *k).collect(),
-        &cfg.cache_config,
-        rec,
-    );
-    // Variable selection per block (string-keyed or cached, per container
-    // strategy); drain lookup counters into the profile.
-    let mut ids = Vec::new();
-    for slot in slots.iter_mut() {
-        ids = slot.data.pack_by_flag(Metadata::FILL_GHOST).ids().to_vec();
-        let lookups = slot.data.take_string_lookups();
-        if lookups > 0 {
-            rec.record_serial(
-                StepFunction::SendBoundBufs,
-                SerialWork::StringLookups(lookups),
-            );
-        }
-    }
-    rec.record_serial(
-        StepFunction::SendBoundBufs,
-        SerialWork::BoundaryLoop(keys.len() as u64),
-    );
-
-    // Pack every boundary buffer in parallel (pure reads of the sender
-    // blocks), then stream the sends serially in key order.
-    let mut packed: Vec<(Vec<f64>, u64)> = vec![(Vec::new(), 0); keys.len()];
-    {
-        let slots_ro: &[BlockSlot] = slots;
-        let keys_ro = &keys;
-        let specs_ro = &specs;
-        let ids_ro = &ids;
+        let transfers_ro = &plan.transfers;
+        let ids_ro = &plan.flux_ids;
         exec.for_each_block(&mut packed, |b, out| {
-            let (_key, _r, s, _t) = keys_ro[b];
-            let spec = &specs_ro[b];
+            let (_key, _r, s, spec) = &transfers_ro[b];
             for &id in ids_ro {
-                let var = slots_ro[s].data.var(id);
-                pack(spec, var.data(), &mut out.0);
+                let var = slots[*s].data.var(id);
+                pack_flux(spec, var, &mut out.0);
                 out.1 += spec.buffer_len(var.ncomp()) as u64;
             }
         });
     }
-    let mut packed_cells_per_rank: HashMap<usize, u64> = HashMap::new();
-    let mut remote_bytes_live: i64 = 0;
-    for ((key, r, s, _t), (buf, cells)) in keys.iter().zip(packed) {
-        let sender_rank = slots[*s].info.rank;
-        let recv_rank = slots[*r].info.rank;
-        if sender_rank != recv_rank {
-            remote_bytes_live += (buf.len() * 8) as i64;
-        }
-        *packed_cells_per_rank.entry(sender_rank).or_insert(0) += cells;
+    for ((key, r, s, _spec), (buf, cells)) in plan.transfers.iter().zip(packed) {
         comm.send(
             *key,
             buf,
-            sender_rank,
-            recv_rank,
-            cells,
-            StepFunction::SendBoundBufs,
+            SendMeta {
+                src: slots[*s].info.rank,
+                dst: slots[*r].info.rank,
+                cells,
+            },
+            StepFunction::FluxCorrection,
             rec,
         );
     }
-    rec.record_alloc(MemSpace::MpiBuffers, remote_bytes_live);
-    {
-        let mut launcher = Launcher::new(rec);
-        for (_, cells) in packed_cells_per_rank.iter() {
-            launcher.record_only(&catalog::SEND_BOUND_BUFS, *cells, 1.0);
-        }
+    rec.record_serial(
+        StepFunction::FluxCorrection,
+        SerialWork::BoundaryLoop(plan.transfers.len() as u64),
+    );
+    FluxCorrState {
+        pending: (0..plan.transfers.len()).collect(),
+        bufs: vec![None; plan.transfers.len()],
     }
-    drop(send_guard);
+}
 
-    // --- ReceiveBoundBufs ---
-    // Poll until every message lands; remote messages may need several
-    // MPI_Iprobe nudges before the progress engine delivers them.
-    let recv_guard = wall.region(RegionKey::Step(StepFunction::ReceiveBoundBufs));
-    let mut received: HashMap<BoundaryKey, Vec<f64>> = HashMap::new();
-    let mut pending: Vec<BoundaryKey> = keys.iter().map(|(k, ..)| *k).collect();
-    let mut sweeps = 0u32;
-    while !pending.is_empty() {
-        pending.retain(|key| match comm.try_receive(*key, rec) {
+/// One delivery sweep over pending flux-correction transfers. Returns
+/// `true` once every correction has arrived.
+pub fn flux_corr_poll(
+    plan: &ExchangePlan,
+    state: &mut FluxCorrState,
+    comm: &mut Communicator,
+    rec: &mut Recorder,
+) -> bool {
+    let _g = rec
+        .wall()
+        .clone()
+        .region(RegionKey::Step(StepFunction::FluxCorrection));
+    let bufs = &mut state.bufs;
+    state
+        .pending
+        .retain(|&b| match comm.try_receive(plan.transfers[b].0, rec) {
             Some(buf) => {
-                received.insert(*key, buf);
+                bufs[b] = Some(buf);
                 false
             }
             None => true,
         });
-        sweeps += 1;
-        assert!(sweeps < 10_000, "ghost messages never arrived");
-    }
-    assert_eq!(received.len(), keys.len(), "all messages arrive in-process");
-    drop(recv_guard);
+    state.pending.is_empty()
+}
 
-    // --- SetBounds ---
-    let _set_guard = wall.region(RegionKey::Step(StepFunction::SetBounds));
-    // Unpack in parallel over *receiver blocks*; each block consumes its
-    // incoming buffers in global key order, so results are identical to the
-    // serial sweep at any thread count.
-    let mut by_recv: Vec<Vec<usize>> = vec![Vec::new(); nblocks];
-    for (b, (_key, r, _s, _t)) in keys.iter().enumerate() {
-        by_recv[*r].push(b);
-    }
-    let mut unpacked_cells_per_rank: HashMap<usize, u64> = HashMap::new();
-    for ((key, r, _s, _t), spec) in keys.iter().zip(&specs) {
-        let recv_rank = slots[*r].info.rank;
-        let buf_len: u64 = ids
-            .iter()
-            .map(|&id| spec.buffer_len(slots[*r].data.var(id).ncomp()) as u64)
-            .sum();
-        *unpacked_cells_per_rank.entry(recv_rank).or_insert(0) += buf_len;
-        let _ = key;
-    }
-    {
-        let keys_ro = &keys;
-        let specs_ro = &specs;
-        let ids_ro = &ids;
-        let by_recv_ro = &by_recv;
-        let received_ro = &received;
-        exec.for_each_block(slots, |r, slot| {
-            for &b in &by_recv_ro[r] {
-                let (key, _r, _s, _t) = keys_ro[b];
-                let spec = &specs_ro[b];
-                let buf = &received_ro[&key];
-                let mut offset = 0usize;
-                for &id in ids_ro {
-                    let var = slot.data.var_mut(id);
-                    let len = spec.buffer_len(var.data().ncomp());
-                    unpack(spec, &buf[offset..offset + len], var.data_mut());
-                    offset += len;
-                }
-            }
-        });
-    }
-    {
-        let mut launcher = Launcher::new(rec);
-        for (_, cells) in unpacked_cells_per_rank.iter() {
-            launcher.record_only(&catalog::SET_BOUNDS, *cells, 1.0);
-        }
-    }
-    rec.record_serial(
-        StepFunction::SetBounds,
-        SerialWork::BoundaryLoop(keys.len() as u64),
+/// Overwrites coarse fluxes with the delivered restricted fine fluxes, in
+/// parallel over receiver blocks, each applying its corrections in face
+/// order.
+///
+/// # Panics
+///
+/// Panics unless [`flux_corr_poll`] reported completion for `state`.
+pub fn flux_corr_apply(
+    plan: &ExchangePlan,
+    state: &FluxCorrState,
+    slots: &mut [BlockSlot],
+    exec: ExecCtx,
+    rec: &mut Recorder,
+) {
+    assert!(
+        state.pending.is_empty(),
+        "all flux corrections arrive in-process"
     );
-    comm.mark_all_stale();
-    rec.record_alloc(MemSpace::MpiBuffers, -remote_bytes_live);
+    let _g = rec
+        .wall()
+        .clone()
+        .region(RegionKey::Step(StepFunction::FluxCorrection));
+    let transfers_ro = &plan.transfers;
+    let ids_ro = &plan.flux_ids;
+    let by_recv_ro = &plan.fcorr_by_recv;
+    let bufs_ro = &state.bufs;
+    exec.for_each_block(slots, |r, slot| {
+        for &b in &by_recv_ro[r] {
+            let (_key, _r, _s, spec) = &transfers_ro[b];
+            let buf = bufs_ro[b].as_ref().expect("correction delivered");
+            let mut offset = 0usize;
+            for &id in ids_ro {
+                let var = slot.data.var_mut(id);
+                let len = spec.buffer_len(var.ncomp());
+                apply_flux(spec, &buf[offset..offset + len], var);
+                offset += len;
+            }
+        }
+    });
 }
 
 /// Fine→coarse flux correction across all level-boundary faces: restricted
 /// fine face fluxes replace the coarse neighbor's fluxes before the flux
-/// divergence (prevents conservation errors).
+/// divergence (prevents conservation errors). Builds a one-shot
+/// [`ExchangePlan`] and runs the send/poll/apply phases back-to-back.
 pub fn flux_correction(
     mesh: &Mesh,
     slots: &mut [BlockSlot],
@@ -248,95 +559,14 @@ pub fn flux_correction(
     exec: ExecCtx,
     rec: &mut Recorder,
 ) {
-    let _g = rec
-        .wall()
-        .clone()
-        .region(RegionKey::Step(StepFunction::FluxCorrection));
-    let shape = mesh.index_shape();
-    // Flux-bearing variable ids (identical registration on every block).
-    let ids = match slots.first_mut() {
-        Some(s) => s.data.pack_by_flag(Metadata::WITH_FLUXES).ids().to_vec(),
-        None => return,
-    };
-
-    // Phase 1: enumerate fine->coarse faces, pack the restricted fine
-    // fluxes in parallel (pure reads), then send serially in face order.
-    let mut transfers = Vec::new();
-    for r in 0..slots.len() {
-        for (t, nb) in mesh.neighbors(r).iter().enumerate() {
-            if !(nb.is_finer() && nb.offset.order() == 1) {
-                continue;
-            }
-            let s = mesh.gid_at(&nb.loc).expect("neighbor is a leaf");
-            let spec = flux_correction_spec(&shape, &slots[r].info.loc, &nb.loc, &nb.offset);
-            let key = BoundaryKey::new(s, r, 1000 + t as u32);
-            transfers.push((key, r, s, spec));
-        }
+    let plan = ExchangePlan::build(mesh, slots, &ExchangeConfig::default(), rec);
+    let mut state = flux_corr_send(&plan, slots, comm, exec, rec);
+    let mut sweeps = 0u32;
+    while !flux_corr_poll(&plan, &mut state, comm, rec) {
+        sweeps += 1;
+        assert!(sweeps < 10_000, "flux corrections never arrived");
     }
-    let mut packed: Vec<(Vec<f64>, u64)> = vec![(Vec::new(), 0); transfers.len()];
-    {
-        let slots_ro: &[BlockSlot] = slots;
-        let transfers_ro = &transfers;
-        let ids_ro = &ids;
-        exec.for_each_block(&mut packed, |b, out| {
-            let (_key, _r, s, spec) = &transfers_ro[b];
-            for &id in ids_ro {
-                let var = slots_ro[*s].data.var(id);
-                pack_flux(spec, var, &mut out.0);
-                out.1 += spec.buffer_len(var.ncomp()) as u64;
-            }
-        });
-    }
-    for ((key, r, s, _spec), (buf, cells)) in transfers.iter().zip(packed) {
-        comm.send(
-            *key,
-            buf,
-            slots[*s].info.rank,
-            slots[*r].info.rank,
-            cells,
-            StepFunction::FluxCorrection,
-            rec,
-        );
-    }
-    rec.record_serial(
-        StepFunction::FluxCorrection,
-        SerialWork::BoundaryLoop(transfers.len() as u64),
-    );
-
-    // Phase 2: receive all corrections (polling until the progress engine
-    // delivers), then overwrite coarse fluxes in parallel over receiver
-    // blocks, each applying its corrections in face order.
-    let bufs: Vec<Vec<f64>> = transfers
-        .iter()
-        .map(|(key, ..)| loop {
-            if let Some(buf) = comm.try_receive(*key, rec) {
-                break buf;
-            }
-        })
-        .collect();
-    let mut by_recv: Vec<Vec<usize>> = vec![Vec::new(); slots.len()];
-    for (b, (_key, r, _s, _spec)) in transfers.iter().enumerate() {
-        by_recv[*r].push(b);
-    }
-    {
-        let transfers_ro = &transfers;
-        let ids_ro = &ids;
-        let by_recv_ro = &by_recv;
-        let bufs_ro = &bufs;
-        exec.for_each_block(slots, |r, slot| {
-            for &b in &by_recv_ro[r] {
-                let (_key, _r, _s, spec) = &transfers_ro[b];
-                let buf = &bufs_ro[b];
-                let mut offset = 0usize;
-                for &id in ids_ro {
-                    let var = slot.data.var_mut(id);
-                    let len = spec.buffer_len(var.ncomp());
-                    apply_flux(spec, &buf[offset..offset + len], var);
-                    offset += len;
-                }
-            }
-        });
-    }
+    flux_corr_apply(&plan, &state, slots, exec, rec);
 }
 
 #[cfg(test)]
@@ -606,5 +836,77 @@ mod tests {
             without > with,
             "unrestricted sends move more cells: {without} vs {with}"
         );
+    }
+
+    /// The split phases driven separately must be indistinguishable from
+    /// the one-shot exchange: same ghost values, same message totals.
+    #[test]
+    fn phased_exchange_matches_one_shot() {
+        let mesh = uniform_mesh();
+        let init = |slots: &mut Vec<BlockSlot>| {
+            for slot in slots.iter_mut() {
+                let qid = slot.data.id_of("q").unwrap();
+                let shape = *slot.data.shape();
+                let var = slot.data.var_mut(qid);
+                for j in 0..shape.entire_d(1) {
+                    for i in 0..shape.entire_d(0) {
+                        var.data_mut()
+                            .set(0, 0, j, i, (i as f64 * 1.7 + j as f64 * 0.3).sin());
+                    }
+                }
+            }
+        };
+        let run = |phased: bool| {
+            let mut slots = build(&mesh, 1);
+            init(&mut slots);
+            let mut comm = Communicator::new(2);
+            comm.set_remote_delivery_delay(2);
+            let mut cache = BufferCache::new();
+            let mut rec = Recorder::new();
+            rec.begin_cycle(0);
+            let cfg = ExchangeConfig::default();
+            let plan = ExchangePlan::build(&mesh, &mut slots, &cfg, &mut rec);
+            if phased {
+                let mut state = ghost_pack_and_send(
+                    &plan,
+                    &slots,
+                    &mut comm,
+                    &mut cache,
+                    &cfg,
+                    ExecCtx::serial(),
+                    &mut rec,
+                );
+                while !ghost_poll(&mut state, &mut comm, &mut rec) {}
+                ghost_set_bounds(
+                    &plan,
+                    state,
+                    &mut slots,
+                    &mut comm,
+                    ExecCtx::serial(),
+                    &mut rec,
+                );
+            } else {
+                exchange_ghosts_with_plan(
+                    &plan,
+                    &mut slots,
+                    &mut comm,
+                    &mut cache,
+                    &cfg,
+                    ExecCtx::serial(),
+                    &mut rec,
+                );
+            }
+            rec.end_cycle(mesh.num_blocks() as u64, 0, 0, 0);
+            let ghosts: Vec<f64> = slots
+                .iter()
+                .flat_map(|s| s.data.vars()[0].data().as_slice().to_vec())
+                .collect();
+            let t = rec.totals().comm[&StepFunction::SendBoundBufs].clone();
+            (ghosts, t.p2p_local_messages + t.p2p_remote_messages)
+        };
+        let (a_ghosts, a_msgs) = run(true);
+        let (b_ghosts, b_msgs) = run(false);
+        assert_eq!(a_msgs, b_msgs);
+        assert!(a_ghosts == b_ghosts, "bitwise identical ghost fill");
     }
 }

@@ -1,18 +1,24 @@
-//! The evolution driver: Parthenon's timestep loop.
+//! The evolution driver: Parthenon's timestep loop, executed as a
+//! dependency-driven task graph per cycle (see [`cycle_task_graph`]).
 
 use std::collections::BTreeMap;
 
 use vibe_comm::{BufferCache, CacheConfig, Communicator};
 use vibe_exec::{catalog, ExecCtx, Launcher};
-use vibe_field::{apply_face_bc, BcKind, BlockData, Metadata, PackStrategy, Side};
+use vibe_field::{apply_face_bc, BcKind, BlockData, PackStrategy, Side};
 use vibe_mesh::{enforce_proper_nesting, AmrFlag, CostModel, DerefGate, Mesh, RegridSource};
 use vibe_prof::{MemSpace, ProfLevel, Recorder, RegionKey, SerialWork, StepFunction};
 
 use crate::amr::{prolongate_to_child, restrict_to_parent};
 use crate::block::{BlockInfo, BlockSlot};
-use crate::boundary::{exchange_ghosts, flux_correction, ExchangeConfig};
-use crate::package::Package;
-use crate::update::flux_divergence_update;
+use crate::boundary::{
+    exchange_ghosts_with_plan, flux_corr_apply, flux_corr_poll, flux_corr_send,
+    ghost_pack_and_send, ghost_poll, ghost_set_bounds, ExchangeConfig, ExchangePlan, FluxCorrState,
+    GhostExchangeState,
+};
+use crate::package::{FluxPhase, Package};
+use crate::tasks::{TaskKind, TaskList, TaskNode, TaskStatus};
+use crate::update::flux_divergence_update_with_ids;
 
 /// Driver configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -90,6 +96,11 @@ pub struct CycleTiming {
     /// Pool load-imbalance factor (max/mean worker busy time; 0 when
     /// profiling is off, 1.0 is perfect balance).
     pub load_imbalance: f64,
+    /// Wall time inside [`TaskKind::Compute`] task actions (ns).
+    pub compute_task_ns: u64,
+    /// Subset of `compute_task_ns` spent while comm traffic was
+    /// outstanding — the measured comm/compute overlap.
+    pub overlapped_compute_ns: u64,
 }
 
 /// Summary of one completed cycle.
@@ -112,9 +123,146 @@ pub struct CycleSummary {
     pub timing: CycleTiming,
 }
 
+/// Task names of one RK stage, indexed `[stage][slot]` in graph order:
+/// PackSend, InteriorFlux, WaitUnpack, ExteriorFlux, FluxCorrSend,
+/// FluxCorrApply, Update, FillDerived.
+const STAGE_TASK_NAMES: [[&str; 8]; 2] = [
+    [
+        "Stage0::PackSend",
+        "Stage0::InteriorFlux",
+        "Stage0::WaitUnpack",
+        "Stage0::ExteriorFlux",
+        "Stage0::FluxCorrSend",
+        "Stage0::FluxCorrApply",
+        "Stage0::Update",
+        "Stage0::FillDerived",
+    ],
+    [
+        "Stage1::PackSend",
+        "Stage1::InteriorFlux",
+        "Stage1::WaitUnpack",
+        "Stage1::ExteriorFlux",
+        "Stage1::FluxCorrSend",
+        "Stage1::FluxCorrApply",
+        "Stage1::Update",
+        "Stage1::FillDerived",
+    ],
+];
+
+/// The dependency graph of one driver cycle — the exact task structure
+/// [`Driver::step`] executes (asserted against the live list in debug
+/// builds), exported action-free so consumers like the timeline simulator
+/// replay the same schedule the driver ran.
+///
+/// Per RK stage, the ghost exchange is split so ghost-independent interior
+/// flux work overlaps in-flight boundary traffic:
+///
+/// ```text
+/// PackSend ──┬─> InteriorFlux ──┬─> ExteriorFlux ─> FluxCorrSend
+///            └─> WaitUnpack ────┘       ─> FluxCorrApply ─> Update ─> FillDerived
+/// ```
+///
+/// and the AMR tail (`MassHistory` ∥ `RefinementTag` → `TreeUpdate` →
+/// `Regrid` → `EstimateTimeStep`) follows the second stage.
+pub fn cycle_task_graph() -> Vec<TaskNode> {
+    use StepFunction::*;
+    let node = |name: &str, kind: TaskKind, funcs: Vec<StepFunction>, deps: Vec<usize>| TaskNode {
+        name: name.to_string(),
+        kind,
+        funcs,
+        deps,
+    };
+    let mut g = Vec::with_capacity(22);
+    g.push(node("SaveStage0", TaskKind::Compute, vec![], vec![]));
+    for (stage, names) in STAGE_TASK_NAMES.iter().enumerate() {
+        let base = 1 + 8 * stage;
+        let prev = if stage == 0 { 0 } else { base - 1 };
+        g.push(node(
+            names[0],
+            TaskKind::CommSend,
+            vec![StartReceiveBoundBufs, SendBoundBufs, InitializeBufferCache],
+            vec![prev],
+        ));
+        g.push(node(
+            names[1],
+            TaskKind::Compute,
+            vec![CalculateFluxes],
+            vec![base],
+        ));
+        g.push(node(
+            names[2],
+            TaskKind::CommWait,
+            vec![ReceiveBoundBufs, SetBounds],
+            vec![base],
+        ));
+        g.push(node(
+            names[3],
+            TaskKind::Compute,
+            vec![CalculateFluxes],
+            vec![base + 1, base + 2],
+        ));
+        g.push(node(
+            names[4],
+            TaskKind::CommSend,
+            vec![FluxCorrection],
+            vec![base + 3],
+        ));
+        g.push(node(
+            names[5],
+            TaskKind::CommWait,
+            vec![FluxCorrection],
+            vec![base + 4],
+        ));
+        g.push(node(
+            names[6],
+            TaskKind::Compute,
+            vec![WeightedSumData, FluxDivergence],
+            vec![base + 5],
+        ));
+        g.push(node(
+            names[7],
+            TaskKind::Compute,
+            vec![FillDerived],
+            vec![base + 6],
+        ));
+    }
+    g.push(node(
+        "MassHistory",
+        TaskKind::Compute,
+        vec![MassHistory],
+        vec![16],
+    ));
+    g.push(node(
+        "RefinementTag",
+        TaskKind::Compute,
+        vec![RefinementTag],
+        vec![16],
+    ));
+    g.push(node(
+        "TreeUpdate",
+        TaskKind::Serial,
+        vec![UpdateMeshBlockTree],
+        vec![18],
+    ));
+    g.push(node(
+        "Regrid",
+        TaskKind::Serial,
+        vec![RedistributeAndRefineMeshBlocks, RebuildBufferCache],
+        vec![19, 17],
+    ));
+    g.push(node(
+        "EstimateTimeStep",
+        TaskKind::Compute,
+        vec![EstimateTimeStep],
+        vec![20],
+    ));
+    g
+}
+
 /// The evolution driver: owns the mesh, block data, communication state,
 /// and profiler, and advances the simulation with the paper's timestep
-/// loop (`Step` → `LoadBalancingAndAMR` → `EstimateTimeStep`).
+/// loop (`Step` → `LoadBalancingAndAMR` → `EstimateTimeStep`), each cycle
+/// executed as the dependency-driven task graph of [`cycle_task_graph`].
 #[derive(Debug)]
 pub struct Driver<P: Package> {
     mesh: Mesh,
@@ -129,6 +277,22 @@ pub struct Driver<P: Package> {
     dt: f64,
     cycle: u64,
     history: Vec<(u64, Vec<f64>)>,
+    /// Per-mesh-generation communication plan; `None` after a regrid until
+    /// the next [`Self::ensure_plan`].
+    plan: Option<ExchangePlan>,
+    /// Ghost-exchange traffic in flight between the PackSend and
+    /// WaitUnpack tasks of the current stage.
+    ghost_state: GhostExchangeState,
+    /// Flux corrections in flight between FluxCorrSend and FluxCorrApply.
+    fcorr_state: FluxCorrState,
+    /// Timestep frozen at the start of the current cycle's task list.
+    step_dt: f64,
+    /// Refinement flags handed from the RefinementTag task to TreeUpdate.
+    step_flags: BTreeMap<vibe_mesh::LogicalLocation, AmrFlag>,
+    /// Regrid decision handed from TreeUpdate to Regrid.
+    step_decision: Option<vibe_mesh::refinement::RegridDecision>,
+    /// (refined, derefined) counts recorded by the Regrid task.
+    step_counts: (usize, usize),
 }
 
 impl<P: Package> Driver<P> {
@@ -148,6 +312,13 @@ impl<P: Package> Driver<P> {
             cycle: 0,
             history: Vec::new(),
             slots: Vec::new(),
+            plan: None,
+            ghost_state: GhostExchangeState::default(),
+            fcorr_state: FluxCorrState::default(),
+            step_dt: 0.0,
+            step_flags: BTreeMap::new(),
+            step_decision: None,
+            step_counts: (0, 0),
             mesh,
             package,
             params,
@@ -264,13 +435,7 @@ impl<P: Package> Driver<P> {
         self.mesh.load_balance(self.params.nranks);
         self.sync_ranks();
         self.exchange();
-        let exec = self.exec();
-        {
-            let _fd = wall.region(RegionKey::Step(StepFunction::FillDerived));
-            self.with_rank_packs(StepFunction::FillDerived, |pkg, pack, rec| {
-                pkg.fill_derived(pack, exec, rec);
-            });
-        }
+        self.task_fill_derived();
         self.estimate_dt();
         drop(init_guard);
         if wall.enabled() {
@@ -293,7 +458,12 @@ impl<P: Package> Driver<P> {
         out
     }
 
-    /// Advances one full cycle: Step, LoadBalancingAndAMR, EstimateTimeStep.
+    /// Advances one full cycle by executing the [`cycle_task_graph`]: RK2
+    /// predictor + corrector with split ghost exchanges (interior flux work
+    /// overlapping in-flight boundary traffic), then the AMR tail and the
+    /// timestep estimate. The ready sweep is deterministic, so results are
+    /// bitwise identical to a fully barriered stage sequence at any
+    /// `host_threads`.
     pub fn step(&mut self) -> CycleSummary {
         assert!(self.dt > 0.0, "initialize() must run before step()");
         self.rec.begin_cycle(self.cycle);
@@ -303,78 +473,365 @@ impl<P: Package> Driver<P> {
             vibe_exec::stats_begin();
         }
         let cycle_guard = wall.region(RegionKey::Named("Cycle"));
+        self.ensure_plan();
         let dt = self.dt;
-        let exec = self.exec();
-
-        // === Step: RK2 predictor + corrector ===
-        let two_stage: Vec<_> = {
-            let first = &mut self.slots[0];
-            first.data.pack_by_flag(Metadata::TWO_STAGE).ids().to_vec()
-        };
-        {
-            let _g = wall.region_hot(RegionKey::Named("SaveStage0"));
-            exec.for_each_block(&mut self.slots, |_, slot| {
-                slot.save_stage0(&two_stage);
-            });
+        self.step_dt = dt;
+        let mut list = Self::build_cycle_list();
+        debug_assert_eq!(
+            list.graph(),
+            cycle_task_graph(),
+            "driver task list drifted from the exported cycle graph"
+        );
+        let stats = list
+            .execute_timed(self, wall.enabled())
+            .expect("cycle task graph completes");
+        drop(cycle_guard);
+        if wall.enabled() {
+            wall.record_pool_samples(&vibe_exec::stats_end());
         }
-        for stage in 0..2 {
-            self.exchange();
-            {
-                let _g = wall.region(RegionKey::Step(StepFunction::CalculateFluxes));
-                self.with_rank_packs(StepFunction::CalculateFluxes, |pkg, pack, rec| {
-                    pkg.calculate_fluxes(pack, exec, rec);
-                });
-            }
-            flux_correction(
-                &self.mesh,
-                &mut self.slots,
-                &mut self.comm,
-                exec,
-                &mut self.rec,
+        let (refined, derefined) = self.step_counts;
+        let nblocks = self.mesh.num_blocks();
+        let cell_updates = self.mesh.total_interior_cells();
+        self.rec.end_cycle(
+            nblocks as u64,
+            refined as u64,
+            derefined as u64,
+            cell_updates,
+        );
+        self.time += dt;
+        self.cycle += 1;
+        let mut timing = self.last_cycle_timing();
+        if wall.enabled() {
+            timing.compute_task_ns = stats.compute_ns;
+            timing.overlapped_compute_ns = stats.overlapped_compute_ns;
+        }
+        CycleSummary {
+            cycle: self.cycle - 1,
+            time: self.time,
+            dt,
+            nblocks,
+            refined,
+            derefined,
+            timing,
+        }
+    }
+
+    /// Builds the executable task list for one cycle. Its exported graph is
+    /// identical to [`cycle_task_graph`] (checked in debug builds every
+    /// cycle and by a unit test).
+    fn build_cycle_list() -> TaskList<Self> {
+        let mut list: TaskList<Self> = TaskList::new();
+        let save = list.add_task_meta("SaveStage0", TaskKind::Compute, [], [], |d: &mut Self| {
+            d.task_save_stage0();
+            TaskStatus::Complete
+        });
+        let mut prev = save;
+        for (stage, names) in STAGE_TASK_NAMES.iter().enumerate() {
+            let pack_send = list.add_task_meta(
+                names[0],
+                TaskKind::CommSend,
+                [
+                    StepFunction::StartReceiveBoundBufs,
+                    StepFunction::SendBoundBufs,
+                    StepFunction::InitializeBufferCache,
+                ],
+                [prev],
+                move |d: &mut Self| {
+                    d.task_ghost_pack_send(names[0]);
+                    TaskStatus::Complete
+                },
             );
-            let (a0, b, c) = if stage == 0 {
-                (0.0, 1.0, 1.0)
-            } else {
-                (0.5, 0.5, 0.5)
-            };
-            {
-                let _g = wall.region(RegionKey::Named("RK2Update"));
-                Self::for_rank_packs_static(&self.mesh, &mut self.slots, |pack| {
-                    flux_divergence_update(pack, exec, a0, b, c, dt, &mut self.rec);
-                });
-            }
-            {
-                let _g = wall.region(RegionKey::Step(StepFunction::FillDerived));
-                self.with_rank_packs(StepFunction::FillDerived, |pkg, pack, rec| {
-                    pkg.fill_derived(pack, exec, rec);
-                });
-            }
+            let interior = list.add_task_meta(
+                names[1],
+                TaskKind::Compute,
+                [StepFunction::CalculateFluxes],
+                [pack_send],
+                |d: &mut Self| {
+                    d.task_flux(FluxPhase::Interior);
+                    TaskStatus::Complete
+                },
+            );
+            let wait = list.add_task_meta(
+                names[2],
+                TaskKind::CommWait,
+                [StepFunction::ReceiveBoundBufs, StepFunction::SetBounds],
+                [pack_send],
+                move |d: &mut Self| d.task_ghost_wait_unpack(names[2]),
+            );
+            let exterior = list.add_task_meta(
+                names[3],
+                TaskKind::Compute,
+                [StepFunction::CalculateFluxes],
+                [interior, wait],
+                |d: &mut Self| {
+                    d.task_flux(FluxPhase::Exterior);
+                    TaskStatus::Complete
+                },
+            );
+            let fc_send = list.add_task_meta(
+                names[4],
+                TaskKind::CommSend,
+                [StepFunction::FluxCorrection],
+                [exterior],
+                move |d: &mut Self| {
+                    d.task_fcorr_send(names[4]);
+                    TaskStatus::Complete
+                },
+            );
+            let fc_apply = list.add_task_meta(
+                names[5],
+                TaskKind::CommWait,
+                [StepFunction::FluxCorrection],
+                [fc_send],
+                move |d: &mut Self| d.task_fcorr_apply(names[5]),
+            );
+            let update = list.add_task_meta(
+                names[6],
+                TaskKind::Compute,
+                [StepFunction::WeightedSumData, StepFunction::FluxDivergence],
+                [fc_apply],
+                move |d: &mut Self| {
+                    d.task_update(stage);
+                    TaskStatus::Complete
+                },
+            );
+            prev = list.add_task_meta(
+                names[7],
+                TaskKind::Compute,
+                [StepFunction::FillDerived],
+                [update],
+                |d: &mut Self| {
+                    d.task_fill_derived();
+                    TaskStatus::Complete
+                },
+            );
         }
-        if self.params.history_every > 0 && self.cycle % self.params.history_every == 0 {
-            let _g = wall.region(RegionKey::Step(StepFunction::MassHistory));
-            let mut values: Vec<f64> = Vec::new();
-            self.with_rank_packs(StepFunction::MassHistory, |pkg, pack, rec| {
-                let v = pkg.history(pack, exec, rec);
-                if values.is_empty() {
-                    values = v;
-                } else {
-                    for (acc, x) in values.iter_mut().zip(v) {
-                        *acc += x;
-                    }
-                }
-            });
-            self.history.push((self.cycle, values));
-        }
+        let history = list.add_task_meta(
+            "MassHistory",
+            TaskKind::Compute,
+            [StepFunction::MassHistory],
+            [prev],
+            |d: &mut Self| {
+                d.task_history();
+                TaskStatus::Complete
+            },
+        );
+        let tag = list.add_task_meta(
+            "RefinementTag",
+            TaskKind::Compute,
+            [StepFunction::RefinementTag],
+            [prev],
+            |d: &mut Self| {
+                d.step_flags = d.collect_tags();
+                TaskStatus::Complete
+            },
+        );
+        let tree = list.add_task_meta(
+            "TreeUpdate",
+            TaskKind::Serial,
+            [StepFunction::UpdateMeshBlockTree],
+            [tag],
+            |d: &mut Self| {
+                d.task_tree_update();
+                TaskStatus::Complete
+            },
+        );
+        let regrid = list.add_task_meta(
+            "Regrid",
+            TaskKind::Serial,
+            [
+                StepFunction::RedistributeAndRefineMeshBlocks,
+                StepFunction::RebuildBufferCache,
+            ],
+            [tree, history],
+            |d: &mut Self| {
+                d.task_regrid();
+                TaskStatus::Complete
+            },
+        );
+        list.add_task_meta(
+            "EstimateTimeStep",
+            TaskKind::Compute,
+            [StepFunction::EstimateTimeStep],
+            [regrid],
+            |d: &mut Self| {
+                d.comm.set_task(Some("EstimateTimeStep"));
+                d.estimate_dt();
+                d.comm.set_task(None);
+                TaskStatus::Complete
+            },
+        );
+        list
+    }
 
-        // === LoadBalancingAndAMR ===
-        let flags = self.collect_tags();
-        // UpdateMeshBlockTree: gather flags across ranks, reconcile.
-        let tree_guard = wall.region(RegionKey::Step(StepFunction::UpdateMeshBlockTree));
+    /// Copies cycle-start state of all two-stage variables (ids cached in
+    /// the exchange plan).
+    fn task_save_stage0(&mut self) {
+        let wall = self.rec.wall().clone();
+        let _g = wall.region_hot(RegionKey::Named("SaveStage0"));
+        let ids = self
+            .plan
+            .as_ref()
+            .expect("plan built")
+            .two_stage_ids
+            .clone();
+        let exec = self.exec();
+        exec.for_each_block(&mut self.slots, |_, slot| {
+            slot.save_stage0(&ids);
+        });
+    }
+
+    /// PackSend task: posts receives, packs and ships every ghost buffer.
+    fn task_ghost_pack_send(&mut self, task: &'static str) {
+        let cfg = self.exchange_config();
+        let exec = self.exec();
+        let wall = self.rec.wall().clone();
+        let _g = wall.region(RegionKey::Named("GhostExchange"));
+        self.comm.set_task(Some(task));
+        let plan = self.plan.take().expect("plan built");
+        self.ghost_state = ghost_pack_and_send(
+            &plan,
+            &self.slots,
+            &mut self.comm,
+            &mut self.cache,
+            &cfg,
+            exec,
+            &mut self.rec,
+        );
+        self.plan = Some(plan);
+        self.comm.set_task(None);
+    }
+
+    /// WaitUnpack task: polls for delivery; once everything arrived, unpacks
+    /// into ghost zones and applies physical boundary conditions.
+    fn task_ghost_wait_unpack(&mut self, task: &'static str) -> TaskStatus {
+        let wall = self.rec.wall().clone();
+        let _g = wall.region(RegionKey::Named("GhostExchange"));
+        self.comm.set_task(Some(task));
+        if !ghost_poll(&mut self.ghost_state, &mut self.comm, &mut self.rec) {
+            self.comm.set_task(None);
+            return TaskStatus::Incomplete;
+        }
+        let plan = self.plan.take().expect("plan built");
+        let state = std::mem::take(&mut self.ghost_state);
+        let exec = self.exec();
+        ghost_set_bounds(
+            &plan,
+            state,
+            &mut self.slots,
+            &mut self.comm,
+            exec,
+            &mut self.rec,
+        );
+        self.plan = Some(plan);
+        self.comm.set_task(None);
+        self.apply_physical_bcs();
+        TaskStatus::Complete
+    }
+
+    /// Interior/exterior flux task: one phase of the split sweep.
+    fn task_flux(&mut self, phase: FluxPhase) {
+        let exec = self.exec();
+        let wall = self.rec.wall().clone();
+        let _g = wall.region(RegionKey::Step(StepFunction::CalculateFluxes));
+        self.with_rank_packs(StepFunction::CalculateFluxes, |pkg, pack, rec| {
+            pkg.calculate_fluxes_phase(pack, phase, exec, rec);
+        });
+    }
+
+    /// FluxCorrSend task: packs and sends restricted fine face fluxes.
+    fn task_fcorr_send(&mut self, task: &'static str) {
+        let exec = self.exec();
+        self.comm.set_task(Some(task));
+        let plan = self.plan.take().expect("plan built");
+        self.fcorr_state = flux_corr_send(&plan, &self.slots, &mut self.comm, exec, &mut self.rec);
+        self.plan = Some(plan);
+        self.comm.set_task(None);
+    }
+
+    /// FluxCorrApply task: polls for corrections, then overwrites coarse
+    /// fluxes once everything arrived.
+    fn task_fcorr_apply(&mut self, task: &'static str) -> TaskStatus {
+        self.comm.set_task(Some(task));
+        let plan = self.plan.take().expect("plan built");
+        let status = if flux_corr_poll(&plan, &mut self.fcorr_state, &mut self.comm, &mut self.rec)
+        {
+            let state = std::mem::take(&mut self.fcorr_state);
+            let exec = self.exec();
+            flux_corr_apply(&plan, &state, &mut self.slots, exec, &mut self.rec);
+            TaskStatus::Complete
+        } else {
+            TaskStatus::Incomplete
+        };
+        self.plan = Some(plan);
+        self.comm.set_task(None);
+        status
+    }
+
+    /// RK2 stage update (flux ids cached in the exchange plan).
+    fn task_update(&mut self, stage: usize) {
+        let (a0, b, c) = if stage == 0 {
+            (0.0, 1.0, 1.0)
+        } else {
+            (0.5, 0.5, 0.5)
+        };
+        let dt = self.step_dt;
+        let exec = self.exec();
+        let wall = self.rec.wall().clone();
+        let _g = wall.region(RegionKey::Named("RK2Update"));
+        let ids = self.plan.as_ref().expect("plan built").flux_ids.clone();
+        let rec = &mut self.rec;
+        Self::for_rank_packs_static(&self.mesh, &mut self.slots, |pack| {
+            flux_divergence_update_with_ids(pack, exec, a0, b, c, dt, &ids, rec);
+        });
+    }
+
+    /// FillDerived task (also the initializer's derived fill).
+    fn task_fill_derived(&mut self) {
+        let exec = self.exec();
+        let wall = self.rec.wall().clone();
+        let _g = wall.region(RegionKey::Step(StepFunction::FillDerived));
+        self.with_rank_packs(StepFunction::FillDerived, |pkg, pack, rec| {
+            pkg.fill_derived(pack, exec, rec);
+        });
+    }
+
+    /// MassHistory task; a no-op on cycles the `history_every` gate skips
+    /// (the graph stays static, the work doesn't run).
+    fn task_history(&mut self) {
+        if self.params.history_every == 0 || !self.cycle.is_multiple_of(self.params.history_every) {
+            return;
+        }
+        let exec = self.exec();
+        let wall = self.rec.wall().clone();
+        let _g = wall.region(RegionKey::Step(StepFunction::MassHistory));
+        let mut values: Vec<f64> = Vec::new();
+        self.with_rank_packs(StepFunction::MassHistory, |pkg, pack, rec| {
+            let v = pkg.history(pack, exec, rec);
+            if values.is_empty() {
+                values = v;
+            } else {
+                for (acc, x) in values.iter_mut().zip(v) {
+                    *acc += x;
+                }
+            }
+        });
+        self.history.push((self.cycle, values));
+    }
+
+    /// UpdateMeshBlockTree task: gather flags across ranks, reconcile into
+    /// a regrid decision for the Regrid task.
+    fn task_tree_update(&mut self) {
+        let wall = self.rec.wall().clone();
+        let _g = wall.region(RegionKey::Step(StepFunction::UpdateMeshBlockTree));
+        self.comm.set_task(Some("TreeUpdate"));
         self.comm.all_gather(
             StepFunction::UpdateMeshBlockTree,
             self.mesh.num_blocks() as u64,
             &mut self.rec,
         );
+        self.comm.set_task(None);
+        let flags = std::mem::take(&mut self.step_flags);
         let mut decision = enforce_proper_nesting(self.mesh.tree(), &flags);
         decision.derefine_parents = self.gate.filter(decision.derefine_parents, self.cycle);
         self.rec.record_serial(
@@ -387,11 +844,18 @@ impl<P: Package> Driver<P> {
             StepFunction::UpdateMeshBlockTree,
             SerialWork::BlockLoop(self.mesh.num_blocks() as u64),
         );
-        drop(tree_guard);
-        let (refined, derefined) = (decision.refine.len(), decision.derefine_parents.len());
-        let regrid_guard = wall.region(RegionKey::Step(
+        self.step_decision = Some(decision);
+    }
+
+    /// Regrid task: apply the decision, load-balance, account block moves
+    /// and list rebuilds, rebuild the buffer cache when invalidated.
+    fn task_regrid(&mut self) {
+        let wall = self.rec.wall().clone();
+        let _g = wall.region(RegionKey::Step(
             StepFunction::RedistributeAndRefineMeshBlocks,
         ));
+        let decision = self.step_decision.take().expect("tree update ran");
+        self.step_counts = (decision.refine.len(), decision.derefine_parents.len());
         if !decision.is_empty() {
             for parent in &decision.derefine_parents {
                 self.gate.record_derefine(parent, self.cycle);
@@ -443,34 +907,6 @@ impl<P: Package> Driver<P> {
             self.cache
                 .rebuild(nbuffers as u64, nbuffers as u64 * 96, &mut self.rec);
         }
-        drop(regrid_guard);
-
-        // === EstimateTimeStep ===
-        self.estimate_dt();
-
-        drop(cycle_guard);
-        if wall.enabled() {
-            wall.record_pool_samples(&vibe_exec::stats_end());
-        }
-        let nblocks = self.mesh.num_blocks();
-        let cell_updates = self.mesh.total_interior_cells();
-        self.rec.end_cycle(
-            nblocks as u64,
-            refined as u64,
-            derefined as u64,
-            cell_updates,
-        );
-        self.time += dt;
-        self.cycle += 1;
-        CycleSummary {
-            cycle: self.cycle - 1,
-            time: self.time,
-            dt,
-            nblocks,
-            refined,
-            derefined,
-            timing: self.last_cycle_timing(),
-        }
     }
 
     /// Extracts the measured per-stage breakdown of the most recently
@@ -503,26 +939,51 @@ impl<P: Package> Driver<P> {
                     pool_busy_ns: last.pool.busy_ns,
                     pool_thread_time_ns: last.pool.thread_time_ns,
                     load_imbalance: last.pool.load_imbalance(),
+                    // Filled from the task executor's stats by step().
+                    compute_task_ns: 0,
+                    overlapped_compute_ns: 0,
                 }
             })
             .unwrap_or_default()
     }
 
-    /// One ghost exchange over all FILL_GHOST variables, followed by
-    /// physical boundary conditions at non-periodic domain faces.
-    fn exchange(&mut self) {
-        let cfg = ExchangeConfig {
+    /// The exchange configuration derived from the driver parameters.
+    fn exchange_config(&self) -> ExchangeConfig {
+        ExchangeConfig {
             cache_config: self.params.cache_config,
             restrict_on_send: self.params.restrict_on_send,
-        };
+        }
+    }
+
+    /// Rebuilds the communication plan if the mesh generation changed
+    /// (plan invalidation happens in [`Self::apply_regrid`]).
+    fn ensure_plan(&mut self) {
+        if self.plan.is_none() {
+            let cfg = self.exchange_config();
+            self.plan = Some(ExchangePlan::build(
+                &self.mesh,
+                &mut self.slots,
+                &cfg,
+                &mut self.rec,
+            ));
+        }
+    }
+
+    /// One blocking ghost exchange over all FILL_GHOST variables, followed
+    /// by physical boundary conditions at non-periodic domain faces (the
+    /// initializer's path; cycles run the same phases as separate tasks).
+    fn exchange(&mut self) {
+        let cfg = self.exchange_config();
         let exec = self.exec();
+        self.ensure_plan();
         let _g = self
             .rec
             .wall()
             .clone()
             .region(RegionKey::Named("GhostExchange"));
-        exchange_ghosts(
-            &self.mesh,
+        let plan = self.plan.take().expect("plan built");
+        exchange_ghosts_with_plan(
+            &plan,
             &mut self.slots,
             &mut self.comm,
             &mut self.cache,
@@ -530,6 +991,7 @@ impl<P: Package> Driver<P> {
             exec,
             &mut self.rec,
         );
+        self.plan = Some(plan);
         self.apply_physical_bcs();
     }
 
@@ -548,10 +1010,7 @@ impl<P: Package> Driver<P> {
         let shape = self.mesh.index_shape();
         let kind = self.params.boundary_condition;
         let base_blocks = self.mesh.params().base_blocks();
-        let ids: Vec<_> = {
-            let first = &mut self.slots[0];
-            first.data.pack_by_flag(Metadata::FILL_GHOST).ids().to_vec()
-        };
+        let ids = self.plan.as_ref().expect("plan built").ghost_ids.clone();
         let exec = self.exec();
         exec.for_each_block(&mut self.slots, |_, slot| {
             let loc = slot.info.loc;
@@ -711,6 +1170,9 @@ impl<P: Package> Driver<P> {
             );
         }
         self.cache.invalidate();
+        // New gids and neighbor lists: the communication plan (and its
+        // cached variable-id lookups) must be rebuilt.
+        self.plan = None;
     }
 
     /// Restores the simulation clock from a checkpoint (used by
@@ -997,6 +1459,12 @@ mod tests {
         assert!(t.flux_ns > 0 && t.flux_ns < t.wall_ns);
         assert!(t.comm_ns > 0 && t.comm_ns < t.wall_ns);
         assert!(t.update_ns > 0 && t.dt_ns > 0);
+        assert!(t.compute_task_ns > 0, "compute task time measured");
+        assert!(
+            t.overlapped_compute_ns > 0,
+            "interior flux overlapped in-flight ghost traffic"
+        );
+        assert!(t.overlapped_compute_ns <= t.compute_task_ns);
         assert!(t.pool_busy_ns > 0 && t.pool_thread_time_ns >= t.pool_busy_ns);
         assert!(t.load_imbalance >= 1.0);
         d.recorder()
@@ -1039,6 +1507,15 @@ mod tests {
         let s = d.step();
         assert_eq!(s.timing, CycleTiming::default());
         assert!(!d.recorder().wall().enabled());
+    }
+
+    #[test]
+    fn executed_graph_matches_exported_graph() {
+        let list = Driver::<Advect>::build_cycle_list();
+        let graph = list.graph();
+        assert_eq!(graph, cycle_task_graph());
+        let order = crate::tasks::topo_order(&graph).expect("cycle graph is a DAG");
+        assert_eq!(order.len(), graph.len());
     }
 
     #[test]

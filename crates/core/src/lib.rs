@@ -33,10 +33,12 @@ pub mod tasks;
 pub mod update;
 
 pub use block::{BlockInfo, BlockSlot};
-pub use driver::{CycleSummary, Driver, DriverParams};
-pub use package::Package;
+pub use driver::{cycle_task_graph, CycleSummary, Driver, DriverParams};
+pub use package::{FluxPhase, Package};
 pub use snapshot::{read_snapshot, restore_driver, Snapshot};
-pub use tasks::{topo_order, TaskError, TaskId, TaskList, TaskNode, TaskStatus};
+pub use tasks::{
+    topo_order, ExecStats, GraphError, TaskError, TaskId, TaskKind, TaskList, TaskNode, TaskStatus,
+};
 
 pub use vibe_comm as comm;
 pub use vibe_exec as exec;

@@ -7,6 +7,20 @@ use vibe_prof::Recorder;
 
 use crate::block::BlockSlot;
 
+/// Which part of the flux sweep a [`Package::calculate_fluxes_phase`] call
+/// covers. The task-graph driver computes `Interior` faces while ghost
+/// messages are still in flight (they read no ghost cells) and the
+/// ghost-dependent `Exterior` faces only after `SetBounds`; together the
+/// two phases compute every face exactly once, bitwise identical to a
+/// single full sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FluxPhase {
+    /// Faces whose reconstruction stencils stay inside the interior.
+    Interior,
+    /// Faces whose stencils reach into the ghost layers.
+    Exterior,
+}
+
 /// A physics package (Parthenon's `StateDescriptor`): registers variables
 /// and provides the physics kernels. All kernel-style methods receive the
 /// *pack* of blocks owned by one rank and must issue one recorded launch
@@ -28,6 +42,30 @@ pub trait Package {
     /// Computes face fluxes for all blocks in `pack` (reconstruction +
     /// Riemann solve), filling the flux arrays of flux-bearing variables.
     fn calculate_fluxes(&self, pack: &mut [&mut BlockSlot], exec: ExecCtx, rec: &mut Recorder);
+
+    /// Computes one phase of the flux sweep, splitting the face range into
+    /// ghost-independent interior faces and ghost-dependent exterior faces
+    /// so the driver can overlap the interior work with in-flight boundary
+    /// messages.
+    ///
+    /// The default keeps every package correct without opting in to
+    /// overlap: the `Interior` phase does nothing and the `Exterior` phase
+    /// (which runs only after ghosts are filled) performs the full sweep.
+    /// Packages that override this must guarantee the `Interior` phase
+    /// reads no ghost cells and that both phases together write each face
+    /// exactly once.
+    fn calculate_fluxes_phase(
+        &self,
+        pack: &mut [&mut BlockSlot],
+        phase: FluxPhase,
+        exec: ExecCtx,
+        rec: &mut Recorder,
+    ) {
+        match phase {
+            FluxPhase::Interior => {}
+            FluxPhase::Exterior => self.calculate_fluxes(pack, exec, rec),
+        }
+    }
 
     /// Recomputes derived quantities from the evolved state.
     fn fill_derived(&self, pack: &mut [&mut BlockSlot], exec: ExecCtx, rec: &mut Recorder);

@@ -9,6 +9,10 @@
 //!
 //! [`TaskList`] executes tasks respecting dependencies, re-polling
 //! incomplete tasks until everything finishes or no progress is possible.
+//! The ready sweep is strictly deterministic — tasks are visited in
+//! insertion order and run on the driver thread (their *inner* block loops
+//! fan out onto the persistent worker pool), so results are bitwise
+//! identical at any `host_threads`.
 //!
 //! ```
 //! use vibe_core::tasks::{TaskList, TaskStatus};
@@ -30,6 +34,9 @@
 use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
+use std::time::Instant;
+
+use vibe_prof::StepFunction;
 
 /// Result of one task invocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,6 +46,22 @@ pub enum TaskStatus {
     /// The task made no final progress (e.g. a message has not arrived) and
     /// must be polled again.
     Incomplete,
+}
+
+/// What a task does, for overlap accounting and simulator replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TaskKind {
+    /// Block-parallel device/host compute (flux sweeps, updates).
+    #[default]
+    Compute,
+    /// Posts receives and/or sends messages; completion puts traffic in
+    /// flight that later `CommWait` tasks retire.
+    CommSend,
+    /// Polls the progress engine for in-flight traffic; typically returns
+    /// [`TaskStatus::Incomplete`] until everything arrived.
+    CommWait,
+    /// Serial host work on the driver thread (tree ops, regridding).
+    Serial,
 }
 
 /// Opaque task identifier within one [`TaskList`].
@@ -71,29 +94,93 @@ impl fmt::Display for TaskError {
 
 impl Error for TaskError {}
 
+/// Errors from structural analysis of a task graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// The dependency edges contain at least one cycle.
+    Cycle {
+        /// Names of the nodes involved in (or downstream of) the cycle.
+        remaining: Vec<String>,
+    },
+    /// A dependency index points outside the graph.
+    DanglingDependency {
+        /// Name of the node holding the bad edge.
+        node: String,
+        /// The out-of-range dependency index.
+        dep: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Cycle { remaining } => {
+                write!(
+                    f,
+                    "task graph has a cycle through: {}",
+                    remaining.join(", ")
+                )
+            }
+            GraphError::DanglingDependency { node, dep } => {
+                write!(f, "task {node:?} depends on out-of-range index {dep}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
 struct Task<Ctx> {
     name: String,
+    /// Static name for pool dispatch labeling, when known at compile time.
+    label: Option<&'static str>,
+    kind: TaskKind,
+    funcs: Vec<StepFunction>,
     deps: Vec<TaskId>,
     action: Box<dyn FnMut(&mut Ctx) -> TaskStatus>,
     done: bool,
 }
 
-/// Action-free snapshot of one task: its name and dependency indices.
-/// [`TaskList::graph`] exports these so consumers that cannot hold the
-/// closures — the timeline simulator turning a stage's task list into
-/// scheduled events — can still see the dependency structure.
+/// Action-free snapshot of one task: its name, role, attributed step
+/// functions, and dependency indices. [`TaskList::graph`] exports these so
+/// consumers that cannot hold the closures — the timeline simulator turning
+/// the driver's cycle into scheduled events — can still see the dependency
+/// structure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TaskNode {
     /// Task name as given to [`TaskList::add_task`].
     pub name: String,
+    /// What the task does (compute, comm send/wait, serial host work).
+    pub kind: TaskKind,
+    /// [`StepFunction`]s whose recorded work this task performs, in
+    /// execution order. Used by the simulator to order a cycle's recorded
+    /// quantities the way the driver actually ran them.
+    pub funcs: Vec<StepFunction>,
     /// Indices (into the graph vector) of the tasks this one depends on.
     pub deps: Vec<usize>,
 }
 
+impl TaskNode {
+    /// A compute node with no function attribution (test/doc convenience).
+    pub fn new(name: impl Into<String>, deps: Vec<usize>) -> Self {
+        Self {
+            name: name.into(),
+            kind: TaskKind::Compute,
+            funcs: Vec::new(),
+            deps,
+        }
+    }
+}
+
 /// Topologically sorts a task graph (Kahn's algorithm, stable: ties break
 /// by insertion order). Returns the node indices in a dependency-respecting
-/// execution order, or `None` if the graph has a cycle.
-pub fn topo_order(graph: &[TaskNode]) -> Option<Vec<usize>> {
+/// execution order; the empty graph yields an empty order.
+///
+/// # Errors
+///
+/// [`GraphError::DanglingDependency`] when an edge points outside the
+/// graph; [`GraphError::Cycle`] when the edges are not acyclic.
+pub fn topo_order(graph: &[TaskNode]) -> Result<Vec<usize>, GraphError> {
     let n = graph.len();
     let mut indegree = vec![0usize; n];
     let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -101,7 +188,10 @@ pub fn topo_order(graph: &[TaskNode]) -> Option<Vec<usize>> {
         indegree[i] = node.deps.len();
         for &d in &node.deps {
             if d >= n {
-                return None;
+                return Err(GraphError::DanglingDependency {
+                    node: node.name.clone(),
+                    dep: d,
+                });
             }
             dependents[d].push(i);
         }
@@ -118,11 +208,63 @@ pub fn topo_order(graph: &[TaskNode]) -> Option<Vec<usize>> {
             }
         }
     }
-    (order.len() == n).then_some(order)
+    if order.len() == n {
+        Ok(order)
+    } else {
+        let in_order: HashSet<usize> = order.iter().copied().collect();
+        Err(GraphError::Cycle {
+            remaining: graph
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !in_order.contains(i))
+                .map(|(_, t)| t.name.clone())
+                .collect(),
+        })
+    }
+}
+
+/// Execution accounting from one [`TaskList::execute_timed`] pass.
+///
+/// Comm/compute overlap is measured against the progress engine's state:
+/// a completed [`TaskKind::CommSend`] task raises the outstanding-traffic
+/// count, a completed [`TaskKind::CommWait`] task lowers it, and any
+/// [`TaskKind::Compute`] wall time spent while traffic is outstanding is
+/// overlapped compute — work the host did instead of blocking on the
+/// exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecStats {
+    /// Wall nanoseconds inside [`TaskKind::Compute`] task actions.
+    pub compute_ns: u64,
+    /// Subset of `compute_ns` spent while comm traffic was outstanding.
+    pub overlapped_compute_ns: u64,
+    /// Wall nanoseconds inside comm task actions (sends, polls, unpacks).
+    pub comm_ns: u64,
+    /// Times any task returned [`TaskStatus::Incomplete`].
+    pub polls: u64,
+}
+
+impl ExecStats {
+    /// Fraction of compute wall time that overlapped outstanding
+    /// communication, in `[0, 1]`.
+    pub fn overlap_fraction(&self) -> f64 {
+        if self.compute_ns == 0 {
+            0.0
+        } else {
+            self.overlapped_compute_ns as f64 / self.compute_ns as f64
+        }
+    }
+
+    /// Accumulates another pass's counters into this one.
+    pub fn accumulate(&mut self, other: &ExecStats) {
+        self.compute_ns += other.compute_ns;
+        self.overlapped_compute_ns += other.overlapped_compute_ns;
+        self.comm_ns += other.comm_ns;
+        self.polls += other.polls;
+    }
 }
 
 /// An ordered collection of interdependent tasks executed against a shared
-/// mutable context `Ctx` (typically the driver state for one stage).
+/// mutable context `Ctx` (typically the driver state for one cycle).
 pub struct TaskList<Ctx> {
     tasks: Vec<Task<Ctx>>,
     /// Retry budget for incomplete tasks per execute() call.
@@ -161,7 +303,7 @@ impl<Ctx> TaskList<Ctx> {
         self.max_polls = max_polls;
     }
 
-    /// Adds a task depending on `deps`; returns its id.
+    /// Adds a compute task depending on `deps`; returns its id.
     pub fn add_task(
         &mut self,
         name: impl Into<String>,
@@ -171,6 +313,34 @@ impl<Ctx> TaskList<Ctx> {
         let id = TaskId(self.tasks.len());
         self.tasks.push(Task {
             name: name.into(),
+            label: None,
+            kind: TaskKind::Compute,
+            funcs: Vec::new(),
+            deps: deps.into_iter().collect(),
+            action: Box::new(action),
+            done: false,
+        });
+        id
+    }
+
+    /// Adds a task with full metadata: its kind (for overlap accounting),
+    /// the [`StepFunction`]s whose recorded work it performs (for simulator
+    /// replay), and a static name that labels the worker-pool dispatches it
+    /// issues.
+    pub fn add_task_meta(
+        &mut self,
+        name: &'static str,
+        kind: TaskKind,
+        funcs: impl IntoIterator<Item = StepFunction>,
+        deps: impl IntoIterator<Item = TaskId>,
+        action: impl FnMut(&mut Ctx) -> TaskStatus + 'static,
+    ) -> TaskId {
+        let id = TaskId(self.tasks.len());
+        self.tasks.push(Task {
+            name: name.to_string(),
+            label: Some(name),
+            kind,
+            funcs: funcs.into_iter().collect(),
             deps: deps.into_iter().collect(),
             action: Box::new(action),
             done: false,
@@ -181,12 +351,14 @@ impl<Ctx> TaskList<Ctx> {
     /// Action-free snapshot of the dependency graph: one [`TaskNode`] per
     /// task, in insertion order, with dependencies as indices into the
     /// returned vector. This is what the timeline simulator consumes to
-    /// turn a stage's task list into ordered scheduler events.
+    /// turn the driver's cycle into ordered scheduler events.
     pub fn graph(&self) -> Vec<TaskNode> {
         self.tasks
             .iter()
             .map(|t| TaskNode {
                 name: t.name.clone(),
+                kind: t.kind,
+                funcs: t.funcs.clone(),
                 deps: t.deps.iter().map(|d| d.0).collect(),
             })
             .collect()
@@ -202,17 +374,34 @@ impl<Ctx> TaskList<Ctx> {
         self.tasks.is_empty()
     }
 
-    /// Executes the list to completion: tasks run as soon as their
-    /// dependencies complete; incomplete tasks are re-polled in subsequent
-    /// sweeps (interleaved with other ready tasks, exactly how Parthenon
-    /// overlaps communication with computation).
+    /// Executes the list to completion without timing instrumentation.
     ///
     /// # Errors
     ///
     /// [`TaskError::UnknownDependency`] for out-of-range dependency ids;
     /// [`TaskError::Stalled`] if a dependency cycle exists or incomplete
     /// tasks exceed the poll budget.
-    pub fn execute(&mut self, ctx: &mut Ctx) -> Result<(), TaskError> {
+    pub fn execute(&mut self, ctx: &mut Ctx) -> Result<ExecStats, TaskError> {
+        self.execute_timed(ctx, false)
+    }
+
+    /// Executes the list to completion: tasks run as soon as their
+    /// dependencies complete; incomplete tasks are re-polled in subsequent
+    /// sweeps (interleaved with other ready tasks, exactly how Parthenon
+    /// overlaps communication with computation). The sweep visits tasks in
+    /// insertion order on the calling thread, so execution order — and any
+    /// floating-point result — is independent of worker-pool width.
+    ///
+    /// With `timed`, each action is wall-clocked and the returned
+    /// [`ExecStats`] carries the comm/compute overlap accounting; without
+    /// it no clock is read and only the poll counter is tracked.
+    ///
+    /// # Errors
+    ///
+    /// [`TaskError::UnknownDependency`] for out-of-range dependency ids;
+    /// [`TaskError::Stalled`] if a dependency cycle exists or incomplete
+    /// tasks exceed the poll budget.
+    pub fn execute_timed(&mut self, ctx: &mut Ctx, timed: bool) -> Result<ExecStats, TaskError> {
         let n = self.tasks.len();
         for t in &self.tasks {
             for d in &t.deps {
@@ -224,6 +413,8 @@ impl<Ctx> TaskList<Ctx> {
         for t in &mut self.tasks {
             t.done = false;
         }
+        let mut stats = ExecStats::default();
+        let mut outstanding: u64 = 0;
         let mut completed = 0usize;
         let mut polls = 0usize;
         while completed < n {
@@ -232,38 +423,63 @@ impl<Ctx> TaskList<Ctx> {
                 if self.tasks[i].done {
                     continue;
                 }
-                let ready = self.tasks[i]
-                    .deps
-                    .clone()
-                    .iter()
-                    .all(|d| self.tasks[d.0].done);
+                let ready = {
+                    let task = &self.tasks[i];
+                    task.deps.iter().all(|d| self.tasks[d.0].done)
+                };
                 if !ready {
                     continue;
                 }
-                match (self.tasks[i].action)(ctx) {
+                let label = self.tasks[i].label;
+                if label.is_some() {
+                    vibe_exec::set_dispatch_label(label);
+                }
+                let start = timed.then(Instant::now);
+                let status = (self.tasks[i].action)(ctx);
+                if let Some(start) = start {
+                    let dur = start.elapsed().as_nanos() as u64;
+                    match self.tasks[i].kind {
+                        TaskKind::Compute => {
+                            stats.compute_ns += dur;
+                            if outstanding > 0 {
+                                stats.overlapped_compute_ns += dur;
+                            }
+                        }
+                        TaskKind::CommSend | TaskKind::CommWait => stats.comm_ns += dur,
+                        TaskKind::Serial => {}
+                    }
+                }
+                if label.is_some() {
+                    vibe_exec::set_dispatch_label(None);
+                }
+                match status {
                     TaskStatus::Complete => {
                         self.tasks[i].done = true;
                         completed += 1;
                         progressed = true;
+                        match self.tasks[i].kind {
+                            TaskKind::CommSend => outstanding += 1,
+                            TaskKind::CommWait => outstanding = outstanding.saturating_sub(1),
+                            TaskKind::Compute | TaskKind::Serial => {}
+                        }
                     }
                     TaskStatus::Incomplete => {
                         polls += 1;
+                        stats.polls += 1;
                     }
                 }
             }
-            if !progressed {
-                if polls >= self.max_polls || !self.any_pollable() {
-                    let remaining = self
-                        .tasks
-                        .iter()
-                        .filter(|t| !t.done)
-                        .map(|t| t.name.clone())
-                        .collect();
-                    return Err(TaskError::Stalled { remaining });
-                }
+            if !progressed && (polls >= self.max_polls || !self.any_pollable()) {
+                let remaining = self
+                    .tasks
+                    .iter()
+                    .filter(|t| !t.done)
+                    .map(|t| t.name.clone())
+                    .collect();
+                return Err(TaskError::Stalled { remaining });
             }
         }
-        Ok(())
+        Ok(stats)
     }
 
     /// `true` if some unfinished task has all dependencies met (i.e. it can
@@ -350,9 +566,15 @@ mod tests {
             TaskStatus::Complete
         });
         let mut ctx = (0, Vec::new());
-        list.execute(&mut ctx).unwrap();
+        let stats = list.execute(&mut ctx).unwrap();
         assert_eq!(ctx.0, 3, "polled three times");
         assert_eq!(ctx.1, ["recv", "set_bounds"]);
+        assert_eq!(stats.polls, 2, "two incomplete returns before completion");
+        assert_eq!(
+            (stats.compute_ns, stats.overlapped_compute_ns, stats.comm_ns),
+            (0, 0, 0),
+            "untimed pass reads no clock"
+        );
     }
 
     #[test]
@@ -424,22 +646,10 @@ mod tests {
         assert_eq!(
             graph,
             vec![
-                TaskNode {
-                    name: "start".into(),
-                    deps: vec![]
-                },
-                TaskNode {
-                    name: "left".into(),
-                    deps: vec![0]
-                },
-                TaskNode {
-                    name: "right".into(),
-                    deps: vec![0]
-                },
-                TaskNode {
-                    name: "join".into(),
-                    deps: vec![1, 2]
-                },
+                TaskNode::new("start", vec![]),
+                TaskNode::new("left", vec![0]),
+                TaskNode::new("right", vec![0]),
+                TaskNode::new("join", vec![1, 2]),
             ]
         );
         let order = topo_order(&graph).unwrap();
@@ -449,24 +659,107 @@ mod tests {
     }
 
     #[test]
-    fn topo_order_rejects_cycles_and_bad_indices() {
+    fn task_metadata_survives_graph_export() {
+        let mut list: TaskList<()> = TaskList::new();
+        let send = list.add_task_meta(
+            "PackAndSend",
+            TaskKind::CommSend,
+            [StepFunction::SendBoundBufs],
+            [],
+            |_| TaskStatus::Complete,
+        );
+        list.add_task_meta(
+            "WaitAndUnpack",
+            TaskKind::CommWait,
+            [StepFunction::ReceiveBoundBufs, StepFunction::SetBounds],
+            [send],
+            |_| TaskStatus::Complete,
+        );
+        let graph = list.graph();
+        assert_eq!(graph[0].kind, TaskKind::CommSend);
+        assert_eq!(graph[0].funcs, vec![StepFunction::SendBoundBufs]);
+        assert_eq!(graph[1].kind, TaskKind::CommWait);
+        assert_eq!(graph[1].deps, vec![0]);
+        list.execute(&mut ()).unwrap();
+    }
+
+    #[test]
+    fn topo_order_rejects_cycles() {
         let cyclic = vec![
-            TaskNode {
-                name: "a".into(),
-                deps: vec![1],
-            },
-            TaskNode {
-                name: "b".into(),
-                deps: vec![0],
-            },
+            TaskNode::new("a", vec![1]),
+            TaskNode::new("b", vec![0]),
+            TaskNode::new("c", vec![]),
         ];
-        assert_eq!(topo_order(&cyclic), None);
-        let dangling = vec![TaskNode {
-            name: "a".into(),
-            deps: vec![9],
-        }];
-        assert_eq!(topo_order(&dangling), None);
-        assert_eq!(topo_order(&[]), Some(vec![]));
+        match topo_order(&cyclic) {
+            Err(GraphError::Cycle { remaining }) => {
+                assert_eq!(remaining, vec!["a".to_string(), "b".to_string()]);
+            }
+            other => panic!("expected cycle error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn topo_order_rejects_dangling_dependency() {
+        let dangling = vec![TaskNode::new("a", vec![9])];
+        assert_eq!(
+            topo_order(&dangling),
+            Err(GraphError::DanglingDependency {
+                node: "a".to_string(),
+                dep: 9,
+            })
+        );
+    }
+
+    #[test]
+    fn topo_order_of_empty_graph_is_empty() {
+        assert_eq!(topo_order(&[]), Ok(vec![]));
+    }
+
+    #[test]
+    fn timed_execution_measures_comm_compute_overlap() {
+        // send completes -> traffic outstanding; compute runs while the
+        // wait task polls; wait retires the traffic; a final compute runs
+        // with nothing outstanding.
+        fn spin() {
+            let t = Instant::now();
+            while t.elapsed().as_micros() < 50 {
+                std::hint::spin_loop();
+            }
+        }
+        let mut list: TaskList<u32> = TaskList::new();
+        let send = list.add_task_meta("send", TaskKind::CommSend, [], [], |_: &mut u32| {
+            TaskStatus::Complete
+        });
+        let overlapped = list.add_task_meta("overlapped", TaskKind::Compute, [], [send], |_| {
+            spin();
+            TaskStatus::Complete
+        });
+        let wait = list.add_task_meta("wait", TaskKind::CommWait, [], [send], |polls: &mut u32| {
+            *polls += 1;
+            if *polls >= 2 {
+                TaskStatus::Complete
+            } else {
+                TaskStatus::Incomplete
+            }
+        });
+        list.add_task_meta("tail", TaskKind::Compute, [], [overlapped, wait], |_| {
+            spin();
+            TaskStatus::Complete
+        });
+        let mut polls = 0;
+        let stats = list.execute_timed(&mut polls, true).unwrap();
+        assert!(stats.compute_ns > 0);
+        assert!(
+            stats.overlapped_compute_ns > 0,
+            "compute between send and wait counts as overlapped"
+        );
+        assert!(
+            stats.overlapped_compute_ns < stats.compute_ns,
+            "the tail compute ran with no traffic outstanding"
+        );
+        assert!(stats.overlap_fraction() > 0.0 && stats.overlap_fraction() < 1.0);
+        assert_eq!(stats.polls, 1);
+        assert!(stats.comm_ns > 0);
     }
 
     #[test]

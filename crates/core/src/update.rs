@@ -2,7 +2,7 @@
 //! averaging (`WeightedSumData` + `FluxDivergence`).
 
 use vibe_exec::{catalog, ExecCtx, Launcher};
-use vibe_field::Metadata;
+use vibe_field::{Metadata, VarId};
 use vibe_mesh::index::IndexDomain;
 use vibe_prof::{Recorder, RegionKey, StepFunction};
 
@@ -29,6 +29,31 @@ pub fn flux_divergence_update(
     dt: f64,
     rec: &mut Recorder,
 ) {
+    let ids = match pack.first_mut() {
+        Some(first) => first
+            .data
+            .pack_by_flag(Metadata::WITH_FLUXES)
+            .ids()
+            .to_vec(),
+        None => return,
+    };
+    flux_divergence_update_with_ids(pack, exec, a0, b, c, dt, &ids, rec);
+}
+
+/// [`flux_divergence_update`] with the flux-bearing variable ids supplied
+/// by the caller. The driver caches them per mesh generation (registration
+/// is identical on every block), skipping the per-cycle pack lookup.
+#[allow(clippy::too_many_arguments)]
+pub fn flux_divergence_update_with_ids(
+    pack: &mut [&mut BlockSlot],
+    exec: ExecCtx,
+    a0: f64,
+    b: f64,
+    c: f64,
+    dt: f64,
+    ids: &[VarId],
+    rec: &mut Recorder,
+) {
     // The weighted sum and flux divergence run fused per block, so one
     // region covers both kernels (their split shows up in the modeled
     // breakdown, not the measured one).
@@ -40,11 +65,6 @@ pub fn flux_divergence_update(
         return;
     };
     let shape = *first.data.shape();
-    let ids = first
-        .data
-        .pack_by_flag(Metadata::WITH_FLUXES)
-        .ids()
-        .to_vec();
     let ncomp_total: usize = ids.iter().map(|&id| first.data.var(id).ncomp()).sum();
     let comp_cells = (pack.len() * shape.interior_count() * ncomp_total) as u64;
     {
@@ -66,7 +86,7 @@ pub fn flux_divergence_update(
         let dx = slot.info.geom.dx();
         let inv = [1.0 / dx[0], 1.0 / dx[1], 1.0 / dx[2]];
         let BlockSlot { data, stage0, .. } = &mut **slot;
-        for &id in &ids {
+        for &id in ids {
             let u0 = stage0
                 .get(&id)
                 .expect("stage-0 copy saved before use")

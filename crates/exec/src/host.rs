@@ -198,8 +198,8 @@ mod tests {
     fn parallel_matches_serial_result() {
         let mut a = vec![1.5f64; 257];
         let mut b = a.clone();
-        for_each_block_parallel(&mut a, 1, |i, x| *x = (i as f64).sin() + *x);
-        for_each_block_parallel(&mut b, 7, |i, x| *x = (i as f64).sin() + *x);
+        for_each_block_parallel(&mut a, 1, |i, x| *x += (i as f64).sin());
+        for_each_block_parallel(&mut b, 7, |i, x| *x += (i as f64).sin());
         assert_eq!(a, b);
     }
 

@@ -17,7 +17,7 @@
 //! caller's responsibility (see the fixed-order reductions in `vibe-core`).
 
 use std::any::Any;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
@@ -67,6 +67,20 @@ struct Counters {
 
 thread_local! {
     static TLS_POOL_STATS: RefCell<Option<Vec<PoolRunSample>>> = const { RefCell::new(None) };
+    static TLS_DISPATCH_LABEL: Cell<Option<&'static str>> = const { Cell::new(None) };
+}
+
+/// Labels every pool region dispatched from this thread until cleared with
+/// `None`. The task executor sets the running task's name here so pool
+/// utilization samples (and the Perfetto worker spans built from them)
+/// attribute their busy time to the task that issued the dispatch.
+pub fn set_dispatch_label(label: Option<&'static str>) {
+    TLS_DISPATCH_LABEL.with(|l| l.set(label));
+}
+
+/// The current dispatch label on this thread, if any.
+pub fn dispatch_label() -> Option<&'static str> {
+    TLS_DISPATCH_LABEL.with(|l| l.get())
 }
 
 /// Starts (or restarts, discarding pending samples) utilization sampling
@@ -104,6 +118,7 @@ pub(crate) fn stats_record_inline(n_items: usize, start: Instant) {
         threads: 1,
         start,
         wall_ns: busy_ns,
+        label: dispatch_label(),
         workers: vec![PoolWorkerSample {
             start,
             busy_ns,
@@ -263,6 +278,7 @@ impl WorkerPool {
                 threads: threads as u64,
                 start,
                 wall_ns: start.elapsed().as_nanos() as u64,
+                label: dispatch_label(),
                 workers,
             });
         }
@@ -478,6 +494,22 @@ mod tests {
         let _ = stats_end();
         pool.run(64, 4, &|_| std::hint::black_box(()));
         assert!(stats_end().is_empty());
+    }
+
+    #[test]
+    fn dispatch_label_stamps_samples_until_cleared() {
+        let pool = WorkerPool::new();
+        stats_begin();
+        set_dispatch_label(Some("InteriorFlux"));
+        pool.run(64, 4, &|_| std::hint::black_box(()));
+        pool.run(8, 1, &|_| std::hint::black_box(()));
+        set_dispatch_label(None);
+        pool.run(8, 2, &|_| std::hint::black_box(()));
+        let samples = stats_end();
+        assert_eq!(samples.len(), 3);
+        assert_eq!(samples[0].label, Some("InteriorFlux"));
+        assert_eq!(samples[1].label, Some("InteriorFlux"), "inline path too");
+        assert_eq!(samples[2].label, None);
     }
 
     #[test]

@@ -85,6 +85,9 @@ pub struct BlockData {
     by_name: HashMap<String, VarId>,
     strategy: PackStrategy,
     pack_cache: HashMap<u32, VariablePack>,
+    /// Names already resolved once in `IntegerCached` mode (interned
+    /// handles cost nothing after the first resolution).
+    resolved_names: std::collections::HashSet<String>,
     version: u64,
     string_lookups: u64,
 }
@@ -98,6 +101,7 @@ impl BlockData {
             by_name: HashMap::new(),
             strategy: PackStrategy::default(),
             pack_cache: HashMap::new(),
+            resolved_names: std::collections::HashSet::new(),
             version: 0,
             string_lookups: 0,
         }
@@ -107,6 +111,7 @@ impl BlockData {
     pub fn set_pack_strategy(&mut self, strategy: PackStrategy) {
         self.strategy = strategy;
         self.pack_cache.clear();
+        self.resolved_names.clear();
     }
 
     /// Current pack-building strategy.
@@ -203,17 +208,33 @@ impl BlockData {
         ids.map(|id| unsafe { &mut *base.add(id.0) })
     }
 
+    /// Counts one name resolution under the configured strategy:
+    /// `StringKeyed` re-hashes the name on every call (Parthenon's
+    /// per-launch `Get` path), while `IntegerCached` models interned
+    /// handles resolved once per container and reused.
+    fn count_name_resolution(&mut self, name: &str) {
+        match self.strategy {
+            PackStrategy::StringKeyed => self.string_lookups += 1,
+            PackStrategy::IntegerCached => {
+                if self.resolved_names.insert(name.to_string()) {
+                    self.string_lookups += 1;
+                }
+            }
+        }
+    }
+
     /// Variable by name — the string-keyed path the paper flags as serial
-    /// overhead. Increments the string-lookup counter.
+    /// overhead. Counts a string lookup per the configured strategy.
     pub fn var_by_name(&mut self, name: &str) -> Option<&CellVariable> {
-        self.string_lookups += 1;
+        self.count_name_resolution(name);
         let id = *self.by_name.get(name)?;
         Some(&self.vars[id.0])
     }
 
-    /// Id of the variable named `name`, counting a string lookup.
+    /// Id of the variable named `name`, counting a string lookup per the
+    /// configured strategy.
     pub fn id_of(&mut self, name: &str) -> Option<VarId> {
-        self.string_lookups += 1;
+        self.count_name_resolution(name);
         self.by_name.get(name).copied()
     }
 

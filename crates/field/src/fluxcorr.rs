@@ -157,8 +157,8 @@ pub fn pack_flux(spec: &FluxCorrSpec, sender: &CellVariable, out: &mut Vec<f64>)
                     let fine_g = 2 * gr + ((c >> b) & 1) as i64;
                     fidx[d] = (fine_g - spec.sender_origin[d] + g) as usize;
                 }
-                for d in dim..3 {
-                    fidx[d] = 0;
+                for f in fidx.iter_mut().skip(dim) {
+                    *f = 0;
                 }
                 sum += flux.get(v, fidx[2], fidx[1], fidx[0]);
                 count += 1;

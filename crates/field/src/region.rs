@@ -83,7 +83,7 @@ mod tests {
     #[test]
     fn count_is_product_of_extents() {
         let r = region((0, 3), (1, 2), (5, 5));
-        assert_eq!(r.count(), 4 * 2 * 1);
+        assert_eq!(r.count(), 8, "4 x-cells, 2 y-cells, 1 z-cell");
         assert!(!r.is_empty());
     }
 

@@ -110,7 +110,7 @@ impl CommCosts {
             .collectives
             .values()
             .map(|&(count, bytes)| {
-                let avg = if count == 0 { 0 } else { bytes / count };
+                let avg = bytes.checked_div(count).unwrap_or(0);
                 count as f64 * self.collective_seconds_one(ranks, avg)
             })
             .sum()

@@ -70,7 +70,7 @@ pub fn grid_fill(
     };
     let grid_blocks = (threads_needed / f64::from(desc.threads_per_block)).max(1.0);
     let resident_capacity = f64::from(gpu.sms) * f64::from(occ.blocks_per_sm);
-    (grid_blocks / resident_capacity).min(1.0).max(0.02)
+    (grid_blocks / resident_capacity).clamp(0.02, 1.0)
 }
 
 /// Modeled *device-side execution* seconds of one launch of `desc`

@@ -115,9 +115,7 @@ pub fn opcode_mix(stats: &CycleStats, block_cells: usize) -> (OpcodeMix, OpcodeM
         agg.tree_ops += s.tree_ops;
     }
     let scounts = serial_counts(&agg);
-    for i in 0..6 {
-        sc[i] = scounts[i];
-    }
+    sc.copy_from_slice(&scounts);
     let total: [f64; 6] = std::array::from_fn(|i| kc[i] + sc[i]);
     (
         OpcodeMix::from_counts(total),

@@ -86,8 +86,8 @@ impl LogicalLocation {
         let mut out = Vec::with_capacity(n);
         for bits in 0..n {
             let mut lx = [0i64; 3];
-            for d in 0..3 {
-                lx[d] = if d < dim {
+            for (d, l) in lx.iter_mut().enumerate() {
+                *l = if d < dim {
                     2 * self.lx[d] + ((bits >> d) & 1) as i64
                 } else {
                     self.lx[d]

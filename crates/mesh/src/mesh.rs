@@ -72,8 +72,8 @@ impl MeshParams {
     /// Blocks per dimension in the base grid.
     pub fn base_blocks(&self) -> [i64; 3] {
         let mut b = [1i64; 3];
-        for d in 0..self.dim {
-            b[d] = (self.mesh_size[d] / self.block_size[d]) as i64;
+        for (d, bd) in b.iter_mut().enumerate().take(self.dim) {
+            *bd = (self.mesh_size[d] / self.block_size[d]) as i64;
         }
         b
     }
@@ -208,20 +208,16 @@ impl MeshParamsBuilder {
                     reason: format!("dimension {d} has zero cells"),
                 });
             }
-            if mesh_size[d] % block_size[d] != 0 {
+            if !mesh_size[d].is_multiple_of(block_size[d]) {
                 return Err(MeshError::IndivisibleMesh {
                     mesh_size,
                     block_size,
                 });
             }
         }
-        let region = self.region.unwrap_or_else(|| {
-            let mut xmax = [1.0; 3];
-            for d in self.dim..3 {
-                xmax[d] = 1.0;
-            }
-            RegionSize::new([0.0; 3], xmax, mesh_size, [true; 3])
-        });
+        let region = self
+            .region
+            .unwrap_or_else(|| RegionSize::new([0.0; 3], [1.0; 3], mesh_size, [true; 3]));
         if region.nx() != mesh_size {
             return Err(MeshError::InvalidParameter {
                 name: "region",

@@ -58,14 +58,11 @@ impl BlockTree {
     pub fn new(dim: usize, base_blocks: [i64; 3], max_level: i32, periodic: [bool; 3]) -> Self {
         assert!((1..=3).contains(&dim), "dim must be 1, 2, or 3");
         assert!(max_level >= 0, "max_level must be non-negative");
-        for d in 0..3 {
+        for (d, &bb) in base_blocks.iter().enumerate() {
             if d < dim {
-                assert!(base_blocks[d] > 0, "active dimension {d} has no blocks");
+                assert!(bb > 0, "active dimension {d} has no blocks");
             } else {
-                assert_eq!(
-                    base_blocks[d], 1,
-                    "inactive dimension {d} must have 1 block"
-                );
+                assert_eq!(bb, 1, "inactive dimension {d} must have 1 block");
             }
         }
         let mut tree = Self {
@@ -119,8 +116,8 @@ impl BlockTree {
     /// Lattice extent (blocks per dimension) at `level`.
     pub fn extent_at(&self, level: i32) -> [i64; 3] {
         let mut e = [1i64; 3];
-        for d in 0..self.dim {
-            e[d] = self.base_blocks[d] << level;
+        for (d, ed) in e.iter_mut().enumerate().take(self.dim) {
+            *ed = self.base_blocks[d] << level;
         }
         e
     }

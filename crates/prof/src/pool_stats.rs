@@ -31,6 +31,9 @@ pub struct PoolRunSample {
     pub start: Instant,
     /// Dispatcher wall time from entry to completion (ns).
     pub wall_ns: u64,
+    /// Dispatch label of the issuing task, when the task executor set one
+    /// (renders as the worker-span name in Perfetto pool traces).
+    pub label: Option<&'static str>,
     /// Per-participant busy samples (unordered; participation is dynamic).
     pub workers: Vec<PoolWorkerSample>,
 }
@@ -146,6 +149,7 @@ mod tests {
             threads: busy.len() as u64,
             start,
             wall_ns: wall,
+            label: None,
             workers: busy
                 .iter()
                 .zip(items)

@@ -70,11 +70,7 @@ impl RegionStats {
 
     /// Mean inclusive time per entry (0 when never entered).
     pub fn mean_ns(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            self.total_ns / self.count
-        }
+        self.total_ns.checked_div(self.count).unwrap_or(0)
     }
 
     fn add_sample(&mut self, ns: u64) {

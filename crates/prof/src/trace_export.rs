@@ -614,6 +614,7 @@ mod tests {
             threads: 2,
             start: std::time::Instant::now(),
             wall_ns: 500,
+            label: None,
             workers: vec![
                 crate::pool_stats::PoolWorkerSample {
                     start: std::time::Instant::now(),

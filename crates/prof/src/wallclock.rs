@@ -246,13 +246,13 @@ impl WallClock {
             st.pool_current.record(sample);
             if inner.level == ProfLevel::Full {
                 let mut workers: Vec<_> = sample.workers.clone();
-                workers.sort_by(|a, b| b.busy_ns.cmp(&a.busy_ns));
+                workers.sort_by_key(|w| std::cmp::Reverse(w.busy_ns));
                 for (slot, w) in workers.iter().enumerate() {
                     let ts_ns = w.start.saturating_duration_since(inner.epoch).as_nanos() as u64;
                     push_event(
                         &mut st,
                         TraceEvent {
-                            name: "pool-worker",
+                            name: sample.label.unwrap_or("pool-worker"),
                             cat: "pool",
                             ts_ns,
                             dur_ns: w.busy_ns,
@@ -487,6 +487,7 @@ mod tests {
             threads: 2,
             start,
             wall_ns: 1000,
+            label: Some("ExteriorFlux"),
             workers: vec![
                 crate::pool_stats::PoolWorkerSample {
                     start,
@@ -512,6 +513,10 @@ mod tests {
         let (events, _) = wall.trace_events();
         let tids: Vec<u32> = events.iter().map(|e| e.tid).collect();
         assert_eq!(tids, vec![1, 2]);
+        assert!(
+            events.iter().all(|e| e.name == "ExteriorFlux"),
+            "labeled dispatches name their worker spans after the task"
+        );
     }
 
     #[test]

@@ -5,9 +5,10 @@
 //! (kernel launches/cells/flops/bytes, typed serial work, communication
 //! totals); per-message placement comes from the [`vibe_comm`] ordered
 //! event log when available, so individual sends land on the rank that
-//! actually issued them. Operations are emitted in the canonical
-//! [`StepFunction`] order — the same stage order the driver's task lists
-//! execute, verified against a [`vibe_core::TaskNode`] stage graph.
+//! actually issued them. Operations are emitted in the function order
+//! derived from the driver's own cycle task graph
+//! ([`vibe_core::cycle_task_graph`]), so the simulator replays a cycle in
+//! the same stage order the driver executes it.
 
 use std::collections::BTreeMap;
 
@@ -100,21 +101,27 @@ pub struct SimWorkload {
     pub zone_cycles: u64,
 }
 
-/// The canonical stage graph of one timestep: a linear chain over the
-/// timestep-loop functions in [`StepFunction::all`] order, expressed as a
-/// [`TaskNode`] graph like the ones [`vibe_core::TaskList::graph`]
-/// exports. [`SimWorkload::from_recorded`] orders each cycle by the topo
-/// order of this graph, so a driver-exported stage graph can be
-/// substituted for what-if reordering studies.
-pub fn default_stage_graph() -> Vec<TaskNode> {
-    StepFunction::all()
-        .iter()
-        .enumerate()
-        .map(|(i, f)| TaskNode {
-            name: f.name().to_string(),
-            deps: if i == 0 { vec![] } else { vec![i - 1] },
-        })
-        .collect()
+/// Derives the per-cycle function replay order from a task graph: walk
+/// the graph in topological order, collecting each node's attributed
+/// [`StepFunction`]s first-occurrence-deduped, then append any functions
+/// the graph does not mention in [`StepFunction::all`] order (so recorded
+/// work with no task attribution — e.g. `Other` — is still replayed).
+fn func_order(stages: &[TaskNode]) -> Vec<StepFunction> {
+    let order = topo_order(stages).expect("stage graph must be acyclic");
+    let mut seen = Vec::new();
+    for &i in &order {
+        for &f in &stages[i].funcs {
+            if !seen.contains(&f) {
+                seen.push(f);
+            }
+        }
+    }
+    for &f in StepFunction::all() {
+        if !seen.contains(&f) {
+            seen.push(f);
+        }
+    }
+    seen
 }
 
 impl SimWorkload {
@@ -125,16 +132,19 @@ impl SimWorkload {
     /// sentinel cycle (`u64::MAX`) or ranks outside `cfg.ranks` are
     /// dropped.
     pub fn from_recorded(rec: &Recorder, events: &[CommEvent], cfg: &SimConfig) -> Self {
-        Self::from_recorded_with_stages(rec, events, cfg, &default_stage_graph())
+        Self::from_recorded_with_stages(rec, events, cfg, &vibe_core::cycle_task_graph())
     }
 
     /// Like [`SimWorkload::from_recorded`] but ordering each cycle's
-    /// functions by a topological order of `stages` (one node per
-    /// [`StepFunction`], in `StepFunction::all` index space).
+    /// functions by a topological order of `stages` — normally the graph
+    /// the driver itself executes ([`vibe_core::cycle_task_graph`], also
+    /// exported live by [`vibe_core::TaskList::graph`]). Functions the
+    /// graph does not attribute to any task replay last, in
+    /// [`StepFunction::all`] order.
     ///
     /// # Panics
     ///
-    /// Panics if `stages` has a cycle or does not cover every function.
+    /// Panics if `stages` has a dependency cycle.
     pub fn from_recorded_with_stages(
         rec: &Recorder,
         events: &[CommEvent],
@@ -142,13 +152,7 @@ impl SimWorkload {
         stages: &[TaskNode],
     ) -> Self {
         let ranks = cfg.ranks.max(1);
-        let all = StepFunction::all();
-        assert_eq!(
-            stages.len(),
-            all.len(),
-            "stage graph must cover every timestep-loop function"
-        );
-        let order = topo_order(stages).expect("stage graph must be acyclic");
+        let order = func_order(stages);
 
         // Group comm events by cycle, dropping initialization work.
         let mut by_cycle: BTreeMap<u64, Vec<&CommEvent>> = BTreeMap::new();
@@ -173,8 +177,7 @@ impl SimWorkload {
                 }
             }
             let cycle_events = by_cycle.get(&stats.cycle);
-            for &fi in &order {
-                let func = all[fi];
+            for &func in &order {
                 // Serial host work: each rank executes its Amdahl share.
                 if let Some(s) = stats.serial.get(&func) {
                     let secs = cfg.serial_costs.wall_seconds(s, ranks);

@@ -21,9 +21,8 @@ fi
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
-echo "==> cargo clippy (offline)"
-# Deny-by-default lints fail the build; style warnings are advisory.
-cargo clippy --workspace --offline -q
+echo "==> cargo clippy (offline, deny warnings)"
+cargo clippy --workspace --all-targets --offline -q -- -D warnings
 
 echo "==> tier-1: release build"
 cargo build --workspace --release --offline

@@ -141,10 +141,42 @@ fn profiling_is_result_neutral_at_any_thread_count() {
 
 #[test]
 fn repeated_runs_are_reproducible() {
-    // Same thread count twice: the pool introduces no run-to-run
-    // nondeterminism (no hash-order or scheduling dependence).
-    let a = run(4, 3);
-    let b = run(4, 3);
-    assert_eq!(a.fingerprint, b.fingerprint);
-    assert_eq!(a.summaries, b.summaries);
+    // Same thread count twice: neither the pool nor the task executor
+    // introduces run-to-run nondeterminism (no hash-order, scheduling,
+    // or ready-queue polling dependence).
+    for threads in [1, 4, 8] {
+        let a = run(threads, 3);
+        let b = run(threads, 3);
+        assert_eq!(
+            a.fingerprint, b.fingerprint,
+            "fingerprint not reproducible at {threads} threads"
+        );
+        assert_eq!(a.summaries, b.summaries);
+        assert_eq!(a.history, b.history);
+    }
+}
+
+#[test]
+fn executor_measures_overlap_without_changing_results() {
+    // The task executor attributes compute wall time spent while comm
+    // traffic is outstanding. That measurement must be present when
+    // profiling is on and must never exceed total compute task time —
+    // and taking it must not perturb the state (covered against the
+    // prof-off fingerprint).
+    const CYCLES: u64 = 3;
+    let (off, _) = run_prof(8, CYCLES, ProfLevel::Off);
+    let (on, _) = run_prof(8, CYCLES, ProfLevel::Coarse);
+    assert_eq!(off.fingerprint, on.fingerprint);
+    let compute: u64 = on.summaries.iter().map(|s| s.timing.compute_task_ns).sum();
+    let overlapped: u64 = on
+        .summaries
+        .iter()
+        .map(|s| s.timing.overlapped_compute_ns)
+        .sum();
+    assert!(compute > 0, "compute task time measured");
+    assert!(
+        overlapped > 0,
+        "interior flux overlapped in-flight ghost traffic"
+    );
+    assert!(overlapped <= compute);
 }

@@ -3,6 +3,9 @@
 //! the offline build cannot reach a registry, so the property tests run on
 //! a seeded xorshift generator instead).
 
+// Shared by several test binaries; not every binary uses every helper.
+#![allow(dead_code)]
+
 /// Xorshift64* PRNG: tiny, deterministic, good enough for test-input
 /// generation (not for statistics).
 pub struct Rng(u64);
