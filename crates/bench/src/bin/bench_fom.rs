@@ -60,7 +60,11 @@ impl RunResult {
     }
 }
 
-fn build_driver(threads: usize, prof_level: ProfLevel) -> Driver<BurgersPackage> {
+fn build_driver_for(
+    nranks: usize,
+    threads: usize,
+    prof_level: ProfLevel,
+) -> Driver<BurgersPackage> {
     let mesh = Mesh::new(
         MeshParams::builder()
             .dim(3)
@@ -82,13 +86,44 @@ fn build_driver(threads: usize, prof_level: ProfLevel) -> Driver<BurgersPackage>
         mesh,
         pkg,
         DriverParams {
-            nranks: 1,
+            nranks,
             cfl: 0.3,
             host_threads: threads,
             prof_level,
             ..DriverParams::default()
         },
     )
+}
+
+struct RankRun {
+    ranks: usize,
+    wall_s: f64,
+    fom: f64,
+    fingerprint: u64,
+    rank_blocks: Vec<usize>,
+}
+
+/// Runs the probe configuration with `nranks` real concurrent rank shards
+/// (one OS thread each, serial inside the shard) through `vibe-rt`.
+fn run_ranks(nranks: usize) -> RankRun {
+    let run = vibe_rt::run_distributed(nranks, CYCLES, || {
+        let mut d = build_driver_for(nranks, 1, ProfLevel::Off);
+        d.initialize(ic::multi_blob(0.9, 0.002, 3));
+        d
+    });
+    let wall_s = run.elapsed_ns() as f64 / 1e9;
+    let zone_cycles = run.recorder.totals().cell_updates;
+    RankRun {
+        ranks: nranks,
+        wall_s,
+        fom: zone_cycles as f64 / wall_s,
+        fingerprint: run.fingerprint,
+        rank_blocks: run.rank_blocks,
+    }
+}
+
+fn build_driver(threads: usize, prof_level: ProfLevel) -> Driver<BurgersPackage> {
+    build_driver_for(1, threads, prof_level)
 }
 
 fn run(threads: usize, prof_level: ProfLevel) -> (RunResult, Recorder) {
@@ -249,6 +284,53 @@ fn main() {
     );
     println!();
 
+    // Rank-parallel strong scaling: the same problem executed by N real
+    // concurrent rank shards over the channel transport (`vibe-rt`), one
+    // OS thread per rank. The fingerprint of every merged run must equal
+    // the single-process runs'.
+    let ranks: Vec<usize> = std::env::var("VIBE_BENCH_RANKS")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .map(|t| t.trim().parse().expect("rank count"))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![1, 2, 4, 8]);
+    let mut rank_runs = Vec::new();
+    for &n in &ranks {
+        eprintln!("probe: rank-parallel run, ranks={n} (1 thread per shard) ...");
+        let r = run_ranks(n);
+        eprintln!(
+            "  wall {:.3}s, FOM {:.3e} zc/s, blocks/rank {:?}, fp {:016x}",
+            r.wall_s, r.fom, r.rank_blocks, r.fingerprint
+        );
+        rank_runs.push(r);
+    }
+    let rank_identical = rank_runs
+        .iter()
+        .all(|r| Some(r.fingerprint) == results.first().map(|b| b.fingerprint));
+    let rank_base_wall = rank_runs.first().map(|r| r.wall_s).unwrap_or(0.0);
+    println!("== rank-parallel strong scaling (vibe-rt, 1 host thread per shard) ==");
+    let rows: Vec<Vec<String>> = rank_runs
+        .iter()
+        .map(|r| {
+            vec![
+                r.ranks.to_string(),
+                format!("{:.3}", r.wall_s),
+                vibe_bench::sci(r.fom),
+                format!("{:.2}x", rank_base_wall / r.wall_s),
+                format!("{:?}", r.rank_blocks),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        vibe_bench::format_table(
+            &["ranks", "wall(s)", "FOM(zc/s)", "speedup", "blocks/rank"],
+            &rows
+        )
+    );
+
     let identical = results
         .windows(2)
         .all(|w| w[0].fingerprint == w[1].fingerprint && w[0].zone_cycles == w[1].zone_cycles);
@@ -301,6 +383,22 @@ fn main() {
         "  \"overlap\": {{\"threads\": {prof_threads}, \"measured_fraction\": {measured_overlap:.4}, \"modeled_fraction\": {modeled_overlap:.4}, \"overlapped_compute_ns\": {}, \"compute_task_ns\": {}}},\n",
         prof_run.overlapped_compute_ns, prof_run.compute_task_ns
     ));
+    json.push_str("  \"rank_scaling\": [\n");
+    for (i, r) in rank_runs.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"ranks\": {}, \"wall_s\": {:.6}, \"fom_zone_cycles_per_s\": {:.1}, \"speedup_vs_1rank\": {:.4}, \"state_fingerprint\": \"{:016x}\"}}{}\n",
+            r.ranks,
+            r.wall_s,
+            r.fom,
+            rank_base_wall / r.wall_s,
+            r.fingerprint,
+            if i + 1 < rank_runs.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"bit_identical_across_ranks\": {rank_identical},\n"
+    ));
     json.push_str(&format!(
         "  \"bit_identical_across_threads\": {identical},\n"
     ));
@@ -318,6 +416,10 @@ fn main() {
     }
     if !prof_neutral {
         eprintln!("ERROR: instrumented run changed the state fingerprint");
+        std::process::exit(1);
+    }
+    if !rank_identical {
+        eprintln!("ERROR: rank-parallel fingerprints differ from the single-process run");
         std::process::exit(1);
     }
 }

@@ -88,53 +88,19 @@ pub struct WorkloadResult {
 
 /// FNV-1a over the raw f64 bits of every variable of every block, in gid
 /// and registration order — a deterministic fingerprint of the full
-/// simulation state, used to verify that thread count and profiling level
-/// never change results.
+/// simulation state, used to verify that thread count, profiling level,
+/// and rank-parallel execution never change results. The algorithm lives
+/// in [`vibe_core::fingerprint_slots`], shared with the `vibe-rt` shard
+/// merge, so the driver and the distributed runtime hash the same way.
 pub fn state_fingerprint<P: Package>(driver: &Driver<P>) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut eat = |bits: u64| {
-        for shift in [0u32, 8, 16, 24, 32, 40, 48, 56] {
-            h ^= (bits >> shift) & 0xff;
-            h = h.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-    };
-    for slot in driver.slots() {
-        for var in slot.data.vars() {
-            for &v in var.data().as_slice() {
-                eat(v.to_bits());
-            }
-        }
-    }
-    h
+    vibe_core::fingerprint_slots(driver.slots())
 }
 
-impl WorkloadResult {
-    /// Total interior-cell updates (zone-cycles) over the measured cycles.
-    pub fn zone_cycles(&self) -> u64 {
-        self.recorder.totals().cell_updates
-    }
-
-    /// Total communicated cells over the measured cycles.
-    pub fn cells_communicated(&self) -> u64 {
-        self.recorder
-            .cycles()
-            .iter()
-            .map(|c| c.cells_communicated())
-            .sum()
-    }
-}
-
-/// Runs the Burgers benchmark functionally for `spec`, returning the
-/// recorded workload.
-///
-/// The initial condition is a deterministic set of Gaussian blobs whose
-/// steepening fronts drive sustained refinement — the "ripples on water"
-/// workload the paper describes.
-///
-/// # Panics
-///
-/// Panics if the spec's mesh is invalid (indivisible by the block size).
-pub fn run_workload(spec: &WorkloadSpec) -> WorkloadResult {
+/// Builds the workload's replica driver for `spec` — the deterministic
+/// construct-and-initialize sequence shared by [`run_workload`] (which
+/// steps it single-process) and [`run_workload_distributed`] (where every
+/// rank shard replays it independently).
+pub fn build_workload_replica(spec: &WorkloadSpec) -> Driver<BurgersPackage> {
     let mesh = Mesh::new(
         MeshParams::builder()
             .dim(spec.dim)
@@ -165,6 +131,45 @@ pub fn run_workload(spec: &WorkloadSpec) -> WorkloadResult {
         },
     );
     driver.initialize(ic::multi_blob(0.9, 0.002, 3));
+    driver
+}
+
+/// Runs the Burgers benchmark for `spec` with `spec.nranks` *real*
+/// concurrent rank shards over the channel transport (the `vibe-rt`
+/// runtime), returning the merged run. The fingerprint in the result is
+/// bitwise comparable with [`run_workload`]'s.
+pub fn run_workload_distributed(spec: &WorkloadSpec) -> vibe_rt::RtRun {
+    vibe_rt::run_distributed(spec.nranks, spec.cycles, || build_workload_replica(spec))
+}
+
+impl WorkloadResult {
+    /// Total interior-cell updates (zone-cycles) over the measured cycles.
+    pub fn zone_cycles(&self) -> u64 {
+        self.recorder.totals().cell_updates
+    }
+
+    /// Total communicated cells over the measured cycles.
+    pub fn cells_communicated(&self) -> u64 {
+        self.recorder
+            .cycles()
+            .iter()
+            .map(|c| c.cells_communicated())
+            .sum()
+    }
+}
+
+/// Runs the Burgers benchmark functionally for `spec`, returning the
+/// recorded workload.
+///
+/// The initial condition is a deterministic set of Gaussian blobs whose
+/// steepening fronts drive sustained refinement — the "ripples on water"
+/// workload the paper describes.
+///
+/// # Panics
+///
+/// Panics if the spec's mesh is invalid (indivisible by the block size).
+pub fn run_workload(spec: &WorkloadSpec) -> WorkloadResult {
+    let mut driver = build_workload_replica(spec);
     let summaries = driver.run_cycles(spec.cycles);
     WorkloadResult {
         final_blocks: driver.mesh().num_blocks(),
@@ -233,6 +238,24 @@ mod tests {
         assert!(result.cells_communicated() > 0);
         assert!(result.field_bytes > 0);
         assert!(result.final_blocks >= 8);
+    }
+
+    #[test]
+    fn distributed_workload_matches_single_process_bitwise() {
+        let spec = WorkloadSpec {
+            mesh_cells: 16,
+            block_cells: 8,
+            levels: 2,
+            cycles: 2,
+            num_scalars: 1,
+            nranks: 2,
+            ..WorkloadSpec::default()
+        };
+        let single = run_workload(&spec);
+        let distributed = run_workload_distributed(&spec);
+        assert_eq!(single.state_fingerprint, distributed.fingerprint);
+        assert_eq!(distributed.nranks, 2);
+        assert!(distributed.dependency_edges > 0);
     }
 
     #[test]

@@ -1,0 +1,69 @@
+//! End-to-end tests of the rank-parallel runtime against the rest of the
+//! toolchain: the merged multi-rank event log feeds the discrete-event
+//! timeline simulator, and the per-rank wall-clock streams export as one
+//! rank-tagged Perfetto trace.
+
+use vibe_bench::{run_workload, run_workload_distributed, WorkloadSpec};
+use vibe_prof::ProfLevel;
+
+fn spec(nranks: usize) -> WorkloadSpec {
+    WorkloadSpec {
+        mesh_cells: 16,
+        block_cells: 8,
+        levels: 2,
+        cycles: 2,
+        num_scalars: 1,
+        nranks,
+        ..WorkloadSpec::default()
+    }
+}
+
+/// The simulator ingests the *merged* multi-rank log: real per-rank send
+/// and completion events (not the single-driver accounting stream)
+/// schedule onto NIC channels and produce a finite timeline.
+#[test]
+fn sim_replays_merged_multirank_log() {
+    let nranks = 4;
+    let run = run_workload_distributed(&spec(nranks));
+    assert!(run.events.iter().any(|e| e.rank != 0));
+    let cfg = vibe_sim::SimConfig::zero_overlap(nranks, 8);
+    let w = vibe_sim::SimWorkload::from_recorded(&run.recorder, &run.events, &cfg);
+    let (report, timeline) = vibe_sim::simulate(&w, &cfg).expect("merged log simulates");
+    assert!(report.wall_s > 0.0);
+    assert_eq!(report.per_rank.len(), nranks);
+    assert_eq!(report.per_cycle.len(), run.cycles as usize);
+    assert!(report.zone_cycles > 0);
+    // The timeline renders to a valid async Perfetto trace.
+    let spans = timeline.to_async_spans();
+    let json = vibe_prof::perfetto_async_trace_json(&spans, "vibe-rt-sim", &timeline.tracks);
+    vibe_prof::validate_async_trace(&json).expect("valid simulated trace");
+}
+
+/// With wall-clock profiling on in every shard, the merged run exports a
+/// rank-tagged Perfetto trace: one process track per rank, all parseable.
+#[test]
+fn multirank_trace_export_is_rank_tagged() {
+    let nranks = 2;
+    let run = run_workload_distributed(&WorkloadSpec {
+        prof_level: ProfLevel::Full,
+        ..spec(nranks)
+    });
+    assert_eq!(run.rank_traces.len(), nranks);
+    for (rank, trace) in &run.rank_traces {
+        assert!(
+            !trace.is_empty(),
+            "rank {rank} produced no wall-clock events"
+        );
+    }
+    let json = run.perfetto_trace_json();
+    vibe_prof::validate_json(&json).expect("well-formed multi-rank trace");
+    for rank in 0..nranks {
+        assert!(
+            json.contains(&format!("\"name\":\"rank {rank}\"")),
+            "missing process track for rank {rank}"
+        );
+    }
+    // Profiling must stay result-neutral in the distributed runtime too.
+    let unprofiled = run_workload(&spec(nranks));
+    assert_eq!(run.fingerprint, unprofiled.state_fingerprint);
+}

@@ -52,8 +52,15 @@ pub enum CommEventKind {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CommEvent {
     /// Globally monotone sequence number (unique per communicator, strictly
-    /// increasing in program order).
+    /// increasing in program order). With the cross-thread channel
+    /// transport the counter is shared by all ranks, so merging every
+    /// rank's log and sorting by `seq` yields a causally ordered global
+    /// stream (a completion's seq is always greater than its send's).
     pub seq: u64,
+    /// Rank whose communicator stamped the event. The same-address-space
+    /// transport stamps everything rank 0 (one driver executes every
+    /// virtual rank); rank shards stamp their own rank.
+    pub rank: usize,
     /// Simulation cycle the event belongs to.
     pub cycle: u64,
     /// Boundary key for p2p events; `BoundaryKey::new(0, 0, 0)` convention
@@ -129,4 +136,221 @@ pub fn validate_event_order(events: &[CommEvent]) -> Result<usize, String> {
         }
     }
     Ok(edges)
+}
+
+/// Checks the ordering invariants of a *merged multi-rank* event log — the
+/// concatenation of every rank shard's stream sorted by the shared `seq`
+/// counter:
+///
+/// 1. sequence numbers are strictly increasing globally (the channel
+///    transport's shared counter makes them unique and causal);
+/// 2. every rank index is `< nranks`;
+/// 3. per rank, cycles never decrease (the initialization sentinel
+///    `u64::MAX` is exempt) — ranks may be in *different* cycles at the
+///    same instant, so no global cycle monotonicity is required;
+/// 4. every `Complete` matches the oldest unconsumed `Send` for its key
+///    (FIFO message matching, exactly MPI's same-(source,tag) ordering) —
+///    a `Complete` with no pending `Send` is an error;
+/// 5. every collective occurrence is observed by *all* ranks: for each
+///    `(cycle, func, op, bytes)` group, all ranks log the same number of
+///    collective events — a collective seen by only a subset of ranks is
+///    a rendezvous mismatch.
+///
+/// Returns the number of satisfied (send → complete) dependency edges.
+pub fn validate_multirank_event_order(
+    events: &[CommEvent],
+    nranks: usize,
+) -> Result<usize, String> {
+    use std::collections::{BTreeMap, HashMap, VecDeque};
+    let mut last_seq: Option<u64> = None;
+    let mut last_cycle = vec![0u64; nranks];
+    let mut pending: HashMap<BoundaryKey, VecDeque<u64>> = HashMap::new();
+    // (cycle, func, op, bytes) -> per-rank occurrence counts.
+    let mut collectives: BTreeMap<(u64, StepFunction, CollectiveOp, u64), Vec<u64>> =
+        BTreeMap::new();
+    let mut edges = 0usize;
+    for ev in events {
+        if let Some(prev) = last_seq {
+            if ev.seq <= prev {
+                return Err(format!(
+                    "sequence numbers not strictly increasing: {} after {prev}",
+                    ev.seq
+                ));
+            }
+        }
+        last_seq = Some(ev.seq);
+        if ev.rank >= nranks {
+            return Err(format!(
+                "event at seq {} stamped rank {} >= nranks {nranks}",
+                ev.seq, ev.rank
+            ));
+        }
+        if ev.cycle != u64::MAX {
+            if ev.cycle < last_cycle[ev.rank] {
+                return Err(format!(
+                    "rank {} cycle went backwards: {} after {} at seq {}",
+                    ev.rank, ev.cycle, last_cycle[ev.rank], ev.seq
+                ));
+            }
+            last_cycle[ev.rank] = ev.cycle;
+        }
+        match ev.kind {
+            CommEventKind::PostReceive => {}
+            CommEventKind::Collective { op, bytes } => {
+                collectives
+                    .entry((ev.cycle, ev.func, op, bytes))
+                    .or_insert_with(|| vec![0u64; nranks])[ev.rank] += 1;
+            }
+            CommEventKind::Send { .. } => {
+                pending.entry(ev.key).or_default().push_back(ev.seq);
+            }
+            CommEventKind::Complete { .. } => {
+                match pending.get_mut(&ev.key).and_then(VecDeque::pop_front) {
+                    Some(send_seq) if send_seq < ev.seq => edges += 1,
+                    Some(send_seq) => {
+                        return Err(format!(
+                            "completion at seq {} not after its send at seq {send_seq}",
+                            ev.seq
+                        ));
+                    }
+                    None => {
+                        return Err(format!(
+                            "completion at seq {} for {:?} with no pending send",
+                            ev.seq, ev.key
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    for ((cycle, func, op, bytes), counts) in &collectives {
+        let max = counts.iter().copied().max().unwrap_or(0);
+        if counts.iter().any(|&c| c != max) {
+            let observers = counts.iter().filter(|&&c| c == max).count();
+            return Err(format!(
+                "collective {op:?} ({func:?}, {bytes} B, cycle {cycle}) observed by only \
+                 {observers} of {nranks} ranks"
+            ));
+        }
+    }
+    Ok(edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64, rank: usize, cycle: u64, key: BoundaryKey, kind: CommEventKind) -> CommEvent {
+        CommEvent {
+            seq,
+            rank,
+            cycle,
+            key,
+            func: StepFunction::SendBoundBufs,
+            task: None,
+            kind,
+        }
+    }
+
+    fn send(src: usize, dst: usize) -> CommEventKind {
+        CommEventKind::Send {
+            src,
+            dst,
+            bytes: 64,
+            cells: 8,
+            local: src == dst,
+        }
+    }
+
+    const DONE: CommEventKind = CommEventKind::Complete {
+        bytes: 64,
+        local: false,
+    };
+
+    /// Cross-rank deliveries interleaved out of key order — but causal in
+    /// the shared sequence counter — are a legal merged log.
+    #[test]
+    fn shuffled_cross_rank_interleaving_passes() {
+        let a = BoundaryKey::new(0, 4, 1);
+        let b = BoundaryKey::new(5, 1, 2);
+        let events = [
+            ev(1, 0, 0, a, send(0, 1)),
+            ev(2, 1, 0, b, send(1, 0)),
+            // Rank 0 consumes b before rank 1 consumes a: key order is
+            // shuffled relative to send order, seq order stays causal.
+            ev(3, 0, 0, b, DONE),
+            ev(4, 1, 0, a, DONE),
+            // Ranks may sit in different cycles at the same instant.
+            ev(5, 0, 1, a, send(0, 1)),
+            ev(6, 1, 0, b, send(1, 0)),
+            ev(7, 1, 1, a, DONE),
+            ev(8, 0, 1, b, DONE),
+        ];
+        assert_eq!(validate_multirank_event_order(&events, 2), Ok(4));
+    }
+
+    /// A completion with no matching send is a corrupt log, not a legal
+    /// interleaving.
+    #[test]
+    fn completion_without_send_fails() {
+        let a = BoundaryKey::new(0, 4, 1);
+        let orphan = BoundaryKey::new(9, 9, 1);
+        let events = [ev(1, 0, 0, a, send(0, 1)), ev(2, 1, 0, orphan, DONE)];
+        let err = validate_multirank_event_order(&events, 2).unwrap_err();
+        assert!(err.contains("no pending send"), "{err}");
+    }
+
+    /// A collective observed by only a subset of ranks is a rendezvous
+    /// mismatch — every rank must log each collective occurrence.
+    #[test]
+    fn subset_collective_fails() {
+        let none = BoundaryKey::new(0, 0, 0);
+        let coll = CommEventKind::Collective {
+            op: CollectiveOp::AllReduce,
+            bytes: 8,
+        };
+        let full = [
+            ev(1, 0, 0, none, coll),
+            ev(2, 1, 0, none, coll),
+            ev(3, 2, 0, none, coll),
+        ];
+        assert_eq!(validate_multirank_event_order(&full, 3), Ok(0));
+        let subset = &full[..2];
+        let err = validate_multirank_event_order(subset, 3).unwrap_err();
+        assert!(err.contains("observed by only 2 of 3 ranks"), "{err}");
+    }
+
+    /// Per-rank FIFO matching: two same-key sends consume in order, and a
+    /// third completion on that key is rejected.
+    #[test]
+    fn fifo_matching_per_key() {
+        let a = BoundaryKey::new(0, 4, 1);
+        let ok = [
+            ev(1, 0, 0, a, send(0, 1)),
+            ev(2, 0, 0, a, send(0, 1)),
+            ev(3, 1, 0, a, DONE),
+            ev(4, 1, 0, a, DONE),
+        ];
+        assert_eq!(validate_multirank_event_order(&ok, 2), Ok(2));
+        let over = [
+            ev(1, 0, 0, a, send(0, 1)),
+            ev(2, 1, 0, a, DONE),
+            ev(3, 1, 0, a, DONE),
+        ];
+        assert!(validate_multirank_event_order(&over, 2).is_err());
+    }
+
+    /// Structural stamps are checked: rank ids beyond nranks and non-unique
+    /// sequence numbers are corrupt.
+    #[test]
+    fn rank_bounds_and_seq_uniqueness() {
+        let none = BoundaryKey::new(0, 0, 0);
+        let bad_rank = [ev(1, 2, 0, none, CommEventKind::PostReceive)];
+        assert!(validate_multirank_event_order(&bad_rank, 2).is_err());
+        let dup_seq = [
+            ev(1, 0, 0, none, CommEventKind::PostReceive),
+            ev(1, 1, 0, none, CommEventKind::PostReceive),
+        ];
+        assert!(validate_multirank_event_order(&dup_seq, 2).is_err());
+    }
 }

@@ -22,7 +22,12 @@
 pub mod cache;
 pub mod events;
 pub mod mailbox;
+pub mod transport;
 
 pub use cache::{BoundaryKey, BufferCache, CacheConfig};
-pub use events::{validate_event_order, CommEvent, CommEventKind};
-pub use mailbox::{Communicator, MessageStatus, SendMeta};
+pub use events::{validate_event_order, validate_multirank_event_order, CommEvent, CommEventKind};
+pub use mailbox::{Communicator, MessageStatus};
+pub use transport::{
+    channel_fabric, ChannelTransport, CollectiveHub, SendMeta, SharedTransport, Transport,
+    WireMessage,
+};

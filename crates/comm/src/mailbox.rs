@@ -1,11 +1,12 @@
 //! The in-memory message mailbox simulating non-blocking MPI.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use vibe_prof::{CollectiveOp, Recorder, SerialWork, StepFunction};
 
 use crate::cache::BoundaryKey;
 use crate::events::{CommEvent, CommEventKind};
+use crate::transport::{SendMeta, SharedTransport, Transport, WireMessage};
 
 /// Delivery state of one boundary message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,22 +31,17 @@ struct Slot {
     local: bool,
 }
 
-/// Routing and accounting metadata for one [`Communicator::send`].
-#[derive(Debug, Clone, Copy)]
-pub struct SendMeta {
-    /// Sending virtual rank.
-    pub src: usize,
-    /// Receiving virtual rank.
-    pub dst: usize,
-    /// Ghost/flux cells carried, for workload accounting.
-    pub cells: u64,
-}
-
 /// Simulated communicator over `nranks` virtual ranks.
 ///
-/// All data lives in one address space; the rank structure only determines
-/// whether a transfer is recorded as a *local copy* or a *remote message* —
-/// the distinction that drives the MPI cost and memory models.
+/// Message *movement* is delegated to a [`Transport`]: the default
+/// [`SharedTransport`] keeps all data in one address space (one driver
+/// executes every virtual rank, and the rank structure only determines
+/// whether a transfer is recorded as a *local copy* or a *remote message*),
+/// while the channel transport built by
+/// [`channel_fabric`](crate::transport::channel_fabric) carries messages
+/// between real concurrent rank shards. The mailbox owns message *matching*:
+/// posted receives, FIFO per-key delivery, probe semantics, and the
+/// progress-engine arrival delay.
 ///
 /// ```
 /// use vibe_comm::{BoundaryKey, Communicator, SendMeta};
@@ -65,42 +61,61 @@ pub struct SendMeta {
 #[derive(Debug)]
 pub struct Communicator {
     nranks: usize,
+    transport: Box<dyn Transport>,
     slots: HashMap<BoundaryKey, Slot>,
+    /// Messages drained off the transport but not yet promoted into a slot:
+    /// per-key FIFO queues, exactly MPI's same-(source,tag) message order.
+    /// A message is promoted only when the slot for its key is free (absent
+    /// or merely Posted) — a fast sender's next-exchange message must not
+    /// overwrite an unconsumed one.
+    inbox: HashMap<BoundaryKey, VecDeque<(Vec<f64>, bool)>>,
     probe_calls: u64,
     remote_delivery_delay: u32,
     /// Ordered event log with globally monotone sequence numbers.
     log: Vec<CommEvent>,
-    next_seq: u64,
     cycle: u64,
     /// Task name stamped onto subsequent events (set by the task executor).
     task: Option<&'static str>,
 }
 
 impl Communicator {
-    /// Creates a communicator over `nranks` virtual ranks.
+    /// Creates a communicator over `nranks` virtual ranks in one address
+    /// space (the [`SharedTransport`] path).
     ///
     /// # Panics
     ///
     /// Panics if `nranks == 0`.
     pub fn new(nranks: usize) -> Self {
         assert!(nranks > 0, "communicator needs at least one rank");
+        Self::with_transport(nranks, Box::new(SharedTransport::new()))
+    }
+
+    /// Creates a communicator whose messages travel over `transport`
+    /// (one endpoint of a channel fabric, for rank shards).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nranks == 0`.
+    pub fn with_transport(nranks: usize, transport: Box<dyn Transport>) -> Self {
+        assert!(nranks > 0, "communicator needs at least one rank");
         Self {
             nranks,
+            transport,
             slots: HashMap::new(),
+            inbox: HashMap::new(),
             probe_calls: 0,
             remote_delivery_delay: 0,
             log: Vec::new(),
-            next_seq: 0,
             cycle: 0,
             task: None,
         }
     }
 
     fn push_event(&mut self, key: BoundaryKey, func: StepFunction, kind: CommEventKind) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
+        let seq = self.transport.next_seq();
         self.log.push(CommEvent {
             seq,
+            rank: self.transport.rank(),
             cycle: self.cycle,
             key,
             func,
@@ -133,6 +148,13 @@ impl Communicator {
         std::mem::take(&mut self.log)
     }
 
+    /// Number of events currently resident in the log (consumers drain the
+    /// log with [`Communicator::take_events`]; this is what a bounded-memory
+    /// regression test watches).
+    pub fn resident_events(&self) -> usize {
+        self.log.len()
+    }
+
     /// Makes remote messages require `polls` probe attempts before they
     /// are visible to `try_receive` — modeling the MPI progress engine
     /// that `MPI_Iprobe` must nudge along (local copies always complete
@@ -144,6 +166,11 @@ impl Communicator {
     /// Number of virtual ranks.
     pub fn nranks(&self) -> usize {
         self.nranks
+    }
+
+    /// This communicator's rank on its transport (0 on the shared path).
+    pub fn rank(&self) -> usize {
+        self.transport.rank()
     }
 
     /// Posts an asynchronous receive for `key` (idempotent until satisfied).
@@ -184,16 +211,9 @@ impl Communicator {
         let bytes = (payload.len() * std::mem::size_of::<f64>()) as u64;
         let local = meta.src == meta.dst;
         rec.record_p2p(func, bytes, meta.cells, local);
-        let slot = self.slots.entry(key).or_insert(Slot {
-            status: MessageStatus::Posted,
-            payload: Vec::new(),
-            arrival_delay: 0,
-            local,
-        });
-        slot.payload = payload;
-        slot.status = MessageStatus::InFlight;
-        slot.arrival_delay = if local { 0 } else { self.remote_delivery_delay };
-        slot.local = local;
+        // The Send event is logged *before* the message enters the
+        // transport so its sequence number is causally below any event the
+        // receiver stamps after consuming it.
         self.push_event(
             key,
             func,
@@ -205,6 +225,70 @@ impl Communicator {
                 local,
             },
         );
+        let msg = WireMessage { key, payload, meta };
+        if let Some(msg) = self.transport.post(msg) {
+            self.deliver(msg);
+        }
+    }
+
+    /// Places a message that stayed in (or arrived into) this address space
+    /// directly into its slot, overwriting any unconsumed payload — the
+    /// shared path's historical re-send semantics.
+    fn deliver(&mut self, msg: WireMessage) {
+        let local = msg.meta.src == msg.meta.dst;
+        let slot = self.slots.entry(msg.key).or_insert(Slot {
+            status: MessageStatus::Posted,
+            payload: Vec::new(),
+            arrival_delay: 0,
+            local,
+        });
+        slot.payload = msg.payload;
+        slot.status = MessageStatus::InFlight;
+        slot.arrival_delay = if local { 0 } else { self.remote_delivery_delay };
+        slot.local = local;
+    }
+
+    /// Drains the transport into the per-key FIFO inbox.
+    fn pump(&mut self) {
+        for msg in self.transport.drain() {
+            let local = msg.meta.src == msg.meta.dst;
+            self.inbox
+                .entry(msg.key)
+                .or_default()
+                .push_back((msg.payload, local));
+        }
+    }
+
+    /// Moves the oldest queued message for `key` into its slot, but only if
+    /// the slot is free (absent or merely Posted) — never over an
+    /// unconsumed (`InFlight`) or just-consumed (`Received`) message.
+    fn promote(&mut self, key: BoundaryKey) {
+        let free = !matches!(
+            self.slots.get(&key).map(|s| s.status),
+            Some(MessageStatus::InFlight) | Some(MessageStatus::Received)
+        );
+        if !free {
+            return;
+        }
+        let Some(queue) = self.inbox.get_mut(&key) else {
+            return;
+        };
+        let Some((payload, local)) = queue.pop_front() else {
+            return;
+        };
+        if queue.is_empty() {
+            self.inbox.remove(&key);
+        }
+        let slot = self.slots.entry(key).or_insert(Slot {
+            status: MessageStatus::Posted,
+            payload: Vec::new(),
+            arrival_delay: 0,
+            local,
+        });
+        slot.payload = payload;
+        slot.status = MessageStatus::InFlight;
+        slot.arrival_delay = if local { 0 } else { self.remote_delivery_delay };
+        slot.local = local;
     }
 
     /// One non-blocking probe of the progress engine for `key`: records the
@@ -213,6 +297,8 @@ impl Communicator {
     pub fn poll_ready(&mut self, key: BoundaryKey, rec: &mut Recorder) -> bool {
         self.probe_calls += 1;
         rec.record_serial(StepFunction::ReceiveBoundBufs, SerialWork::BoundaryLoop(1));
+        self.pump();
+        self.promote(key);
         let Some(slot) = self.slots.get_mut(&key) else {
             return false;
         };
@@ -253,10 +339,14 @@ impl Communicator {
         self.slots.get(&key).map(|s| s.status)
     }
 
-    /// Marks all buffers stale and clears payloads — the end-of-exchange
-    /// reset performed by `SetBounds`.
+    /// The end-of-exchange reset performed by `SetBounds`: drops consumed
+    /// and stale-posted slots. Unconsumed `InFlight` messages survive —
+    /// with real concurrent ranks a fast sender's *next*-exchange message
+    /// may already have been promoted, and destroying it would deadlock the
+    /// next exchange.
     pub fn mark_all_stale(&mut self) {
-        self.slots.clear();
+        self.slots
+            .retain(|_, s| s.status == MessageStatus::InFlight);
     }
 
     /// Total `MPI_Iprobe`-equivalent calls made (a serial-overhead input).
@@ -266,6 +356,10 @@ impl Communicator {
 
     /// Executes an AllGather of `bytes_per_rank` payload from every rank
     /// (used to aggregate refinement flags in `UpdateMeshBlockTree`).
+    ///
+    /// Accounting-only: no data moves (the shared path has every rank's
+    /// data in one address space). Rank shards use
+    /// [`Communicator::all_gather_data`] instead.
     pub fn all_gather(&mut self, func: StepFunction, bytes_per_rank: u64, rec: &mut Recorder) {
         let bytes = bytes_per_rank * self.nranks as u64;
         rec.record_collective(func, CollectiveOp::AllGather, bytes);
@@ -280,7 +374,8 @@ impl Communicator {
     }
 
     /// Executes an AllReduce of `bytes` (the timestep minimum in
-    /// `EstimateTimeStep`).
+    /// `EstimateTimeStep`). Accounting-only; rank shards use
+    /// [`Communicator::all_reduce_data`].
     pub fn all_reduce(&mut self, func: StepFunction, bytes: u64, rec: &mut Recorder) {
         rec.record_collective(func, CollectiveOp::AllReduce, bytes);
         self.push_event(
@@ -291,6 +386,61 @@ impl Communicator {
                 bytes,
             },
         );
+    }
+
+    /// Blocking AllGather that really moves data: deposits `payload` and
+    /// returns every rank's deposit indexed by rank. Recorded bytes are the
+    /// total gathered size, identical on every rank (so merged logs
+    /// validate). Blocks until all ranks on the transport arrive.
+    pub fn all_gather_data(
+        &mut self,
+        func: StepFunction,
+        payload: Vec<u8>,
+        rec: &mut Recorder,
+    ) -> Vec<Vec<u8>> {
+        let parts = self.transport.all_gather_bytes(func.name(), payload);
+        let bytes: u64 = parts.iter().map(|p| p.len() as u64).sum();
+        rec.record_collective(func, CollectiveOp::AllGather, bytes);
+        self.push_event(
+            BoundaryKey::new(0, 0, 0),
+            func,
+            CommEventKind::Collective {
+                op: CollectiveOp::AllGather,
+                bytes,
+            },
+        );
+        parts
+    }
+
+    /// Blocking AllReduce implemented as gather-then-fold: returns every
+    /// rank's `payload` indexed by rank so the caller folds them in a fixed
+    /// rank order (deterministic reduction regardless of arrival order).
+    /// `bytes` is the reduced result size to record (e.g. 8 for a scalar
+    /// minimum), matching the accounting-only path.
+    pub fn all_reduce_data(
+        &mut self,
+        func: StepFunction,
+        payload: Vec<u8>,
+        bytes: u64,
+        rec: &mut Recorder,
+    ) -> Vec<Vec<u8>> {
+        let parts = self.transport.all_gather_bytes(func.name(), payload);
+        rec.record_collective(func, CollectiveOp::AllReduce, bytes);
+        self.push_event(
+            BoundaryKey::new(0, 0, 0),
+            func,
+            CommEventKind::Collective {
+                op: CollectiveOp::AllReduce,
+                bytes,
+            },
+        );
+        parts
+    }
+
+    /// Blocks until every rank on the transport reaches the same barrier.
+    /// Not recorded — used by the conductor to bracket timed regions.
+    pub fn barrier(&mut self, label: &'static str) {
+        self.transport.barrier(label);
     }
 
     /// Number of currently in-flight (sent, unconsumed) messages.
@@ -305,6 +455,7 @@ impl Communicator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transport::channel_fabric;
     use vibe_prof::CollectiveOp;
 
     fn recorder() -> Recorder {
@@ -403,12 +554,13 @@ mod tests {
     }
 
     #[test]
-    fn stale_reset_clears_everything() {
+    fn stale_reset_drops_consumed_keeps_inflight() {
         let mut rec = recorder();
         let mut comm = Communicator::new(2);
-        let key = BoundaryKey::new(0, 1, 0);
+        let consumed = BoundaryKey::new(0, 1, 0);
+        let early = BoundaryKey::new(1, 0, 0);
         comm.send(
-            key,
+            consumed,
             vec![1.0],
             SendMeta {
                 src: 0,
@@ -418,10 +570,28 @@ mod tests {
             StepFunction::SendBoundBufs,
             &mut rec,
         );
+        assert!(comm.try_receive(consumed, &mut rec).is_some());
+        // An early arrival for the *next* exchange must survive the reset.
+        comm.send(
+            early,
+            vec![2.0],
+            SendMeta {
+                src: 1,
+                dst: 0,
+                cells: 1,
+            },
+            StepFunction::SendBoundBufs,
+            &mut rec,
+        );
         assert_eq!(comm.in_flight(), 1);
         comm.mark_all_stale();
-        assert_eq!(comm.in_flight(), 0);
-        assert_eq!(comm.status(key), None);
+        assert_eq!(comm.status(consumed), None, "consumed slot is dropped");
+        assert_eq!(
+            comm.status(early),
+            Some(MessageStatus::InFlight),
+            "unconsumed message survives"
+        );
+        assert_eq!(comm.try_receive(early, &mut rec), Some(vec![2.0]));
         rec.end_cycle(1, 0, 0, 0);
     }
 
@@ -518,6 +688,7 @@ mod tests {
         for (i, ev) in a.iter().enumerate() {
             assert_eq!(ev.seq, i as u64);
             assert_eq!(ev.cycle, 1);
+            assert_eq!(ev.rank, 0, "the shared path stamps rank 0");
         }
     }
 
@@ -656,5 +827,132 @@ mod tests {
         );
         assert_eq!(comm.try_receive(key, &mut rec), Some(vec![1.0]));
         rec.end_cycle(1, 0, 0, 0);
+    }
+
+    /// Two communicators on a two-rank channel fabric, driven sequentially
+    /// on one thread (mpsc queues make that legal).
+    fn channel_pair() -> (Communicator, Communicator) {
+        let mut fabric = channel_fabric(2);
+        let t1 = fabric.pop().unwrap();
+        let t0 = fabric.pop().unwrap();
+        (
+            Communicator::with_transport(2, Box::new(t0)),
+            Communicator::with_transport(2, Box::new(t1)),
+        )
+    }
+
+    #[test]
+    fn channel_transport_delivers_cross_rank_messages() {
+        let mut rec = recorder();
+        let (mut c0, mut c1) = channel_pair();
+        let key = BoundaryKey::new(0, 1, 7);
+        c1.start_receive(key);
+        assert!(c1.try_receive(key, &mut rec).is_none(), "nothing sent yet");
+        c0.send(
+            key,
+            vec![3.5, 4.5],
+            SendMeta {
+                src: 0,
+                dst: 1,
+                cells: 2,
+            },
+            StepFunction::SendBoundBufs,
+            &mut rec,
+        );
+        assert_eq!(c1.try_receive(key, &mut rec), Some(vec![3.5, 4.5]));
+        // The sender's slot map never saw the message.
+        assert_eq!(c0.status(key), None);
+    }
+
+    #[test]
+    fn channel_transport_queues_same_key_sends_fifo() {
+        let mut rec = recorder();
+        let (mut c0, mut c1) = channel_pair();
+        let key = BoundaryKey::new(0, 1, 0);
+        // A fast sender ships two exchanges' worth of the same key before
+        // the receiver consumes the first.
+        for v in [1.0, 2.0] {
+            c0.send(
+                key,
+                vec![v],
+                SendMeta {
+                    src: 0,
+                    dst: 1,
+                    cells: 1,
+                },
+                StepFunction::SendBoundBufs,
+                &mut rec,
+            );
+        }
+        c1.start_receive(key);
+        assert_eq!(c1.try_receive(key, &mut rec), Some(vec![1.0]));
+        // The second message must not have overwritten the first; it is
+        // promoted only after the end-of-exchange reset frees the slot.
+        c1.mark_all_stale();
+        c1.start_receive(key);
+        assert_eq!(c1.try_receive(key, &mut rec), Some(vec![2.0]));
+        rec.end_cycle(1, 0, 0, 0);
+    }
+
+    #[test]
+    fn channel_events_merge_into_valid_multirank_log() {
+        let mut rec = recorder();
+        let (mut c0, mut c1) = channel_pair();
+        c0.begin_cycle(0);
+        c1.begin_cycle(0);
+        let k01 = BoundaryKey::new(0, 1, 0);
+        let k10 = BoundaryKey::new(1, 0, 0);
+        c0.start_receive(k10);
+        c1.start_receive(k01);
+        c0.send(
+            k01,
+            vec![1.0],
+            SendMeta {
+                src: 0,
+                dst: 1,
+                cells: 1,
+            },
+            StepFunction::SendBoundBufs,
+            &mut rec,
+        );
+        c1.send(
+            k10,
+            vec![2.0],
+            SendMeta {
+                src: 1,
+                dst: 0,
+                cells: 1,
+            },
+            StepFunction::SendBoundBufs,
+            &mut rec,
+        );
+        assert!(c0.try_receive(k10, &mut rec).is_some());
+        assert!(c1.try_receive(k01, &mut rec).is_some());
+        c0.all_reduce(StepFunction::EstimateTimeStep, 8, &mut rec);
+        c1.all_reduce(StepFunction::EstimateTimeStep, 8, &mut rec);
+        rec.end_cycle(1, 0, 0, 0);
+        let mut merged = c0.take_events();
+        merged.extend(c1.take_events());
+        merged.sort_by_key(|e| e.seq);
+        let edges = crate::events::validate_multirank_event_order(&merged, 2).unwrap();
+        assert_eq!(edges, 2, "one send→complete edge per direction");
+        assert!(merged.iter().any(|e| e.rank == 1), "rank 1 stamped events");
+    }
+
+    #[test]
+    fn collective_data_rendezvous_returns_rank_indexed_parts() {
+        let (mut c0, mut c1) = channel_pair();
+        let h = std::thread::spawn(move || {
+            let mut rec = recorder();
+            let parts = c1.all_gather_data(StepFunction::UpdateMeshBlockTree, vec![1, 1], &mut rec);
+            rec.end_cycle(1, 0, 0, 0);
+            parts
+        });
+        let mut rec = recorder();
+        let parts = c0.all_gather_data(StepFunction::UpdateMeshBlockTree, vec![0], &mut rec);
+        rec.end_cycle(1, 0, 0, 0);
+        let other = h.join().unwrap();
+        assert_eq!(parts, vec![vec![0], vec![1, 1]]);
+        assert_eq!(parts, other, "all ranks see the same rank-indexed parts");
     }
 }

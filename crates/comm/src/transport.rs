@@ -1,0 +1,406 @@
+//! Pluggable message transports behind the [`Communicator`] mailbox.
+//!
+//! Two implementations back the same mailbox contract:
+//!
+//! * [`SharedTransport`] — the original same-address-space path. One driver
+//!   executes every virtual rank in program order, so a "send" is complete
+//!   the moment it is posted and collectives involve nobody else. Sequence
+//!   numbers are a local counter starting at zero, preserving the dense
+//!   per-communicator numbering the event-log tests rely on.
+//! * [`ChannelTransport`] — one endpoint per rank shard, wired together by
+//!   [`channel_fabric`]. Cross-rank sends travel over `mpsc` channels,
+//!   sequence numbers come from one shared atomic counter (so the merged
+//!   multi-rank log is causally ordered: a completion's seq is always
+//!   greater than its send's, because the send allocated its seq before the
+//!   message entered the channel), and collectives rendezvous through a
+//!   [`CollectiveHub`].
+//!
+//! [`Communicator`]: crate::Communicator
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::cache::BoundaryKey;
+
+/// Message routing metadata carried alongside a payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendMeta {
+    /// Sending virtual rank.
+    pub src: usize,
+    /// Receiving virtual rank.
+    pub dst: usize,
+    /// Ghost/flux cells carried, for workload accounting.
+    pub cells: u64,
+}
+
+/// A message on the wire: boundary key, payload, and routing metadata.
+#[derive(Debug, Clone)]
+pub struct WireMessage {
+    /// Matching key (sender gid, receiver gid, tag).
+    pub key: BoundaryKey,
+    /// Field data being exchanged.
+    pub payload: Vec<f64>,
+    /// Routing metadata.
+    pub meta: SendMeta,
+}
+
+/// The wire beneath the mailbox: moves payloads between ranks, allocates
+/// event sequence numbers, and runs collectives.
+///
+/// The mailbox owns message *matching* (posted receives, probe semantics,
+/// delivery delay); the transport owns message *movement*. `post` returns
+/// `Some(msg)` when the destination is this same endpoint (self-delivery —
+/// the mailbox applies its local-copy semantics), `None` when the message
+/// left for another endpoint and will surface from a later `drain` there.
+pub trait Transport: Send + std::fmt::Debug {
+    /// This endpoint's rank.
+    fn rank(&self) -> usize;
+    /// Total ranks on the fabric.
+    fn nranks(&self) -> usize;
+    /// Allocate the next event sequence number.
+    fn next_seq(&mut self) -> u64;
+    /// Ship a message toward `msg.meta.dst`. Returns the message back when
+    /// the destination is this endpoint, `None` when it left the address
+    /// space.
+    fn post(&mut self, msg: WireMessage) -> Option<WireMessage>;
+    /// Pull every message other endpoints have shipped here since the last
+    /// drain, in arrival order.
+    fn drain(&mut self) -> Vec<WireMessage>;
+    /// Deposit `payload` and return every rank's deposit, indexed by rank.
+    /// Blocks until all ranks arrive. `label` names the rendezvous point;
+    /// mismatched labels across ranks are a program error and panic.
+    fn all_gather_bytes(&mut self, label: &'static str, payload: Vec<u8>) -> Vec<Vec<u8>>;
+    /// Block until every rank reaches the same barrier.
+    fn barrier(&mut self, label: &'static str) {
+        self.all_gather_bytes(label, Vec::new());
+    }
+}
+
+/// Same-address-space transport: one driver executes every virtual rank.
+///
+/// Self-contained — no fabric, no peers. Every `post` is a self-delivery
+/// (the single driver is both sides of every exchange) and collectives
+/// return only this endpoint's payload.
+#[derive(Debug, Default)]
+pub struct SharedTransport {
+    next_seq: u64,
+}
+
+impl SharedTransport {
+    /// Creates the transport with a fresh local sequence counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Transport for SharedTransport {
+    fn rank(&self) -> usize {
+        0
+    }
+
+    fn nranks(&self) -> usize {
+        1
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+
+    fn post(&mut self, msg: WireMessage) -> Option<WireMessage> {
+        Some(msg)
+    }
+
+    fn drain(&mut self) -> Vec<WireMessage> {
+        Vec::new()
+    }
+
+    fn all_gather_bytes(&mut self, _label: &'static str, payload: Vec<u8>) -> Vec<Vec<u8>> {
+        vec![payload]
+    }
+}
+
+/// State of one in-progress gather generation.
+#[derive(Debug, Default)]
+struct HubState {
+    /// Label of the collective currently rendezvousing, for mismatch checks.
+    label: Option<&'static str>,
+    /// Per-rank deposits for the current generation.
+    deposits: Vec<Option<Vec<u8>>>,
+    /// Published result of the completed generation, until all ranks take it.
+    result: Option<Arc<Vec<Vec<u8>>>>,
+    /// How many ranks have taken the published result.
+    taken: usize,
+}
+
+/// Blocking all-gather rendezvous shared by every [`ChannelTransport`] on a
+/// fabric.
+///
+/// Generation-safe: a rank that finishes one gather and races into the next
+/// waits until the previous generation's result has been taken by everyone
+/// (its own deposit slot is free and no stale result is published) before
+/// depositing. The executor guarantees all ranks issue collectives in the
+/// same program order, and the `label` check turns any violation of that
+/// guarantee into a panic instead of silently mixing payloads.
+#[derive(Debug)]
+pub struct CollectiveHub {
+    nranks: usize,
+    state: Mutex<HubState>,
+    cond: Condvar,
+}
+
+impl CollectiveHub {
+    /// Creates a hub for `nranks` participants.
+    pub fn new(nranks: usize) -> Self {
+        Self {
+            nranks,
+            state: Mutex::new(HubState {
+                label: None,
+                deposits: vec![None; nranks],
+                result: None,
+                taken: 0,
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Deposits `payload` for `rank` and blocks until every rank has
+    /// deposited, then returns all payloads indexed by rank.
+    fn gather(&self, rank: usize, label: &'static str, payload: Vec<u8>) -> Vec<Vec<u8>> {
+        let mut st = self.state.lock().unwrap();
+        // Wait out the previous generation: our deposit slot must be free
+        // and no published result may linger (we would steal it).
+        while st.result.is_some() || st.deposits[rank].is_some() {
+            st = self.cond.wait(st).unwrap();
+        }
+        match st.label {
+            None => st.label = Some(label),
+            Some(cur) => assert_eq!(
+                cur, label,
+                "collective rendezvous mismatch: rank {rank} joined '{label}' while \
+                 '{cur}' is in progress"
+            ),
+        }
+        st.deposits[rank] = Some(payload);
+        if st.deposits.iter().all(Option::is_some) {
+            let all: Vec<Vec<u8>> = st.deposits.iter_mut().map(|d| d.take().unwrap()).collect();
+            st.result = Some(Arc::new(all));
+            st.taken = 0;
+            st.label = None;
+            self.cond.notify_all();
+        } else {
+            while st.result.is_none() {
+                st = self.cond.wait(st).unwrap();
+            }
+        }
+        let out = st.result.as_ref().unwrap().as_ref().clone();
+        st.taken += 1;
+        if st.taken == self.nranks {
+            st.result = None;
+            self.cond.notify_all();
+        }
+        out
+    }
+}
+
+/// Cross-thread channel transport: one endpoint per rank shard.
+///
+/// Built by [`channel_fabric`]. Sends to peers go over their `mpsc` channel;
+/// sends to self are returned directly from `post` so the mailbox keeps its
+/// local-copy semantics. All endpoints share one atomic sequence counter and
+/// one [`CollectiveHub`].
+pub struct ChannelTransport {
+    rank: usize,
+    nranks: usize,
+    seq: Arc<AtomicU64>,
+    peers: Vec<Option<Sender<WireMessage>>>,
+    inbox: Receiver<WireMessage>,
+    hub: Arc<CollectiveHub>,
+}
+
+impl std::fmt::Debug for ChannelTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChannelTransport")
+            .field("rank", &self.rank)
+            .field("nranks", &self.nranks)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        self.seq.fetch_add(1, Ordering::SeqCst)
+    }
+
+    fn post(&mut self, msg: WireMessage) -> Option<WireMessage> {
+        let dst = msg.meta.dst;
+        if dst == self.rank {
+            return Some(msg);
+        }
+        // A peer hanging up (panicked shard) surfaces as a send error; the
+        // message is simply dropped — the run is already doomed and the
+        // conductor will propagate the panic.
+        if let Some(tx) = &self.peers[dst] {
+            let _ = tx.send(msg);
+        }
+        None
+    }
+
+    fn drain(&mut self) -> Vec<WireMessage> {
+        let mut out = Vec::new();
+        while let Ok(msg) = self.inbox.try_recv() {
+            out.push(msg);
+        }
+        out
+    }
+
+    fn all_gather_bytes(&mut self, label: &'static str, payload: Vec<u8>) -> Vec<Vec<u8>> {
+        self.hub.gather(self.rank, label, payload)
+    }
+}
+
+/// Builds a fully connected `nranks`-endpoint channel fabric: endpoint `r`
+/// is for rank `r`'s shard. All endpoints share one sequence counter and
+/// one collective hub.
+pub fn channel_fabric(nranks: usize) -> Vec<ChannelTransport> {
+    assert!(nranks > 0, "fabric needs at least one rank");
+    let seq = Arc::new(AtomicU64::new(0));
+    let hub = Arc::new(CollectiveHub::new(nranks));
+    let (senders, receivers): (Vec<_>, Vec<_>) =
+        (0..nranks).map(|_| std::sync::mpsc::channel()).unzip();
+    receivers
+        .into_iter()
+        .enumerate()
+        .map(|(rank, inbox)| ChannelTransport {
+            rank,
+            nranks,
+            seq: Arc::clone(&seq),
+            peers: senders
+                .iter()
+                .enumerate()
+                .map(|(dst, tx)| if dst == rank { None } else { Some(tx.clone()) })
+                .collect(),
+            inbox,
+            hub: Arc::clone(&hub),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(src: usize, dst: usize, tag: u32, payload: Vec<f64>) -> WireMessage {
+        WireMessage {
+            key: BoundaryKey::new(src, dst, tag),
+            payload,
+            meta: SendMeta { src, dst, cells: 1 },
+        }
+    }
+
+    #[test]
+    fn shared_transport_self_delivers_and_counts_locally() {
+        let mut t = SharedTransport::new();
+        assert_eq!(t.next_seq(), 0);
+        assert_eq!(t.next_seq(), 1);
+        let m = t.post(msg(0, 0, 7, vec![1.0]));
+        assert!(m.is_some());
+        assert!(t.drain().is_empty());
+        assert_eq!(t.all_gather_bytes("x", vec![3]), vec![vec![3]]);
+    }
+
+    #[test]
+    fn channel_fabric_routes_cross_rank_messages() {
+        let mut fabric = channel_fabric(2);
+        let mut t1 = fabric.pop().unwrap();
+        let mut t0 = fabric.pop().unwrap();
+        assert!(t0.post(msg(0, 1, 3, vec![2.5])).is_none());
+        // Self-delivery comes straight back.
+        assert!(t0.post(msg(0, 0, 4, vec![1.0])).is_some());
+        let got = t1.drain();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].key, BoundaryKey::new(0, 1, 3));
+        assert_eq!(got[0].payload, vec![2.5]);
+    }
+
+    #[test]
+    fn shared_seq_is_globally_unique() {
+        let mut fabric = channel_fabric(2);
+        let mut t1 = fabric.pop().unwrap();
+        let mut t0 = fabric.pop().unwrap();
+        let a = t0.next_seq();
+        let b = t1.next_seq();
+        let c = t0.next_seq();
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn hub_gathers_across_threads_and_stays_generation_safe() {
+        let nranks = 4;
+        let fabric = channel_fabric(nranks);
+        let handles: Vec<_> = fabric
+            .into_iter()
+            .map(|mut t| {
+                std::thread::spawn(move || {
+                    let mut seen = Vec::new();
+                    for round in 0u8..8 {
+                        let got = t.all_gather_bytes("round", vec![t.rank() as u8, round]);
+                        seen.push(got);
+                    }
+                    seen
+                })
+            })
+            .collect();
+        for h in handles {
+            let seen = h.join().unwrap();
+            for (round, got) in seen.iter().enumerate() {
+                for (rank, bytes) in got.iter().enumerate() {
+                    assert_eq!(bytes, &vec![rank as u8, round as u8]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "collective rendezvous mismatch")]
+    fn hub_panics_on_label_mismatch() {
+        let hub = Arc::new(CollectiveHub::new(2));
+        let h2 = Arc::clone(&hub);
+        // The worker deposits under label "b" and blocks awaiting rank 0;
+        // it is intentionally leaked (the panic below poisons the hub).
+        std::thread::spawn(move || h2.gather(1, "b", vec![]));
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        hub.gather(0, "a", vec![]);
+    }
+
+    #[test]
+    fn barrier_synchronizes_all_ranks() {
+        let fabric = channel_fabric(3);
+        let flag = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = fabric
+            .into_iter()
+            .map(|mut t| {
+                let flag = Arc::clone(&flag);
+                std::thread::spawn(move || {
+                    flag.fetch_add(1, Ordering::SeqCst);
+                    t.barrier("sync");
+                    // After the barrier everyone must have incremented.
+                    assert_eq!(flag.load(Ordering::SeqCst), 3);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

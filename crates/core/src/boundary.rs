@@ -100,38 +100,7 @@ impl ExchangePlan {
             mesh.num_blocks(),
             "slots out of sync with mesh"
         );
-        let shape = mesh.index_shape();
-        let nblocks = slots.len();
-        let mut keys = Vec::new();
-        let mut specs = Vec::new();
-        let mut by_recv: Vec<Vec<usize>> = vec![Vec::new(); nblocks];
-        let mut transfers = Vec::new();
-        for r in 0..nblocks {
-            for (t, nb) in mesh.neighbors(r).iter().enumerate() {
-                let s = mesh.gid_at(&nb.loc).expect("neighbor is a leaf");
-                by_recv[r].push(keys.len());
-                keys.push((BoundaryKey::new(s, r, t as u32), r, s));
-                specs.push(compute_buffer_spec_with(
-                    &shape,
-                    &mesh.block(r).loc(),
-                    &nb.loc,
-                    &nb.offset,
-                    cfg.restrict_on_send,
-                ));
-                if nb.is_finer() && nb.offset.order() == 1 {
-                    transfers.push((
-                        BoundaryKey::new(s, r, 1000 + t as u32),
-                        r,
-                        s,
-                        flux_correction_spec(&shape, &slots[r].info.loc, &nb.loc, &nb.offset),
-                    ));
-                }
-            }
-        }
-        let mut fcorr_by_recv: Vec<Vec<usize>> = vec![Vec::new(); nblocks];
-        for (b, (_key, r, ..)) in transfers.iter().enumerate() {
-            fcorr_by_recv[*r].push(b);
-        }
+        let (keys, specs, by_recv, transfers, fcorr_by_recv) = Self::topology(mesh, cfg);
         // Variable selection per block (string-keyed or cached, per
         // container strategy), once per generation; drain the lookup
         // counters into the profile.
@@ -169,6 +138,117 @@ impl ExchangePlan {
             flux_ids,
             two_stage_ids,
         }
+    }
+
+    /// Builds the plan from the mesh and one sample block container, without
+    /// needing every block's slot — the rank-shard path, where a shard owns
+    /// only its own blocks but (like every MPI rank) knows the full
+    /// replicated block tree. Boundary enumeration is identical to
+    /// [`ExchangePlan::build`] because it only reads the mesh; variable ids
+    /// come from `sample`, which every block registers identically.
+    pub fn build_from_mesh(
+        mesh: &Mesh,
+        sample: &mut vibe_field::BlockData,
+        cfg: &ExchangeConfig,
+        rec: &mut Recorder,
+    ) -> Self {
+        let (keys, specs, by_recv, transfers, fcorr_by_recv) = Self::topology(mesh, cfg);
+        let ghost_ids = sample.pack_by_flag(Metadata::FILL_GHOST).ids().to_vec();
+        let flux_ids = sample.pack_by_flag(Metadata::WITH_FLUXES).ids().to_vec();
+        let two_stage_ids = sample.pack_by_flag(Metadata::TWO_STAGE).ids().to_vec();
+        let lookups = sample.take_string_lookups();
+        if lookups > 0 {
+            rec.record_serial(
+                StepFunction::SendBoundBufs,
+                SerialWork::StringLookups(lookups),
+            );
+        }
+        Self {
+            keys,
+            specs,
+            by_recv,
+            transfers,
+            fcorr_by_recv,
+            ghost_ids,
+            flux_ids,
+            two_stage_ids,
+        }
+    }
+
+    /// Boundary enumeration, buffer specs, and flux-correction transfers —
+    /// a pure function of the mesh generation.
+    #[allow(clippy::type_complexity)]
+    fn topology(
+        mesh: &Mesh,
+        cfg: &ExchangeConfig,
+    ) -> (
+        Vec<(BoundaryKey, usize, usize)>,
+        Vec<BufferSpec>,
+        Vec<Vec<usize>>,
+        Vec<(BoundaryKey, usize, usize, FluxCorrSpec)>,
+        Vec<Vec<usize>>,
+    ) {
+        let shape = mesh.index_shape();
+        let nblocks = mesh.num_blocks();
+        let mut keys = Vec::new();
+        let mut specs = Vec::new();
+        let mut by_recv: Vec<Vec<usize>> = vec![Vec::new(); nblocks];
+        let mut transfers = Vec::new();
+        for (r, recv_list) in by_recv.iter_mut().enumerate() {
+            for (t, nb) in mesh.neighbors(r).iter().enumerate() {
+                let s = mesh.gid_at(&nb.loc).expect("neighbor is a leaf");
+                recv_list.push(keys.len());
+                keys.push((BoundaryKey::new(s, r, t as u32), r, s));
+                specs.push(compute_buffer_spec_with(
+                    &shape,
+                    &mesh.block(r).loc(),
+                    &nb.loc,
+                    &nb.offset,
+                    cfg.restrict_on_send,
+                ));
+                if nb.is_finer() && nb.offset.order() == 1 {
+                    transfers.push((
+                        BoundaryKey::new(s, r, 1000 + t as u32),
+                        r,
+                        s,
+                        flux_correction_spec(&shape, &mesh.block(r).loc(), &nb.loc, &nb.offset),
+                    ));
+                }
+            }
+        }
+        let mut fcorr_by_recv: Vec<Vec<usize>> = vec![Vec::new(); nblocks];
+        for (b, (_key, r, ..)) in transfers.iter().enumerate() {
+            fcorr_by_recv[*r].push(b);
+        }
+        (keys, specs, by_recv, transfers, fcorr_by_recv)
+    }
+
+    /// Ghost boundaries as (key, receiver gid, sender gid) in the fixed
+    /// receiver-major enumeration order.
+    pub fn boundaries(&self) -> &[(BoundaryKey, usize, usize)] {
+        &self.keys
+    }
+
+    /// Pack/unpack spec per ghost boundary (parallel to
+    /// [`ExchangePlan::boundaries`]).
+    pub fn specs(&self) -> &[BufferSpec] {
+        &self.specs
+    }
+
+    /// Boundary indices received by block `r`, in enumeration order.
+    pub fn recv_boundaries(&self, r: usize) -> &[usize] {
+        &self.by_recv[r]
+    }
+
+    /// Fine→coarse flux-correction transfers as (key, receiver, sender,
+    /// spec).
+    pub fn flux_transfers(&self) -> &[(BoundaryKey, usize, usize, FluxCorrSpec)] {
+        &self.transfers
+    }
+
+    /// Flux-correction transfer indices received by block `r`.
+    pub fn fcorr_recv_transfers(&self, r: usize) -> &[usize] {
+        &self.fcorr_by_recv[r]
     }
 
     /// Number of ghost boundaries in the plan.

@@ -52,6 +52,11 @@ pub struct DriverParams {
     /// in hierarchical region timers and sample pool utilization. The
     /// level never affects simulation results.
     pub prof_level: ProfLevel,
+    /// Archive drained communication events for [`Driver::comm_events`]
+    /// consumers (the timeline simulator). When `false` the per-cycle drain
+    /// drops them, so long runs hold no event memory at all. Either way the
+    /// communicator's *resident* log is emptied every cycle.
+    pub capture_comm_events: bool,
 }
 
 impl Default for DriverParams {
@@ -68,6 +73,7 @@ impl Default for DriverParams {
             boundary_condition: BcKind::Outflow,
             host_threads: 1,
             prof_level: ProfLevel::Off,
+            capture_comm_events: true,
         }
     }
 }
@@ -126,7 +132,7 @@ pub struct CycleSummary {
 /// Task names of one RK stage, indexed `[stage][slot]` in graph order:
 /// PackSend, InteriorFlux, WaitUnpack, ExteriorFlux, FluxCorrSend,
 /// FluxCorrApply, Update, FillDerived.
-const STAGE_TASK_NAMES: [[&str; 8]; 2] = [
+pub(crate) const STAGE_TASK_NAMES: [[&str; 8]; 2] = [
     [
         "Stage0::PackSend",
         "Stage0::InteriorFlux",
@@ -293,6 +299,10 @@ pub struct Driver<P: Package> {
     step_decision: Option<vibe_mesh::refinement::RegridDecision>,
     /// (refined, derefined) counts recorded by the Regrid task.
     step_counts: (usize, usize),
+    /// Archived communication events, drained from the communicator at the
+    /// end of every cycle so the mailbox's resident log stays O(one cycle)
+    /// no matter how long the run is.
+    comm_log: Vec<vibe_comm::CommEvent>,
 }
 
 impl<P: Package> Driver<P> {
@@ -319,6 +329,7 @@ impl<P: Package> Driver<P> {
             step_flags: BTreeMap::new(),
             step_decision: None,
             step_counts: (0, 0),
+            comm_log: Vec::new(),
             mesh,
             package,
             params,
@@ -358,11 +369,29 @@ impl<P: Package> Driver<P> {
         &self.rec
     }
 
-    /// The communicator's ordered event log (post/send/completion order
-    /// with monotone sequence numbers) — the per-rank message streams the
-    /// timeline simulator replays.
+    /// The ordered communication event log (post/send/completion order with
+    /// monotone sequence numbers) — the per-rank message streams the
+    /// timeline simulator replays. Events are drained out of the
+    /// communicator at the end of every cycle and archived here; empty when
+    /// [`DriverParams::capture_comm_events`] is off.
     pub fn comm_events(&self) -> &[vibe_comm::CommEvent] {
-        self.comm.events()
+        &self.comm_log
+    }
+
+    /// Number of events currently resident in the communicator's own log —
+    /// bounded by one cycle's traffic because [`Driver::step`] drains it
+    /// every cycle (the archive in [`Driver::comm_events`] is the consumer).
+    pub fn resident_comm_events(&self) -> usize {
+        self.comm.resident_events()
+    }
+
+    /// Drains the communicator's event log into the archive (or drops it
+    /// when event capture is disabled).
+    fn drain_comm_events(&mut self) {
+        let events = self.comm.take_events();
+        if self.params.capture_comm_events {
+            self.comm_log.extend(events);
+        }
     }
 
     /// Consumes the driver, returning the recorder.
@@ -441,6 +470,7 @@ impl<P: Package> Driver<P> {
         if wall.enabled() {
             wall.record_pool_samples(&vibe_exec::stats_end());
         }
+        self.drain_comm_events();
     }
 
     /// Advances `n` cycles, returning their summaries.
@@ -500,6 +530,7 @@ impl<P: Package> Driver<P> {
         );
         self.time += dt;
         self.cycle += 1;
+        self.drain_comm_events();
         let mut timing = self.last_cycle_timing();
         if wall.enabled() {
             timing.compute_task_ns = stats.compute_ns;
@@ -912,41 +943,50 @@ impl<P: Package> Driver<P> {
     /// Extracts the measured per-stage breakdown of the most recently
     /// archived cycle (all zeros when profiling is off).
     fn last_cycle_timing(&self) -> CycleTiming {
-        self.rec
-            .wall()
-            .with_cycles(|cycles| {
-                let Some(last) = cycles.last() else {
-                    return CycleTiming::default();
-                };
-                let by_func = last.tree.by_step_function();
-                let func_ns = |f: StepFunction| by_func.get(&f).map_or(0, |(ns, _)| *ns);
-                let flat = last.tree.flatten();
-                let named_ns = |name: &str| -> u64 {
-                    flat.iter()
-                        .filter(|r| matches!(r.key, RegionKey::Named(n) if n == name))
-                        .map(|r| r.stats.total_ns)
-                        .sum()
-                };
-                CycleTiming {
-                    wall_ns: named_ns("Cycle"),
-                    flux_ns: func_ns(StepFunction::CalculateFluxes),
-                    comm_ns: named_ns("GhostExchange"),
-                    update_ns: named_ns("RK2Update"),
-                    amr_ns: func_ns(StepFunction::RefinementTag)
-                        + func_ns(StepFunction::UpdateMeshBlockTree)
-                        + func_ns(StepFunction::RedistributeAndRefineMeshBlocks),
-                    dt_ns: func_ns(StepFunction::EstimateTimeStep),
-                    pool_busy_ns: last.pool.busy_ns,
-                    pool_thread_time_ns: last.pool.thread_time_ns,
-                    load_imbalance: last.pool.load_imbalance(),
-                    // Filled from the task executor's stats by step().
-                    compute_task_ns: 0,
-                    overlapped_compute_ns: 0,
-                }
-            })
-            .unwrap_or_default()
+        last_cycle_timing_from(&self.rec)
     }
+}
 
+/// Extracts the measured per-stage breakdown of the most recently archived
+/// cycle of `rec` (all zeros when profiling is off). Shared between the
+/// single-process [`Driver`] and the rank-parallel
+/// [`RankShard`](crate::shard::RankShard).
+pub(crate) fn last_cycle_timing_from(rec: &Recorder) -> CycleTiming {
+    rec.wall()
+        .with_cycles(|cycles| {
+            let Some(last) = cycles.last() else {
+                return CycleTiming::default();
+            };
+            let by_func = last.tree.by_step_function();
+            let func_ns = |f: StepFunction| by_func.get(&f).map_or(0, |(ns, _)| *ns);
+            let flat = last.tree.flatten();
+            let named_ns = |name: &str| -> u64 {
+                flat.iter()
+                    .filter(|r| matches!(r.key, RegionKey::Named(n) if n == name))
+                    .map(|r| r.stats.total_ns)
+                    .sum()
+            };
+            CycleTiming {
+                wall_ns: named_ns("Cycle"),
+                flux_ns: func_ns(StepFunction::CalculateFluxes),
+                comm_ns: named_ns("GhostExchange"),
+                update_ns: named_ns("RK2Update"),
+                amr_ns: func_ns(StepFunction::RefinementTag)
+                    + func_ns(StepFunction::UpdateMeshBlockTree)
+                    + func_ns(StepFunction::RedistributeAndRefineMeshBlocks),
+                dt_ns: func_ns(StepFunction::EstimateTimeStep),
+                pool_busy_ns: last.pool.busy_ns,
+                pool_thread_time_ns: last.pool.thread_time_ns,
+                load_imbalance: last.pool.load_imbalance(),
+                // Filled from the task executor's stats by step().
+                compute_task_ns: 0,
+                overlapped_compute_ns: 0,
+            }
+        })
+        .unwrap_or_default()
+}
+
+impl<P: Package> Driver<P> {
     /// The exchange configuration derived from the driver parameters.
     fn exchange_config(&self) -> ExchangeConfig {
         ExchangeConfig {
@@ -1173,6 +1213,14 @@ impl<P: Package> Driver<P> {
         // New gids and neighbor lists: the communication plan (and its
         // cached variable-id lookups) must be rebuilt.
         self.plan = None;
+    }
+
+    /// Decomposes an initialized driver into the pieces a rank shard keeps:
+    /// the (replicated) mesh, all block slots in gid order, the physics
+    /// package, the driver parameters, and the initial timestep. Used by
+    /// [`RankShard::from_replica`](crate::shard::RankShard::from_replica).
+    pub(crate) fn into_parts(self) -> (Mesh, Vec<BlockSlot>, P, DriverParams, f64) {
+        (self.mesh, self.slots, self.package, self.params, self.dt)
     }
 
     /// Restores the simulation clock from a checkpoint (used by
@@ -1550,5 +1598,44 @@ mod tests {
             lookups(&ds),
             lookups(&di)
         );
+    }
+
+    /// Satellite regression: the communicator's event log is drained into
+    /// the driver's archive every cycle, so the *resident* count never
+    /// grows with run length — it is bounded by one cycle's traffic (zero
+    /// between steps) no matter how many cycles run.
+    #[test]
+    fn resident_comm_events_stay_bounded_per_cycle() {
+        let mut d = driver(2);
+        assert_eq!(
+            d.resident_comm_events(),
+            0,
+            "initialization traffic must already be drained"
+        );
+        let mut archived_last = d.comm_events().len();
+        assert!(archived_last > 0, "initialization is archived");
+        for _ in 0..6 {
+            d.step();
+            assert_eq!(
+                d.resident_comm_events(),
+                0,
+                "every step must drain the communicator"
+            );
+            let archived = d.comm_events().len();
+            assert!(archived > archived_last, "the archive is the consumer");
+            archived_last = archived;
+        }
+
+        // With capture off, nothing accumulates anywhere.
+        let params = DriverParams {
+            nranks: 2,
+            capture_comm_events: false,
+            ..DriverParams::default()
+        };
+        let mut d = Driver::new(mesh(), Advect::default(), params);
+        d.initialize(gaussian_ic);
+        d.run_cycles(3);
+        assert_eq!(d.resident_comm_events(), 0);
+        assert!(d.comm_events().is_empty());
     }
 }

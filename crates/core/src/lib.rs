@@ -28,6 +28,7 @@ pub mod block;
 pub mod boundary;
 pub mod driver;
 pub mod package;
+pub mod shard;
 pub mod snapshot;
 pub mod tasks;
 pub mod update;
@@ -35,6 +36,7 @@ pub mod update;
 pub use block::{BlockInfo, BlockSlot};
 pub use driver::{cycle_task_graph, CycleSummary, Driver, DriverParams};
 pub use package::{FluxPhase, Package};
+pub use shard::{fingerprint_slots, RankShard, ShardOutput};
 pub use snapshot::{read_snapshot, restore_driver, Snapshot};
 pub use tasks::{
     topo_order, ExecStats, GraphError, TaskError, TaskId, TaskKind, TaskList, TaskNode, TaskStatus,

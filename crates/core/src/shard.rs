@@ -1,0 +1,1561 @@
+//! Rank-parallel execution: one [`RankShard`] per virtual rank, each
+//! running the [`cycle_task_graph`](crate::driver::cycle_task_graph) over
+//! *its own blocks only*, connected to its peers by a
+//! [`Transport`](vibe_comm::Transport) (the cross-thread channel fabric in
+//! `vibe-rt`, or the degenerate single-rank shared path in tests).
+//!
+//! # Shard lifecycle
+//!
+//! A shard is born from a **full-replica initialization**: every rank
+//! constructs the same [`Driver`], applies the same initial condition, and
+//! lets the deterministic init sequence adapt the mesh — producing a
+//! bitwise-identical mesh, block list, and timestep on every rank without
+//! any startup communication (exactly how a distributed AMR code replays a
+//! deterministic problem generator instead of scattering from rank 0).
+//! [`RankShard::from_replica`] then keeps only the slots whose mesh rank
+//! matches the transport rank and drops the rest; the mesh itself (the
+//! block *tree*) stays replicated, as in Parthenon.
+//!
+//! Each cycle runs the same 22-node task graph as the driver. Point-to-point
+//! ghost and flux-correction messages cross the transport only when sender
+//! and receiver live on different shards; the AMR tail reconciles
+//! refinement flags with a real AllGather, migrates block data for the new
+//! ownership map, and closes with the timestep AllReduce.
+//!
+//! # Determinism
+//!
+//! The headline invariant — the global solution fingerprint is bitwise
+//! identical to the single-shard driver for any `(nranks, host_threads)` —
+//! follows from three properties:
+//!
+//! 1. **The executor's ready sweep is deterministic.** Tasks complete in
+//!    insertion order once their dependencies resolve, so every rank issues
+//!    its collectives in the same program order; the
+//!    [`CollectiveHub`](vibe_comm::CollectiveHub) panics if ranks ever
+//!    rendezvous under different labels.
+//! 2. **Reductions fold in rank index order.** AllReduce is implemented as
+//!    gather-then-fold: every rank receives all deposits indexed by rank
+//!    and folds them 0..nranks with a fixed identity, so the result is
+//!    independent of arrival order — and identical to the driver's fold
+//!    over its rank packs, which visit ranks in ascending order.
+//! 3. **The flag merge is order-free.** Refinement flags reconcile into a
+//!    `BTreeMap` keyed by logical location, so the regrid decision never
+//!    depends on gather order; the tree surgery and the derefinement gate
+//!    replay identically on every rank.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use vibe_comm::{BoundaryKey, BufferCache, Communicator, SendMeta, Transport};
+use vibe_exec::{catalog, ExecCtx, Launcher};
+use vibe_field::{apply_face_bc, apply_flux, pack, pack_flux, unpack, BlockData, VarId};
+use vibe_mesh::{enforce_proper_nesting, AmrFlag, DerefGate, LogicalLocation, Mesh, RegridSource};
+use vibe_prof::{MemSpace, Recorder, RegionKey, SerialWork, StepFunction};
+
+use crate::amr::{prolongate_to_child, restrict_to_parent};
+use crate::block::{BlockInfo, BlockSlot};
+use crate::boundary::{ExchangeConfig, ExchangePlan};
+use crate::driver::{
+    cycle_task_graph, last_cycle_timing_from, CycleSummary, Driver, DriverParams, STAGE_TASK_NAMES,
+};
+use crate::package::{FluxPhase, Package};
+use crate::tasks::{TaskKind, TaskList, TaskStatus};
+use crate::update::flux_divergence_update_with_ids;
+use vibe_field::Side;
+
+/// Message-tag namespace for block-migration payloads (ghost boundaries
+/// use the neighbor index, flux corrections 1000+; migration keys are
+/// `BoundaryKey::new(old_gid, old_gid, MIGRATE_TAG)`).
+const MIGRATE_TAG: u32 = 5000;
+
+/// In-flight ghost exchange state between the shard's PackSend and
+/// WaitUnpack tasks.
+#[derive(Debug, Default)]
+struct ShardGhostState {
+    /// Boundary keys this shard receives, still waiting on delivery.
+    pending: Vec<BoundaryKey>,
+    /// Delivered payloads by key.
+    received: HashMap<BoundaryKey, Vec<f64>>,
+    /// Sender-side MPI buffer bytes held live until SetBounds.
+    remote_bytes_live: i64,
+}
+
+/// In-flight flux corrections between FluxCorrSend and FluxCorrApply.
+#[derive(Debug, Default)]
+struct ShardFcorrState {
+    /// Plan transfer indices this shard receives, awaiting delivery.
+    pending: Vec<usize>,
+    /// Delivered payloads by transfer index.
+    bufs: HashMap<usize, Vec<f64>>,
+}
+
+/// Everything a finished shard hands back to the conductor.
+#[derive(Debug)]
+pub struct ShardOutput {
+    /// This shard's rank.
+    pub rank: usize,
+    /// Owned blocks as (gid, slot), ascending gid.
+    pub owned: Vec<(usize, BlockSlot)>,
+    /// The shard's workload recorder.
+    pub recorder: Recorder,
+    /// The shard's archived communication events (rank-stamped, globally
+    /// sequenced on the shared transport counter).
+    pub events: Vec<vibe_comm::CommEvent>,
+    /// History reductions as (cycle, values) — identical on every rank.
+    pub history: Vec<(u64, Vec<f64>)>,
+    /// Final simulation time.
+    pub time: f64,
+    /// Final timestep.
+    pub dt: f64,
+    /// Completed cycles.
+    pub cycles: u64,
+}
+
+/// One virtual rank executing as a real concurrent shard: the replicated
+/// mesh tree, *only its own* block slots, and a transport-backed
+/// communicator. See the module docs for the lifecycle and determinism
+/// argument.
+pub struct RankShard<P: Package> {
+    rank: usize,
+    nranks: usize,
+    mesh: Mesh,
+    /// Slot per gid; `Some` only for blocks this shard owns.
+    owned: Vec<Option<BlockSlot>>,
+    package: P,
+    params: DriverParams,
+    comm: Communicator,
+    cache: BufferCache,
+    rec: Recorder,
+    gate: DerefGate,
+    time: f64,
+    dt: f64,
+    cycle: u64,
+    history: Vec<(u64, Vec<f64>)>,
+    plan: Option<ExchangePlan>,
+    ghost_state: ShardGhostState,
+    fcorr_state: ShardFcorrState,
+    step_dt: f64,
+    step_flags: BTreeMap<LogicalLocation, AmrFlag>,
+    step_decision: Option<vibe_mesh::refinement::RegridDecision>,
+    step_counts: (usize, usize),
+    comm_log: Vec<vibe_comm::CommEvent>,
+}
+
+impl<P: Package> std::fmt::Debug for RankShard<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RankShard")
+            .field("rank", &self.rank)
+            .field("nranks", &self.nranks)
+            .field("cycle", &self.cycle)
+            .field("owned", &self.num_owned())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<P: Package> RankShard<P> {
+    /// Builds a shard from a fully initialized replica driver, keeping only
+    /// the slots whose mesh rank matches `transport.rank()` — the
+    /// full-replica initialization described in the module docs. The
+    /// replica's recorder and event log are discarded (initialization is
+    /// not attributed to any cycle); the shard starts with a fresh recorder
+    /// at time zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the driver was built with a different `nranks` than the
+    /// transport, or if it was never initialized.
+    pub fn from_replica(replica: Driver<P>, transport: Box<dyn Transport>) -> Self {
+        let rank = transport.rank();
+        let nranks = transport.nranks();
+        let (mesh, slots, package, params, dt) = replica.into_parts();
+        assert_eq!(
+            params.nranks, nranks,
+            "replica rank count must match the transport"
+        );
+        assert!(dt > 0.0, "replica must be initialized before sharding");
+        let mut comm = Communicator::with_transport(nranks, transport);
+        comm.set_remote_delivery_delay(params.remote_delivery_polls);
+        let mut rec = Recorder::with_prof_level(params.prof_level);
+        let owned: Vec<Option<BlockSlot>> = slots
+            .into_iter()
+            .enumerate()
+            .map(|(gid, slot)| (mesh.block(gid).rank() == rank).then_some(slot))
+            .collect();
+        let owned_bytes: usize = owned.iter().flatten().map(BlockSlot::nbytes).sum();
+        rec.record_alloc(MemSpace::Kokkos, owned_bytes as i64);
+        let gate = DerefGate::new(mesh.params().deref_gap());
+        Self {
+            rank,
+            nranks,
+            owned,
+            package,
+            comm,
+            cache: BufferCache::new(),
+            rec,
+            gate,
+            time: 0.0,
+            dt,
+            cycle: 0,
+            history: Vec::new(),
+            plan: None,
+            ghost_state: ShardGhostState::default(),
+            fcorr_state: ShardFcorrState::default(),
+            step_dt: 0.0,
+            step_flags: BTreeMap::new(),
+            step_decision: None,
+            step_counts: (0, 0),
+            comm_log: Vec::new(),
+            mesh,
+            params,
+        }
+    }
+
+    /// This shard's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks on the transport.
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// The replicated mesh.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// Number of blocks this shard owns.
+    pub fn num_owned(&self) -> usize {
+        self.owned.iter().flatten().count()
+    }
+
+    /// Current simulation time.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Current timestep.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Completed cycles.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The shard's workload recorder.
+    pub fn recorder(&self) -> &Recorder {
+        &self.rec
+    }
+
+    /// Events currently resident in the communicator (bounded by one
+    /// cycle's traffic; [`Self::step`] drains them every cycle).
+    pub fn resident_comm_events(&self) -> usize {
+        self.comm.resident_events()
+    }
+
+    /// Blocks until every rank on the transport reaches this barrier (used
+    /// by the conductor to bracket timed regions).
+    pub fn barrier(&mut self, label: &'static str) {
+        self.comm.barrier(label);
+    }
+
+    /// Finishes the shard, returning everything the conductor merges.
+    pub fn finish(mut self) -> ShardOutput {
+        self.drain_comm_events();
+        ShardOutput {
+            rank: self.rank,
+            owned: self
+                .owned
+                .into_iter()
+                .enumerate()
+                .filter_map(|(gid, s)| s.map(|s| (gid, s)))
+                .collect(),
+            recorder: self.rec,
+            events: self.comm_log,
+            history: self.history,
+            time: self.time,
+            dt: self.dt,
+            cycles: self.cycle,
+        }
+    }
+
+    /// Advances `n` cycles, returning their summaries.
+    pub fn run_cycles(&mut self, n: u64) -> Vec<CycleSummary> {
+        (0..n).map(|_| self.step()).collect()
+    }
+
+    /// Advances one cycle by executing the driver's
+    /// [`cycle_task_graph`] over this shard's blocks. CommWait tasks yield
+    /// the OS thread while peer messages are in flight, so concurrent
+    /// shards interleave without burning cores.
+    pub fn step(&mut self) -> CycleSummary {
+        assert!(self.dt > 0.0, "shard built from an initialized replica");
+        self.rec.begin_cycle(self.cycle);
+        self.comm.begin_cycle(self.cycle);
+        let wall = self.rec.wall().clone();
+        if wall.enabled() {
+            vibe_exec::stats_begin();
+        }
+        let cycle_guard = wall.region(RegionKey::Named("Cycle"));
+        self.ensure_plan();
+        let dt = self.dt;
+        self.step_dt = dt;
+        let mut list = Self::build_cycle_list();
+        debug_assert_eq!(
+            list.graph(),
+            cycle_task_graph(),
+            "shard task list drifted from the exported cycle graph"
+        );
+        // Real cross-thread waits can take arbitrarily many polls; the
+        // default budget exists to catch single-process deadlocks.
+        list.set_max_polls(usize::MAX / 2);
+        let stats = list
+            .execute_timed(self, wall.enabled())
+            .expect("cycle task graph completes");
+        drop(cycle_guard);
+        if wall.enabled() {
+            wall.record_pool_samples(&vibe_exec::stats_end());
+        }
+        let (refined, derefined) = self.step_counts;
+        let nblocks = self.mesh.num_blocks();
+        let cell_updates = self.mesh.total_interior_cells();
+        self.rec.end_cycle(
+            nblocks as u64,
+            refined as u64,
+            derefined as u64,
+            cell_updates,
+        );
+        self.time += dt;
+        self.cycle += 1;
+        self.drain_comm_events();
+        let mut timing = last_cycle_timing_from(&self.rec);
+        if wall.enabled() {
+            timing.compute_task_ns = stats.compute_ns;
+            timing.overlapped_compute_ns = stats.overlapped_compute_ns;
+        }
+        CycleSummary {
+            cycle: self.cycle - 1,
+            time: self.time,
+            dt,
+            nblocks,
+            refined,
+            derefined,
+            timing,
+        }
+    }
+
+    fn drain_comm_events(&mut self) {
+        let events = self.comm.take_events();
+        if self.params.capture_comm_events {
+            self.comm_log.extend(events);
+        }
+    }
+
+    /// The same 22-node graph as [`Driver::step`], with shard-local task
+    /// bodies.
+    fn build_cycle_list() -> TaskList<Self> {
+        let mut list: TaskList<Self> = TaskList::new();
+        let save = list.add_task_meta("SaveStage0", TaskKind::Compute, [], [], |d: &mut Self| {
+            d.task_save_stage0();
+            TaskStatus::Complete
+        });
+        let mut prev = save;
+        for (stage, names) in STAGE_TASK_NAMES.iter().enumerate() {
+            let pack_send = list.add_task_meta(
+                names[0],
+                TaskKind::CommSend,
+                [
+                    StepFunction::StartReceiveBoundBufs,
+                    StepFunction::SendBoundBufs,
+                    StepFunction::InitializeBufferCache,
+                ],
+                [prev],
+                move |d: &mut Self| {
+                    d.task_ghost_pack_send(names[0]);
+                    TaskStatus::Complete
+                },
+            );
+            let interior = list.add_task_meta(
+                names[1],
+                TaskKind::Compute,
+                [StepFunction::CalculateFluxes],
+                [pack_send],
+                |d: &mut Self| {
+                    d.task_flux(FluxPhase::Interior);
+                    TaskStatus::Complete
+                },
+            );
+            let wait = list.add_task_meta(
+                names[2],
+                TaskKind::CommWait,
+                [StepFunction::ReceiveBoundBufs, StepFunction::SetBounds],
+                [pack_send],
+                move |d: &mut Self| d.task_ghost_wait_unpack(names[2]),
+            );
+            let exterior = list.add_task_meta(
+                names[3],
+                TaskKind::Compute,
+                [StepFunction::CalculateFluxes],
+                [interior, wait],
+                |d: &mut Self| {
+                    d.task_flux(FluxPhase::Exterior);
+                    TaskStatus::Complete
+                },
+            );
+            let fc_send = list.add_task_meta(
+                names[4],
+                TaskKind::CommSend,
+                [StepFunction::FluxCorrection],
+                [exterior],
+                move |d: &mut Self| {
+                    d.task_fcorr_send(names[4]);
+                    TaskStatus::Complete
+                },
+            );
+            let fc_apply = list.add_task_meta(
+                names[5],
+                TaskKind::CommWait,
+                [StepFunction::FluxCorrection],
+                [fc_send],
+                move |d: &mut Self| d.task_fcorr_apply(names[5]),
+            );
+            let update = list.add_task_meta(
+                names[6],
+                TaskKind::Compute,
+                [StepFunction::WeightedSumData, StepFunction::FluxDivergence],
+                [fc_apply],
+                move |d: &mut Self| {
+                    d.task_update(stage);
+                    TaskStatus::Complete
+                },
+            );
+            prev = list.add_task_meta(
+                names[7],
+                TaskKind::Compute,
+                [StepFunction::FillDerived],
+                [update],
+                |d: &mut Self| {
+                    d.task_fill_derived();
+                    TaskStatus::Complete
+                },
+            );
+        }
+        let history = list.add_task_meta(
+            "MassHistory",
+            TaskKind::Compute,
+            [StepFunction::MassHistory],
+            [prev],
+            |d: &mut Self| {
+                d.task_history();
+                TaskStatus::Complete
+            },
+        );
+        let tag = list.add_task_meta(
+            "RefinementTag",
+            TaskKind::Compute,
+            [StepFunction::RefinementTag],
+            [prev],
+            |d: &mut Self| {
+                d.step_flags = d.collect_tags();
+                TaskStatus::Complete
+            },
+        );
+        let tree = list.add_task_meta(
+            "TreeUpdate",
+            TaskKind::Serial,
+            [StepFunction::UpdateMeshBlockTree],
+            [tag],
+            |d: &mut Self| {
+                d.task_tree_update();
+                TaskStatus::Complete
+            },
+        );
+        let regrid = list.add_task_meta(
+            "Regrid",
+            TaskKind::Serial,
+            [
+                StepFunction::RedistributeAndRefineMeshBlocks,
+                StepFunction::RebuildBufferCache,
+            ],
+            [tree, history],
+            |d: &mut Self| {
+                d.task_regrid();
+                TaskStatus::Complete
+            },
+        );
+        list.add_task_meta(
+            "EstimateTimeStep",
+            TaskKind::Compute,
+            [StepFunction::EstimateTimeStep],
+            [regrid],
+            |d: &mut Self| {
+                d.comm.set_task(Some("EstimateTimeStep"));
+                d.task_estimate_dt();
+                d.comm.set_task(None);
+                TaskStatus::Complete
+            },
+        );
+        list
+    }
+
+    fn exec(&self) -> ExecCtx {
+        ExecCtx::new(self.params.host_threads)
+    }
+
+    fn exchange_config(&self) -> ExchangeConfig {
+        ExchangeConfig {
+            cache_config: self.params.cache_config,
+            restrict_on_send: self.params.restrict_on_send,
+        }
+    }
+
+    /// Rank owning block `gid` in the current mesh generation.
+    fn rank_of(&self, gid: usize) -> usize {
+        self.mesh.block(gid).rank()
+    }
+
+    /// Builds a fresh registered container for this problem.
+    fn fresh_data(&self) -> BlockData {
+        let mut data = BlockData::new(self.mesh.index_shape());
+        data.set_pack_strategy(self.params.pack_strategy);
+        self.package.register(&mut data);
+        data
+    }
+
+    fn new_slot(&self, gid: usize) -> BlockSlot {
+        BlockSlot::new(BlockInfo::from_mesh(&self.mesh, gid), self.fresh_data())
+    }
+
+    /// Rebuilds the communication plan from the replicated mesh (the shard
+    /// does not hold every slot, so the plan comes from
+    /// [`ExchangePlan::build_from_mesh`] with a sample container).
+    fn ensure_plan(&mut self) {
+        if self.plan.is_none() {
+            let cfg = self.exchange_config();
+            let mut sample = self.fresh_data();
+            self.plan = Some(ExchangePlan::build_from_mesh(
+                &self.mesh,
+                &mut sample,
+                &cfg,
+                &mut self.rec,
+            ));
+        }
+    }
+
+    /// Runs `f` over this shard's pack of owned blocks (ascending gid),
+    /// then drains string-lookup counters into `func`'s serial profile.
+    /// No-op when the shard owns nothing.
+    fn with_owned_pack(
+        &mut self,
+        func: StepFunction,
+        f: impl FnOnce(&P, &mut Vec<&mut BlockSlot>, &mut Recorder),
+    ) {
+        let package = &self.package;
+        let rec = &mut self.rec;
+        let mut pack: Vec<&mut BlockSlot> = self.owned.iter_mut().flatten().collect();
+        if pack.is_empty() {
+            return;
+        }
+        f(package, &mut pack, rec);
+        for slot in pack.iter_mut() {
+            let lookups = slot.data.take_string_lookups();
+            if lookups > 0 {
+                rec.record_serial(func, SerialWork::StringLookups(lookups));
+            }
+        }
+    }
+
+    fn task_save_stage0(&mut self) {
+        let wall = self.rec.wall().clone();
+        let _g = wall.region_hot(RegionKey::Named("SaveStage0"));
+        let ids = self
+            .plan
+            .as_ref()
+            .expect("plan built")
+            .two_stage_ids
+            .clone();
+        let exec = self.exec();
+        let mut pack: Vec<&mut BlockSlot> = self.owned.iter_mut().flatten().collect();
+        exec.for_each_block(&mut pack, |_, slot| {
+            slot.save_stage0(&ids);
+        });
+    }
+
+    /// PackSend: posts receives for boundaries this shard consumes, packs
+    /// and ships the boundaries its blocks feed (cross-rank ones over the
+    /// transport, same-rank ones as local copies).
+    fn task_ghost_pack_send(&mut self, task: &'static str) {
+        let cfg = self.exchange_config();
+        let exec = self.exec();
+        let me = self.rank;
+        let wall = self.rec.wall().clone();
+        let _g = wall.region(RegionKey::Named("GhostExchange"));
+        self.comm.set_task(Some(task));
+        let plan = self.plan.take().expect("plan built");
+
+        // Receives: every boundary whose receiver block is mine.
+        let mut recv_keys = Vec::new();
+        {
+            let _srv = wall.region_hot(RegionKey::Step(StepFunction::StartReceiveBoundBufs));
+            for &(key, r, _s) in plan.boundaries() {
+                if self.rank_of(r) == me {
+                    self.comm.start_receive(key);
+                    recv_keys.push(key);
+                }
+            }
+            self.rec.record_serial(
+                StepFunction::StartReceiveBoundBufs,
+                SerialWork::BoundaryLoop(recv_keys.len() as u64),
+            );
+        }
+
+        let _send_guard = wall.region(RegionKey::Step(StepFunction::SendBoundBufs));
+        self.cache
+            .initialize(recv_keys.clone(), &cfg.cache_config, &mut self.rec);
+
+        // Sends: every boundary whose sender block is mine, packed in
+        // parallel and shipped serially in ascending boundary order.
+        let send_idx: Vec<usize> = plan
+            .boundaries()
+            .iter()
+            .enumerate()
+            .filter(|(_, &(_, _, s))| self.rank_of(s) == me)
+            .map(|(b, _)| b)
+            .collect();
+        self.rec.record_serial(
+            StepFunction::SendBoundBufs,
+            SerialWork::BoundaryLoop(send_idx.len() as u64),
+        );
+        let mut packed: Vec<(Vec<f64>, u64)> = vec![(Vec::new(), 0); send_idx.len()];
+        {
+            let owned_ro = &self.owned;
+            let send_ro = &send_idx;
+            exec.for_each_block(&mut packed, |i, out| {
+                let b = send_ro[i];
+                let (_key, _r, s) = plan.boundaries()[b];
+                let spec = &plan.specs()[b];
+                let slot = owned_ro[s].as_ref().expect("sender block owned");
+                for &id in &plan.ghost_ids {
+                    let var = slot.data.var(id);
+                    pack(spec, var.data(), &mut out.0);
+                    out.1 += spec.buffer_len(var.ncomp()) as u64;
+                }
+            });
+        }
+        let mut total_cells = 0u64;
+        let mut remote_bytes_live = 0i64;
+        for (&b, (buf, cells)) in send_idx.iter().zip(packed) {
+            let (key, r, _s) = plan.boundaries()[b];
+            let dst = self.rank_of(r);
+            if dst != me {
+                remote_bytes_live += (buf.len() * 8) as i64;
+            }
+            total_cells += cells;
+            self.comm.send(
+                key,
+                buf,
+                SendMeta {
+                    src: me,
+                    dst,
+                    cells,
+                },
+                StepFunction::SendBoundBufs,
+                &mut self.rec,
+            );
+        }
+        self.rec
+            .record_alloc(MemSpace::MpiBuffers, remote_bytes_live);
+        if total_cells > 0 {
+            Launcher::new(&mut self.rec).record_only(&catalog::SEND_BOUND_BUFS, total_cells, 1.0);
+        }
+        self.ghost_state = ShardGhostState {
+            pending: recv_keys,
+            received: HashMap::new(),
+            remote_bytes_live,
+        };
+        self.plan = Some(plan);
+        self.comm.set_task(None);
+    }
+
+    /// WaitUnpack: polls pending boundaries; once every one of this
+    /// shard's messages has landed, unpacks into ghost zones and applies
+    /// physical boundary conditions. Yields the OS thread while peers are
+    /// still packing.
+    fn task_ghost_wait_unpack(&mut self, task: &'static str) -> TaskStatus {
+        let wall = self.rec.wall().clone();
+        let _g = wall.region(RegionKey::Named("GhostExchange"));
+        self.comm.set_task(Some(task));
+        {
+            let _recv = wall.region(RegionKey::Step(StepFunction::ReceiveBoundBufs));
+            let comm = &mut self.comm;
+            let rec = &mut self.rec;
+            let received = &mut self.ghost_state.received;
+            self.ghost_state
+                .pending
+                .retain(|key| match comm.try_receive(*key, rec) {
+                    Some(buf) => {
+                        received.insert(*key, buf);
+                        false
+                    }
+                    None => true,
+                });
+        }
+        if !self.ghost_state.pending.is_empty() {
+            self.comm.set_task(None);
+            std::thread::yield_now();
+            return TaskStatus::Incomplete;
+        }
+        let plan = self.plan.take().expect("plan built");
+        let state = std::mem::take(&mut self.ghost_state);
+        let exec = self.exec();
+        let me = self.rank;
+        {
+            let _set = wall.region(RegionKey::Step(StepFunction::SetBounds));
+            let mut my_boundaries = 0u64;
+            let mut unpacked_cells = 0u64;
+            for (gid, slot) in self.owned.iter().enumerate() {
+                let Some(slot) = slot else { continue };
+                for &b in plan.recv_boundaries(gid) {
+                    my_boundaries += 1;
+                    let spec = &plan.specs()[b];
+                    unpacked_cells += plan
+                        .ghost_ids
+                        .iter()
+                        .map(|&id| spec.buffer_len(slot.data.var(id).ncomp()) as u64)
+                        .sum::<u64>();
+                }
+            }
+            {
+                let owned_gids: Vec<usize> = (0..self.owned.len())
+                    .filter(|&g| self.rank_of(g) == me)
+                    .collect();
+                let mut pack: Vec<&mut BlockSlot> = self.owned.iter_mut().flatten().collect();
+                let received_ro = &state.received;
+                let gids_ro = &owned_gids;
+                exec.for_each_block(&mut pack, |i, slot| {
+                    let r = gids_ro[i];
+                    for &b in plan.recv_boundaries(r) {
+                        let (key, ..) = plan.boundaries()[b];
+                        let spec = &plan.specs()[b];
+                        let buf = &received_ro[&key];
+                        let mut offset = 0usize;
+                        for &id in &plan.ghost_ids {
+                            let var = slot.data.var_mut(id);
+                            let len = spec.buffer_len(var.data().ncomp());
+                            unpack(spec, &buf[offset..offset + len], var.data_mut());
+                            offset += len;
+                        }
+                    }
+                });
+            }
+            if unpacked_cells > 0 {
+                Launcher::new(&mut self.rec).record_only(&catalog::SET_BOUNDS, unpacked_cells, 1.0);
+            }
+            self.rec.record_serial(
+                StepFunction::SetBounds,
+                SerialWork::BoundaryLoop(my_boundaries),
+            );
+            self.comm.mark_all_stale();
+            self.rec
+                .record_alloc(MemSpace::MpiBuffers, -state.remote_bytes_live);
+        }
+        self.plan = Some(plan);
+        self.comm.set_task(None);
+        self.apply_physical_bcs();
+        TaskStatus::Complete
+    }
+
+    fn task_flux(&mut self, phase: FluxPhase) {
+        let exec = self.exec();
+        let wall = self.rec.wall().clone();
+        let _g = wall.region(RegionKey::Step(StepFunction::CalculateFluxes));
+        self.with_owned_pack(StepFunction::CalculateFluxes, |pkg, pack, rec| {
+            pkg.calculate_fluxes_phase(pack, phase, exec, rec);
+        });
+    }
+
+    fn task_fcorr_send(&mut self, task: &'static str) {
+        let exec = self.exec();
+        let me = self.rank;
+        self.comm.set_task(Some(task));
+        let plan = self.plan.take().expect("plan built");
+        let wall = self.rec.wall().clone();
+        let _g = wall.region(RegionKey::Step(StepFunction::FluxCorrection));
+        // Receives for corrections my coarse blocks consume.
+        let mut recv_idx = Vec::new();
+        for (b, (key, r, _s, _spec)) in plan.flux_transfers().iter().enumerate() {
+            if self.rank_of(*r) == me {
+                self.comm.start_receive(*key);
+                recv_idx.push(b);
+            }
+        }
+        // Sends from my fine blocks, packed in parallel.
+        let send_idx: Vec<usize> = plan
+            .flux_transfers()
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, _, s, _))| self.rank_of(*s) == me)
+            .map(|(b, _)| b)
+            .collect();
+        let mut packed: Vec<(Vec<f64>, u64)> = vec![(Vec::new(), 0); send_idx.len()];
+        {
+            let owned_ro = &self.owned;
+            let send_ro = &send_idx;
+            exec.for_each_block(&mut packed, |i, out| {
+                let (_key, _r, s, spec) = &plan.flux_transfers()[send_ro[i]];
+                let slot = owned_ro[*s].as_ref().expect("sender block owned");
+                for &id in &plan.flux_ids {
+                    let var = slot.data.var(id);
+                    pack_flux(spec, var, &mut out.0);
+                    out.1 += spec.buffer_len(var.ncomp()) as u64;
+                }
+            });
+        }
+        for (&b, (buf, cells)) in send_idx.iter().zip(packed) {
+            let (key, r, _s, _spec) = &plan.flux_transfers()[b];
+            let dst = self.rank_of(*r);
+            self.comm.send(
+                *key,
+                buf,
+                SendMeta {
+                    src: me,
+                    dst,
+                    cells,
+                },
+                StepFunction::FluxCorrection,
+                &mut self.rec,
+            );
+        }
+        self.rec.record_serial(
+            StepFunction::FluxCorrection,
+            SerialWork::BoundaryLoop(send_idx.len() as u64),
+        );
+        self.fcorr_state = ShardFcorrState {
+            pending: recv_idx,
+            bufs: HashMap::new(),
+        };
+        self.plan = Some(plan);
+        self.comm.set_task(None);
+    }
+
+    fn task_fcorr_apply(&mut self, task: &'static str) -> TaskStatus {
+        self.comm.set_task(Some(task));
+        let plan = self.plan.take().expect("plan built");
+        let wall = self.rec.wall().clone();
+        let _g = wall.region(RegionKey::Step(StepFunction::FluxCorrection));
+        {
+            let comm = &mut self.comm;
+            let rec = &mut self.rec;
+            let bufs = &mut self.fcorr_state.bufs;
+            self.fcorr_state.pending.retain(|&b| {
+                match comm.try_receive(plan.flux_transfers()[b].0, rec) {
+                    Some(buf) => {
+                        bufs.insert(b, buf);
+                        false
+                    }
+                    None => true,
+                }
+            });
+        }
+        if !self.fcorr_state.pending.is_empty() {
+            self.plan = Some(plan);
+            self.comm.set_task(None);
+            std::thread::yield_now();
+            return TaskStatus::Incomplete;
+        }
+        let state = std::mem::take(&mut self.fcorr_state);
+        let exec = self.exec();
+        let me = self.rank;
+        {
+            let owned_gids: Vec<usize> = (0..self.owned.len())
+                .filter(|&g| self.rank_of(g) == me)
+                .collect();
+            let mut pack: Vec<&mut BlockSlot> = self.owned.iter_mut().flatten().collect();
+            let bufs_ro = &state.bufs;
+            let gids_ro = &owned_gids;
+            exec.for_each_block(&mut pack, |i, slot| {
+                let r = gids_ro[i];
+                for &b in plan.fcorr_recv_transfers(r) {
+                    let (_key, _r, _s, spec) = &plan.flux_transfers()[b];
+                    let buf = bufs_ro.get(&b).expect("correction delivered");
+                    let mut offset = 0usize;
+                    for &id in &plan.flux_ids {
+                        let var = slot.data.var_mut(id);
+                        let len = spec.buffer_len(var.ncomp());
+                        apply_flux(spec, &buf[offset..offset + len], var);
+                        offset += len;
+                    }
+                }
+            });
+        }
+        self.plan = Some(plan);
+        self.comm.set_task(None);
+        TaskStatus::Complete
+    }
+
+    fn task_update(&mut self, stage: usize) {
+        let (a0, b, c) = if stage == 0 {
+            (0.0, 1.0, 1.0)
+        } else {
+            (0.5, 0.5, 0.5)
+        };
+        let dt = self.step_dt;
+        let exec = self.exec();
+        let wall = self.rec.wall().clone();
+        let _g = wall.region(RegionKey::Named("RK2Update"));
+        let ids = self.plan.as_ref().expect("plan built").flux_ids.clone();
+        let rec = &mut self.rec;
+        let mut pack: Vec<&mut BlockSlot> = self.owned.iter_mut().flatten().collect();
+        flux_divergence_update_with_ids(&mut pack, exec, a0, b, c, dt, &ids, rec);
+    }
+
+    fn task_fill_derived(&mut self) {
+        let exec = self.exec();
+        let wall = self.rec.wall().clone();
+        let _g = wall.region(RegionKey::Step(StepFunction::FillDerived));
+        self.with_owned_pack(StepFunction::FillDerived, |pkg, pack, rec| {
+            pkg.fill_derived(pack, exec, rec);
+        });
+    }
+
+    /// MassHistory: local reduction over owned blocks, then a data
+    /// AllGather folded in rank index order — bitwise identical to the
+    /// driver's fold over its rank packs (ranks are contiguous ascending in
+    /// gid order). Every rank joins the gather, including empty ones.
+    fn task_history(&mut self) {
+        if self.params.history_every == 0 || !self.cycle.is_multiple_of(self.params.history_every) {
+            return;
+        }
+        let exec = self.exec();
+        let wall = self.rec.wall().clone();
+        let _g = wall.region(RegionKey::Step(StepFunction::MassHistory));
+        let mut local: Vec<f64> = Vec::new();
+        let mut has_blocks = false;
+        self.with_owned_pack(StepFunction::MassHistory, |pkg, pack, rec| {
+            local = pkg.history(pack, exec, rec);
+            has_blocks = true;
+        });
+        let mut payload = Vec::with_capacity(1 + local.len() * 8);
+        payload.push(u8::from(has_blocks));
+        for v in &local {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        self.comm.set_task(Some("MassHistory"));
+        let parts = self
+            .comm
+            .all_gather_data(StepFunction::MassHistory, payload, &mut self.rec);
+        self.comm.set_task(None);
+        let mut values: Vec<f64> = Vec::new();
+        for part in &parts {
+            if part.first() != Some(&1) {
+                continue;
+            }
+            let vals: Vec<f64> = part[1..]
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+                .collect();
+            if values.is_empty() {
+                values = vals;
+            } else {
+                for (acc, x) in values.iter_mut().zip(vals) {
+                    *acc += x;
+                }
+            }
+        }
+        self.history.push((self.cycle, values));
+    }
+
+    /// Tags this shard's blocks; the cross-rank merge happens in
+    /// [`Self::task_tree_update`].
+    fn collect_tags(&mut self) -> BTreeMap<LogicalLocation, AmrFlag> {
+        let wall = self.rec.wall().clone();
+        let _g = wall.region(RegionKey::Step(StepFunction::RefinementTag));
+        let exec = self.exec();
+        let mut flags = BTreeMap::new();
+        let package = &self.package;
+        let rec = &mut self.rec;
+        let mut pack: Vec<&mut BlockSlot> = self.owned.iter_mut().flatten().collect();
+        if pack.is_empty() {
+            return flags;
+        }
+        rec.record_serial(
+            StepFunction::RefinementTag,
+            SerialWork::BlockLoop(pack.len() as u64),
+        );
+        let pack_flags = package.tag_refinement(&mut pack, exec, rec);
+        for (slot, f) in pack.iter().zip(pack_flags) {
+            flags.insert(slot.info.loc, f);
+        }
+        for slot in pack.iter_mut() {
+            let lookups = slot.data.take_string_lookups();
+            if lookups > 0 {
+                rec.record_serial(
+                    StepFunction::RefinementTag,
+                    SerialWork::StringLookups(lookups),
+                );
+            }
+        }
+        flags
+    }
+
+    /// TreeUpdate: a real AllGather of every rank's refinement flags,
+    /// merged into an ordered map (order-free), then the same proper-nesting
+    /// enforcement and derefinement-gate filter as the driver — replicated
+    /// tree surgery, identical on every rank.
+    fn task_tree_update(&mut self) {
+        let wall = self.rec.wall().clone();
+        let _g = wall.region(RegionKey::Step(StepFunction::UpdateMeshBlockTree));
+        self.comm.set_task(Some("TreeUpdate"));
+        let local = std::mem::take(&mut self.step_flags);
+        let payload = encode_flags(&local);
+        let parts =
+            self.comm
+                .all_gather_data(StepFunction::UpdateMeshBlockTree, payload, &mut self.rec);
+        self.comm.set_task(None);
+        let mut flags = BTreeMap::new();
+        for part in &parts {
+            decode_flags_into(part, &mut flags);
+        }
+        let mut decision = enforce_proper_nesting(self.mesh.tree(), &flags);
+        decision.derefine_parents = self.gate.filter(decision.derefine_parents, self.cycle);
+        self.rec.record_serial(
+            StepFunction::UpdateMeshBlockTree,
+            SerialWork::TreeOps(
+                (decision.refine.len() + decision.derefine_parents.len() + 1) as u64,
+            ),
+        );
+        self.rec.record_serial(
+            StepFunction::UpdateMeshBlockTree,
+            SerialWork::BlockLoop(self.mesh.num_blocks() as u64),
+        );
+        self.step_decision = Some(decision);
+    }
+
+    /// Regrid: replicated tree surgery plus *real* block migration. Every
+    /// rank applies the same decision and load balance to its mesh copy,
+    /// computes which old blocks feed which new blocks, ships full block
+    /// payloads for cross-rank provenance edges (all sends strictly before
+    /// any blocking receive — see the deadlock-freedom argument in
+    /// DESIGN.md), and rebuilds its owned slots in ascending gid order.
+    fn task_regrid(&mut self) {
+        let wall = self.rec.wall().clone();
+        let _g = wall.region(RegionKey::Step(
+            StepFunction::RedistributeAndRefineMeshBlocks,
+        ));
+        self.comm.set_task(Some("Regrid"));
+        let decision = self.step_decision.take().expect("tree update ran");
+        self.step_counts = (decision.refine.len(), decision.derefine_parents.len());
+        let me = self.rank;
+        let structural = !decision.is_empty();
+        if structural {
+            for parent in &decision.derefine_parents {
+                self.gate.record_derefine(parent, self.cycle);
+            }
+            for loc in &decision.refine {
+                self.gate.record_refine(loc, self.cycle);
+            }
+        }
+        let old_ranks: Vec<usize> = (0..self.mesh.num_blocks())
+            .map(|g| self.rank_of(g))
+            .collect();
+        let old_bytes: usize = self.owned.iter().flatten().map(BlockSlot::nbytes).sum();
+        let sources: Vec<RegridSource> = if structural {
+            self.mesh
+                .regrid(&decision)
+                .expect("valid regrid decision")
+                .sources
+        } else {
+            (0..self.mesh.num_blocks())
+                .map(|g| RegridSource::Unchanged { old_gid: g })
+                .collect()
+        };
+        self.params.cost_model.apply(&mut self.mesh);
+        self.mesh.load_balance(self.params.nranks);
+
+        // Which ranks need each old block under the new ownership map.
+        let mut dests: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); old_ranks.len()];
+        for (g, source) in sources.iter().enumerate() {
+            let dst = self.rank_of(g);
+            for x in source_old_gids(source) {
+                dests[x].insert(dst);
+            }
+        }
+        // Ship my old blocks to every remote rank that needs them — all
+        // sends before any receive completes, in (old gid, dst) order.
+        for (x, ds) in dests.iter().enumerate() {
+            if old_ranks[x] != me {
+                continue;
+            }
+            for &dst in ds {
+                if dst == me {
+                    continue;
+                }
+                let slot = self.owned[x].as_ref().expect("old block owned");
+                let payload = serialize_block(&slot.data);
+                let cells = slot.data.shape().interior_count() as u64;
+                self.comm.send(
+                    BoundaryKey::new(x, x, MIGRATE_TAG),
+                    payload,
+                    SendMeta {
+                        src: me,
+                        dst,
+                        cells,
+                    },
+                    StepFunction::RedistributeAndRefineMeshBlocks,
+                    &mut self.rec,
+                );
+            }
+        }
+        // Fetch the remote old blocks my new blocks are built from.
+        let needed: Vec<usize> = (0..old_ranks.len())
+            .filter(|&x| old_ranks[x] != me && dests[x].contains(&me))
+            .collect();
+        for &x in &needed {
+            self.comm.start_receive(BoundaryKey::new(x, x, MIGRATE_TAG));
+        }
+        let mut fetched: HashMap<usize, Vec<f64>> = HashMap::new();
+        {
+            let comm = &mut self.comm;
+            let rec = &mut self.rec;
+            let mut pending = needed;
+            while !pending.is_empty() {
+                pending.retain(|&x| {
+                    match comm.try_receive(BoundaryKey::new(x, x, MIGRATE_TAG), rec) {
+                        Some(buf) => {
+                            fetched.insert(x, buf);
+                            false
+                        }
+                        None => true,
+                    }
+                });
+                if !pending.is_empty() {
+                    std::thread::yield_now();
+                }
+            }
+        }
+        // Rebuild owned slots in ascending gid order.
+        let mut old: Vec<Option<BlockSlot>> = std::mem::take(&mut self.owned);
+        let mut new_owned: Vec<Option<BlockSlot>> = Vec::with_capacity(sources.len());
+        let mut created = 0u64;
+        let mut moved_cells = 0u64;
+        for (g, source) in sources.iter().enumerate() {
+            if self.rank_of(g) != me {
+                new_owned.push(None);
+                continue;
+            }
+            let slot = match source {
+                RegridSource::Unchanged { old_gid } => {
+                    if old_ranks[*old_gid] == me {
+                        let mut s = old[*old_gid].take().expect("unchanged block available");
+                        s.info = BlockInfo::from_mesh(&self.mesh, g);
+                        s
+                    } else {
+                        let mut s = self.new_slot(g);
+                        deserialize_into(&mut s.data, &fetched[old_gid]);
+                        s
+                    }
+                }
+                RegridSource::Refined {
+                    parent_old_gid,
+                    child_index,
+                } => {
+                    created += 1;
+                    let mut s = self.new_slot(g);
+                    moved_cells += s.data.shape().interior_count() as u64;
+                    let materialized: Option<BlockData> = (old_ranks[*parent_old_gid] != me)
+                        .then(|| self.block_from_payload(&fetched[parent_old_gid]));
+                    let parent: &BlockData = match &materialized {
+                        Some(d) => d,
+                        None => {
+                            &old[*parent_old_gid]
+                                .as_ref()
+                                .expect("parent available")
+                                .data
+                        }
+                    };
+                    prolongate_to_child(parent, *child_index, &mut s.data);
+                    s
+                }
+                RegridSource::Derefined { child_old_gids } => {
+                    created += 1;
+                    let mut s = self.new_slot(g);
+                    moved_cells += s.data.shape().interior_count() as u64;
+                    let materialized: Vec<Option<BlockData>> = child_old_gids
+                        .iter()
+                        .map(|&x| {
+                            (old_ranks[x] != me).then(|| self.block_from_payload(&fetched[&x]))
+                        })
+                        .collect();
+                    let children: Vec<&BlockData> = child_old_gids
+                        .iter()
+                        .zip(&materialized)
+                        .map(|(&x, m)| match m {
+                            Some(d) => d,
+                            None => &old[x].as_ref().expect("child available").data,
+                        })
+                        .collect();
+                    restrict_to_parent(&children, &mut s.data);
+                    s
+                }
+            };
+            new_owned.push(Some(slot));
+        }
+        drop(old);
+        self.owned = new_owned;
+        let new_bytes: usize = self.owned.iter().flatten().map(BlockSlot::nbytes).sum();
+        self.rec
+            .record_alloc(MemSpace::Kokkos, new_bytes as i64 - old_bytes as i64);
+        if structural {
+            self.rec.record_serial(
+                StepFunction::RedistributeAndRefineMeshBlocks,
+                SerialWork::Allocations(created),
+            );
+            if created > 0 {
+                let per_block = self
+                    .owned
+                    .iter()
+                    .flatten()
+                    .next()
+                    .map(|s| s.nbytes() as u64)
+                    .unwrap_or(0);
+                self.rec.record_serial(
+                    StepFunction::RedistributeAndRefineMeshBlocks,
+                    SerialWork::HostCopyBytes(created * per_block),
+                );
+            }
+            if moved_cells > 0 {
+                Launcher::new(&mut self.rec).record_only(
+                    &catalog::PROLONG_RESTRICT_LOOP,
+                    moved_cells,
+                    1.0,
+                );
+            }
+            self.cache.invalidate();
+            self.plan = None;
+        }
+        // Per-cycle block management (replicated on every rank, as the
+        // scalar list rebuild is in Parthenon).
+        self.rec.record_serial(
+            StepFunction::RedistributeAndRefineMeshBlocks,
+            SerialWork::BlockLoop(8 * self.mesh.num_blocks() as u64),
+        );
+        let boundary_count: usize = (0..self.mesh.num_blocks())
+            .map(|g| self.mesh.neighbors(g).len())
+            .sum();
+        self.rec.record_serial(
+            StepFunction::RedistributeAndRefineMeshBlocks,
+            SerialWork::BoundaryLoop(boundary_count as u64),
+        );
+        if !self.cache.is_valid() {
+            self.cache.rebuild(
+                boundary_count as u64,
+                boundary_count as u64 * 96,
+                &mut self.rec,
+            );
+        }
+        self.comm.mark_all_stale();
+        self.comm.set_task(None);
+    }
+
+    /// EstimateTimeStep: local minimum over owned blocks, then a data
+    /// AllReduce folded as `f64::min` in rank index order with an infinity
+    /// identity (empty ranks deposit infinity) — the same fold order as the
+    /// driver's sweep over its rank packs.
+    fn task_estimate_dt(&mut self) {
+        let wall = self.rec.wall().clone();
+        let _g = wall.region(RegionKey::Step(StepFunction::EstimateTimeStep));
+        let cfl = self.params.cfl;
+        let exec = self.exec();
+        let mut min_dt = f64::INFINITY;
+        self.with_owned_pack(StepFunction::EstimateTimeStep, |pkg, pack, rec| {
+            min_dt = pkg.estimate_dt(pack, exec, rec);
+        });
+        let parts = self.comm.all_reduce_data(
+            StepFunction::EstimateTimeStep,
+            min_dt.to_le_bytes().to_vec(),
+            8,
+            &mut self.rec,
+        );
+        let mut global = f64::INFINITY;
+        for part in &parts {
+            let v = f64::from_le_bytes(part.as_slice().try_into().expect("8-byte dt deposit"));
+            global = global.min(v);
+        }
+        self.dt = cfl * global;
+    }
+
+    /// Fills ghost zones at physical (non-periodic) domain faces of owned
+    /// blocks — same per-block logic as the driver.
+    fn apply_physical_bcs(&mut self) {
+        let periodic = self.mesh.params().region().periodic();
+        let dim = self.mesh.params().dim();
+        if periodic.iter().take(dim).all(|&p| p) {
+            return;
+        }
+        let _g = self
+            .rec
+            .wall()
+            .clone()
+            .region_hot(RegionKey::Named("PhysicalBCs"));
+        let shape = self.mesh.index_shape();
+        let kind = self.params.boundary_condition;
+        let base_blocks = self.mesh.params().base_blocks();
+        let ids = self.plan.as_ref().expect("plan built").ghost_ids.clone();
+        let exec = self.exec();
+        let mut pack: Vec<&mut BlockSlot> = self.owned.iter_mut().flatten().collect();
+        exec.for_each_block(&mut pack, |_, slot| {
+            let loc = slot.info.loc;
+            let level = loc.level();
+            for d in 0..dim {
+                if periodic[d] {
+                    continue;
+                }
+                let extent = base_blocks[d] << level;
+                let sides = [
+                    (loc.lx_d(d) == 0, Side::Lower),
+                    (loc.lx_d(d) == extent - 1, Side::Upper),
+                ];
+                for (at_edge, side) in sides {
+                    if !at_edge {
+                        continue;
+                    }
+                    for &id in &ids {
+                        let var = slot.data.var_mut(id);
+                        let is_vector = var.ncomp() == 3;
+                        apply_face_bc(var.data_mut(), &shape, d, side, kind, is_vector);
+                    }
+                }
+            }
+        });
+    }
+
+    /// Builds a registered container holding a migrated block payload.
+    fn block_from_payload(&self, payload: &[f64]) -> BlockData {
+        let mut data = self.fresh_data();
+        deserialize_into(&mut data, payload);
+        data
+    }
+}
+
+/// The old gids a post-regrid block's data comes from.
+fn source_old_gids(source: &RegridSource) -> Vec<usize> {
+    match source {
+        RegridSource::Unchanged { old_gid } => vec![*old_gid],
+        RegridSource::Refined { parent_old_gid, .. } => vec![*parent_old_gid],
+        RegridSource::Derefined { child_old_gids } => child_old_gids.clone(),
+    }
+}
+
+/// Serializes every variable's full data array (ghosts included — the
+/// prolongation stencil reads parent neighbor cells that reach into the
+/// ghost layers) in registration order. Fluxes and stage-0 copies are dead
+/// across the regrid point (SaveStage0 overwrites them next cycle) and are
+/// not shipped.
+fn serialize_block(data: &BlockData) -> Vec<f64> {
+    let mut out = Vec::new();
+    for var in data.vars() {
+        out.extend_from_slice(var.data().as_slice());
+    }
+    out
+}
+
+/// Inverse of [`serialize_block`] into an identically registered container.
+fn deserialize_into(data: &mut BlockData, payload: &[f64]) {
+    let mut offset = 0usize;
+    for i in 0..data.num_vars() {
+        let dst = data.var_mut(VarId(i)).data_mut().as_mut_slice();
+        dst.copy_from_slice(&payload[offset..offset + dst.len()]);
+        offset += dst.len();
+    }
+    assert_eq!(offset, payload.len(), "payload matches registration");
+}
+
+/// Wire record: level (i32), lx1..lx3 (i64), flag (u8).
+const FLAG_RECORD_BYTES: usize = 4 + 3 * 8 + 1;
+
+/// Serializes refinement flags (all of them, `Same` included, so the merged
+/// map equals the driver's single-process tag map).
+fn encode_flags(flags: &BTreeMap<LogicalLocation, AmrFlag>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(flags.len() * FLAG_RECORD_BYTES);
+    for (loc, flag) in flags {
+        out.extend_from_slice(&loc.level().to_le_bytes());
+        for d in 0..3 {
+            out.extend_from_slice(&loc.lx_d(d).to_le_bytes());
+        }
+        out.push(match flag {
+            AmrFlag::Derefine => 0,
+            AmrFlag::Same => 1,
+            AmrFlag::Refine => 2,
+        });
+    }
+    out
+}
+
+/// Inverse of [`encode_flags`], merging into `flags`.
+fn decode_flags_into(bytes: &[u8], flags: &mut BTreeMap<LogicalLocation, AmrFlag>) {
+    assert!(
+        bytes.len().is_multiple_of(FLAG_RECORD_BYTES),
+        "flag payload framing"
+    );
+    for rec in bytes.chunks_exact(FLAG_RECORD_BYTES) {
+        let level = i32::from_le_bytes(rec[0..4].try_into().expect("level bytes"));
+        let lx1 = i64::from_le_bytes(rec[4..12].try_into().expect("lx1 bytes"));
+        let lx2 = i64::from_le_bytes(rec[12..20].try_into().expect("lx2 bytes"));
+        let lx3 = i64::from_le_bytes(rec[20..28].try_into().expect("lx3 bytes"));
+        let flag = match rec[28] {
+            0 => AmrFlag::Derefine,
+            1 => AmrFlag::Same,
+            2 => AmrFlag::Refine,
+            other => panic!("unknown flag byte {other}"),
+        };
+        flags.insert(LogicalLocation::new(level, lx1, lx2, lx3), flag);
+    }
+}
+
+/// FNV-1a fingerprint over the bit patterns of every variable of every
+/// slot, in slot then registration order — the canonical solution
+/// fingerprint shared by the bench gates and the rank-parallel runtime's
+/// headline invariant (merged shard state must hash identically to the
+/// single-shard driver's).
+pub fn fingerprint_slots(slots: &[BlockSlot]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bits: u64| {
+        for shift in [0u32, 8, 16, 24, 32, 40, 48, 56] {
+            h ^= (bits >> shift) & 0xff;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for slot in slots {
+        for var in slot.data.vars() {
+            for &v in var.data().as_slice() {
+                eat(v.to_bits());
+            }
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::package::advect::Advect;
+    use vibe_comm::SharedTransport;
+    use vibe_mesh::MeshParams;
+
+    fn mesh() -> Mesh {
+        Mesh::new(
+            MeshParams::builder()
+                .dim(2)
+                .mesh_cells(32)
+                .block_cells(8)
+                .max_levels(2)
+                .nghost(2)
+                .deref_gap(4)
+                .build()
+                .unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn gaussian_ic(info: &BlockInfo, data: &mut BlockData) {
+        let shape = *data.shape();
+        let qid = data.id_of("q").unwrap();
+        let geom = info.geom;
+        let var = data.var_mut(qid);
+        for k in 0..shape.entire_d(2) {
+            for j in 0..shape.entire_d(1) {
+                for i in 0..shape.entire_d(0) {
+                    let c = geom.cell_center(
+                        i as i64 - shape.nghost_d(0) as i64,
+                        j as i64 - shape.nghost_d(1) as i64,
+                        0,
+                    );
+                    let r2 = (c[0] - 0.5).powi(2) + (c[1] - 0.5).powi(2);
+                    var.data_mut().set(0, k, j, i, (-r2 / 0.002).exp());
+                }
+            }
+        }
+    }
+
+    fn replica(nranks: usize) -> Driver<Advect> {
+        let params = DriverParams {
+            nranks,
+            cfl: 0.3,
+            ..DriverParams::default()
+        };
+        let pkg = Advect {
+            refine_above: 0.2,
+            deref_below: 0.02,
+        };
+        let mut d = Driver::new(mesh(), pkg, params);
+        d.initialize(gaussian_ic);
+        d
+    }
+
+    /// One shard on the degenerate single-rank shared transport must
+    /// reproduce the driver bitwise, cycle for cycle.
+    #[test]
+    fn single_shard_matches_driver_bitwise() {
+        let mut driver = replica(1);
+        let mut shard = RankShard::from_replica(replica(1), Box::new(SharedTransport::default()));
+        for _ in 0..4 {
+            let ds = driver.step();
+            let ss = shard.step();
+            assert_eq!(ds.nblocks, ss.nblocks);
+            assert_eq!(ds.refined, ss.refined);
+            assert_eq!(ds.dt.to_bits(), ss.dt.to_bits());
+        }
+        let out = shard.finish();
+        let merged: Vec<BlockSlot> = out.owned.into_iter().map(|(_, s)| s).collect();
+        assert_eq!(
+            fingerprint_slots(driver.slots()),
+            fingerprint_slots(&merged),
+            "single-shard fingerprint must equal the driver's"
+        );
+        assert_eq!(driver.history(), out.history.as_slice());
+        assert_eq!(driver.dt().to_bits(), out.dt.to_bits());
+    }
+
+    /// Two replicas of the same problem produce bitwise-identical init
+    /// state — the property the full-replica shard init depends on.
+    #[test]
+    fn replica_initialization_is_bitwise_reproducible() {
+        let a = replica(4);
+        let b = replica(4);
+        assert_eq!(fingerprint_slots(a.slots()), fingerprint_slots(b.slots()));
+        assert_eq!(a.dt().to_bits(), b.dt().to_bits());
+        assert_eq!(a.mesh().num_blocks(), b.mesh().num_blocks());
+    }
+
+    #[test]
+    fn flag_roundtrip_preserves_map() {
+        let mut flags = BTreeMap::new();
+        flags.insert(LogicalLocation::new(0, 0, 1, 0), AmrFlag::Refine);
+        flags.insert(LogicalLocation::new(2, 3, 2, 1), AmrFlag::Same);
+        flags.insert(LogicalLocation::new(1, 1, 0, 0), AmrFlag::Derefine);
+        let bytes = encode_flags(&flags);
+        let mut back = BTreeMap::new();
+        decode_flags_into(&bytes, &mut back);
+        assert_eq!(flags, back);
+    }
+
+    #[test]
+    fn block_payload_roundtrip() {
+        let d = replica(1);
+        let src = &d.slots()[0].data;
+        let payload = serialize_block(src);
+        let mut dst = BlockData::new(d.mesh().index_shape());
+        Advect {
+            refine_above: 0.2,
+            deref_below: 0.02,
+        }
+        .register(&mut dst);
+        deserialize_into(&mut dst, &payload);
+        assert_eq!(
+            src.var(VarId(0)).data().as_slice(),
+            dst.var(VarId(0)).data().as_slice()
+        );
+    }
+}

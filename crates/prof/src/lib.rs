@@ -38,7 +38,8 @@ pub use regions::{FlatRegion, RegionKey, RegionStats, RegionTree};
 pub use report::{format_function_table, format_kernel_table};
 pub use timeline::{cycle_table, evolution_line, sparkline};
 pub use trace_export::{
-    measured_by_function, metrics_jsonl, perfetto_async_trace_json, perfetto_trace_json,
-    summary_table, validate_async_trace, validate_json, validate_jsonl, AsyncSpan, AsyncTraceStats,
+    measured_by_function, metrics_jsonl, perfetto_async_trace_json, perfetto_multirank_trace_json,
+    perfetto_trace_json, summary_table, validate_async_trace, validate_json, validate_jsonl,
+    AsyncSpan, AsyncTraceStats,
 };
 pub use wallclock::{ProfLevel, RegionGuard, TraceEvent, WallClock, WallCycleStats};

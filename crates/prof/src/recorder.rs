@@ -332,6 +332,54 @@ impl Recorder {
         &self.totals
     }
 
+    /// Merges another rank's recorder into this one, aligning completed
+    /// cycles by cycle number: kernel, serial, and communication work sums
+    /// (each rank recorded only the work it executed), while the mesh
+    /// census (`nblocks`, refined/derefined, `cell_updates`) is global and
+    /// replicated on every rank, so it is kept rather than summed. Memory
+    /// accounting sums — ranks are separate address spaces, so the
+    /// distributed footprint is the sum of per-rank footprints (the summed
+    /// peak is an upper bound on the true simultaneous peak).
+    ///
+    /// Measured wall-clock streams are not merged; per-rank wall clocks
+    /// stay with their shard and are exported as rank-tagged tracks.
+    pub fn absorb(&mut self, other: &Recorder) {
+        assert!(
+            !self.in_cycle && !other.in_cycle,
+            "absorb requires both recorders to be between cycles"
+        );
+        for theirs in &other.cycles {
+            match self.cycles.iter_mut().find(|c| c.cycle == theirs.cycle) {
+                Some(mine) => {
+                    for (k, v) in &theirs.kernels {
+                        mine.kernels.entry(*k).or_default().absorb(v);
+                        self.totals.kernels.entry(*k).or_default().absorb(v);
+                    }
+                    for (k, v) in &theirs.serial {
+                        mine.serial.entry(*k).or_default().absorb(v);
+                        self.totals.serial.entry(*k).or_default().absorb(v);
+                    }
+                    for (k, v) in &theirs.comm {
+                        mine.comm.entry(*k).or_default().absorb(v);
+                        self.totals.comm.entry(*k).or_default().absorb(v);
+                    }
+                }
+                None => {
+                    self.current = theirs.clone();
+                    self.absorb_into_totals();
+                    self.cycles.push(std::mem::take(&mut self.current));
+                    self.cycles.sort_by_key(|c| c.cycle);
+                }
+            }
+        }
+        for (space, bytes) in &other.mem_current {
+            *self.mem_current.entry(*space).or_insert(0) += bytes;
+        }
+        for (space, bytes) in &other.mem_peak {
+            *self.mem_peak.entry(*space).or_insert(0) += bytes;
+        }
+    }
+
     fn absorb_into_totals(&mut self) {
         let t = &mut self.totals;
         t.nblocks = self.current.nblocks;
@@ -476,6 +524,57 @@ mod tests {
             .unwrap();
         // The default recorder keeps measured time off entirely.
         assert!(!Recorder::new().wall().enabled());
+    }
+
+    #[test]
+    fn absorb_merges_ranks_by_cycle() {
+        let mut rank0 = Recorder::new();
+        rank0.begin_cycle(0);
+        rank0.record_kernel(
+            StepFunction::CalculateFluxes,
+            "CalculateFluxes",
+            2,
+            100,
+            0,
+            0,
+        );
+        rank0.record_p2p(StepFunction::SendBoundBufs, 1024, 128, false);
+        rank0.end_cycle(8, 1, 0, 512);
+        rank0.record_alloc(MemSpace::Kokkos, 1000);
+
+        let mut rank1 = Recorder::new();
+        rank1.begin_cycle(0);
+        rank1.record_kernel(
+            StepFunction::CalculateFluxes,
+            "CalculateFluxes",
+            3,
+            150,
+            0,
+            0,
+        );
+        rank1.end_cycle(8, 1, 0, 512);
+        rank1.begin_cycle(1);
+        rank1.record_serial(StepFunction::RefinementTag, SerialWork::BlockLoop(4));
+        rank1.end_cycle(8, 0, 0, 512);
+        rank1.record_alloc(MemSpace::Kokkos, 700);
+
+        rank0.absorb(&rank1);
+        assert_eq!(rank0.cycles().len(), 2);
+        let c0 = &rank0.cycles()[0];
+        // Kernel work sums across ranks; the global census is kept as-is.
+        let k = &c0.kernels[&(StepFunction::CalculateFluxes, "CalculateFluxes")];
+        assert_eq!((k.launches, k.cells), (5, 250));
+        assert_eq!(c0.nblocks, 8);
+        assert_eq!(c0.blocks_refined, 1);
+        // The straggler cycle from rank 1 was adopted whole.
+        assert_eq!(
+            rank0.cycles()[1].serial[&StepFunction::RefinementTag].block_loop,
+            4
+        );
+        assert_eq!(rank0.totals().blocks_refined, 1);
+        // Separate address spaces: footprints sum.
+        assert_eq!(rank0.mem_current(MemSpace::Kokkos), 1700);
+        assert_eq!(rank0.mem_peak(MemSpace::Kokkos), 1700);
     }
 
     #[test]

@@ -70,6 +70,47 @@ pub fn perfetto_trace_json(events: &[TraceEvent], process_name: &str) -> String 
     out
 }
 
+/// Renders one Chrome/Perfetto trace for a rank-parallel run: each rank's
+/// wall-clock stream becomes its own process track (`pid` = rank + 1,
+/// named `rank N`), so concurrent shard timelines render side by side with
+/// their per-rank worker threads nested under them.
+pub fn perfetto_multirank_trace_json(ranks: &[(usize, Vec<TraceEvent>)]) -> String {
+    let total: usize = ranks.iter().map(|(_, evs)| evs.len()).sum();
+    let mut out = String::with_capacity(256 + total * 96);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut first = true;
+    for (rank, events) in ranks {
+        let pid = rank + 1;
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":\"rank {rank}\"}}}}"
+        );
+        let mut sorted = events.clone();
+        sort_events(&mut sorted);
+        for ev in &sorted {
+            out.push_str(",\n");
+            let mut ev_name = String::new();
+            escape_json(ev.name, &mut ev_name);
+            let _ = write!(
+                out,
+                "{{\"name\":\"{ev_name}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{}.{:03},\"dur\":{}.{:03},\"pid\":{pid},\"tid\":{}}}",
+                ev.cat,
+                ev.ts_ns / 1_000,
+                ev.ts_ns % 1_000,
+                ev.dur_ns / 1_000,
+                ev.dur_ns % 1_000,
+                ev.tid
+            );
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
 /// One span on an async (overlap-capable) track: the Chrome `trace_events`
 /// `"b"`/`"e"` pair representation used for simulator timelines, where one
 /// track per rank/stream/NIC must render *concurrent* spans side by side

@@ -1,0 +1,327 @@
+//! # vibe-rt
+//!
+//! The rank-parallel distributed runtime: executes every virtual rank as a
+//! **real concurrent shard** — one OS thread per rank, each running the
+//! per-cycle task graph over its own blocks only — connected by the
+//! channel-backed [`Transport`](vibe_comm::Transport) fabric. This turns
+//! the single-process driver's *accounting* of rank communication into an
+//! actual distributed-memory execution: ghost exchanges, flux corrections,
+//! and block migrations cross real channels; refinement-flag reconciliation
+//! and the timestep reduction run as real collectives through the
+//! rendezvous hub.
+//!
+//! The headline invariant (checked in this crate's tests and the CI gate):
+//! the merged global solution fingerprint is **bitwise identical** to the
+//! single-shard [`Driver`](vibe_core::Driver) for any `(nranks,
+//! host_threads)` combination.
+//!
+//! See [`run_distributed`] for the entry point; this crate's tests show a
+//! complete wiring example against the driver as the bitwise reference.
+
+use std::time::Instant;
+
+use vibe_comm::{channel_fabric, validate_multirank_event_order, CommEvent};
+use vibe_core::driver::CycleSummary;
+use vibe_core::shard::{fingerprint_slots, RankShard, ShardOutput};
+use vibe_core::{Driver, Package};
+use vibe_prof::{perfetto_multirank_trace_json, Recorder, TraceEvent};
+
+/// The merged result of a rank-parallel run.
+#[derive(Debug)]
+pub struct RtRun {
+    /// Rank shards executed.
+    pub nranks: usize,
+    /// Cycles advanced.
+    pub cycles: u64,
+    /// FNV-1a fingerprint of the merged global solution (bitwise
+    /// comparable against the single-shard driver's).
+    pub fingerprint: u64,
+    /// Final simulation time.
+    pub time: f64,
+    /// Final timestep.
+    pub dt: f64,
+    /// History reductions as (cycle, values) — verified identical on every
+    /// rank before being returned.
+    pub history: Vec<(u64, Vec<f64>)>,
+    /// Rank 0's per-cycle summaries (the mesh census columns are global).
+    pub summaries: Vec<CycleSummary>,
+    /// Every rank's communication events merged and sorted by the shared
+    /// sequence counter, already validated by
+    /// [`validate_multirank_event_order`].
+    pub events: Vec<CommEvent>,
+    /// Satisfied send→complete dependency edges in the merged log.
+    pub dependency_edges: usize,
+    /// All ranks' workload recorders merged
+    /// (see [`Recorder::absorb`]).
+    pub recorder: Recorder,
+    /// Per-rank wall time of the barrier-bracketed cycle loop, in ns.
+    pub rank_wall_ns: Vec<u64>,
+    /// Final owned-block count per rank.
+    pub rank_blocks: Vec<usize>,
+    /// Per-rank measured-time trace streams (empty unless the replica was
+    /// built with wall-clock profiling on).
+    pub rank_traces: Vec<(usize, Vec<TraceEvent>)>,
+}
+
+impl RtRun {
+    /// Wall time of the slowest rank's cycle loop — the distributed
+    /// runtime's time-to-solution.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.rank_wall_ns.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Renders the per-rank wall-clock streams as one Perfetto trace with
+    /// a process track per rank.
+    pub fn perfetto_trace_json(&self) -> String {
+        perfetto_multirank_trace_json(&self.rank_traces)
+    }
+}
+
+/// Runs `cycles` timesteps with `nranks` concurrent rank shards over a
+/// channel transport fabric and merges the results.
+///
+/// `make_replica` must build (and initialize) a deterministic replica of
+/// the problem: it is invoked once on every rank thread, and the shards
+/// rely on replica initialization being bitwise reproducible — the same
+/// property that makes the driver's own runs reproducible. The driver's
+/// `nranks` parameter must equal `nranks` here (the shard constructor
+/// asserts this).
+///
+/// # Panics
+///
+/// Panics if a shard thread panics (e.g. on a collective rendezvous
+/// mismatch), if the merged event log violates the multi-rank ordering
+/// invariants, or if the ranks disagree on time, dt, or history — all of
+/// which indicate a broken determinism invariant rather than a recoverable
+/// condition.
+pub fn run_distributed<P, F>(nranks: usize, cycles: u64, make_replica: F) -> RtRun
+where
+    P: Package,
+    F: Fn() -> Driver<P> + Sync,
+{
+    assert!(nranks > 0, "at least one rank");
+    let fabric = channel_fabric(nranks);
+    let make_replica = &make_replica;
+    let mut results: Vec<(Vec<CycleSummary>, u64, ShardOutput)> = std::thread::scope(|s| {
+        let handles: Vec<_> = fabric
+            .into_iter()
+            .map(|transport| {
+                s.spawn(move || {
+                    let mut shard = RankShard::from_replica(make_replica(), Box::new(transport));
+                    shard.barrier("rt-cycles-begin");
+                    let start = Instant::now();
+                    let summaries = shard.run_cycles(cycles);
+                    shard.barrier("rt-cycles-end");
+                    let wall_ns = start.elapsed().as_nanos() as u64;
+                    (summaries, wall_ns, shard.finish())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank shard thread panicked"))
+            .collect()
+    });
+    results.sort_by_key(|(_, _, out)| out.rank);
+
+    // Merge owned blocks back into the global gid order and fingerprint.
+    let mut slots: Vec<(usize, vibe_core::BlockSlot)> = Vec::new();
+    let mut rank_blocks = vec![0usize; nranks];
+    let mut events: Vec<CommEvent> = Vec::new();
+    let mut rank_wall_ns = Vec::with_capacity(nranks);
+    let mut rank_traces = Vec::with_capacity(nranks);
+    let mut recorder: Option<Recorder> = None;
+    for (_, wall_ns, out) in &mut results {
+        rank_blocks[out.rank] = out.owned.len();
+        rank_wall_ns.push(*wall_ns);
+        slots.append(&mut out.owned);
+        events.append(&mut out.events);
+        let (trace, _) = out.recorder.wall().trace_events();
+        rank_traces.push((out.rank, trace));
+        match recorder.as_mut() {
+            Some(merged) => merged.absorb(&out.recorder),
+            None => recorder = Some(out.recorder.clone()),
+        }
+    }
+    slots.sort_by_key(|(gid, _)| *gid);
+    for (expect, (gid, _)) in slots.iter().enumerate() {
+        assert_eq!(*gid, expect, "merged shard ownership must tile the mesh");
+    }
+    let merged: Vec<vibe_core::BlockSlot> = slots.into_iter().map(|(_, s)| s).collect();
+    let fingerprint = fingerprint_slots(&merged);
+
+    events.sort_by_key(|e| e.seq);
+    let dependency_edges = validate_multirank_event_order(&events, nranks)
+        .expect("merged multi-rank event log is well ordered");
+
+    // Every rank must agree on the collective-derived scalars.
+    let (summaries, _, rank0) = &results[0];
+    for (_, _, out) in &results[1..] {
+        assert_eq!(
+            rank0.time.to_bits(),
+            out.time.to_bits(),
+            "ranks disagree on simulation time"
+        );
+        assert_eq!(
+            rank0.dt.to_bits(),
+            out.dt.to_bits(),
+            "ranks disagree on the reduced timestep"
+        );
+        assert_eq!(
+            rank0.history.len(),
+            out.history.len(),
+            "ranks disagree on history length"
+        );
+        for ((c0, v0), (c1, v1)) in rank0.history.iter().zip(&out.history) {
+            assert_eq!(c0, c1, "ranks disagree on history cycles");
+            assert_eq!(v0.len(), v1.len(), "ranks disagree on history arity");
+            for (a, b) in v0.iter().zip(v1) {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "ranks disagree on reduced history values"
+                );
+            }
+        }
+    }
+
+    RtRun {
+        nranks,
+        cycles,
+        fingerprint,
+        time: rank0.time,
+        dt: rank0.dt,
+        history: rank0.history.clone(),
+        summaries: summaries.clone(),
+        events,
+        dependency_edges,
+        recorder: recorder.expect("at least one rank"),
+        rank_wall_ns,
+        rank_blocks,
+        rank_traces,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vibe_core::block::BlockInfo;
+    use vibe_core::driver::DriverParams;
+    use vibe_core::field::BlockData;
+    use vibe_core::mesh::{Mesh, MeshParams};
+    use vibe_core::package::advect::Advect;
+
+    fn mesh() -> Mesh {
+        Mesh::new(
+            MeshParams::builder()
+                .dim(2)
+                .mesh_cells(32)
+                .block_cells(8)
+                .max_levels(2)
+                .nghost(2)
+                .deref_gap(4)
+                .build()
+                .unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn gaussian_ic(info: &BlockInfo, data: &mut BlockData) {
+        let shape = *data.shape();
+        let qid = data.id_of("q").unwrap();
+        let geom = info.geom;
+        let var = data.var_mut(qid);
+        for k in 0..shape.entire_d(2) {
+            for j in 0..shape.entire_d(1) {
+                for i in 0..shape.entire_d(0) {
+                    let c = geom.cell_center(
+                        i as i64 - shape.nghost_d(0) as i64,
+                        j as i64 - shape.nghost_d(1) as i64,
+                        0,
+                    );
+                    let r2 = (c[0] - 0.5).powi(2) + (c[1] - 0.5).powi(2);
+                    var.data_mut().set(0, k, j, i, (-r2 / 0.002).exp());
+                }
+            }
+        }
+    }
+
+    fn replica(nranks: usize, host_threads: usize) -> vibe_core::Driver<Advect> {
+        let params = DriverParams {
+            nranks,
+            host_threads,
+            cfl: 0.3,
+            ..DriverParams::default()
+        };
+        let pkg = Advect {
+            refine_above: 0.2,
+            deref_below: 0.02,
+        };
+        let mut d = vibe_core::Driver::new(mesh(), pkg, params);
+        d.initialize(gaussian_ic);
+        d
+    }
+
+    fn driver_fingerprint(nranks: usize, cycles: u64) -> (u64, u64, u64) {
+        let mut d = replica(nranks, 1);
+        for _ in 0..cycles {
+            d.step();
+        }
+        (
+            vibe_core::fingerprint_slots(d.slots()),
+            d.dt().to_bits(),
+            d.mesh().num_blocks() as u64,
+        )
+    }
+
+    /// The headline invariant: the merged rank-parallel solution is
+    /// bitwise identical to the single-shard driver across rank counts,
+    /// through cycles that refine, migrate, and derefine blocks.
+    #[test]
+    fn rank_parallel_fingerprint_matches_driver() {
+        let cycles = 6;
+        let reference = driver_fingerprint(1, cycles);
+        for nranks in [1usize, 2, 4] {
+            let run = run_distributed(nranks, cycles, || replica(nranks, 1));
+            let gated = driver_fingerprint(nranks, cycles);
+            assert_eq!(
+                gated.0, reference.0,
+                "driver solution must not depend on nranks"
+            );
+            assert_eq!(
+                run.fingerprint, reference.0,
+                "rank-parallel fingerprint diverged at nranks={nranks}"
+            );
+            assert_eq!(run.dt.to_bits(), reference.1);
+            assert_eq!(run.rank_blocks.iter().sum::<usize>() as u64, reference.2);
+        }
+    }
+
+    /// Host-thread count inside each shard must not perturb the solution.
+    #[test]
+    fn host_threads_do_not_perturb_distributed_solution() {
+        let cycles = 4;
+        let serial = run_distributed(2, cycles, || replica(2, 1));
+        let threaded = run_distributed(2, cycles, || replica(2, 4));
+        assert_eq!(serial.fingerprint, threaded.fingerprint);
+        assert_eq!(serial.dt.to_bits(), threaded.dt.to_bits());
+    }
+
+    /// Real cross-shard traffic exists and the merged log is causal: the
+    /// validator must count send→complete edges from remote deliveries.
+    #[test]
+    fn merged_event_log_shows_cross_rank_traffic() {
+        let run = run_distributed(4, 3, || replica(4, 1));
+        assert!(
+            run.dependency_edges > 0,
+            "expected satisfied remote send→complete edges"
+        );
+        assert!(
+            run.events.iter().any(|e| e.rank != 0),
+            "expected events from non-zero ranks"
+        );
+        // Per-rank histories were checked identical inside run_distributed;
+        // the merged history must exist when history_every fires.
+        assert!(!run.history.is_empty());
+    }
+}

@@ -40,6 +40,12 @@ grep -q '"displayTimeUnit"' target/ci-trace/trace.json
 test "$(wc -l <target/ci-trace/metrics.jsonl)" -eq 2
 grep -q '"pool"' target/ci-trace/metrics.jsonl
 
+echo "==> rank-parallel fingerprint gate (rt_gate)"
+# Real concurrent rank shards over the channel transport: every merged
+# (ranks x host_threads) solution must be bitwise identical to the
+# single-process driver. The binary exits nonzero on any mismatch.
+VIBE_RT_RANKS=1,2,8 VIBE_RT_THREADS=1,8 target/release/rt_gate >/dev/null
+
 echo "==> simulated timeline smoke (sim_timeline)"
 # The binary gates itself: nonzero exit on NaN/negative times, idle
 # fractions outside [0,1], calibration drift > 1%, a missing launch-bound

@@ -19,6 +19,8 @@
 //! * [`burgers`] — the VIBE benchmark package
 //! * [`hwmodel`] — H100/SPR performance and memory models
 //! * [`sim`] — discrete-event heterogeneous timeline simulator
+//! * [`rt`] — rank-parallel distributed runtime (virtual ranks as real
+//!   concurrent shards over a channel transport)
 //!
 //! ## Quickstart
 //!
@@ -50,6 +52,7 @@ pub use vibe_field as field;
 pub use vibe_hwmodel as hwmodel;
 pub use vibe_mesh as mesh;
 pub use vibe_prof as prof;
+pub use vibe_rt as rt;
 pub use vibe_sim as sim;
 
 /// The most common imports in one place.
@@ -61,4 +64,5 @@ pub mod prelude {
     pub use vibe_hwmodel::{Backend, CpuSpec, GpuSpec, MemoryModel, PlatformConfig};
     pub use vibe_mesh::{Mesh, MeshParams, RegionSize};
     pub use vibe_prof::{ProfLevel, Recorder, RegionKey, StepFunction};
+    pub use vibe_rt::{run_distributed, RtRun};
 }

@@ -132,6 +132,77 @@ fn partition_properties() {
     }
 }
 
+/// Cost partitioning under *random* costs: every block assigned exactly
+/// once, ranks contiguous along the SFC order, rank ids bounded, and the
+/// measured imbalance is a true max/mean ratio (>= 1.0; == 1.0 when costs
+/// are uniform and `nranks` divides the block count).
+#[test]
+fn partition_random_costs_properties() {
+    let mut rng = Rng::new(0x5EED_BA1A);
+    for _case in 0..128 {
+        let n = rng.usize_in(1, 160);
+        let nranks = rng.usize_in(1, 40);
+        let costs = rng.vec_f64(n, 0.1, 50.0);
+        let a = partition_by_cost(&costs, nranks);
+
+        // Complete: every block has a rank, in the same order it came in.
+        assert_eq!(a.num_blocks(), n);
+        assert_eq!(a.block_ranks().len(), n);
+        // Bounded: no rank id reaches nranks.
+        assert!(a.block_ranks().iter().all(|&r| r < nranks));
+        assert_eq!(a.nranks(), nranks);
+        // Contiguous in SFC order: rank ids are non-decreasing and step by
+        // at most one, so each rank owns one contiguous slab.
+        for w in a.block_ranks().windows(2) {
+            assert!(
+                w[1] >= w[0] && w[1] - w[0] <= 1,
+                "ranks not contiguous: {} then {}",
+                w[0],
+                w[1]
+            );
+        }
+        // blocks_per_rank tallies the same assignment.
+        assert_eq!(a.blocks_per_rank().iter().sum::<usize>(), n);
+        // Imbalance is max/mean over per-rank cost: never below 1.
+        let imb = a.imbalance(&costs);
+        assert!(imb >= 1.0, "imbalance {imb} < 1");
+    }
+}
+
+/// With at least as many ranks as blocks, every block gets its own rank
+/// (one slab each) and the remaining ranks idle.
+#[test]
+fn partition_with_blocks_not_exceeding_ranks() {
+    let mut rng = Rng::new(0x0DD0_BEEF);
+    for _case in 0..64 {
+        let n = rng.usize_in(1, 24);
+        let nranks = rng.usize_in(n, n + 24);
+        let costs = rng.vec_f64(n, 0.5, 10.0);
+        let a = partition_by_cost(&costs, nranks);
+        // One block per rank, ranks 0..n in order.
+        let expect: Vec<usize> = (0..n).collect();
+        assert_eq!(a.block_ranks(), expect.as_slice());
+        assert_eq!(a.idle_ranks(), nranks - n);
+    }
+}
+
+/// Uniform costs with nranks dividing n partition perfectly: equal slabs
+/// and an imbalance of exactly 1.0.
+#[test]
+fn partition_uniform_divisible_is_perfect() {
+    let mut rng = Rng::new(0x00FA_1157);
+    for _case in 0..64 {
+        let nranks = rng.usize_in(1, 16);
+        let per = rng.usize_in(1, 12);
+        let n = nranks * per;
+        let costs = vec![3.5f64; n];
+        let a = partition_by_cost(&costs, nranks);
+        assert!(a.blocks_per_rank().iter().all(|&c| c == per));
+        assert_eq!(a.imbalance(&costs), 1.0);
+        assert_eq!(a.idle_ranks(), 0);
+    }
+}
+
 /// Same-level ghost pack/unpack is exact for arbitrary sender data.
 #[test]
 fn copy_buffer_roundtrip() {
