@@ -9,8 +9,11 @@
 use std::hint::black_box;
 use std::time::Instant;
 
-use vibe_burgers::{hll_flux, reconstruct_linear, reconstruct_weno5};
+use vibe_burgers::{
+    hll_flux, hll_flux_lanes, reconstruct_linear, reconstruct_weno5, reconstruct_weno5_lanes,
+};
 use vibe_comm::{BoundaryKey, BufferCache, CacheConfig};
+use vibe_field::F64Lanes;
 use vibe_field::{compute_buffer_spec, pack, unpack, Array4, BlockData, Metadata, PackStrategy};
 use vibe_mesh::{
     enforce_proper_nesting, partition_by_cost, AmrFlag, BlockTree, IndexShape, LogicalLocation,
@@ -35,6 +38,106 @@ fn bench(name: &str, mut f: impl FnMut()) {
         }
         iters *= 2;
     }
+}
+
+/// Like [`bench`], but reports ns per *unit* where one call to `f` covers
+/// `units` of them (e.g. faces per sweep) — the scalar-vs-lane comparisons
+/// report ns/face this way.
+fn bench_per(name: &str, units: u64, mut f: impl FnMut()) {
+    let mut iters: u64 = 1;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = t0.elapsed();
+        if elapsed.as_millis() >= 20 || iters >= 1 << 30 {
+            let ns = elapsed.as_nanos() as f64 / (iters * units) as f64;
+            println!("{name:<40} {ns:>12.2} ns/face  ({iters} iters x {units})");
+            return;
+        }
+        iters *= 2;
+    }
+}
+
+/// Scalar vs lane-batched flux pipeline over one long row of faces:
+/// WENO5 reconstruction of every component, HLL solve, flux store — the
+/// per-face cost the SIMD tentpole targets. All three variants produce
+/// bitwise-identical fluxes.
+fn bench_flux_faces() {
+    const NCOMP: usize = 7; // 3 velocity + 4 scalars: the probe config
+    const FACES: usize = 1024;
+    let data: Vec<Vec<f64>> = (0..NCOMP)
+        .map(|c| {
+            (0..FACES + 6)
+                .map(|i| 1.0 + 0.3 * ((i * (c + 2)) % 17) as f64 / 17.0)
+                .collect()
+        })
+        .collect();
+    let mut out = vec![vec![0.0f64; FACES]; NCOMP];
+
+    bench_per("flux_faces/weno5+hll/scalar", FACES as u64, || {
+        let data = black_box(&data);
+        for f in 0..FACES {
+            let mut sl = [0.0f64; NCOMP];
+            let mut sr = [0.0f64; NCOMP];
+            for c in 0..NCOMP {
+                let s: &[f64; 6] = data[c][f..f + 6].try_into().unwrap();
+                let (l, r) = reconstruct_weno5(s);
+                sl[c] = l;
+                sr[c] = r;
+            }
+            let mut flux = [0.0f64; NCOMP];
+            hll_flux(
+                &[sl[0], sl[1], sl[2]],
+                &sl[3..],
+                &[sr[0], sr[1], sr[2]],
+                &sr[3..],
+                0,
+                &mut flux,
+            );
+            for c in 0..NCOMP {
+                out[c][f] = flux[c];
+            }
+        }
+        black_box(&mut out);
+    });
+
+    fn lanes_pass<const W: usize>(data: &[Vec<f64>], out: &mut [Vec<f64>]) {
+        let mut f = 0;
+        while f + W <= FACES {
+            let mut sl = [F64Lanes::<W>::splat(0.0); NCOMP];
+            let mut sr = [F64Lanes::<W>::splat(0.0); NCOMP];
+            for c in 0..NCOMP {
+                let stencil: [F64Lanes<W>; 6] =
+                    std::array::from_fn(|j| F64Lanes::load(&data[c][f + j..]));
+                let (l, r) = reconstruct_weno5_lanes(&stencil);
+                sl[c] = l;
+                sr[c] = r;
+            }
+            let mut flux = [F64Lanes::<W>::splat(0.0); NCOMP];
+            hll_flux_lanes(
+                &[sl[0], sl[1], sl[2]],
+                &sl[3..],
+                &[sr[0], sr[1], sr[2]],
+                &sr[3..],
+                0,
+                &mut flux,
+            );
+            for c in 0..NCOMP {
+                flux[c].store(&mut out[c][f..]);
+            }
+            f += W;
+        }
+    }
+    bench_per("flux_faces/weno5+hll/lanes4", FACES as u64, || {
+        lanes_pass::<4>(black_box(&data), &mut out);
+        black_box(&mut out);
+    });
+    bench_per("flux_faces/weno5+hll/lanes8", FACES as u64, || {
+        lanes_pass::<8>(black_box(&data), &mut out);
+        black_box(&mut out);
+    });
 }
 
 fn bench_reconstruction() {
@@ -150,6 +253,7 @@ fn bench_tree_ops() {
 fn main() {
     bench_reconstruction();
     bench_riemann();
+    bench_flux_faces();
     bench_pack_unpack();
     bench_var_lookup();
     bench_buffer_cache();

@@ -20,10 +20,10 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use vibe_burgers::{ic, BurgersPackage, BurgersParams};
+use vibe_burgers::{ic, take_face_counts, BurgersPackage, BurgersParams};
 use vibe_core::{Driver, DriverParams};
 use vibe_hwmodel::platform::evaluate;
-use vibe_hwmodel::PlatformConfig;
+use vibe_hwmodel::{measured_vector_share, vector_efficiency, PlatformConfig};
 use vibe_mesh::{Mesh, MeshParams};
 use vibe_prof::{summary_table, ProfLevel, Recorder, StepFunction};
 
@@ -46,6 +46,11 @@ struct RunResult {
     /// Subset of `compute_task_ns` spent while comm traffic was in
     /// flight — the task executor's measured comm/compute overlap.
     overlapped_compute_ns: u64,
+    /// Flux faces evaluated in full SIMD lane bundles during the timed
+    /// cycles.
+    lane_faces: u64,
+    /// Flux faces evaluated through the scalar-tail fallback.
+    tail_faces: u64,
 }
 
 impl RunResult {
@@ -64,12 +69,13 @@ fn build_driver_for(
     nranks: usize,
     threads: usize,
     prof_level: ProfLevel,
+    block_cells: usize,
 ) -> Driver<BurgersPackage> {
     let mesh = Mesh::new(
         MeshParams::builder()
             .dim(3)
             .mesh_cells(MESH_CELLS)
-            .block_cells(BLOCK_CELLS)
+            .block_cells(block_cells)
             .max_levels(LEVELS)
             .nghost(4)
             .build()
@@ -107,7 +113,7 @@ struct RankRun {
 /// (one OS thread each, serial inside the shard) through `vibe-rt`.
 fn run_ranks(nranks: usize) -> RankRun {
     let run = vibe_rt::run_distributed(nranks, CYCLES, || {
-        let mut d = build_driver_for(nranks, 1, ProfLevel::Off);
+        let mut d = build_driver_for(nranks, 1, ProfLevel::Off, BLOCK_CELLS);
         d.initialize(ic::multi_blob(0.9, 0.002, 3));
         d
     });
@@ -122,16 +128,18 @@ fn run_ranks(nranks: usize) -> RankRun {
     }
 }
 
-fn build_driver(threads: usize, prof_level: ProfLevel) -> Driver<BurgersPackage> {
-    build_driver_for(1, threads, prof_level)
+fn run(threads: usize, prof_level: ProfLevel) -> (RunResult, Recorder) {
+    run_with(threads, prof_level, BLOCK_CELLS)
 }
 
-fn run(threads: usize, prof_level: ProfLevel) -> (RunResult, Recorder) {
-    let mut driver = build_driver(threads, prof_level);
+fn run_with(threads: usize, prof_level: ProfLevel, block_cells: usize) -> (RunResult, Recorder) {
+    let mut driver = build_driver_for(1, threads, prof_level, block_cells);
     driver.initialize(ic::multi_blob(0.9, 0.002, 3));
+    take_face_counts(); // discard initialization's face evaluations
     let t0 = Instant::now();
     let summaries = driver.run_cycles(CYCLES);
     let wall_s = t0.elapsed().as_secs_f64();
+    let (lane_faces, tail_faces) = take_face_counts();
     let zone_cycles = driver.recorder().totals().cell_updates;
     let result = RunResult {
         threads,
@@ -145,6 +153,8 @@ fn run(threads: usize, prof_level: ProfLevel) -> (RunResult, Recorder) {
             .iter()
             .map(|s| s.timing.overlapped_compute_ns)
             .sum(),
+        lane_faces,
+        tail_faces,
     };
     (result, driver.into_recorder())
 }
@@ -331,6 +341,74 @@ fn main() {
         )
     );
 
+    // SIMD vector share, measured vs modeled, across block sizes: the lane
+    // sweep's face counters give the real fraction of flux faces evaluated
+    // in full lane bundles, compared against the opcode model's fitted
+    // vector efficiency (the Fig. 13 B16-vs-B32 remainder cliff). B16 is
+    // taken from the serial timing run above; other sizes are serial
+    // reruns of the same mesh.
+    struct SweepEntry {
+        block_cells: usize,
+        wall_s: f64,
+        fom: f64,
+        lane_faces: u64,
+        tail_faces: u64,
+        fingerprint: u64,
+    }
+    let mut sweep = Vec::new();
+    if let Some(r) = results.iter().find(|r| r.threads == 1) {
+        sweep.push(SweepEntry {
+            block_cells: BLOCK_CELLS,
+            wall_s: r.wall_s,
+            fom: r.fom,
+            lane_faces: r.lane_faces,
+            tail_faces: r.tail_faces,
+            fingerprint: r.fingerprint,
+        });
+    }
+    {
+        let block = 32usize;
+        eprintln!("probe: block-size sweep, B{block}, serial ...");
+        let (r, _) = run_with(1, ProfLevel::Off, block);
+        eprintln!(
+            "  wall {:.3}s, FOM {:.3e} zc/s, fp {:016x}",
+            r.wall_s, r.fom, r.fingerprint
+        );
+        sweep.push(SweepEntry {
+            block_cells: block,
+            wall_s: r.wall_s,
+            fom: r.fom,
+            lane_faces: r.lane_faces,
+            tail_faces: r.tail_faces,
+            fingerprint: r.fingerprint,
+        });
+    }
+    println!("== SIMD vector share: measured (lane face counters) vs modeled (opcode fit) ==");
+    let rows: Vec<Vec<String>> = sweep
+        .iter()
+        .map(|e| {
+            vec![
+                format!("B{}", e.block_cells),
+                format!("{:.3}", e.wall_s),
+                vibe_bench::sci(e.fom),
+                format!(
+                    "{:.1}%",
+                    measured_vector_share(e.lane_faces, e.tail_faces) * 100.0
+                ),
+                format!("{:.1}%", vector_efficiency(e.block_cells) * 100.0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        vibe_bench::format_table(
+            &["block", "wall(s)", "FOM(zc/s)", "measured", "modeled"],
+            &rows
+        )
+    );
+    println!("measured: serial cycling loop; larger blocks leave fewer sub-bundle exterior bands, raising the lane share");
+    println!();
+
     let identical = results
         .windows(2)
         .all(|w| w[0].fingerprint == w[1].fingerprint && w[0].zone_cycles == w[1].zone_cycles);
@@ -393,6 +471,22 @@ fn main() {
             rank_base_wall / r.wall_s,
             r.fingerprint,
             if i + 1 < rank_runs.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"block_size_sweep\": [\n");
+    for (i, e) in sweep.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"block_cells\": {}, \"wall_s\": {:.6}, \"fom_zone_cycles_per_s\": {:.1}, \"lane_faces\": {}, \"tail_faces\": {}, \"measured_vector_share\": {:.4}, \"modeled_vector_efficiency\": {:.4}, \"state_fingerprint\": \"{:016x}\"}}{}\n",
+            e.block_cells,
+            e.wall_s,
+            e.fom,
+            e.lane_faces,
+            e.tail_faces,
+            measured_vector_share(e.lane_faces, e.tail_faces),
+            vector_efficiency(e.block_cells),
+            e.fingerprint,
+            if i + 1 < sweep.len() { "," } else { "" }
         ));
     }
     json.push_str("  ],\n");

@@ -10,7 +10,7 @@
 //! DESIGN.md), then evaluates the recorded workload against the H100/SPR
 //! platform models.
 
-use vibe_burgers::{ic, BurgersPackage, BurgersParams};
+use vibe_burgers::{ic, BurgersPackage, BurgersParams, FluxBackend};
 use vibe_comm::CommEvent;
 use vibe_core::{CycleSummary, Driver, DriverParams, Package};
 use vibe_field::PackStrategy;
@@ -43,6 +43,9 @@ pub struct WorkloadSpec {
     pub host_threads: usize,
     /// Wall-clock instrumentation level (never affects results).
     pub prof_level: ProfLevel,
+    /// Flux-sweep execution backend (never affects results; see
+    /// `simd_gate`).
+    pub flux_backend: FluxBackend,
 }
 
 impl Default for WorkloadSpec {
@@ -63,6 +66,7 @@ impl Default for WorkloadSpec {
             pack_strategy: PackStrategy::StringKeyed,
             host_threads: 1,
             prof_level: ProfLevel::Off,
+            flux_backend: FluxBackend::default(),
         }
     }
 }
@@ -116,6 +120,7 @@ pub fn build_workload_replica(spec: &WorkloadSpec) -> Driver<BurgersPackage> {
         num_scalars: spec.num_scalars,
         refine_tol: spec.refine_tol,
         deref_tol: spec.refine_tol * 0.25,
+        flux_backend: spec.flux_backend,
         ..BurgersParams::default()
     });
     let mut driver = Driver::new(

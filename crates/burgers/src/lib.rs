@@ -40,9 +40,14 @@ pub mod ic;
 pub mod package;
 pub mod recon;
 pub mod riemann;
+pub mod simd;
 pub mod verify;
 
-pub use package::{BurgersPackage, BurgersParams, Reconstruction};
-pub use recon::{reconstruct_linear, reconstruct_weno5, weno5_left};
-pub use riemann::hll_flux;
+pub use package::{BurgersPackage, BurgersParams, FluxBackend, Reconstruction};
+pub use recon::{
+    reconstruct_linear, reconstruct_linear_lanes, reconstruct_weno5, reconstruct_weno5_lanes,
+    weno5_left, weno5_left_lanes,
+};
+pub use riemann::{hll_flux, hll_flux_lanes};
+pub use simd::{face_counts, take_face_counts};
 pub use verify::{advection_l1_error, convergence_order};

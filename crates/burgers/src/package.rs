@@ -7,8 +7,11 @@ use vibe_mesh::index::IndexDomain;
 use vibe_mesh::AmrFlag;
 use vibe_prof::Recorder;
 
+use vibe_field::F64Lanes;
+
 use crate::recon::{reconstruct_linear, reconstruct_weno5};
 use crate::riemann::hll_flux;
+use crate::simd;
 
 /// Interface reconstruction scheme.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -18,6 +21,70 @@ pub enum Reconstruction {
     Weno5,
     /// Slope-limited linear (needs ≥2 ghosts).
     Linear,
+}
+
+/// Which implementation executes the flux pipeline (and the wavespeed
+/// reduction in `estimate_dt`). All backends are bitwise identical — the
+/// scalar path is the oracle the lane paths are gated against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FluxBackend {
+    /// Lane-batched SIMD sweep at the width the kernel microbenchmarks
+    /// favor: four lanes (one 256-bit register per bundle — WENO5 holds
+    /// ~15 values live, which fits the 16-register ymm file without
+    /// spills), scalar on degenerate blocks under 4 interior cells.
+    Auto,
+    /// Force eight-wide lanes. One AVX-512 register per bundle when the
+    /// build allows 512-bit vectors (`-C target-feature=-prefer-256-bit`);
+    /// under default 256-bit codegen each bundle is two ymm registers and
+    /// WENO5 spills, making this *slower* than `Lanes4`.
+    Lanes8,
+    /// Force four-wide lanes (one AVX2/ymm register per bundle).
+    Lanes4,
+    /// Scalar reference path.
+    Scalar,
+}
+
+impl FluxBackend {
+    /// Reads the runtime switch `VIBE_FLUX_BACKEND` (`scalar`, `lanes8`/
+    /// `w8`, `lanes4`/`w4`, `auto`). Unset or unrecognized values mean
+    /// [`FluxBackend::Auto`].
+    pub fn from_env() -> Self {
+        match std::env::var("VIBE_FLUX_BACKEND").as_deref() {
+            Ok("scalar") => Self::Scalar,
+            Ok("lanes8") | Ok("w8") => Self::Lanes8,
+            Ok("lanes4") | Ok("w4") => Self::Lanes4,
+            _ => Self::Auto,
+        }
+    }
+
+    /// Lane width this backend uses on a block whose unit-stride interior
+    /// is `n_i` cells; 0 selects the scalar path.
+    fn width(self, n_i: usize) -> usize {
+        match self {
+            Self::Scalar => 0,
+            Self::Lanes8 => 8,
+            Self::Lanes4 => 4,
+            Self::Auto => {
+                if n_i >= 4 {
+                    4
+                } else {
+                    0
+                }
+            }
+        }
+    }
+}
+
+impl Default for FluxBackend {
+    /// The `scalar-flux` cargo feature pins the scalar path; otherwise the
+    /// `VIBE_FLUX_BACKEND` environment variable decides (default `Auto`).
+    fn default() -> Self {
+        if cfg!(feature = "scalar-flux") {
+            Self::Scalar
+        } else {
+            Self::from_env()
+        }
+    }
 }
 
 /// Burgers benchmark parameters.
@@ -31,6 +98,8 @@ pub struct BurgersParams {
     pub refine_tol: f64,
     /// First-derivative magnitude below which a block derefines.
     pub deref_tol: f64,
+    /// Flux-pipeline implementation (scalar oracle or lane-batched SIMD).
+    pub flux_backend: FluxBackend,
 }
 
 impl Default for BurgersParams {
@@ -40,8 +109,102 @@ impl Default for BurgersParams {
             recon: Reconstruction::Weno5,
             refine_tol: 0.08,
             deref_tol: 0.02,
+            flux_backend: FluxBackend::default(),
         }
     }
+}
+
+/// Splits the `n + 1` faces along one dimension into the ghost-independent
+/// interior band `lo_end..hi_start` and its exterior complement, for a
+/// reconstruction stencil reaching `m` cells to either side of a face. A
+/// face `f` reconstructs from cells `f - m ..= f + m - 1` (relative to the
+/// first interior cell), so exactly the faces in `m..=n - m` read no ghost
+/// data. Degenerate blocks (`n < 2m`) get an empty interior band; every
+/// face is then exterior.
+pub(crate) fn face_bands_for(m: usize, n: usize) -> (usize, usize) {
+    let faces = n + 1;
+    let lo_end = m.min(faces);
+    let hi_start = faces.saturating_sub(m).max(lo_end);
+    (lo_end, hi_start)
+}
+
+/// Minimum CFL candidate `inv / |u_d|` over one block's interior, scalar
+/// sweep — the oracle for [`block_dt_min_lanes`].
+#[allow(clippy::too_many_arguments)]
+fn block_dt_min_scalar(
+    us: &[f64],
+    comp: usize,
+    ey: usize,
+    ex: usize,
+    iy: vibe_mesh::index::IndexRange,
+    iz: vibe_mesh::index::IndexRange,
+    i0: usize,
+    n: usize,
+    dx: &[f64],
+    dim: usize,
+) -> f64 {
+    let mut block_min = f64::INFINITY;
+    for (d, &inv) in dx.iter().enumerate().take(dim) {
+        for k in iz.iter() {
+            for j in iy.iter() {
+                let row = d * comp + ((k as usize * ey) + j as usize) * ex + i0;
+                for &v in &us[row..row + n] {
+                    let speed = v.abs();
+                    if speed > 1e-12 {
+                        block_min = block_min.min(inv / speed);
+                    }
+                }
+            }
+        }
+    }
+    block_min
+}
+
+/// Lane-batched [`block_dt_min_scalar`]: `W` wavespeed candidates per
+/// iteration, accumulated into a lane-wise running minimum and tree-reduced
+/// at the end. The quotient is evaluated unconditionally and sub-threshold
+/// lanes are masked to `+inf`, so the surviving candidate set is exactly
+/// the scalar path's; `min` over a non-NaN set is order-independent, which
+/// makes the result bitwise identical to the sequential fold.
+#[allow(clippy::too_many_arguments)]
+fn block_dt_min_lanes<const W: usize>(
+    us: &[f64],
+    comp: usize,
+    ey: usize,
+    ex: usize,
+    iy: vibe_mesh::index::IndexRange,
+    iz: vibe_mesh::index::IndexRange,
+    i0: usize,
+    n: usize,
+    dx: &[f64],
+    dim: usize,
+) -> f64 {
+    let mut block_min = f64::INFINITY;
+    let mut acc = F64Lanes::<W>::splat(f64::INFINITY);
+    let tiny = F64Lanes::<W>::splat(1e-12);
+    let inf = F64Lanes::<W>::splat(f64::INFINITY);
+    for (d, &inv) in dx.iter().enumerate().take(dim) {
+        let invl = F64Lanes::<W>::splat(inv);
+        for k in iz.iter() {
+            for j in iy.iter() {
+                let row = d * comp + ((k as usize * ey) + j as usize) * ex + i0;
+                let r = &us[row..row + n];
+                let mut t = 0;
+                while t + W <= n {
+                    let speed = F64Lanes::<W>::load(&r[t..t + W]).abs();
+                    acc = acc.min(speed.gt(tiny).select(invl / speed, inf));
+                    t += W;
+                }
+                for &v in &r[t..] {
+                    let speed = v.abs();
+                    if speed > 1e-12 {
+                        block_min = block_min.min(inv / speed);
+                    }
+                }
+            }
+        }
+    }
+    block_min.min(acc.reduce_min())
 }
 
 /// The Parthenon-VIBE package: vector inviscid Burgers + passive scalars.
@@ -78,18 +241,9 @@ impl BurgersPackage {
         }
     }
 
-    /// Splits the `n + 1` faces along one dimension into the
-    /// ghost-independent interior band `lo_end..hi_start` and its exterior
-    /// complement. A face `f` reconstructs from cells `f - m ..= f + m - 1`
-    /// (relative to the first interior cell), so exactly the faces in
-    /// `m..=n - m` read no ghost data. Degenerate blocks (`n < 2m`) get an
-    /// empty interior band; every face is then exterior.
+    /// See [`face_bands_for`], with this package's stencil radius.
     fn face_bands(&self, n: usize) -> (usize, usize) {
-        let faces = n + 1;
-        let m = self.stencil_radius();
-        let lo_end = m.min(faces);
-        let hi_start = faces.saturating_sub(m).max(lo_end);
-        (lo_end, hi_start)
+        face_bands_for(self.stencil_radius(), n)
     }
 
     /// Computes all face fluxes of one block via reconstruction + HLL.
@@ -98,13 +252,37 @@ impl BurgersPackage {
     }
 
     /// Computes the face fluxes of one block, restricted to one
-    /// [`FluxPhase`] band (`None` sweeps every face). The same kernel runs
-    /// either way, so the two phases together are bitwise identical to the
-    /// full sweep.
+    /// [`FluxPhase`] band (`None` sweeps every face), dispatching to the
+    /// backend [`BurgersParams::flux_backend`] selects. Every backend is
+    /// bitwise identical, so the choice never changes results — only how
+    /// many faces run through lane bundles vs the scalar kernels.
+    fn block_fluxes_banded(&self, slot: &mut BlockSlot, phase: Option<FluxPhase>) {
+        let n_i = slot.data.shape().range(0, IndexDomain::Interior).len();
+        let ns = self.params.num_scalars;
+        match (self.params.flux_backend.width(n_i), self.params.recon) {
+            (8, Reconstruction::Weno5) => {
+                simd::block_fluxes_lanes::<simd::Weno5Kernel, 8>(slot, ns, phase);
+            }
+            (8, Reconstruction::Linear) => {
+                simd::block_fluxes_lanes::<simd::LinearKernel, 8>(slot, ns, phase);
+            }
+            (4, Reconstruction::Weno5) => {
+                simd::block_fluxes_lanes::<simd::Weno5Kernel, 4>(slot, ns, phase);
+            }
+            (4, Reconstruction::Linear) => {
+                simd::block_fluxes_lanes::<simd::LinearKernel, 4>(slot, ns, phase);
+            }
+            _ => self.block_fluxes_scalar(slot, phase),
+        }
+    }
+
+    /// Scalar reference sweep — the oracle the lane backends are gated
+    /// against. Computes the same face band(s) as
+    /// [`Self::block_fluxes_banded`], one face at a time.
     ///
     /// Hot path: all access goes through precomputed strides over the raw
     /// slices, sweeping contiguous lines along the face-normal dimension.
-    fn block_fluxes_banded(&self, slot: &mut BlockSlot, phase: Option<FluxPhase>) {
+    fn block_fluxes_scalar(&self, slot: &mut BlockSlot, phase: Option<FluxPhase>) {
         let shape = *slot.data.shape();
         let dim = shape.dim();
         let ns = self.params.num_scalars;
@@ -344,8 +522,10 @@ impl Package for BurgersPackage {
         let iy = shape.range(1, IndexDomain::Interior);
         let iz = shape.range(2, IndexDomain::Interior);
         let (i0, n) = (ix.s as usize, ix.len());
+        let width = self.params.flux_backend.width(n);
         // Per-block minima folded in pack order (min is exact, so this is
-        // bitwise identical to the serial sweep at any thread count).
+        // bitwise identical to the serial sweep at any thread count — and,
+        // by the argument on `block_dt_min_lanes`, at any lane width).
         exec.map_blocks(pack, |_, slot| {
             let (uid, ..) = Self::ids(&mut slot.data);
             let dx = slot.info.geom.dx();
@@ -353,21 +533,11 @@ impl Package for BurgersPackage {
             let [_, ez, ey, ex] = u.shape();
             let comp = ez * ey * ex;
             let us = u.as_slice();
-            let mut block_min = f64::INFINITY;
-            for (d, &inv) in dx.iter().enumerate().take(dim) {
-                for k in iz.iter() {
-                    for j in iy.iter() {
-                        let row = d * comp + ((k as usize * ey) + j as usize) * ex + i0;
-                        for &v in &us[row..row + n] {
-                            let speed = v.abs();
-                            if speed > 1e-12 {
-                                block_min = block_min.min(inv / speed);
-                            }
-                        }
-                    }
-                }
+            match width {
+                8 => block_dt_min_lanes::<8>(us, comp, ey, ex, iy, iz, i0, n, &dx, dim),
+                4 => block_dt_min_lanes::<4>(us, comp, ey, ex, iy, iz, i0, n, &dx, dim),
+                _ => block_dt_min_scalar(us, comp, ey, ex, iy, iz, i0, n, &dx, dim),
             }
-            block_min
         })
         .into_iter()
         .fold(f64::INFINITY, f64::min)
@@ -525,6 +695,7 @@ mod tests {
             recon,
             refine_tol: 1e9, // uniform for 1D accuracy tests
             deref_tol: 0.0,
+            ..BurgersParams::default()
         };
         let mut d = Driver::new(
             mesh_1d(64, 16),

@@ -1,7 +1,12 @@
 //! Interface reconstruction: fifth-order WENO (Jiang–Shu) and slope-limited
-//! linear schemes.
+//! linear schemes, in scalar (one face) and lane-batched (`W` independent
+//! faces) forms.
+//!
+//! The lane kernels execute exactly the same f64 operation sequence per lane
+//! as the scalar kernels, so their results are bitwise identical — the
+//! scalar path remains the oracle for the SIMD flux pipeline.
 
-use vibe_field::minmod;
+use vibe_field::{minmod, minmod_lanes, F64Lanes};
 
 const WENO_EPS: f64 = 1e-6;
 
@@ -56,6 +61,55 @@ pub fn reconstruct_linear(q: &[f64; 4]) -> (f64, f64) {
     let slope_l = minmod(q[2] - q[1], q[1] - q[0]);
     let slope_r = minmod(q[3] - q[2], q[2] - q[1]);
     (q[1] + 0.5 * slope_l, q[2] - 0.5 * slope_r)
+}
+
+/// Lane-batched [`weno5_left`]: reconstructs `W` independent faces at once.
+/// Lane `t` of the result is bitwise identical to
+/// `weno5_left(&[q[0].0[t], …, q[4].0[t]])` — the operation sequence is the
+/// scalar kernel's, applied elementwise.
+#[inline(always)]
+pub fn weno5_left_lanes<const W: usize>(q: &[F64Lanes<W>; 5]) -> F64Lanes<W> {
+    let p0 = (q[0] * 2.0 - q[1] * 7.0 + q[2] * 11.0) / F64Lanes::splat(6.0);
+    let p1 = (-q[1] + q[2] * 5.0 + q[3] * 2.0) / F64Lanes::splat(6.0);
+    let p2 = (q[2] * 2.0 + q[3] * 5.0 - q[4]) / F64Lanes::splat(6.0);
+    let s0 = q[0] - q[1] * 2.0 + q[2];
+    let s1 = q[0] - q[1] * 4.0 + q[2] * 3.0;
+    let b0 = s0 * s0 * (13.0 / 12.0) + s1 * s1 * 0.25;
+    let s2 = q[1] - q[2] * 2.0 + q[3];
+    let s3 = q[1] - q[3];
+    let b1 = s2 * s2 * (13.0 / 12.0) + s3 * s3 * 0.25;
+    let s4 = q[2] - q[3] * 2.0 + q[4];
+    let s5 = q[2] * 3.0 - q[3] * 4.0 + q[4];
+    let b2 = s4 * s4 * (13.0 / 12.0) + s5 * s5 * 0.25;
+    let eps = F64Lanes::splat(WENO_EPS);
+    let t0 = (eps + b0) * (eps + b0);
+    let t1 = (eps + b1) * (eps + b1);
+    let t2 = (eps + b2) * (eps + b2);
+    let a0 = t1 * 0.1 * t2;
+    let a1 = t0 * 0.6 * t2;
+    let a2 = t0 * 0.3 * t1;
+    (a0 * p0 + a1 * p1 + a2 * p2) / (a0 + a1 + a2)
+}
+
+/// Lane-batched [`reconstruct_weno5`]: left/right interface states for `W`
+/// independent faces, each lane bitwise identical to the scalar kernel.
+#[inline(always)]
+pub fn reconstruct_weno5_lanes<const W: usize>(q: &[F64Lanes<W>; 6]) -> (F64Lanes<W>, F64Lanes<W>) {
+    let left = weno5_left_lanes(&[q[0], q[1], q[2], q[3], q[4]]);
+    let mirrored = [q[5], q[4], q[3], q[2], q[1]];
+    let right = weno5_left_lanes(&mirrored);
+    (left, right)
+}
+
+/// Lane-batched [`reconstruct_linear`], each lane bitwise identical to the
+/// scalar kernel.
+#[inline(always)]
+pub fn reconstruct_linear_lanes<const W: usize>(
+    q: &[F64Lanes<W>; 4],
+) -> (F64Lanes<W>, F64Lanes<W>) {
+    let slope_l = minmod_lanes(q[2] - q[1], q[1] - q[0]);
+    let slope_r = minmod_lanes(q[3] - q[2], q[2] - q[1]);
+    (q[1] + slope_l * 0.5, q[2] - slope_r * 0.5)
 }
 
 #[cfg(test)]
@@ -125,5 +179,43 @@ mod tests {
         assert!((0.0..=1.0).contains(&l));
         assert!((0.0..=1.0).contains(&r));
         assert!(l <= r);
+    }
+
+    #[test]
+    fn lane_weno5_bitwise_matches_scalar() {
+        // Four distinct stencils across the lanes, including a plateau and
+        // a discontinuity.
+        let stencils: [[f64; 6]; 4] = [
+            [0.1, 0.7, -0.3, 2.5, 1.1, 0.4],
+            [3.0, 3.0, 3.0, 3.0, 3.0, 3.0],
+            [0.0, 0.0, 0.0, 1.0, 1.0, 1.0],
+            [1e-9, -1e9, 5.0, 0.3, -2.2, 7.7],
+        ];
+        let q: [F64Lanes<4>; 6] =
+            std::array::from_fn(|s| F64Lanes(std::array::from_fn(|t| stencils[t][s])));
+        let (l, r) = reconstruct_weno5_lanes(&q);
+        for (t, stencil) in stencils.iter().enumerate() {
+            let (sl, sr) = reconstruct_weno5(stencil);
+            assert_eq!(l.0[t].to_bits(), sl.to_bits(), "left lane {t}");
+            assert_eq!(r.0[t].to_bits(), sr.to_bits(), "right lane {t}");
+        }
+    }
+
+    #[test]
+    fn lane_linear_bitwise_matches_scalar() {
+        let stencils: [[f64; 4]; 4] = [
+            [1.0, 2.0, 3.0, 4.0],
+            [0.0, 2.0, 2.0, 0.0],
+            [0.0, 0.0, 1.0, 1.0],
+            [-5.0, 3.0, -1.0, 0.25],
+        ];
+        let q: [F64Lanes<4>; 4] =
+            std::array::from_fn(|s| F64Lanes(std::array::from_fn(|t| stencils[t][s])));
+        let (l, r) = reconstruct_linear_lanes(&q);
+        for (t, stencil) in stencils.iter().enumerate() {
+            let (sl, sr) = reconstruct_linear(stencil);
+            assert_eq!(l.0[t].to_bits(), sl.to_bits(), "left lane {t}");
+            assert_eq!(r.0[t].to_bits(), sr.to_bits(), "right lane {t}");
+        }
     }
 }

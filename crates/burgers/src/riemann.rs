@@ -1,4 +1,7 @@
-//! The HLL approximate Riemann solver for the vector Burgers system.
+//! The HLL approximate Riemann solver for the vector Burgers system, in
+//! scalar (one face) and lane-batched (`W` independent faces) forms.
+
+use vibe_field::F64Lanes;
 
 /// Maximum supported component count (3 velocity + 29 scalars), allowing
 /// the solver to use stack scratch space on the per-face hot path.
@@ -69,6 +72,85 @@ pub fn hll_flux(
             (q_l[i - 3], q_r[i - 3])
         };
         out[i] = (sr * f_l[i] - sl * f_r[i] + sl * sr * (ur_i - ul_i)) * inv;
+    }
+}
+
+/// Lane-batched [`physical_flux`]: `W` independent faces per lane. Lane `t`
+/// is bitwise identical to the scalar kernel on that face's state.
+#[inline(always)]
+pub fn physical_flux_lanes<const W: usize>(
+    u: &[F64Lanes<W>; 3],
+    q: &[F64Lanes<W>],
+    d: usize,
+    out: &mut [F64Lanes<W>],
+) {
+    let ud = u[d];
+    // Scalar computes `0.5 * ud * u[i]`, i.e. `(0.5 * ud) * u[i]`;
+    // multiplication is commutative bitwise, so `ud * 0.5` matches.
+    let half_ud = ud * 0.5;
+    for i in 0..3 {
+        out[i] = half_ud * u[i];
+    }
+    for (i, &qi) in q.iter().enumerate() {
+        out[3 + i] = qi * ud;
+    }
+}
+
+/// Lane-batched [`hll_flux`]: `W` independent faces solved at once,
+/// branch-free. The scalar solver's three-way branch on the signal speeds
+/// becomes a per-lane select over the same three candidate values, so lane
+/// `t` of every output component is bitwise identical to the scalar solver
+/// on that face. The blended candidate may divide by zero on lanes where
+/// both signal speeds vanish; those lanes select the upwind flux and the
+/// garbage is discarded.
+///
+/// # Panics
+///
+/// Panics if `out` is shorter than `3 + q_l.len()` or the scalar slices
+/// disagree in length.
+#[inline]
+pub fn hll_flux_lanes<const W: usize>(
+    u_l: &[F64Lanes<W>; 3],
+    q_l: &[F64Lanes<W>],
+    u_r: &[F64Lanes<W>; 3],
+    q_r: &[F64Lanes<W>],
+    d: usize,
+    out: &mut [F64Lanes<W>],
+) {
+    assert_eq!(q_l.len(), q_r.len(), "scalar count mismatch");
+    let n = 3 + q_l.len();
+    assert!(out.len() >= n, "output buffer too short");
+    assert!(
+        n <= MAX_COMPONENTS,
+        "at most {} components",
+        MAX_COMPONENTS - 3
+    );
+    let zero = F64Lanes::splat(0.0);
+    let sl = u_l[d].min(u_r[d]).min(zero);
+    let sr = u_l[d].max(u_r[d]).max(zero);
+
+    let take_l = sl.ge(zero);
+    let take_r = sr.le(zero);
+    let inv = F64Lanes::splat(1.0) / (sr - sl);
+    let slsr = sl * sr;
+    // Physical fluxes are formed per component on the fly (no scratch
+    // arrays on this per-bundle path), with the scalar kernel's operation
+    // order: `0.5 * ud` then `· u[i]` for velocities, `q[i] * ud` for
+    // scalars — multiplication commutativity keeps each bitwise identical
+    // to [`physical_flux`].
+    let half_l = u_l[d] * 0.5;
+    let half_r = u_r[d] * 0.5;
+    let ud_l = u_l[d];
+    let ud_r = u_r[d];
+    for i in 0..n {
+        let (ul_i, ur_i, fl_i, fr_i) = if i < 3 {
+            (u_l[i], u_r[i], half_l * u_l[i], half_r * u_r[i])
+        } else {
+            let (ql_i, qr_i) = (q_l[i - 3], q_r[i - 3]);
+            (ql_i, qr_i, ql_i * ud_l, qr_i * ud_r)
+        };
+        let blend = (sr * fl_i - sl * fr_i + slsr * (ur_i - ul_i)) * inv;
+        out[i] = take_l.select(fl_i, take_r.select(fr_i, blend));
     }
 }
 
@@ -151,5 +233,82 @@ mod tests {
         hll_flux(&u, &[], &u, &[], 1, &mut f);
         assert!((f[1] - 0.5 * 9.0).abs() < 1e-14);
         assert_eq!(f[0], 0.0);
+    }
+
+    /// Gathers lane `t` of per-face states into the scalar solver and
+    /// compares every component bitwise against the lane solver.
+    fn assert_lanes_match_scalar<const W: usize>(
+        ul: [[f64; 3]; W],
+        ur: [[f64; 3]; W],
+        ql: [[f64; 2]; W],
+        qr: [[f64; 2]; W],
+        d: usize,
+    ) {
+        let lul: [F64Lanes<W>; 3] =
+            std::array::from_fn(|c| F64Lanes(std::array::from_fn(|t| ul[t][c])));
+        let lur: [F64Lanes<W>; 3] =
+            std::array::from_fn(|c| F64Lanes(std::array::from_fn(|t| ur[t][c])));
+        let lql: [F64Lanes<W>; 2] =
+            std::array::from_fn(|c| F64Lanes(std::array::from_fn(|t| ql[t][c])));
+        let lqr: [F64Lanes<W>; 2] =
+            std::array::from_fn(|c| F64Lanes(std::array::from_fn(|t| qr[t][c])));
+        let mut lout = [F64Lanes::splat(0.0); 5];
+        hll_flux_lanes(&lul, &lql, &lur, &lqr, d, &mut lout);
+        for t in 0..W {
+            let mut sout = [0.0f64; 5];
+            hll_flux(&ul[t], &ql[t], &ur[t], &qr[t], d, &mut sout);
+            for c in 0..5 {
+                assert_eq!(
+                    lout[c].0[t].to_bits(),
+                    sout[c].to_bits(),
+                    "lane {t} comp {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lane_hll_bitwise_matches_scalar_across_regimes() {
+        // One lane per flux regime: supersonic right, supersonic left,
+        // subsonic fan, and a fully stagnant face (sl == sr == 0, where the
+        // lane solver's blended candidate divides by zero and is masked).
+        let ul = [
+            [2.0, 0.3, -0.1],
+            [-1.0, 0.5, 0.2],
+            [-1.0, 0.1, 0.9],
+            [0.0, 0.0, 0.0],
+        ];
+        let ur = [
+            [1.0, -0.2, 0.4],
+            [-2.0, 0.0, 0.0],
+            [1.0, -0.6, 0.3],
+            [0.0, 0.0, 0.0],
+        ];
+        let ql = [[1.0, 2.0], [0.5, -0.5], [3.0, 0.0], [1.5, 2.5]];
+        let qr = [[2.0, 1.0], [1.5, 0.5], [0.0, 3.0], [2.5, 1.5]];
+        for d in 0..3 {
+            assert_lanes_match_scalar::<4>(ul, ur, ql, qr, d);
+        }
+    }
+
+    #[test]
+    fn lane_physical_flux_matches_scalar() {
+        let u = [[1.2, -0.4, 2.0], [0.0, 3.0, -1.0]];
+        let q = [[5.0, 0.25], [-2.0, 1.0]];
+        let lu: [F64Lanes<2>; 3] =
+            std::array::from_fn(|c| F64Lanes(std::array::from_fn(|t| u[t][c])));
+        let lq: [F64Lanes<2>; 2] =
+            std::array::from_fn(|c| F64Lanes(std::array::from_fn(|t| q[t][c])));
+        for d in 0..3 {
+            let mut lout = [F64Lanes::splat(0.0); 5];
+            physical_flux_lanes(&lu, &lq, d, &mut lout);
+            for t in 0..2 {
+                let mut sout = [0.0f64; 5];
+                physical_flux(&u[t], &q[t], d, &mut sout);
+                for c in 0..5 {
+                    assert_eq!(lout[c].0[t].to_bits(), sout[c].to_bits());
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,186 @@
+//! Property tests for the SIMD lane kernels: over randomized states, every
+//! lane of the W-wide WENO5 / linear-reconstruction / HLL kernels must be
+//! *bitwise* equal to the scalar kernel applied to that lane's inputs, and
+//! whole-run results must be backend-independent.
+//!
+//! Randomness comes from a hand-rolled xorshift64* generator (the offline
+//! build has no property-testing crate); failures print the seed so a case
+//! can be replayed by pinning it.
+
+use vibe_burgers::{
+    hll_flux, hll_flux_lanes, ic, reconstruct_linear, reconstruct_linear_lanes, reconstruct_weno5,
+    reconstruct_weno5_lanes, weno5_left, weno5_left_lanes, BurgersPackage, BurgersParams,
+    FluxBackend,
+};
+use vibe_core::{fingerprint_slots, Driver, DriverParams};
+use vibe_field::F64Lanes;
+use vibe_mesh::{Mesh, MeshParams};
+
+/// xorshift64* — deterministic, seedable, dependency-free.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform in [-1, 1).
+    fn signed(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+    }
+
+    /// A cell value from one of several regimes: smooth around a base,
+    /// a jump, an exact plateau, or near-zero (stagnant-wave territory).
+    fn cell(&mut self, base: f64) -> f64 {
+        match self.next_u64() % 4 {
+            0 => base + 0.1 * self.signed(),
+            1 => base + 2.0 * self.signed(),
+            2 => base,
+            _ => 1e-14 * self.signed(),
+        }
+    }
+}
+
+fn assert_bits(lane: f64, scalar: f64, what: &str, seed: u64) {
+    assert_eq!(
+        lane.to_bits(),
+        scalar.to_bits(),
+        "{what} diverged (seed {seed}): lane {lane:e} vs scalar {scalar:e}"
+    );
+}
+
+/// Gathers lane `l` of each bundle into a scalar stencil.
+fn lane_stencil<const W: usize, const N: usize>(q: &[F64Lanes<W>; N], l: usize) -> [f64; N] {
+    std::array::from_fn(|j| q[j].lane(l))
+}
+
+fn recon_parity<const W: usize>(seed: u64) {
+    let mut rng = Rng::new(seed);
+    for _ in 0..500 {
+        let base = 1.0 + rng.signed();
+        let q6: [F64Lanes<W>; 6] = std::array::from_fn(|_| F64Lanes::from_fn(|_| rng.cell(base)));
+        let (l6, r6) = reconstruct_weno5_lanes(&q6);
+        let q5: [F64Lanes<W>; 5] = std::array::from_fn(|j| q6[j]);
+        let left5 = weno5_left_lanes(&q5);
+        let q4: [F64Lanes<W>; 4] = std::array::from_fn(|j| q6[j]);
+        let (l4, r4) = reconstruct_linear_lanes(&q4);
+        for lane in 0..W {
+            let s6 = lane_stencil(&q6, lane);
+            let (sl, sr) = reconstruct_weno5(&s6);
+            assert_bits(l6.lane(lane), sl, "weno5 left state", seed);
+            assert_bits(r6.lane(lane), sr, "weno5 right state", seed);
+            let s5 = lane_stencil(&q5, lane);
+            assert_bits(left5.lane(lane), weno5_left(&s5), "weno5_left", seed);
+            let s4 = lane_stencil(&q4, lane);
+            let (sl, sr) = reconstruct_linear(&s4);
+            assert_bits(l4.lane(lane), sl, "linear left state", seed);
+            assert_bits(r4.lane(lane), sr, "linear right state", seed);
+        }
+    }
+}
+
+#[test]
+fn reconstruction_lane_scalar_parity_w4() {
+    recon_parity::<4>(0x9e3779b97f4a7c15);
+}
+
+#[test]
+fn reconstruction_lane_scalar_parity_w8() {
+    recon_parity::<8>(0xd1b54a32d192ed03);
+}
+
+fn hll_parity<const W: usize>(seed: u64) {
+    const NS: usize = 3;
+    let mut rng = Rng::new(seed);
+    for case in 0..500 {
+        // Force distinct wave regimes: supersonic right/left, transonic,
+        // and (per rng.cell) stagnant lanes with near-zero speeds.
+        let shift = match case % 3 {
+            0 => 2.0,
+            1 => -2.0,
+            _ => 0.0,
+        };
+        let gen = |rng: &mut Rng, base: f64| -> F64Lanes<W> {
+            F64Lanes::from_fn(|_| rng.cell(base) + shift)
+        };
+        let u_l: [F64Lanes<W>; 3] = std::array::from_fn(|_| gen(&mut rng, 0.5));
+        let u_r: [F64Lanes<W>; 3] = std::array::from_fn(|_| gen(&mut rng, -0.5));
+        let q_l: [F64Lanes<W>; NS] = std::array::from_fn(|_| gen(&mut rng, 1.0));
+        let q_r: [F64Lanes<W>; NS] = std::array::from_fn(|_| gen(&mut rng, 1.5));
+        for d in 0..3 {
+            let mut lanes_out = [F64Lanes::<W>::splat(0.0); 3 + NS];
+            hll_flux_lanes(&u_l, &q_l, &u_r, &q_r, d, &mut lanes_out);
+            for lane in 0..W {
+                let sul: [f64; 3] = std::array::from_fn(|c| u_l[c].lane(lane));
+                let sur: [f64; 3] = std::array::from_fn(|c| u_r[c].lane(lane));
+                let sql: [f64; NS] = std::array::from_fn(|s| q_l[s].lane(lane));
+                let sqr: [f64; NS] = std::array::from_fn(|s| q_r[s].lane(lane));
+                let mut scalar_out = [0.0f64; 3 + NS];
+                hll_flux(&sul, &sql, &sur, &sqr, d, &mut scalar_out);
+                for (c, &sv) in scalar_out.iter().enumerate() {
+                    assert_bits(lanes_out[c].lane(lane), sv, "hll flux component", seed);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn hll_lane_scalar_parity_w4() {
+    hll_parity::<4>(0x853c49e6748fea9b);
+}
+
+#[test]
+fn hll_lane_scalar_parity_w8() {
+    hll_parity::<8>(0xda3e39cb94b95bdb);
+}
+
+/// Whole-run backend equivalence: the same AMR workload produces the same
+/// state fingerprint under the scalar oracle and both lane widths. The
+/// B16 blocks exercise full bundles, the overlapped remainder (interior
+/// x-bands of 11 faces), and the sub-bundle scalar fallback (exterior
+/// bands of 3).
+#[test]
+fn flux_backends_bitwise_identical_end_to_end() {
+    let fingerprint = |backend: FluxBackend| -> u64 {
+        let mesh = Mesh::new(
+            MeshParams::builder()
+                .dim(3)
+                .mesh_cells(32)
+                .block_cells(16)
+                .max_levels(2)
+                .nghost(4)
+                .build()
+                .expect("valid mesh"),
+        )
+        .expect("constructible mesh");
+        let pkg = BurgersPackage::new(BurgersParams {
+            num_scalars: 4,
+            refine_tol: 0.1,
+            deref_tol: 0.025,
+            flux_backend: backend,
+            ..BurgersParams::default()
+        });
+        let mut driver = Driver::new(
+            mesh,
+            pkg,
+            DriverParams {
+                cfl: 0.3,
+                ..DriverParams::default()
+            },
+        );
+        driver.initialize(ic::multi_blob(0.9, 0.002, 3));
+        driver.run_cycles(2);
+        fingerprint_slots(driver.slots())
+    };
+    let scalar = fingerprint(FluxBackend::Scalar);
+    assert_eq!(scalar, fingerprint(FluxBackend::Lanes4), "W=4 diverged");
+    assert_eq!(scalar, fingerprint(FluxBackend::Lanes8), "W=8 diverged");
+}

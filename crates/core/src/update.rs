@@ -2,7 +2,7 @@
 //! averaging (`WeightedSumData` + `FluxDivergence`).
 
 use vibe_exec::{catalog, ExecCtx, Launcher};
-use vibe_field::{Metadata, VarId};
+use vibe_field::{F64Lanes, Metadata, VarId};
 use vibe_mesh::index::IndexDomain;
 use vibe_prof::{Recorder, RegionKey, StepFunction};
 
@@ -100,6 +100,15 @@ pub fn flux_divergence_update_with_ids(
             let fy = (dim >= 2).then(|| fluxes[1].expect("y flux").as_slice());
             let fz = (dim >= 3).then(|| fluxes[2].expect("z flux").as_slice());
 
+            // Scalar reference per cell:
+            //   div = (fxr−fxl)·inv₀ [+ (fyr−fyl)·inv₁ [+ (fzr−fzl)·inv₂]]
+            //   u   = a0·u⁰ + b·u − (c·dt)·div
+            // The lane loop below mirrors that expression exactly — the
+            // divergence terms accumulate left-to-right and every
+            // multiplication is merely commuted — so lane results are
+            // bitwise identical to the scalar tail at any width.
+            let cdt = c * dt;
+            const W: usize = 4;
             for comp in 0..ncomp {
                 for k in k0..=k1 {
                     for j in j0..=j1 {
@@ -109,37 +118,47 @@ pub fn flux_divergence_update_with_ids(
                         let u0row = &u0[row..row + n];
                         let fxl = &fx[fx_row..fx_row + n];
                         let fxr = &fx[fx_row + 1..fx_row + 1 + n];
-                        match (fy, fz) {
-                            (Some(fy), Some(fz)) => {
-                                let fy_row = (((comp * ez + k) * (ey + 1) + j) * ex) + i0;
-                                let fz_row = (((comp * (ez + 1) + k) * ey + j) * ex) + i0;
-                                let fyl = &fy[fy_row..fy_row + n];
-                                let fyr = &fy[fy_row + ex..fy_row + ex + n];
-                                let fzl = &fz[fz_row..fz_row + n];
-                                let fzr = &fz[fz_row + ey * ex..fz_row + ey * ex + n];
-                                for q in 0..n {
-                                    let div = (fxr[q] - fxl[q]) * inv[0]
-                                        + (fyr[q] - fyl[q]) * inv[1]
-                                        + (fzr[q] - fzl[q]) * inv[2];
-                                    urow[q] = a0 * u0row[q] + b * urow[q] - c * dt * div;
-                                }
+                        let fy_rows = fy.map(|fy| {
+                            let fy_row = (((comp * ez + k) * (ey + 1) + j) * ex) + i0;
+                            (&fy[fy_row..fy_row + n], &fy[fy_row + ex..fy_row + ex + n])
+                        });
+                        let fz_rows = fz.map(|fz| {
+                            let fz_row = (((comp * (ez + 1) + k) * ey + j) * ex) + i0;
+                            (
+                                &fz[fz_row..fz_row + n],
+                                &fz[fz_row + ey * ex..fz_row + ey * ex + n],
+                            )
+                        });
+                        let mut q = 0;
+                        while q + W <= n {
+                            let mut div = (F64Lanes::<W>::load(&fxr[q..])
+                                - F64Lanes::load(&fxl[q..]))
+                                * inv[0];
+                            if let Some((fyl, fyr)) = fy_rows {
+                                div = div
+                                    + (F64Lanes::<W>::load(&fyr[q..]) - F64Lanes::load(&fyl[q..]))
+                                        * inv[1];
                             }
-                            (Some(fy), None) => {
-                                let fy_row = (((comp * ez + k) * (ey + 1) + j) * ex) + i0;
-                                let fyl = &fy[fy_row..fy_row + n];
-                                let fyr = &fy[fy_row + ex..fy_row + ex + n];
-                                for q in 0..n {
-                                    let div =
-                                        (fxr[q] - fxl[q]) * inv[0] + (fyr[q] - fyl[q]) * inv[1];
-                                    urow[q] = a0 * u0row[q] + b * urow[q] - c * dt * div;
-                                }
+                            if let Some((fzl, fzr)) = fz_rows {
+                                div = div
+                                    + (F64Lanes::<W>::load(&fzr[q..]) - F64Lanes::load(&fzl[q..]))
+                                        * inv[2];
                             }
-                            _ => {
-                                for q in 0..n {
-                                    let div = (fxr[q] - fxl[q]) * inv[0];
-                                    urow[q] = a0 * u0row[q] + b * urow[q] - c * dt * div;
-                                }
+                            let u0l = F64Lanes::<W>::load(&u0row[q..]);
+                            let ul = F64Lanes::<W>::load(&urow[q..]);
+                            (u0l * a0 + ul * b - div * cdt).store(&mut urow[q..]);
+                            q += W;
+                        }
+                        while q < n {
+                            let mut div = (fxr[q] - fxl[q]) * inv[0];
+                            if let Some((fyl, fyr)) = fy_rows {
+                                div += (fyr[q] - fyl[q]) * inv[1];
                             }
+                            if let Some((fzl, fzr)) = fz_rows {
+                                div += (fzr[q] - fzl[q]) * inv[2];
+                            }
+                            urow[q] = a0 * u0row[q] + b * urow[q] - c * dt * div;
+                            q += 1;
                         }
                     }
                 }

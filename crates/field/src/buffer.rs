@@ -253,54 +253,49 @@ pub fn pack(spec: &BufferSpec, sender: &Array4, out: &mut Vec<f64>) {
             }
         }
         BufferMode::RestrictFromFine => {
-            let twos = |d: usize| if d < dim { 2i64 } else { 1 };
-            let mut fine_vals = Vec::with_capacity(8);
+            // The 2^dim fine cells covering one receiver cell sit as x-pairs
+            // in up to four sender x-rows whose starts are fixed per
+            // receiver (j, k) — walk receiver rows once and read the pairs
+            // directly rather than converting every fine index separately.
+            // The stack gather preserves the (tx, ty, tz) value order, so
+            // `restrict_average` folds the same sequence as before.
+            let rp = row_pairs(spec, shape, dim);
+            let r = spec.recv_region.ranges();
+            let data = sender.as_slice();
+            let group = 2 * rp.nrows;
+            let mut vals = [0.0f64; 8];
             for v in 0..ncomp {
-                for (i, j, k) in spec.recv_region.iter() {
-                    let gr = [
-                        spec.recv_origin[0] + i - shape.nghost_d(0) as i64,
-                        spec.recv_origin[1] + j - shape.nghost_d(1) as i64,
-                        spec.recv_origin[2] + k - shape.nghost_d(2) as i64,
-                    ];
-                    fine_vals.clear();
-                    for tz in 0..twos(2) {
-                        for ty in 0..twos(1) {
-                            for tx in 0..twos(0) {
-                                let fg = [
-                                    gr[0] * twos(0) + tx,
-                                    gr[1] * twos(1) + ty,
-                                    gr[2] * twos(2) + tz,
-                                ];
-                                let s = storage_from_global(shape, &spec.sender_origin, fg);
-                                fine_vals.push(sender.get(v, s[2], s[1], s[0]));
+                for k in r[2].iter() {
+                    for j in r[1].iter() {
+                        let rows = rp.rows(v, j, k);
+                        for i in r[0].iter() {
+                            let si = rp.si(i);
+                            for (g, &row) in rows[..rp.nrows].iter().enumerate() {
+                                vals[2 * g] = data[row + si];
+                                vals[2 * g + 1] = data[row + si + 1];
                             }
+                            out.push(restrict_average(&vals[..group]));
                         }
                     }
-                    out.push(restrict_average(&fine_vals));
                 }
             }
         }
         BufferMode::FineUnrestricted => {
             // Ship every fine cell covering the receiver's ghost band, in
-            // (receiver cell, fine sub-cell) order.
-            let twos = |d: usize| if d < dim { 2i64 } else { 1 };
+            // (receiver cell, fine sub-cell) order — same row-pair walk as
+            // `RestrictFromFine`, shipping the pairs instead of averaging.
+            let rp = row_pairs(spec, shape, dim);
+            let r = spec.recv_region.ranges();
+            let data = sender.as_slice();
             for v in 0..ncomp {
-                for (i, j, k) in spec.recv_region.iter() {
-                    let gr = [
-                        spec.recv_origin[0] + i - shape.nghost_d(0) as i64,
-                        spec.recv_origin[1] + j - shape.nghost_d(1) as i64,
-                        spec.recv_origin[2] + k - shape.nghost_d(2) as i64,
-                    ];
-                    for tz in 0..twos(2) {
-                        for ty in 0..twos(1) {
-                            for tx in 0..twos(0) {
-                                let fg = [
-                                    gr[0] * twos(0) + tx,
-                                    gr[1] * twos(1) + ty,
-                                    gr[2] * twos(2) + tz,
-                                ];
-                                let s = storage_from_global(shape, &spec.sender_origin, fg);
-                                out.push(sender.get(v, s[2], s[1], s[0]));
+                for k in r[2].iter() {
+                    for j in r[1].iter() {
+                        let rows = rp.rows(v, j, k);
+                        for i in r[0].iter() {
+                            let si = rp.si(i);
+                            for &row in &rows[..rp.nrows] {
+                                out.push(data[row + si]);
+                                out.push(data[row + si + 1]);
                             }
                         }
                     }
@@ -381,58 +376,153 @@ pub fn unpack(spec: &BufferSpec, buf: &[f64], recv: &mut Array4) {
             }
         }
         BufferMode::CoarseToFine => {
+            // Each fine ghost cell prolongates from coarse cell
+            // `c = g.div_euclid(2)` with per-dimension slopes. Walking fine
+            // x-rows, everything except the x-parity sign is fixed per
+            // coarse cell — and each coarse cell covers two consecutive
+            // fine cells — so the center and slope lookups (with their
+            // region-edge checks, which reduce to per-axis range tests
+            // because the center always lies in the packed region) are
+            // hoisted out of the per-cell loop. The slope expressions are
+            // verbatim those of the per-cell formulation, so results are
+            // bitwise unchanged.
             let packed = spec.packed_region.as_ref().expect("packed region present");
             let per_comp = packed.count();
             let ex = packed.extent(0);
             let ey = packed.extent(1);
-            let at = |v: usize, ci: i64, cj: i64, ck: i64| -> f64 {
-                let pi = (ci - packed.range(0).s) as usize;
-                let pj = (cj - packed.range(1).s) as usize;
-                let pk = (ck - packed.range(2).s) as usize;
-                buf[v * per_comp + (pk * ey + pj) * ex + pi]
+            let (xr, yr, zr) = (packed.range(0), packed.range(1), packed.range(2));
+            let r = spec.recv_region.ranges();
+            let (rex, rey) = (shape.entire_d(0), shape.entire_d(1));
+            let recv_per = shape.entire_count();
+            let rdata = recv.as_mut_slice();
+            // Limited where both neighbors exist; one-sided at the packed-
+            // region edge (exact for linear fields, which always occurs on
+            // the face shared with the receiver).
+            let slope_of = |center: f64, left: Option<f64>, right: Option<f64>| -> f64 {
+                match (left, right) {
+                    (Some(l), Some(r)) => minmod(r - center, center - l),
+                    (Some(l), None) => center - l,
+                    (None, Some(r)) => r - center,
+                    (None, None) => 0.0,
+                }
             };
+            let sign_of = |g: i64| if g.rem_euclid(2) == 0 { -1.0 } else { 1.0 };
             for v in 0..ncomp {
-                for (i, j, k) in spec.recv_region.iter() {
-                    // Fine global index of this ghost cell.
-                    let gr = [
-                        spec.recv_origin[0] + i - shape.nghost_d(0) as i64,
-                        spec.recv_origin[1] + j - shape.nghost_d(1) as i64,
-                        spec.recv_origin[2] + k - shape.nghost_d(2) as i64,
-                    ];
-                    let c0 = [
-                        gr[0].div_euclid(2),
-                        gr[1].div_euclid(2),
-                        gr[2].div_euclid(2),
-                    ];
-                    let center = at(v, c0[0], c0[1], c0[2]);
-                    let mut value = center;
-                    for d in 0..dim {
-                        let sign = if gr[d].rem_euclid(2) == 0 { -1.0 } else { 1.0 };
-                        let mut lo = c0;
-                        let mut hi = c0;
-                        lo[d] -= 1;
-                        hi[d] += 1;
-                        let left = packed
-                            .contains(lo[0], lo[1], lo[2])
-                            .then(|| at(v, lo[0], lo[1], lo[2]));
-                        let right = packed
-                            .contains(hi[0], hi[1], hi[2])
-                            .then(|| at(v, hi[0], hi[1], hi[2]));
-                        // Limited where both neighbors exist; one-sided at the
-                        // packed-region edge (exact for linear fields, which
-                        // always occurs on the face shared with the receiver).
-                        let slope = match (left, right) {
-                            (Some(l), Some(r)) => minmod(r - center, center - l),
-                            (Some(l), None) => center - l,
-                            (None, Some(r)) => r - center,
-                            (None, None) => 0.0,
-                        };
-                        value += 0.25 * sign * slope;
+                let vbase = v * per_comp;
+                for k in r[2].iter() {
+                    let gz = spec.recv_origin[2] + k - shape.nghost_d(2) as i64;
+                    let ck = gz.div_euclid(2);
+                    let sign_z = sign_of(gz);
+                    let (zl, zh) = (dim > 2 && ck > zr.s, dim > 2 && ck < zr.e);
+                    for j in r[1].iter() {
+                        let gy = spec.recv_origin[1] + j - shape.nghost_d(1) as i64;
+                        let cj = gy.div_euclid(2);
+                        let sign_y = sign_of(gy);
+                        let (yl, yh) = (dim > 1 && cj > yr.s, dim > 1 && cj < yr.e);
+                        let crow =
+                            vbase + (((ck - zr.s) as usize) * ey + (cj - yr.s) as usize) * ex;
+                        let rrow = v * recv_per + (k as usize * rey + j as usize) * rex;
+                        let mut cur_ci = i64::MIN;
+                        let (mut center, mut slope_x, mut dy, mut dz) = (0.0, 0.0, 0.0, 0.0);
+                        for i in r[0].iter() {
+                            let gx = spec.recv_origin[0] + i - shape.nghost_d(0) as i64;
+                            let ci = gx.div_euclid(2);
+                            if ci != cur_ci {
+                                cur_ci = ci;
+                                let b = crow + (ci - xr.s) as usize;
+                                center = buf[b];
+                                let left = (ci > xr.s).then(|| buf[b - 1]);
+                                let right = (ci < xr.e).then(|| buf[b + 1]);
+                                slope_x = slope_of(center, left, right);
+                                dy = if dim > 1 {
+                                    let left = yl.then(|| buf[b - ex]);
+                                    let right = yh.then(|| buf[b + ex]);
+                                    0.25 * sign_y * slope_of(center, left, right)
+                                } else {
+                                    0.0
+                                };
+                                dz = if dim > 2 {
+                                    let left = zl.then(|| buf[b - ey * ex]);
+                                    let right = zh.then(|| buf[b + ey * ex]);
+                                    0.25 * sign_z * slope_of(center, left, right)
+                                } else {
+                                    0.0
+                                };
+                            }
+                            let mut value = center + 0.25 * sign_of(gx) * slope_x;
+                            if dim > 1 {
+                                value += dy;
+                            }
+                            if dim > 2 {
+                                value += dz;
+                            }
+                            rdata[rrow + i as usize] = value;
+                        }
                     }
-                    recv.set(v, k as usize, j as usize, i as usize, value);
                 }
             }
         }
+    }
+}
+
+/// Precomputed addressing for the fine cells covering a receiver region:
+/// each receiver cell maps to `nrows` sender x-rows (its (ty, tz) fine
+/// offsets) holding one contiguous fine x-pair each.
+struct RowPairs {
+    recv_origin: [i64; 3],
+    sender_origin: [i64; 3],
+    ng: [i64; 3],
+    t1: i64,
+    t2: i64,
+    ex: usize,
+    ey: usize,
+    per_comp: usize,
+    /// Sender rows per receiver cell: `t1 * t2`.
+    nrows: usize,
+}
+
+impl RowPairs {
+    /// Sender x-row starts covering receiver cell (·, j, k) of component
+    /// `v`, ordered (tz outer, ty inner) to match the fine-value order the
+    /// per-cell `storage_from_global` walk produced.
+    #[inline]
+    fn rows(&self, v: usize, j: i64, k: i64) -> [usize; 4] {
+        let gj = self.recv_origin[1] + j - self.ng[1];
+        let gk = self.recv_origin[2] + k - self.ng[2];
+        let mut rows = [0usize; 4];
+        for tz in 0..self.t2 {
+            for ty in 0..self.t1 {
+                let sj = (gj * self.t1 + ty - self.sender_origin[1] + self.ng[1]) as usize;
+                let sk = (gk * self.t2 + tz - self.sender_origin[2] + self.ng[2]) as usize;
+                rows[(tz * self.t1 + ty) as usize] =
+                    v * self.per_comp + (sk * self.ey + sj) * self.ex;
+            }
+        }
+        rows
+    }
+
+    /// Offset of receiver cell i's fine x-pair within any of its rows (the
+    /// x-direction is always refined: `dim >= 1`).
+    #[inline]
+    fn si(&self, i: i64) -> usize {
+        let gi = self.recv_origin[0] + i - self.ng[0];
+        (gi * 2 - self.sender_origin[0] + self.ng[0]) as usize
+    }
+}
+
+fn row_pairs(spec: &BufferSpec, shape: &IndexShape, dim: usize) -> RowPairs {
+    let twos = |d: usize| if d < dim { 2i64 } else { 1 };
+    let (t1, t2) = (twos(1), twos(2));
+    RowPairs {
+        recv_origin: spec.recv_origin,
+        sender_origin: spec.sender_origin,
+        ng: std::array::from_fn(|d| shape.nghost_d(d) as i64),
+        t1,
+        t2,
+        ex: shape.entire_d(0),
+        ey: shape.entire_d(1),
+        per_comp: shape.entire_count(),
+        nrows: (t1 * t2) as usize,
     }
 }
 

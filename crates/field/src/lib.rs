@@ -19,6 +19,7 @@ pub mod bc;
 pub mod buffer;
 pub mod container;
 pub mod fluxcorr;
+pub mod lanes;
 pub mod ops;
 pub mod region;
 pub mod variable;
@@ -28,6 +29,7 @@ pub use bc::{apply_face_bc, BcKind, Side};
 pub use buffer::{compute_buffer_spec, pack, unpack, BufferMode, BufferSpec};
 pub use container::{BlockData, PackStrategy, VarId, VariablePack};
 pub use fluxcorr::{apply_flux, flux_correction_spec, pack_flux, FluxCorrSpec};
+pub use lanes::{minmod_lanes, F64Lanes, F64x4, F64x8, LaneMask};
 pub use ops::{minmod, prolongate_linear_1d, restrict_average};
 pub use region::Region;
 pub use variable::{CellVariable, Metadata};

@@ -56,13 +56,27 @@ pub fn vector_efficiency(block_cells: usize) -> f64 {
     block_cells as f64 / (block_cells as f64 + 8.6)
 }
 
+/// Measured counterpart of [`vector_efficiency`]: the share of flux-face
+/// evaluations the lane-batched SIMD sweep executed in full lane bundles,
+/// from the runtime's `(lane, scalar-tail)` face counters
+/// (`vibe_burgers::take_face_counts`). Comparing this against the modeled
+/// efficiency at the same block size calibrates the Fig. 13 remainder
+/// penalty against the real sweep instead of a fitted curve.
+pub fn measured_vector_share(lane_faces: u64, tail_faces: u64) -> f64 {
+    let total = lane_faces + tail_faces;
+    if total == 0 {
+        0.0
+    } else {
+        lane_faces as f64 / total as f64
+    }
+}
+
 /// Instruction counts implied by kernel work. The vector share of kernel
 /// instructions is the descriptor's vectorizable fraction scaled by the
-/// block-length vectorization efficiency; the remainder is split into the
+/// vectorization efficiency `veff`; the remainder is split into the
 /// memory, control, and scalar support instructions of the loop bodies.
-fn kernel_counts(stats: &CycleStats, block_cells: usize) -> [f64; 6] {
+fn kernel_counts(stats: &CycleStats, veff: f64) -> [f64; 6] {
     let mut counts = [0.0f64; 6];
-    let veff = vector_efficiency(block_cells);
     for ((_, name), k) in &stats.kernels {
         let desc = descriptor_for(name);
         // Instruction density: one instruction per ~4 FLOPs of algorithmic
@@ -100,9 +114,20 @@ fn serial_counts(serial: &SerialTotals) -> [f64; 6] {
     ]
 }
 
-/// Synthesizes the Fig. 13 opcode distributions: `(total, serial, kernel)`.
+/// Synthesizes the Fig. 13 opcode distributions: `(total, serial, kernel)`,
+/// using the modeled [`vector_efficiency`] for `block_cells`.
 pub fn opcode_mix(stats: &CycleStats, block_cells: usize) -> (OpcodeMix, OpcodeMix, OpcodeMix) {
-    let kc = kernel_counts(stats, block_cells);
+    opcode_mix_with_efficiency(stats, vector_efficiency(block_cells))
+}
+
+/// [`opcode_mix`] with an explicit vectorization efficiency — pass a
+/// [`measured_vector_share`] to synthesize the opcode mix from the lane
+/// sweep's observed coverage instead of the block-size model.
+pub fn opcode_mix_with_efficiency(
+    stats: &CycleStats,
+    veff: f64,
+) -> (OpcodeMix, OpcodeMix, OpcodeMix) {
+    let kc = kernel_counts(stats, veff);
     let mut sc = [0.0f64; 6];
     let mut agg = SerialTotals::default();
     for s in stats.serial.values() {
@@ -211,6 +236,27 @@ mod tests {
             let sum = m.vector + m.load + m.store + m.branch + m.scalar_arith + m.other;
             assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
         }
+    }
+
+    #[test]
+    fn measured_share_is_lane_fraction() {
+        assert_eq!(measured_vector_share(0, 0), 0.0);
+        assert_eq!(measured_vector_share(12, 0), 1.0);
+        assert_eq!(measured_vector_share(0, 7), 0.0);
+        assert!((measured_vector_share(75, 25) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measured_efficiency_feeds_opcode_mix() {
+        // A higher measured lane coverage raises the kernel vector share,
+        // and passing the modeled efficiency reproduces `opcode_mix`.
+        let s = stats(16);
+        let (_, _, low) = opcode_mix_with_efficiency(&s, 0.4);
+        let (_, _, high) = opcode_mix_with_efficiency(&s, 0.9);
+        assert!(high.vector > low.vector);
+        let (_, _, modeled) = opcode_mix(&s, 16);
+        let (_, _, explicit) = opcode_mix_with_efficiency(&s, vector_efficiency(16));
+        assert_eq!(modeled.vector, explicit.vector);
     }
 
     #[test]

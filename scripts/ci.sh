@@ -46,6 +46,12 @@ echo "==> rank-parallel fingerprint gate (rt_gate)"
 # single-process driver. The binary exits nonzero on any mismatch.
 VIBE_RT_RANKS=1,2,8 VIBE_RT_THREADS=1,8 target/release/rt_gate >/dev/null
 
+echo "==> simd flux-backend fingerprint gate (simd_gate)"
+# Scalar oracle vs W=4/W=8 lane sweeps vs Auto dispatch, across host
+# threads and real rank shards: every run must be bitwise identical to the
+# scalar serial reference. The binary exits nonzero on any mismatch.
+VIBE_SIMD_THREADS=1,8 VIBE_SIMD_RANKS=1,2,8 target/release/simd_gate >/dev/null
+
 echo "==> simulated timeline smoke (sim_timeline)"
 # The binary gates itself: nonzero exit on NaN/negative times, idle
 # fractions outside [0,1], calibration drift > 1%, a missing launch-bound
