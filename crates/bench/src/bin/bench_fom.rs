@@ -70,6 +70,7 @@ fn build_driver_for(
     threads: usize,
     prof_level: ProfLevel,
     block_cells: usize,
+    capture_spans: bool,
 ) -> Driver<BurgersPackage> {
     let mesh = Mesh::new(
         MeshParams::builder()
@@ -96,6 +97,7 @@ fn build_driver_for(
             cfl: 0.3,
             host_threads: threads,
             prof_level,
+            capture_spans,
             ..DriverParams::default()
         },
     )
@@ -107,24 +109,45 @@ struct RankRun {
     fom: f64,
     fingerprint: u64,
     rank_blocks: Vec<usize>,
+    /// Per-rank (wall_s, busy_s, wait_s): busy = productive compute +
+    /// pack/serialization work, wait = everything else (late sender,
+    /// collective imbalance, migration stalls, idle). From the causal span
+    /// capture, which is observational — the fingerprint check below
+    /// doubles as the neutrality gate.
+    per_rank: Vec<(f64, f64, f64)>,
 }
 
 /// Runs the probe configuration with `nranks` real concurrent rank shards
 /// (one OS thread each, serial inside the shard) through `vibe-rt`.
 fn run_ranks(nranks: usize) -> RankRun {
     let run = vibe_rt::run_distributed(nranks, CYCLES, || {
-        let mut d = build_driver_for(nranks, 1, ProfLevel::Off, BLOCK_CELLS);
+        let mut d = build_driver_for(nranks, 1, ProfLevel::Off, BLOCK_CELLS, true);
         d.initialize(ic::multi_blob(0.9, 0.002, 3));
         d
     });
     let wall_s = run.elapsed_ns() as f64 / 1e9;
     let zone_cycles = run.recorder.totals().cell_updates;
+    let per_rank = run
+        .attribution
+        .as_ref()
+        .map(|attr| {
+            attr.per_rank
+                .iter()
+                .map(|b| {
+                    let busy = b.compute_ns + b.pack_serialization_ns;
+                    let wait = b.named_sum_ns() - busy;
+                    (b.wall_ns as f64 / 1e9, busy as f64 / 1e9, wait as f64 / 1e9)
+                })
+                .collect()
+        })
+        .unwrap_or_default();
     RankRun {
         ranks: nranks,
         wall_s,
         fom: zone_cycles as f64 / wall_s,
         fingerprint: run.fingerprint,
         rank_blocks: run.rank_blocks,
+        per_rank,
     }
 }
 
@@ -133,7 +156,7 @@ fn run(threads: usize, prof_level: ProfLevel) -> (RunResult, Recorder) {
 }
 
 fn run_with(threads: usize, prof_level: ProfLevel, block_cells: usize) -> (RunResult, Recorder) {
-    let mut driver = build_driver_for(1, threads, prof_level, block_cells);
+    let mut driver = build_driver_for(1, threads, prof_level, block_cells, false);
     driver.initialize(ic::multi_blob(0.9, 0.002, 3));
     take_face_counts(); // discard initialization's face evaluations
     let t0 = Instant::now();
@@ -324,11 +347,13 @@ fn main() {
     let rows: Vec<Vec<String>> = rank_runs
         .iter()
         .map(|r| {
+            let max_wait = r.per_rank.iter().map(|&(_, _, w)| w).fold(0.0f64, f64::max);
             vec![
                 r.ranks.to_string(),
                 format!("{:.3}", r.wall_s),
                 vibe_bench::sci(r.fom),
                 format!("{:.2}x", rank_base_wall / r.wall_s),
+                format!("{max_wait:.3}"),
                 format!("{:?}", r.rank_blocks),
             ]
         })
@@ -336,7 +361,14 @@ fn main() {
     println!(
         "{}",
         vibe_bench::format_table(
-            &["ranks", "wall(s)", "FOM(zc/s)", "speedup", "blocks/rank"],
+            &[
+                "ranks",
+                "wall(s)",
+                "FOM(zc/s)",
+                "speedup",
+                "max-wait(s)",
+                "blocks/rank"
+            ],
             &rows
         )
     );
@@ -463,8 +495,18 @@ fn main() {
     ));
     json.push_str("  \"rank_scaling\": [\n");
     for (i, r) in rank_runs.iter().enumerate() {
+        let mut per_rank = String::new();
+        for (rank, &(wall, busy, wait)) in r.per_rank.iter().enumerate() {
+            if rank > 0 {
+                per_rank.push_str(", ");
+            }
+            let _ = write!(
+                per_rank,
+                "{{\"rank\": {rank}, \"wall_s\": {wall:.6}, \"busy_s\": {busy:.6}, \"wait_s\": {wait:.6}}}"
+            );
+        }
         json.push_str(&format!(
-            "    {{\"ranks\": {}, \"wall_s\": {:.6}, \"fom_zone_cycles_per_s\": {:.1}, \"speedup_vs_1rank\": {:.4}, \"state_fingerprint\": \"{:016x}\"}}{}\n",
+            "    {{\"ranks\": {}, \"wall_s\": {:.6}, \"fom_zone_cycles_per_s\": {:.1}, \"speedup_vs_1rank\": {:.4}, \"state_fingerprint\": \"{:016x}\", \"per_rank\": [{per_rank}]}}{}\n",
             r.ranks,
             r.wall_s,
             r.fom,

@@ -46,6 +46,12 @@ pub struct WorkloadSpec {
     /// Flux-sweep execution backend (never affects results; see
     /// `simd_gate`).
     pub flux_backend: FluxBackend,
+    /// Emit causal task spans + wait probes for cross-rank attribution
+    /// (observational only — never affects results; see `scaling_report`).
+    pub capture_spans: bool,
+    /// Load-balance on measured per-block costs instead of the modeled
+    /// estimate (changes ownership only, never the solution).
+    pub measured_costs: bool,
 }
 
 impl Default for WorkloadSpec {
@@ -67,6 +73,8 @@ impl Default for WorkloadSpec {
             host_threads: 1,
             prof_level: ProfLevel::Off,
             flux_backend: FluxBackend::default(),
+            capture_spans: false,
+            measured_costs: false,
         }
     }
 }
@@ -132,6 +140,8 @@ pub fn build_workload_replica(spec: &WorkloadSpec) -> Driver<BurgersPackage> {
             pack_strategy: spec.pack_strategy,
             host_threads: spec.host_threads,
             prof_level: spec.prof_level,
+            capture_spans: spec.capture_spans,
+            measured_costs: spec.measured_costs,
             ..DriverParams::default()
         },
     );

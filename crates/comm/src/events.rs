@@ -236,6 +236,69 @@ pub fn validate_multirank_event_order(
     Ok(edges)
 }
 
+/// Recovers the cross-rank causal edges of a *merged, seq-sorted*
+/// multi-rank event log: every remote `Send` is paired with the `Complete`
+/// that consumed it, FIFO per boundary key — the same matching discipline
+/// [`validate_multirank_event_order`] checks, so a log that validates
+/// matches completely. Each pair whose two sides both carry a task label
+/// becomes a [`vibe_prof::CrossEdge`] (the span-graph edge between the
+/// sending task's span and the receiving task's span); same-rank copies
+/// and unlabeled initialization traffic are skipped.
+pub fn match_cross_edges(events: &[CommEvent]) -> Vec<vibe_prof::CrossEdge> {
+    use std::collections::{HashMap, VecDeque};
+    // Per-key FIFO of *all* sends (local ones included, to keep positions
+    // aligned with the validator's matching), remembering enough of the
+    // send to build the edge.
+    struct PendingSend {
+        seq: u64,
+        rank: usize,
+        cycle: u64,
+        task: Option<&'static str>,
+        bytes: u64,
+        local: bool,
+    }
+    let mut pending: HashMap<BoundaryKey, VecDeque<PendingSend>> = HashMap::new();
+    let mut edges = Vec::new();
+    for ev in events {
+        match ev.kind {
+            CommEventKind::PostReceive | CommEventKind::Collective { .. } => {}
+            CommEventKind::Send { bytes, local, .. } => {
+                pending.entry(ev.key).or_default().push_back(PendingSend {
+                    seq: ev.seq,
+                    rank: ev.rank,
+                    cycle: ev.cycle,
+                    task: ev.task,
+                    bytes,
+                    local,
+                });
+            }
+            CommEventKind::Complete { .. } => {
+                let Some(send) = pending.get_mut(&ev.key).and_then(VecDeque::pop_front) else {
+                    continue;
+                };
+                if send.local || send.rank == ev.rank {
+                    continue;
+                }
+                let (Some(src_task), Some(dst_task)) = (send.task, ev.task) else {
+                    continue;
+                };
+                edges.push(vibe_prof::CrossEdge {
+                    seq: send.seq,
+                    bytes: send.bytes,
+                    src_rank: send.rank,
+                    src_cycle: send.cycle,
+                    src_task,
+                    dst_rank: ev.rank,
+                    dst_cycle: ev.cycle,
+                    dst_task,
+                });
+            }
+        }
+    }
+    edges.sort_by_key(|e| e.seq);
+    edges
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,6 +401,42 @@ mod tests {
             ev(3, 1, 0, a, DONE),
         ];
         assert!(validate_multirank_event_order(&over, 2).is_err());
+    }
+
+    /// Cross-edge recovery: remote labeled pairs become edges, local
+    /// copies and unlabeled traffic do not, and FIFO positions stay
+    /// aligned even when local and remote sends share a key.
+    #[test]
+    fn cross_edges_match_remote_labeled_pairs_fifo() {
+        let a = BoundaryKey::new(0, 4, 1);
+        let b = BoundaryKey::new(5, 1, 2);
+        let mut events = vec![
+            ev(1, 0, 0, a, send(0, 1)),
+            ev(2, 1, 0, b, send(1, 0)),
+            ev(3, 0, 0, b, DONE),
+            ev(4, 1, 0, a, DONE),
+            // Same-rank copy: matched but not an edge.
+            ev(5, 0, 1, a, send(0, 0)),
+            ev(6, 0, 1, a, DONE),
+        ];
+        for e in &mut events {
+            e.task = Some("Stage0::PackSend");
+        }
+        events[2].task = Some("Stage0::WaitUnpack");
+        events[3].task = Some("Stage0::WaitUnpack");
+        let edges = match_cross_edges(&events);
+        assert_eq!(edges.len(), 2);
+        assert_eq!(edges[0].seq, 1);
+        assert_eq!(edges[0].src_rank, 0);
+        assert_eq!(edges[0].dst_rank, 1);
+        assert_eq!(edges[0].src_task, "Stage0::PackSend");
+        assert_eq!(edges[0].dst_task, "Stage0::WaitUnpack");
+        assert_eq!(edges[1].seq, 2);
+        assert_eq!(edges[1].dst_rank, 0);
+
+        // Unlabeled (init) traffic is skipped entirely.
+        let unlabeled = [ev(1, 0, 0, a, send(0, 1)), ev(2, 1, 0, a, DONE)];
+        assert!(match_cross_edges(&unlabeled).is_empty());
     }
 
     /// Structural stamps are checked: rank ids beyond nranks and non-unique

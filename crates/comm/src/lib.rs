@@ -25,7 +25,10 @@ pub mod mailbox;
 pub mod transport;
 
 pub use cache::{BoundaryKey, BufferCache, CacheConfig};
-pub use events::{validate_event_order, validate_multirank_event_order, CommEvent, CommEventKind};
+pub use events::{
+    match_cross_edges, validate_event_order, validate_multirank_event_order, CommEvent,
+    CommEventKind,
+};
 pub use mailbox::{Communicator, MessageStatus};
 pub use transport::{
     channel_fabric, ChannelTransport, CollectiveHub, SendMeta, SharedTransport, Transport,

@@ -76,6 +76,11 @@ pub struct Communicator {
     cycle: u64,
     /// Task name stamped onto subsequent events (set by the task executor).
     task: Option<&'static str>,
+    /// Accumulated wall time spent blocked inside data-moving collectives
+    /// waiting for the rendezvous (arrival spread across ranks). Drained by
+    /// [`Communicator::take_collective_block_ns`] for wait-state
+    /// attribution.
+    collective_block_ns: u64,
 }
 
 impl Communicator {
@@ -108,6 +113,7 @@ impl Communicator {
             log: Vec::new(),
             cycle: 0,
             task: None,
+            collective_block_ns: 0,
         }
     }
 
@@ -398,7 +404,9 @@ impl Communicator {
         payload: Vec<u8>,
         rec: &mut Recorder,
     ) -> Vec<Vec<u8>> {
+        let entered = std::time::Instant::now();
         let parts = self.transport.all_gather_bytes(func.name(), payload);
+        self.collective_block_ns += entered.elapsed().as_nanos() as u64;
         let bytes: u64 = parts.iter().map(|p| p.len() as u64).sum();
         rec.record_collective(func, CollectiveOp::AllGather, bytes);
         self.push_event(
@@ -424,7 +432,9 @@ impl Communicator {
         bytes: u64,
         rec: &mut Recorder,
     ) -> Vec<Vec<u8>> {
+        let entered = std::time::Instant::now();
         let parts = self.transport.all_gather_bytes(func.name(), payload);
+        self.collective_block_ns += entered.elapsed().as_nanos() as u64;
         rec.record_collective(func, CollectiveOp::AllReduce, bytes);
         self.push_event(
             BoundaryKey::new(0, 0, 0),
@@ -441,6 +451,15 @@ impl Communicator {
     /// Not recorded — used by the conductor to bracket timed regions.
     pub fn barrier(&mut self, label: &'static str) {
         self.transport.barrier(label);
+    }
+
+    /// Drains the accumulated collective rendezvous blocking time (ns):
+    /// wall time spent inside [`Communicator::all_gather_data`] /
+    /// [`Communicator::all_reduce_data`] waiting for the slowest rank to
+    /// arrive. Measurement only — does not perturb message contents or
+    /// ordering.
+    pub fn take_collective_block_ns(&mut self) -> u64 {
+        std::mem::take(&mut self.collective_block_ns)
     }
 
     /// Number of currently in-flight (sent, unconsumed) messages.

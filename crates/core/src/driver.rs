@@ -18,7 +18,7 @@ use crate::boundary::{
 };
 use crate::package::{FluxPhase, Package};
 use crate::tasks::{TaskKind, TaskList, TaskNode, TaskStatus};
-use crate::update::flux_divergence_update_with_ids;
+use crate::update::{flux_divergence_update_costed, flux_divergence_update_with_ids};
 
 /// Driver configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -57,6 +57,15 @@ pub struct DriverParams {
     /// drops them, so long runs hold no event memory at all. Either way the
     /// communicator's *resident* log is emptied every cycle.
     pub capture_comm_events: bool,
+    /// Emit a causal [`vibe_prof::TaskSpan`] per executed task (plus the
+    /// wait probes that feed `vibe_prof::attribute_run`). Observational
+    /// only: the solution is bitwise identical with capture on or off.
+    pub capture_spans: bool,
+    /// Feed *measured* per-block wall times (flux + RK update) into
+    /// `Mesh::set_block_cost` before each cycle's load balance, instead of
+    /// the modeled [`CostModel`] estimate. Changes only block *ownership*
+    /// (never the numerics), so the solution fingerprint is unchanged.
+    pub measured_costs: bool,
 }
 
 impl Default for DriverParams {
@@ -74,6 +83,8 @@ impl Default for DriverParams {
             host_threads: 1,
             prof_level: ProfLevel::Off,
             capture_comm_events: true,
+            capture_spans: false,
+            measured_costs: false,
         }
     }
 }
@@ -303,6 +314,15 @@ pub struct Driver<P: Package> {
     /// end of every cycle so the mailbox's resident log stays O(one cycle)
     /// no matter how long the run is.
     comm_log: Vec<vibe_comm::CommEvent>,
+    /// Causal task spans, rank/cycle-stamped, archived per cycle when
+    /// [`DriverParams::capture_spans`] is on.
+    span_log: Vec<vibe_prof::TaskSpan>,
+    /// Accumulated wait probes (collective blocking, migration stalls).
+    wait_probes: vibe_prof::WaitProbes,
+    /// This cycle's measured per-gid cost ledger (ns), reset every cycle
+    /// and consumed by the Regrid task when
+    /// [`DriverParams::measured_costs`] is on.
+    block_cost_ns: Vec<u64>,
 }
 
 impl<P: Package> Driver<P> {
@@ -330,6 +350,9 @@ impl<P: Package> Driver<P> {
             step_decision: None,
             step_counts: (0, 0),
             comm_log: Vec::new(),
+            span_log: Vec::new(),
+            wait_probes: vibe_prof::WaitProbes::default(),
+            block_cost_ns: Vec::new(),
             mesh,
             package,
             params,
@@ -397,6 +420,23 @@ impl<P: Package> Driver<P> {
     /// Consumes the driver, returning the recorder.
     pub fn into_recorder(self) -> Recorder {
         self.rec
+    }
+
+    /// Archived causal task spans (rank 0, cycle-stamped); empty unless
+    /// [`DriverParams::capture_spans`] is on.
+    pub fn task_spans(&self) -> &[vibe_prof::TaskSpan] {
+        &self.span_log
+    }
+
+    /// Accumulated directly measured wait probes.
+    pub fn wait_probes(&self) -> vibe_prof::WaitProbes {
+        self.wait_probes
+    }
+
+    /// Last cycle's measured per-gid cost ledger (ns); empty unless
+    /// [`DriverParams::measured_costs`] is on.
+    pub fn block_costs_ns(&self) -> &[u64] {
+        &self.block_cost_ns
     }
 
     /// Current simulation time.
@@ -504,6 +544,10 @@ impl<P: Package> Driver<P> {
         }
         let cycle_guard = wall.region(RegionKey::Named("Cycle"));
         self.ensure_plan();
+        if self.params.measured_costs {
+            self.block_cost_ns.clear();
+            self.block_cost_ns.resize(self.mesh.num_blocks(), 0);
+        }
         let dt = self.dt;
         self.step_dt = dt;
         let mut list = Self::build_cycle_list();
@@ -512,12 +556,24 @@ impl<P: Package> Driver<P> {
             cycle_task_graph(),
             "driver task list drifted from the exported cycle graph"
         );
+        let capture = self.params.capture_spans;
+        let mut cycle_spans: Vec<vibe_prof::TaskSpan> = Vec::new();
         let stats = list
-            .execute_timed(self, wall.enabled())
+            .execute_spanned(self, wall.enabled(), capture.then_some(&mut cycle_spans))
             .expect("cycle task graph completes");
         drop(cycle_guard);
         if wall.enabled() {
             wall.record_pool_samples(&vibe_exec::stats_end());
+        }
+        let blocked = self.comm.take_collective_block_ns();
+        if capture {
+            // The driver executes every virtual rank in one thread: its
+            // spans all carry rank 0 (the executor's default).
+            for s in &mut cycle_spans {
+                s.cycle = self.cycle;
+            }
+            self.span_log.append(&mut cycle_spans);
+            self.wait_probes.collective_block_ns += blocked;
         }
         let (refined, derefined) = self.step_counts;
         let nblocks = self.mesh.num_blocks();
@@ -760,14 +816,29 @@ impl<P: Package> Driver<P> {
         TaskStatus::Complete
     }
 
-    /// Interior/exterior flux task: one phase of the split sweep.
+    /// Interior/exterior flux task: one phase of the split sweep. Under
+    /// [`DriverParams::measured_costs`] the per-pack wall time is measured
+    /// and amortized evenly over the pack's blocks into the cost ledger
+    /// (the flux kernel runs whole packs, so per-block flux time is an
+    /// amortized approximation; the RK update contributes exact per-block
+    /// times).
     fn task_flux(&mut self, phase: FluxPhase) {
         let exec = self.exec();
         let wall = self.rec.wall().clone();
         let _g = wall.region(RegionKey::Step(StepFunction::CalculateFluxes));
+        let measured = self.params.measured_costs;
+        let mut costed: Vec<(usize, u64)> = Vec::new();
         self.with_rank_packs(StepFunction::CalculateFluxes, |pkg, pack, rec| {
+            let t0 = measured.then(std::time::Instant::now);
             pkg.calculate_fluxes_phase(pack, phase, exec, rec);
+            if let Some(t0) = t0 {
+                let ns = t0.elapsed().as_nanos() as u64 / pack.len().max(1) as u64;
+                costed.extend(pack.iter().map(|s| (s.info.gid, ns)));
+            }
         });
+        for (gid, ns) in costed {
+            self.block_cost_ns[gid] += ns;
+        }
     }
 
     /// FluxCorrSend task: packs and sends restricted fine face fluxes.
@@ -811,9 +882,19 @@ impl<P: Package> Driver<P> {
         let wall = self.rec.wall().clone();
         let _g = wall.region(RegionKey::Named("RK2Update"));
         let ids = self.plan.as_ref().expect("plan built").flux_ids.clone();
+        let measured = self.params.measured_costs;
+        let ledger = &mut self.block_cost_ns;
         let rec = &mut self.rec;
         Self::for_rank_packs_static(&self.mesh, &mut self.slots, |pack| {
-            flux_divergence_update_with_ids(pack, exec, a0, b, c, dt, &ids, rec);
+            if measured {
+                let mut cost = vec![0u64; pack.len()];
+                flux_divergence_update_costed(pack, exec, a0, b, c, dt, &ids, rec, &mut cost);
+                for (slot, ns) in pack.iter().zip(cost) {
+                    ledger[slot.info.gid] += ns;
+                }
+            } else {
+                flux_divergence_update_with_ids(pack, exec, a0, b, c, dt, &ids, rec);
+            }
         });
     }
 
@@ -887,19 +968,32 @@ impl<P: Package> Driver<P> {
         ));
         let decision = self.step_decision.take().expect("tree update ran");
         self.step_counts = (decision.refine.len(), decision.derefine_parents.len());
-        if !decision.is_empty() {
+        let sources = if !decision.is_empty() {
             for parent in &decision.derefine_parents {
                 self.gate.record_derefine(parent, self.cycle);
             }
             for loc in &decision.refine {
                 self.gate.record_refine(loc, self.cycle);
             }
-            self.apply_regrid(&decision);
-        }
+            Some(self.apply_regrid(&decision))
+        } else {
+            None
+        };
         // Load balancing every cycle (paper configuration), with per-block
-        // workload costs.
+        // workload costs: either the modeled estimate or this cycle's
+        // measured flux+update ledger mapped through the regrid provenance.
         let old_ranks: Vec<usize> = self.slots.iter().map(|s| s.info.rank).collect();
-        self.params.cost_model.apply(&mut self.mesh);
+        if self.params.measured_costs && !self.block_cost_ns.is_empty() {
+            let mapped = match &sources {
+                Some(s) => map_block_costs(&self.block_cost_ns, s),
+                None => self.block_cost_ns.clone(),
+            };
+            for (gid, &ns) in mapped.iter().enumerate() {
+                self.mesh.set_block_cost(gid, (ns as f64).max(1.0));
+            }
+        } else {
+            self.params.cost_model.apply(&mut self.mesh);
+        }
         self.mesh.load_balance(self.params.nranks);
         self.sync_ranks();
         // Blocks that moved ranks ship their full state.
@@ -984,6 +1078,25 @@ pub(crate) fn last_cycle_timing_from(rec: &Recorder) -> CycleTiming {
             }
         })
         .unwrap_or_default()
+}
+
+/// Maps a per-old-gid measured cost ledger through a regrid's provenance
+/// records onto the new gid space: unchanged blocks keep their cost,
+/// refined children inherit the parent's (every block has the same cell
+/// count), derefined parents take the mean of their children. Shared by the
+/// single-process [`Driver`] and [`RankShard`](crate::shard::RankShard).
+pub(crate) fn map_block_costs(old_costs: &[u64], sources: &[RegridSource]) -> Vec<u64> {
+    sources
+        .iter()
+        .map(|s| match s {
+            RegridSource::Unchanged { old_gid } => old_costs[*old_gid],
+            RegridSource::Refined { parent_old_gid, .. } => old_costs[*parent_old_gid],
+            RegridSource::Derefined { child_old_gids } => {
+                let sum: u64 = child_old_gids.iter().map(|&g| old_costs[g]).sum();
+                sum / child_old_gids.len().max(1) as u64
+            }
+        })
+        .collect()
 }
 
 impl<P: Package> Driver<P> {
@@ -1125,8 +1238,13 @@ impl<P: Package> Driver<P> {
     }
 
     /// Applies a regrid decision: tree surgery, new block list, data
-    /// movement via prolongation/restriction.
-    fn apply_regrid(&mut self, decision: &vibe_mesh::refinement::RegridDecision) {
+    /// movement via prolongation/restriction. Returns the per-new-gid
+    /// provenance records (which old blocks each new block was built from)
+    /// so the caller can remap per-block ledgers.
+    fn apply_regrid(
+        &mut self,
+        decision: &vibe_mesh::refinement::RegridDecision,
+    ) -> Vec<RegridSource> {
         let old_bytes: usize = self.slots.iter().map(BlockSlot::nbytes).sum();
         let outcome = self.mesh.regrid(decision).expect("valid regrid decision");
         let mut old: Vec<Option<BlockSlot>> = std::mem::take(&mut self.slots)
@@ -1213,6 +1331,7 @@ impl<P: Package> Driver<P> {
         // New gids and neighbor lists: the communication plan (and its
         // cached variable-id lookups) must be rebuilt.
         self.plan = None;
+        outcome.sources
     }
 
     /// Decomposes an initialized driver into the pieces a rank shard keeps:
@@ -1343,11 +1462,14 @@ mod tests {
     }
 
     fn driver(nranks: usize) -> Driver<Advect> {
-        let params = DriverParams {
+        driver_with(DriverParams {
             nranks,
             cfl: 0.3,
             ..DriverParams::default()
-        };
+        })
+    }
+
+    fn driver_with(params: DriverParams) -> Driver<Advect> {
         let pkg = Advect {
             refine_above: 0.2,
             deref_below: 0.02,
@@ -1637,5 +1759,69 @@ mod tests {
         d.run_cycles(3);
         assert_eq!(d.resident_comm_events(), 0);
         assert!(d.comm_events().is_empty());
+    }
+
+    /// Span capture and the measured-cost load-balance feed are
+    /// observational: the solution fingerprint and timestep sequence are
+    /// bitwise identical with both on or both off.
+    #[test]
+    fn spans_and_measured_costs_do_not_perturb_solution() {
+        let mut plain = driver(4);
+        let mut instrumented = driver_with(DriverParams {
+            nranks: 4,
+            cfl: 0.3,
+            capture_spans: true,
+            measured_costs: true,
+            ..DriverParams::default()
+        });
+        for _ in 0..5 {
+            let a = plain.step();
+            let b = instrumented.step();
+            assert_eq!(a.dt.to_bits(), b.dt.to_bits());
+            assert_eq!(a.nblocks, b.nblocks);
+        }
+        assert_eq!(
+            crate::shard::fingerprint_slots(plain.slots()),
+            crate::shard::fingerprint_slots(instrumented.slots()),
+            "attribution instrumentation must not touch the numerics"
+        );
+        assert!(plain.task_spans().is_empty());
+        assert!(plain.block_costs_ns().is_empty());
+
+        // 22 labeled tasks per cycle, every span cycle-stamped on rank 0.
+        assert_eq!(instrumented.task_spans().len(), 5 * 22);
+        assert!(instrumented.task_spans().iter().all(|s| s.rank == 0));
+        assert_eq!(
+            instrumented
+                .task_spans()
+                .iter()
+                .filter(|s| s.cycle == 3)
+                .count(),
+            22
+        );
+        // The measured ledger saw real flux/update work on every block.
+        assert!(instrumented.block_costs_ns().iter().all(|&ns| ns > 0));
+    }
+
+    /// The regrid provenance mapping keeps the measured ledger aligned
+    /// with the new gid space.
+    #[test]
+    fn map_block_costs_follows_regrid_provenance() {
+        let old = [10u64, 20, 30, 40, 50];
+        let sources = [
+            RegridSource::Unchanged { old_gid: 2 },
+            RegridSource::Refined {
+                parent_old_gid: 4,
+                child_index: 0,
+            },
+            RegridSource::Refined {
+                parent_old_gid: 4,
+                child_index: 1,
+            },
+            RegridSource::Derefined {
+                child_old_gids: vec![0, 1, 2, 3],
+            },
+        ];
+        assert_eq!(map_block_costs(&old, &sources), [30, 50, 50, 25]);
     }
 }

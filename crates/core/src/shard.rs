@@ -55,11 +55,12 @@ use crate::amr::{prolongate_to_child, restrict_to_parent};
 use crate::block::{BlockInfo, BlockSlot};
 use crate::boundary::{ExchangeConfig, ExchangePlan};
 use crate::driver::{
-    cycle_task_graph, last_cycle_timing_from, CycleSummary, Driver, DriverParams, STAGE_TASK_NAMES,
+    cycle_task_graph, last_cycle_timing_from, map_block_costs, CycleSummary, Driver, DriverParams,
+    STAGE_TASK_NAMES,
 };
 use crate::package::{FluxPhase, Package};
 use crate::tasks::{TaskKind, TaskList, TaskStatus};
-use crate::update::flux_divergence_update_with_ids;
+use crate::update::{flux_divergence_update_costed, flux_divergence_update_with_ids};
 use vibe_field::Side;
 
 /// Message-tag namespace for block-migration payloads (ghost boundaries
@@ -108,6 +109,12 @@ pub struct ShardOutput {
     pub dt: f64,
     /// Completed cycles.
     pub cycles: u64,
+    /// Causal task spans (rank/cycle-stamped), empty unless
+    /// [`DriverParams::capture_spans`] was on.
+    pub spans: Vec<vibe_prof::TaskSpan>,
+    /// Directly measured wait probes (collective blocking, migration
+    /// stalls) accumulated over the run.
+    pub probes: vibe_prof::WaitProbes,
 }
 
 /// One virtual rank executing as a real concurrent shard: the replicated
@@ -138,6 +145,11 @@ pub struct RankShard<P: Package> {
     step_decision: Option<vibe_mesh::refinement::RegridDecision>,
     step_counts: (usize, usize),
     comm_log: Vec<vibe_comm::CommEvent>,
+    span_log: Vec<vibe_prof::TaskSpan>,
+    wait_probes: vibe_prof::WaitProbes,
+    /// This cycle's measured per-gid cost ledger (ns); only owned gids are
+    /// non-zero — the Regrid task all-gathers the full map.
+    block_cost_ns: Vec<u64>,
 }
 
 impl<P: Package> std::fmt::Debug for RankShard<P> {
@@ -204,6 +216,9 @@ impl<P: Package> RankShard<P> {
             step_decision: None,
             step_counts: (0, 0),
             comm_log: Vec::new(),
+            span_log: Vec::new(),
+            wait_probes: vibe_prof::WaitProbes::default(),
+            block_cost_ns: Vec::new(),
             mesh,
             params,
         }
@@ -278,6 +293,8 @@ impl<P: Package> RankShard<P> {
             time: self.time,
             dt: self.dt,
             cycles: self.cycle,
+            spans: self.span_log,
+            probes: self.wait_probes,
         }
     }
 
@@ -300,6 +317,10 @@ impl<P: Package> RankShard<P> {
         }
         let cycle_guard = wall.region(RegionKey::Named("Cycle"));
         self.ensure_plan();
+        if self.params.measured_costs {
+            self.block_cost_ns.clear();
+            self.block_cost_ns.resize(self.mesh.num_blocks(), 0);
+        }
         let dt = self.dt;
         self.step_dt = dt;
         let mut list = Self::build_cycle_list();
@@ -311,12 +332,23 @@ impl<P: Package> RankShard<P> {
         // Real cross-thread waits can take arbitrarily many polls; the
         // default budget exists to catch single-process deadlocks.
         list.set_max_polls(usize::MAX / 2);
+        let capture = self.params.capture_spans;
+        let mut cycle_spans: Vec<vibe_prof::TaskSpan> = Vec::new();
         let stats = list
-            .execute_timed(self, wall.enabled())
+            .execute_spanned(self, wall.enabled(), capture.then_some(&mut cycle_spans))
             .expect("cycle task graph completes");
         drop(cycle_guard);
         if wall.enabled() {
             wall.record_pool_samples(&vibe_exec::stats_end());
+        }
+        let blocked = self.comm.take_collective_block_ns();
+        if capture {
+            for s in &mut cycle_spans {
+                s.rank = self.rank;
+                s.cycle = self.cycle;
+            }
+            self.span_log.append(&mut cycle_spans);
+            self.wait_probes.collective_block_ns += blocked;
         }
         let (refined, derefined) = self.step_counts;
         let nblocks = self.mesh.num_blocks();
@@ -767,13 +799,27 @@ impl<P: Package> RankShard<P> {
         TaskStatus::Complete
     }
 
+    /// One phase of the split flux sweep; under
+    /// [`DriverParams::measured_costs`] the pack's wall time is amortized
+    /// evenly over its blocks into the cost ledger (same approximation as
+    /// the driver).
     fn task_flux(&mut self, phase: FluxPhase) {
         let exec = self.exec();
         let wall = self.rec.wall().clone();
         let _g = wall.region(RegionKey::Step(StepFunction::CalculateFluxes));
+        let measured = self.params.measured_costs;
+        let mut costed: Vec<(usize, u64)> = Vec::new();
         self.with_owned_pack(StepFunction::CalculateFluxes, |pkg, pack, rec| {
+            let t0 = measured.then(std::time::Instant::now);
             pkg.calculate_fluxes_phase(pack, phase, exec, rec);
+            if let Some(t0) = t0 {
+                let ns = t0.elapsed().as_nanos() as u64 / pack.len().max(1) as u64;
+                costed.extend(pack.iter().map(|s| (s.info.gid, ns)));
+            }
         });
+        for (gid, ns) in costed {
+            self.block_cost_ns[gid] += ns;
+        }
     }
 
     fn task_fcorr_send(&mut self, task: &'static str) {
@@ -906,9 +952,19 @@ impl<P: Package> RankShard<P> {
         let wall = self.rec.wall().clone();
         let _g = wall.region(RegionKey::Named("RK2Update"));
         let ids = self.plan.as_ref().expect("plan built").flux_ids.clone();
+        let measured = self.params.measured_costs;
+        let ledger = &mut self.block_cost_ns;
         let rec = &mut self.rec;
         let mut pack: Vec<&mut BlockSlot> = self.owned.iter_mut().flatten().collect();
-        flux_divergence_update_with_ids(&mut pack, exec, a0, b, c, dt, &ids, rec);
+        if measured {
+            let mut cost = vec![0u64; pack.len()];
+            flux_divergence_update_costed(&mut pack, exec, a0, b, c, dt, &ids, rec, &mut cost);
+            for (slot, ns) in pack.iter().zip(cost) {
+                ledger[slot.info.gid] += ns;
+            }
+        } else {
+            flux_divergence_update_with_ids(&mut pack, exec, a0, b, c, dt, &ids, rec);
+        }
     }
 
     fn task_fill_derived(&mut self) {
@@ -1071,7 +1127,37 @@ impl<P: Package> RankShard<P> {
                 .map(|g| RegridSource::Unchanged { old_gid: g })
                 .collect()
         };
-        self.params.cost_model.apply(&mut self.mesh);
+        if self.params.measured_costs && !self.block_cost_ns.is_empty() {
+            // Each rank measured only its own blocks: gather the full
+            // per-old-gid ledger so every replica applies identical weights
+            // (the deterministic partition depends on it), then map it
+            // through the regrid provenance onto new gids.
+            let mut payload = Vec::new();
+            for (gid, &ns) in self.block_cost_ns.iter().enumerate() {
+                if old_ranks[gid] == me && ns > 0 {
+                    payload.extend_from_slice(&(gid as u64).to_le_bytes());
+                    payload.extend_from_slice(&ns.to_le_bytes());
+                }
+            }
+            let parts = self.comm.all_gather_data(
+                StepFunction::RedistributeAndRefineMeshBlocks,
+                payload,
+                &mut self.rec,
+            );
+            let mut full = vec![0u64; old_ranks.len()];
+            for part in &parts {
+                for pair in part.chunks_exact(16) {
+                    let gid =
+                        u64::from_le_bytes(pair[0..8].try_into().expect("gid bytes")) as usize;
+                    full[gid] = u64::from_le_bytes(pair[8..16].try_into().expect("cost bytes"));
+                }
+            }
+            for (gid, &ns) in map_block_costs(&full, &sources).iter().enumerate() {
+                self.mesh.set_block_cost(gid, (ns as f64).max(1.0));
+            }
+        } else {
+            self.params.cost_model.apply(&mut self.mesh);
+        }
         self.mesh.load_balance(self.params.nranks);
 
         // Which ranks need each old block under the new ownership map.
@@ -1117,6 +1203,11 @@ impl<P: Package> RankShard<P> {
         }
         let mut fetched: HashMap<usize, Vec<f64>> = HashMap::new();
         {
+            // The fetch loop blocks until every remote source block lands —
+            // the migration-stall wait state (probed, like collective
+            // blocking, because it hides inside a task action the span
+            // layer counts as busy).
+            let stall_t0 = self.params.capture_spans.then(std::time::Instant::now);
             let comm = &mut self.comm;
             let rec = &mut self.rec;
             let mut pending = needed;
@@ -1133,6 +1224,9 @@ impl<P: Package> RankShard<P> {
                 if !pending.is_empty() {
                     std::thread::yield_now();
                 }
+            }
+            if let Some(t0) = stall_t0 {
+                self.wait_probes.migration_stall_ns += t0.elapsed().as_nanos() as u64;
             }
         }
         // Rebuild owned slots in ascending gid order.

@@ -34,6 +34,7 @@
 use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
+#[cfg(test)]
 use std::time::Instant;
 
 use vibe_prof::StepFunction;
@@ -62,6 +63,17 @@ pub enum TaskKind {
     CommWait,
     /// Serial host work on the driver thread (tree ops, regridding).
     Serial,
+}
+
+/// Maps the executor's task kind onto the profiler's span taxonomy
+/// (`vibe-prof` sits below this crate, so the mapping lives here).
+pub fn span_kind(kind: TaskKind) -> vibe_prof::SpanKind {
+    match kind {
+        TaskKind::Compute => vibe_prof::SpanKind::Compute,
+        TaskKind::CommSend => vibe_prof::SpanKind::CommSend,
+        TaskKind::CommWait => vibe_prof::SpanKind::CommWait,
+        TaskKind::Serial => vibe_prof::SpanKind::Serial,
+    }
 }
 
 /// Opaque task identifier within one [`TaskList`].
@@ -402,6 +414,30 @@ impl<Ctx> TaskList<Ctx> {
     /// [`TaskError::Stalled`] if a dependency cycle exists or incomplete
     /// tasks exceed the poll budget.
     pub fn execute_timed(&mut self, ctx: &mut Ctx, timed: bool) -> Result<ExecStats, TaskError> {
+        self.execute_spanned(ctx, timed, None)
+    }
+
+    /// [`TaskList::execute_timed`] plus causal span capture: when `spans`
+    /// is given, every *labeled* task (see [`TaskList::add_task_meta`])
+    /// appends one [`vibe_prof::TaskSpan`] on completion, carrying its
+    /// first-start/completion timestamps on the process-global span epoch,
+    /// its action time split into productive (`busy_ns`) and `Incomplete`
+    /// polling (`spin_ns`) portions, and its dependency edges. The caller
+    /// stamps `rank`/`cycle` afterwards (the executor knows neither).
+    ///
+    /// Capture implies per-invocation timing regardless of `timed`; the
+    /// action sequence — and therefore every floating-point result — is
+    /// identical with capture on or off.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TaskList::execute_timed`].
+    pub fn execute_spanned(
+        &mut self,
+        ctx: &mut Ctx,
+        timed: bool,
+        mut spans: Option<&mut Vec<vibe_prof::TaskSpan>>,
+    ) -> Result<ExecStats, TaskError> {
         let n = self.tasks.len();
         for t in &self.tasks {
             for d in &t.deps {
@@ -413,6 +449,17 @@ impl<Ctx> TaskList<Ctx> {
         for t in &mut self.tasks {
             t.done = false;
         }
+        let capturing = spans.is_some();
+        let clocked = timed || capturing;
+        // Per-task span accumulators (only paid when capturing).
+        let mut first_start = if capturing {
+            vec![u64::MAX; n]
+        } else {
+            Vec::new()
+        };
+        let mut busy = if capturing { vec![0u64; n] } else { Vec::new() };
+        let mut spin = if capturing { vec![0u64; n] } else { Vec::new() };
+        let mut task_polls = if capturing { vec![0u64; n] } else { Vec::new() };
         let mut stats = ExecStats::default();
         let mut outstanding: u64 = 0;
         let mut completed = 0usize;
@@ -434,23 +481,41 @@ impl<Ctx> TaskList<Ctx> {
                 if label.is_some() {
                     vibe_exec::set_dispatch_label(label);
                 }
-                let start = timed.then(Instant::now);
+                let start_ns = clocked.then(vibe_prof::span_now_ns);
                 let status = (self.tasks[i].action)(ctx);
-                if let Some(start) = start {
-                    let dur = start.elapsed().as_nanos() as u64;
-                    match self.tasks[i].kind {
-                        TaskKind::Compute => {
-                            stats.compute_ns += dur;
-                            if outstanding > 0 {
-                                stats.overlapped_compute_ns += dur;
+                let invocation = start_ns.map(|s| (s, vibe_prof::span_now_ns()));
+                if timed {
+                    if let Some((s, e)) = invocation {
+                        let dur = e.saturating_sub(s);
+                        match self.tasks[i].kind {
+                            TaskKind::Compute => {
+                                stats.compute_ns += dur;
+                                if outstanding > 0 {
+                                    stats.overlapped_compute_ns += dur;
+                                }
                             }
+                            TaskKind::CommSend | TaskKind::CommWait => stats.comm_ns += dur,
+                            TaskKind::Serial => {}
                         }
-                        TaskKind::CommSend | TaskKind::CommWait => stats.comm_ns += dur,
-                        TaskKind::Serial => {}
                     }
                 }
                 if label.is_some() {
                     vibe_exec::set_dispatch_label(None);
+                }
+                if capturing {
+                    if let Some((s, e)) = invocation {
+                        if first_start[i] == u64::MAX {
+                            first_start[i] = s;
+                        }
+                        let dur = e.saturating_sub(s);
+                        match status {
+                            TaskStatus::Complete => busy[i] += dur,
+                            TaskStatus::Incomplete => {
+                                spin[i] += dur;
+                                task_polls[i] += 1;
+                            }
+                        }
+                    }
                 }
                 match status {
                     TaskStatus::Complete => {
@@ -461,6 +526,23 @@ impl<Ctx> TaskList<Ctx> {
                             TaskKind::CommSend => outstanding += 1,
                             TaskKind::CommWait => outstanding = outstanding.saturating_sub(1),
                             TaskKind::Compute | TaskKind::Serial => {}
+                        }
+                        if let (Some(sink), Some(name), Some((_, end))) =
+                            (spans.as_deref_mut(), label, invocation)
+                        {
+                            sink.push(vibe_prof::TaskSpan {
+                                rank: 0,
+                                cycle: 0,
+                                node: i,
+                                name,
+                                kind: span_kind(self.tasks[i].kind),
+                                start_ns: first_start[i],
+                                end_ns: end,
+                                busy_ns: busy[i],
+                                spin_ns: spin[i],
+                                polls: task_polls[i],
+                                deps: self.tasks[i].deps.iter().map(|d| d.0).collect(),
+                            });
                         }
                     }
                     TaskStatus::Incomplete => {
@@ -760,6 +842,50 @@ mod tests {
         assert!(stats.overlap_fraction() > 0.0 && stats.overlap_fraction() < 1.0);
         assert_eq!(stats.polls, 1);
         assert!(stats.comm_ns > 0);
+    }
+
+    #[test]
+    fn spanned_execution_captures_task_spans() {
+        let mut list: TaskList<u32> = TaskList::new();
+        let send = list.add_task_meta("send", TaskKind::CommSend, [], [], |_: &mut u32| {
+            TaskStatus::Complete
+        });
+        let wait = list.add_task_meta("wait", TaskKind::CommWait, [], [send], |polls: &mut u32| {
+            *polls += 1;
+            if *polls >= 3 {
+                TaskStatus::Complete
+            } else {
+                TaskStatus::Incomplete
+            }
+        });
+        list.add_task_meta("update", TaskKind::Compute, [], [wait], |_| {
+            TaskStatus::Complete
+        });
+        // Unlabeled tasks never emit spans.
+        list.add_task("anon", [], |_| TaskStatus::Complete);
+        let mut polls = 0;
+        let mut spans = Vec::new();
+        list.execute_spanned(&mut polls, true, Some(&mut spans))
+            .unwrap();
+        assert_eq!(spans.len(), 3, "one span per labeled task");
+        let wait_span = spans.iter().find(|s| s.name == "wait").unwrap();
+        assert_eq!(wait_span.polls, 2);
+        assert_eq!(wait_span.kind, vibe_prof::SpanKind::CommWait);
+        assert_eq!(wait_span.deps, vec![0]);
+        assert!(wait_span.start_ns <= wait_span.end_ns);
+        let update = spans.iter().find(|s| s.name == "update").unwrap();
+        assert_eq!(update.kind, vibe_prof::SpanKind::Compute);
+        assert!(
+            update.start_ns >= wait_span.end_ns,
+            "dependent task starts after its dependency completes"
+        );
+        for s in &spans {
+            assert!(s.busy_ns + s.spin_ns <= s.end_ns - s.start_ns + 1_000);
+        }
+        // Same list without a sink: no timing requirement, same behavior.
+        let mut polls = 0;
+        list.execute(&mut polls).unwrap();
+        assert_eq!(polls, 3);
     }
 
     #[test]

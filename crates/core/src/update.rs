@@ -73,19 +73,90 @@ pub fn flux_divergence_update_with_ids(
         launcher.record_only(&catalog::FLUX_DIVERGENCE, comp_cells, 1.0);
     }
 
-    let dim = shape.dim();
+    let bounds = interior_bounds(&shape);
+    exec.for_each_block(pack, |_, slot| {
+        apply_stage_update(slot, ids, shape.dim(), bounds, a0, b, c, dt);
+    });
+}
+
+/// [`flux_divergence_update_with_ids`] that additionally measures the
+/// wall time spent updating each block, accumulating it into `cost_ns`
+/// (aligned with `pack` order). This is the measured-cost feed of the
+/// load balancer (`DriverParams::measured_costs`): the timing is
+/// observational only — the update arithmetic is byte-for-byte the same
+/// code path, so enabling cost measurement never perturbs the solution.
+#[allow(clippy::too_many_arguments)]
+pub fn flux_divergence_update_costed(
+    pack: &mut [&mut BlockSlot],
+    exec: ExecCtx,
+    a0: f64,
+    b: f64,
+    c: f64,
+    dt: f64,
+    ids: &[VarId],
+    rec: &mut Recorder,
+    cost_ns: &mut [u64],
+) {
+    let _g = rec
+        .wall()
+        .clone()
+        .region(RegionKey::Step(StepFunction::FluxDivergence));
+    assert_eq!(pack.len(), cost_ns.len(), "one cost slot per block");
+    let Some(first) = pack.first_mut() else {
+        return;
+    };
+    let shape = *first.data.shape();
+    let ncomp_total: usize = ids.iter().map(|&id| first.data.var(id).ncomp()).sum();
+    let comp_cells = (pack.len() * shape.interior_count() * ncomp_total) as u64;
+    {
+        let mut launcher = Launcher::new(rec);
+        launcher.record_only(&catalog::WEIGHTED_SUM_DATA, comp_cells, 1.0);
+        launcher.record_only(&catalog::FLUX_DIVERGENCE, comp_cells, 1.0);
+    }
+    let bounds = interior_bounds(&shape);
+    let mut items: Vec<(&mut &mut BlockSlot, &mut u64)> =
+        pack.iter_mut().zip(cost_ns.iter_mut()).collect();
+    exec.for_each_block(&mut items, |_, (slot, ns)| {
+        let t0 = std::time::Instant::now();
+        apply_stage_update(slot, ids, shape.dim(), bounds, a0, b, c, dt);
+        **ns += t0.elapsed().as_nanos() as u64;
+    });
+}
+
+/// Interior index bounds `[i0, i1, j0, j1, k0, k1]` of `shape`.
+fn interior_bounds(shape: &vibe_mesh::index::IndexShape) -> [usize; 6] {
     let ix = shape.range(0, IndexDomain::Interior);
     let iy = shape.range(1, IndexDomain::Interior);
     let iz = shape.range(2, IndexDomain::Interior);
-    let (i0, i1) = (ix.s as usize, ix.e as usize);
-    let (j0, j1) = (iy.s as usize, iy.e as usize);
-    let (k0, k1) = (iz.s as usize, iz.e as usize);
-    let n = i1 - i0 + 1;
+    [
+        ix.s as usize,
+        ix.e as usize,
+        iy.s as usize,
+        iy.e as usize,
+        iz.s as usize,
+        iz.e as usize,
+    ]
+}
 
-    exec.for_each_block(pack, |_, slot| {
+/// The per-block RK-stage kernel shared by the plain and costed update
+/// entry points.
+#[allow(clippy::too_many_arguments)]
+fn apply_stage_update(
+    slot: &mut BlockSlot,
+    ids: &[VarId],
+    dim: usize,
+    bounds: [usize; 6],
+    a0: f64,
+    b: f64,
+    c: f64,
+    dt: f64,
+) {
+    let [i0, i1, j0, j1, k0, k1] = bounds;
+    let n = i1 - i0 + 1;
+    {
         let dx = slot.info.geom.dx();
         let inv = [1.0 / dx[0], 1.0 / dx[1], 1.0 / dx[2]];
-        let BlockSlot { data, stage0, .. } = &mut **slot;
+        let BlockSlot { data, stage0, .. } = &mut *slot;
         for &id in ids {
             let u0 = stage0
                 .get(&id)
@@ -164,7 +235,7 @@ pub fn flux_divergence_update_with_ids(
                 }
             }
         }
-    });
+    }
 }
 
 #[cfg(test)]
@@ -276,6 +347,58 @@ mod tests {
         let serial = build(ExecCtx::serial());
         let parallel = build(ExecCtx::new(4));
         assert!(serial == parallel);
+    }
+
+    #[test]
+    fn costed_update_matches_plain_bitwise_and_measures() {
+        let build = |costed: bool| {
+            let (_, mut slot) = setup();
+            let qid = slot.data.id_of("q").unwrap();
+            let dat = slot.data.var_mut(qid).data_mut();
+            for i in 0..dat.shape()[3] {
+                dat.set(0, 0, 0, i, (i as f64 * 0.29).sin());
+            }
+            slot.save_stage0(&[qid]);
+            {
+                let fx = slot.data.var_mut(qid).flux_mut(0).unwrap();
+                for i in 0..fx.shape()[3] {
+                    fx.set(0, 0, 0, i, (i as f64 * 0.17).cos());
+                }
+            }
+            let mut rec = Recorder::new();
+            rec.begin_cycle(0);
+            let ids = [qid];
+            let mut pack = vec![&mut slot];
+            let mut cost = vec![0u64; 1];
+            if costed {
+                flux_divergence_update_costed(
+                    &mut pack,
+                    ExecCtx::serial(),
+                    0.5,
+                    0.5,
+                    0.5,
+                    0.013,
+                    &ids,
+                    &mut rec,
+                    &mut cost,
+                );
+                assert!(cost[0] > 0, "per-block cost measured");
+            } else {
+                flux_divergence_update_with_ids(
+                    &mut pack,
+                    ExecCtx::serial(),
+                    0.5,
+                    0.5,
+                    0.5,
+                    0.013,
+                    &ids,
+                    &mut rec,
+                );
+            }
+            rec.end_cycle(1, 0, 0, 0);
+            slot.data.var(qid).data().clone()
+        };
+        assert!(build(false) == build(true));
     }
 
     #[test]

@@ -20,15 +20,28 @@
 //! framework code opens nested regions through the recorder it already
 //! holds.
 
+//!
+//! The [`spans`] / [`attribution`] modules grow the measured-time layer
+//! into a *causal, cross-rank* attribution engine: executed tasks emit
+//! [`TaskSpan`]s on one process-global epoch, matched send→complete pairs
+//! become [`CrossEdge`]s, and the merged activity DAG yields the critical
+//! path plus per-rank wait-state buckets that sum to measured wall time.
+
+pub mod attribution;
 pub mod functions;
 pub mod pool_stats;
 pub mod recorder;
 pub mod regions;
 pub mod report;
+pub mod spans;
 pub mod timeline;
 pub mod trace_export;
 pub mod wallclock;
 
+pub use attribution::{
+    attribute_rank, attribute_run, build_span_graph, critical_path, Attribution, CriticalPath,
+    PathSegment, SpanGraph, WaitBuckets, BUCKET_NAMES,
+};
 pub use functions::StepFunction;
 pub use pool_stats::{PoolRunSample, PoolStats, PoolWorkerSample};
 pub use recorder::{
@@ -36,10 +49,12 @@ pub use recorder::{
 };
 pub use regions::{FlatRegion, RegionKey, RegionStats, RegionTree};
 pub use report::{format_function_table, format_kernel_table};
+pub use spans::{span_epoch, span_now_ns, CrossEdge, FlowEvent, SpanKind, TaskSpan, WaitProbes};
 pub use timeline::{cycle_table, evolution_line, sparkline};
 pub use trace_export::{
     measured_by_function, metrics_jsonl, perfetto_async_trace_json, perfetto_multirank_trace_json,
-    perfetto_trace_json, summary_table, validate_async_trace, validate_json, validate_jsonl,
-    AsyncSpan, AsyncTraceStats,
+    perfetto_multirank_trace_with_flows_json, perfetto_trace_json, summary_table,
+    validate_async_trace, validate_flow_events, validate_json, validate_jsonl, AsyncSpan,
+    AsyncTraceStats, FlowStats,
 };
 pub use wallclock::{ProfLevel, RegionGuard, TraceEvent, WallClock, WallCycleStats};

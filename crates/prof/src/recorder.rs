@@ -343,11 +343,18 @@ impl Recorder {
     ///
     /// Measured wall-clock streams are not merged; per-rank wall clocks
     /// stay with their shard and are exported as rank-tagged tracks.
+    ///
+    /// A recorder from a rank that recorded nothing (e.g. one that owned
+    /// zero blocks after `partition_by_cost`, or never ran a cycle at all)
+    /// absorbs as a no-op beyond its memory accounting; adopting straggler
+    /// cycles keeps the totals census pinned to the highest-numbered cycle
+    /// rather than the last-adopted one.
     pub fn absorb(&mut self, other: &Recorder) {
         assert!(
             !self.in_cycle && !other.in_cycle,
             "absorb requires both recorders to be between cycles"
         );
+        let mut adopted = false;
         for theirs in &other.cycles {
             match self.cycles.iter_mut().find(|c| c.cycle == theirs.cycle) {
                 Some(mine) => {
@@ -369,7 +376,16 @@ impl Recorder {
                     self.absorb_into_totals();
                     self.cycles.push(std::mem::take(&mut self.current));
                     self.cycles.sort_by_key(|c| c.cycle);
+                    adopted = true;
                 }
+            }
+        }
+        if adopted {
+            // absorb_into_totals snapshots the census from whatever cycle
+            // was adopted last; out-of-order stragglers must not leave the
+            // totals reflecting an earlier mesh state.
+            if let Some(last) = self.cycles.last() {
+                self.totals.nblocks = last.nblocks;
             }
         }
         for (space, bytes) in &other.mem_current {
@@ -575,6 +591,41 @@ mod tests {
         // Separate address spaces: footprints sum.
         assert_eq!(rank0.mem_current(MemSpace::Kokkos), 1700);
         assert_eq!(rank0.mem_peak(MemSpace::Kokkos), 1700);
+    }
+
+    #[test]
+    fn absorb_tolerates_empty_rank_recorders() {
+        // A rank that owned zero blocks (or never cycled) absorbs as a
+        // no-op; an empty base adopts the other side whole, and stragglers
+        // arriving out of order leave totals on the latest cycle's census.
+        let mut populated = Recorder::new();
+        populated.begin_cycle(0);
+        populated.record_serial(StepFunction::RefinementTag, SerialWork::BlockLoop(3));
+        populated.end_cycle(8, 0, 0, 256);
+        let snapshot = populated.cycles().to_vec();
+
+        populated.absorb(&Recorder::new());
+        assert_eq!(populated.cycles(), &snapshot[..]);
+        assert_eq!(populated.totals().cell_updates, 256);
+
+        let mut empty = Recorder::new();
+        empty.absorb(&populated);
+        assert_eq!(empty.cycles(), &snapshot[..]);
+        assert_eq!(empty.totals().nblocks, 8);
+
+        // Straggler cycle 0 adopted after cycle 1 must not regress the
+        // totals census to cycle 0's block count.
+        let mut late = Recorder::new();
+        late.begin_cycle(1);
+        late.end_cycle(12, 1, 0, 512);
+        let mut early = Recorder::new();
+        early.begin_cycle(0);
+        early.end_cycle(8, 0, 0, 256);
+        late.absorb(&early);
+        assert_eq!(late.cycles().len(), 2);
+        assert_eq!(late.cycles()[0].cycle, 0);
+        assert_eq!(late.totals().nblocks, 12);
+        assert_eq!(late.totals().cell_updates, 768);
     }
 
     #[test]

@@ -78,6 +78,12 @@ pub fn perfetto_multirank_trace_json(ranks: &[(usize, Vec<TraceEvent>)]) -> Stri
     let total: usize = ranks.iter().map(|(_, evs)| evs.len()).sum();
     let mut out = String::with_capacity(256 + total * 96);
     out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    multirank_body(ranks, &mut out);
+    out.push_str("\n]}\n");
+    out
+}
+
+fn multirank_body(ranks: &[(usize, Vec<TraceEvent>)], out: &mut String) {
     let mut first = true;
     for (rank, events) in ranks {
         let pid = rank + 1;
@@ -106,6 +112,42 @@ pub fn perfetto_multirank_trace_json(ranks: &[(usize, Vec<TraceEvent>)]) -> Stri
                 ev.tid
             );
         }
+    }
+}
+
+/// Renders the multi-rank trace plus Perfetto *flow* arrows (`ph:"s"` /
+/// `ph:"f"` pairs, one per matched cross-rank message) linking the sending
+/// rank's timeline to the receiving rank's. The flow id is the send's
+/// globally unique sequence number; the terminating `f` event carries
+/// `bp:"e"` so Perfetto binds the arrowhead to the enclosing span. Flow
+/// timestamps must already be on the same epoch as the rank streams.
+pub fn perfetto_multirank_trace_with_flows_json(
+    ranks: &[(usize, Vec<TraceEvent>)],
+    flows: &[crate::spans::FlowEvent],
+) -> String {
+    let total: usize = ranks.iter().map(|(_, evs)| evs.len()).sum();
+    let mut out = String::with_capacity(256 + total * 96 + flows.len() * 224);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    multirank_body(ranks, &mut out);
+    for f in flows {
+        let mut name = String::new();
+        escape_json(f.name, &mut name);
+        let _ = write!(
+            out,
+            ",\n{{\"name\":\"{name}\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":{},\"ts\":{}.{:03},\"pid\":{},\"tid\":0}}",
+            f.id,
+            f.src_ts_ns / 1_000,
+            f.src_ts_ns % 1_000,
+            f.src_rank + 1
+        );
+        let _ = write!(
+            out,
+            ",\n{{\"name\":\"{name}\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\",\"id\":{},\"ts\":{}.{:03},\"pid\":{},\"tid\":0}}",
+            f.id,
+            f.dst_ts_ns / 1_000,
+            f.dst_ts_ns % 1_000,
+            f.dst_rank + 1
+        );
     }
     out.push_str("\n]}\n");
     out
@@ -285,6 +327,73 @@ pub fn validate_async_trace(json: &str) -> Result<AsyncTraceStats, String> {
         pairs,
         tracks: ids.len(),
     })
+}
+
+/// Statistics from a validated set of flow events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowStats {
+    /// Matched `"s"` → `"f"` arrow pairs.
+    pub flows: usize,
+}
+
+/// Offline validation of the flow events in a trace produced by
+/// [`perfetto_multirank_trace_with_flows_json`]: checks JSON syntax, then
+/// that every flow id carries exactly one `"s"` and one `"f"` event (in
+/// that order), that names match within a pair, that the terminating event
+/// does not precede the start (monotone pair timestamps), and that every
+/// timestamp is a non-negative finite number. Traces without any flow
+/// events validate with `flows == 0`. Relies on the exporter's
+/// one-event-per-line layout.
+pub fn validate_flow_events(json: &str) -> Result<FlowStats, String> {
+    validate_json(json)?;
+    let mut open: BTreeMap<String, (String, f64)> = BTreeMap::new();
+    let mut flows = 0usize;
+    for (lineno, line) in json.lines().enumerate() {
+        let ph = match field(line, "\"ph\":") {
+            Some(p) => p,
+            None => continue,
+        };
+        if ph != "s" && ph != "f" {
+            continue;
+        }
+        let at = |msg: &str| format!("line {}: {msg}", lineno + 1);
+        let id = field(line, "\"id\":").ok_or_else(|| at("flow event without id"))?;
+        let name = field(line, "\"name\":").ok_or_else(|| at("flow event without name"))?;
+        let ts: f64 = field(line, "\"ts\":")
+            .ok_or_else(|| at("flow event without ts"))?
+            .parse()
+            .map_err(|e| at(&format!("bad ts: {e}")))?;
+        if !ts.is_finite() || ts < 0.0 {
+            return Err(at(&format!("non-finite or negative ts {ts}")));
+        }
+        if ph == "s" {
+            if open
+                .insert(id.to_string(), (name.to_string(), ts))
+                .is_some()
+            {
+                return Err(at(&format!("duplicate flow start on id {id}")));
+            }
+        } else {
+            let (open_name, open_ts) = open
+                .remove(id)
+                .ok_or_else(|| at(&format!("'f' event with no open 's' on id {id}")))?;
+            if open_name != name {
+                return Err(at(&format!(
+                    "'f' name {name:?} does not match 's' {open_name:?} on id {id}"
+                )));
+            }
+            if ts < open_ts {
+                return Err(at(&format!(
+                    "flow runs backwards: 'f' at {ts} before 's' at {open_ts} on id {id}"
+                )));
+            }
+            flows += 1;
+        }
+    }
+    if let Some(id) = open.keys().next() {
+        return Err(format!("flow start on id {id} never terminated"));
+    }
+    Ok(FlowStats { flows })
 }
 
 fn pool_json(pool: &PoolStats, out: &mut String) {
@@ -768,6 +877,82 @@ mod tests {
         let e_at = json.find("\"name\":\"CalculateFluxes\",\"cat\":\"stream\",\"ph\":\"e\"");
         let b_at = json.find("\"name\":\"UpdateVars\",\"cat\":\"stream\",\"ph\":\"b\"");
         assert!(e_at.unwrap() < b_at.unwrap());
+    }
+
+    #[test]
+    fn multirank_trace_with_flows_round_trips_through_validator() {
+        use crate::spans::FlowEvent;
+        let ranks = vec![
+            (0usize, sample_events()),
+            (
+                1usize,
+                vec![TraceEvent {
+                    name: "Stage0::WaitUnpack",
+                    cat: "region",
+                    ts_ns: 3_000,
+                    dur_ns: 2_000,
+                    tid: 0,
+                }],
+            ),
+        ];
+        let flows = vec![
+            FlowEvent {
+                id: 42,
+                name: "ghost",
+                src_rank: 0,
+                src_ts_ns: 2_500,
+                dst_rank: 1,
+                dst_ts_ns: 5_000,
+            },
+            FlowEvent {
+                id: 43,
+                name: "ghost",
+                src_rank: 1,
+                src_ts_ns: 3_000,
+                dst_rank: 0,
+                dst_ts_ns: 3_500,
+            },
+        ];
+        let json = perfetto_multirank_trace_with_flows_json(&ranks, &flows);
+        validate_json(&json).expect("flow trace must be valid JSON");
+        assert!(json.contains("\"ph\":\"s\""));
+        assert!(json.contains("\"ph\":\"f\",\"bp\":\"e\""));
+        assert!(json.contains("\"id\":42"));
+        let stats = validate_flow_events(&json).unwrap();
+        assert_eq!(stats.flows, 2);
+        // Without flows the validator still accepts the plain trace.
+        let plain = perfetto_multirank_trace_json(&ranks);
+        assert_eq!(validate_flow_events(&plain).unwrap().flows, 0);
+    }
+
+    #[test]
+    fn flow_validator_rejects_malformed_pairings() {
+        let orphan_f = "{\"traceEvents\":[\n{\"name\":\"g\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\",\"id\":1,\"ts\":2.0,\"pid\":1,\"tid\":0}\n]}";
+        assert!(validate_flow_events(orphan_f)
+            .unwrap_err()
+            .contains("no open 's'"));
+
+        let dangling_s = "{\"traceEvents\":[\n{\"name\":\"g\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":1,\"ts\":2.0,\"pid\":1,\"tid\":0}\n]}";
+        assert!(validate_flow_events(dangling_s)
+            .unwrap_err()
+            .contains("never terminated"));
+
+        let dup_s = "{\"traceEvents\":[\n{\"name\":\"g\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":1,\"ts\":1.0,\"pid\":1,\"tid\":0},\n{\"name\":\"g\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":1,\"ts\":2.0,\"pid\":1,\"tid\":0}\n]}";
+        assert!(validate_flow_events(dup_s)
+            .unwrap_err()
+            .contains("duplicate flow start"));
+
+        let backwards = "{\"traceEvents\":[\n{\"name\":\"g\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":1,\"ts\":5.0,\"pid\":1,\"tid\":0},\n{\"name\":\"g\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\",\"id\":1,\"ts\":2.0,\"pid\":2,\"tid\":0}\n]}";
+        assert!(validate_flow_events(backwards)
+            .unwrap_err()
+            .contains("backwards"));
+
+        let name_mismatch = "{\"traceEvents\":[\n{\"name\":\"g\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":1,\"ts\":1.0,\"pid\":1,\"tid\":0},\n{\"name\":\"h\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\",\"id\":1,\"ts\":2.0,\"pid\":2,\"tid\":0}\n]}";
+        assert!(validate_flow_events(name_mismatch)
+            .unwrap_err()
+            .contains("does not match"));
+
+        assert!(validate_flow_events("{\"traceEvents\":[").is_err());
     }
 
     #[test]

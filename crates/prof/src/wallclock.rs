@@ -322,6 +322,15 @@ impl WallClock {
             .map_or_else(PoolStats::new, |i| i.lock().pool_totals.clone())
     }
 
+    /// The instant this profiler's timestamps are measured from, when
+    /// enabled. Per-rank profilers each carry their own epoch; rebasing
+    /// their trace streams onto the process-global span epoch
+    /// (`crate::spans::span_epoch`) via this accessor puts concurrent
+    /// shard timelines — and the flow arrows between them — on one axis.
+    pub fn epoch(&self) -> Option<Instant> {
+        self.inner.as_ref().map(|i| i.epoch)
+    }
+
     /// Snapshot of the buffered trace events (sorted by `(tid, ts)` at
     /// export time, not here) and the count of events dropped at the cap.
     pub fn trace_events(&self) -> (Vec<TraceEvent>, u64) {

@@ -18,13 +18,18 @@
 //! See [`run_distributed`] for the entry point; this crate's tests show a
 //! complete wiring example against the driver as the bitwise reference.
 
+use std::collections::HashMap;
 use std::time::Instant;
 
-use vibe_comm::{channel_fabric, validate_multirank_event_order, CommEvent};
+use vibe_comm::{channel_fabric, match_cross_edges, validate_multirank_event_order, CommEvent};
 use vibe_core::driver::CycleSummary;
 use vibe_core::shard::{fingerprint_slots, RankShard, ShardOutput};
 use vibe_core::{Driver, Package};
-use vibe_prof::{perfetto_multirank_trace_json, Recorder, TraceEvent};
+use vibe_prof::{
+    attribute_run, build_span_graph, perfetto_multirank_trace_json,
+    perfetto_multirank_trace_with_flows_json, span_epoch, Attribution, CrossEdge, FlowEvent,
+    Recorder, TaskSpan, TraceEvent, WaitProbes,
+};
 
 /// The merged result of a rank-parallel run.
 #[derive(Debug)]
@@ -59,8 +64,24 @@ pub struct RtRun {
     /// Final owned-block count per rank.
     pub rank_blocks: Vec<usize>,
     /// Per-rank measured-time trace streams (empty unless the replica was
-    /// built with wall-clock profiling on).
+    /// built with wall-clock profiling on), rebased onto the shared span
+    /// epoch so concurrent rank timelines align.
     pub rank_traces: Vec<(usize, Vec<TraceEvent>)>,
+    /// Every rank's causal task spans merged and sorted (empty unless the
+    /// replica was built with `capture_spans`).
+    pub spans: Vec<TaskSpan>,
+    /// Matched cross-rank send→complete message edges from the merged
+    /// event log.
+    pub cross_edges: Vec<CrossEdge>,
+    /// Perfetto flow arrows linking each matched send span to the receive
+    /// span that consumed its message.
+    pub flows: Vec<FlowEvent>,
+    /// Per-rank directly measured wait probes (collective blocking,
+    /// migration stalls).
+    pub wait_probes: Vec<WaitProbes>,
+    /// Cross-rank wait-state attribution over the merged activity DAG
+    /// (`None` unless the replica was built with `capture_spans`).
+    pub attribution: Option<Attribution>,
 }
 
 impl RtRun {
@@ -74,6 +95,12 @@ impl RtRun {
     /// a process track per rank.
     pub fn perfetto_trace_json(&self) -> String {
         perfetto_multirank_trace_json(&self.rank_traces)
+    }
+
+    /// Like [`RtRun::perfetto_trace_json`] but with one flow arrow per
+    /// matched cross-rank message, linking sender and receiver timelines.
+    pub fn perfetto_trace_with_flows_json(&self) -> String {
+        perfetto_multirank_trace_with_flows_json(&self.rank_traces, &self.flows)
     }
 }
 
@@ -100,6 +127,10 @@ where
     F: Fn() -> Driver<P> + Sync,
 {
     assert!(nranks > 0, "at least one rank");
+    // Pin the process-global span epoch before any shard thread starts, so
+    // every per-rank wall clock (created afterwards) sits at a non-negative
+    // offset from it and trace streams can be rebased without underflow.
+    let epoch = span_epoch();
     let fabric = channel_fabric(nranks);
     let make_replica = &make_replica;
     let mut results: Vec<(Vec<CycleSummary>, u64, ShardOutput)> = std::thread::scope(|s| {
@@ -131,12 +162,25 @@ where
     let mut rank_wall_ns = Vec::with_capacity(nranks);
     let mut rank_traces = Vec::with_capacity(nranks);
     let mut recorder: Option<Recorder> = None;
+    let mut spans: Vec<TaskSpan> = Vec::new();
+    let mut wait_probes = vec![WaitProbes::default(); nranks];
     for (_, wall_ns, out) in &mut results {
         rank_blocks[out.rank] = out.owned.len();
         rank_wall_ns.push(*wall_ns);
         slots.append(&mut out.owned);
         events.append(&mut out.events);
-        let (trace, _) = out.recorder.wall().trace_events();
+        wait_probes[out.rank] = out.probes;
+        spans.append(&mut out.spans);
+        let (mut trace, _) = out.recorder.wall().trace_events();
+        // Each rank's wall clock carries its own epoch; shift onto the
+        // shared span epoch so the merged timelines (and flow arrows, which
+        // are already span-epoch-relative) line up.
+        if let Some(rank_epoch) = out.recorder.wall().epoch() {
+            let off = rank_epoch.saturating_duration_since(epoch).as_nanos() as u64;
+            for ev in &mut trace {
+                ev.ts_ns += off;
+            }
+        }
         rank_traces.push((out.rank, trace));
         match recorder.as_mut() {
             Some(merged) => merged.absorb(&out.recorder),
@@ -153,6 +197,41 @@ where
     events.sort_by_key(|e| e.seq);
     let dependency_edges = validate_multirank_event_order(&events, nranks)
         .expect("merged multi-rank event log is well ordered");
+
+    // Cross-rank causal attribution: matched send→complete pairs become
+    // edges of the merged activity DAG; spans (when captured) yield the
+    // critical path, per-rank wait-state buckets, and Perfetto flow arrows.
+    let cross_edges = match_cross_edges(&events);
+    let mut flows = Vec::new();
+    let (attribution, spans) = if spans.is_empty() {
+        (None, spans)
+    } else {
+        let mut end_by_task: HashMap<(usize, u64, &'static str), u64> = HashMap::new();
+        for s in &spans {
+            let e = end_by_task.entry((s.rank, s.cycle, s.name)).or_insert(0);
+            *e = (*e).max(s.end_ns);
+        }
+        for e in &cross_edges {
+            let src = end_by_task.get(&(e.src_rank, e.src_cycle, e.src_task));
+            let dst = end_by_task.get(&(e.dst_rank, e.dst_cycle, e.dst_task));
+            if let (Some(&src_end), Some(&dst_end)) = (src, dst) {
+                flows.push(FlowEvent {
+                    id: e.seq,
+                    name: e.src_task,
+                    src_rank: e.src_rank,
+                    // The send span can outlive the receive that consumed
+                    // one of its messages (it keeps sending to other
+                    // neighbors); clamp so the arrow never runs backwards.
+                    src_ts_ns: src_end.min(dst_end),
+                    dst_rank: e.dst_rank,
+                    dst_ts_ns: dst_end,
+                });
+            }
+        }
+        let graph = build_span_graph(spans, &cross_edges);
+        let attribution = attribute_run(&graph, &wait_probes, &rank_wall_ns);
+        (Some(attribution), graph.spans)
+    };
 
     // Every rank must agree on the collective-derived scalars.
     let (summaries, _, rank0) = &results[0];
@@ -199,6 +278,11 @@ where
         rank_wall_ns,
         rank_blocks,
         rank_traces,
+        spans,
+        cross_edges,
+        flows,
+        wait_probes,
+        attribution,
     }
 }
 
@@ -247,10 +331,25 @@ mod tests {
     }
 
     fn replica(nranks: usize, host_threads: usize) -> vibe_core::Driver<Advect> {
+        replica_with(nranks, host_threads, false)
+    }
+
+    fn replica_with(
+        nranks: usize,
+        host_threads: usize,
+        instrumented: bool,
+    ) -> vibe_core::Driver<Advect> {
         let params = DriverParams {
             nranks,
             host_threads,
             cfl: 0.3,
+            capture_spans: instrumented,
+            measured_costs: instrumented,
+            prof_level: if instrumented {
+                vibe_prof::ProfLevel::Coarse
+            } else {
+                vibe_prof::ProfLevel::Off
+            },
             ..DriverParams::default()
         };
         let pkg = Advect {
@@ -305,6 +404,113 @@ mod tests {
         let threaded = run_distributed(2, cycles, || replica(2, 4));
         assert_eq!(serial.fingerprint, threaded.fingerprint);
         assert_eq!(serial.dt.to_bits(), threaded.dt.to_bits());
+    }
+
+    /// Attribution capture and measured costs are observational: the
+    /// merged solution fingerprint is bitwise identical with them on or
+    /// off, across rank and thread counts.
+    #[test]
+    fn attribution_capture_does_not_perturb_fingerprint() {
+        let cycles = 5;
+        let reference = driver_fingerprint(1, cycles);
+        for (nranks, threads) in [(1usize, 1usize), (2, 1), (4, 1), (2, 4)] {
+            let run = run_distributed(nranks, cycles, || replica_with(nranks, threads, true));
+            assert_eq!(
+                run.fingerprint, reference.0,
+                "instrumented fingerprint diverged at nranks={nranks} threads={threads}"
+            );
+            assert_eq!(run.dt.to_bits(), reference.1);
+        }
+    }
+
+    /// The merged DAG yields per-rank wait-state buckets that sum to the
+    /// measured wall time, a critical path, matched cross edges, and flow
+    /// arrows that pass the offline Perfetto validator.
+    #[test]
+    fn attribution_classifies_wall_and_flows_validate() {
+        let nranks = 4;
+        let run = run_distributed(nranks, 4, || replica_with(nranks, 1, true));
+        let attr = run.attribution.as_ref().expect("spans were captured");
+        assert_eq!(attr.per_rank.len(), nranks);
+        assert!(
+            attr.max_sum_error_frac() <= 0.05,
+            "buckets must sum to wall within 5%, got {:.4}",
+            attr.max_sum_error_frac()
+        );
+        assert!(
+            attr.min_coverage_frac() >= 0.90,
+            "at least 90% of wall must land in named buckets, got {:.4}",
+            attr.min_coverage_frac()
+        );
+        assert!(!attr.critical_path.path.is_empty());
+        assert!(attr.critical_path.switches + 1 == attr.critical_path.segments.len());
+        assert!(attr.matched_cross_edges > 0, "cross edges must match");
+        assert!(!run.flows.is_empty(), "matched edges must yield flows");
+        let json = run.perfetto_trace_with_flows_json();
+        let stats = vibe_prof::validate_flow_events(&json).expect("flow trace validates");
+        assert_eq!(stats.flows, run.flows.len());
+
+        // Determinism: re-deriving the attribution from the same spans and
+        // edges reproduces it exactly.
+        let graph = build_span_graph(run.spans.clone(), &run.cross_edges);
+        let again = attribute_run(&graph, &run.wait_probes, &run.rank_wall_ns);
+        for (a, b) in attr.per_rank.iter().zip(&again.per_rank) {
+            assert_eq!(a.as_array(), b.as_array());
+        }
+        assert_eq!(attr.critical_path.path, again.critical_path.path);
+        assert_eq!(attr.dominant_loss().0, again.dominant_loss().0);
+    }
+
+    /// Regression: ranks left empty by `partition_by_cost` (more ranks
+    /// than blocks) must merge cleanly — recorder absorb, span/attribution
+    /// paths, and the solution fingerprint all intact.
+    #[test]
+    fn ranks_with_zero_blocks_merge_cleanly() {
+        let small = || {
+            Mesh::new(
+                MeshParams::builder()
+                    .dim(2)
+                    .mesh_cells(16)
+                    .block_cells(8)
+                    .max_levels(1)
+                    .nghost(2)
+                    .deref_gap(4)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap()
+        };
+        let nranks = 6; // only 4 level-0 blocks: at least two ranks are empty
+        let make = || {
+            let params = DriverParams {
+                nranks,
+                cfl: 0.3,
+                capture_spans: true,
+                prof_level: vibe_prof::ProfLevel::Coarse,
+                ..DriverParams::default()
+            };
+            let pkg = Advect {
+                refine_above: 2.0, // never refines: block count stays below nranks
+                deref_below: 0.0,
+            };
+            let mut d = vibe_core::Driver::new(small(), pkg, params);
+            d.initialize(gaussian_ic);
+            d
+        };
+        let run = run_distributed(nranks, 3, make);
+        assert!(run.rank_blocks.contains(&0), "expected an empty rank");
+        assert_eq!(run.rank_blocks.iter().sum::<usize>(), 4);
+        let mut reference = make();
+        for _ in 0..3 {
+            reference.step();
+        }
+        assert_eq!(
+            run.fingerprint,
+            vibe_core::fingerprint_slots(reference.slots())
+        );
+        let attr = run.attribution.expect("spans captured on every rank");
+        assert_eq!(attr.per_rank.len(), nranks);
+        assert!(attr.max_sum_error_frac() <= 0.05);
     }
 
     /// Real cross-shard traffic exists and the merged log is causal: the

@@ -63,4 +63,20 @@ grep -q '"traceEvents"' target/ci-sim/trace.json
 grep -q '"ph":"b"' target/ci-sim/trace.json
 grep -q '"ph":"e"' target/ci-sim/trace.json
 
+echo "==> wait-state attribution gate (scaling_report)"
+# Causal cross-rank attribution at a CI-sized config: the binary exits
+# nonzero if any fingerprint diverges with attribution on/off, any rank's
+# buckets miss its wall by > 5%, < 90% of wall lands in named buckets,
+# multi-rank runs match no cross-rank edges, or the exported flow events
+# fail the offline Perfetto validator.
+mkdir -p target/ci-scaling
+VIBE_SCALE_MESH=32 VIBE_SCALE_BLOCK=8 VIBE_SCALE_LEVELS=2 VIBE_SCALE_CYCLES=2 \
+    VIBE_SCALE_RANKS=1,2,4,8 VIBE_SCALE_THREADS=1,8 \
+    VIBE_SCALE_TRACE_DIR=target/ci-scaling \
+    target/release/scaling_report target/ci-scaling/BENCH.json >/dev/null
+grep -q '"attribution"' target/ci-scaling/BENCH.json
+grep -q '"dominant_loss_4rank"' target/ci-scaling/BENCH.json
+grep -q '"ph":"s"' target/ci-scaling/trace_flows.json
+grep -q '"ph":"f"' target/ci-scaling/trace_flows.json
+
 echo "CI green."
