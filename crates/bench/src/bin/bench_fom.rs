@@ -240,6 +240,72 @@ fn measured_vs_modeled(rec: &Recorder) -> String {
     out
 }
 
+struct ServiceProbe {
+    jobs: usize,
+    wall_s: f64,
+    jobs_per_min: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+    hit_rate: f64,
+    all_resubmissions_cached: bool,
+}
+
+/// Drives the multi-tenant simulation service: 8 concurrent jobs from 3
+/// tenants (distinct problems) through the WRR scheduler with budget
+/// slicing, then resubmits every problem on a different geometry — all
+/// of which must be served from the fingerprint-keyed result cache.
+fn service_probe() -> ServiceProbe {
+    use vibe_serve::{JobConfig, Service, ServiceConfig};
+    const JOBS: usize = 8;
+    let svc = Service::start(ServiceConfig {
+        runners: 2,
+        budget_cycles: 3,
+        tenant_weights: Vec::new(),
+    });
+    let tenants = ["alpha", "beta", "gamma"];
+    let cfg = |i: usize, nranks: usize| JobConfig {
+        cycles: 6,
+        refine_tol: 0.2 + i as f64 * 0.005,
+        nranks,
+        ..JobConfig::default()
+    };
+    let t0 = Instant::now();
+    let ids: Vec<u64> = (0..JOBS)
+        .map(|i| {
+            svc.submit(tenants[i % tenants.len()], cfg(i, 1))
+                .expect("submit probe job")
+                .0
+        })
+        .collect();
+    for &id in &ids {
+        svc.wait_done(id, std::time::Duration::from_secs(600))
+            .expect("probe job completes");
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    // Identical problems, different geometry: every one a cache hit.
+    let all_resubmissions_cached = (0..JOBS).all(|i| {
+        svc.submit(tenants[i % tenants.len()], cfg(i, 2))
+            .expect("resubmit probe job")
+            .2
+    });
+    let stats = svc.stats();
+    svc.shutdown();
+    let lookups = stats.cache_hits + stats.cache_misses;
+    ServiceProbe {
+        jobs: JOBS,
+        wall_s,
+        jobs_per_min: JOBS as f64 / (wall_s / 60.0),
+        cache_hits: stats.cache_hits,
+        cache_misses: stats.cache_misses,
+        hit_rate: if lookups == 0 {
+            0.0
+        } else {
+            stats.cache_hits as f64 / lookups as f64
+        },
+        all_resubmissions_cached,
+    }
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -441,6 +507,22 @@ fn main() {
     println!("measured: serial cycling loop; larger blocks leave fewer sub-bundle exterior bands, raising the lane share");
     println!();
 
+    // Multi-tenant simulation service: throughput of 8 concurrent jobs
+    // from 3 tenants through the vibe-serve scheduler, then identical
+    // resubmissions to measure the fingerprint-keyed result cache.
+    eprintln!("probe: simulation service (8 jobs, 3 tenants, then cached resubmissions) ...");
+    let service = service_probe();
+    println!("== simulation service (vibe-serve) ==");
+    println!(
+        "8 concurrent jobs in {:.3}s = {:.1} jobs/min; resubmission hit rate {:.0}% ({} hits / {} lookups)",
+        service.wall_s,
+        service.jobs_per_min,
+        service.hit_rate * 100.0,
+        service.cache_hits,
+        service.cache_hits + service.cache_misses,
+    );
+    println!();
+
     let identical = results
         .windows(2)
         .all(|w| w[0].fingerprint == w[1].fingerprint && w[0].zone_cycles == w[1].zone_cycles);
@@ -533,6 +615,16 @@ fn main() {
     }
     json.push_str("  ],\n");
     json.push_str(&format!(
+        "  \"service\": {{\"concurrent_jobs\": {}, \"tenants\": 3, \"wall_s\": {:.6}, \"jobs_per_min\": {:.1}, \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.4}, \"all_resubmissions_cached\": {}}},\n",
+        service.jobs,
+        service.wall_s,
+        service.jobs_per_min,
+        service.cache_hits,
+        service.cache_misses,
+        service.hit_rate,
+        service.all_resubmissions_cached
+    ));
+    json.push_str(&format!(
         "  \"bit_identical_across_ranks\": {rank_identical},\n"
     ));
     json.push_str(&format!(
@@ -556,6 +648,10 @@ fn main() {
     }
     if !rank_identical {
         eprintln!("ERROR: rank-parallel fingerprints differ from the single-process run");
+        std::process::exit(1);
+    }
+    if !service.all_resubmissions_cached {
+        eprintln!("ERROR: a resubmitted identical job missed the service result cache");
         std::process::exit(1);
     }
 }

@@ -133,6 +133,11 @@ struct HubState {
     result: Option<Arc<Vec<Vec<u8>>>>,
     /// How many ranks have taken the published result.
     taken: usize,
+    /// Endpoints still attached to the fabric. A [`ChannelTransport`] that
+    /// drops (shard panicked, or a runner tore the session down mid-run)
+    /// leaves the hub; ranks blocked waiting for its deposit panic instead
+    /// of deadlocking.
+    alive: usize,
 }
 
 /// Blocking all-gather rendezvous shared by every [`ChannelTransport`] on a
@@ -161,6 +166,7 @@ impl CollectiveHub {
                 deposits: vec![None; nranks],
                 result: None,
                 taken: 0,
+                alive: nranks,
             }),
             cond: Condvar::new(),
         }
@@ -168,10 +174,22 @@ impl CollectiveHub {
 
     /// Deposits `payload` for `rank` and blocks until every rank has
     /// deposited, then returns all payloads indexed by rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics — instead of blocking forever — when a peer endpoint drops
+    /// off the fabric while this generation's deposits are still
+    /// incomplete (a shard panicked mid-cycle, or its thread was torn
+    /// down). Ranks that already deposited are themselves blocked in this
+    /// gather, so an endpoint can only disappear *before* depositing; its
+    /// generation can then never complete and every waiter unblocks by
+    /// panicking, which the conductor surfaces as a failed run.
     fn gather(&self, rank: usize, label: &'static str, payload: Vec<u8>) -> Vec<Vec<u8>> {
         let mut st = self.state.lock().unwrap();
         // Wait out the previous generation: our deposit slot must be free
-        // and no published result may linger (we would steal it).
+        // and no published result may linger (we would steal it). This
+        // wait needs no liveness check: a published result is always taken
+        // (every rank that deposited is blocked here until it takes).
         while st.result.is_some() || st.deposits[rank].is_some() {
             st = self.cond.wait(st).unwrap();
         }
@@ -191,7 +209,15 @@ impl CollectiveHub {
             st.label = None;
             self.cond.notify_all();
         } else {
-            while st.result.is_none() {
+            loop {
+                if st.result.is_some() {
+                    break;
+                }
+                assert!(
+                    st.alive >= self.nranks,
+                    "collective '{label}' abandoned on rank {rank}: a peer endpoint \
+                     disconnected before depositing"
+                );
                 st = self.cond.wait(st).unwrap();
             }
         }
@@ -202,6 +228,18 @@ impl CollectiveHub {
             self.cond.notify_all();
         }
         out
+    }
+
+    /// Detaches one endpoint (called when a [`ChannelTransport`] drops) and
+    /// wakes every waiter so ranks parked on the departed peer's deposit
+    /// re-check liveness. Tolerates a poisoned hub: if a rank panicked
+    /// inside [`Self::gather`] the remaining ranks already unblock through
+    /// the poisoned mutex, and this drop path must not double-panic.
+    fn leave(&self) {
+        if let Ok(mut st) = self.state.lock() {
+            st.alive = st.alive.saturating_sub(1);
+            self.cond.notify_all();
+        }
     }
 }
 
@@ -226,6 +264,12 @@ impl std::fmt::Debug for ChannelTransport {
             .field("rank", &self.rank)
             .field("nranks", &self.nranks)
             .finish_non_exhaustive()
+    }
+}
+
+impl Drop for ChannelTransport {
+    fn drop(&mut self) {
+        self.hub.leave();
     }
 }
 
@@ -381,6 +425,61 @@ mod tests {
         std::thread::spawn(move || h2.gather(1, "b", vec![]));
         std::thread::sleep(std::time::Duration::from_millis(50));
         hub.gather(0, "a", vec![]);
+    }
+
+    #[test]
+    fn dropped_endpoint_unblocks_gather_waiters() {
+        // Two ranks rendezvous while the third endpoint is torn down
+        // without ever depositing (the preempt path): the waiters must
+        // panic promptly instead of deadlocking.
+        let mut fabric = channel_fabric(3);
+        let dropped = fabric.pop().unwrap();
+        let waiters: Vec<_> = fabric
+            .into_iter()
+            .map(|mut t| {
+                std::thread::spawn(move || {
+                    t.all_gather_bytes("doomed", vec![t.rank() as u8]);
+                })
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        drop(dropped);
+        for h in waiters {
+            // One waiter panics on the liveness check; the other may
+            // instead unblock through the then-poisoned hub mutex. Either
+            // way: a prompt panic, never a hang.
+            let err = h.join().expect_err("waiter must panic, not hang");
+            let msg = err
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_default();
+            assert!(
+                msg.contains("abandoned") || msg.contains("Poison"),
+                "unexpected panic: {msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn normal_shutdown_order_is_leave_safe() {
+        // Endpoints that complete their last gather and drop in arbitrary
+        // order must not disturb ranks still taking the published result.
+        let fabric = channel_fabric(4);
+        let handles: Vec<_> = fabric
+            .into_iter()
+            .map(|mut t| {
+                std::thread::spawn(move || {
+                    for _ in 0..16 {
+                        t.all_gather_bytes("last", vec![t.rank() as u8]);
+                    }
+                    // Transport drops here, racing the other ranks' takes.
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
     }
 
     #[test]

@@ -276,6 +276,22 @@ pub fn cycle_task_graph() -> Vec<TaskNode> {
     g
 }
 
+/// The pieces of a decomposed [`Driver`], handed to a rank shard. Carries
+/// the full continuation state (clock, derefinement gate, history) so that
+/// shards built from a checkpoint-restored replica resume mid-run with
+/// bitwise-identical behavior.
+pub(crate) struct DriverParts<P: Package> {
+    pub mesh: Mesh,
+    pub slots: Vec<BlockSlot>,
+    pub package: P,
+    pub params: DriverParams,
+    pub time: f64,
+    pub dt: f64,
+    pub cycle: u64,
+    pub gate: DerefGate,
+    pub history: Vec<(u64, Vec<f64>)>,
+}
+
 /// The evolution driver: owns the mesh, block data, communication state,
 /// and profiler, and advances the simulation with the paper's timestep
 /// loop (`Step` → `LoadBalancingAndAMR` → `EstimateTimeStep`), each cycle
@@ -1336,10 +1352,23 @@ impl<P: Package> Driver<P> {
 
     /// Decomposes an initialized driver into the pieces a rank shard keeps:
     /// the (replicated) mesh, all block slots in gid order, the physics
-    /// package, the driver parameters, and the initial timestep. Used by
-    /// [`RankShard::from_replica`](crate::shard::RankShard::from_replica).
-    pub(crate) fn into_parts(self) -> (Mesh, Vec<BlockSlot>, P, DriverParams, f64) {
-        (self.mesh, self.slots, self.package, self.params, self.dt)
+    /// package, the driver parameters, and the full clock/AMR continuation
+    /// state. Used by
+    /// [`RankShard::from_replica`](crate::shard::RankShard::from_replica),
+    /// which must inherit the clock and derefinement gate so a replica built
+    /// from a checkpoint resumes with bitwise-identical regrid decisions.
+    pub(crate) fn into_parts(self) -> DriverParts<P> {
+        DriverParts {
+            mesh: self.mesh,
+            slots: self.slots,
+            package: self.package,
+            params: self.params,
+            time: self.time,
+            dt: self.dt,
+            cycle: self.cycle,
+            gate: self.gate,
+            history: self.history,
+        }
     }
 
     /// Restores the simulation clock from a checkpoint (used by
@@ -1348,6 +1377,20 @@ impl<P: Package> Driver<P> {
         self.time = time;
         self.dt = dt;
         self.cycle = cycle;
+    }
+
+    /// Restores checkpointed AMR continuation state: the derefinement gate
+    /// (absolute-cycle keyed, so it must survive a checkpoint for resumed
+    /// runs to make identical regrid decisions) and the history series
+    /// accumulated before the checkpoint.
+    pub(crate) fn restore_amr_state(&mut self, gate: DerefGate, history: Vec<(u64, Vec<f64>)>) {
+        self.gate = gate;
+        self.history = history;
+    }
+
+    /// The derefinement gate state (for checkpointing).
+    pub(crate) fn gate(&self) -> &DerefGate {
+        &self.gate
     }
 
     /// Refreshes slot rank fields from the mesh after load balancing.

@@ -59,6 +59,7 @@ use crate::driver::{
     STAGE_TASK_NAMES,
 };
 use crate::package::{FluxPhase, Package};
+use crate::snapshot::Snapshot;
 use crate::tasks::{TaskKind, TaskList, TaskStatus};
 use crate::update::{flux_divergence_update_costed, flux_divergence_update_with_ids};
 use vibe_field::Side;
@@ -178,12 +179,16 @@ impl<P: Package> RankShard<P> {
     pub fn from_replica(replica: Driver<P>, transport: Box<dyn Transport>) -> Self {
         let rank = transport.rank();
         let nranks = transport.nranks();
-        let (mesh, slots, package, params, dt) = replica.into_parts();
+        let parts = replica.into_parts();
+        let (mesh, slots, package, params) = (parts.mesh, parts.slots, parts.package, parts.params);
         assert_eq!(
             params.nranks, nranks,
             "replica rank count must match the transport"
         );
-        assert!(dt > 0.0, "replica must be initialized before sharding");
+        assert!(
+            parts.dt > 0.0,
+            "replica must be initialized before sharding"
+        );
         let mut comm = Communicator::with_transport(nranks, transport);
         comm.set_remote_delivery_delay(params.remote_delivery_polls);
         let mut rec = Recorder::with_prof_level(params.prof_level);
@@ -194,7 +199,10 @@ impl<P: Package> RankShard<P> {
             .collect();
         let owned_bytes: usize = owned.iter().flatten().map(BlockSlot::nbytes).sum();
         rec.record_alloc(MemSpace::Kokkos, owned_bytes as i64);
-        let gate = DerefGate::new(mesh.params().deref_gap());
+        // Inherit the replica's clock and derefinement-gate state: for a
+        // freshly initialized replica these are zero/empty, but a replica
+        // restored from a checkpoint resumes mid-run and the gate keys
+        // decisions on absolute cycle numbers.
         Self {
             rank,
             nranks,
@@ -203,11 +211,11 @@ impl<P: Package> RankShard<P> {
             comm,
             cache: BufferCache::new(),
             rec,
-            gate,
-            time: 0.0,
-            dt,
-            cycle: 0,
-            history: Vec::new(),
+            gate: parts.gate,
+            time: parts.time,
+            dt: parts.dt,
+            cycle: parts.cycle,
+            history: parts.history,
             plan: None,
             ghost_state: ShardGhostState::default(),
             fcorr_state: ShardFcorrState::default(),
@@ -274,6 +282,59 @@ impl<P: Package> RankShard<P> {
     /// by the conductor to bracket timed regions).
     pub fn barrier(&mut self, label: &'static str) {
         self.comm.barrier(label);
+    }
+
+    /// Collectively assembles a full-run checkpoint at a cycle boundary:
+    /// every rank contributes its owned blocks' variable data over an
+    /// AllGather, and every rank returns the identical complete
+    /// [`Snapshot`] — the replicated mesh tree and clock, the
+    /// derefinement-gate and history continuation state, and the gathered
+    /// per-block cell data. No ghost traffic is in flight between cycles,
+    /// so the boundary state is exactly the restartable state.
+    ///
+    /// Collective: every rank on the transport must call this at the same
+    /// point of its cycle loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a peer's payload is malformed or leaves a block
+    /// uncovered (both indicate rank divergence, which the deterministic
+    /// runtime rules out).
+    pub fn checkpoint(&mut self) -> Snapshot {
+        let payload = crate::snapshot::encode_rank_blocks(&self.owned);
+        let parts = self
+            .comm
+            .all_gather_data(StepFunction::Other, payload, &mut self.rec);
+        let nblocks = self.mesh.num_blocks();
+        let mut block_vars: Vec<Vec<(String, usize, Vec<f64>)>> = vec![Vec::new(); nblocks];
+        for part in &parts {
+            for (gid, vars) in crate::snapshot::decode_rank_blocks(part)
+                .expect("malformed peer checkpoint payload")
+            {
+                assert!(gid < nblocks, "peer checkpoint refers to unknown gid {gid}");
+                block_vars[gid] = vars;
+            }
+        }
+        assert!(
+            block_vars.iter().all(|v| !v.is_empty()),
+            "checkpoint gather left a block uncovered"
+        );
+        let mp = self.mesh.params();
+        Snapshot {
+            dim: mp.dim(),
+            mesh_size: mp.mesh_size(),
+            block_size: mp.block_size(),
+            max_levels: mp.max_levels(),
+            nghost: mp.nghost(),
+            deref_gap: mp.deref_gap(),
+            time: self.time,
+            dt: self.dt,
+            cycle: self.cycle,
+            leaves: (0..nblocks).map(|g| self.mesh.block(g).loc()).collect(),
+            block_vars,
+            gate: self.gate.entries(),
+            history: self.history.clone(),
+        }
     }
 
     /// Finishes the shard, returning everything the conductor merges.

@@ -2,23 +2,51 @@
 //!
 //! Hero-class AMR runs take weeks to months (§I), so restartability is a
 //! baseline framework requirement. A snapshot captures the mesh hierarchy
-//! (leaf set), simulation clock, and every variable's cell data; fluxes,
-//! ghost zones, and stage copies are transient and recomputed after
-//! restore.
+//! (leaf set), simulation clock, every variable's cell data, and — since
+//! format version 2 — the AMR continuation state a *resumed* run needs to
+//! make bitwise-identical decisions: the configured derefinement gap, the
+//! [`DerefGate`]'s per-region last-event cycles (the gate keys decisions on
+//! absolute cycle numbers), and the history series accumulated so far.
+//! Fluxes, ghost zones, and stage copies are transient and recomputed
+//! after restore.
 //!
 //! The format is a small self-describing little-endian binary layout with
 //! a magic number and version, independent of any serialization crate.
+//! Version 1 snapshots (no gate/history sections) still read; they restore
+//! with an empty gate and the builder-default derefinement gap, which is
+//! only exact for runs checkpointed before any regrid activity.
+//!
+//! Parsing is hardened for untrusted input: truncated, oversized-length,
+//! and corrupt-magic streams return [`io::Error`] — never a panic, and
+//! never an allocation proportional to a length field that the stream has
+//! not actually backed with bytes.
 
 use std::io::{self, Read, Write};
 
-use vibe_mesh::{LogicalLocation, Mesh, MeshParams};
+use vibe_mesh::{DerefGate, LogicalLocation, Mesh, MeshParams};
 use vibe_prof::Recorder;
 
 use crate::driver::{Driver, DriverParams};
 use crate::package::Package;
 
 const MAGIC: &[u8; 4] = b"VAMR";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+/// Oldest snapshot version [`read_snapshot`] still accepts.
+const MIN_VERSION: u32 = 1;
+
+/// Upper bound on any per-item count read from the wire (blocks, gate
+/// entries, history rows). Far above anything this workspace produces, but
+/// small enough that a bounded pre-reservation cannot OOM.
+const MAX_COUNT: u64 = 10_000_000;
+/// Upper bound on a single variable's flattened cell-data length.
+const MAX_DATA_LEN: u64 = 1 << 32;
+/// Pre-reservation clamp: collections reserve at most this many elements
+/// up front and grow geometrically as bytes actually arrive, so a forged
+/// length field cannot trigger a huge allocation on a truncated stream.
+const MAX_PREALLOC: usize = 1 << 16;
+
+/// One block's variables: `(name, ncomp, cell data)` per entry.
+pub type BlockVars = Vec<(String, usize, Vec<f64>)>;
 
 /// A deserialized snapshot, ready to be restored into a driver.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,6 +61,8 @@ pub struct Snapshot {
     pub max_levels: u32,
     /// Ghost layers.
     pub nghost: usize,
+    /// Minimum cycle gap between derefinements of the same region.
+    pub deref_gap: u64,
     /// Simulation time.
     pub time: f64,
     /// Timestep at checkpoint.
@@ -42,7 +72,14 @@ pub struct Snapshot {
     /// Leaf locations in Morton order.
     pub leaves: Vec<LogicalLocation>,
     /// Per block, per variable: (name, ncomp, cell data).
-    pub block_vars: Vec<Vec<(String, usize, Vec<f64>)>>,
+    pub block_vars: Vec<BlockVars>,
+    /// Derefinement-gate state: `(parent, last event cycle)` sorted by
+    /// location. Absolute-cycle keyed, so a resumed run regrids exactly
+    /// like the uninterrupted one.
+    pub gate: Vec<(LogicalLocation, u64)>,
+    /// History reductions accumulated before the checkpoint, as
+    /// `(cycle, values)`.
+    pub history: Vec<(u64, Vec<f64>)>,
 }
 
 impl Snapshot {
@@ -58,7 +95,60 @@ impl Snapshot {
             .block_size(self.block_size)
             .max_levels(self.max_levels)
             .nghost(self.nghost)
+            .deref_gap(self.deref_gap)
             .build()
+    }
+
+    /// Serializes the snapshot in the current (version 2) wire format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        w_u32(w, VERSION)?;
+        w_u32(w, self.dim as u32)?;
+        for d in 0..3 {
+            w_u64(w, self.mesh_size[d] as u64)?;
+        }
+        for d in 0..3 {
+            w_u64(w, self.block_size[d] as u64)?;
+        }
+        w_u32(w, self.max_levels)?;
+        w_u32(w, self.nghost as u32)?;
+        w_u64(w, self.deref_gap)?;
+        w_f64(w, self.time)?;
+        w_f64(w, self.dt)?;
+        w_u64(w, self.cycle)?;
+        w_u64(w, self.leaves.len() as u64)?;
+        for (loc, vars) in self.leaves.iter().zip(&self.block_vars) {
+            w_loc(w, loc)?;
+            w_u32(w, vars.len() as u32)?;
+            for (name, ncomp, data) in vars {
+                let name = name.as_bytes();
+                w_u32(w, name.len() as u32)?;
+                w.write_all(name)?;
+                w_u32(w, *ncomp as u32)?;
+                w_u64(w, data.len() as u64)?;
+                for &v in data {
+                    w_f64(w, v)?;
+                }
+            }
+        }
+        w_u64(w, self.gate.len() as u64)?;
+        for (loc, last) in &self.gate {
+            w_loc(w, loc)?;
+            w_u64(w, *last)?;
+        }
+        w_u64(w, self.history.len() as u64)?;
+        for (cycle, values) in &self.history {
+            w_u64(w, *cycle)?;
+            w_u32(w, values.len() as u32)?;
+            for &v in values {
+                w_f64(w, v)?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -73,6 +163,13 @@ fn w_i64<W: Write>(w: &mut W, v: i64) -> io::Result<()> {
 }
 fn w_f64<W: Write>(w: &mut W, v: f64) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
+}
+fn w_loc<W: Write>(w: &mut W, loc: &LogicalLocation) -> io::Result<()> {
+    w_u32(w, loc.level() as u32)?;
+    for d in 0..3 {
+        w_i64(w, loc.lx_d(d))?;
+    }
+    Ok(())
 }
 fn r_u32<R: Read>(r: &mut R) -> io::Result<u32> {
     let mut b = [0u8; 4];
@@ -94,62 +191,96 @@ fn r_f64<R: Read>(r: &mut R) -> io::Result<f64> {
     r.read_exact(&mut b)?;
     Ok(f64::from_le_bytes(b))
 }
+fn r_loc<R: Read>(r: &mut R) -> io::Result<LogicalLocation> {
+    let level = r_u32(r)? as i32;
+    let lx = [r_i64(r)?, r_i64(r)?, r_i64(r)?];
+    // LogicalLocation::new asserts on negative values; corrupt input must
+    // surface as an error instead.
+    if level < 0 || lx.iter().any(|&x| x < 0) {
+        return Err(bad("negative logical location"));
+    }
+    Ok(LogicalLocation::new(level, lx[0], lx[1], lx[2]))
+}
+
+/// Reads a `u64` count and validates it against `cap`.
+fn r_count<R: Read>(r: &mut R, cap: u64, what: &str) -> io::Result<usize> {
+    let n = r_u64(r)?;
+    if n > cap {
+        return Err(bad(format!("implausible {what} count {n}")));
+    }
+    Ok(n as usize)
+}
+
+/// Reads `len` f64 values with bounded pre-reservation: a forged length on
+/// a truncated stream fails at the first missing byte instead of
+/// allocating `len * 8` bytes up front.
+fn r_f64_vec<R: Read>(r: &mut R, len: usize) -> io::Result<Vec<f64>> {
+    let mut data = Vec::with_capacity(len.min(MAX_PREALLOC));
+    for _ in 0..len {
+        data.push(r_f64(r)?);
+    }
+    Ok(data)
+}
 
 fn bad(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
 impl<P: Package> Driver<P> {
+    /// Captures the full restartable state as an in-memory [`Snapshot`].
+    pub fn to_snapshot(&self) -> Snapshot {
+        let mp = self.mesh().params();
+        Snapshot {
+            dim: mp.dim(),
+            mesh_size: mp.mesh_size(),
+            block_size: mp.block_size(),
+            max_levels: mp.max_levels(),
+            nghost: mp.nghost(),
+            deref_gap: mp.deref_gap(),
+            time: self.time(),
+            dt: self.dt(),
+            cycle: self.cycle(),
+            leaves: self.slots().iter().map(|s| s.info.loc).collect(),
+            block_vars: self
+                .slots()
+                .iter()
+                .map(|slot| {
+                    slot.data
+                        .vars()
+                        .iter()
+                        .map(|var| {
+                            (
+                                var.name().to_string(),
+                                var.ncomp(),
+                                var.data().as_slice().to_vec(),
+                            )
+                        })
+                        .collect()
+                })
+                .collect(),
+            gate: self.gate().entries(),
+            history: self.history().to_vec(),
+        }
+    }
+
     /// Writes a restartable snapshot of the current state.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors from `w`.
     pub fn write_snapshot<W: Write>(&self, w: &mut W) -> io::Result<()> {
-        let mp = self.mesh().params();
-        w.write_all(MAGIC)?;
-        w_u32(w, VERSION)?;
-        w_u32(w, mp.dim() as u32)?;
-        for d in 0..3 {
-            w_u64(w, mp.mesh_size()[d] as u64)?;
-        }
-        for d in 0..3 {
-            w_u64(w, mp.block_size()[d] as u64)?;
-        }
-        w_u32(w, mp.max_levels())?;
-        w_u32(w, mp.nghost() as u32)?;
-        w_f64(w, self.time())?;
-        w_f64(w, self.dt())?;
-        w_u64(w, self.cycle())?;
-        w_u64(w, self.slots().len() as u64)?;
-        for slot in self.slots() {
-            let loc = slot.info.loc;
-            w_u32(w, loc.level() as u32)?;
-            for d in 0..3 {
-                w_i64(w, loc.lx_d(d))?;
-            }
-            w_u32(w, slot.data.num_vars() as u32)?;
-            for var in slot.data.vars() {
-                let name = var.name().as_bytes();
-                w_u32(w, name.len() as u32)?;
-                w.write_all(name)?;
-                w_u32(w, var.ncomp() as u32)?;
-                let data = var.data().as_slice();
-                w_u64(w, data.len() as u64)?;
-                for &v in data {
-                    w_f64(w, v)?;
-                }
-            }
-        }
-        Ok(())
+        self.to_snapshot().write_to(w)
     }
 }
 
-/// Parses a snapshot from `r`.
+/// Parses a snapshot from `r`. Accepts format versions 1 and 2; version 1
+/// restores with an empty derefinement gate, no history, and the default
+/// derefinement gap.
 ///
 /// # Errors
 ///
-/// I/O errors, a bad magic/version, or malformed structure.
+/// I/O errors, a bad magic/version, or malformed structure. Never panics
+/// and never allocates proportionally to unbacked length fields.
 pub fn read_snapshot<R: Read>(r: &mut R) -> io::Result<Snapshot> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
@@ -157,7 +288,7 @@ pub fn read_snapshot<R: Read>(r: &mut R) -> io::Result<Snapshot> {
         return Err(bad("not a vibe-amr snapshot (bad magic)"));
     }
     let version = r_u32(r)?;
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(bad(format!("unsupported snapshot version {version}")));
     }
     let dim = r_u32(r)? as usize;
@@ -166,46 +297,61 @@ pub fn read_snapshot<R: Read>(r: &mut R) -> io::Result<Snapshot> {
     }
     let mut mesh_size = [0usize; 3];
     for m in &mut mesh_size {
-        *m = r_u64(r)? as usize;
+        let v = r_u64(r)?;
+        if v > MAX_DATA_LEN {
+            return Err(bad("implausible mesh size"));
+        }
+        *m = v as usize;
     }
     let mut block_size = [0usize; 3];
     for b in &mut block_size {
-        *b = r_u64(r)? as usize;
+        let v = r_u64(r)?;
+        if v > MAX_DATA_LEN {
+            return Err(bad("implausible block size"));
+        }
+        *b = v as usize;
     }
     let max_levels = r_u32(r)?;
     let nghost = r_u32(r)? as usize;
+    if nghost > 4096 {
+        return Err(bad("implausible ghost layer count"));
+    }
+    let deref_gap = if version >= 2 {
+        r_u64(r)?
+    } else {
+        MeshParams::builder().build().map_or(10, |p| p.deref_gap())
+    };
     let time = r_f64(r)?;
     let dt = r_f64(r)?;
     let cycle = r_u64(r)?;
-    let nblocks = r_u64(r)? as usize;
-    if nblocks > 10_000_000 {
-        return Err(bad("implausible block count"));
-    }
-    let mut leaves = Vec::with_capacity(nblocks);
-    let mut block_vars = Vec::with_capacity(nblocks);
+    let nblocks = r_count(r, MAX_COUNT, "block")?;
+    let mut leaves = Vec::with_capacity(nblocks.min(MAX_PREALLOC));
+    let mut block_vars = Vec::with_capacity(nblocks.min(MAX_PREALLOC));
     for _ in 0..nblocks {
-        let level = r_u32(r)? as i32;
-        let lx = [r_i64(r)?, r_i64(r)?, r_i64(r)?];
-        leaves.push(LogicalLocation::new(level, lx[0], lx[1], lx[2]));
-        let nvars = r_u32(r)? as usize;
-        let mut vars = Vec::with_capacity(nvars);
-        for _ in 0..nvars {
-            let name_len = r_u32(r)? as usize;
-            if name_len > 4096 {
-                return Err(bad("implausible variable name length"));
-            }
-            let mut name = vec![0u8; name_len];
-            r.read_exact(&mut name)?;
-            let name = String::from_utf8(name).map_err(|_| bad("non-UTF8 variable name"))?;
-            let ncomp = r_u32(r)? as usize;
-            let len = r_u64(r)? as usize;
-            let mut data = Vec::with_capacity(len);
-            for _ in 0..len {
-                data.push(r_f64(r)?);
-            }
-            vars.push((name, ncomp, data));
-        }
+        leaves.push(r_loc(r)?);
+        let (vars, _) = r_block_vars(r)?;
         block_vars.push(vars);
+    }
+    let mut gate = Vec::new();
+    let mut history = Vec::new();
+    if version >= 2 {
+        let ngate = r_count(r, MAX_COUNT, "gate entry")?;
+        gate.reserve(ngate.min(MAX_PREALLOC));
+        for _ in 0..ngate {
+            let loc = r_loc(r)?;
+            let last = r_u64(r)?;
+            gate.push((loc, last));
+        }
+        let nhist = r_count(r, MAX_COUNT, "history row")?;
+        history.reserve(nhist.min(MAX_PREALLOC));
+        for _ in 0..nhist {
+            let hcycle = r_u64(r)?;
+            let len = r_u32(r)? as usize;
+            if len > MAX_PREALLOC {
+                return Err(bad("implausible history row length"));
+            }
+            history.push((hcycle, r_f64_vec(r, len)?));
+        }
     }
     Ok(Snapshot {
         dim,
@@ -213,17 +359,111 @@ pub fn read_snapshot<R: Read>(r: &mut R) -> io::Result<Snapshot> {
         block_size,
         max_levels,
         nghost,
+        deref_gap,
         time,
         dt,
         cycle,
         leaves,
         block_vars,
+        gate,
+        history,
     })
+}
+
+/// Reads one block's variable list (shared between the full snapshot
+/// format and the per-rank checkpoint payloads). Returns the variables and
+/// the total f64 count read (for accounting).
+fn r_block_vars<R: Read>(r: &mut R) -> io::Result<(BlockVars, u64)> {
+    let nvars = r_u32(r)? as usize;
+    if nvars > 4096 {
+        return Err(bad("implausible variable count"));
+    }
+    let mut vars = Vec::with_capacity(nvars);
+    let mut total = 0u64;
+    for _ in 0..nvars {
+        let name_len = r_u32(r)? as usize;
+        if name_len > 4096 {
+            return Err(bad("implausible variable name length"));
+        }
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name)?;
+        let name = String::from_utf8(name).map_err(|_| bad("non-UTF8 variable name"))?;
+        let ncomp = r_u32(r)? as usize;
+        if ncomp > 65_536 {
+            return Err(bad("implausible component count"));
+        }
+        let len = r_u64(r)?;
+        if len > MAX_DATA_LEN {
+            return Err(bad("implausible variable data length"));
+        }
+        total += len;
+        vars.push((name, ncomp, r_f64_vec(r, len as usize)?));
+    }
+    Ok((vars, total))
+}
+
+fn w_block_vars<W: Write>(w: &mut W, vars: &[(String, usize, Vec<f64>)]) -> io::Result<()> {
+    w_u32(w, vars.len() as u32)?;
+    for (name, ncomp, data) in vars {
+        let name = name.as_bytes();
+        w_u32(w, name.len() as u32)?;
+        w.write_all(name)?;
+        w_u32(w, *ncomp as u32)?;
+        w_u64(w, data.len() as u64)?;
+        for &v in data {
+            w_f64(w, v)?;
+        }
+    }
+    Ok(())
+}
+
+/// Encodes one rank's owned blocks as a checkpoint-collective payload:
+/// `count, then per block (gid, variable list)` in gid order. Used by
+/// [`RankShard::checkpoint`](crate::shard::RankShard::checkpoint).
+pub(crate) fn encode_rank_blocks(owned: &[Option<crate::block::BlockSlot>]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    let count = owned.iter().flatten().count() as u64;
+    w_u64(&mut buf, count).expect("vec write");
+    for (gid, slot) in owned.iter().enumerate() {
+        let Some(slot) = slot else { continue };
+        w_u64(&mut buf, gid as u64).expect("vec write");
+        let vars: Vec<(String, usize, Vec<f64>)> = slot
+            .data
+            .vars()
+            .iter()
+            .map(|var| {
+                (
+                    var.name().to_string(),
+                    var.ncomp(),
+                    var.data().as_slice().to_vec(),
+                )
+            })
+            .collect();
+        w_block_vars(&mut buf, &vars).expect("vec write");
+    }
+    buf
+}
+
+/// Decodes a peer rank's checkpoint payload (see [`encode_rank_blocks`]).
+pub(crate) fn decode_rank_blocks(bytes: &[u8]) -> io::Result<Vec<(usize, BlockVars)>> {
+    let mut r = bytes;
+    let count = r_count(&mut r, MAX_COUNT, "owned block")?;
+    let mut out = Vec::with_capacity(count.min(MAX_PREALLOC));
+    for _ in 0..count {
+        let gid = r_u64(&mut r)? as usize;
+        let (vars, _) = r_block_vars(&mut r)?;
+        out.push((gid, vars));
+    }
+    Ok(out)
 }
 
 /// Restores a driver from `snapshot` with the given physics package and
 /// driver parameters. The package must register the same variables the
-/// snapshot carries.
+/// snapshot carries. The restored driver resumes at the checkpoint's
+/// clock, derefinement-gate, and history state; `params.nranks` may differ
+/// from the checkpointing run's — the rebuilt mesh is re-partitioned for
+/// the new rank count, and the bitwise-reproducibility invariant makes the
+/// continued solution independent of that choice.
 ///
 /// # Errors
 ///
@@ -269,6 +509,10 @@ pub fn restore_driver<P: Package>(
         let _ = slot.data.take_string_lookups();
     }
     driver.restore_clock(snapshot.time, snapshot.dt, snapshot.cycle);
+    driver.restore_amr_state(
+        DerefGate::from_entries(snapshot.deref_gap, &snapshot.gate),
+        snapshot.history.clone(),
+    );
     Ok(driver)
 }
 
@@ -296,17 +540,19 @@ pub fn fresh_recorder() -> Recorder {
 mod tests {
     use super::*;
     use crate::package::advect::Advect;
+    use crate::shard::fingerprint_slots;
     use vibe_field::BlockData;
     use vibe_mesh::MeshParams;
 
-    fn driver() -> Driver<Advect> {
+    fn driver_with(mesh_cells: usize, max_levels: u32) -> Driver<Advect> {
         let mesh = Mesh::new(
             MeshParams::builder()
                 .dim(2)
-                .mesh_cells(32)
+                .mesh_cells(mesh_cells)
                 .block_cells(8)
-                .max_levels(2)
+                .max_levels(max_levels)
                 .nghost(2)
+                .deref_gap(4)
                 .build()
                 .unwrap(),
         )
@@ -336,6 +582,10 @@ mod tests {
         d
     }
 
+    fn driver() -> Driver<Advect> {
+        driver_with(32, 2)
+    }
+
     #[test]
     fn snapshot_roundtrip_preserves_everything() {
         let mut d = driver();
@@ -347,6 +597,9 @@ mod tests {
         assert_eq!(snap.cycle, 3);
         assert_eq!(snap.leaves.len(), d.mesh().num_blocks());
         assert!((snap.time - d.time()).abs() < 1e-15);
+        assert_eq!(snap.deref_gap, 4);
+        assert_eq!(snap.gate, d.to_snapshot().gate);
+        assert_eq!(snap.history, d.history().to_vec());
 
         let pkg = Advect {
             refine_above: 0.2,
@@ -355,6 +608,7 @@ mod tests {
         let restored = restore_driver(&snap, pkg, DriverParams::default()).unwrap();
         assert_eq!(restored.mesh().num_blocks(), d.mesh().num_blocks());
         assert_eq!(restored.cycle(), d.cycle());
+        assert_eq!(restored.history(), d.history());
         for (a, b) in restored.slots().iter().zip(d.slots()) {
             assert_eq!(a.info.loc, b.info.loc);
             for (va, vb) in a.data.vars().iter().zip(b.data.vars()) {
@@ -364,13 +618,15 @@ mod tests {
     }
 
     #[test]
-    fn restored_driver_continues_identically() {
-        // Run 5 cycles straight vs 2 + snapshot/restore + 3: identical state.
+    fn restored_driver_continues_bitwise_identically() {
+        // Run 8 cycles straight vs 3 + snapshot/restore + 5: the final
+        // state must be bitwise identical (same fingerprint), including
+        // gate-driven derefinement decisions after the restore point.
         let mut straight = driver();
-        straight.run_cycles(5);
+        straight.run_cycles(8);
 
         let mut first = driver();
-        first.run_cycles(2);
+        first.run_cycles(3);
         let mut buf = Vec::new();
         first.write_snapshot(&mut buf).unwrap();
         let snap = read_snapshot(&mut buf.as_slice()).unwrap();
@@ -379,20 +635,31 @@ mod tests {
             deref_below: 0.02,
         };
         let mut resumed = restore_driver(&snap, pkg, DriverParams::default()).unwrap();
-        resumed.run_cycles(3);
+        resumed.run_cycles(5);
 
         assert_eq!(resumed.cycle(), straight.cycle());
-        assert!((resumed.time() - straight.time()).abs() < 1e-13);
+        assert_eq!(resumed.time().to_bits(), straight.time().to_bits());
         assert_eq!(resumed.mesh().num_blocks(), straight.mesh().num_blocks());
-        let mass = |d: &Driver<Advect>| d.history().last().unwrap().1[0];
-        assert!((mass(&resumed) - mass(&straight)).abs() < 1e-12);
+        assert_eq!(
+            fingerprint_slots(resumed.slots()),
+            fingerprint_slots(straight.slots())
+        );
+        assert_eq!(resumed.history(), straight.history());
     }
 
     #[test]
     fn bad_magic_rejected() {
-        let data = b"NOPE\x01\x00\x00\x00";
+        let data = b"NOPE\x02\x00\x00\x00";
         let err = read_snapshot(&mut data.as_slice()).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn unsupported_version_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&99u32.to_le_bytes());
+        assert!(read_snapshot(&mut buf.as_slice()).is_err());
     }
 
     #[test]
@@ -403,6 +670,129 @@ mod tests {
         d.write_snapshot(&mut buf).unwrap();
         buf.truncate(buf.len() / 2);
         assert!(read_snapshot(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncation_at_any_length_errors_without_panic() {
+        let mut d = driver_with(16, 1);
+        d.run_cycles(1);
+        let mut buf = Vec::new();
+        d.write_snapshot(&mut buf).unwrap();
+        // Every prefix of a valid snapshot must fail cleanly. Step 3 keeps
+        // the quadratic scan cheap while still hitting every field kind.
+        for len in (0..buf.len()).step_by(3) {
+            let res = std::panic::catch_unwind(|| read_snapshot(&mut &buf[..len]));
+            assert!(res.expect("no panic on truncation").is_err(), "len {len}");
+        }
+    }
+
+    #[test]
+    fn mutated_snapshots_never_panic() {
+        let mut d = driver_with(16, 1);
+        d.run_cycles(1);
+        let mut buf = Vec::new();
+        d.write_snapshot(&mut buf).unwrap();
+        // Fuzz-style sweep: corrupt single bytes (several patterns) across
+        // the whole buffer — structure-bearing fields densely, bulk data
+        // sparsely — and require a clean Ok/Err, never a panic or OOM.
+        let dense = 600.min(buf.len());
+        let positions: Vec<usize> = (0..dense).chain((dense..buf.len()).step_by(97)).collect();
+        for &pos in &positions {
+            for pattern in [0x00u8, 0xff, buf[pos] ^ 0x01, buf[pos].wrapping_add(64)] {
+                let mut m = buf.clone();
+                m[pos] = pattern;
+                let res = std::panic::catch_unwind(|| {
+                    let _ = read_snapshot(&mut m.as_slice());
+                });
+                assert!(res.is_ok(), "panicked at byte {pos} pattern {pattern:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_fields_error_without_oom() {
+        let mut d = driver_with(16, 1);
+        d.run_cycles(1);
+        let mut buf = Vec::new();
+        d.write_snapshot(&mut buf).unwrap();
+        // Block count lives at a fixed offset: magic(4) version(4) dim(4)
+        // mesh(24) block(24) levels(4) nghost(4) deref_gap(8) time(8)
+        // dt(8) cycle(8) = 100.
+        let mut huge_blocks = buf.clone();
+        huge_blocks[100..108].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = read_snapshot(&mut huge_blocks.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        // A forged per-variable data length inside the first block: find
+        // it via the first variable's name length field at offset 108 +
+        // loc(28) + nvars(4) = 140.
+        let name_len = u32::from_le_bytes(buf[140..144].try_into().unwrap()) as usize;
+        let len_off = 144 + name_len + 4;
+        let mut huge_data = buf;
+        huge_data[len_off..len_off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = read_snapshot(&mut huge_data.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn v1_snapshot_without_gate_sections_still_reads() {
+        let mut d = driver_with(16, 1);
+        d.run_cycles(1);
+        let snap = d.to_snapshot();
+        // Hand-write the V1 layout: no deref_gap, no gate/history tails.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&(snap.dim as u32).to_le_bytes());
+        for d in 0..3 {
+            buf.extend_from_slice(&(snap.mesh_size[d] as u64).to_le_bytes());
+        }
+        for d in 0..3 {
+            buf.extend_from_slice(&(snap.block_size[d] as u64).to_le_bytes());
+        }
+        buf.extend_from_slice(&snap.max_levels.to_le_bytes());
+        buf.extend_from_slice(&(snap.nghost as u32).to_le_bytes());
+        buf.extend_from_slice(&snap.time.to_le_bytes());
+        buf.extend_from_slice(&snap.dt.to_le_bytes());
+        buf.extend_from_slice(&snap.cycle.to_le_bytes());
+        buf.extend_from_slice(&(snap.leaves.len() as u64).to_le_bytes());
+        for (loc, vars) in snap.leaves.iter().zip(&snap.block_vars) {
+            w_loc(&mut buf, loc).unwrap();
+            w_block_vars(&mut buf, vars).unwrap();
+        }
+        let parsed = read_snapshot(&mut buf.as_slice()).unwrap();
+        assert_eq!(parsed.leaves, snap.leaves);
+        assert_eq!(parsed.block_vars, snap.block_vars);
+        assert!(parsed.gate.is_empty());
+        assert!(parsed.history.is_empty());
+        assert_eq!(parsed.deref_gap, 10);
+    }
+
+    #[test]
+    fn rank_block_payload_roundtrip() {
+        let mut d = driver_with(16, 1);
+        d.run_cycles(1);
+        let snap = d.to_snapshot();
+        let owned: Vec<Option<crate::block::BlockSlot>> = {
+            let parts = d.into_parts();
+            parts
+                .slots
+                .into_iter()
+                .enumerate()
+                .map(|(gid, s)| (gid % 2 == 0).then_some(s))
+                .collect()
+        };
+        let payload = encode_rank_blocks(&owned);
+        let decoded = decode_rank_blocks(&payload).unwrap();
+        assert_eq!(decoded.len(), owned.iter().flatten().count());
+        for (gid, vars) in &decoded {
+            assert_eq!(*gid % 2, 0);
+            assert_eq!(vars, &snap.block_vars[*gid]);
+        }
+        // Corrupt payloads error, never panic.
+        let mut bad_payload = payload;
+        bad_payload[0..8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(decode_rank_blocks(&bad_payload).is_err());
     }
 
     #[test]

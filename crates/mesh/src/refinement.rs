@@ -230,6 +230,26 @@ impl DerefGate {
         let gap = self.min_gap;
         self.last_event.retain(|_, &mut last| cycle < last + gap);
     }
+
+    /// Gate state as `(parent, last_event_cycle)` pairs sorted by location —
+    /// a deterministic serialization order for checkpoints.
+    pub fn entries(&self) -> Vec<(LogicalLocation, u64)> {
+        let mut out: Vec<(LogicalLocation, u64)> = self
+            .last_event
+            .iter()
+            .map(|(loc, &cycle)| (*loc, cycle))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Rebuilds a gate from a checkpointed `(min_gap, entries)` pair.
+    pub fn from_entries(min_gap: u64, entries: &[(LogicalLocation, u64)]) -> Self {
+        Self {
+            min_gap,
+            last_event: entries.iter().copied().collect(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -245,6 +265,24 @@ mod tests {
         let tree = BlockTree::new(2, [4, 4, 1], 2, [true; 3]);
         let d = enforce_proper_nesting(&tree, &BTreeMap::new());
         assert!(d.is_empty());
+    }
+
+    #[test]
+    fn gate_entries_roundtrip_sorted() {
+        let mut gate = DerefGate::new(7);
+        let a = LogicalLocation::new(1, 3, 0, 0);
+        let b = LogicalLocation::new(0, 1, 1, 0);
+        gate.record_derefine(&a, 5);
+        gate.record_refine(&b, 9);
+        let entries = gate.entries();
+        assert_eq!(entries, vec![(b, 9), (a, 5)]);
+        assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        let restored = DerefGate::from_entries(gate.min_gap(), &entries);
+        assert_eq!(restored.min_gap(), 7);
+        assert!(!restored.allows(&a, 11));
+        assert!(restored.allows(&a, 12));
+        assert!(!restored.allows(&b, 15));
+        assert!(restored.allows(&b, 16));
     }
 
     #[test]

@@ -52,9 +52,9 @@ pub use report::{format_function_table, format_kernel_table};
 pub use spans::{span_epoch, span_now_ns, CrossEdge, FlowEvent, SpanKind, TaskSpan, WaitProbes};
 pub use timeline::{cycle_table, evolution_line, sparkline};
 pub use trace_export::{
-    measured_by_function, metrics_jsonl, perfetto_async_trace_json, perfetto_multirank_trace_json,
-    perfetto_multirank_trace_with_flows_json, perfetto_trace_json, summary_table,
-    validate_async_trace, validate_flow_events, validate_json, validate_jsonl, AsyncSpan,
-    AsyncTraceStats, FlowStats,
+    job_metrics_jsonl, measured_by_function, metrics_jsonl, perfetto_async_trace_json,
+    perfetto_multirank_trace_json, perfetto_multirank_trace_with_flows_json, perfetto_trace_json,
+    summary_table, validate_async_trace, validate_flow_events, validate_json, validate_jsonl,
+    AsyncSpan, AsyncTraceStats, FlowStats, JobCycleMetric,
 };
 pub use wallclock::{ProfLevel, RegionGuard, TraceEvent, WallClock, WallCycleStats};

@@ -437,6 +437,56 @@ pub fn metrics_jsonl(cycles: &[WallCycleStats]) -> String {
     out
 }
 
+/// One cycle of a job run inside the simulation service: the per-cycle
+/// solver state (clock, mesh population, AMR churn) scoped to a job id so
+/// several tenants' runs can interleave in one stream.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobCycleMetric {
+    /// Service-assigned job id the cycle belongs to.
+    pub job: u64,
+    /// Absolute cycle number (survives preempt/resume, so resumed jobs
+    /// continue the sequence rather than restarting at zero).
+    pub cycle: u64,
+    /// Simulation time at the end of the cycle.
+    pub time: f64,
+    /// Timestep taken this cycle.
+    pub dt: f64,
+    /// Leaf-block count after any regrid this cycle.
+    pub nblocks: usize,
+    /// Blocks refined by the regrid this cycle.
+    pub refined: usize,
+    /// Blocks derefined by the regrid this cycle.
+    pub derefined: usize,
+    /// Wall time the runner spent on this cycle.
+    pub wall_ns: u64,
+}
+
+fn json_f64(x: f64, out: &mut String) {
+    if x.is_finite() {
+        let _ = write!(out, "{x:?}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Renders job-scoped per-cycle metrics as JSON Lines, one object per
+/// cycle; the `job` field lets a multi-tenant stream be filtered per job.
+pub fn job_metrics_jsonl(cycles: &[JobCycleMetric]) -> String {
+    let mut out = String::new();
+    for c in cycles {
+        let _ = write!(out, "{{\"job\":{},\"cycle\":{},\"time\":", c.job, c.cycle);
+        json_f64(c.time, &mut out);
+        out.push_str(",\"dt\":");
+        json_f64(c.dt, &mut out);
+        let _ = writeln!(
+            out,
+            ",\"nblocks\":{},\"refined\":{},\"derefined\":{},\"wall_ns\":{}}}",
+            c.nblocks, c.refined, c.derefined, c.wall_ns
+        );
+    }
+    out
+}
+
 /// Renders a TinyProfiler-style summary: every region (full path), sorted
 /// by exclusive time descending, with call counts and min/mean/max
 /// inclusive times, followed by the pool utilization line.
@@ -984,5 +1034,49 @@ mod tests {
 
         // Not even valid JSON fails at the syntax layer first.
         assert!(validate_async_trace("{\"traceEvents\":[").is_err());
+    }
+
+    #[test]
+    fn job_metrics_jsonl_valid_and_scoped() {
+        let rows = vec![
+            JobCycleMetric {
+                job: 3,
+                cycle: 0,
+                time: 0.0,
+                dt: 1.25e-3,
+                nblocks: 8,
+                refined: 0,
+                derefined: 0,
+                wall_ns: 12_000,
+            },
+            JobCycleMetric {
+                job: 3,
+                cycle: 1,
+                time: 1.25e-3,
+                dt: 1.25e-3,
+                nblocks: 15,
+                refined: 1,
+                derefined: 0,
+                wall_ns: 9_500,
+            },
+            JobCycleMetric {
+                job: 7,
+                cycle: 4,
+                time: 0.5,
+                dt: f64::NAN,
+                nblocks: 8,
+                refined: 0,
+                derefined: 7,
+                wall_ns: 42,
+            },
+        ];
+        let jsonl = job_metrics_jsonl(&rows);
+        assert_eq!(validate_jsonl(&jsonl).unwrap(), 3);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert!(lines[0].starts_with("{\"job\":3,\"cycle\":0,"));
+        assert!(lines[1].contains("\"refined\":1"));
+        // Non-finite values degrade to null rather than corrupting the JSON.
+        assert!(lines[2].contains("\"dt\":null"));
+        assert!(job_metrics_jsonl(&[]).is_empty());
     }
 }

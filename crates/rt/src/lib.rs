@@ -19,12 +19,14 @@
 //! complete wiring example against the driver as the bitwise reference.
 
 use std::collections::HashMap;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
 use std::time::Instant;
 
 use vibe_comm::{channel_fabric, match_cross_edges, validate_multirank_event_order, CommEvent};
 use vibe_core::driver::CycleSummary;
 use vibe_core::shard::{fingerprint_slots, RankShard, ShardOutput};
-use vibe_core::{Driver, Package};
+use vibe_core::{Driver, Package, Snapshot};
 use vibe_prof::{
     attribute_run, build_span_graph, perfetto_multirank_trace_json,
     perfetto_multirank_trace_with_flows_json, span_epoch, Attribution, CrossEdge, FlowEvent,
@@ -133,7 +135,7 @@ where
     let epoch = span_epoch();
     let fabric = channel_fabric(nranks);
     let make_replica = &make_replica;
-    let mut results: Vec<(Vec<CycleSummary>, u64, ShardOutput)> = std::thread::scope(|s| {
+    let results: Vec<(Vec<CycleSummary>, u64, ShardOutput)> = std::thread::scope(|s| {
         let handles: Vec<_> = fabric
             .into_iter()
             .map(|transport| {
@@ -153,6 +155,27 @@ where
             .map(|h| h.join().expect("rank shard thread panicked"))
             .collect()
     });
+    merge_shard_results(nranks, cycles, epoch, results)
+}
+
+/// Merges per-rank shard outputs — collected by [`run_distributed`]'s
+/// scoped threads or an [`RtSession`]'s persistent ones — into one
+/// [`RtRun`]: global gid-ordered slots and their fingerprint, the
+/// seq-sorted validated event log, absorbed recorders, span-epoch-rebased
+/// traces, matched cross edges / flow arrows, and (when spans were
+/// captured) the wait-state attribution.
+///
+/// # Panics
+///
+/// Panics when the merged outputs violate a determinism invariant: shard
+/// ownership not tiling the mesh, a mis-ordered event log, or ranks
+/// disagreeing on collective-derived scalars.
+fn merge_shard_results(
+    nranks: usize,
+    cycles: u64,
+    epoch: Instant,
+    mut results: Vec<(Vec<CycleSummary>, u64, ShardOutput)>,
+) -> RtRun {
     results.sort_by_key(|(_, _, out)| out.rank);
 
     // Merge owned blocks back into the global gid order and fingerprint.
@@ -283,6 +306,264 @@ where
         flows,
         wait_probes,
         attribution,
+    }
+}
+
+/// A command the session conductor sends every rank thread. Commands are
+/// broadcast in identical order, so shards stay in collective lockstep.
+enum Cmd {
+    /// Advance this many cycles.
+    Run(u64),
+    /// Assemble a checkpoint collective at the current cycle boundary.
+    Checkpoint,
+    /// Stop the command loop and finish the shard.
+    Finish,
+}
+
+/// A rank thread's reply to one [`Cmd`].
+enum Reply {
+    Ran(Vec<CycleSummary>),
+    Snapshot(Box<Snapshot>),
+}
+
+/// A rank thread failed (panicked or disconnected) — the run is lost.
+///
+/// A single shard panic cascades: its dropped transport abandons the
+/// collective hub, unblocking peers by panicking, so the whole session
+/// reports failure instead of deadlocking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionError(String);
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rt session failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// A preemptible, resumable distributed run: the persistent-thread variant
+/// of [`run_distributed`].
+///
+/// Where `run_distributed` spawns rank threads for one fixed cycle count,
+/// a session keeps its rank shards alive between commands so a scheduler
+/// can advance a job in budget-sized slices, [`checkpoint`] it at a cycle
+/// boundary, and tear it down — then later resume the checkpoint in a
+/// *new* session under a different `(nranks, host_threads)` configuration
+/// (build the replicas with
+/// [`restore_driver`](vibe_core::restore_driver)). The bitwise-
+/// reproducibility invariant guarantees the resumed run's final
+/// fingerprint equals the uninterrupted run's.
+///
+/// Dropping a session without calling [`finish`] is the preempt path: the
+/// conductor hangs up the command channels, every rank thread exits its
+/// loop, finishes its shard, and is joined — no thread leaks and no
+/// gather-hub deadlock (an interrupted collective is abandoned by the
+/// departing endpoints).
+///
+/// [`checkpoint`]: RtSession::checkpoint
+/// [`finish`]: RtSession::finish
+pub struct RtSession<P: Package> {
+    nranks: usize,
+    cycles: u64,
+    cmd_tx: Vec<Sender<Cmd>>,
+    reply_rx: Vec<Receiver<Reply>>,
+    handles: Vec<std::thread::JoinHandle<(Vec<CycleSummary>, u64, ShardOutput)>>,
+    epoch: Instant,
+    _marker: std::marker::PhantomData<fn() -> P>,
+}
+
+impl<P: Package> RtSession<P> {
+    /// Spawns `nranks` persistent rank threads, each building its shard
+    /// from `make_replica()` — a freshly initialized problem, or a
+    /// checkpoint restored via
+    /// [`restore_driver`](vibe_core::restore_driver) to resume a preempted
+    /// run (possibly under a different rank/thread configuration than the
+    /// checkpointing one).
+    pub fn new<F>(nranks: usize, make_replica: F) -> Self
+    where
+        F: Fn() -> Driver<P> + Send + Sync + 'static,
+    {
+        assert!(nranks > 0, "at least one rank");
+        let epoch = span_epoch();
+        let make_replica: Arc<F> = Arc::new(make_replica);
+        let mut cmd_tx = Vec::with_capacity(nranks);
+        let mut reply_rx = Vec::with_capacity(nranks);
+        let handles: Vec<_> = channel_fabric(nranks)
+            .into_iter()
+            .map(|transport| {
+                let make = Arc::clone(&make_replica);
+                let (ctx, crx) = std::sync::mpsc::channel::<Cmd>();
+                let (rtx, rrx) = std::sync::mpsc::channel::<Reply>();
+                cmd_tx.push(ctx);
+                reply_rx.push(rrx);
+                std::thread::spawn(move || {
+                    let mut shard = RankShard::from_replica(make(), Box::new(transport));
+                    shard.barrier("rt-session-begin");
+                    let mut all: Vec<CycleSummary> = Vec::new();
+                    let mut wall_ns = 0u64;
+                    loop {
+                        match crx.recv() {
+                            Ok(Cmd::Run(n)) => {
+                                let start = Instant::now();
+                                let summaries = shard.run_cycles(n);
+                                wall_ns += start.elapsed().as_nanos() as u64;
+                                all.extend(summaries.iter().cloned());
+                                let _ = rtx.send(Reply::Ran(summaries));
+                            }
+                            Ok(Cmd::Checkpoint) => {
+                                let snap = shard.checkpoint();
+                                let _ = rtx.send(Reply::Snapshot(Box::new(snap)));
+                            }
+                            // Finish, or the conductor hung up (session
+                            // dropped mid-run): leave the loop and join.
+                            Ok(Cmd::Finish) | Err(_) => break,
+                        }
+                    }
+                    shard.barrier("rt-session-end");
+                    (all, wall_ns, shard.finish())
+                })
+            })
+            .collect();
+        Self {
+            nranks,
+            cycles: 0,
+            cmd_tx,
+            reply_rx,
+            handles,
+            epoch,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Ranks on the session's fabric.
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// Cycles advanced so far across all [`run`](RtSession::run) calls.
+    pub fn cycles_run(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Advances `n` cycles on every rank and returns rank 0's summaries
+    /// (the mesh census columns are global).
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError`] when a rank thread has failed.
+    pub fn run(&mut self, n: u64) -> Result<Vec<CycleSummary>, SessionError> {
+        for tx in &self.cmd_tx {
+            tx.send(Cmd::Run(n))
+                .map_err(|_| SessionError("rank thread hung up".into()))?;
+        }
+        let mut first: Option<Vec<CycleSummary>> = None;
+        for (rank, rx) in self.reply_rx.iter().enumerate() {
+            match rx.recv() {
+                Ok(Reply::Ran(summaries)) => {
+                    if rank == 0 {
+                        first = Some(summaries);
+                    }
+                }
+                Ok(Reply::Snapshot(_)) => {
+                    return Err(SessionError(
+                        "protocol mismatch: unexpected snapshot".into(),
+                    ))
+                }
+                Err(_) => {
+                    return Err(SessionError(format!(
+                        "rank {rank} thread failed while running {n} cycles"
+                    )))
+                }
+            }
+        }
+        self.cycles += n;
+        Ok(first.expect("rank 0 replied"))
+    }
+
+    /// Assembles a full checkpoint at the current cycle boundary: every
+    /// rank contributes its owned blocks over the checkpoint collective
+    /// (see [`RankShard::checkpoint`]) and the conductor returns rank 0's
+    /// copy of the identical snapshot. The session remains runnable —
+    /// checkpointing is non-destructive.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError`] when a rank thread has failed.
+    pub fn checkpoint(&mut self) -> Result<Snapshot, SessionError> {
+        for tx in &self.cmd_tx {
+            tx.send(Cmd::Checkpoint)
+                .map_err(|_| SessionError("rank thread hung up".into()))?;
+        }
+        let mut snap: Option<Box<Snapshot>> = None;
+        for (rank, rx) in self.reply_rx.iter().enumerate() {
+            match rx.recv() {
+                Ok(Reply::Snapshot(s)) => {
+                    if rank == 0 {
+                        snap = Some(s);
+                    }
+                }
+                Ok(Reply::Ran(_)) => {
+                    return Err(SessionError(
+                        "protocol mismatch: unexpected summaries".into(),
+                    ))
+                }
+                Err(_) => {
+                    return Err(SessionError(format!(
+                        "rank {rank} thread failed while checkpointing"
+                    )))
+                }
+            }
+        }
+        Ok(*snap.expect("rank 0 replied"))
+    }
+
+    /// Finishes the session: joins every rank thread and merges their
+    /// outputs into an [`RtRun`] (whose `cycles` counts this session's
+    /// cycles only — a resumed job's earlier slices live in the
+    /// checkpoint's history).
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError`] when a rank thread panicked; all threads are
+    /// still joined first, so no threads leak even on failure.
+    pub fn finish(mut self) -> Result<RtRun, SessionError> {
+        for tx in &self.cmd_tx {
+            // A dead thread is reported by its join below.
+            let _ = tx.send(Cmd::Finish);
+        }
+        self.cmd_tx.clear();
+        let mut results = Vec::with_capacity(self.handles.len());
+        let mut failed = Vec::new();
+        for (rank, h) in self.handles.drain(..).enumerate() {
+            match h.join() {
+                Ok(out) => results.push(out),
+                Err(_) => failed.push(rank),
+            }
+        }
+        if !failed.is_empty() {
+            return Err(SessionError(format!("rank threads panicked: {failed:?}")));
+        }
+        Ok(merge_shard_results(
+            self.nranks,
+            self.cycles,
+            self.epoch,
+            results,
+        ))
+    }
+}
+
+impl<P: Package> Drop for RtSession<P> {
+    /// The preempt/teardown path: hang up the command channels so every
+    /// rank thread exits its loop, then join them all. Harmless after
+    /// [`finish`](RtSession::finish) (everything is already drained).
+    fn drop(&mut self) {
+        self.cmd_tx.clear();
+        for h in self.handles.drain(..) {
+            // A panicked thread already unblocked its peers through the
+            // collective hub's liveness check; nothing to propagate here.
+            let _ = h.join();
+        }
     }
 }
 
@@ -511,6 +792,123 @@ mod tests {
         let attr = run.attribution.expect("spans captured on every rank");
         assert_eq!(attr.per_rank.len(), nranks);
         assert!(attr.max_sum_error_frac() <= 0.05);
+    }
+
+    /// A session advanced in slices (with a non-destructive mid-run
+    /// checkpoint) finishes bitwise identical to the one-shot run, and the
+    /// checkpoint it takes equals the single-process driver's snapshot at
+    /// the same boundary.
+    #[test]
+    fn session_slices_match_one_shot_run() {
+        let one_shot = run_distributed(2, 5, || replica(2, 1));
+        let mut session = RtSession::new(2, || replica(2, 1));
+        let s1 = session.run(2).unwrap();
+        let snap = session.checkpoint().unwrap();
+        let s2 = session.run(3).unwrap();
+        assert_eq!(s1.len(), 2);
+        assert_eq!(s2.len(), 3);
+        assert_eq!(session.cycles_run(), 5);
+        let run = session.finish().unwrap();
+        assert_eq!(run.fingerprint, one_shot.fingerprint);
+        assert_eq!(run.dt.to_bits(), one_shot.dt.to_bits());
+        assert_eq!(run.cycles, 5);
+
+        // The gathered distributed checkpoint is exactly the state a
+        // single-process driver snapshots at the same cycle boundary.
+        let mut d = replica(1, 1);
+        d.run_cycles(2);
+        assert_eq!(snap, d.to_snapshot());
+    }
+
+    /// The preempt/resume acceptance invariant: checkpoint a Mesh 32/B8/L2
+    /// run at *every* cycle boundary, resume each checkpoint in a new
+    /// session under a different `(nranks, host_threads)`, and the final
+    /// fingerprint (and clock, and full history) must equal the
+    /// uninterrupted run's bitwise.
+    #[test]
+    fn preempt_resume_bitwise_identical_at_every_boundary() {
+        let cycles = 6u64;
+        let reference = run_distributed(2, cycles, || replica(2, 1));
+        for boundary in 1..cycles {
+            let mut first = RtSession::new(2, || replica(2, 1));
+            first.run(boundary).unwrap();
+            let snap = Arc::new(first.checkpoint().unwrap());
+            // Preempt: tear the session down without finishing it.
+            drop(first);
+
+            // Resume elastically on a different shard/thread layout.
+            let (nranks, threads) = if boundary % 2 == 0 { (4, 1) } else { (3, 2) };
+            let make = {
+                let snap = Arc::clone(&snap);
+                move || {
+                    let params = DriverParams {
+                        nranks,
+                        host_threads: threads,
+                        cfl: 0.3,
+                        ..DriverParams::default()
+                    };
+                    let pkg = Advect {
+                        refine_above: 0.2,
+                        deref_below: 0.02,
+                    };
+                    vibe_core::restore_driver(&snap, pkg, params).unwrap()
+                }
+            };
+            let mut resumed = RtSession::new(nranks, make);
+            resumed.run(cycles - boundary).unwrap();
+            let run = resumed.finish().unwrap();
+            assert_eq!(
+                run.fingerprint, reference.fingerprint,
+                "resume diverged at boundary {boundary} under ({nranks}, {threads})"
+            );
+            assert_eq!(run.dt.to_bits(), reference.dt.to_bits());
+            assert_eq!(run.time.to_bits(), reference.time.to_bits());
+            // History continues across the preemption seam. Rows computed
+            // before the boundary traveled through the checkpoint and must
+            // be bitwise intact; rows after it were reduced under a
+            // different rank partition — the fold order changes, so they
+            // agree only to rounding (the *solution* stays bitwise equal;
+            // the diagnostic sum is partition-ordered by design).
+            assert_eq!(run.history.len(), reference.history.len());
+            for ((ca, va), (cb, vb)) in run.history.iter().zip(&reference.history) {
+                assert_eq!(ca, cb);
+                for (a, b) in va.iter().zip(vb) {
+                    if *ca < boundary {
+                        assert_eq!(a.to_bits(), b.to_bits(), "seam row {ca} not intact");
+                    } else {
+                        assert!((a - b).abs() <= 1e-12 * b.abs(), "row {ca}: {a} vs {b}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Regression for the preempt teardown path: dropping a session
+    /// mid-run (no `finish`) must join every rank thread and leave the
+    /// gather hub drained — a fresh session right after must work.
+    #[test]
+    fn dropping_session_mid_run_joins_cleanly() {
+        let threads_before = count_own_threads();
+        let mut session = RtSession::new(4, || replica(4, 1));
+        session.run(2).unwrap();
+        drop(session);
+        let mut again = RtSession::new(2, || replica(2, 1));
+        again.run(1).unwrap();
+        let run = again.finish().unwrap();
+        assert_eq!(run.cycles, 1);
+        // All rank threads (4 from the dropped session, 2 from the
+        // finished one) must be joined by now. Worker-pool threads are
+        // persistent and already existed before.
+        assert!(
+            count_own_threads() <= threads_before,
+            "rank threads leaked: {} before, {} after",
+            threads_before,
+            count_own_threads()
+        );
+    }
+
+    fn count_own_threads() -> usize {
+        std::fs::read_dir("/proc/self/task").map_or(0, |d| d.count())
     }
 
     /// Real cross-shard traffic exists and the merged log is causal: the

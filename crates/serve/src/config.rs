@@ -1,0 +1,380 @@
+//! Job configuration: the tenant-facing description of one simulation
+//! run, its canonical form, and the FNV-1a cache key derived from it.
+//!
+//! The cache key deliberately EXCLUDES the execution geometry (`nranks`,
+//! `threads`): the runtime's bitwise-reproducibility invariant means the
+//! final solution fingerprint is identical for any rank/thread
+//! decomposition of the same problem, so two jobs that differ only in
+//! geometry are the *same* result and must share a cache entry.
+
+use crate::json::Json;
+
+/// Physics package a job runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Physics {
+    /// WENO5/HLL Burgers with passive scalars (the paper's benchmark).
+    Burgers,
+    /// Upwind advection of one scalar (cheap smoke-test physics).
+    Advect,
+}
+
+impl Physics {
+    fn name(self) -> &'static str {
+        match self {
+            Physics::Burgers => "burgers",
+            Physics::Advect => "advect",
+        }
+    }
+}
+
+/// One tenant-submitted simulation job.
+///
+/// The *problem* fields (everything except `nranks`/`threads`) define the
+/// solution and form the cache key; the *geometry* fields only choose how
+/// the work is decomposed and may be changed at resume time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobConfig {
+    /// Physics package.
+    pub physics: Physics,
+    /// Spatial dimension (1–3).
+    pub dim: usize,
+    /// Cells per side of the root mesh.
+    pub mesh_cells: usize,
+    /// Cells per side of one block.
+    pub block_cells: usize,
+    /// Maximum refinement levels.
+    pub levels: usize,
+    /// Cycles to advance.
+    pub cycles: u64,
+    /// Passive scalars (Burgers only).
+    pub num_scalars: usize,
+    /// Refinement threshold.
+    pub refine_tol: f64,
+    /// CFL safety factor.
+    pub cfl: f64,
+    /// Derefinement gate cycles.
+    pub deref_gap: u64,
+    /// Virtual ranks to execute with (geometry, not identity).
+    pub nranks: usize,
+    /// Host threads per rank (geometry, not identity).
+    pub threads: usize,
+}
+
+impl Default for JobConfig {
+    fn default() -> Self {
+        Self {
+            physics: Physics::Advect,
+            dim: 2,
+            mesh_cells: 32,
+            block_cells: 8,
+            levels: 2,
+            cycles: 8,
+            num_scalars: 1,
+            refine_tol: 0.2,
+            cfl: 0.3,
+            deref_gap: 4,
+            nranks: 1,
+            threads: 1,
+        }
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+impl JobConfig {
+    /// Canonical problem string: fixed field order, exact float bits
+    /// (hex-encoded so `0.1` and any same-valued literal agree), geometry
+    /// fields omitted. Equal canonical strings ⇒ bitwise-equal results.
+    pub fn canonical(&self) -> String {
+        format!(
+            "physics={};dim={};mesh={};block={};levels={};cycles={};scalars={};refine_tol={:016x};cfl={:016x};deref_gap={}",
+            self.physics.name(),
+            self.dim,
+            self.mesh_cells,
+            self.block_cells,
+            self.levels,
+            self.cycles,
+            self.num_scalars,
+            self.refine_tol.to_bits(),
+            self.cfl.to_bits(),
+            self.deref_gap,
+        )
+    }
+
+    /// FNV-1a over the canonical problem string: the result-cache key.
+    pub fn cache_key(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        for &b in self.canonical().as_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+        h
+    }
+
+    /// Parses a job configuration from a submitted JSON object. Missing
+    /// fields take the defaults; unknown fields are rejected so a typo'd
+    /// field name cannot silently produce a different cache key.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let Json::Obj(m) = v else {
+            return Err("config must be a JSON object".into());
+        };
+        const KNOWN: &[&str] = &[
+            "physics",
+            "dim",
+            "mesh_cells",
+            "block_cells",
+            "levels",
+            "cycles",
+            "num_scalars",
+            "refine_tol",
+            "cfl",
+            "deref_gap",
+            "nranks",
+            "threads",
+        ];
+        for k in m.keys() {
+            if !KNOWN.contains(&k.as_str()) {
+                return Err(format!("unknown config field '{k}'"));
+            }
+        }
+        let mut cfg = JobConfig::default();
+        if let Some(p) = v.get("physics") {
+            cfg.physics = match p.as_str() {
+                Some("burgers") => Physics::Burgers,
+                Some("advect") => Physics::Advect,
+                _ => return Err("physics must be \"burgers\" or \"advect\"".into()),
+            };
+            // Burgers defaults mirror the bench probe configuration.
+            if cfg.physics == Physics::Burgers {
+                cfg.dim = 3;
+                cfg.mesh_cells = 16;
+                cfg.block_cells = 8;
+                cfg.num_scalars = 2;
+                cfg.refine_tol = 0.1;
+                cfg.deref_gap = 10;
+            }
+        }
+        let usize_field = |key: &str, dst: &mut usize| -> Result<(), String> {
+            if let Some(x) = v.get(key) {
+                *dst = x
+                    .as_u64()
+                    .ok_or_else(|| format!("{key} must be a non-negative integer"))?
+                    as usize;
+            }
+            Ok(())
+        };
+        usize_field("dim", &mut cfg.dim)?;
+        usize_field("mesh_cells", &mut cfg.mesh_cells)?;
+        usize_field("block_cells", &mut cfg.block_cells)?;
+        usize_field("levels", &mut cfg.levels)?;
+        usize_field("num_scalars", &mut cfg.num_scalars)?;
+        usize_field("nranks", &mut cfg.nranks)?;
+        usize_field("threads", &mut cfg.threads)?;
+        if let Some(x) = v.get("cycles") {
+            cfg.cycles = x.as_u64().ok_or("cycles must be a non-negative integer")?;
+        }
+        if let Some(x) = v.get("deref_gap") {
+            cfg.deref_gap = x
+                .as_u64()
+                .ok_or("deref_gap must be a non-negative integer")?;
+        }
+        if let Some(x) = v.get("refine_tol") {
+            cfg.refine_tol = x.as_f64().ok_or("refine_tol must be a number")?;
+        }
+        if let Some(x) = v.get("cfl") {
+            cfg.cfl = x.as_f64().ok_or("cfl must be a number")?;
+        }
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Bounds-checks the configuration so a hostile submission cannot
+    /// request an absurd mesh or a degenerate decomposition.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(1..=3).contains(&self.dim) {
+            return Err("dim must be 1..=3".into());
+        }
+        if self.mesh_cells == 0 || self.mesh_cells > 256 {
+            return Err("mesh_cells must be 1..=256".into());
+        }
+        if self.block_cells == 0 || !self.mesh_cells.is_multiple_of(self.block_cells) {
+            return Err("block_cells must divide mesh_cells".into());
+        }
+        if self.levels == 0 || self.levels > 6 {
+            return Err("levels must be 1..=6".into());
+        }
+        if self.cycles == 0 || self.cycles > 100_000 {
+            return Err("cycles must be 1..=100000".into());
+        }
+        if self.num_scalars > 16 {
+            return Err("num_scalars must be <= 16".into());
+        }
+        if !(self.refine_tol.is_finite() && self.refine_tol > 0.0) {
+            return Err("refine_tol must be finite and positive".into());
+        }
+        if !(self.cfl.is_finite() && self.cfl > 0.0 && self.cfl <= 1.0) {
+            return Err("cfl must be in (0, 1]".into());
+        }
+        if self.nranks == 0 || self.nranks > 16 {
+            return Err("nranks must be 1..=16".into());
+        }
+        if self.threads == 0 || self.threads > 16 {
+            return Err("threads must be 1..=16".into());
+        }
+        Ok(())
+    }
+
+    /// Renders the full configuration (geometry included) as JSON for
+    /// status responses.
+    pub fn to_json(&self) -> Json {
+        crate::json::obj(vec![
+            ("physics", Json::Str(self.physics.name().to_string())),
+            ("dim", Json::Num(self.dim as f64)),
+            ("mesh_cells", Json::Num(self.mesh_cells as f64)),
+            ("block_cells", Json::Num(self.block_cells as f64)),
+            ("levels", Json::Num(self.levels as f64)),
+            ("cycles", Json::Num(self.cycles as f64)),
+            ("num_scalars", Json::Num(self.num_scalars as f64)),
+            ("refine_tol", Json::Num(self.refine_tol)),
+            ("cfl", Json::Num(self.cfl)),
+            ("deref_gap", Json::Num(self.deref_gap as f64)),
+            ("nranks", Json::Num(self.nranks as f64)),
+            ("threads", Json::Num(self.threads as f64)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn cache_key_ignores_geometry() {
+        let a = JobConfig {
+            nranks: 1,
+            threads: 1,
+            ..JobConfig::default()
+        };
+        let b = JobConfig {
+            nranks: 4,
+            threads: 2,
+            ..JobConfig::default()
+        };
+        assert_eq!(a.cache_key(), b.cache_key());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn cache_key_sees_every_problem_field() {
+        let base = JobConfig::default();
+        let variants: Vec<JobConfig> = vec![
+            JobConfig {
+                physics: Physics::Burgers,
+                ..base.clone()
+            },
+            JobConfig {
+                dim: 3,
+                ..base.clone()
+            },
+            JobConfig {
+                mesh_cells: 64,
+                ..base.clone()
+            },
+            JobConfig {
+                block_cells: 16,
+                ..base.clone()
+            },
+            JobConfig {
+                levels: 3,
+                ..base.clone()
+            },
+            JobConfig {
+                cycles: 9,
+                ..base.clone()
+            },
+            JobConfig {
+                num_scalars: 2,
+                ..base.clone()
+            },
+            JobConfig {
+                refine_tol: 0.25,
+                ..base.clone()
+            },
+            JobConfig {
+                cfl: 0.4,
+                ..base.clone()
+            },
+            JobConfig {
+                deref_gap: 7,
+                ..base.clone()
+            },
+        ];
+        for v in &variants {
+            assert_ne!(v.cache_key(), base.cache_key(), "missed field: {v:?}");
+        }
+    }
+
+    #[test]
+    fn from_json_equivalent_spellings_share_a_key() {
+        // Different field order, defaulted vs explicit fields, different
+        // geometry — one cache entry.
+        let a =
+            JobConfig::from_json(&parse(r#"{"cycles":8,"dim":2,"nranks":4}"#).unwrap()).unwrap();
+        let b =
+            JobConfig::from_json(&parse(r#"{"dim":2,"threads":2,"cycles":8,"cfl":0.3}"#).unwrap())
+                .unwrap();
+        assert_eq!(a.cache_key(), b.cache_key());
+    }
+
+    #[test]
+    fn from_json_rejects_bad_input() {
+        for bad in [
+            r#"{"physics":"mhd"}"#,
+            r#"{"cycles":0}"#,
+            r#"{"dim":4}"#,
+            r#"{"mesh_cells":33}"#,
+            r#"{"cfl":2.0}"#,
+            r#"{"refine_tol":-1.0}"#,
+            r#"{"nranks":99}"#,
+            r#"{"typo_field":1}"#,
+            r#"[1,2]"#,
+            r#"{"cycles":1.5}"#,
+        ] {
+            assert!(
+                JobConfig::from_json(&parse(bad).unwrap()).is_err(),
+                "accepted {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn burgers_defaults_mirror_bench_probe() {
+        let c = JobConfig::from_json(&parse(r#"{"physics":"burgers"}"#).unwrap()).unwrap();
+        assert_eq!(c.dim, 3);
+        assert_eq!(c.mesh_cells, 16);
+        assert_eq!(c.num_scalars, 2);
+        assert_eq!(c.refine_tol, 0.1);
+    }
+
+    #[test]
+    fn to_json_roundtrips_through_from_json() {
+        let c = JobConfig {
+            physics: Physics::Burgers,
+            dim: 3,
+            mesh_cells: 16,
+            block_cells: 8,
+            levels: 2,
+            cycles: 4,
+            num_scalars: 2,
+            refine_tol: 0.1,
+            cfl: 0.3,
+            deref_gap: 10,
+            nranks: 2,
+            threads: 1,
+        };
+        let back = JobConfig::from_json(&c.to_json()).unwrap();
+        assert_eq!(back, c);
+        assert_eq!(back.cache_key(), c.cache_key());
+    }
+}

@@ -1,0 +1,99 @@
+//! Simulation service quickstart: boot the multi-tenant job service with
+//! its HTTP front end, submit a job over a real socket, poll it to
+//! completion, then resubmit the identical problem and watch it come back
+//! from the result cache with zero recompute.
+//!
+//! ```text
+//! cargo run --release --example serve_quickstart
+//! ```
+//!
+//! The client below is the same handful of requests the README shows with
+//! `curl`; run the example and point `curl` at the printed port to drive
+//! the service interactively while it is up.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use vibe_amr::serve::http::Server;
+use vibe_amr::serve::{Service, ServiceConfig};
+
+/// Minimal one-request HTTP/1.1 client: returns `(status, body)`.
+fn request(port: u16, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(("127.0.0.1", port)).expect("connect");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\
+         Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("recv");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let payload = raw.split_once("\r\n\r\n").map(|x| x.1).unwrap_or("");
+    (status, payload.to_string())
+}
+
+fn main() {
+    let service = Arc::new(Service::start(ServiceConfig::default()));
+    let server = Server::start(Arc::clone(&service), 0).expect("bind");
+    let port = server.port();
+    println!("service listening on 127.0.0.1:{port}");
+
+    // Submit: tenant + problem config; omitted fields take defaults.
+    let (status, body) = request(
+        port,
+        "POST",
+        "/jobs",
+        r#"{"tenant":"acme","config":{"physics":"advect","cycles":8,"nranks":2}}"#,
+    );
+    println!("POST /jobs -> {status} {body}");
+    assert_eq!(status, 201);
+
+    // Poll until done (the job runs in budgeted slices on the runner pool).
+    let view = service
+        .wait_done(0, Duration::from_secs(60))
+        .expect("job completes");
+    let (status, body) = request(port, "GET", "/jobs/0", "");
+    println!("GET /jobs/0 -> {status} {body}");
+    let fp = view.result.expect("result").fingerprint;
+
+    // Per-cycle metrics (the HTTP route streams the same rows as chunked
+    // JSONL).
+    let metrics = service.metrics_jsonl(0).expect("metrics");
+    for line in metrics.lines().take(2) {
+        println!("metrics: {line}");
+    }
+
+    // Resubmit the identical problem under a different tenant and rank
+    // count: geometry is excluded from the cache key, so this is a hit
+    // and executes zero cycles.
+    let (status, body) = request(
+        port,
+        "POST",
+        "/jobs",
+        r#"{"tenant":"globex","config":{"physics":"advect","cycles":8,"nranks":8}}"#,
+    );
+    println!("POST /jobs (resubmit) -> {status} {body}");
+    assert!(body.contains("\"cached\":true"), "expected a cache hit");
+    let hit = service.wait_done(1, Duration::from_secs(10)).expect("hit");
+    assert_eq!(hit.cycles_executed, 0, "cache hit must not recompute");
+    assert_eq!(
+        hit.result.expect("cached result").fingerprint,
+        fp,
+        "cached fingerprint matches the computed one"
+    );
+
+    let (status, body) = request(port, "GET", "/stats", "");
+    println!("GET /stats -> {status} {body}");
+
+    server.shutdown();
+    drop(service);
+    println!("ok: cache hit served with zero recompute, fingerprint {fp:016x}");
+}

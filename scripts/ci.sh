@@ -52,6 +52,15 @@ echo "==> simd flux-backend fingerprint gate (simd_gate)"
 # scalar serial reference. The binary exits nonzero on any mismatch.
 VIBE_SIMD_THREADS=1,8 VIBE_SIMD_RANKS=1,2,8 target/release/simd_gate >/dev/null
 
+echo "==> multi-tenant service gate (serve_gate)"
+# Boots the HTTP front end on an ephemeral port and drives 8 jobs from 3
+# tenants over real sockets: exits nonzero on a preempt/resume fingerprint
+# mismatch (resumed under a different rank/thread geometry), a cache
+# miss on an identical resubmission (or any recompute on a hit), tenant
+# starvation (max/min mean turnaround > 3x), or a leaked thread after
+# shutdown.
+VIBE_SERVE_CYCLES=10 VIBE_SERVE_BUDGET=2 target/release/serve_gate >/dev/null
+
 echo "==> simulated timeline smoke (sim_timeline)"
 # The binary gates itself: nonzero exit on NaN/negative times, idle
 # fractions outside [0,1], calibration drift > 1%, a missing launch-bound

@@ -21,6 +21,9 @@
 //! * [`sim`] — discrete-event heterogeneous timeline simulator
 //! * [`rt`] — rank-parallel distributed runtime (virtual ranks as real
 //!   concurrent shards over a channel transport)
+//! * [`serve`] — multi-tenant simulation service (WRR job scheduler,
+//!   checkpoint/preempt/resume, fingerprint-keyed result cache, HTTP
+//!   front end)
 //!
 //! ## Quickstart
 //!
@@ -53,6 +56,7 @@ pub use vibe_hwmodel as hwmodel;
 pub use vibe_mesh as mesh;
 pub use vibe_prof as prof;
 pub use vibe_rt as rt;
+pub use vibe_serve as serve;
 pub use vibe_sim as sim;
 
 /// The most common imports in one place.
@@ -64,5 +68,6 @@ pub mod prelude {
     pub use vibe_hwmodel::{Backend, CpuSpec, GpuSpec, MemoryModel, PlatformConfig};
     pub use vibe_mesh::{Mesh, MeshParams, RegionSize};
     pub use vibe_prof::{ProfLevel, Recorder, RegionKey, StepFunction};
-    pub use vibe_rt::{run_distributed, RtRun};
+    pub use vibe_rt::{run_distributed, RtRun, RtSession};
+    pub use vibe_serve::{JobConfig, Service, ServiceConfig};
 }
