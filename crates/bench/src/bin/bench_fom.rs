@@ -240,6 +240,72 @@ fn measured_vs_modeled(rec: &Recorder) -> String {
     out
 }
 
+/// The registry roster the scenario matrix probes; `main` asserts it
+/// matches [`vibe_physics::standard_registry`] so a newly shipped package
+/// cannot silently miss its FOM entry.
+const SCENARIO_PACKAGES: &[&str] = &["advect", "burgers", "diffusion", "euler"];
+
+struct ScenarioRun {
+    physics: &'static str,
+    wall_s: f64,
+    zone_cycles: u64,
+    fom: f64,
+    threads_fom: f64,
+    final_blocks: usize,
+    fingerprint: u64,
+    /// Serial and threaded fingerprints agree.
+    thread_identical: bool,
+}
+
+/// Per-package FOM on a common small scenario (Mesh 16 / B8 / L2, 3
+/// cycles): one serial timing run and one at `threads`, whose
+/// fingerprints must be bitwise identical per package.
+fn scenario_matrix(threads: usize) -> Vec<ScenarioRun> {
+    SCENARIO_PACKAGES
+        .iter()
+        .map(|&physics| {
+            let spec = vibe_bench::WorkloadSpec {
+                physics,
+                mesh_cells: 16,
+                block_cells: 8,
+                levels: 2,
+                cycles: CYCLES,
+                num_scalars: 1,
+                ..vibe_bench::WorkloadSpec::default()
+            };
+            let time_run = |spec: &vibe_bench::WorkloadSpec| {
+                let mut d = vibe_bench::build_workload_replica(spec);
+                let t0 = Instant::now();
+                d.run_cycles(spec.cycles);
+                let wall_s = t0.elapsed().as_secs_f64();
+                let zc = d.recorder().totals().cell_updates;
+                (
+                    wall_s,
+                    zc,
+                    vibe_bench::state_fingerprint(&d),
+                    d.mesh().num_blocks(),
+                )
+            };
+            eprintln!("probe: scenario matrix, physics={physics} (serial + {threads}t) ...");
+            let (wall_s, zone_cycles, fingerprint, final_blocks) = time_run(&spec);
+            let (wall_t, _, fp_t, _) = time_run(&vibe_bench::WorkloadSpec {
+                host_threads: threads,
+                ..spec
+            });
+            ScenarioRun {
+                physics,
+                wall_s,
+                zone_cycles,
+                fom: zone_cycles as f64 / wall_s,
+                threads_fom: zone_cycles as f64 / wall_t,
+                final_blocks,
+                fingerprint,
+                thread_identical: fingerprint == fp_t,
+            }
+        })
+        .collect()
+}
+
 struct ServiceProbe {
     jobs: usize,
     wall_s: f64,
@@ -507,6 +573,46 @@ fn main() {
     println!("measured: serial cycling loop; larger blocks leave fewer sub-bundle exterior bands, raising the lane share");
     println!();
 
+    // Scenario matrix: every registered physics package on a common small
+    // scenario, serial + threaded, each bitwise thread-invariant.
+    let registered = vibe_physics::standard_registry().names();
+    assert_eq!(
+        registered, SCENARIO_PACKAGES,
+        "scenario matrix roster out of date with the registry"
+    );
+    let scenarios = scenario_matrix(prof_threads);
+    println!("== physics scenario matrix (Mesh 16 / B8 / L2, {CYCLES} cycles) ==");
+    let rows: Vec<Vec<String>> = scenarios
+        .iter()
+        .map(|s| {
+            vec![
+                s.physics.to_string(),
+                format!("{:.3}", s.wall_s),
+                vibe_bench::sci(s.fom),
+                vibe_bench::sci(s.threads_fom),
+                s.final_blocks.to_string(),
+                format!("{:016x}", s.fingerprint),
+                s.thread_identical.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        vibe_bench::format_table(
+            &[
+                "physics",
+                "wall(s)",
+                "FOM-1t(zc/s)",
+                &format!("FOM-{prof_threads}t(zc/s)"),
+                "blocks",
+                "fingerprint",
+                "thread-identical"
+            ],
+            &rows
+        )
+    );
+    println!();
+
     // Multi-tenant simulation service: throughput of 8 concurrent jobs
     // from 3 tenants through the vibe-serve scheduler, then identical
     // resubmissions to measure the fingerprint-keyed result cache.
@@ -614,6 +720,22 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    json.push_str("  \"scenario_matrix\": [\n");
+    for (i, s) in scenarios.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"physics\": \"{}\", \"mesh_cells\": 16, \"block_cells\": 8, \"levels\": 2, \"cycles\": {CYCLES}, \"wall_s\": {:.6}, \"zone_cycles\": {}, \"fom_zone_cycles_per_s\": {:.1}, \"fom_threads_zone_cycles_per_s\": {:.1}, \"final_blocks\": {}, \"state_fingerprint\": \"{:016x}\", \"thread_identical\": {}}}{}\n",
+            s.physics,
+            s.wall_s,
+            s.zone_cycles,
+            s.fom,
+            s.threads_fom,
+            s.final_blocks,
+            s.fingerprint,
+            s.thread_identical,
+            if i + 1 < scenarios.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
     json.push_str(&format!(
         "  \"service\": {{\"concurrent_jobs\": {}, \"tenants\": 3, \"wall_s\": {:.6}, \"jobs_per_min\": {:.1}, \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.4}, \"all_resubmissions_cached\": {}}},\n",
         service.jobs,
@@ -652,6 +774,13 @@ fn main() {
     }
     if !service.all_resubmissions_cached {
         eprintln!("ERROR: a resubmitted identical job missed the service result cache");
+        std::process::exit(1);
+    }
+    if let Some(s) = scenarios.iter().find(|s| !s.thread_identical) {
+        eprintln!(
+            "ERROR: scenario-matrix package '{}' is not thread-invariant",
+            s.physics
+        );
         std::process::exit(1);
     }
 }

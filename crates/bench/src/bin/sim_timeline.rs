@@ -14,7 +14,9 @@
 //!    lane per rank host thread, NIC channel, and GPU stream.
 //!
 //! Environment overrides: `VIBE_SIM_MESH`, `VIBE_SIM_BLOCK`,
-//! `VIBE_SIM_LEVELS`, `VIBE_SIM_CYCLES`, `VIBE_SIM_TRACE_DIR`.
+//! `VIBE_SIM_LEVELS`, `VIBE_SIM_CYCLES`, `VIBE_SIM_TRACE_DIR`, and
+//! `VIBE_SIM_PHYSICS` (any registered package name; default `burgers`) —
+//! the replayed workload's roofline regime follows the chosen physics.
 //!
 //! Exits nonzero if any report has NaN/negative times or idle fractions
 //! outside [0, 1], if the trace fails offline validation, or if the
@@ -47,12 +49,29 @@ fn main() -> ExitCode {
     let block = env_usize("VIBE_SIM_BLOCK", 16);
     let levels = env_usize("VIBE_SIM_LEVELS", 2) as u32;
     let cycles = env_usize("VIBE_SIM_CYCLES", 2) as u64;
+    // Workload physics: any registered package (leaked to &'static to fit
+    // the Copy spec; a one-shot binary, so the leak is bounded).
+    let physics: &'static str = match std::env::var("VIBE_SIM_PHYSICS") {
+        Ok(name) => {
+            let reg = vibe_physics::standard_registry();
+            if !reg.contains(&name) {
+                eprintln!(
+                    "sim_timeline FAILURE: unknown VIBE_SIM_PHYSICS {name:?} (registered: {})",
+                    reg.names().join(", ")
+                );
+                return ExitCode::FAILURE;
+            }
+            Box::leak(name.into_boxed_str())
+        }
+        Err(_) => "burgers",
+    };
     let mut failures: Vec<String> = Vec::new();
     println!(
-        "== vibe-sim: heterogeneous timeline simulation (Mesh {mesh}/B{block}/L{levels}) ==\n"
+        "== vibe-sim: heterogeneous timeline simulation (Mesh {mesh}/B{block}/L{levels}, physics {physics}) ==\n"
     );
 
     let spec = |ranks: usize, block_cells: usize| WorkloadSpec {
+        physics,
         mesh_cells: mesh,
         block_cells,
         levels,

@@ -10,9 +10,9 @@
 //! DESIGN.md), then evaluates the recorded workload against the H100/SPR
 //! platform models.
 
-use vibe_burgers::{ic, BurgersPackage, BurgersParams, FluxBackend};
+use vibe_burgers::{BurgersPackage, BurgersParams, FluxBackend};
 use vibe_comm::CommEvent;
-use vibe_core::{CycleSummary, Driver, DriverParams, Package};
+use vibe_core::{CycleSummary, Driver, DriverParams, DynPackage, Package, PackageSpec};
 use vibe_field::PackStrategy;
 use vibe_mesh::{Mesh, MeshParams};
 use vibe_prof::{ProfLevel, Recorder};
@@ -20,6 +20,10 @@ use vibe_prof::{ProfLevel, Recorder};
 /// One functional-simulation configuration (the paper's workload axes).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WorkloadSpec {
+    /// Physics package name, resolved against
+    /// [`vibe_physics::standard_registry`] (`&'static` so the spec stays
+    /// `Copy`; every registry name is a literal anyway).
+    pub physics: &'static str,
     /// Cells per dimension of the base mesh (the paper's "Mesh Size").
     pub mesh_cells: usize,
     /// Cells per dimension of one block ("MeshBlockSize").
@@ -57,6 +61,7 @@ pub struct WorkloadSpec {
 impl Default for WorkloadSpec {
     fn default() -> Self {
         Self {
+            physics: "burgers",
             mesh_cells: 32,
             block_cells: 8,
             levels: 3,
@@ -112,25 +117,38 @@ pub fn state_fingerprint<P: Package>(driver: &Driver<P>) -> u64 {
 /// construct-and-initialize sequence shared by [`run_workload`] (which
 /// steps it single-process) and [`run_workload_distributed`] (where every
 /// rank shard replays it independently).
-pub fn build_workload_replica(spec: &WorkloadSpec) -> Driver<BurgersPackage> {
+pub fn build_workload_replica(spec: &WorkloadSpec) -> Driver<DynPackage> {
+    let pkg: DynPackage = if spec.physics == "burgers" {
+        // Constructed directly rather than through the registry factory so
+        // the bench-only `flux_backend` knob survives; identical to the
+        // registry's "burgers" package otherwise (and bitwise so, since
+        // the backend never changes results).
+        Box::new(BurgersPackage::new(BurgersParams {
+            num_scalars: spec.num_scalars,
+            refine_tol: spec.refine_tol,
+            deref_tol: spec.refine_tol * 0.25,
+            flux_backend: spec.flux_backend,
+            ..BurgersParams::default()
+        }))
+    } else {
+        vibe_physics::resolve(
+            &PackageSpec::named(spec.physics)
+                .with_num_scalars(spec.num_scalars)
+                .with_tols(spec.refine_tol, spec.refine_tol * 0.25),
+        )
+        .expect("registered workload physics")
+    };
     let mesh = Mesh::new(
         MeshParams::builder()
             .dim(spec.dim)
             .mesh_cells(spec.mesh_cells)
             .block_cells(spec.block_cells)
             .max_levels(spec.levels)
-            .nghost(4)
+            .nghost(pkg.nghost())
             .build()
             .expect("valid workload mesh"),
     )
     .expect("constructible mesh");
-    let pkg = BurgersPackage::new(BurgersParams {
-        num_scalars: spec.num_scalars,
-        refine_tol: spec.refine_tol,
-        deref_tol: spec.refine_tol * 0.25,
-        flux_backend: spec.flux_backend,
-        ..BurgersParams::default()
-    });
     let mut driver = Driver::new(
         mesh,
         pkg,
@@ -145,7 +163,7 @@ pub fn build_workload_replica(spec: &WorkloadSpec) -> Driver<BurgersPackage> {
             ..DriverParams::default()
         },
     );
-    driver.initialize(ic::multi_blob(0.9, 0.002, 3));
+    driver.initialize_package();
     driver
 }
 

@@ -1,6 +1,6 @@
 //! The VIBE physics package: variables, fluxes, tagging, timestep, history.
 
-use vibe_core::{BlockSlot, FluxPhase, Package};
+use vibe_core::{BlockInfo, BlockSlot, FluxPhase, Package, RefinementPolicy};
 use vibe_exec::{catalog, ghost_byte_multiplier, ExecCtx, Launcher};
 use vibe_field::{BlockData, Metadata, VarId};
 use vibe_mesh::index::IndexDomain;
@@ -426,6 +426,34 @@ impl Package for BurgersPackage {
         data.add_variable("u", 3, evolved);
         data.add_variable("q", self.params.num_scalars.max(1), evolved);
         data.add_variable("d", 1, Metadata::DERIVED);
+    }
+
+    fn nghost(&self) -> usize {
+        // One more than the WENO5 stencil radius, matching the bench/serve
+        // problem setup this package's golden fingerprints are pinned at.
+        4
+    }
+
+    fn default_cfl(&self) -> f64 {
+        0.3
+    }
+
+    fn initial_condition(&self, info: &BlockInfo, data: &mut BlockData) {
+        // The canonical Burgers workload: three overlapping Gaussian blobs
+        // (the bench probe's `multi_blob(0.9, 0.002, 3)`), preserving the
+        // headline fingerprint when setup goes through the registry.
+        crate::ic::multi_blob(0.9, 0.002, 3)(info, data);
+    }
+
+    fn history_labels(&self) -> Vec<&'static str> {
+        vec!["q_mass", "energy"]
+    }
+
+    fn refinement_policy(&self) -> RefinementPolicy {
+        RefinementPolicy {
+            refine_tol: self.params.refine_tol,
+            deref_tol: self.params.deref_tol,
+        }
     }
 
     fn calculate_fluxes(&self, pack: &mut [&mut BlockSlot], exec: ExecCtx, rec: &mut Recorder) {

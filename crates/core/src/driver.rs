@@ -292,6 +292,13 @@ pub(crate) struct DriverParts<P: Package> {
     pub history: Vec<(u64, Vec<f64>)>,
 }
 
+/// Where [`Driver::initialize_impl`] gets its initial condition: the
+/// package's own problem generator, or a caller-supplied fill.
+enum IcSource<'a> {
+    Package,
+    Custom(&'a dyn Fn(&BlockInfo, &mut BlockData)),
+}
+
 /// The evolution driver: owns the mesh, block data, communication state,
 /// and profiler, and advances the simulation with the paper's timestep
 /// loop (`Step` → `LoadBalancingAndAMR` → `EstimateTimeStep`), each cycle
@@ -393,6 +400,11 @@ impl<P: Package> Driver<P> {
         &self.mesh
     }
 
+    /// The physics package this driver evolves.
+    pub fn package(&self) -> &P {
+        &self.package
+    }
+
     /// All block slots in gid order.
     pub fn slots(&self) -> &[BlockSlot] {
         &self.slots
@@ -492,6 +504,37 @@ impl<P: Package> Driver<P> {
     ///
     /// Work during initialization is not attributed to any cycle.
     pub fn initialize(&mut self, ic: impl Fn(&BlockInfo, &mut BlockData)) {
+        self.initialize_impl(IcSource::Custom(&ic));
+    }
+
+    /// Like [`Self::initialize`], but fills the initial condition from the
+    /// package's own problem generator
+    /// ([`Package::initial_condition`](crate::Package::initial_condition))
+    /// — the setup path for registry-resolved packages, where no caller
+    /// knows the concrete physics.
+    pub fn initialize_package(&mut self) {
+        self.initialize_impl(IcSource::Package);
+    }
+
+    /// Applies the selected initial-condition source to every block.
+    fn apply_ic(&mut self, ic: &IcSource<'_>) {
+        // Disjoint field borrows: the package reads while the slots fill.
+        let package = &self.package;
+        match ic {
+            IcSource::Package => {
+                for slot in &mut self.slots {
+                    package.initial_condition(&slot.info, &mut slot.data);
+                }
+            }
+            IcSource::Custom(f) => {
+                for slot in &mut self.slots {
+                    f(&slot.info, &mut slot.data);
+                }
+            }
+        }
+    }
+
+    fn initialize_impl(&mut self, ic: IcSource<'_>) {
         // Comm events during initialization carry a sentinel cycle so
         // consumers replaying per-cycle streams (vibe-sim) can drop them,
         // mirroring how recorded work here is not attributed to any cycle.
@@ -502,9 +545,7 @@ impl<P: Package> Driver<P> {
         }
         let init_guard = wall.region(RegionKey::Named("Initialize"));
         let rounds = self.mesh.params().max_levels();
-        for slot in &mut self.slots {
-            ic(&slot.info, &mut slot.data);
-        }
+        self.apply_ic(&ic);
         for _ in 0..rounds {
             self.exchange();
             let flags = self.collect_tags();
@@ -513,9 +554,7 @@ impl<P: Package> Driver<P> {
                 break;
             }
             self.apply_regrid(&decision);
-            for slot in &mut self.slots {
-                ic(&slot.info, &mut slot.data);
-            }
+            self.apply_ic(&ic);
         }
         self.mesh.load_balance(self.params.nranks);
         self.sync_ranks();
@@ -1466,7 +1505,7 @@ impl<P: Package> Driver<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::package::advect::Advect;
+    use crate::test_package::Advect;
     use vibe_mesh::MeshParams;
 
     fn mesh() -> Mesh {

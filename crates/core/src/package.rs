@@ -5,7 +5,7 @@ use vibe_field::BlockData;
 use vibe_mesh::AmrFlag;
 use vibe_prof::Recorder;
 
-use crate::block::BlockSlot;
+use crate::block::{BlockInfo, BlockSlot};
 
 /// Which part of the flux sweep a [`Package::calculate_fluxes_phase`] call
 /// covers. The task-graph driver computes `Interior` faces while ghost
@@ -21,6 +21,28 @@ pub enum FluxPhase {
     Exterior,
 }
 
+/// Refinement thresholds a package tags with, exposed through
+/// [`Package::refinement_policy`] so tooling (CI gates, scenario tables)
+/// can introspect the policy without running the tagging kernel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefinementPolicy {
+    /// A block whose indicator exceeds this is tagged `Refine`.
+    pub refine_tol: f64,
+    /// A block whose indicator falls below this is tagged `Derefine`.
+    pub deref_tol: f64,
+}
+
+impl Default for RefinementPolicy {
+    fn default() -> Self {
+        // Never refine, never derefine: a package that does not override
+        // the policy hook reports a static-mesh policy.
+        Self {
+            refine_tol: f64::INFINITY,
+            deref_tol: 0.0,
+        }
+    }
+}
+
 /// A physics package (Parthenon's `StateDescriptor`): registers variables
 /// and provides the physics kernels. All kernel-style methods receive the
 /// *pack* of blocks owned by one rank and must issue one recorded launch
@@ -31,13 +53,56 @@ pub enum FluxPhase {
 /// [`ExecCtx::for_each_block`] / [`ExecCtx::map_blocks`]. Reductions
 /// (timestep minima, history sums) must fold per-block partials in pack
 /// order so results are bitwise identical at every thread count.
+///
+/// Beyond the kernels, a package owns its *problem setup*: the ghost-layer
+/// width its stencils need ([`Package::nghost`]), its advisory CFL factor
+/// ([`Package::default_cfl`]), its canonical initial condition
+/// ([`Package::initial_condition`]), its refinement thresholds
+/// ([`Package::refinement_policy`]), and labels for its history columns
+/// ([`Package::history_labels`]). These hooks let every layer — driver,
+/// rank shards, the service, the benchmarks — construct a problem from
+/// nothing but a package resolved by name from a
+/// [`crate::registry::PackageRegistry`].
 pub trait Package {
-    /// Package name (diagnostics only).
+    /// Package name: the key a [`crate::registry::PackageRegistry`]
+    /// resolves and the `physics=` field of canonical job configs.
     fn name(&self) -> &str;
 
     /// Registers this package's variables into a fresh block container.
     /// Called for every block at startup and for new blocks at regrid.
     fn register(&self, data: &mut BlockData);
+
+    /// Ghost-layer width this package's stencils require; problem setup
+    /// must build the mesh with at least this many ghost cells. The
+    /// default (4) accommodates a WENO5 stencil radius of three plus the
+    /// prolongation halo.
+    fn nghost(&self) -> usize {
+        4
+    }
+
+    /// Advisory CFL safety factor paired with [`Package::estimate_dt`]:
+    /// problem setup multiplies the estimate by this when the caller does
+    /// not pin an explicit CFL.
+    fn default_cfl(&self) -> f64 {
+        0.3
+    }
+
+    /// Fills one block's initial condition (Parthenon's problem
+    /// generator). [`crate::Driver::initialize_package`] applies it to
+    /// every block and re-applies it while the initial hierarchy adapts.
+    /// The default leaves registered variables at zero.
+    fn initial_condition(&self, _info: &BlockInfo, _data: &mut BlockData) {}
+
+    /// Labels for the entries of [`Package::history`], in the same order;
+    /// must have exactly as many entries as `history` returns values.
+    fn history_labels(&self) -> Vec<&'static str> {
+        Vec::new()
+    }
+
+    /// The refinement thresholds behind [`Package::tag_refinement`].
+    fn refinement_policy(&self) -> RefinementPolicy {
+        RefinementPolicy::default()
+    }
 
     /// Computes face fluxes for all blocks in `pack` (reconstruction +
     /// Riemann solve), filling the flux arrays of flux-bearing variables.
@@ -91,196 +156,5 @@ pub trait Package {
         _rec: &mut Recorder,
     ) -> Vec<f64> {
         Vec::new()
-    }
-}
-
-pub mod advect {
-    //! A minimal linear-advection package: one conserved scalar advected at
-    //! constant velocity (1, 0, 0) with first-order upwind fluxes.
-    //!
-    //! This is the "hello world" of the [`Package`] interface — small
-    //! enough to read in one sitting, yet exercising every framework hook
-    //! (registration, fluxes, derived fill, timestep estimate, refinement
-    //! tagging, history). The driver's unit tests and the quickstart-level
-    //! documentation build on it; real physics lives in `vibe-burgers`.
-
-    use super::*;
-    use vibe_exec::{catalog, ghost_byte_multiplier, Launcher};
-    use vibe_field::{Metadata, VarId};
-    use vibe_mesh::IndexRange;
-
-    /// Upwind advection of one scalar `q` at unit velocity along +x.
-    #[derive(Debug, Clone)]
-    pub struct Advect {
-        /// Refinement threshold on the max gradient.
-        pub refine_above: f64,
-        /// Derefinement threshold.
-        pub deref_below: f64,
-    }
-
-    impl Default for Advect {
-        fn default() -> Self {
-            Self {
-                refine_above: 0.5,
-                deref_below: 0.05,
-            }
-        }
-    }
-
-    impl Advect {
-        pub fn qid(data: &mut BlockData) -> VarId {
-            data.id_of("q").expect("q registered")
-        }
-    }
-
-    impl Package for Advect {
-        fn name(&self) -> &str {
-            "advect"
-        }
-
-        fn register(&self, data: &mut BlockData) {
-            data.add_variable(
-                "q",
-                1,
-                Metadata::INDEPENDENT
-                    | Metadata::FILL_GHOST
-                    | Metadata::WITH_FLUXES
-                    | Metadata::TWO_STAGE,
-            );
-        }
-
-        fn calculate_fluxes(&self, pack: &mut [&mut BlockSlot], exec: ExecCtx, rec: &mut Recorder) {
-            let Some(first) = pack.first() else { return };
-            let shape = *first.data.shape();
-            let cells: u64 = pack.len() as u64 * shape.interior_count() as u64;
-            let mult = ghost_byte_multiplier(shape.ncells()[0], shape.nghost(), shape.dim());
-            let mut launcher = Launcher::new(rec);
-            launcher.launch(&catalog::CALCULATE_FLUXES, cells, mult, || {});
-            exec.for_each_block(pack, |_, slot| {
-                let qid = Advect::qid(&mut slot.data);
-                let var = slot.data.var_mut(qid);
-                let (ix, iy) = (
-                    shape.range(0, vibe_mesh::index::IndexDomain::Interior),
-                    shape.range(1, vibe_mesh::index::IndexDomain::Interior),
-                );
-                let iz = shape.range(2, vibe_mesh::index::IndexDomain::Interior);
-                // Upwind in +x: F_{i} = q_{i-1} on face i.
-                let data = var.data().clone();
-                let fx = var.flux_mut(0).expect("flux allocated");
-                for k in iz.iter() {
-                    for j in iy.iter() {
-                        let face_range = IndexRange::new(ix.s, ix.e + 1);
-                        for i in face_range.iter() {
-                            let up = data.get(0, k as usize, j as usize, (i - 1) as usize);
-                            fx.set(0, k as usize, j as usize, i as usize, up);
-                        }
-                    }
-                }
-                // No transverse flow: zero y/z fluxes.
-                for d in 1..shape.dim() {
-                    slot.data
-                        .var_mut(qid)
-                        .flux_mut(d)
-                        .expect("flux allocated")
-                        .fill(0.0);
-                }
-            });
-        }
-
-        fn fill_derived(&self, pack: &mut [&mut BlockSlot], _exec: ExecCtx, rec: &mut Recorder) {
-            let Some(first) = pack.first() else { return };
-            let cells = pack.len() as u64 * first.data.shape().interior_count() as u64;
-            Launcher::new(rec).record_only(&catalog::CALCULATE_DERIVED, cells, 1.0);
-        }
-
-        fn estimate_dt(
-            &self,
-            pack: &mut [&mut BlockSlot],
-            exec: ExecCtx,
-            rec: &mut Recorder,
-        ) -> f64 {
-            let Some(first) = pack.first() else {
-                return f64::INFINITY;
-            };
-            let cells = pack.len() as u64 * first.data.shape().interior_count() as u64;
-            Launcher::new(rec).record_only(&catalog::ESTIMATE_TIMESTEP_MESH, cells, 1.0);
-            // Per-block partials folded in pack order: deterministic at any
-            // thread count.
-            exec.map_blocks(pack, |_, s| s.info.geom.dx()[0])
-                .into_iter()
-                .fold(f64::INFINITY, f64::min)
-        }
-
-        fn tag_refinement(
-            &self,
-            pack: &mut [&mut BlockSlot],
-            exec: ExecCtx,
-            rec: &mut Recorder,
-        ) -> Vec<AmrFlag> {
-            let Some(first) = pack.first() else {
-                return Vec::new();
-            };
-            let shape = *first.data.shape();
-            let cells = pack.len() as u64 * shape.interior_count() as u64;
-            Launcher::new(rec).record_only(&catalog::FIRST_DERIVATIVE, cells, 1.0);
-            exec.map_blocks(pack, |_, slot| {
-                let qid = Advect::qid(&mut slot.data);
-                let var = slot.data.var(qid);
-                let mut max_jump: f64 = 0.0;
-                let ix = shape.range(0, vibe_mesh::index::IndexDomain::Interior);
-                let iy = shape.range(1, vibe_mesh::index::IndexDomain::Interior);
-                let iz = shape.range(2, vibe_mesh::index::IndexDomain::Interior);
-                for k in iz.iter() {
-                    for j in iy.iter() {
-                        for i in ix.iter() {
-                            let a = var.data().get(0, k as usize, j as usize, i as usize);
-                            let b = var.data().get(0, k as usize, j as usize, (i - 1) as usize);
-                            max_jump = max_jump.max((a - b).abs());
-                        }
-                    }
-                }
-                if max_jump > self.refine_above {
-                    AmrFlag::Refine
-                } else if max_jump < self.deref_below {
-                    AmrFlag::Derefine
-                } else {
-                    AmrFlag::Same
-                }
-            })
-        }
-
-        fn history(
-            &self,
-            pack: &mut [&mut BlockSlot],
-            exec: ExecCtx,
-            rec: &mut Recorder,
-        ) -> Vec<f64> {
-            let Some(first) = pack.first() else {
-                return vec![0.0];
-            };
-            let shape = *first.data.shape();
-            let cells = pack.len() as u64 * shape.interior_count() as u64;
-            Launcher::new(rec).record_only(&catalog::MASS_HISTORY, cells, 1.0);
-            // Per-block sums folded in pack order (fixed-order reduction).
-            let partials = exec.map_blocks(pack, |_, slot| {
-                let qid = Advect::qid(&mut slot.data);
-                let var = slot.data.var(qid);
-                let vol = slot.info.geom.cell_volume();
-                let ix = shape.range(0, vibe_mesh::index::IndexDomain::Interior);
-                let iy = shape.range(1, vibe_mesh::index::IndexDomain::Interior);
-                let iz = shape.range(2, vibe_mesh::index::IndexDomain::Interior);
-                let mut block_total = 0.0;
-                for k in iz.iter() {
-                    for j in iy.iter() {
-                        for i in ix.iter() {
-                            block_total +=
-                                var.data().get(0, k as usize, j as usize, i as usize) * vol;
-                        }
-                    }
-                }
-                block_total
-            });
-            vec![partials.into_iter().sum()]
-        }
     }
 }

@@ -1595,7 +1595,7 @@ pub fn fingerprint_slots(slots: &[BlockSlot]) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::package::advect::Advect;
+    use crate::test_package::Advect;
     use vibe_comm::SharedTransport;
     use vibe_mesh::MeshParams;
 

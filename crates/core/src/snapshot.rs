@@ -539,8 +539,8 @@ pub fn fresh_recorder() -> Recorder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::package::advect::Advect;
     use crate::shard::fingerprint_slots;
+    use crate::test_package::Advect;
     use vibe_field::BlockData;
     use vibe_mesh::MeshParams;
 

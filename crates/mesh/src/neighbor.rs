@@ -175,9 +175,16 @@ pub fn find_neighbors(tree: &BlockTree, loc: &LogicalLocation) -> Vec<NeighborBl
     }
 
     // A coarse neighbor can be reached through several offsets (e.g. a face
-    // and an adjoining edge); keep the first (lowest-order) occurrence.
+    // and an adjoining edge); keep the first (lowest-order) occurrence. Same
+    // or finer neighbors stay distinct per offset: in a small periodic
+    // domain one block legitimately borders another through several offsets
+    // (both ±d with two blocks along a dimension, or itself with one), and
+    // each offset fills a different ghost region of the receiver.
     let mut seen = std::collections::HashSet::new();
-    out.retain(|n| seen.insert(n.loc));
+    out.retain(|n| {
+        let key = (n.loc, (n.level_diff >= 0).then_some(n.offset));
+        seen.insert(key)
+    });
     out
 }
 
@@ -324,5 +331,49 @@ mod tests {
         assert_eq!(n.len(), 2);
         let edge = find_neighbors(&t, &LogicalLocation::new(0, 0, 0, 0));
         assert_eq!(edge.len(), 1);
+    }
+
+    /// Two periodic blocks along a dimension: the same block is the
+    /// neighbor through BOTH ±d offsets, and both boundaries must survive
+    /// — dropping one leaves the corresponding ghost band permanently
+    /// stale (it silently broke conservation for wide-stencil packages).
+    #[test]
+    fn periodic_two_block_wrap_keeps_both_sides() {
+        let t = BlockTree::new(1, [2, 1, 1], 1, [true; 3]);
+        let n = find_neighbors(&t, &LogicalLocation::new(0, 0, 0, 0));
+        assert_eq!(n.len(), 2, "both wrap boundaries present");
+        let mut offs: Vec<i64> = n.iter().map(|nb| nb.offset.components()[0]).collect();
+        offs.sort_unstable();
+        assert_eq!(offs, vec![-1, 1]);
+        assert!(n
+            .iter()
+            .all(|nb| nb.loc == LogicalLocation::new(0, 1, 0, 0)));
+    }
+
+    /// A single periodic block neighbors itself through both ±d offsets.
+    #[test]
+    fn periodic_single_block_is_its_own_neighbor_both_sides() {
+        let t = BlockTree::new(1, [1, 1, 1], 1, [true; 3]);
+        let loc = LogicalLocation::new(0, 0, 0, 0);
+        let n = find_neighbors(&t, &loc);
+        assert_eq!(n.len(), 2, "self-wrap on both sides");
+        assert!(n.iter().all(|nb| nb.loc == loc));
+    }
+
+    /// A coarse neighbor reachable through a face and an adjoining edge is
+    /// still emitted once (the pre-existing dedup contract).
+    #[test]
+    fn coarse_neighbor_still_deduplicated_across_offsets() {
+        let mut t = BlockTree::new(2, [2, 2, 1], 2, [true; 3]);
+        t.refine(&LogicalLocation::new(0, 0, 0, 0)).unwrap();
+        // From the top-right fine child, the coarse leaf to its right is
+        // reached through both the +x face and the (+x,−y) edge.
+        let fine = LogicalLocation::new(1, 1, 1, 0);
+        let coarse = LogicalLocation::new(0, 1, 0, 0);
+        let hits = find_neighbors(&t, &fine)
+            .iter()
+            .filter(|nb| nb.loc == coarse)
+            .count();
+        assert_eq!(hits, 1, "coarse leaf listed once");
     }
 }

@@ -1,0 +1,375 @@
+//! Linear advection: `∂q/∂t + v·∇q = 0` at a constant, fully 3-D
+//! velocity, with upwind fluxes built from first-order or WENO5
+//! reconstruction.
+//!
+//! This is the promoted descendant of the old `core::package::advect` toy
+//! (which advected along +x only, first-order): the velocity is now a
+//! vector with a component per axis and the reconstruction is selectable,
+//! so the package exercises every flux direction and the same stencil
+//! machinery as the nonlinear packages while keeping trivially linear
+//! physics. Its arithmetic intensity is low and its ghost traffic is the
+//! same as any stencil code's — the comm-bound probe of the scenario
+//! matrix.
+
+use vibe_core::{BlockInfo, BlockSlot, FluxPhase, Package, RefinementPolicy};
+use vibe_exec::{catalog, ghost_byte_multiplier, ExecCtx, Launcher};
+use vibe_field::{BlockData, Metadata, VarId};
+use vibe_mesh::index::IndexDomain;
+use vibe_mesh::AmrFlag;
+use vibe_prof::Recorder;
+
+use vibe_burgers::reconstruct_weno5;
+
+use crate::face_bands;
+
+/// Reconstruction scheme for the upwind states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdvectRecon {
+    /// First-order: the face state is the adjacent cell average.
+    Upwind1,
+    /// Fifth-order WENO, as in the Burgers package.
+    Weno5,
+}
+
+impl AdvectRecon {
+    /// Cells the stencil reaches to either side of a face.
+    fn radius(self) -> usize {
+        match self {
+            Self::Upwind1 => 1,
+            Self::Weno5 => 3,
+        }
+    }
+}
+
+/// Constant-velocity linear advection of a scalar bundle `q`.
+#[derive(Debug, Clone)]
+pub struct Advect {
+    /// Advection velocity (one component per axis; components beyond the
+    /// mesh dimensionality are ignored).
+    pub velocity: [f64; 3],
+    /// Face-state reconstruction.
+    pub recon: AdvectRecon,
+    /// Number of advected scalars (components of `q`).
+    pub num_scalars: usize,
+    /// Refinement threshold on the max adjacent-cell jump.
+    pub refine_above: f64,
+    /// Derefinement threshold.
+    pub deref_below: f64,
+}
+
+impl Default for Advect {
+    fn default() -> Self {
+        Self {
+            // All three axes active, incommensurate speeds: every flux
+            // direction carries signal and features cross block faces in
+            // all directions.
+            velocity: [1.0, 0.5, 0.25],
+            recon: AdvectRecon::Weno5,
+            num_scalars: 1,
+            refine_above: 0.5,
+            deref_below: 0.05,
+        }
+    }
+}
+
+impl Advect {
+    pub fn qid(data: &mut BlockData) -> VarId {
+        data.id_of("q").expect("q registered")
+    }
+
+    /// Computes the face fluxes of one block, restricted to one
+    /// [`FluxPhase`] band (`None` sweeps every face). Upwind in each
+    /// direction: `F_d = v_d · q_upwind`, with the upwind state picked
+    /// from the reconstructed left/right pair by the sign of `v_d`.
+    fn block_fluxes(&self, slot: &mut BlockSlot, phase: Option<FluxPhase>) {
+        let shape = *slot.data.shape();
+        let dim = shape.dim();
+        let m = self.recon.radius();
+        let ranges = [
+            shape.range(0, IndexDomain::Interior),
+            shape.range(1, IndexDomain::Interior),
+            shape.range(2, IndexDomain::Interior),
+        ];
+        let qid = Advect::qid(&mut slot.data);
+        for d in 0..dim {
+            let v = self.velocity[d];
+            let (qdata, qflux) = slot.data.var_mut(qid).data_and_flux_mut(d);
+            let ncomp = qdata.ncomp();
+            let faces = ranges[d].len() + 1;
+            let (lo_end, hi_start) = face_bands(m, ranges[d].len());
+            let (band_a, band_b) = match phase {
+                None => (0..faces, faces..faces),
+                Some(FluxPhase::Interior) => (lo_end..hi_start, hi_start..hi_start),
+                Some(FluxPhase::Exterior) => (0..lo_end, hi_start..faces),
+            };
+            let (oa, ob) = match d {
+                0 => (1usize, 2usize),
+                1 => (0, 2),
+                _ => (0, 1),
+            };
+            let f0 = ranges[d].s;
+            for c in 0..ncomp {
+                for o2 in ranges[ob].iter() {
+                    for o1 in ranges[oa].iter() {
+                        for f in band_a.clone().chain(band_b.clone()) {
+                            // Cell/face coordinates of face `f` on this line.
+                            let mut pos = [0i64; 3];
+                            pos[d] = f0 + f as i64;
+                            pos[oa] = o1;
+                            pos[ob] = o2;
+                            let at = |off: i64| -> f64 {
+                                let mut p = pos;
+                                p[d] += off;
+                                qdata.get(c, p[2] as usize, p[1] as usize, p[0] as usize)
+                            };
+                            let (l, r) = match self.recon {
+                                AdvectRecon::Upwind1 => (at(-1), at(0)),
+                                AdvectRecon::Weno5 => {
+                                    let stencil = [at(-3), at(-2), at(-1), at(0), at(1), at(2)];
+                                    reconstruct_weno5(&stencil)
+                                }
+                            };
+                            let upwind = if v >= 0.0 { l } else { r };
+                            qflux.set(
+                                c,
+                                pos[2] as usize,
+                                pos[1] as usize,
+                                pos[0] as usize,
+                                v * upwind,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Package for Advect {
+    fn name(&self) -> &str {
+        "advect"
+    }
+
+    fn register(&self, data: &mut BlockData) {
+        data.add_variable(
+            "q",
+            self.num_scalars.max(1),
+            Metadata::INDEPENDENT
+                | Metadata::FILL_GHOST
+                | Metadata::WITH_FLUXES
+                | Metadata::TWO_STAGE,
+        );
+    }
+
+    fn nghost(&self) -> usize {
+        match self.recon {
+            AdvectRecon::Upwind1 => 2,
+            AdvectRecon::Weno5 => 4,
+        }
+    }
+
+    fn default_cfl(&self) -> f64 {
+        0.3
+    }
+
+    fn initial_condition(&self, info: &BlockInfo, data: &mut BlockData) {
+        // A sharp off-center Gaussian pulse on a unit background; its
+        // periodic transit exercises every flux direction and keeps a
+        // steep gradient alive for the refinement tagger.
+        let shape = *data.shape();
+        let qid = Advect::qid(data);
+        let qdata = data.var_mut(qid).data_mut();
+        let ncomp = qdata.ncomp();
+        let center = [0.3, 0.4, 0.6];
+        for k in 0..shape.entire_d(2) {
+            for j in 0..shape.entire_d(1) {
+                for i in 0..shape.entire_d(0) {
+                    let pos = info.geom.cell_center(
+                        i as i64 - shape.nghost_d(0) as i64,
+                        j as i64 - shape.nghost_d(1) as i64,
+                        k as i64 - shape.nghost_d(2) as i64,
+                    );
+                    // Periodic distance to the pulse center.
+                    let r2: f64 = (0..3)
+                        .map(|d| {
+                            let mut dxx = (pos[d] - center[d]).abs();
+                            if dxx > 0.5 {
+                                dxx = 1.0 - dxx;
+                            }
+                            dxx * dxx
+                        })
+                        .sum();
+                    let pulse = 2.0 * (-r2 / 0.005).exp();
+                    for c in 0..ncomp {
+                        qdata.set(c, k, j, i, 1.0 + pulse / (c + 1) as f64);
+                    }
+                }
+            }
+        }
+    }
+
+    fn history_labels(&self) -> Vec<&'static str> {
+        vec!["q_mass"]
+    }
+
+    fn refinement_policy(&self) -> RefinementPolicy {
+        RefinementPolicy {
+            refine_tol: self.refine_above,
+            deref_tol: self.deref_below,
+        }
+    }
+
+    fn calculate_fluxes(&self, pack: &mut [&mut BlockSlot], exec: ExecCtx, rec: &mut Recorder) {
+        let Some(first) = pack.first() else { return };
+        let shape = *first.data.shape();
+        let cells: u64 = pack.len() as u64 * shape.interior_count() as u64;
+        let mult = ghost_byte_multiplier(shape.ncells()[0], shape.nghost(), shape.dim());
+        Launcher::new(rec).record_only(&catalog::CALCULATE_FLUXES, cells, mult);
+        exec.for_each_block(pack, |_, slot| {
+            self.block_fluxes(slot, None);
+        });
+    }
+
+    fn calculate_fluxes_phase(
+        &self,
+        pack: &mut [&mut BlockSlot],
+        phase: FluxPhase,
+        exec: ExecCtx,
+        rec: &mut Recorder,
+    ) {
+        let Some(first) = pack.first() else { return };
+        let shape = *first.data.shape();
+        let cells: u64 = pack.len() as u64 * shape.interior_count() as u64;
+        let mult = ghost_byte_multiplier(shape.ncells()[0], shape.nghost(), shape.dim());
+        let frac = match phase {
+            FluxPhase::Interior => {
+                let n = shape.ncells()[0];
+                let (lo, hi) = face_bands(self.recon.radius(), n);
+                hi.saturating_sub(lo) as f64 / (n + 1) as f64
+            }
+            FluxPhase::Exterior => {
+                let n = shape.ncells()[0];
+                let (lo, hi) = face_bands(self.recon.radius(), n);
+                1.0 - hi.saturating_sub(lo) as f64 / (n + 1) as f64
+            }
+        };
+        Launcher::new(rec).record_only(
+            &catalog::CALCULATE_FLUXES,
+            (cells as f64 * frac) as u64,
+            mult,
+        );
+        exec.for_each_block(pack, |_, slot| {
+            self.block_fluxes(slot, Some(phase));
+        });
+    }
+
+    fn fill_derived(&self, pack: &mut [&mut BlockSlot], _exec: ExecCtx, rec: &mut Recorder) {
+        let Some(first) = pack.first() else { return };
+        let cells = pack.len() as u64 * first.data.shape().interior_count() as u64;
+        Launcher::new(rec).record_only(&catalog::CALCULATE_DERIVED, cells, 1.0);
+    }
+
+    fn estimate_dt(&self, pack: &mut [&mut BlockSlot], exec: ExecCtx, rec: &mut Recorder) -> f64 {
+        let Some(first) = pack.first() else {
+            return f64::INFINITY;
+        };
+        let dim = first.data.shape().dim();
+        let cells = pack.len() as u64 * first.data.shape().interior_count() as u64;
+        Launcher::new(rec).record_only(&catalog::ESTIMATE_TIMESTEP_MESH, cells, 1.0);
+        // Per-block partials folded in pack order: deterministic at any
+        // thread count.
+        exec.map_blocks(pack, |_, s| {
+            let dx = s.info.geom.dx();
+            let mut block_min = f64::INFINITY;
+            for (&dx_d, vel) in dx.iter().zip(self.velocity).take(dim) {
+                let speed = vel.abs();
+                if speed > 1e-12 {
+                    block_min = block_min.min(dx_d / speed);
+                }
+            }
+            block_min
+        })
+        .into_iter()
+        .fold(f64::INFINITY, f64::min)
+    }
+
+    fn tag_refinement(
+        &self,
+        pack: &mut [&mut BlockSlot],
+        exec: ExecCtx,
+        rec: &mut Recorder,
+    ) -> Vec<AmrFlag> {
+        let Some(first) = pack.first() else {
+            return Vec::new();
+        };
+        let shape = *first.data.shape();
+        let dim = shape.dim();
+        let cells = pack.len() as u64 * shape.interior_count() as u64;
+        Launcher::new(rec).record_only(&catalog::FIRST_DERIVATIVE, cells, 1.0);
+        let ranges = [
+            shape.range(0, IndexDomain::Interior),
+            shape.range(1, IndexDomain::Interior),
+            shape.range(2, IndexDomain::Interior),
+        ];
+        exec.map_blocks(pack, |_, slot| {
+            let qid = Advect::qid(&mut slot.data);
+            let q = slot.data.var(qid).data();
+            let mut max_jump: f64 = 0.0;
+            for k in ranges[2].iter() {
+                for j in ranges[1].iter() {
+                    for i in ranges[0].iter() {
+                        let here = q.get(0, k as usize, j as usize, i as usize);
+                        let mut nb = [here; 3];
+                        nb[0] = q.get(0, k as usize, j as usize, (i - 1) as usize);
+                        if dim >= 2 {
+                            nb[1] = q.get(0, k as usize, (j - 1) as usize, i as usize);
+                        }
+                        if dim >= 3 {
+                            nb[2] = q.get(0, (k - 1) as usize, j as usize, i as usize);
+                        }
+                        for b in nb.iter().take(dim) {
+                            max_jump = max_jump.max((here - b).abs());
+                        }
+                    }
+                }
+            }
+            if max_jump > self.refine_above {
+                AmrFlag::Refine
+            } else if max_jump < self.deref_below {
+                AmrFlag::Derefine
+            } else {
+                AmrFlag::Same
+            }
+        })
+    }
+
+    fn history(&self, pack: &mut [&mut BlockSlot], exec: ExecCtx, rec: &mut Recorder) -> Vec<f64> {
+        let Some(first) = pack.first() else {
+            return vec![0.0];
+        };
+        let shape = *first.data.shape();
+        let cells = pack.len() as u64 * shape.interior_count() as u64;
+        Launcher::new(rec).record_only(&catalog::MASS_HISTORY, cells, 1.0);
+        let ranges = [
+            shape.range(0, IndexDomain::Interior),
+            shape.range(1, IndexDomain::Interior),
+            shape.range(2, IndexDomain::Interior),
+        ];
+        // Per-block sums folded in pack order (fixed-order reduction).
+        let partials = exec.map_blocks(pack, |_, slot| {
+            let qid = Advect::qid(&mut slot.data);
+            let q = slot.data.var(qid).data();
+            let vol = slot.info.geom.cell_volume();
+            let mut block_total = 0.0;
+            for k in ranges[2].iter() {
+                for j in ranges[1].iter() {
+                    for i in ranges[0].iter() {
+                        block_total += q.get(0, k as usize, j as usize, i as usize) * vol;
+                    }
+                }
+            }
+            block_total
+        });
+        vec![partials.into_iter().sum()]
+    }
+}

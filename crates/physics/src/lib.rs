@@ -1,0 +1,251 @@
+//! # vibe-physics
+//!
+//! The physics-package library: concrete [`Package`] implementations
+//! beyond the Burgers benchmark, plus the [`standard_registry`] that
+//! resolves every shipped package by name. Layers that select physics at
+//! runtime — the service's `JobConfig.physics`, the benchmark scenario
+//! matrix, the `package_matrix` CI gate — resolve from here instead of
+//! naming concrete types.
+//!
+//! Shipped packages, spanning distinct roofline/AMR regimes:
+//!
+//! | name        | physics                      | regime                      |
+//! |-------------|------------------------------|-----------------------------|
+//! | `burgers`   | vector Burgers + scalars     | compute-heavy WENO5 (paper) |
+//! | `advect`    | 3-axis linear advection      | comm-bound scaling probe    |
+//! | `euler`     | compressible Euler, HLL      | shock-driven AMR churn      |
+//! | `diffusion` | explicit scalar diffusion    | memory-bound, low AI        |
+
+use std::sync::OnceLock;
+
+use vibe_burgers::{BurgersPackage, BurgersParams};
+use vibe_core::{DynPackage, PackageRegistry, PackageSpec, RegistryError};
+
+pub mod advect;
+pub mod diffusion;
+pub mod euler;
+
+pub use advect::{Advect, AdvectRecon};
+pub use diffusion::DiffusionPackage;
+pub use euler::EulerPackage;
+
+/// Splits the `n + 1` faces along one dimension into the ghost-independent
+/// interior band `lo_end..hi_start` and its exterior complement, for a
+/// reconstruction stencil reaching `m` cells to either side of a face
+/// (mirrors the Burgers package's banding).
+pub(crate) fn face_bands(m: usize, n: usize) -> (usize, usize) {
+    let faces = n + 1;
+    let lo_end = m.min(faces);
+    let hi_start = faces.saturating_sub(m).max(lo_end);
+    (lo_end, hi_start)
+}
+
+/// The registry of every package this crate ships, keyed by name. Built
+/// once; factories honor the [`PackageSpec`] fields each package uses
+/// (scalar counts, refinement thresholds) and default the rest.
+pub fn standard_registry() -> &'static PackageRegistry {
+    static REG: OnceLock<PackageRegistry> = OnceLock::new();
+    REG.get_or_init(|| {
+        let mut reg = PackageRegistry::new();
+        reg.register("burgers", |spec| {
+            Box::new(BurgersPackage::new(BurgersParams {
+                num_scalars: spec.num_scalars,
+                refine_tol: spec.refine_tol,
+                deref_tol: spec.deref_tol,
+                ..BurgersParams::default()
+            }))
+        });
+        reg.register("advect", |spec| {
+            Box::new(Advect {
+                num_scalars: spec.num_scalars,
+                refine_above: spec.refine_tol,
+                deref_below: spec.deref_tol,
+                ..Advect::default()
+            })
+        });
+        reg.register("euler", |spec| {
+            Box::new(EulerPackage {
+                refine_tol: spec.refine_tol,
+                deref_tol: spec.deref_tol,
+                ..EulerPackage::default()
+            })
+        });
+        reg.register("diffusion", |spec| {
+            Box::new(DiffusionPackage {
+                num_scalars: spec.num_scalars,
+                refine_tol: spec.refine_tol,
+                deref_tol: spec.deref_tol,
+                ..DiffusionPackage::default()
+            })
+        });
+        reg
+    })
+}
+
+/// Resolves `spec` against the [`standard_registry`].
+pub fn resolve(spec: &PackageSpec) -> Result<DynPackage, RegistryError> {
+    standard_registry().resolve(spec)
+}
+
+/// Resolves `name` with default spec parameters.
+pub fn resolve_name(name: &str) -> Result<DynPackage, RegistryError> {
+    standard_registry().resolve_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vibe_core::{Driver, DriverParams, Package};
+    use vibe_mesh::{Mesh, MeshParams};
+
+    fn driver_for(name: &str, threads: usize) -> Driver<DynPackage> {
+        let pkg = resolve_name(name).unwrap();
+        let mesh = Mesh::new(
+            MeshParams::builder()
+                .dim(3)
+                .mesh_cells(16)
+                .block_cells(8)
+                .max_levels(2)
+                .nghost(pkg.nghost())
+                .deref_gap(4)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        Driver::new(
+            mesh,
+            pkg,
+            DriverParams {
+                host_threads: threads,
+                cfl: 0.3,
+                ..DriverParams::default()
+            },
+        )
+    }
+
+    #[test]
+    fn registry_lists_all_four_packages() {
+        let names = standard_registry().names();
+        assert_eq!(names, vec!["advect", "burgers", "diffusion", "euler"]);
+    }
+
+    #[test]
+    fn every_registered_package_passes_conformance() {
+        for name in standard_registry().names() {
+            let report = vibe_core::check_package(|threads| driver_for(&name, threads))
+                .unwrap_or_else(|e| panic!("package {name} failed conformance: {e}"));
+            assert_eq!(report.package, name);
+            assert!(report.flux_vars >= 1);
+        }
+    }
+
+    #[test]
+    fn advect_preserves_scalar_mass() {
+        // Static single-level mesh: with no regrid interpolation in play,
+        // the conservative flux form must hold mass to round-off.
+        let pkg = resolve_name("advect").unwrap();
+        let mesh = Mesh::new(
+            MeshParams::builder()
+                .dim(3)
+                .mesh_cells(16)
+                .block_cells(8)
+                .max_levels(1)
+                .nghost(pkg.nghost())
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let mut d = Driver::new(mesh, pkg, DriverParams::default());
+        d.initialize_package();
+        d.run_cycles(4);
+        let hist = d.history();
+        assert!(hist.len() >= 2);
+        let first = hist.first().unwrap().1[0];
+        let last = hist.last().unwrap().1[0];
+        assert!(
+            ((first - last) / first).abs() < 1e-10,
+            "advect mass drifted: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn diffusion_preserves_mass_and_decays_gradients() {
+        let mut d = driver_for("diffusion", 1);
+        d.initialize_package();
+        let peak_before = d
+            .slots()
+            .iter()
+            .map(|s| s.data.vars()[0].data().max_abs())
+            .fold(0.0, f64::max);
+        d.run_cycles(6);
+        let hist = d.history();
+        let first = hist.first().unwrap().1[0];
+        let last = hist.last().unwrap().1[0];
+        assert!(
+            ((first - last) / first).abs() < 1e-10,
+            "diffusion mass drifted: {first} -> {last}"
+        );
+        let peak_after = d
+            .slots()
+            .iter()
+            .map(|s| s.data.vars()[0].data().max_abs())
+            .fold(0.0, f64::max);
+        assert!(
+            peak_after < peak_before,
+            "diffusion peak grew: {peak_before} -> {peak_after}"
+        );
+    }
+
+    #[test]
+    fn euler_blast_conserves_mass_and_energy_and_refines() {
+        let mut d = driver_for("euler", 1);
+        d.initialize_package();
+        let blocks_before = d.mesh().num_blocks();
+        d.run_cycles(6);
+        let hist = d.history();
+        let (m0, e0) = (hist.first().unwrap().1[0], hist.first().unwrap().1[1]);
+        let (m1, e1) = (hist.last().unwrap().1[0], hist.last().unwrap().1[1]);
+        assert!(((m0 - m1) / m0).abs() < 1e-10, "mass drifted: {m0} -> {m1}");
+        assert!(
+            ((e0 - e1) / e0).abs() < 1e-10,
+            "energy drifted: {e0} -> {e1}"
+        );
+        // The blast pulse refines the initial hierarchy.
+        assert!(
+            d.mesh().num_blocks() >= blocks_before,
+            "euler lost blocks without shocks"
+        );
+    }
+
+    #[test]
+    fn upwind1_advect_also_conforms() {
+        let make = |threads: usize| {
+            let pkg: DynPackage = Box::new(Advect {
+                recon: AdvectRecon::Upwind1,
+                ..Advect::default()
+            });
+            let mesh = Mesh::new(
+                MeshParams::builder()
+                    .dim(2)
+                    .mesh_cells(32)
+                    .block_cells(8)
+                    .max_levels(2)
+                    .nghost(pkg.nghost())
+                    .deref_gap(4)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+            Driver::new(
+                mesh,
+                pkg,
+                DriverParams {
+                    host_threads: threads,
+                    cfl: 0.3,
+                    ..DriverParams::default()
+                },
+            )
+        };
+        vibe_core::check_package(make).unwrap();
+    }
+}

@@ -1,29 +1,89 @@
 //! Job configuration: the tenant-facing description of one simulation
 //! run, its canonical form, and the FNV-1a cache key derived from it.
 //!
-//! The cache key deliberately EXCLUDES the execution geometry (`nranks`,
-//! `threads`): the runtime's bitwise-reproducibility invariant means the
-//! final solution fingerprint is identical for any rank/thread
-//! decomposition of the same problem, so two jobs that differ only in
-//! geometry are the *same* result and must share a cache entry.
+//! The `physics` field is a package *name* resolved against
+//! [`vibe_physics::standard_registry`] — the service accepts any
+//! registered package and rejects unknown names with a structured error
+//! carrying the registered list. The cache key deliberately EXCLUDES the
+//! execution geometry (`nranks`, `threads`): the runtime's
+//! bitwise-reproducibility invariant means the final solution
+//! fingerprint is identical for any rank/thread decomposition of the
+//! same problem, so two jobs that differ only in geometry are the *same*
+//! result and must share a cache entry. The physics name is part of the
+//! canonical problem string, so two packages can never share an entry.
 
-use crate::json::Json;
+use std::fmt;
 
-/// Physics package a job runs.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Physics {
-    /// WENO5/HLL Burgers with passive scalars (the paper's benchmark).
-    Burgers,
-    /// Upwind advection of one scalar (cheap smoke-test physics).
-    Advect,
+use crate::json::{obj, Json};
+
+/// A rejected configuration, structured so the HTTP layer can render a
+/// machine-readable 4xx body instead of a bare message string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `physics` names no registered package.
+    UnknownPhysics {
+        /// The name the tenant asked for.
+        requested: String,
+        /// Every name the registry would have accepted.
+        registered: Vec<String>,
+    },
+    /// Any other malformed or out-of-bounds field.
+    Invalid(String),
 }
 
-impl Physics {
-    fn name(self) -> &'static str {
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Physics::Burgers => "burgers",
-            Physics::Advect => "advect",
+            Self::UnknownPhysics {
+                requested,
+                registered,
+            } => write!(
+                f,
+                "unknown physics package {requested:?} (registered: {})",
+                registered.join(", ")
+            ),
+            Self::Invalid(msg) => f.write_str(msg),
         }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl ConfigError {
+    /// The error as a structured JSON body: always `error` + `code`;
+    /// unknown-physics rejections also carry `requested` and the full
+    /// `registered` list so a client can self-correct.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Self::UnknownPhysics {
+                requested,
+                registered,
+            } => obj(vec![
+                ("error", Json::Str(self.to_string())),
+                ("code", Json::Str("unknown_physics".into())),
+                ("requested", Json::Str(requested.clone())),
+                (
+                    "registered",
+                    Json::Arr(registered.iter().map(|n| Json::Str(n.clone())).collect()),
+                ),
+            ]),
+            Self::Invalid(msg) => obj(vec![
+                ("error", Json::Str(msg.clone())),
+                ("code", Json::Str("invalid_config".into())),
+            ]),
+        }
+    }
+}
+
+impl From<String> for ConfigError {
+    fn from(msg: String) -> Self {
+        Self::Invalid(msg)
+    }
+}
+
+impl From<&str> for ConfigError {
+    fn from(msg: &str) -> Self {
+        Self::Invalid(msg.to_string())
     }
 }
 
@@ -34,8 +94,8 @@ impl Physics {
 /// the work is decomposed and may be changed at resume time.
 #[derive(Clone, Debug, PartialEq)]
 pub struct JobConfig {
-    /// Physics package.
-    pub physics: Physics,
+    /// Physics package name, resolved against the standard registry.
+    pub physics: String,
     /// Spatial dimension (1–3).
     pub dim: usize,
     /// Cells per side of the root mesh.
@@ -46,7 +106,7 @@ pub struct JobConfig {
     pub levels: usize,
     /// Cycles to advance.
     pub cycles: u64,
-    /// Passive scalars (Burgers only).
+    /// Passive scalars (packages with a scalar bundle).
     pub num_scalars: usize,
     /// Refinement threshold.
     pub refine_tol: f64,
@@ -63,7 +123,7 @@ pub struct JobConfig {
 impl Default for JobConfig {
     fn default() -> Self {
         Self {
-            physics: Physics::Advect,
+            physics: "advect".to_string(),
             dim: 2,
             mesh_cells: 32,
             block_cells: 8,
@@ -85,11 +145,12 @@ const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
 impl JobConfig {
     /// Canonical problem string: fixed field order, exact float bits
     /// (hex-encoded so `0.1` and any same-valued literal agree), geometry
-    /// fields omitted. Equal canonical strings ⇒ bitwise-equal results.
+    /// fields omitted. Equal canonical strings ⇒ bitwise-equal results;
+    /// the physics name leads, so packages can never share a cache entry.
     pub fn canonical(&self) -> String {
         format!(
             "physics={};dim={};mesh={};block={};levels={};cycles={};scalars={};refine_tol={:016x};cfl={:016x};deref_gap={}",
-            self.physics.name(),
+            self.physics,
             self.dim,
             self.mesh_cells,
             self.block_cells,
@@ -114,7 +175,7 @@ impl JobConfig {
     /// Parses a job configuration from a submitted JSON object. Missing
     /// fields take the defaults; unknown fields are rejected so a typo'd
     /// field name cannot silently produce a different cache key.
-    pub fn from_json(v: &Json) -> Result<Self, String> {
+    pub fn from_json(v: &Json) -> Result<Self, ConfigError> {
         let Json::Obj(m) = v else {
             return Err("config must be a JSON object".into());
         };
@@ -134,18 +195,17 @@ impl JobConfig {
         ];
         for k in m.keys() {
             if !KNOWN.contains(&k.as_str()) {
-                return Err(format!("unknown config field '{k}'"));
+                return Err(format!("unknown config field '{k}'").into());
             }
         }
         let mut cfg = JobConfig::default();
         if let Some(p) = v.get("physics") {
-            cfg.physics = match p.as_str() {
-                Some("burgers") => Physics::Burgers,
-                Some("advect") => Physics::Advect,
-                _ => return Err("physics must be \"burgers\" or \"advect\"".into()),
-            };
+            let name = p
+                .as_str()
+                .ok_or_else(|| ConfigError::from("physics must be a string"))?;
+            cfg.physics = name.to_string();
             // Burgers defaults mirror the bench probe configuration.
-            if cfg.physics == Physics::Burgers {
+            if cfg.physics == "burgers" {
                 cfg.dim = 3;
                 cfg.mesh_cells = 16;
                 cfg.block_cells = 8;
@@ -154,12 +214,11 @@ impl JobConfig {
                 cfg.deref_gap = 10;
             }
         }
-        let usize_field = |key: &str, dst: &mut usize| -> Result<(), String> {
+        let usize_field = |key: &str, dst: &mut usize| -> Result<(), ConfigError> {
             if let Some(x) = v.get(key) {
-                *dst = x
-                    .as_u64()
-                    .ok_or_else(|| format!("{key} must be a non-negative integer"))?
-                    as usize;
+                *dst = x.as_u64().ok_or_else(|| {
+                    ConfigError::from(format!("{key} must be a non-negative integer"))
+                })? as usize;
             }
             Ok(())
         };
@@ -189,8 +248,16 @@ impl JobConfig {
     }
 
     /// Bounds-checks the configuration so a hostile submission cannot
-    /// request an absurd mesh or a degenerate decomposition.
-    pub fn validate(&self) -> Result<(), String> {
+    /// request an absurd mesh, a degenerate decomposition, or a physics
+    /// package that does not exist.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let registry = vibe_physics::standard_registry();
+        if !registry.contains(&self.physics) {
+            return Err(ConfigError::UnknownPhysics {
+                requested: self.physics.clone(),
+                registered: registry.names(),
+            });
+        }
         if !(1..=3).contains(&self.dim) {
             return Err("dim must be 1..=3".into());
         }
@@ -228,7 +295,7 @@ impl JobConfig {
     /// status responses.
     pub fn to_json(&self) -> Json {
         crate::json::obj(vec![
-            ("physics", Json::Str(self.physics.name().to_string())),
+            ("physics", Json::Str(self.physics.clone())),
             ("dim", Json::Num(self.dim as f64)),
             ("mesh_cells", Json::Num(self.mesh_cells as f64)),
             ("block_cells", Json::Num(self.block_cells as f64)),
@@ -270,7 +337,7 @@ mod tests {
         let base = JobConfig::default();
         let variants: Vec<JobConfig> = vec![
             JobConfig {
-                physics: Physics::Burgers,
+                physics: "burgers".into(),
                 ..base.clone()
             },
             JobConfig {
@@ -316,6 +383,28 @@ mod tests {
     }
 
     #[test]
+    fn cache_key_separates_every_registered_package() {
+        // Same problem geometry, different physics name: distinct keys,
+        // so no package can ever be served another package's result.
+        let keys: Vec<u64> = vibe_physics::standard_registry()
+            .names()
+            .into_iter()
+            .map(|physics| {
+                JobConfig {
+                    physics,
+                    ..JobConfig::default()
+                }
+                .cache_key()
+            })
+            .collect();
+        for (i, a) in keys.iter().enumerate() {
+            for b in &keys[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
     fn from_json_equivalent_spellings_share_a_key() {
         // Different field order, defaulted vs explicit fields, different
         // geometry — one cache entry.
@@ -331,6 +420,7 @@ mod tests {
     fn from_json_rejects_bad_input() {
         for bad in [
             r#"{"physics":"mhd"}"#,
+            r#"{"physics":7}"#,
             r#"{"cycles":0}"#,
             r#"{"dim":4}"#,
             r#"{"mesh_cells":33}"#,
@@ -349,6 +439,32 @@ mod tests {
     }
 
     #[test]
+    fn unknown_physics_is_structured() {
+        let err = JobConfig::from_json(&parse(r#"{"physics":"mhd"}"#).unwrap()).unwrap_err();
+        let ConfigError::UnknownPhysics {
+            requested,
+            registered,
+        } = &err
+        else {
+            panic!("expected UnknownPhysics, got {err:?}");
+        };
+        assert_eq!(requested, "mhd");
+        assert_eq!(*registered, vec!["advect", "burgers", "diffusion", "euler"]);
+        let body = err.to_json();
+        assert_eq!(body.get("code").unwrap().as_str(), Some("unknown_physics"));
+        assert_eq!(body.get("requested").unwrap().as_str(), Some("mhd"));
+    }
+
+    #[test]
+    fn every_registered_package_is_accepted() {
+        for name in vibe_physics::standard_registry().names() {
+            let cfg = JobConfig::from_json(&parse(&format!(r#"{{"physics":"{name}"}}"#)).unwrap())
+                .unwrap_or_else(|e| panic!("rejected {name}: {e}"));
+            assert_eq!(cfg.physics, name);
+        }
+    }
+
+    #[test]
     fn burgers_defaults_mirror_bench_probe() {
         let c = JobConfig::from_json(&parse(r#"{"physics":"burgers"}"#).unwrap()).unwrap();
         assert_eq!(c.dim, 3);
@@ -360,7 +476,7 @@ mod tests {
     #[test]
     fn to_json_roundtrips_through_from_json() {
         let c = JobConfig {
-            physics: Physics::Burgers,
+            physics: "burgers".into(),
             dim: 3,
             mesh_cells: 16,
             block_cells: 8,

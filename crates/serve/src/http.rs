@@ -199,7 +199,7 @@ fn parse_id(s: &str) -> Option<u64> {
 }
 
 fn post_job(stream: &TcpStream, service: &Service, body: &[u8]) -> io::Result<()> {
-    let parsed = std::str::from_utf8(body)
+    let envelope = std::str::from_utf8(body)
         .map_err(|_| "body is not utf-8".to_string())
         .and_then(parse)
         .and_then(|v| {
@@ -210,14 +210,19 @@ fn post_job(stream: &TcpStream, service: &Service, body: &[u8]) -> io::Result<()
                 .ok_or("missing tenant")?
                 .to_string();
             let weight = v.get("weight").and_then(|w| w.as_u64());
-            let config =
-                JobConfig::from_json(v.get("config").unwrap_or(&Json::Obj(Default::default())))?;
-            Ok((tenant, weight, config))
+            Ok((tenant, weight, v))
         });
-    let (tenant, weight, config) = match parsed {
+    let (tenant, weight, v) = match envelope {
         Ok(t) => t,
         Err(e) => return respond_json(stream, 400, &obj(vec![("error", Json::Str(e))]).render()),
     };
+    // Config rejections render the structured body (`code`, and for an
+    // unknown physics name the requested/registered roster).
+    let config =
+        match JobConfig::from_json(v.get("config").unwrap_or(&Json::Obj(Default::default()))) {
+            Ok(c) => c,
+            Err(e) => return respond_json(stream, 400, &e.to_json().render()),
+        };
     if let Some(w) = weight {
         service.set_tenant_weight(&tenant, w);
     }
@@ -546,6 +551,35 @@ mod tests {
         // Resuming a done job conflicts.
         let (code, _) = http(port, "POST", "/jobs/0/resume", "");
         assert_eq!(code, 409);
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_physics_gets_a_structured_4xx() {
+        let (server, port) = boot();
+        let (code, body) = http(
+            port,
+            "POST",
+            "/jobs",
+            r#"{"tenant":"acme","config":{"physics":"mhd"}}"#,
+        );
+        assert_eq!(code, 400, "{body}");
+        let v = parse(&body).unwrap();
+        assert_eq!(v.get("code").unwrap().as_str(), Some("unknown_physics"));
+        assert_eq!(v.get("requested").unwrap().as_str(), Some("mhd"));
+        let Some(Json::Arr(registered)) = v.get("registered") else {
+            panic!("missing registered roster: {body}");
+        };
+        let names: Vec<&str> = registered.iter().filter_map(|n| n.as_str()).collect();
+        assert_eq!(names, vec!["advect", "burgers", "diffusion", "euler"]);
+        // A registered name passes the same gate.
+        let (code, body) = http(
+            port,
+            "POST",
+            "/jobs",
+            r#"{"tenant":"acme","config":{"physics":"diffusion","cycles":1,"mesh_cells":16,"dim":3}}"#,
+        );
+        assert_eq!(code, 201, "{body}");
         server.shutdown();
     }
 

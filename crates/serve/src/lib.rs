@@ -36,7 +36,7 @@ pub mod scheduler;
 pub mod service;
 
 pub use cache::{CachedResult, ResultCache};
-pub use config::{JobConfig, Physics};
+pub use config::{ConfigError, JobConfig};
 pub use http::Server;
 pub use json::Json;
 pub use scheduler::Scheduler;

@@ -16,19 +16,14 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use vibe_burgers::ic;
-use vibe_burgers::{BurgersPackage, BurgersParams};
-use vibe_core::block::BlockInfo;
 use vibe_core::driver::DriverParams;
-use vibe_core::field::BlockData;
 use vibe_core::mesh::{Mesh, MeshParams};
-use vibe_core::package::advect::Advect;
-use vibe_core::{restore_driver, Driver, Snapshot};
+use vibe_core::{restore_driver, Driver, DynPackage, Package, PackageSpec, Snapshot};
 use vibe_prof::{job_metrics_jsonl, JobCycleMetric};
-use vibe_rt::{RtRun, RtSession, SessionError};
+use vibe_rt::{RtRun, RtSession};
 
 use crate::cache::{CachedResult, ResultCache};
-use crate::config::{JobConfig, Physics};
+use crate::config::JobConfig;
 use crate::scheduler::Scheduler;
 
 /// Lifecycle state of a job.
@@ -206,10 +201,11 @@ impl Service {
     /// with zero recompute; a miss enqueues it for the runner pool.
     /// Returns `(job id, cache key, served from cache)`.
     pub fn submit(&self, tenant: &str, config: JobConfig) -> Result<(u64, u64, bool), String> {
-        config.validate()?;
-        // Fail fast on an unconstructible mesh so the error surfaces at
-        // submission instead of panicking a rank thread later.
-        build_mesh(&config).map_err(|e| format!("invalid mesh: {e}"))?;
+        config.validate().map_err(|e| e.to_string())?;
+        // Fail fast on an unresolvable package or unconstructible mesh so
+        // the error surfaces at submission instead of panicking a runner.
+        let pkg = resolve_package(&config)?;
+        build_mesh(&config, pkg.nghost()).map_err(|e| format!("invalid mesh: {e}"))?;
         let key = config.cache_key();
         let hit = self.shared.cache.lookup(key);
         let mut st = self.shared.state.lock().unwrap();
@@ -305,7 +301,7 @@ impl Service {
         if let Some((nranks, threads)) = geometry {
             job.config.nranks = nranks;
             job.config.threads = threads;
-            job.config.validate()?;
+            job.config.validate().map_err(|e| e.to_string())?;
         }
         job.state = JobState::Queued;
         let tenant = job.tenant.clone();
@@ -582,7 +578,8 @@ fn execute_slice(
     is_last: bool,
     id: u64,
 ) -> Result<SliceOutcome, String> {
-    let mut session = AnySession::open(config, snapshot)?;
+    let cfg = config.clone();
+    let mut session = RtSession::new(config.nranks, move || replica(&cfg, snapshot.as_deref()));
     let t0 = Instant::now();
     let summaries = session.run(slice).map_err(|e| e.to_string())?;
     let wall_ns = t0.elapsed().as_nanos() as u64;
@@ -619,51 +616,18 @@ fn execute_slice(
 // Physics dispatch
 // ---------------------------------------------------------------------------
 
-enum AnySession {
-    Burgers(RtSession<BurgersPackage>),
-    Advect(RtSession<Advect>),
+/// Resolves the job's physics name against the standard registry,
+/// threading the problem-level spec fields through to the factory.
+fn resolve_package(config: &JobConfig) -> Result<DynPackage, String> {
+    vibe_physics::resolve(
+        &PackageSpec::named(&config.physics)
+            .with_num_scalars(config.num_scalars)
+            .with_tols(config.refine_tol, config.refine_tol * 0.25),
+    )
+    .map_err(|e| e.to_string())
 }
 
-impl AnySession {
-    fn open(config: &JobConfig, snapshot: Option<Arc<Snapshot>>) -> Result<Self, String> {
-        let cfg = config.clone();
-        Ok(match config.physics {
-            Physics::Burgers => AnySession::Burgers(RtSession::new(config.nranks, move || {
-                burgers_replica(&cfg, snapshot.as_deref())
-            })),
-            Physics::Advect => AnySession::Advect(RtSession::new(config.nranks, move || {
-                advect_replica(&cfg, snapshot.as_deref())
-            })),
-        })
-    }
-
-    fn run(&mut self, n: u64) -> Result<Vec<vibe_core::CycleSummary>, SessionError> {
-        match self {
-            AnySession::Burgers(s) => s.run(n),
-            AnySession::Advect(s) => s.run(n),
-        }
-    }
-
-    fn checkpoint(&mut self) -> Result<Snapshot, SessionError> {
-        match self {
-            AnySession::Burgers(s) => s.checkpoint(),
-            AnySession::Advect(s) => s.checkpoint(),
-        }
-    }
-
-    fn finish(self) -> Result<RtRun, SessionError> {
-        match self {
-            AnySession::Burgers(s) => s.finish(),
-            AnySession::Advect(s) => s.finish(),
-        }
-    }
-}
-
-fn build_mesh(config: &JobConfig) -> Result<Mesh, String> {
-    let nghost = match config.physics {
-        Physics::Burgers => 4,
-        Physics::Advect => 2,
-    };
+fn build_mesh(config: &JobConfig, nghost: usize) -> Result<Mesh, String> {
     let params = MeshParams::builder()
         .dim(config.dim)
         .mesh_cells(config.mesh_cells)
@@ -685,63 +649,22 @@ fn driver_params(config: &JobConfig) -> DriverParams {
     }
 }
 
-fn burgers_replica(config: &JobConfig, snapshot: Option<&Snapshot>) -> Driver<BurgersPackage> {
-    let pkg = BurgersPackage::new(BurgersParams {
-        num_scalars: config.num_scalars,
-        refine_tol: config.refine_tol,
-        deref_tol: config.refine_tol * 0.25,
-        ..BurgersParams::default()
-    });
+/// Builds one rank's driver replica: the registry-resolved package, its
+/// own initial condition (or the job's checkpoint). Every package the
+/// registry knows is servable through this single type-erased path — no
+/// per-physics enum to extend.
+fn replica(config: &JobConfig, snapshot: Option<&Snapshot>) -> Driver<DynPackage> {
+    let pkg = resolve_package(config).expect("config validated at submit");
     match snapshot {
         Some(snap) => {
             restore_driver(snap, pkg, driver_params(config)).expect("restore own checkpoint")
         }
         None => {
-            let mesh = build_mesh(config).expect("config validated at submit");
+            let nghost = pkg.nghost();
+            let mesh = build_mesh(config, nghost).expect("config validated at submit");
             let mut d = Driver::new(mesh, pkg, driver_params(config));
-            d.initialize(ic::multi_blob(0.9, 0.002, 3));
+            d.initialize_package();
             d
-        }
-    }
-}
-
-fn advect_replica(config: &JobConfig, snapshot: Option<&Snapshot>) -> Driver<Advect> {
-    let pkg = Advect {
-        refine_above: config.refine_tol,
-        deref_below: config.refine_tol * 0.1,
-    };
-    match snapshot {
-        Some(snap) => {
-            restore_driver(snap, pkg, driver_params(config)).expect("restore own checkpoint")
-        }
-        None => {
-            let mesh = build_mesh(config).expect("config validated at submit");
-            let mut d = Driver::new(mesh, pkg, driver_params(config));
-            let dim = config.dim;
-            d.initialize(move |info, data| gaussian_ic(dim, info, data));
-            d
-        }
-    }
-}
-
-/// Dimension-agnostic Gaussian pulse centered mid-domain (the smoke-test
-/// initial condition for the advect package).
-fn gaussian_ic(dim: usize, info: &BlockInfo, data: &mut BlockData) {
-    let shape = *data.shape();
-    let qid = data.id_of("q").unwrap();
-    let geom = info.geom;
-    let var = data.var_mut(qid);
-    for k in 0..shape.entire_d(2) {
-        for j in 0..shape.entire_d(1) {
-            for i in 0..shape.entire_d(0) {
-                let c = geom.cell_center(
-                    i as i64 - shape.nghost_d(0) as i64,
-                    j as i64 - shape.nghost_d(1) as i64,
-                    k as i64 - shape.nghost_d(2) as i64,
-                );
-                let r2: f64 = (0..dim).map(|d| (c[d] - 0.5).powi(2)).sum();
-                var.data_mut().set(0, k, j, i, (-r2 / 0.002).exp());
-            }
         }
     }
 }
@@ -762,8 +685,7 @@ mod tests {
     /// Reference fingerprint from an uninterrupted direct run.
     fn direct_fingerprint(cfg: &JobConfig) -> (u64, f64, f64) {
         let c = cfg.clone();
-        let run =
-            vibe_rt::run_distributed(cfg.nranks, cfg.cycles, move || advect_replica(&c, None));
+        let run = vibe_rt::run_distributed(cfg.nranks, cfg.cycles, move || replica(&c, None));
         (run.fingerprint, run.time, run.dt)
     }
 
@@ -847,6 +769,47 @@ mod tests {
         assert_eq!(v.result.unwrap().fingerprint, fp);
         assert_eq!(v.config.nranks, 3);
         assert_eq!(v.cycles_done, 6);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn unregistered_physics_is_rejected_with_the_roster() {
+        let svc = Service::start(ServiceConfig::default());
+        let bad = JobConfig {
+            physics: "mhd".into(),
+            ..JobConfig::default()
+        };
+        let err = svc.submit("acme", bad).unwrap_err();
+        assert!(err.contains("mhd"), "{err}");
+        for name in vibe_physics::standard_registry().names() {
+            assert!(err.contains(&name), "roster missing {name}: {err}");
+        }
+        svc.shutdown();
+    }
+
+    #[test]
+    fn every_registered_package_completes_a_job() {
+        let svc = Service::start(ServiceConfig {
+            runners: 2,
+            budget_cycles: 4,
+            tenant_weights: Vec::new(),
+        });
+        let mut ids = Vec::new();
+        for physics in vibe_physics::standard_registry().names() {
+            let cfg = JobConfig {
+                physics,
+                dim: 3,
+                mesh_cells: 16,
+                block_cells: 8,
+                cycles: 3,
+                ..JobConfig::default()
+            };
+            ids.push(svc.submit("acme", cfg).unwrap().0);
+        }
+        for id in ids {
+            let v = svc.wait_done(id, Duration::from_secs(300)).unwrap();
+            assert!(v.result.unwrap().fingerprint != 0);
+        }
         svc.shutdown();
     }
 

@@ -46,6 +46,14 @@ echo "==> rank-parallel fingerprint gate (rt_gate)"
 # single-process driver. The binary exits nonzero on any mismatch.
 VIBE_RT_RANKS=1,2,8 VIBE_RT_THREADS=1,8 target/release/rt_gate >/dev/null
 
+echo "==> physics-package registry gate (package_matrix)"
+# Every registered package (advect, burgers, diffusion, euler) runs the
+# gate scenario through real rank shards: each merged (ranks x threads)
+# fingerprint must equal that package's single-process reference, no two
+# packages may share a fingerprint, and the probed roster must match
+# standard_registry(). The binary exits nonzero on any violation.
+VIBE_PKG_RANKS=1,2,4,8 VIBE_PKG_THREADS=1,8 target/release/package_matrix >/dev/null
+
 echo "==> simd flux-backend fingerprint gate (simd_gate)"
 # Scalar oracle vs W=4/W=8 lane sweeps vs Auto dispatch, across host
 # threads and real rank shards: every run must be bitwise identical to the

@@ -15,8 +15,12 @@
 //! * [`exec`] — Kokkos-like kernel launching and descriptors
 //! * [`comm`] — simulated MPI (mailbox, buffer caches, collectives)
 //! * [`prof`] — workload recording (kernels, serial, comm, memory)
-//! * [`core`] — the evolution driver (timestep loop)
+//! * [`core`] — the evolution driver (timestep loop) and the package
+//!   registry (`PackageRegistry`, `DynPackage`, conformance harness)
 //! * [`burgers`] — the VIBE benchmark package
+//! * [`physics`] — the standard package roster (advection, Euler,
+//!   diffusion) and [`physics::standard_registry`], which resolves any
+//!   registered package by name
 //! * [`hwmodel`] — H100/SPR performance and memory models
 //! * [`sim`] — discrete-event heterogeneous timeline simulator
 //! * [`rt`] — rank-parallel distributed runtime (virtual ranks as real
@@ -54,6 +58,7 @@ pub use vibe_exec as exec;
 pub use vibe_field as field;
 pub use vibe_hwmodel as hwmodel;
 pub use vibe_mesh as mesh;
+pub use vibe_physics as physics;
 pub use vibe_prof as prof;
 pub use vibe_rt as rt;
 pub use vibe_serve as serve;
@@ -62,11 +67,15 @@ pub use vibe_sim as sim;
 /// The most common imports in one place.
 pub mod prelude {
     pub use vibe_burgers::{ic, BurgersPackage, BurgersParams, Reconstruction};
-    pub use vibe_core::{BlockInfo, BlockSlot, CycleSummary, Driver, DriverParams, Package};
+    pub use vibe_core::{
+        check_package, fingerprint_slots, BlockInfo, BlockSlot, CycleSummary, Driver, DriverParams,
+        DynPackage, Package, PackageRegistry, PackageSpec,
+    };
     pub use vibe_field::{BlockData, Metadata, PackStrategy};
     pub use vibe_hwmodel::platform::evaluate;
     pub use vibe_hwmodel::{Backend, CpuSpec, GpuSpec, MemoryModel, PlatformConfig};
     pub use vibe_mesh::{Mesh, MeshParams, RegionSize};
+    pub use vibe_physics::{resolve, standard_registry, Advect, AdvectRecon};
     pub use vibe_prof::{ProfLevel, Recorder, RegionKey, StepFunction};
     pub use vibe_rt::{run_distributed, RtRun, RtSession};
     pub use vibe_serve::{JobConfig, Service, ServiceConfig};

@@ -161,8 +161,45 @@ fn rank_count_changes_message_locality_not_physics() {
 
 #[test]
 fn deeper_hierarchies_communicate_more_per_update() {
-    let mut shallow = make_driver(1, 1);
-    let mut deep = make_driver(1, 3);
+    // Non-periodic domain: the base grid is only 2 blocks per dimension,
+    // so under periodic wrap each face pair is exchanged from *both*
+    // sides (distinct source regions of the same neighbor), and that
+    // wrap traffic — constant per face, independent of hierarchy depth —
+    // dominates the shallow run's ratio. Open boundaries isolate what
+    // this test actually compares: comm-per-update growth with depth.
+    let make_open = |levels: u32| {
+        let mesh = Mesh::new(
+            MeshParams::builder()
+                .dim(3)
+                .mesh_cells(16)
+                .block_cells(8)
+                .max_levels(levels)
+                .deref_gap(4)
+                .region(RegionSize::new([0.0; 3], [1.0; 3], [16; 3], [false; 3]))
+                .build()
+                .expect("valid mesh"),
+        )
+        .expect("mesh");
+        let pkg = BurgersPackage::new(BurgersParams {
+            num_scalars: 2,
+            refine_tol: 0.05,
+            deref_tol: 0.012,
+            ..Default::default()
+        });
+        let mut d = Driver::new(
+            mesh,
+            pkg,
+            DriverParams {
+                nranks: 1,
+                cfl: 0.25,
+                ..Default::default()
+            },
+        );
+        d.initialize(ic::gaussian_blob(1.0, 0.003));
+        d
+    };
+    let mut shallow = make_open(1);
+    let mut deep = make_open(3);
     shallow.run_cycles(2);
     deep.run_cycles(2);
     let ratio = |d: &Driver<BurgersPackage>| {

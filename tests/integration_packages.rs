@@ -1,0 +1,114 @@
+//! Per-package reproducibility gates over the standard registry: every
+//! registered physics package must produce its pinned golden fingerprint
+//! serially, reproduce it bitwise through the distributed runtime's shard
+//! merge at every `(ranks, threads)` combination, and pass the framework's
+//! trait-conformance harness. The roster itself is asserted against
+//! `standard_registry()`, so registering a new package without extending
+//! the goldens fails here.
+
+use vibe_amr::prelude::*;
+
+/// The gate scenario: Mesh 16 / Block 8 / 2 levels / 1 scalar, matching
+/// the `package_matrix` CI gate and the `scenario_matrix` section of
+/// BENCH_fom.json so all three pin the same trajectories.
+const CYCLES: u64 = 3;
+
+/// Golden state fingerprints of the gate scenario, one per registered
+/// package (FNV-1a over every variable of every block in gid order, the
+/// same fold `vibe-rt` uses to merge shards). Re-record deliberately with
+/// `cargo run --release -p vibe-bench --bin package_matrix` if physics
+/// changes; an unintended change here is a reproducibility regression.
+const GOLDEN: &[(&str, u64)] = &[
+    ("advect", 0x1482_1ceb_743d_6110),
+    ("burgers", 0x35e1_c88c_df08_823b),
+    ("diffusion", 0x093f_4790_4f92_558a),
+    ("euler", 0xb2fa_c775_6763_9cb5),
+];
+
+/// Builds the gate-scenario driver for `physics`, uninitialized (the
+/// conformance harness fills the initial condition itself).
+fn build(physics: &str, nranks: usize, host_threads: usize) -> Driver<DynPackage> {
+    let pkg = resolve(
+        &PackageSpec::named(physics)
+            .with_num_scalars(1)
+            .with_tols(0.1, 0.025),
+    )
+    .expect("registered package");
+    let mesh = Mesh::new(
+        MeshParams::builder()
+            .dim(3)
+            .mesh_cells(16)
+            .block_cells(8)
+            .max_levels(2)
+            .nghost(pkg.nghost())
+            .build()
+            .expect("valid gate mesh"),
+    )
+    .expect("mesh");
+    Driver::new(
+        mesh,
+        pkg,
+        DriverParams {
+            nranks,
+            cfl: 0.3,
+            host_threads,
+            ..DriverParams::default()
+        },
+    )
+}
+
+fn replica(physics: &str, nranks: usize, host_threads: usize) -> Driver<DynPackage> {
+    let mut d = build(physics, nranks, host_threads);
+    d.initialize_package();
+    d
+}
+
+#[test]
+fn goldens_cover_exactly_the_registered_roster() {
+    let pinned: Vec<&str> = GOLDEN.iter().map(|&(n, _)| n).collect();
+    assert_eq!(
+        standard_registry().names(),
+        pinned,
+        "registry roster changed: re-record the golden fingerprints"
+    );
+}
+
+#[test]
+fn every_package_reproduces_its_golden_fingerprint_serially() {
+    for &(name, golden) in GOLDEN {
+        let mut d = replica(name, 1, 1);
+        d.run_cycles(CYCLES);
+        assert_eq!(
+            fingerprint_slots(d.slots()),
+            golden,
+            "{name}: serial gate-scenario fingerprint changed"
+        );
+    }
+}
+
+#[test]
+fn every_package_is_bitwise_identical_across_ranks_and_threads() {
+    for &(name, golden) in GOLDEN {
+        for nranks in [1usize, 2, 4, 8] {
+            for threads in [1usize, 8] {
+                let run = run_distributed(nranks, CYCLES, || replica(name, nranks, threads));
+                assert_eq!(
+                    run.fingerprint, golden,
+                    "{name}: merged fingerprint diverged at {nranks} ranks x {threads} threads"
+                );
+                assert_eq!(run.nranks, nranks);
+            }
+        }
+    }
+}
+
+#[test]
+fn every_package_passes_the_conformance_harness() {
+    for name in standard_registry().names() {
+        let report = check_package(|threads| build(&name, 1, threads))
+            .unwrap_or_else(|e| panic!("{name} violates a framework invariant: {e}"));
+        assert_eq!(report.package, name);
+        assert!(report.num_vars >= 1);
+        assert!(report.flux_vars >= 1);
+    }
+}
