@@ -327,6 +327,7 @@ fn service_probe() -> ServiceProbe {
         runners: 2,
         budget_cycles: 3,
         tenant_weights: Vec::new(),
+        ..ServiceConfig::default()
     });
     let tenants = ["alpha", "beta", "gamma"];
     let cfg = |i: usize, nranks: usize| JobConfig {

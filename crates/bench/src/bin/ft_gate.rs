@@ -1,0 +1,252 @@
+//! CI gate for the fault-tolerant elastic runtime: for every `(ranks,
+//! host_threads)` combination in the probe matrix it
+//!
+//! 1. runs the gate workload fault-free for the reference fingerprint,
+//! 2. re-runs it under a *zero-rate* fault plan and requires byte-for-byte
+//!    neutrality (identical fingerprint, zero injected faults), and
+//! 3. re-runs it under seeded message chaos (drop/delay/duplicate) plus a
+//!    rank kill at a mid-run cycle boundary, and requires the resilient
+//!    conductor to recover — restore from the last periodic checkpoint,
+//!    re-partition onto the surviving ranks, replay — to the *exact*
+//!    fault-free fingerprint within a bounded retry count.
+//!
+//! Usage: `ft_gate [BENCH.json]` — a `"resilience"` section (faults
+//! injected, recoveries, recovery overhead) is spliced into the JSON
+//! document when a path is given. Override the matrix with
+//! `VIBE_FT_RANKS=2,4,8` and `VIBE_FT_THREADS=1,8` (the defaults).
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use vibe_bench::{format_table, run_workload_distributed, WorkloadSpec};
+use vibe_core::driver::DriverParams;
+use vibe_core::{restore_driver, Driver, DynPackage, PackageSpec, Snapshot};
+use vibe_ft::{FaultPlan, FaultPlanSpec, FaultStats, KillSpec};
+use vibe_rt::{run_resilient, ResilienceOptions, RtSession, SessionOptions};
+
+fn axis(var: &str, default: &[usize]) -> Vec<usize> {
+    std::env::var(var)
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .map(|t| t.trim().parse().expect("axis entry"))
+                .collect()
+        })
+        .unwrap_or_else(|| default.to_vec())
+}
+
+/// One rank's replica for the resilient factory: fresh from the initial
+/// condition, or restored from a recovery checkpoint — in both cases
+/// partitioned for `nranks` ranks, which is how a dead rank's blocks are
+/// re-homed onto the survivors.
+fn replica(spec: &WorkloadSpec, snapshot: Option<&Snapshot>, nranks: usize) -> Driver<DynPackage> {
+    match snapshot {
+        None => vibe_bench::build_workload_replica(&WorkloadSpec { nranks, ..*spec }),
+        Some(snap) => {
+            // Registry-resolved burgers is bitwise the bench-constructed
+            // one (see `build_workload_replica`), so restore through the
+            // registry path.
+            let pkg = vibe_physics::resolve(
+                &PackageSpec::named(spec.physics)
+                    .with_num_scalars(spec.num_scalars)
+                    .with_tols(spec.refine_tol, spec.refine_tol * 0.25),
+            )
+            .expect("registered workload physics");
+            restore_driver(
+                snap,
+                pkg,
+                DriverParams {
+                    nranks,
+                    cfl: 0.3,
+                    pack_strategy: spec.pack_strategy,
+                    host_threads: spec.host_threads,
+                    ..DriverParams::default()
+                },
+            )
+            .expect("restore recovery checkpoint")
+        }
+    }
+}
+
+/// Splices a single-line `"resilience": {...}` entry into the bench JSON
+/// (replacing any previous one), or creates a minimal document when the
+/// file does not exist yet.
+fn splice_resilience(path: &str, section: &str) -> std::io::Result<()> {
+    let existing = std::fs::read_to_string(path).unwrap_or_else(|_| "{\n}\n".to_string());
+    let kept: Vec<&str> = existing
+        .lines()
+        .filter(|l| !l.trim_start().starts_with("\"resilience\":"))
+        .collect();
+    let comma = if kept.iter().any(|l| l.trim_start().starts_with('"')) {
+        ","
+    } else {
+        ""
+    };
+    let mut out = String::with_capacity(existing.len() + section.len() + 32);
+    let mut inserted = false;
+    for line in kept {
+        out.push_str(line);
+        out.push('\n');
+        if !inserted && line.trim() == "{" {
+            let _ = writeln!(out, "  \"resilience\": {section}{comma}");
+            inserted = true;
+        }
+    }
+    assert!(inserted, "bench JSON must open with a '{{' line");
+    vibe_prof::validate_json(&out).expect("spliced bench JSON stays well-formed");
+    std::fs::write(path, out)
+}
+
+fn main() {
+    let bench_path = std::env::args().nth(1);
+    let ranks = axis("VIBE_FT_RANKS", &[2, 4, 8]);
+    let threads = axis("VIBE_FT_THREADS", &[1, 8]);
+    let cycles = 6u64;
+    let base = WorkloadSpec {
+        mesh_cells: 16,
+        block_cells: 8,
+        levels: 2,
+        cycles,
+        num_scalars: 1,
+        ..WorkloadSpec::default()
+    };
+
+    let mut rows = Vec::new();
+    let mut failures = 0usize;
+    let mut totals = FaultStats::default();
+    let mut total_recoveries = 0u32;
+    let mut total_checkpoints = 0u32;
+    let mut total_stall_ns = 0u64;
+    let mut reference_fp = 0u64;
+    for &nranks in &ranks {
+        for &host_threads in &threads {
+            let spec = WorkloadSpec {
+                nranks,
+                host_threads,
+                ..base
+            };
+            // 1. The fault-free reference.
+            let reference = run_workload_distributed(&spec);
+            reference_fp = reference.fingerprint;
+
+            // 2. Chaos off must be byte-for-byte neutral.
+            let zero = Arc::new(FaultPlan::new(FaultPlanSpec::default()));
+            let mut session = RtSession::with_options(
+                nranks,
+                SessionOptions {
+                    fault_plan: Some(Arc::clone(&zero)),
+                    ..SessionOptions::default()
+                },
+                move || replica(&spec, None, nranks),
+            );
+            session.run(cycles).expect("zero-rate session");
+            let neutral = session.finish().expect("zero-rate finish");
+            let neutral_ok = neutral.fingerprint == reference.fingerprint
+                && zero.stats() == FaultStats::default();
+
+            // 3. Seeded message chaos + a mid-run rank kill must recover
+            //    to the exact reference.
+            let victim = nranks - 1;
+            let plan = Arc::new(FaultPlan::new(FaultPlanSpec {
+                seed: 0x9E37 ^ ((nranks as u64) << 16) ^ host_threads as u64,
+                drop_per_mille: 40,
+                delay_per_mille: 80,
+                duplicate_per_mille: 40,
+                delay_ticks: 2,
+                kill: Some(KillSpec {
+                    rank: victim,
+                    cycle: 3,
+                }),
+            }));
+            let opts = ResilienceOptions {
+                checkpoint_every: 2,
+                max_retries: 3,
+                fault_plan: Some(Arc::clone(&plan)),
+                ..ResilienceOptions::default()
+            };
+            let outcome =
+                run_resilient(nranks, cycles, opts, move |snap, n| replica(&spec, snap, n));
+            let (fp, stats, recov) = match &outcome {
+                Ok((run, report)) => (
+                    run.fingerprint,
+                    report.fault_stats,
+                    (report.failures, report.recoveries, report.checkpoints),
+                ),
+                Err(_) => (0, FaultStats::default(), (0, 0, 0)),
+            };
+            let recovered_ok = outcome.is_ok()
+                && fp == reference.fingerprint
+                && stats.killed == 1
+                && recov.0 == 1
+                && recov.1 == 1;
+            if let Ok((_, report)) = &outcome {
+                totals.dropped += stats.dropped;
+                totals.delayed += stats.delayed;
+                totals.duplicated += stats.duplicated;
+                totals.killed += stats.killed;
+                total_recoveries += report.recoveries;
+                total_checkpoints += report.checkpoints;
+                total_stall_ns += report.recovery_stall_ns;
+            }
+            let ok = neutral_ok && recovered_ok;
+            failures += usize::from(!ok);
+            rows.push(vec![
+                nranks.to_string(),
+                host_threads.to_string(),
+                format!("kill r{victim}@c3"),
+                format!(
+                    "{}d/{}l/{}u",
+                    stats.dropped, stats.delayed, stats.duplicated
+                ),
+                recov.1.to_string(),
+                format!("{:016x}", fp),
+                if ok { "ok" } else { "MISMATCH" }.to_string(),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        format_table(
+            &[
+                "ranks",
+                "threads",
+                "fault",
+                "msg faults",
+                "recoveries",
+                "fingerprint",
+                "gate"
+            ],
+            &rows
+        )
+    );
+    if failures > 0 {
+        eprintln!("ERROR: {failures} faulted run(s) failed to recover to the reference");
+        std::process::exit(1);
+    }
+    println!(
+        "fault-tolerance gate passed for ranks {ranks:?} x threads {threads:?}: \
+         {} message faults, {} kills, {} recoveries, all bitwise",
+        totals.dropped + totals.delayed + totals.duplicated,
+        totals.killed,
+        total_recoveries,
+    );
+    if let Some(path) = bench_path {
+        let section = format!(
+            "{{\"ranks\": {ranks:?}, \"threads\": {threads:?}, \"cycles\": {cycles}, \
+             \"faults_dropped\": {}, \"faults_delayed\": {}, \"faults_duplicated\": {}, \
+             \"kills\": {}, \"recoveries\": {}, \"checkpoints\": {}, \
+             \"recovery_stall_ms_total\": {:.3}, \"fingerprint\": \"{:016x}\", \
+             \"gate\": \"pass\"}}",
+            totals.dropped,
+            totals.delayed,
+            totals.duplicated,
+            totals.killed,
+            total_recoveries,
+            total_checkpoints,
+            total_stall_ns as f64 / 1e6,
+            reference_fp,
+        );
+        splice_resilience(&path, &section).expect("write bench JSON");
+        println!("resilience section written to {path}");
+    }
+}

@@ -83,6 +83,7 @@ fn bucket_table(attr: &Attribution) -> String {
             "late_sender",
             "collective",
             "migration",
+            "recovery",
             "idle",
             "err",
         ],

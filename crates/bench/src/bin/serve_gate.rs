@@ -125,6 +125,7 @@ fn main() {
         runners: 2,
         budget_cycles: budget,
         tenant_weights: Vec::new(),
+        ..ServiceConfig::default()
     }));
     let server = Server::start(Arc::clone(&service), 0).expect("bind ephemeral port");
     let port = server.port();

@@ -632,9 +632,14 @@ impl Package for BurgersPackage {
         })
     }
 
-    fn history(&self, pack: &mut [&mut BlockSlot], exec: ExecCtx, rec: &mut Recorder) -> Vec<f64> {
+    fn history_contributions(
+        &self,
+        pack: &mut [&mut BlockSlot],
+        exec: ExecCtx,
+        rec: &mut Recorder,
+    ) -> Vec<Vec<f64>> {
         let Some(first) = pack.first() else {
-            return vec![0.0, 0.0];
+            return Vec::new();
         };
         let shape = *first.data.shape();
         let cells = pack.len() as u64 * shape.interior_count() as u64;
@@ -643,9 +648,10 @@ impl Package for BurgersPackage {
         let iy = shape.range(1, IndexDomain::Interior);
         let iz = shape.range(2, IndexDomain::Interior);
         let (i0, n) = (ix.s as usize, ix.len());
-        // Per-block (mass, energy) partials folded in pack order — the
-        // fixed-order reduction that keeps history bitwise reproducible at
-        // any thread count.
+        // One (mass, energy) row per block. The caller folds rows in
+        // global gid order — the fixed-order reduction that keeps history
+        // bitwise reproducible at any thread count *and* any rank
+        // partition.
         let partials = exec.map_blocks(pack, |_, slot| {
             let (_, qid, did) = Self::ids(&mut slot.data);
             let vol = slot.info.geom.cell_volume();
@@ -668,12 +674,7 @@ impl Package for BurgersPackage {
             let _ = ez;
             (mass, energy)
         });
-        let (mut mass, mut energy) = (0.0, 0.0);
-        for (m, e) in partials {
-            mass += m;
-            energy += e;
-        }
-        vec![mass, energy]
+        partials.into_iter().map(|(m, e)| vec![m, e]).collect()
     }
 }
 

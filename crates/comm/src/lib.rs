@@ -31,6 +31,6 @@ pub use events::{
 };
 pub use mailbox::{Communicator, MessageStatus};
 pub use transport::{
-    channel_fabric, ChannelTransport, CollectiveHub, SendMeta, SharedTransport, Transport,
-    WireMessage,
+    channel_fabric, channel_fabric_with_timeout, ChannelTransport, CollectiveHub, GatherTimeout,
+    SendMeta, SharedTransport, Transport, WireMessage,
 };

@@ -69,6 +69,15 @@ pub struct Communicator {
     /// or merely Posted) — a fast sender's next-exchange message must not
     /// overwrite an unconsumed one.
     inbox: HashMap<BoundaryKey, VecDeque<(Vec<f64>, bool)>>,
+    /// Monotone id stamped onto outgoing messages (`uid`), starting at 1 so
+    /// `0` means "unassigned".
+    next_uid: u64,
+    /// Highest `uid` accepted per `(key, src)` stream. Per-key FIFO order
+    /// within one sender makes uids strictly increasing along a stream, so
+    /// an arrival at or below the watermark is a duplicated delivery (a
+    /// lossy-wire retransmission, or an injected chaos duplicate) and is
+    /// discarded — delivery is exactly-once as far as slots are concerned.
+    seen_uids: HashMap<(BoundaryKey, usize), u64>,
     probe_calls: u64,
     remote_delivery_delay: u32,
     /// Ordered event log with globally monotone sequence numbers.
@@ -108,6 +117,8 @@ impl Communicator {
             transport,
             slots: HashMap::new(),
             inbox: HashMap::new(),
+            next_uid: 0,
+            seen_uids: HashMap::new(),
             probe_calls: 0,
             remote_delivery_delay: 0,
             log: Vec::new(),
@@ -231,7 +242,13 @@ impl Communicator {
                 local,
             },
         );
-        let msg = WireMessage { key, payload, meta };
+        self.next_uid += 1;
+        let msg = WireMessage {
+            key,
+            payload,
+            meta,
+            uid: self.next_uid,
+        };
         if let Some(msg) = self.transport.post(msg) {
             self.deliver(msg);
         }
@@ -254,9 +271,18 @@ impl Communicator {
         slot.local = local;
     }
 
-    /// Drains the transport into the per-key FIFO inbox.
+    /// Drains the transport into the per-key FIFO inbox, discarding
+    /// duplicated deliveries (same `(key, src)` stream, `uid` at or below
+    /// the accepted watermark) so redundant retransmissions are idempotent.
     fn pump(&mut self) {
         for msg in self.transport.drain() {
+            if msg.uid != 0 {
+                let seen = self.seen_uids.entry((msg.key, msg.meta.src)).or_insert(0);
+                if msg.uid <= *seen {
+                    continue;
+                }
+                *seen = msg.uid;
+            }
             let local = msg.meta.src == msg.meta.dst;
             self.inbox
                 .entry(msg.key)
@@ -305,19 +331,29 @@ impl Communicator {
         rec.record_serial(StepFunction::ReceiveBoundBufs, SerialWork::BoundaryLoop(1));
         self.pump();
         self.promote(key);
-        let Some(slot) = self.slots.get_mut(&key) else {
-            return false;
+        let ready = match self.slots.get_mut(&key) {
+            None => false,
+            Some(slot) if slot.status != MessageStatus::InFlight => false,
+            Some(slot) if slot.arrival_delay > 0 => {
+                // The probe nudged the progress engine but the data has not
+                // landed yet.
+                slot.arrival_delay -= 1;
+                false
+            }
+            Some(_) => true,
         };
-        if slot.status != MessageStatus::InFlight {
-            return false;
+        // A message that will never come must not spin forever: when a peer
+        // endpoint has died (shard panic, injected kill) the fabric reports
+        // unhealthy and this rank panics promptly — the conductor's failure
+        // detector surfaces it as a failed (recoverable) run.
+        if !ready && !self.transport.healthy() {
+            panic!(
+                "boundary wait abandoned on rank {}: a peer endpoint disconnected \
+                 from the fabric while {key:?} was pending",
+                self.transport.rank()
+            );
         }
-        if slot.arrival_delay > 0 {
-            // The probe nudged the progress engine but the data has not
-            // landed yet.
-            slot.arrival_delay -= 1;
-            return false;
-        }
-        true
+        ready
     }
 
     /// Probes for and completes the message for `key`, consuming it.
@@ -956,6 +992,151 @@ mod tests {
         let edges = crate::events::validate_multirank_event_order(&merged, 2).unwrap();
         assert_eq!(edges, 2, "one send→complete edge per direction");
         assert!(merged.iter().any(|e| e.rank == 1), "rank 1 stamped events");
+    }
+
+    #[test]
+    fn zero_length_payloads_round_trip() {
+        // Empty boundary buffers (a degenerate face, or a chaos-exercised
+        // edge) must flow through post/drain/promote/complete unchanged.
+        let mut rec = recorder();
+        let (mut c0, mut c1) = channel_pair();
+        let key = BoundaryKey::new(0, 1, 9);
+        c1.start_receive(key);
+        c0.send(
+            key,
+            vec![],
+            SendMeta {
+                src: 0,
+                dst: 1,
+                cells: 0,
+            },
+            StepFunction::SendBoundBufs,
+            &mut rec,
+        );
+        assert_eq!(c1.try_receive(key, &mut rec), Some(vec![]));
+        // The local path too.
+        let lkey = BoundaryKey::new(1, 1, 9);
+        c1.send(
+            lkey,
+            vec![],
+            SendMeta {
+                src: 1,
+                dst: 1,
+                cells: 0,
+            },
+            StepFunction::SendBoundBufs,
+            &mut rec,
+        );
+        assert_eq!(c1.try_receive(lkey, &mut rec), Some(vec![]));
+        rec.end_cycle(1, 0, 0, 0);
+    }
+
+    /// Single-endpoint transport whose drain replays a scripted arrival
+    /// stream — lets tests hand-feed duplicated deliveries with explicit
+    /// uids, exactly what the chaos fault layer produces.
+    #[derive(Debug, Default)]
+    struct ReplayTransport {
+        arrivals: std::collections::VecDeque<WireMessage>,
+        seq: u64,
+    }
+
+    impl Transport for ReplayTransport {
+        fn rank(&self) -> usize {
+            1
+        }
+        fn nranks(&self) -> usize {
+            2
+        }
+        fn next_seq(&mut self) -> u64 {
+            let s = self.seq;
+            self.seq += 1;
+            s
+        }
+        fn post(&mut self, _msg: WireMessage) -> Option<WireMessage> {
+            None
+        }
+        fn drain(&mut self) -> Vec<WireMessage> {
+            self.arrivals.drain(..).collect()
+        }
+        fn all_gather_bytes(&mut self, _label: &'static str, payload: Vec<u8>) -> Vec<Vec<u8>> {
+            vec![payload]
+        }
+    }
+
+    #[test]
+    fn duplicated_deliveries_are_idempotent_at_the_mailbox() {
+        let mut rec = recorder();
+        let key = BoundaryKey::new(0, 1, 0);
+        let wire = |uid: u64, v: f64| WireMessage {
+            key,
+            payload: vec![v],
+            meta: SendMeta {
+                src: 0,
+                dst: 1,
+                cells: 1,
+            },
+            uid,
+        };
+        let mut transport = ReplayTransport::default();
+        // uid 1 delivered three times (once late, after uid 2), uid 2 twice:
+        // the receiver must observe exactly [1.0] then [2.0].
+        transport.arrivals.extend([
+            wire(1, 1.0),
+            wire(1, 1.0),
+            wire(2, 2.0),
+            wire(1, 1.0),
+            wire(2, 2.0),
+        ]);
+        let mut comm = Communicator::with_transport(2, Box::new(transport));
+        comm.start_receive(key);
+        assert_eq!(comm.try_receive(key, &mut rec), Some(vec![1.0]));
+        comm.mark_all_stale();
+        comm.start_receive(key);
+        assert_eq!(comm.try_receive(key, &mut rec), Some(vec![2.0]));
+        comm.mark_all_stale();
+        comm.start_receive(key);
+        assert!(
+            comm.try_receive(key, &mut rec).is_none(),
+            "every surviving arrival was a duplicate"
+        );
+        rec.end_cycle(1, 0, 0, 0);
+    }
+
+    #[test]
+    fn dedup_tracks_streams_per_sender() {
+        // After a regrid the same boundary key can be fed by a different
+        // source rank whose uid counter is behind — that must NOT be
+        // mistaken for a duplicate (watermarks are per (key, src)).
+        let mut rec = recorder();
+        let key = BoundaryKey::new(0, 1, 0);
+        let mut transport = ReplayTransport::default();
+        transport.arrivals.push_back(WireMessage {
+            key,
+            payload: vec![1.0],
+            meta: SendMeta {
+                src: 0,
+                dst: 1,
+                cells: 1,
+            },
+            uid: 50,
+        });
+        transport.arrivals.push_back(WireMessage {
+            key,
+            payload: vec![2.0],
+            meta: SendMeta {
+                src: 1,
+                dst: 1,
+                cells: 1,
+            },
+            uid: 3,
+        });
+        let mut comm = Communicator::with_transport(2, Box::new(transport));
+        comm.start_receive(key);
+        assert_eq!(comm.try_receive(key, &mut rec), Some(vec![1.0]));
+        comm.mark_all_stale();
+        comm.start_receive(key);
+        assert_eq!(comm.try_receive(key, &mut rec), Some(vec![2.0]));
+        rec.end_cycle(1, 0, 0, 0);
     }
 
     #[test]

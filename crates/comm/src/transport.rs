@@ -20,6 +20,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use crate::cache::BoundaryKey;
 
@@ -43,6 +44,12 @@ pub struct WireMessage {
     pub payload: Vec<f64>,
     /// Routing metadata.
     pub meta: SendMeta,
+    /// Per-sender monotone message id, assigned by the sending mailbox
+    /// (`0` = unassigned, for messages that never leave the address
+    /// space). Within one `(key, src)` stream uids strictly increase, so a
+    /// receiver can discard duplicated deliveries — the idempotence the
+    /// chaos fault layer relies on.
+    pub uid: u64,
 }
 
 /// The wire beneath the mailbox: moves payloads between ranks, allocates
@@ -74,6 +81,13 @@ pub trait Transport: Send + std::fmt::Debug {
     /// Block until every rank reaches the same barrier.
     fn barrier(&mut self, label: &'static str) {
         self.all_gather_bytes(label, Vec::new());
+    }
+    /// Whether the fabric still has every endpoint attached. A mailbox
+    /// blocked waiting for a boundary message consults this to panic
+    /// promptly — instead of spinning forever — when the peer it is
+    /// waiting on has died. Single-endpoint transports are always healthy.
+    fn healthy(&self) -> bool {
+        true
     }
 }
 
@@ -154,11 +168,46 @@ pub struct CollectiveHub {
     nranks: usize,
     state: Mutex<HubState>,
     cond: Condvar,
+    /// Maximum time a rank may wait inside one gather before giving up
+    /// with [`GatherTimeout`]. `None` (the default) waits forever — the
+    /// status-quo behavior every fault-free path keeps.
+    timeout: Option<Duration>,
 }
+
+/// A collective rendezvous expired: some participant never arrived within
+/// the hub's timeout. Names the ranks whose deposits were still missing,
+/// so a failure detector can point at the wedged rank instead of hanging.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GatherTimeout {
+    /// Rendezvous label the waiter was parked on.
+    pub label: &'static str,
+    /// The rank that gave up waiting.
+    pub rank: usize,
+    /// Ranks that had not deposited when the timeout expired.
+    pub missing: Vec<usize>,
+}
+
+impl std::fmt::Display for GatherTimeout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "collective '{}' timed out on rank {}: no deposit from ranks {:?}",
+            self.label, self.rank, self.missing
+        )
+    }
+}
+
+impl std::error::Error for GatherTimeout {}
 
 impl CollectiveHub {
     /// Creates a hub for `nranks` participants.
     pub fn new(nranks: usize) -> Self {
+        Self::with_timeout(nranks, None)
+    }
+
+    /// Creates a hub whose gathers give up with [`GatherTimeout`] after
+    /// `timeout` (when `Some`) instead of waiting forever.
+    pub fn with_timeout(nranks: usize, timeout: Option<Duration>) -> Self {
         Self {
             nranks,
             state: Mutex::new(HubState {
@@ -169,7 +218,15 @@ impl CollectiveHub {
                 alive: nranks,
             }),
             cond: Condvar::new(),
+            timeout,
         }
+    }
+
+    /// Endpoints currently attached to the fabric (each
+    /// [`ChannelTransport`] detaches on drop). A poisoned hub — some rank
+    /// panicked mid-gather — reports zero: the fabric is unusable.
+    pub fn attached(&self) -> usize {
+        self.state.lock().map(|st| st.alive).unwrap_or(0)
     }
 
     /// Deposits `payload` for `rank` and blocks until every rank has
@@ -185,13 +242,30 @@ impl CollectiveHub {
     /// generation can then never complete and every waiter unblocks by
     /// panicking, which the conductor surfaces as a failed run.
     fn gather(&self, rank: usize, label: &'static str, payload: Vec<u8>) -> Vec<Vec<u8>> {
+        self.try_gather(rank, label, payload)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Self::gather`] with an error path: when the hub was built with a
+    /// timeout and some participant never arrives within it, returns
+    /// [`GatherTimeout`] naming the missing ranks instead of blocking
+    /// forever. (The panic-on-abandon liveness check still fires first
+    /// when a peer *disconnects* — that is a detected death, not a
+    /// timeout.)
+    pub fn try_gather(
+        &self,
+        rank: usize,
+        label: &'static str,
+        payload: Vec<u8>,
+    ) -> Result<Vec<Vec<u8>>, GatherTimeout> {
+        let deadline = self.timeout.map(|t| Instant::now() + t);
         let mut st = self.state.lock().unwrap();
         // Wait out the previous generation: our deposit slot must be free
         // and no published result may linger (we would steal it). This
         // wait needs no liveness check: a published result is always taken
         // (every rank that deposited is blocked here until it takes).
         while st.result.is_some() || st.deposits[rank].is_some() {
-            st = self.cond.wait(st).unwrap();
+            st = self.wait(st, deadline, rank, label)?;
         }
         match st.label {
             None => st.label = Some(label),
@@ -218,7 +292,7 @@ impl CollectiveHub {
                     "collective '{label}' abandoned on rank {rank}: a peer endpoint \
                      disconnected before depositing"
                 );
-                st = self.cond.wait(st).unwrap();
+                st = self.wait(st, deadline, rank, label)?;
             }
         }
         let out = st.result.as_ref().unwrap().as_ref().clone();
@@ -227,7 +301,41 @@ impl CollectiveHub {
             st.result = None;
             self.cond.notify_all();
         }
-        out
+        Ok(out)
+    }
+
+    /// One condvar wait, bounded by `deadline` when the hub has a timeout.
+    /// On expiry returns [`GatherTimeout`] listing the ranks that never
+    /// deposited into the current generation.
+    fn wait<'a>(
+        &'a self,
+        st: std::sync::MutexGuard<'a, HubState>,
+        deadline: Option<Instant>,
+        rank: usize,
+        label: &'static str,
+    ) -> Result<std::sync::MutexGuard<'a, HubState>, GatherTimeout> {
+        match deadline {
+            None => Ok(self.cond.wait(st).unwrap()),
+            Some(deadline) => {
+                let left = deadline.saturating_duration_since(Instant::now());
+                let (st, timed_out) = self.cond.wait_timeout(st, left).unwrap();
+                if timed_out.timed_out() && Instant::now() >= deadline {
+                    let missing: Vec<usize> = st
+                        .deposits
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, d)| d.is_none())
+                        .map(|(r, _)| r)
+                        .collect();
+                    return Err(GatherTimeout {
+                        label,
+                        rank,
+                        missing,
+                    });
+                }
+                Ok(st)
+            }
+        }
     }
 
     /// Detaches one endpoint (called when a [`ChannelTransport`] drops) and
@@ -311,15 +419,31 @@ impl Transport for ChannelTransport {
     fn all_gather_bytes(&mut self, label: &'static str, payload: Vec<u8>) -> Vec<Vec<u8>> {
         self.hub.gather(self.rank, label, payload)
     }
+
+    fn healthy(&self) -> bool {
+        self.hub.attached() >= self.nranks
+    }
 }
 
 /// Builds a fully connected `nranks`-endpoint channel fabric: endpoint `r`
 /// is for rank `r`'s shard. All endpoints share one sequence counter and
 /// one collective hub.
 pub fn channel_fabric(nranks: usize) -> Vec<ChannelTransport> {
+    channel_fabric_with_timeout(nranks, None)
+}
+
+/// [`channel_fabric`] with a collective-rendezvous timeout: a gather whose
+/// peers never arrive within `timeout` panics with a [`GatherTimeout`]
+/// message naming the missing ranks, instead of blocking forever. The
+/// failure-detecting conductor uses this so a wedged (not dead) rank is
+/// classified instead of hanging the run.
+pub fn channel_fabric_with_timeout(
+    nranks: usize,
+    timeout: Option<Duration>,
+) -> Vec<ChannelTransport> {
     assert!(nranks > 0, "fabric needs at least one rank");
     let seq = Arc::new(AtomicU64::new(0));
-    let hub = Arc::new(CollectiveHub::new(nranks));
+    let hub = Arc::new(CollectiveHub::with_timeout(nranks, timeout));
     let (senders, receivers): (Vec<_>, Vec<_>) =
         (0..nranks).map(|_| std::sync::mpsc::channel()).unzip();
     receivers
@@ -349,6 +473,7 @@ mod tests {
             key: BoundaryKey::new(src, dst, tag),
             payload,
             meta: SendMeta { src, dst, cells: 1 },
+            uid: 0,
         }
     }
 
@@ -480,6 +605,42 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn gather_timeout_returns_error_naming_missing_ranks() {
+        // Rank 0 gathers alone on a 3-rank hub with a short timeout; ranks
+        // 1 and 2 never arrive. The wait must end in an error naming them —
+        // not a hang, not a panic.
+        let hub = CollectiveHub::with_timeout(3, Some(Duration::from_millis(50)));
+        let err = hub
+            .try_gather(0, "lonely", vec![7])
+            .expect_err("no peers ever deposit");
+        assert_eq!(err.label, "lonely");
+        assert_eq!(err.rank, 0);
+        assert_eq!(err.missing, vec![1, 2]);
+        assert!(err.to_string().contains("timed out"));
+    }
+
+    #[test]
+    fn gather_without_timeout_is_unaffected_by_the_timeout_plumbing() {
+        // The default fabric keeps the wait-forever semantics: a full
+        // rendezvous completes exactly as before.
+        let hub = Arc::new(CollectiveHub::new(2));
+        let h2 = Arc::clone(&hub);
+        let t = std::thread::spawn(move || h2.try_gather(1, "ok", vec![1]).unwrap());
+        let got = hub.try_gather(0, "ok", vec![0]).unwrap();
+        assert_eq!(got, vec![vec![0], vec![1]]);
+        assert_eq!(t.join().unwrap(), got);
+    }
+
+    #[test]
+    fn fabric_health_degrades_when_an_endpoint_drops() {
+        let mut fabric = channel_fabric(3);
+        let dropped = fabric.pop().unwrap();
+        assert!(fabric.iter().all(|t| t.healthy()));
+        drop(dropped);
+        assert!(fabric.iter().all(|t| !t.healthy()));
     }
 
     #[test]

@@ -972,17 +972,25 @@ impl<P: Package> Driver<P> {
         let exec = self.exec();
         let wall = self.rec.wall().clone();
         let _g = wall.region(RegionKey::Step(StepFunction::MassHistory));
-        let mut values: Vec<f64> = Vec::new();
+        let ncols = self.package.history_labels().len();
+        // Collect per-block rows tagged with gid, then fold in global gid
+        // order: the reduction order is the same whatever the rank
+        // partition, so multi-rank history is bitwise identical to the
+        // single-rank fold (and to the shard path's gathered fold).
+        let mut rows: Vec<(usize, Vec<f64>)> = Vec::new();
         self.with_rank_packs(StepFunction::MassHistory, |pkg, pack, rec| {
-            let v = pkg.history(pack, exec, rec);
-            if values.is_empty() {
-                values = v;
-            } else {
-                for (acc, x) in values.iter_mut().zip(v) {
-                    *acc += x;
-                }
+            let contrib = pkg.history_contributions(pack, exec, rec);
+            for (slot, row) in pack.iter().zip(contrib) {
+                rows.push((slot.info.gid, row));
             }
         });
+        rows.sort_by_key(|&(gid, _)| gid);
+        let mut values = vec![0.0; ncols];
+        for (_, row) in rows {
+            for (acc, x) in values.iter_mut().zip(row) {
+                *acc += x;
+            }
+        }
         self.history.push((self.cycle, values));
     }
 

@@ -147,14 +147,32 @@ pub trait Package {
         rec: &mut Recorder,
     ) -> Vec<AmrFlag>;
 
-    /// Computes history reductions (e.g. total scalar mass). Returns a
-    /// scalar per registered history (empty by default).
-    fn history(
+    /// Computes per-block history contributions: one row — one value per
+    /// registered history column — for each block in `pack`, in pack
+    /// order. The caller folds rows in *global gid order*, so the
+    /// reduction order (and therefore the bitwise result, floating-point
+    /// addition being non-associative) is independent of how blocks are
+    /// partitioned across ranks. Default: no rows (no histories).
+    fn history_contributions(
         &self,
         _pack: &mut [&mut BlockSlot],
         _exec: ExecCtx,
         _rec: &mut Recorder,
-    ) -> Vec<f64> {
+    ) -> Vec<Vec<f64>> {
         Vec::new()
+    }
+
+    /// Computes history reductions (e.g. total scalar mass) over `pack`
+    /// by folding the per-block contributions in pack order. Provided —
+    /// packages implement [`Package::history_contributions`] and inherit
+    /// a fixed-order fold.
+    fn history(&self, pack: &mut [&mut BlockSlot], exec: ExecCtx, rec: &mut Recorder) -> Vec<f64> {
+        let mut totals = vec![0.0; self.history_labels().len()];
+        for row in self.history_contributions(pack, exec, rec) {
+            for (acc, x) in totals.iter_mut().zip(row) {
+                *acc += x;
+            }
+        }
+        totals
     }
 }

@@ -85,6 +85,15 @@ impl Package for DynPackage {
         (**self).tag_refinement(pack, exec, rec)
     }
 
+    fn history_contributions(
+        &self,
+        pack: &mut [&mut BlockSlot],
+        exec: ExecCtx,
+        rec: &mut Recorder,
+    ) -> Vec<Vec<f64>> {
+        (**self).history_contributions(pack, exec, rec)
+    }
+
     fn history(&self, pack: &mut [&mut BlockSlot], exec: ExecCtx, rec: &mut Recorder) -> Vec<f64> {
         (**self).history(pack, exec, rec)
     }

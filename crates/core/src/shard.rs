@@ -1037,10 +1037,12 @@ impl<P: Package> RankShard<P> {
         });
     }
 
-    /// MassHistory: local reduction over owned blocks, then a data
-    /// AllGather folded in rank index order — bitwise identical to the
-    /// driver's fold over its rank packs (ranks are contiguous ascending in
-    /// gid order). Every rank joins the gather, including empty ones.
+    /// MassHistory: per-block contributions tagged with their gid, then a
+    /// data AllGather and a fold in *global gid order* — the same
+    /// reduction order as the single-process driver, whatever the rank
+    /// partition, so the gathered history is bitwise identical to a
+    /// one-shot single-rank run. Every rank joins the gather, including
+    /// empty ones.
     fn task_history(&mut self) {
         if self.params.history_every == 0 || !self.cycle.is_multiple_of(self.params.history_every) {
             return;
@@ -1048,37 +1050,41 @@ impl<P: Package> RankShard<P> {
         let exec = self.exec();
         let wall = self.rec.wall().clone();
         let _g = wall.region(RegionKey::Step(StepFunction::MassHistory));
-        let mut local: Vec<f64> = Vec::new();
-        let mut has_blocks = false;
+        let ncols = self.package.history_labels().len();
+        // Payload: one (gid: u64 le, row: ncols × f64 le) entry per owned
+        // block. An empty shard contributes an empty payload.
+        let mut payload: Vec<u8> = Vec::new();
         self.with_owned_pack(StepFunction::MassHistory, |pkg, pack, rec| {
-            local = pkg.history(pack, exec, rec);
-            has_blocks = true;
+            let contrib = pkg.history_contributions(pack, exec, rec);
+            for (slot, row) in pack.iter().zip(contrib) {
+                payload.extend_from_slice(&(slot.info.gid as u64).to_le_bytes());
+                for v in row {
+                    payload.extend_from_slice(&v.to_le_bytes());
+                }
+            }
         });
-        let mut payload = Vec::with_capacity(1 + local.len() * 8);
-        payload.push(u8::from(has_blocks));
-        for v in &local {
-            payload.extend_from_slice(&v.to_le_bytes());
-        }
         self.comm.set_task(Some("MassHistory"));
         let parts = self
             .comm
             .all_gather_data(StepFunction::MassHistory, payload, &mut self.rec);
         self.comm.set_task(None);
-        let mut values: Vec<f64> = Vec::new();
+        let stride = 8 + 8 * ncols;
+        let mut rows: Vec<(u64, Vec<f64>)> = Vec::new();
         for part in &parts {
-            if part.first() != Some(&1) {
-                continue;
+            for entry in part.chunks_exact(stride) {
+                let gid = u64::from_le_bytes(entry[..8].try_into().expect("8-byte gid"));
+                let row: Vec<f64> = entry[8..]
+                    .chunks_exact(8)
+                    .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte value")))
+                    .collect();
+                rows.push((gid, row));
             }
-            let vals: Vec<f64> = part[1..]
-                .chunks_exact(8)
-                .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
-                .collect();
-            if values.is_empty() {
-                values = vals;
-            } else {
-                for (acc, x) in values.iter_mut().zip(vals) {
-                    *acc += x;
-                }
+        }
+        rows.sort_by_key(|&(gid, _)| gid);
+        let mut values = vec![0.0; ncols];
+        for (_, row) in rows {
+            for (acc, x) in values.iter_mut().zip(row) {
+                *acc += x;
             }
         }
         self.history.push((self.cycle, values));

@@ -166,14 +166,19 @@ impl Package for Advect {
         })
     }
 
-    fn history(&self, pack: &mut [&mut BlockSlot], exec: ExecCtx, rec: &mut Recorder) -> Vec<f64> {
+    fn history_contributions(
+        &self,
+        pack: &mut [&mut BlockSlot],
+        exec: ExecCtx,
+        rec: &mut Recorder,
+    ) -> Vec<Vec<f64>> {
         let Some(first) = pack.first() else {
-            return vec![0.0];
+            return Vec::new();
         };
         let shape = *first.data.shape();
         let cells = pack.len() as u64 * shape.interior_count() as u64;
         Launcher::new(rec).record_only(&catalog::MASS_HISTORY, cells, 1.0);
-        // Per-block sums folded in pack order (fixed-order reduction).
+        // One sum per block; the caller folds rows in global gid order.
         let partials = exec.map_blocks(pack, |_, slot| {
             let qid = Advect::qid(&mut slot.data);
             let var = slot.data.var(qid);
@@ -191,6 +196,6 @@ impl Package for Advect {
             }
             block_total
         });
-        vec![partials.into_iter().sum()]
+        partials.into_iter().map(|p| vec![p]).collect()
     }
 }

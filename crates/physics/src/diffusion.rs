@@ -265,9 +265,14 @@ impl Package for DiffusionPackage {
         })
     }
 
-    fn history(&self, pack: &mut [&mut BlockSlot], exec: ExecCtx, rec: &mut Recorder) -> Vec<f64> {
+    fn history_contributions(
+        &self,
+        pack: &mut [&mut BlockSlot],
+        exec: ExecCtx,
+        rec: &mut Recorder,
+    ) -> Vec<Vec<f64>> {
         let Some(first) = pack.first() else {
-            return vec![0.0];
+            return Vec::new();
         };
         let shape = *first.data.shape();
         let cells = pack.len() as u64 * shape.interior_count() as u64;
@@ -277,8 +282,9 @@ impl Package for DiffusionPackage {
             shape.range(1, IndexDomain::Interior),
             shape.range(2, IndexDomain::Interior),
         ];
-        // Per-block sums folded in pack order; the conservative flux form
-        // keeps this total constant to round-off.
+        // One sum per block (folded by the caller in global gid order);
+        // the conservative flux form keeps the total constant to
+        // round-off.
         let partials = exec.map_blocks(pack, |_, slot| {
             let qid = Self::qid(&mut slot.data);
             let q = slot.data.var(qid).data();
@@ -293,6 +299,6 @@ impl Package for DiffusionPackage {
             }
             block_total
         });
-        vec![partials.into_iter().sum()]
+        partials.into_iter().map(|p| vec![p]).collect()
     }
 }

@@ -378,9 +378,14 @@ impl Package for EulerPackage {
         })
     }
 
-    fn history(&self, pack: &mut [&mut BlockSlot], exec: ExecCtx, rec: &mut Recorder) -> Vec<f64> {
+    fn history_contributions(
+        &self,
+        pack: &mut [&mut BlockSlot],
+        exec: ExecCtx,
+        rec: &mut Recorder,
+    ) -> Vec<Vec<f64>> {
         let Some(first) = pack.first() else {
-            return vec![0.0, 0.0];
+            return Vec::new();
         };
         let shape = *first.data.shape();
         let cells = pack.len() as u64 * shape.interior_count() as u64;
@@ -390,7 +395,8 @@ impl Package for EulerPackage {
             shape.range(1, IndexDomain::Interior),
             shape.range(2, IndexDomain::Interior),
         ];
-        // Per-block (mass, energy) partials folded in pack order.
+        // One (mass, energy) row per block; folded by the caller in
+        // global gid order.
         let partials = exec.map_blocks(pack, |_, slot| {
             let (cid, _) = Self::ids(&mut slot.data);
             let cons = slot.data.var(cid).data();
@@ -406,11 +412,6 @@ impl Package for EulerPackage {
             }
             (mass, energy)
         });
-        let (mut mass, mut energy) = (0.0, 0.0);
-        for (m, e) in partials {
-            mass += m;
-            energy += e;
-        }
-        vec![mass, energy]
+        partials.into_iter().map(|(m, e)| vec![m, e]).collect()
     }
 }

@@ -19,19 +19,27 @@
 //! complete wiring example against the driver as the bitwise reference.
 
 use std::collections::HashMap;
-use std::sync::mpsc::{Receiver, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use vibe_comm::{channel_fabric, match_cross_edges, validate_multirank_event_order, CommEvent};
+use vibe_comm::{
+    channel_fabric, channel_fabric_with_timeout, match_cross_edges, validate_multirank_event_order,
+    CommEvent, Transport,
+};
 use vibe_core::driver::CycleSummary;
 use vibe_core::shard::{fingerprint_slots, RankShard, ShardOutput};
 use vibe_core::{Driver, Package, Snapshot};
+use vibe_ft::{ChaosTransport, FaultPlan, InjectedKill};
 use vibe_prof::{
     attribute_run, build_span_graph, perfetto_multirank_trace_json,
     perfetto_multirank_trace_with_flows_json, span_epoch, Attribution, CrossEdge, FlowEvent,
     Recorder, TaskSpan, TraceEvent, WaitProbes,
 };
+
+pub mod recovery;
+pub use recovery::{run_resilient, RecoveryReport, ResilienceOptions};
 
 /// The merged result of a rank-parallel run.
 #[derive(Debug)]
@@ -128,6 +136,23 @@ where
     P: Package,
     F: Fn() -> Driver<P> + Sync,
 {
+    try_run_distributed(nranks, cycles, make_replica).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`run_distributed`] with a structured error path: a panicking rank
+/// thread surfaces as [`SessionError::RankFailed`] naming the rank and
+/// carrying its panic payload — with cascade panics (peers abandoned
+/// mid-collective by the first death) filtered out in favor of the root
+/// cause — instead of an anonymous `join` panic on the conductor.
+pub fn try_run_distributed<P, F>(
+    nranks: usize,
+    cycles: u64,
+    make_replica: F,
+) -> Result<RtRun, SessionError>
+where
+    P: Package,
+    F: Fn() -> Driver<P> + Sync,
+{
     assert!(nranks > 0, "at least one rank");
     // Pin the process-global span epoch before any shard thread starts, so
     // every per-rank wall clock (created afterwards) sits at a non-negative
@@ -135,7 +160,7 @@ where
     let epoch = span_epoch();
     let fabric = channel_fabric(nranks);
     let make_replica = &make_replica;
-    let results: Vec<(Vec<CycleSummary>, u64, ShardOutput)> = std::thread::scope(|s| {
+    let (results, failures) = std::thread::scope(|s| {
         let handles: Vec<_> = fabric
             .into_iter()
             .map(|transport| {
@@ -150,12 +175,78 @@ where
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("rank shard thread panicked"))
-            .collect()
+        let mut results: Vec<(Vec<CycleSummary>, u64, ShardOutput)> = Vec::new();
+        let mut failures: Vec<RankFailure> = Vec::new();
+        for (rank, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(out) => results.push(out),
+                Err(p) => failures.push(RankFailure::from_payload(rank, &p)),
+            }
+        }
+        (results, failures)
     });
-    merge_shard_results(nranks, cycles, epoch, results)
+    if let Some(err) = pick_root_cause(failures) {
+        return Err(err);
+    }
+    Ok(merge_shard_results(nranks, cycles, epoch, results))
+}
+
+/// One rank thread's classified death: who, why, and whether the fault
+/// plan did it.
+#[derive(Debug, Clone)]
+struct RankFailure {
+    rank: usize,
+    payload: String,
+    injected: bool,
+}
+
+impl RankFailure {
+    /// Extracts a readable payload from a joined thread's panic value and
+    /// recognizes the fault layer's [`InjectedKill`] marker.
+    fn from_payload(rank: usize, p: &(dyn std::any::Any + Send)) -> Self {
+        let (payload, injected) = if let Some(k) = p.downcast_ref::<InjectedKill>() {
+            (k.to_string(), true)
+        } else if let Some(s) = p.downcast_ref::<String>() {
+            (s.clone(), false)
+        } else if let Some(s) = p.downcast_ref::<&str>() {
+            (s.to_string(), false)
+        } else {
+            ("opaque panic payload".to_string(), false)
+        };
+        Self {
+            rank,
+            payload,
+            injected,
+        }
+    }
+
+    /// Whether this payload looks like a *consequence* of another rank's
+    /// death (abandoned collective, poisoned hub, disconnected fabric)
+    /// rather than the original failure.
+    fn is_cascade(&self) -> bool {
+        let p = &self.payload;
+        p.contains("abandoned") || p.contains("Poison") || p.contains("disconnected")
+    }
+}
+
+/// Picks the root cause out of a set of concurrent rank failures: an
+/// injected kill wins, then the first non-cascade payload, then whatever
+/// came first. Returns `None` when nothing failed.
+fn pick_root_cause(failures: Vec<RankFailure>) -> Option<SessionError> {
+    if failures.is_empty() {
+        return None;
+    }
+    let best = failures
+        .iter()
+        .position(|f| f.injected)
+        .or_else(|| failures.iter().position(|f| !f.is_cascade()))
+        .unwrap_or(0);
+    let f = failures.into_iter().nth(best).expect("index in range");
+    Some(SessionError::RankFailed {
+        rank: f.rank,
+        payload: f.payload,
+        injected: f.injected,
+    })
 }
 
 /// Merges per-rank shard outputs — collected by [`run_distributed`]'s
@@ -311,6 +402,7 @@ fn merge_shard_results(
 
 /// A command the session conductor sends every rank thread. Commands are
 /// broadcast in identical order, so shards stay in collective lockstep.
+#[derive(Clone, Copy)]
 enum Cmd {
     /// Advance this many cycles.
     Run(u64),
@@ -326,21 +418,86 @@ enum Reply {
     Snapshot(Box<Snapshot>),
 }
 
-/// A rank thread failed (panicked or disconnected) — the run is lost.
+/// A distributed run failed — classified, not hung.
 ///
 /// A single shard panic cascades: its dropped transport abandons the
-/// collective hub, unblocking peers by panicking, so the whole session
-/// reports failure instead of deadlocking.
+/// collective hub, unblocking peers by panicking, and the mailbox's
+/// fabric-health check panics spinning point-to-point waiters, so the
+/// whole session reports failure instead of deadlocking. The conductor
+/// then classifies the concurrent panics down to the root cause.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SessionError(String);
+pub enum SessionError {
+    /// A specific rank thread died. `payload` carries its panic message;
+    /// `injected` is true when the fault plan's kill trigger caused it
+    /// (an expected, recoverable death rather than a bug).
+    RankFailed {
+        /// The rank whose thread died first (root cause, not cascade).
+        rank: usize,
+        /// The panic payload, rendered.
+        payload: String,
+        /// True when the death was injected by a [`FaultPlan`] kill.
+        injected: bool,
+    },
+    /// A rank made no progress within the failure detector's window (it
+    /// is wedged, not dead — its thread cannot be joined safely).
+    Stalled {
+        /// The unresponsive rank.
+        rank: usize,
+        /// The detector window that expired.
+        window: Duration,
+    },
+    /// The failure could not be attributed to one rank.
+    Failed(String),
+}
 
 impl std::fmt::Display for SessionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "rt session failed: {}", self.0)
+        match self {
+            SessionError::RankFailed {
+                rank,
+                payload,
+                injected,
+            } => write!(
+                f,
+                "rt session failed: rank {rank} died{}: {payload}",
+                if *injected { " (injected)" } else { "" }
+            ),
+            SessionError::Stalled { rank, window } => write!(
+                f,
+                "rt session failed: rank {rank} made no progress within {window:?}"
+            ),
+            SessionError::Failed(msg) => write!(f, "rt session failed: {msg}"),
+        }
     }
 }
 
 impl std::error::Error for SessionError {}
+
+/// Conductor-level configuration for an [`RtSession`].
+#[derive(Debug, Clone, Default)]
+pub struct SessionOptions {
+    /// Deterministic fault schedule. When set, every rank's transport is
+    /// wrapped in a [`ChaosTransport`] and the session's rank threads
+    /// honor the plan's kill trigger at cycle boundaries. A plan whose
+    /// rates are zero and whose kill is `None` is byte-for-byte neutral.
+    pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Collective rendezvous timeout (see
+    /// [`channel_fabric_with_timeout`]): converts a wedged-rank hang
+    /// into a prompt classified failure.
+    pub collective_timeout: Option<Duration>,
+    /// Failure-detector window for the conductor's reply waits: when no
+    /// rank makes progress for this long, the wait is classified as
+    /// [`SessionError::Stalled`] instead of blocking forever.
+    pub detector_timeout: Option<Duration>,
+    /// Absolute cycle number the replicas start at (non-zero when the
+    /// session resumes a checkpoint); the kill trigger compares against
+    /// absolute cycles so recovery replays line up with the plan.
+    pub start_cycle: u64,
+}
+
+/// What a rank thread hands back when it exits: per-cycle summaries, the
+/// cycle count it completed, and the shard's merged output.
+type RankExit = (Vec<CycleSummary>, u64, ShardOutput);
 
 /// A preemptible, resumable distributed run: the persistent-thread variant
 /// of [`run_distributed`].
@@ -368,7 +525,11 @@ pub struct RtSession<P: Package> {
     cycles: u64,
     cmd_tx: Vec<Sender<Cmd>>,
     reply_rx: Vec<Receiver<Reply>>,
-    handles: Vec<std::thread::JoinHandle<(Vec<CycleSummary>, u64, ShardOutput)>>,
+    handles: Vec<Option<std::thread::JoinHandle<RankExit>>>,
+    /// Per-rank absolute cycle counters, bumped by the rank threads after
+    /// every completed cycle — the failure detector's progress epochs.
+    progress: Arc<Vec<AtomicU64>>,
+    opts: SessionOptions,
     epoch: Instant,
     _marker: std::marker::PhantomData<fn() -> P>,
 }
@@ -384,29 +545,77 @@ impl<P: Package> RtSession<P> {
     where
         F: Fn() -> Driver<P> + Send + Sync + 'static,
     {
+        Self::with_options(nranks, SessionOptions::default(), make_replica)
+    }
+
+    /// [`RtSession::new`] with conductor options: fault injection,
+    /// collective timeout, failure-detector window, and the absolute
+    /// start cycle for resumed checkpoints.
+    pub fn with_options<F>(nranks: usize, opts: SessionOptions, make_replica: F) -> Self
+    where
+        F: Fn() -> Driver<P> + Send + Sync + 'static,
+    {
         assert!(nranks > 0, "at least one rank");
         let epoch = span_epoch();
         let make_replica: Arc<F> = Arc::new(make_replica);
+        let progress: Arc<Vec<AtomicU64>> = Arc::new(
+            (0..nranks)
+                .map(|_| AtomicU64::new(opts.start_cycle))
+                .collect(),
+        );
         let mut cmd_tx = Vec::with_capacity(nranks);
         let mut reply_rx = Vec::with_capacity(nranks);
-        let handles: Vec<_> = channel_fabric(nranks)
+        let handles: Vec<_> = channel_fabric_with_timeout(nranks, opts.collective_timeout)
             .into_iter()
             .map(|transport| {
                 let make = Arc::clone(&make_replica);
+                let plan = opts.fault_plan.clone();
+                let beats = Arc::clone(&progress);
+                let start_cycle = opts.start_cycle;
                 let (ctx, crx) = std::sync::mpsc::channel::<Cmd>();
                 let (rtx, rrx) = std::sync::mpsc::channel::<Reply>();
                 cmd_tx.push(ctx);
                 reply_rx.push(rrx);
                 std::thread::spawn(move || {
-                    let mut shard = RankShard::from_replica(make(), Box::new(transport));
+                    let rank = transport.rank();
+                    // The chaos layer wraps the wire, not the mailbox: the
+                    // CommEvent log above it is identical to a fault-free
+                    // run, and a zero-rate plan is byte-for-byte neutral.
+                    let wire: Box<dyn Transport> = match &plan {
+                        Some(p) => {
+                            Box::new(ChaosTransport::new(Box::new(transport), Arc::clone(p)))
+                        }
+                        None => Box::new(transport),
+                    };
+                    let mut shard = RankShard::from_replica(make(), wire);
                     shard.barrier("rt-session-begin");
                     let mut all: Vec<CycleSummary> = Vec::new();
                     let mut wall_ns = 0u64;
+                    let mut cur = start_cycle;
                     loop {
                         match crx.recv() {
                             Ok(Cmd::Run(n)) => {
                                 let start = Instant::now();
-                                let summaries = shard.run_cycles(n);
+                                let mut summaries = Vec::with_capacity(n as usize);
+                                for _ in 0..n {
+                                    // The injected kill fires at a cycle
+                                    // *boundary*: this rank completed every
+                                    // cycle before `kc`, then dies. The
+                                    // latch makes the recovery replay of
+                                    // the same plan run fault-free.
+                                    if let Some(plan) = &plan {
+                                        if plan.pending_kill(rank) == Some(cur) && plan.fire_kill()
+                                        {
+                                            std::panic::panic_any(InjectedKill {
+                                                rank,
+                                                cycle: cur,
+                                            });
+                                        }
+                                    }
+                                    summaries.push(shard.step());
+                                    cur += 1;
+                                    beats[rank].store(cur, Ordering::SeqCst);
+                                }
                                 wall_ns += start.elapsed().as_nanos() as u64;
                                 all.extend(summaries.iter().cloned());
                                 let _ = rtx.send(Reply::Ran(summaries));
@@ -424,6 +633,7 @@ impl<P: Package> RtSession<P> {
                     (all, wall_ns, shard.finish())
                 })
             })
+            .map(Some)
             .collect();
         Self {
             nranks,
@@ -431,8 +641,124 @@ impl<P: Package> RtSession<P> {
             cmd_tx,
             reply_rx,
             handles,
+            progress,
+            opts,
             epoch,
             _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Classifies dead ranks into the root-cause [`SessionError`]:
+    /// disconnected ranks are joined (their threads have exited) and
+    /// their panic payloads inspected; wedged ranks are reported as
+    /// stalled without joining (their threads may still be blocked).
+    fn classify(&mut self, dead: Vec<(usize, bool)>) -> SessionError {
+        let mut failures = Vec::new();
+        let mut stalled: Option<usize> = None;
+        for (rank, disconnected) in dead {
+            if !disconnected {
+                // Wedged, not dead: its thread may still be blocked, so
+                // joining could hang. Only report it if nothing joinable
+                // explains the failure.
+                stalled.get_or_insert(rank);
+                continue;
+            }
+            match self.handles[rank].take() {
+                Some(h) => match h.join() {
+                    Err(p) => failures.push(RankFailure::from_payload(rank, &*p)),
+                    Ok(_) => failures.push(RankFailure {
+                        rank,
+                        payload: "rank thread exited before the session finished".into(),
+                        injected: false,
+                    }),
+                },
+                None => failures.push(RankFailure {
+                    rank,
+                    payload: "rank thread already joined".into(),
+                    injected: false,
+                }),
+            }
+        }
+        if let Some(err) = pick_root_cause(failures) {
+            return err;
+        }
+        match stalled {
+            Some(rank) => SessionError::Stalled {
+                rank,
+                window: self.opts.detector_timeout.unwrap_or_default(),
+            },
+            None => SessionError::Failed("unattributable rank failure".into()),
+        }
+    }
+
+    /// Broadcasts one command; a hung-up rank is classified immediately.
+    fn broadcast(&mut self, cmd: Cmd) -> Result<(), SessionError> {
+        let dead: Vec<(usize, bool)> = self
+            .cmd_tx
+            .iter()
+            .enumerate()
+            .filter(|(_, tx)| tx.send(cmd).is_err())
+            .map(|(rank, _)| (rank, true))
+            .collect();
+        if dead.is_empty() {
+            Ok(())
+        } else {
+            Err(self.classify(dead))
+        }
+    }
+
+    /// Receives one reply per rank, running the failure detector: a
+    /// disconnected reply channel means the rank thread died (join and
+    /// classify); a detector-window expiry with *no* progress anywhere on
+    /// the fabric means a wedge (classify as stalled). Progress on any
+    /// rank resets the window — slow is not dead.
+    fn recv_all(&mut self) -> Result<Vec<Reply>, SessionError> {
+        let mut replies = Vec::with_capacity(self.nranks);
+        let mut dead: Vec<(usize, bool)> = Vec::new();
+        for (rank, rx) in self.reply_rx.iter().enumerate() {
+            let got = match self.opts.detector_timeout {
+                None => rx.recv().map_err(|_| true),
+                Some(window) => {
+                    let sum =
+                        || -> u64 { self.progress.iter().map(|p| p.load(Ordering::SeqCst)).sum() };
+                    let mut last = sum();
+                    loop {
+                        match rx.recv_timeout(window) {
+                            Ok(r) => break Ok(r),
+                            Err(RecvTimeoutError::Disconnected) => break Err(true),
+                            Err(RecvTimeoutError::Timeout) => {
+                                let now = sum();
+                                if now == last {
+                                    break Err(false);
+                                }
+                                last = now;
+                            }
+                        }
+                    }
+                }
+            };
+            match got {
+                Ok(reply) => replies.push(reply),
+                Err(disconnected) => {
+                    dead.push((rank, disconnected));
+                    // The first death cascades; drain the remaining ranks
+                    // without waiting on the detector again (their channels
+                    // disconnect as their threads unwind, or they reply).
+                    for (r, rx) in self.reply_rx.iter().enumerate().skip(rank + 1) {
+                        match rx.recv_timeout(Duration::from_millis(500)) {
+                            Ok(reply) => replies.push(reply),
+                            Err(RecvTimeoutError::Disconnected) => dead.push((r, true)),
+                            Err(RecvTimeoutError::Timeout) => dead.push((r, false)),
+                        }
+                    }
+                    break;
+                }
+            }
+        }
+        if dead.is_empty() {
+            Ok(replies)
+        } else {
+            Err(self.classify(dead))
         }
     }
 
@@ -453,27 +779,20 @@ impl<P: Package> RtSession<P> {
     ///
     /// [`SessionError`] when a rank thread has failed.
     pub fn run(&mut self, n: u64) -> Result<Vec<CycleSummary>, SessionError> {
-        for tx in &self.cmd_tx {
-            tx.send(Cmd::Run(n))
-                .map_err(|_| SessionError("rank thread hung up".into()))?;
-        }
+        self.broadcast(Cmd::Run(n))?;
+        let replies = self.recv_all()?;
         let mut first: Option<Vec<CycleSummary>> = None;
-        for (rank, rx) in self.reply_rx.iter().enumerate() {
-            match rx.recv() {
-                Ok(Reply::Ran(summaries)) => {
+        for (rank, reply) in replies.into_iter().enumerate() {
+            match reply {
+                Reply::Ran(summaries) => {
                     if rank == 0 {
                         first = Some(summaries);
                     }
                 }
-                Ok(Reply::Snapshot(_)) => {
-                    return Err(SessionError(
+                Reply::Snapshot(_) => {
+                    return Err(SessionError::Failed(
                         "protocol mismatch: unexpected snapshot".into(),
                     ))
-                }
-                Err(_) => {
-                    return Err(SessionError(format!(
-                        "rank {rank} thread failed while running {n} cycles"
-                    )))
                 }
             }
         }
@@ -491,27 +810,20 @@ impl<P: Package> RtSession<P> {
     ///
     /// [`SessionError`] when a rank thread has failed.
     pub fn checkpoint(&mut self) -> Result<Snapshot, SessionError> {
-        for tx in &self.cmd_tx {
-            tx.send(Cmd::Checkpoint)
-                .map_err(|_| SessionError("rank thread hung up".into()))?;
-        }
+        self.broadcast(Cmd::Checkpoint)?;
+        let replies = self.recv_all()?;
         let mut snap: Option<Box<Snapshot>> = None;
-        for (rank, rx) in self.reply_rx.iter().enumerate() {
-            match rx.recv() {
-                Ok(Reply::Snapshot(s)) => {
+        for (rank, reply) in replies.into_iter().enumerate() {
+            match reply {
+                Reply::Snapshot(s) => {
                     if rank == 0 {
                         snap = Some(s);
                     }
                 }
-                Ok(Reply::Ran(_)) => {
-                    return Err(SessionError(
+                Reply::Ran(_) => {
+                    return Err(SessionError::Failed(
                         "protocol mismatch: unexpected summaries".into(),
                     ))
-                }
-                Err(_) => {
-                    return Err(SessionError(format!(
-                        "rank {rank} thread failed while checkpointing"
-                    )))
                 }
             }
         }
@@ -534,15 +846,16 @@ impl<P: Package> RtSession<P> {
         }
         self.cmd_tx.clear();
         let mut results = Vec::with_capacity(self.handles.len());
-        let mut failed = Vec::new();
+        let mut failures = Vec::new();
         for (rank, h) in self.handles.drain(..).enumerate() {
+            let Some(h) = h else { continue };
             match h.join() {
                 Ok(out) => results.push(out),
-                Err(_) => failed.push(rank),
+                Err(p) => failures.push(RankFailure::from_payload(rank, &*p)),
             }
         }
-        if !failed.is_empty() {
-            return Err(SessionError(format!("rank threads panicked: {failed:?}")));
+        if let Some(err) = pick_root_cause(failures) {
+            return Err(err);
         }
         Ok(merge_shard_results(
             self.nranks,
@@ -559,7 +872,7 @@ impl<P: Package> Drop for RtSession<P> {
     /// [`finish`](RtSession::finish) (everything is already drained).
     fn drop(&mut self) {
         self.cmd_tx.clear();
-        for h in self.handles.drain(..) {
+        for h in self.handles.drain(..).flatten() {
             // A panicked thread already unblocked its peers through the
             // collective hub's liveness check; nothing to propagate here.
             let _ = h.join();
@@ -819,26 +1132,13 @@ mod tests {
 
         // The gathered distributed checkpoint is exactly the state a
         // single-process driver snapshots at the same cycle boundary —
-        // except history rows, which fold per rank partition in pack
-        // order, so across partitions they agree only to rounding (the
-        // *solution* stays bitwise equal; see the comment on
-        // `preempt_resume_bitwise_identical_at_every_boundary`).
+        // including history rows: contributions are folded in global gid
+        // order on every path, so the reduction is partition-independent
+        // and the snapshots compare bitwise equal as a whole.
         let mut d = replica(1, 1);
         d.run_cycles(2);
-        let mut local = d.to_snapshot();
-        assert_eq!(snap.history.len(), local.history.len());
-        for ((ca, ra), (cb, rb)) in snap.history.iter().zip(&local.history) {
-            assert_eq!(ca, cb);
-            assert_eq!(ra.len(), rb.len());
-            for (a, b) in ra.iter().zip(rb) {
-                let tol = 1e-12 * b.abs().max(f64::MIN_POSITIVE);
-                assert!((a - b).abs() <= tol, "history row {ca}: {a} vs {b}");
-            }
-        }
-        let mut gathered = snap;
-        gathered.history.clear();
-        local.history.clear();
-        assert_eq!(gathered, local);
+        let local = d.to_snapshot();
+        assert_eq!(snap, local);
     }
 
     /// The preempt/resume acceptance invariant: checkpoint a Mesh 32/B8/L2
@@ -886,21 +1186,16 @@ mod tests {
             );
             assert_eq!(run.dt.to_bits(), reference.dt.to_bits());
             assert_eq!(run.time.to_bits(), reference.time.to_bits());
-            // History continues across the preemption seam. Rows computed
-            // before the boundary traveled through the checkpoint and must
-            // be bitwise intact; rows after it were reduced under a
-            // different rank partition — the fold order changes, so they
-            // agree only to rounding (the *solution* stays bitwise equal;
-            // the diagnostic sum is partition-ordered by design).
+            // History continues across the preemption seam bitwise: rows
+            // before the boundary traveled through the checkpoint, rows
+            // after it were reduced under a different rank partition —
+            // but the gid-ordered fold makes the reduction order
+            // partition-independent, so every row is bitwise intact.
             assert_eq!(run.history.len(), reference.history.len());
             for ((ca, va), (cb, vb)) in run.history.iter().zip(&reference.history) {
                 assert_eq!(ca, cb);
                 for (a, b) in va.iter().zip(vb) {
-                    if *ca < boundary {
-                        assert_eq!(a.to_bits(), b.to_bits(), "seam row {ca} not intact");
-                    } else {
-                        assert!((a - b).abs() <= 1e-12 * b.abs(), "row {ca}: {a} vs {b}");
-                    }
+                    assert_eq!(a.to_bits(), b.to_bits(), "history row {ca} not bitwise");
                 }
             }
         }
@@ -950,5 +1245,182 @@ mod tests {
         // Per-rank histories were checked identical inside run_distributed;
         // the merged history must exist when history_every fires.
         assert!(!run.history.is_empty());
+    }
+
+    // -- fault tolerance ---------------------------------------------------
+
+    use vibe_ft::{FaultPlanSpec, KillSpec};
+
+    fn kill_plan(rank: usize, cycle: u64) -> Arc<FaultPlan> {
+        Arc::new(FaultPlan::new(FaultPlanSpec {
+            kill: Some(KillSpec { rank, cycle }),
+            ..Default::default()
+        }))
+    }
+
+    /// An injected rank kill surfaces as a structured, correctly
+    /// attributed failure — naming the killed rank, not a cascade victim
+    /// — on both the run path and the finish path.
+    #[test]
+    fn injected_kill_is_classified_to_the_killed_rank() {
+        let opts = SessionOptions {
+            fault_plan: Some(kill_plan(1, 2)),
+            ..SessionOptions::default()
+        };
+        let mut session = RtSession::with_options(2, opts, || replica(2, 1));
+        let err = session
+            .run(4)
+            .err()
+            .or_else(|| session.finish().err())
+            .expect("the killed session must fail");
+        match err {
+            SessionError::RankFailed {
+                rank,
+                payload,
+                injected,
+            } => {
+                assert_eq!(rank, 1, "root cause must be the killed rank");
+                assert!(injected, "must be recognized as an injected kill");
+                assert!(payload.contains("cycle 2"), "payload: {payload}");
+            }
+            other => panic!("expected RankFailed, got: {other}"),
+        }
+    }
+
+    /// The tentpole invariant: killing any rank at any cycle boundary
+    /// recovers automatically — restore from the last checkpoint,
+    /// re-partition onto the shrunken geometry, replay — to the exact
+    /// fault-free fingerprint, history, and clock.
+    #[test]
+    fn kill_recovers_bitwise_to_fault_free_run() {
+        let cycles = 6u64;
+        let reference = run_distributed(2, cycles, || replica(2, 1));
+        for kill_cycle in [1u64, 3, 5] {
+            for victim in [0usize, 1] {
+                let plan = kill_plan(victim, kill_cycle);
+                let opts = ResilienceOptions {
+                    checkpoint_every: 2,
+                    fault_plan: Some(Arc::clone(&plan)),
+                    ..ResilienceOptions::default()
+                };
+                let (run, report) = run_resilient(2, cycles, opts, |snap, nranks| match snap {
+                    None => replica(nranks, 1),
+                    Some(s) => {
+                        let params = DriverParams {
+                            nranks,
+                            cfl: 0.3,
+                            ..DriverParams::default()
+                        };
+                        let pkg = Advect {
+                            recon: AdvectRecon::Upwind1,
+                            refine_above: 0.2,
+                            deref_below: 0.02,
+                            ..Advect::default()
+                        };
+                        vibe_core::restore_driver(s, pkg, params).unwrap()
+                    }
+                })
+                .unwrap_or_else(|e| {
+                    panic!("kill rank {victim} at cycle {kill_cycle} did not recover: {e}")
+                });
+                assert_eq!(
+                    run.fingerprint, reference.fingerprint,
+                    "recovered fingerprint diverged (victim {victim}, cycle {kill_cycle})"
+                );
+                assert_eq!(run.time.to_bits(), reference.time.to_bits());
+                assert_eq!(run.dt.to_bits(), reference.dt.to_bits());
+                assert_eq!(run.history.len(), reference.history.len());
+                for ((ca, va), (_, vb)) in run.history.iter().zip(&reference.history) {
+                    for (a, b) in va.iter().zip(vb) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "history row {ca} diverged");
+                    }
+                }
+                assert_eq!(report.failures, 1);
+                assert_eq!(report.recoveries, 1);
+                assert_eq!(report.fault_stats.killed, 1);
+                assert_eq!(report.final_nranks, 1, "geometry shrank by the dead rank");
+                assert!(matches!(
+                    report.detected[0],
+                    SessionError::RankFailed { injected: true, .. }
+                ));
+            }
+        }
+    }
+
+    /// Chaos off ⇒ byte-for-byte neutral: a zero-rate fault plan leaves
+    /// the fingerprint, the merged event log, and the history untouched
+    /// relative to a session without any plan.
+    #[test]
+    fn zero_rate_fault_plan_is_byte_for_byte_neutral() {
+        let bare = {
+            let mut s = RtSession::new(2, || replica(2, 1));
+            s.run(4).unwrap();
+            s.finish().unwrap()
+        };
+        let plan = Arc::new(FaultPlan::new(FaultPlanSpec::default()));
+        let chaotic = {
+            let opts = SessionOptions {
+                fault_plan: Some(Arc::clone(&plan)),
+                ..SessionOptions::default()
+            };
+            let mut s = RtSession::with_options(2, opts, || replica(2, 1));
+            s.run(4).unwrap();
+            s.finish().unwrap()
+        };
+        assert_eq!(chaotic.fingerprint, bare.fingerprint);
+        assert_eq!(chaotic.dt.to_bits(), bare.dt.to_bits());
+        assert_eq!(chaotic.history, bare.history);
+        // Event interleaving is scheduler-dependent even without chaos
+        // (tasks race within a cycle); the deterministic artifact is the
+        // multiset of events per (rank, cycle).
+        let canon = |ev: Vec<vibe_comm::CommEvent>| {
+            let mut keys: Vec<String> = ev
+                .iter()
+                .map(|e| {
+                    format!(
+                        "{} {} {:?} {:?} {:?} {:?}",
+                        e.rank, e.cycle, e.key, e.func, e.task, e.kind
+                    )
+                })
+                .collect();
+            keys.sort();
+            keys
+        };
+        assert_eq!(
+            canon(chaotic.events),
+            canon(bare.events),
+            "event multisets must be identical"
+        );
+        assert!(plan.events().is_empty(), "no fault may be injected");
+    }
+
+    /// Message chaos alone (drop/delay/duplicate, no kill) never corrupts
+    /// the solution: faults perturb delivery timing, not delivered data,
+    /// so the fingerprint stays bitwise identical with zero retries.
+    #[test]
+    fn message_chaos_preserves_fingerprint_without_recovery() {
+        let reference = run_distributed(3, 5, || replica(3, 1));
+        let plan = Arc::new(FaultPlan::new(FaultPlanSpec {
+            seed: 0xC0FFEE,
+            drop_per_mille: 60,
+            delay_per_mille: 120,
+            duplicate_per_mille: 60,
+            delay_ticks: 3,
+            ..Default::default()
+        }));
+        let opts = SessionOptions {
+            fault_plan: Some(Arc::clone(&plan)),
+            ..SessionOptions::default()
+        };
+        let mut s = RtSession::with_options(3, opts, || replica(3, 1));
+        s.run(5).unwrap();
+        let run = s.finish().unwrap();
+        assert_eq!(run.fingerprint, reference.fingerprint);
+        assert_eq!(run.dt.to_bits(), reference.dt.to_bits());
+        let stats = plan.stats();
+        assert!(
+            stats.dropped + stats.delayed + stats.duplicated > 0,
+            "the chaos rates must actually inject something: {stats:?}"
+        );
     }
 }

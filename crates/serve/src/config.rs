@@ -118,6 +118,14 @@ pub struct JobConfig {
     pub nranks: usize,
     /// Host threads per rank (geometry, not identity).
     pub threads: usize,
+    /// Deterministic message-chaos seed; `0` disables fault injection.
+    /// Like geometry, faults never change the answer (recovery replays
+    /// to the bitwise-identical result), so this is not a problem field.
+    pub fault_seed: u64,
+    /// Rank to kill at the `kill_cycle` boundary (`None` = no kill).
+    pub kill_rank: Option<usize>,
+    /// Cycle boundary at which `kill_rank` dies.
+    pub kill_cycle: u64,
 }
 
 impl Default for JobConfig {
@@ -135,6 +143,9 @@ impl Default for JobConfig {
             deref_gap: 4,
             nranks: 1,
             threads: 1,
+            fault_seed: 0,
+            kill_rank: None,
+            kill_cycle: 0,
         }
     }
 }
@@ -192,6 +203,9 @@ impl JobConfig {
             "deref_gap",
             "nranks",
             "threads",
+            "fault_seed",
+            "kill_rank",
+            "kill_cycle",
         ];
         for k in m.keys() {
             if !KNOWN.contains(&k.as_str()) {
@@ -243,6 +257,22 @@ impl JobConfig {
         if let Some(x) = v.get("cfl") {
             cfg.cfl = x.as_f64().ok_or("cfl must be a number")?;
         }
+        if let Some(x) = v.get("fault_seed") {
+            cfg.fault_seed = x
+                .as_u64()
+                .ok_or("fault_seed must be a non-negative integer")?;
+        }
+        if let Some(x) = v.get("kill_rank") {
+            cfg.kill_rank = Some(
+                x.as_u64()
+                    .ok_or("kill_rank must be a non-negative integer")? as usize,
+            );
+        }
+        if let Some(x) = v.get("kill_cycle") {
+            cfg.kill_cycle = x
+                .as_u64()
+                .ok_or("kill_cycle must be a non-negative integer")?;
+        }
         cfg.validate()?;
         Ok(cfg)
     }
@@ -288,13 +318,22 @@ impl JobConfig {
         if self.threads == 0 || self.threads > 16 {
             return Err("threads must be 1..=16".into());
         }
+        if let Some(r) = self.kill_rank {
+            if r >= self.nranks {
+                return Err("kill_rank must name one of the job's ranks".into());
+            }
+            if self.kill_cycle >= self.cycles {
+                return Err("kill_cycle must land inside the run".into());
+            }
+        }
         Ok(())
     }
 
     /// Renders the full configuration (geometry included) as JSON for
-    /// status responses.
+    /// status responses. Fault fields appear only when chaos is on so
+    /// the fault-free response stays byte-for-byte what it always was.
     pub fn to_json(&self) -> Json {
-        crate::json::obj(vec![
+        let mut fields = vec![
             ("physics", Json::Str(self.physics.clone())),
             ("dim", Json::Num(self.dim as f64)),
             ("mesh_cells", Json::Num(self.mesh_cells as f64)),
@@ -307,7 +346,15 @@ impl JobConfig {
             ("deref_gap", Json::Num(self.deref_gap as f64)),
             ("nranks", Json::Num(self.nranks as f64)),
             ("threads", Json::Num(self.threads as f64)),
-        ])
+        ];
+        if self.fault_seed != 0 {
+            fields.push(("fault_seed", Json::Num(self.fault_seed as f64)));
+        }
+        if let Some(r) = self.kill_rank {
+            fields.push(("kill_rank", Json::Num(r as f64)));
+            fields.push(("kill_cycle", Json::Num(self.kill_cycle as f64)));
+        }
+        crate::json::obj(fields)
     }
 }
 
@@ -488,9 +535,42 @@ mod tests {
             deref_gap: 10,
             nranks: 2,
             threads: 1,
+            fault_seed: 7,
+            kill_rank: Some(1),
+            kill_cycle: 2,
         };
         let back = JobConfig::from_json(&c.to_json()).unwrap();
         assert_eq!(back, c);
         assert_eq!(back.cache_key(), c.cache_key());
+    }
+
+    #[test]
+    fn fault_fields_do_not_perturb_the_cache_key() {
+        // Faults never change the answer — recovery replays to the
+        // bitwise-identical result — so a chaos run and a clean run of
+        // the same problem are the same cache entry.
+        let clean = JobConfig::default();
+        let chaotic = JobConfig {
+            fault_seed: 0xBADC0DE,
+            kill_rank: Some(0),
+            kill_cycle: 3,
+            ..JobConfig::default()
+        };
+        assert_eq!(clean.cache_key(), chaotic.cache_key());
+        assert!(chaotic.validate().is_ok());
+        // But a kill outside the job's geometry or run is rejected.
+        assert!(JobConfig {
+            kill_rank: Some(5),
+            ..JobConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(JobConfig {
+            kill_rank: Some(0),
+            kill_cycle: 99,
+            ..JobConfig::default()
+        }
+        .validate()
+        .is_err());
     }
 }

@@ -280,6 +280,9 @@ fn job_json(v: &JobView) -> Json {
         ("cycles_executed", Json::Num(v.cycles_executed as f64)),
         ("config", v.config.to_json()),
     ];
+    if v.recoveries > 0 {
+        fields.push(("recoveries", Json::Num(v.recoveries as f64)));
+    }
     if let Some(r) = &v.result {
         fields.push((
             "result",
@@ -305,6 +308,9 @@ fn stats_json(service: &Service) -> Json {
         ("submitted", Json::Num(s.submitted as f64)),
         ("done", Json::Num(s.done as f64)),
         ("failed", Json::Num(s.failed as f64)),
+        ("degraded", Json::Num(s.degraded as f64)),
+        ("failures_detected", Json::Num(s.failures_detected as f64)),
+        ("recoveries", Json::Num(s.recoveries as f64)),
         ("active", Json::Num(s.active as f64)),
         ("cache_hits", Json::Num(s.cache_hits as f64)),
         ("cache_misses", Json::Num(s.cache_misses as f64)),
@@ -428,6 +434,7 @@ mod tests {
             runners: 1,
             budget_cycles: 4,
             tenant_weights: Vec::new(),
+            ..ServiceConfig::default()
         }));
         let server = Server::start(service, 0).unwrap();
         let port = server.port();
@@ -520,6 +527,7 @@ mod tests {
             runners: 1,
             budget_cycles: 1,
             tenant_weights: Vec::new(),
+            ..ServiceConfig::default()
         }));
         let server = Server::start(Arc::clone(&service), 0).unwrap();
         let port = server.port();

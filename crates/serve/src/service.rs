@@ -19,8 +19,9 @@ use std::time::{Duration, Instant};
 use vibe_core::driver::DriverParams;
 use vibe_core::mesh::{Mesh, MeshParams};
 use vibe_core::{restore_driver, Driver, DynPackage, Package, PackageSpec, Snapshot};
+use vibe_ft::{FaultPlan, FaultPlanSpec, KillSpec};
 use vibe_prof::{job_metrics_jsonl, JobCycleMetric};
-use vibe_rt::{RtRun, RtSession};
+use vibe_rt::{RtRun, RtSession, SessionOptions};
 
 use crate::cache::{CachedResult, ResultCache};
 use crate::config::JobConfig;
@@ -39,6 +40,9 @@ pub enum JobState {
     Done,
     /// Aborted with an error.
     Failed,
+    /// Rank failures exhausted the retry budget; the job stopped at its
+    /// last checkpoint instead of completing.
+    Degraded,
 }
 
 impl JobState {
@@ -50,6 +54,7 @@ impl JobState {
             JobState::Preempted => "preempted",
             JobState::Done => "done",
             JobState::Failed => "failed",
+            JobState::Degraded => "degraded",
         }
     }
 }
@@ -76,6 +81,12 @@ struct Job {
     /// cache hit, which is how "zero recompute" is proven.
     cycles_executed: u64,
     preempt_requested: bool,
+    /// Deterministic fault schedule for chaos-configured jobs; the kill
+    /// latch inside persists across slices and retries, so an injected
+    /// kill fires exactly once per job.
+    plan: Option<Arc<FaultPlan>>,
+    /// Rank failures recovered by replaying from the last checkpoint.
+    recoveries: u32,
     snapshot: Option<Arc<Snapshot>>,
     metrics: Vec<JobCycleMetric>,
     result: Option<JobResult>,
@@ -102,6 +113,8 @@ pub struct JobView {
     pub cycles_done: u64,
     /// Cycles this service executed (0 for a cache hit).
     pub cycles_executed: u64,
+    /// Rank failures recovered via checkpoint replay.
+    pub recoveries: u32,
     /// Final result once `state` is `Done`.
     pub result: Option<JobResult>,
     /// Failure message once `state` is `Failed`.
@@ -121,6 +134,8 @@ struct Shared {
     cache: ResultCache,
     shutdown: AtomicBool,
     budget_cycles: u64,
+    max_retries: u32,
+    retry_backoff: Duration,
 }
 
 /// Service construction parameters.
@@ -128,10 +143,17 @@ struct Shared {
 pub struct ServiceConfig {
     /// Runner threads in the pool (min 1).
     pub runners: usize,
-    /// Cycles per scheduling slice (min 1): the preemption granularity.
+    /// Cycles per scheduling slice (min 1): the preemption granularity —
+    /// and the recovery checkpoint cadence, since every slice boundary
+    /// checkpoints.
     pub budget_cycles: u64,
     /// Initial tenant weights; unknown tenants default to weight 1.
     pub tenant_weights: Vec<(String, u64)>,
+    /// Rank failures tolerated per job before it is marked `Degraded`.
+    pub max_retries: u32,
+    /// Pause before re-enqueueing a failed job (scaled by its retry
+    /// count), so a crash-looping job cannot monopolize the pool.
+    pub retry_backoff: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -140,6 +162,8 @@ impl Default for ServiceConfig {
             runners: 2,
             budget_cycles: 4,
             tenant_weights: Vec::new(),
+            max_retries: 2,
+            retry_backoff: Duration::from_millis(25),
         }
     }
 }
@@ -153,6 +177,12 @@ pub struct ServiceStats {
     pub done: u64,
     /// Jobs in the `Failed` state.
     pub failed: u64,
+    /// Jobs in the `Degraded` state (retry budget exhausted).
+    pub degraded: u64,
+    /// Rank failures detected across all jobs (recovered or not).
+    pub failures_detected: u64,
+    /// Checkpoint-replay recoveries across all jobs.
+    pub recoveries: u64,
     /// Jobs currently queued or running or parked.
     pub active: u64,
     /// Result-cache hits.
@@ -187,6 +217,8 @@ impl Service {
             cache: ResultCache::new(),
             shutdown: AtomicBool::new(false),
             budget_cycles: cfg.budget_cycles.max(1),
+            max_retries: cfg.max_retries,
+            retry_backoff: cfg.retry_backoff,
         });
         let runners = (0..cfg.runners.max(1))
             .map(|_| {
@@ -211,6 +243,7 @@ impl Service {
         let mut st = self.shared.state.lock().unwrap();
         let id = st.jobs.len() as u64;
         let now = Instant::now();
+        let plan = fault_plan_for(&config);
         let mut job = Job {
             tenant: tenant.to_string(),
             config,
@@ -219,6 +252,8 @@ impl Service {
             cycles_done: 0,
             cycles_executed: 0,
             preempt_requested: false,
+            plan,
+            recoveries: 0,
             snapshot: None,
             metrics: Vec::new(),
             result: None,
@@ -347,8 +382,14 @@ impl Service {
             match j.state {
                 JobState::Done => stats.done += 1,
                 JobState::Failed => stats.failed += 1,
+                JobState::Degraded => stats.degraded += 1,
                 _ => stats.active += 1,
             }
+            stats.recoveries += u64::from(j.recoveries);
+            // Every recovery was a detected failure; a degraded job had
+            // one more — the failure that exhausted its budget.
+            stats.failures_detected +=
+                u64::from(j.recoveries) + u64::from(j.state == JobState::Degraded);
             if let Some(fin) = j.finished {
                 let t = fin.duration_since(j.submitted).as_secs_f64();
                 let e = tenants
@@ -399,12 +440,16 @@ impl Service {
         }
     }
 
-    /// Convenience: waits for `Done`, failing fast on `Failed`.
+    /// Convenience: waits for `Done`, failing fast on `Failed` or
+    /// `Degraded`.
     pub fn wait_done(&self, id: u64, timeout: Duration) -> Result<JobView, String> {
         let v = self.wait_for(id, timeout, |v| {
-            matches!(v.state, JobState::Done | JobState::Failed)
+            matches!(
+                v.state,
+                JobState::Done | JobState::Failed | JobState::Degraded
+            )
         })?;
-        if v.state == JobState::Failed {
+        if v.state != JobState::Done {
             return Err(v.error.unwrap_or_else(|| "job failed".into()));
         }
         Ok(v)
@@ -440,6 +485,7 @@ fn view(id: u64, j: &Job) -> JobView {
         cached: j.cached,
         cycles_done: j.cycles_done,
         cycles_executed: j.cycles_executed,
+        recoveries: j.recoveries,
         result: j.result,
         error: j.error.clone(),
         turnaround: j.finished.map(|f| f.duration_since(j.submitted)),
@@ -498,21 +544,50 @@ fn runner_loop(shared: &Arc<Shared>) {
 /// checkpoint (or the initial condition), run at most `budget_cycles`,
 /// then finish / park / re-enqueue.
 fn run_slice(shared: &Arc<Shared>, id: u64) {
-    let (config, snapshot, cycles_done) = {
+    let (config, snapshot, cycles_done, plan) = {
         let mut st = shared.state.lock().unwrap();
         let job = &mut st.jobs[id as usize];
         job.state = JobState::Running;
-        (job.config.clone(), job.snapshot.clone(), job.cycles_done)
+        (
+            job.config.clone(),
+            job.snapshot.clone(),
+            job.cycles_done,
+            job.plan.clone(),
+        )
     };
     let remaining = config.cycles.saturating_sub(cycles_done);
     let slice = remaining.min(shared.budget_cycles);
-    let outcome = execute_slice(&config, snapshot, slice, remaining == slice, id);
+    let outcome = execute_slice(
+        &config,
+        snapshot,
+        slice,
+        remaining == slice,
+        id,
+        plan,
+        cycles_done,
+    );
 
     let mut st = shared.state.lock().unwrap();
     let job = &mut st.jobs[id as usize];
     match outcome {
         Err(e) => {
-            job.state = JobState::Failed;
+            if job.recoveries < shared.max_retries {
+                // Recover: the job's snapshot still holds the last slice
+                // boundary (nothing advanced on the failed slice), so
+                // re-enqueueing replays it — bitwise — after a backoff
+                // proportional to how often this job has crashed.
+                job.recoveries += 1;
+                job.error = Some(e);
+                job.state = JobState::Queued;
+                let tenant = job.tenant.clone();
+                let pause = shared.retry_backoff * job.recoveries;
+                drop(st);
+                std::thread::sleep(pause);
+                let mut st = shared.state.lock().unwrap();
+                st.sched.enqueue(&tenant, id);
+                return;
+            }
+            job.state = JobState::Degraded;
             job.error = Some(e);
             job.finished = Some(Instant::now());
         }
@@ -522,6 +597,9 @@ fn run_slice(shared: &Arc<Shared>, id: u64) {
         }) => {
             job.cycles_done += slice;
             job.cycles_executed += slice;
+            // A successful slice clears the note left by a recovered
+            // failure; the recovery count keeps the evidence.
+            job.error = None;
             job.metrics.extend(metrics);
             match completion {
                 Completion::Finished(run) => {
@@ -577,9 +655,21 @@ fn execute_slice(
     slice: u64,
     is_last: bool,
     id: u64,
+    plan: Option<Arc<FaultPlan>>,
+    start_cycle: u64,
 ) -> Result<SliceOutcome, String> {
     let cfg = config.clone();
-    let mut session = RtSession::new(config.nranks, move || replica(&cfg, snapshot.as_deref()));
+    let opts = SessionOptions {
+        fault_plan: plan,
+        // The plan's kill cycle is absolute; the session must know where
+        // this slice starts so the boundary check lines up across
+        // checkpoints and retries.
+        start_cycle,
+        ..SessionOptions::default()
+    };
+    let mut session = RtSession::with_options(config.nranks, opts, move || {
+        replica(&cfg, snapshot.as_deref())
+    });
     let t0 = Instant::now();
     let summaries = session.run(slice).map_err(|e| e.to_string())?;
     let wall_ns = t0.elapsed().as_nanos() as u64;
@@ -610,6 +700,28 @@ fn execute_slice(
         metrics,
         completion,
     })
+}
+
+/// Builds the job's deterministic fault plan from its config, or `None`
+/// when chaos is off. A nonzero `fault_seed` turns on message faults at
+/// fixed modest rates (the seed schedules *which* messages); `kill_rank`
+/// arms a one-shot rank kill at the `kill_cycle` boundary.
+fn fault_plan_for(config: &JobConfig) -> Option<Arc<FaultPlan>> {
+    if config.fault_seed == 0 && config.kill_rank.is_none() {
+        return None;
+    }
+    let chaos = config.fault_seed != 0;
+    Some(Arc::new(FaultPlan::new(FaultPlanSpec {
+        seed: config.fault_seed,
+        drop_per_mille: if chaos { 30 } else { 0 },
+        delay_per_mille: if chaos { 60 } else { 0 },
+        duplicate_per_mille: if chaos { 30 } else { 0 },
+        delay_ticks: 2,
+        kill: config.kill_rank.map(|rank| KillSpec {
+            rank,
+            cycle: config.kill_cycle,
+        }),
+    })))
 }
 
 // ---------------------------------------------------------------------------
@@ -695,6 +807,7 @@ mod tests {
             runners: 1,
             budget_cycles: 3,
             tenant_weights: Vec::new(),
+            ..ServiceConfig::default()
         });
         let cfg = small_cfg(7, 1, 1);
         let (fp, time, dt) = direct_fingerprint(&cfg);
@@ -720,6 +833,7 @@ mod tests {
             runners: 1,
             budget_cycles: 8,
             tenant_weights: Vec::new(),
+            ..ServiceConfig::default()
         });
         let cfg = small_cfg(5, 1, 1);
         let (a, key_a, cached_a) = svc.submit("acme", cfg.clone()).unwrap();
@@ -751,6 +865,7 @@ mod tests {
             runners: 1,
             budget_cycles: 2,
             tenant_weights: Vec::new(),
+            ..ServiceConfig::default()
         });
         let cfg = small_cfg(6, 2, 1);
         let (fp, _, _) = direct_fingerprint(&cfg);
@@ -793,6 +908,7 @@ mod tests {
             runners: 2,
             budget_cycles: 4,
             tenant_weights: Vec::new(),
+            ..ServiceConfig::default()
         });
         let mut ids = Vec::new();
         for physics in vibe_physics::standard_registry().names() {
@@ -838,6 +954,63 @@ mod tests {
     }
 
     #[test]
+    fn killed_rank_recovers_to_the_clean_fingerprint() {
+        let svc = Service::start(ServiceConfig {
+            runners: 1,
+            budget_cycles: 2,
+            retry_backoff: Duration::from_millis(1),
+            ..ServiceConfig::default()
+        });
+        let clean = small_cfg(6, 2, 1);
+        let (fp, time, dt) = direct_fingerprint(&clean);
+        // Same problem, but rank 1 is killed entering cycle 3 (inside the
+        // second budget slice) and message chaos runs throughout.
+        let chaotic = JobConfig {
+            fault_seed: 0xFEED,
+            kill_rank: Some(1),
+            kill_cycle: 3,
+            ..clean
+        };
+        let (id, _, cached) = svc.submit("acme", chaotic).unwrap();
+        assert!(!cached, "the chaos job must execute, not hit the cache");
+        let v = svc.wait_done(id, Duration::from_secs(120)).unwrap();
+        assert_eq!(v.state, JobState::Done);
+        assert_eq!(v.recoveries, 1, "exactly one kill, one recovery");
+        let r = v.result.unwrap();
+        assert_eq!(r.fingerprint, fp, "recovered result must be bitwise");
+        assert_eq!(r.time.to_bits(), time.to_bits());
+        assert_eq!(r.dt.to_bits(), dt.to_bits());
+        assert!(v.error.is_none(), "a recovered job carries no error");
+        let s = svc.stats();
+        assert_eq!((s.failures_detected, s.recoveries, s.degraded), (1, 1, 0));
+        svc.shutdown();
+    }
+
+    #[test]
+    fn exhausted_retry_budget_degrades_the_job() {
+        let svc = Service::start(ServiceConfig {
+            runners: 1,
+            budget_cycles: 2,
+            max_retries: 0,
+            ..ServiceConfig::default()
+        });
+        let cfg = JobConfig {
+            kill_rank: Some(0),
+            kill_cycle: 1,
+            ..small_cfg(4, 2, 1)
+        };
+        let (id, _, _) = svc.submit("acme", cfg).unwrap();
+        let err = svc.wait_done(id, Duration::from_secs(120)).unwrap_err();
+        assert!(err.contains("injected"), "{err}");
+        let v = svc.job(id).unwrap();
+        assert_eq!(v.state, JobState::Degraded);
+        assert_eq!(v.recoveries, 0);
+        let s = svc.stats();
+        assert_eq!((s.degraded, s.failures_detected), (1, 1));
+        svc.shutdown();
+    }
+
+    #[test]
     fn shutdown_leaves_no_runner_threads() {
         // The kernel-launch pool is a process-lifetime singleton whose
         // workers never exit; pre-warm it at the widest thread count any
@@ -848,6 +1021,7 @@ mod tests {
             runners: 2,
             budget_cycles: 2,
             tenant_weights: Vec::new(),
+            ..ServiceConfig::default()
         });
         let (id, _, _) = svc.submit("acme", small_cfg(4, 1, 1)).unwrap();
         svc.wait_done(id, Duration::from_secs(120)).unwrap();

@@ -60,6 +60,21 @@ echo "==> simd flux-backend fingerprint gate (simd_gate)"
 # scalar serial reference. The binary exits nonzero on any mismatch.
 VIBE_SIMD_THREADS=1,8 VIBE_SIMD_RANKS=1,2,8 target/release/simd_gate >/dev/null
 
+echo "==> fault-tolerance gate (ft_gate)"
+# Deterministic chaos + rank kill against real rank shards: a zero-rate
+# fault plan must be byte-for-byte neutral, and killing a rank mid-run
+# under seeded message faults must recover automatically — restore from
+# the last periodic checkpoint, re-partition onto the survivors, replay —
+# to the exact fault-free fingerprint within the bounded retry budget.
+# The binary exits nonzero on any divergence. (Expected-panic backtraces
+# from the killed rank's cascade are routine on stderr.)
+mkdir -p target/ci-ft
+VIBE_FT_RANKS=2,4,8 VIBE_FT_THREADS=1,8 \
+    target/release/ft_gate target/ci-ft/BENCH.json >/dev/null 2>&1
+grep -q '"resilience"' target/ci-ft/BENCH.json
+grep -q '"recoveries": 6' target/ci-ft/BENCH.json
+grep -q '"gate": "pass"' target/ci-ft/BENCH.json
+
 echo "==> multi-tenant service gate (serve_gate)"
 # Boots the HTTP front end on an ephemeral port and drives 8 jobs from 3
 # tenants over real sockets: exits nonzero on a preempt/resume fingerprint

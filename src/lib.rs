@@ -23,8 +23,11 @@
 //!   registered package by name
 //! * [`hwmodel`] — H100/SPR performance and memory models
 //! * [`sim`] — discrete-event heterogeneous timeline simulator
+//! * [`ft`] — deterministic fault injection (seeded message chaos, rank
+//!   kills) for the transport layer
 //! * [`rt`] — rank-parallel distributed runtime (virtual ranks as real
-//!   concurrent shards over a channel transport)
+//!   concurrent shards over a channel transport), with failure detection
+//!   and checkpoint-based recovery (`run_resilient`)
 //! * [`serve`] — multi-tenant simulation service (WRR job scheduler,
 //!   checkpoint/preempt/resume, fingerprint-keyed result cache, HTTP
 //!   front end)
@@ -56,6 +59,7 @@ pub use vibe_comm as comm;
 pub use vibe_core as core;
 pub use vibe_exec as exec;
 pub use vibe_field as field;
+pub use vibe_ft as ft;
 pub use vibe_hwmodel as hwmodel;
 pub use vibe_mesh as mesh;
 pub use vibe_physics as physics;
@@ -72,11 +76,14 @@ pub mod prelude {
         DynPackage, Package, PackageRegistry, PackageSpec,
     };
     pub use vibe_field::{BlockData, Metadata, PackStrategy};
+    pub use vibe_ft::{FaultPlan, FaultPlanSpec, KillSpec};
     pub use vibe_hwmodel::platform::evaluate;
     pub use vibe_hwmodel::{Backend, CpuSpec, GpuSpec, MemoryModel, PlatformConfig};
     pub use vibe_mesh::{Mesh, MeshParams, RegionSize};
     pub use vibe_physics::{resolve, standard_registry, Advect, AdvectRecon};
     pub use vibe_prof::{ProfLevel, Recorder, RegionKey, StepFunction};
-    pub use vibe_rt::{run_distributed, RtRun, RtSession};
+    pub use vibe_rt::{
+        run_distributed, run_resilient, ResilienceOptions, RtRun, RtSession, SessionOptions,
+    };
     pub use vibe_serve::{JobConfig, Service, ServiceConfig};
 }
